@@ -1,0 +1,84 @@
+//! §5.3 ablation: precomputed tables versus Wolf/Maydan/Chen brute force.
+
+use std::time::Instant;
+use ujam_core::brute::optimize_brute;
+use ujam_core::{optimize_in_space, UnrollSpace};
+use ujam_dep::{safe_unroll_bounds, DepGraph};
+use ujam_kernels::kernels;
+use ujam_machine::MachineModel;
+
+/// One kernel's analysis-cost comparison.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Unroll-space size searched.
+    pub candidates: usize,
+    /// Microseconds for the table-driven optimizer (build + search).
+    pub table_us: f64,
+    /// Microseconds for the materialise-and-reanalyse optimizer.
+    pub brute_us: f64,
+    /// Whether both picked the same unroll vector.
+    pub agree: bool,
+}
+
+impl AblationRow {
+    /// `brute / table` — how much re-analysis costs.
+    pub fn speedup(&self) -> f64 {
+        self.brute_us / self.table_us.max(1e-9)
+    }
+}
+
+/// Runs the comparison on every kernel over a bound-`bound` space on the
+/// loop(s) the dependence analysis allows.
+pub fn ablation(machine: &MachineModel, bound: u32) -> Vec<AblationRow> {
+    kernels()
+        .iter()
+        .map(|k| {
+            let nest = k.nest();
+            let graph = DepGraph::build(&nest);
+            let bounds = safe_unroll_bounds(&nest, &graph);
+            // Unroll the outermost jammable loop (all kernels have one).
+            let loop_idx = (0..nest.depth() - 1)
+                .find(|&l| bounds[l] >= 1)
+                .unwrap_or(0);
+            let b = bound.min(bounds[loop_idx].max(1));
+            let space = UnrollSpace::new(nest.depth(), &[loop_idx], b);
+
+            let t0 = Instant::now();
+            let table_plan = optimize_in_space(&nest, machine, &space);
+            let table_us = t0.elapsed().as_secs_f64() * 1e6;
+
+            let t0 = Instant::now();
+            let brute_plan = optimize_brute(&nest, machine, &space);
+            let brute_us = t0.elapsed().as_secs_f64() * 1e6;
+
+            AblationRow {
+                name: k.name,
+                candidates: space.len(),
+                table_us,
+                brute_us,
+                agree: table_plan.unroll == brute_plan.unroll,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_optimizers_agree_on_every_kernel() {
+        for machine in [MachineModel::dec_alpha(), MachineModel::hp_parisc()] {
+            for row in ablation(&machine, 4) {
+                assert!(
+                    row.agree,
+                    "{} disagrees on {}",
+                    row.name,
+                    machine.name()
+                );
+            }
+        }
+    }
+}

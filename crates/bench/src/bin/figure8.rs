@@ -1,0 +1,11 @@
+//! Regenerates Figure 8: normalized execution time of the 19 test loops
+//! on the DEC Alpha model (Original / No Cache / Cache).
+
+use ujam_bench::figures::{figure, render};
+use ujam_machine::MachineModel;
+
+fn main() {
+    let machine = MachineModel::dec_alpha();
+    let rows = figure(&machine);
+    print!("{}", render(&machine, &rows));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 9: normalized execution time of the 19 test loops
+//! on the HP PA-RISC model (Original / No Cache / Cache).
+
+use ujam_bench::figures::{figure, render};
+use ujam_machine::MachineModel;
+
+fn main() {
+    let machine = MachineModel::hp_parisc();
+    let rows = figure(&machine);
+    print!("{}", render(&machine, &rows));
+}

@@ -1,0 +1,49 @@
+//! Regenerates Table 1 and the §5.1 statistics.
+//!
+//! Usage: `table1 [routine-count] [seed]` (defaults: 1187 routines —
+//! the paper's corpus size — seed 1997).
+
+use ujam_bench::{pct, table1};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args
+        .next()
+        .map(|a| a.parse().expect("routine count must be a number"))
+        .unwrap_or(1187);
+    let seed: u64 = args
+        .next()
+        .map(|a| a.parse().expect("seed must be a number"))
+        .unwrap_or(1997);
+
+    let r = table1(seed, n);
+    println!("== Table 1: Percentage of Input Dependences ==");
+    println!("{:>12} | {}", "Range", "Number of Routines");
+    println!("{:->12}-+-{:->20}", "", "");
+    for (label, count) in &r.bands {
+        println!("{label:>12} | {count}");
+    }
+    println!();
+    println!("== Section 5.1 statistics ==");
+    println!("routines analysed:          {}", r.routines_total);
+    println!("routines with dependences:  {}", r.routines_with_deps);
+    println!("total dependences:          {}", r.total_deps);
+    println!(
+        "total input dependences:    {} ({} of all dependences; paper: 84%)",
+        r.total_input,
+        pct(r.total_fraction())
+    );
+    println!(
+        "mean per-routine input %:   {:.1}% (std {:.1}; paper: 55.7%, std 33.6)",
+        r.mean_pct, r.std_pct
+    );
+    println!("mean input deps / routine:  {:.1} (paper: 398)", r.mean_count);
+    println!();
+    println!("== Dependence-graph storage (A2) ==");
+    println!("bytes with input deps:      {}", r.bytes_all);
+    println!("bytes without input deps:   {}", r.bytes_no_input);
+    println!(
+        "space saved by UGS model:   {}",
+        pct(r.bytes_saved_fraction())
+    );
+}

@@ -1,0 +1,32 @@
+//! Regenerates Table 2: the test-loop roster, with this reproduction's
+//! per-kernel statistics appended (depth, refs, flops, balance inputs).
+
+use ujam_kernels::kernels;
+use ujam_reuse::{nest_cache_cost, Localized};
+
+fn main() {
+    println!("== Table 2: Description of Test Loops ==");
+    println!(
+        "{:>3} {:10} {:38} {:>5} {:>5} {:>6} {:>7}",
+        "Num", "Loop", "Description", "depth", "refs", "flops", "lines/i"
+    );
+    for k in kernels() {
+        let nest = k.nest();
+        let lines = nest_cache_cost(&nest, &Localized::innermost(nest.depth()), 4);
+        println!(
+            "{:>3} {:10} {:38} {:>5} {:>5} {:>6} {:>7.3}",
+            k.num,
+            k.name,
+            k.description,
+            nest.depth(),
+            nest.refs().len(),
+            nest.flops_per_iter(),
+            lines
+        );
+    }
+    println!();
+    println!("Reconstruction notes:");
+    for k in kernels() {
+        println!("  {:10} {}", k.name, k.notes);
+    }
+}

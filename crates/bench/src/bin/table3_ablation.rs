@@ -1,0 +1,44 @@
+//! §5.3 comparison with Wolf, Maydan & Chen: analysis cost of the
+//! table-driven optimizer versus re-analysing every materialised body.
+//!
+//! Usage: `table3_ablation [bound]` (default unroll-space bound 8).
+
+use ujam_bench::ablation;
+use ujam_machine::MachineModel;
+
+fn main() {
+    let bound: u32 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("bound must be a number"))
+        .unwrap_or(8);
+    let machine = MachineModel::dec_alpha();
+    let rows = ablation(&machine, bound);
+    println!("== Analysis cost: precomputed tables vs brute force (bound {bound}) ==");
+    println!(
+        "{:10} {:>10} {:>12} {:>12} {:>9} {:>7}",
+        "loop", "candidates", "tables (us)", "brute (us)", "speedup", "agree"
+    );
+    let mut total_t = 0.0;
+    let mut total_b = 0.0;
+    for r in &rows {
+        println!(
+            "{:10} {:>10} {:>12.0} {:>12.0} {:>8.1}x {:>7}",
+            r.name,
+            r.candidates,
+            r.table_us,
+            r.brute_us,
+            r.speedup(),
+            r.agree
+        );
+        total_t += r.table_us;
+        total_b += r.brute_us;
+    }
+    println!(
+        "{:10} {:>10} {:>12.0} {:>12.0} {:>8.1}x",
+        "TOTAL",
+        "",
+        total_t,
+        total_b,
+        total_b / total_t.max(1e-9)
+    );
+}

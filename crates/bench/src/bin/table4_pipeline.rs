@@ -1,0 +1,24 @@
+//! Extension experiment: the Wolf/Maydan/Chen combination (§5.3) —
+//! memory-order loop permutation (reference \[4\]) before unroll-and-jam.
+
+use ujam_bench::permute_then_jam;
+use ujam_machine::MachineModel;
+
+fn main() {
+    let machine = MachineModel::dec_alpha();
+    println!("== Permute-then-jam pipeline on {} (speedups vs original) ==", machine.name());
+    println!(
+        "{:10} {:>12} {:>9} {:>9} {:>9}",
+        "loop", "order", "jam", "permute", "combined"
+    );
+    for row in permute_then_jam(&machine) {
+        println!(
+            "{:10} {:>12} {:>8.2}x {:>8.2}x {:>8.2}x",
+            row.name,
+            row.order.join(","),
+            row.jam_only,
+            row.permute_only,
+            row.combined
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Experiment logic behind the table/figure reproduction binaries.
+//!
+//! Every artifact of the paper's evaluation section has a function here
+//! returning structured rows, consumed by the `table1`, `table2`,
+//! `figure8`, `figure9` and `table3_ablation` binaries (and by the
+//! workspace integration tests, which assert the *shape* of each result).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod extensions;
+pub mod figures;
+pub mod table1;
+
+pub use ablation::{ablation, AblationRow};
+pub use extensions::{permute_then_jam, prefetch_sweep, register_sweep, scaling_sweep};
+pub use figures::{figure, FigureRow};
+pub use table1::{table1, Table1Report};
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}

@@ -1,0 +1,173 @@
+//! Table 1 / §5.1: input-dependence share of the dependence graph.
+
+use ujam_dep::{DepGraph, DepKind};
+use ujam_kernels::kernels;
+
+/// The §5.1 statistics over a routine corpus.
+#[derive(Clone, Debug)]
+pub struct Table1Report {
+    /// Routines analysed (the paper ran 1187).
+    pub routines_total: usize,
+    /// Routines that had any dependences (the paper's 649); all
+    /// per-routine statistics are over these.
+    pub routines_with_deps: usize,
+    /// Total dependences across the corpus.
+    pub total_deps: usize,
+    /// Total input dependences across the corpus (the paper: 84%).
+    pub total_input: usize,
+    /// Mean per-routine input percentage (the paper: 55.7%).
+    pub mean_pct: f64,
+    /// Standard deviation of the per-routine percentage (paper: 33.6).
+    pub std_pct: f64,
+    /// Mean per-routine input-dependence count (the paper: 398).
+    pub mean_count: f64,
+    /// Histogram bands exactly as Table 1 prints them:
+    /// `(label, routine count)`.
+    pub bands: Vec<(&'static str, usize)>,
+    /// Bytes to store every dependence graph.
+    pub bytes_all: usize,
+    /// Bytes once input dependences are dropped (the UGS approach).
+    pub bytes_no_input: usize,
+}
+
+impl Table1Report {
+    /// The corpus-wide input fraction (paper headline: 0.84).
+    pub fn total_fraction(&self) -> f64 {
+        if self.total_deps == 0 {
+            0.0
+        } else {
+            self.total_input as f64 / self.total_deps as f64
+        }
+    }
+
+    /// Fraction of dependence-graph bytes saved by dropping input edges.
+    pub fn bytes_saved_fraction(&self) -> f64 {
+        if self.bytes_all == 0 {
+            0.0
+        } else {
+            1.0 - self.bytes_no_input as f64 / self.bytes_all as f64
+        }
+    }
+}
+
+/// Table 1's percentage bands, in the paper's order.
+const BANDS: [(&str, f64, f64); 9] = [
+    ("0%", 0.0, 0.0),
+    ("1%-32%", 0.01, 32.99),
+    ("33%-39%", 33.0, 39.99),
+    ("40%-49%", 40.0, 49.99),
+    ("50%-59%", 50.0, 59.99),
+    ("60%-69%", 60.0, 69.99),
+    ("70%-79%", 70.0, 79.99),
+    ("80%-89%", 80.0, 89.99),
+    ("90%-100%", 90.0, 100.0),
+];
+
+/// Runs the §5.1 measurement over the 19 kernels plus enough synthetic
+/// *subroutines* (each holding several loop nests, like the paper's
+/// Fortran routines) to reach `routines_total` (the paper analysed 1187).
+pub fn table1(seed: u64, routines_total: usize) -> Table1Report {
+    let mut routines: Vec<Vec<ujam_ir::LoopNest>> =
+        kernels().iter().map(|k| vec![k.nest()]).collect();
+    let synth = routines_total.saturating_sub(routines.len());
+    routines.extend(ujam_kernels::corpus_subroutines(seed, synth));
+
+    let mut total_deps = 0usize;
+    let mut total_input = 0usize;
+    let mut bytes_all = 0usize;
+    let mut bytes_no_input = 0usize;
+    let mut per_routine_pct = Vec::new();
+    let mut per_routine_count = Vec::new();
+    let mut band_counts = vec![0usize; BANDS.len()];
+
+    for routine in &routines {
+        // Aggregate every nest of the subroutine, as Memoria would.
+        let (mut deps, mut input, mut b_all, mut b_no) = (0usize, 0usize, 0usize, 0usize);
+        for nest in routine {
+            let g = DepGraph::build(nest);
+            let stats = g.stats();
+            deps += stats.total;
+            input += g.count(DepKind::Input);
+            b_all += stats.bytes_all;
+            b_no += stats.bytes_no_input;
+        }
+        if deps == 0 {
+            continue;
+        }
+        total_deps += deps;
+        total_input += input;
+        bytes_all += b_all;
+        bytes_no_input += b_no;
+        let pct = 100.0 * input as f64 / deps as f64;
+        per_routine_pct.push(pct);
+        per_routine_count.push(input as f64);
+        let band = BANDS
+            .iter()
+            .position(|&(_, lo, hi)| {
+                if lo == 0.0 && hi == 0.0 {
+                    input == 0
+                } else {
+                    pct >= lo && pct <= hi
+                }
+            })
+            .expect("bands cover [0, 100]");
+        band_counts[band] += 1;
+    }
+
+    let n = per_routine_pct.len().max(1) as f64;
+    let mean_pct = per_routine_pct.iter().sum::<f64>() / n;
+    let var = per_routine_pct
+        .iter()
+        .map(|p| (p - mean_pct).powi(2))
+        .sum::<f64>()
+        / n;
+    let mean_count = per_routine_count.iter().sum::<f64>() / n;
+
+    Table1Report {
+        routines_total: routines.len(),
+        routines_with_deps: per_routine_pct.len(),
+        total_deps,
+        total_input,
+        mean_pct,
+        std_pct: var.sqrt(),
+        mean_count,
+        bands: BANDS
+            .iter()
+            .zip(band_counts)
+            .map(|(&(label, _, _), c)| (label, c))
+            .collect(),
+        bytes_all,
+        bytes_no_input,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape_matches_the_paper() {
+        let r = table1(1997, 300);
+        assert_eq!(r.routines_total, 300);
+        assert!(r.routines_with_deps > 100);
+        // The headline claim: input dependences dominate.
+        assert!(
+            r.total_fraction() > 0.5,
+            "input fraction only {}",
+            r.total_fraction()
+        );
+        assert!(r.mean_pct > 30.0 && r.mean_pct < 90.0);
+        assert!(r.bytes_saved_fraction() > 0.4);
+        // Bands partition the dep-bearing routines.
+        let band_total: usize = r.bands.iter().map(|&(_, c)| c).sum();
+        assert_eq!(band_total, r.routines_with_deps);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = table1(7, 120);
+        let b = table1(7, 120);
+        assert_eq!(a.total_deps, b.total_deps);
+        assert_eq!(a.total_input, b.total_input);
+    }
+}

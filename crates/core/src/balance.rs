@@ -1,0 +1,133 @@
+//! Loop balance (§3.2): the objective function of the optimizer.
+
+use ujam_machine::MachineModel;
+
+/// The per-iteration quantities loop balance is computed from — produced
+/// either by the precomputed tables ([`crate::CostTables`]) or by actually
+/// transforming the loop ([`crate::brute`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BalanceInputs {
+    /// Floating-point operations per iteration (`F`).
+    pub flops: f64,
+    /// Memory operations issued per iteration after scalar replacement
+    /// (`M`).
+    pub memory_ops: f64,
+    /// Cache lines fetched per iteration (Equation 1's total — the
+    /// prefetches `p` the iteration needs).
+    pub cache_lines: f64,
+    /// Floating-point registers scalar replacement consumes.
+    pub registers: i64,
+}
+
+impl BalanceInputs {
+    /// Loop balance *without* cache effects — the earlier Carr–Kennedy
+    /// model (§5.2's "No Cache" series): `β_L = M / F`.
+    pub fn no_cache_balance(&self) -> f64 {
+        if self.flops == 0.0 {
+            return f64::INFINITY;
+        }
+        self.memory_ops / self.flops
+    }
+
+    /// Estimated cycles per iteration, used to budget prefetch issue:
+    /// whichever of the memory and floating-point pipes is busier.
+    pub fn est_cycles(&self, machine: &MachineModel) -> f64 {
+        (self.memory_ops / machine.mem_rate()).max(self.flops / machine.flop_rate())
+    }
+}
+
+/// The paper's loop-balance formula (§3.2):
+///
+/// ```text
+///            M + max(0, p − b·c) · (C_m / C_h)
+///     β_L = ------------------------------------
+///                           F
+/// ```
+///
+/// where `p` is the number of cache lines the iteration must fetch, `b`
+/// the machine's prefetch-issue bandwidth, `c` the iteration's cycle
+/// estimate, and `C_m / C_h` the miss-to-hit cost ratio.  With `b = 0`
+/// (no software prefetching, as on the paper's two test machines) every
+/// needed line costs a full miss; a machine with enough prefetch
+/// bandwidth hides all of them and `β_L` degenerates to `M / F`.
+///
+/// A loop with no floating-point work has infinite balance.
+///
+/// # Example
+///
+/// ```
+/// use ujam_core::{loop_balance, BalanceInputs};
+/// use ujam_machine::MachineModel;
+/// let alpha = MachineModel::dec_alpha();
+/// let inputs = BalanceInputs {
+///     flops: 2.0,
+///     memory_ops: 1.0,
+///     cache_lines: 0.25,
+///     registers: 3,
+/// };
+/// let beta = loop_balance(&inputs, &alpha);
+/// // 1 op + 0.25 lines * 20 cycle penalty over 2 flops.
+/// assert_eq!(beta, (1.0 + 0.25 * 20.0) / 2.0);
+/// assert_eq!(inputs.no_cache_balance(), 0.5);
+/// ```
+pub fn loop_balance(inputs: &BalanceInputs, machine: &MachineModel) -> f64 {
+    if inputs.flops == 0.0 {
+        return f64::INFINITY;
+    }
+    let serviced = machine.prefetch_bandwidth() * inputs.est_cycles(machine);
+    let unserviced = (inputs.cache_lines - serviced).max(0.0);
+    (inputs.memory_ops + unserviced * machine.miss_ratio()) / inputs.flops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(f: f64, m: f64, p: f64) -> BalanceInputs {
+        BalanceInputs {
+            flops: f,
+            memory_ops: m,
+            cache_lines: p,
+            registers: 0,
+        }
+    }
+
+    #[test]
+    fn no_prefetch_charges_every_line() {
+        let alpha = MachineModel::dec_alpha();
+        assert_eq!(loop_balance(&inputs(1.0, 1.0, 0.0), &alpha), 1.0);
+        // One line per iteration at a 20-cycle miss dominates.
+        assert_eq!(loop_balance(&inputs(1.0, 1.0, 1.0), &alpha), 21.0);
+    }
+
+    #[test]
+    fn prefetch_bandwidth_hides_misses() {
+        let pf = MachineModel::prefetching_risc();
+        let i = inputs(4.0, 2.0, 0.5);
+        // est cycles = max(2/2, 4/2) = 2; b = 1: 2 prefetch slots cover
+        // the 0.5 lines.
+        assert_eq!(loop_balance(&i, &pf), 0.5);
+        // Saturate the prefetcher: 5 lines, only 2 covered.
+        let heavy = inputs(4.0, 2.0, 5.0);
+        let expect = (2.0 + 3.0 * pf.miss_ratio()) / 4.0;
+        assert!((loop_balance(&heavy, &pf) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_flop_loop_has_infinite_balance() {
+        let alpha = MachineModel::dec_alpha();
+        assert_eq!(loop_balance(&inputs(0.0, 3.0, 0.0), &alpha), f64::INFINITY);
+        assert_eq!(inputs(0.0, 3.0, 0.0).no_cache_balance(), f64::INFINITY);
+    }
+
+    #[test]
+    fn balance_improves_with_unrolling_shape() {
+        // Doubling flops while keeping memory ops fixed halves balance —
+        // the §3.3 narrative.
+        let alpha = MachineModel::dec_alpha();
+        let before = loop_balance(&inputs(1.0, 1.0, 0.0), &alpha);
+        let after = loop_balance(&inputs(2.0, 1.0, 0.0), &alpha);
+        assert_eq!(before, 1.0);
+        assert_eq!(after, 0.5);
+    }
+}

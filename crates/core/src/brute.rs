@@ -1,0 +1,265 @@
+//! The brute-force comparator (§5.3): Wolf, Maydan & Chen's approach.
+//!
+//! Instead of precomputing tables, this method *materialises* every
+//! candidate unrolled loop body, runs scalar replacement and the reuse
+//! analysis on it, and evaluates the metric — "exhaustively trying each
+//! unroll amount and computing their performance metric for each potential
+//! new loop body".  It produces the same decisions as the table-driven
+//! optimizer (that equivalence is a test), but costs a full re-analysis
+//! per candidate; `ujam-bench` measures the gap, reproducing the paper's
+//! argument for the table method.
+
+use crate::balance::{loop_balance, BalanceInputs};
+use crate::driver::{Optimized, Prediction};
+use crate::space::UnrollSpace;
+use ujam_ir::transform::{scalar_replacement, unroll_and_jam};
+use ujam_ir::LoopNest;
+use ujam_machine::MachineModel;
+use ujam_reuse::{nest_cache_cost, Localized};
+
+/// Evaluates the balance inputs of one candidate by actually transforming
+/// the loop: unroll-and-jam, scalar replacement, Equation 1 on the result.
+pub fn measure_candidate(
+    nest: &LoopNest,
+    unroll: &[u32],
+    machine: &MachineModel,
+) -> Option<BalanceInputs> {
+    let transformed = unroll_and_jam(nest, unroll).ok()?;
+    let replaced = scalar_replacement(&transformed);
+    let l = Localized::innermost(nest.depth());
+    Some(BalanceInputs {
+        flops: transformed.flops_per_iter() as f64,
+        memory_ops: replaced.stats.memory_ops() as f64,
+        cache_lines: nest_cache_cost(&transformed, &l, machine.line_elems()),
+        registers: replaced.stats.registers as i64,
+    })
+}
+
+/// Exhaustive search over the unroll space, re-analysing every candidate.
+///
+/// Mirrors [`crate::optimize_in_space`]'s objective exactly so the two
+/// can be compared both for agreement (correctness) and cost (the
+/// ablation benchmark).
+///
+/// # Panics
+///
+/// Panics if the space's depth does not match the nest.
+pub fn optimize_brute(
+    nest: &LoopNest,
+    machine: &MachineModel,
+    space: &UnrollSpace,
+) -> Optimized {
+    assert_eq!(space.depth(), nest.depth(), "space/nest depth mismatch");
+    let beta_m = machine.balance();
+    let regs = machine.registers_for_replacement() as i64;
+
+    let zero = vec![0u32; space.dims()];
+    let original = measure_candidate(nest, &space.full_vector(&zero), machine)
+        .expect("u = 0 always transforms");
+    let mut best = zero;
+    let mut best_inputs = original;
+    let mut best_score = (f64::INFINITY, usize::MAX);
+    for u in space.offsets() {
+        let full = space.full_vector(&u);
+        let Some(inputs) = measure_candidate(nest, &full, machine) else {
+            continue;
+        };
+        if inputs.registers > regs {
+            continue;
+        }
+        let beta = loop_balance(&inputs, machine);
+        let score = ((beta - beta_m).abs(), space.copies(&u));
+        if score.0 < best_score.0 - 1e-12
+            || ((score.0 - best_score.0).abs() <= 1e-12 && score.1 < best_score.1)
+        {
+            best_score = score;
+            best = u;
+            best_inputs = inputs;
+        }
+    }
+
+    let unroll = space.full_vector(&best);
+    let nest_out = unroll_and_jam(nest, &unroll).expect("winner is transformable");
+    Optimized {
+        nest: nest_out,
+        unroll,
+        predicted: prediction(&best_inputs, machine),
+        original: prediction(&original, machine),
+        space: space.clone(),
+    }
+}
+
+fn prediction(i: &BalanceInputs, machine: &MachineModel) -> Prediction {
+    Prediction {
+        balance: loop_balance(i, machine),
+        no_cache_balance: i.no_cache_balance(),
+        memory_ops: i.memory_ops,
+        flops: i.flops,
+        cache_lines: i.cache_lines,
+        registers: i.registers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::optimize_in_space;
+    use ujam_ir::NestBuilder;
+
+    /// The headline correctness claim: the table-driven optimizer and the
+    /// materialise-everything optimizer agree — the tables are not an
+    /// approximation on the paper's loop class.
+    #[test]
+    fn table_and_brute_optimizers_agree() {
+        let kernels = vec![
+            NestBuilder::new("intro")
+                .array("A", &[242])
+                .array("B", &[242])
+                .loop_("J", 1, 240)
+                .loop_("I", 1, 240)
+                .stmt("A(J) = A(J) + B(I)")
+                .build(),
+            NestBuilder::new("dmxpy")
+                .array("Y", &[242])
+                .array("X", &[242])
+                .array("M", &[242, 242])
+                .loop_("J", 1, 240)
+                .loop_("I", 1, 240)
+                .stmt("Y(I) = Y(I) + X(J) * M(I,J)")
+                .build(),
+            NestBuilder::new("stencil")
+                .array("A", &[244, 244])
+                .array("B", &[244, 244])
+                .loop_("J", 2, 241)
+                .loop_("I", 2, 241)
+                .stmt("B(I,J) = A(I,J-1) + A(I,J) + A(I,J+1) + A(I-1,J)")
+                .build(),
+        ];
+        for machine in [MachineModel::dec_alpha(), MachineModel::hp_parisc()] {
+            for nest in &kernels {
+                let space = UnrollSpace::new(nest.depth(), &[0], 5);
+                let table = optimize_in_space(nest, &machine, &space);
+                let brute = optimize_brute(nest, &machine, &space);
+                assert_eq!(
+                    table.unroll, brute.unroll,
+                    "{} on {}: table {:?} vs brute {:?}",
+                    nest.name(),
+                    machine.name(),
+                    table.unroll,
+                    brute.unroll
+                );
+                assert!(
+                    (table.predicted.balance - brute.predicted.balance).abs() < 1e-9,
+                    "{}: predicted balances diverge",
+                    nest.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn brute_respects_divisibility() {
+        // Trip 7 (prime): only u = 0 and u = 6 divide.
+        let nest = NestBuilder::new("prime")
+            .array("A", &[9])
+            .array("B", &[9])
+            .loop_("J", 1, 7)
+            .loop_("I", 1, 7)
+            .stmt("A(J) = A(J) + B(I)")
+            .build();
+        let space = UnrollSpace::new(2, &[0], 5);
+        let plan = optimize_brute(&nest, &MachineModel::dec_alpha(), &space);
+        assert!(plan.unroll[0] == 0, "no legal divisor within bound 5");
+    }
+}
+
+/// Evaluates a candidate with the *dependence-based* reuse model (Carr,
+/// PACT'96 — the paper's reference \[1\]): cache lines are derived from the
+/// transformed loop's dependence graph, **input dependences included**,
+/// instead of from uniformly generated sets.
+///
+/// Returns the balance inputs plus the bytes of dependence graph the
+/// analysis had to build — the storage the UGS model avoids (§5.1).
+pub fn measure_candidate_depbased(
+    nest: &LoopNest,
+    unroll: &[u32],
+    machine: &MachineModel,
+) -> Option<(BalanceInputs, usize)> {
+    let transformed = unroll_and_jam(nest, unroll).ok()?;
+    let replaced = scalar_replacement(&transformed);
+    let l = Localized::innermost(nest.depth());
+    let graph = ujam_dep::DepGraph::build(&transformed);
+    let bytes = graph.stats().bytes_all;
+    let lines = ujam_reuse::depbased::dep_cache_cost(
+        &transformed,
+        &graph,
+        &l,
+        machine.line_elems(),
+    );
+    Some((
+        BalanceInputs {
+            flops: transformed.flops_per_iter() as f64,
+            memory_ops: replaced.stats.memory_ops() as f64,
+            cache_lines: lines,
+            registers: replaced.stats.registers as i64,
+        },
+        bytes,
+    ))
+}
+
+/// The paper's *previous-work* optimizer: exhaustive search scored by the
+/// dependence-based reuse model.  Also reports the total dependence-graph
+/// bytes consumed across the search — the §5.1 cost the UGS tables avoid.
+///
+/// # Panics
+///
+/// Panics if the space's depth does not match the nest.
+pub fn optimize_depbased(
+    nest: &LoopNest,
+    machine: &MachineModel,
+    space: &UnrollSpace,
+) -> (Optimized, usize) {
+    assert_eq!(space.depth(), nest.depth(), "space/nest depth mismatch");
+    let beta_m = machine.balance();
+    let regs = machine.registers_for_replacement() as i64;
+
+    let zero = vec![0u32; space.dims()];
+    let (original, mut graph_bytes) =
+        measure_candidate_depbased(nest, &space.full_vector(&zero), machine)
+            .expect("u = 0 always transforms");
+    let mut best = zero;
+    let mut best_inputs = original;
+    let mut best_score = (f64::INFINITY, usize::MAX);
+    for u in space.offsets() {
+        let full = space.full_vector(&u);
+        let Some((inputs, bytes)) = measure_candidate_depbased(nest, &full, machine) else {
+            continue;
+        };
+        graph_bytes += bytes;
+        if inputs.registers > regs {
+            continue;
+        }
+        let beta = loop_balance(&inputs, machine);
+        let score = ((beta - beta_m).abs(), space.copies(&u));
+        if score.0 < best_score.0 - 1e-12
+            || ((score.0 - best_score.0).abs() <= 1e-12 && score.1 < best_score.1)
+        {
+            best_score = score;
+            best = u;
+            best_inputs = inputs;
+        }
+    }
+
+    let unroll = space.full_vector(&best);
+    let nest_out = unroll_and_jam(nest, &unroll).expect("winner is transformable");
+    (
+        Optimized {
+            nest: nest_out,
+            unroll,
+            predicted: prediction(&best_inputs, machine),
+            original: prediction(&original, machine),
+            space: space.clone(),
+        },
+        graph_bytes,
+    )
+}

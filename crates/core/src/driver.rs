@@ -1,0 +1,341 @@
+//! The end-to-end optimizer (§4.5): choose loops, build tables, search.
+
+use crate::balance::{loop_balance, BalanceInputs};
+use crate::space::UnrollSpace;
+use crate::tables::CostTables;
+use ujam_dep::{safe_unroll_bounds, DepGraph, UNROLL_CAP};
+use ujam_ir::{transform::unroll_and_jam, LoopNest};
+use ujam_machine::MachineModel;
+use ujam_reuse::{nest_cache_cost, Localized};
+
+/// Which balance model guides the search (§5.2's two experimental arms).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CostModel {
+    /// Assume every access hits in cache (Carr & Kennedy '94): the "No
+    /// Cache" series of Figures 8–9.
+    AllHits,
+    /// Charge unserviced cache lines at the miss ratio (§3.2): the
+    /// "Cache" series.
+    CacheAware,
+}
+
+/// The predicted behaviour of a (possibly unrolled) loop body.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Prediction {
+    /// Loop balance with the cache model (§3.2).
+    pub balance: f64,
+    /// Loop balance assuming every access hits (the older model).
+    pub no_cache_balance: f64,
+    /// Memory operations per iteration.
+    pub memory_ops: f64,
+    /// Floating-point operations per iteration.
+    pub flops: f64,
+    /// Cache lines fetched per iteration.
+    pub cache_lines: f64,
+    /// Registers consumed by scalar replacement.
+    pub registers: i64,
+}
+
+impl Prediction {
+    fn from_inputs(i: &BalanceInputs, machine: &MachineModel) -> Prediction {
+        Prediction {
+            balance: loop_balance(i, machine),
+            no_cache_balance: i.no_cache_balance(),
+            memory_ops: i.memory_ops,
+            flops: i.flops,
+            cache_lines: i.cache_lines,
+            registers: i.registers,
+        }
+    }
+}
+
+/// Result of the optimization: the chosen unroll vector, the transformed
+/// nest, and the predicted before/after behaviour.
+#[derive(Clone, Debug)]
+pub struct Optimized {
+    /// The unrolled-and-jammed nest (scalar replacement is a separate,
+    /// composable step: `ujam_ir::transform::scalar_replacement`).
+    pub nest: LoopNest,
+    /// The chosen unroll vector, one entry per nest loop.
+    pub unroll: Vec<u32>,
+    /// Predicted behaviour at the chosen vector.
+    pub predicted: Prediction,
+    /// Predicted behaviour of the original loop (`u = 0`).
+    pub original: Prediction,
+    /// The space that was searched.
+    pub space: UnrollSpace,
+}
+
+/// Scores a candidate loop for unrolling: how much cache traffic would
+/// localizing it remove (Equation 1 with and without the loop in `L`)?
+fn locality_score(nest: &LoopNest, loop_idx: usize, line: i64) -> f64 {
+    let depth = nest.depth();
+    let inner = Localized::innermost(depth);
+    let with = Localized::with_unrolled(depth, &[loop_idx]);
+    nest_cache_cost(nest, &inner, line) - nest_cache_cost(nest, &with, line)
+}
+
+/// Chooses up to two loops to unroll (§4.5: "we pick the two loops with
+/// the best locality as measured by Equation 1"), restricted to loops the
+/// dependence analysis allows to be jammed at all.
+fn choose_loops(nest: &LoopNest, machine: &MachineModel, bounds: &[u32]) -> Vec<usize> {
+    let line = machine.line_elems();
+    let mut scored: Vec<(usize, f64)> = (0..nest.depth().saturating_sub(1))
+        .filter(|&l| bounds[l] >= 1)
+        .map(|l| (l, locality_score(nest, l, line)))
+        .collect();
+    // Highest locality benefit first; ties prefer outer position.
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite").then(a.0.cmp(&b.0)));
+    let mut chosen: Vec<usize> = scored
+        .iter()
+        .filter(|&&(_, s)| s > 0.0)
+        .take(2)
+        .map(|&(l, _)| l)
+        .collect();
+    // A memory-bound loop can still profit from pure flop replication
+    // (merging loads of invariant or group-reusing references); keep at
+    // least one candidate when any loop is jammable.
+    if chosen.is_empty() {
+        if let Some(&(l, _)) = scored.first() {
+            chosen.push(l);
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Optimizes a nest for a machine: selects loops, builds the tables,
+/// searches the unroll space, and applies the winning transformation.
+///
+/// The search minimizes `|β_L(u) − β_M|` subject to the register
+/// constraint (§3.3's integer optimization problem), over unroll vectors
+/// that the dependence analysis proves safe and whose factors divide the
+/// loop trip counts (so the transformation applies without a clean-up
+/// loop).  Ties prefer fewer body copies.
+///
+/// # Example
+///
+/// ```
+/// use ujam_core::optimize;
+/// use ujam_ir::NestBuilder;
+/// use ujam_machine::MachineModel;
+/// let nest = NestBuilder::new("dmxpy")
+///     .array("Y", &[256]).array("X", &[256]).array("M", &[256, 256])
+///     .loop_("J", 1, 256).loop_("I", 1, 256)
+///     .stmt("Y(I) = Y(I) + X(J) * M(I,J)")
+///     .build();
+/// let plan = optimize(&nest, &MachineModel::dec_alpha());
+/// assert!(plan.unroll[0] >= 1, "dmxpy profits from unrolling J");
+/// assert!(plan.predicted.balance < plan.original.balance);
+/// ```
+pub fn optimize(nest: &LoopNest, machine: &MachineModel) -> Optimized {
+    optimize_with(nest, machine, CostModel::CacheAware)
+}
+
+/// [`optimize`] with an explicit cost model (§5.2 compares both arms).
+pub fn optimize_with(nest: &LoopNest, machine: &MachineModel, model: CostModel) -> Optimized {
+    let graph = DepGraph::build(nest);
+    let bounds = safe_unroll_bounds(nest, &graph);
+    let loops = choose_loops(nest, machine, &bounds);
+    // Each chosen loop searches up to its own safety bound, capped for
+    // tractability.
+    let per_loop: Vec<u32> = loops
+        .iter()
+        .map(|&l| bounds[l].min(UNROLL_CAP).min(8))
+        .collect();
+    let space = UnrollSpace::with_bounds(nest.depth(), &loops, &per_loop);
+    optimize_in_space_with(nest, machine, &space, model)
+}
+
+/// [`optimize`] with an explicit, caller-chosen unroll space.
+///
+/// # Panics
+///
+/// Panics if the space's depth does not match the nest.
+pub fn optimize_in_space(
+    nest: &LoopNest,
+    machine: &MachineModel,
+    space: &UnrollSpace,
+) -> Optimized {
+    optimize_in_space_with(nest, machine, space, CostModel::CacheAware)
+}
+
+/// [`optimize_in_space`] with an explicit cost model.
+///
+/// # Panics
+///
+/// Panics if the space's depth does not match the nest.
+pub fn optimize_in_space_with(
+    nest: &LoopNest,
+    machine: &MachineModel,
+    space: &UnrollSpace,
+    model: CostModel,
+) -> Optimized {
+    assert_eq!(space.depth(), nest.depth(), "space/nest depth mismatch");
+    let tables = CostTables::build(nest, space, machine.line_elems());
+    let beta_m = machine.balance();
+    let regs = machine.registers_for_replacement() as i64;
+
+    let inputs_at = |u: &[u32]| BalanceInputs {
+        flops: tables.flops(u) as f64,
+        memory_ops: tables.memory_ops(u) as f64,
+        cache_lines: tables.cache_lines(u),
+        registers: tables.registers(u),
+    };
+
+    let zero = vec![0u32; space.dims()];
+    let original_inputs = inputs_at(&zero);
+    let mut best = zero.clone();
+    let mut best_score = (f64::INFINITY, usize::MAX);
+    for u in space.offsets() {
+        // The factors must divide the trip counts for a clean transform.
+        let divisible = space
+            .loops()
+            .iter()
+            .zip(&u)
+            .all(|(&l, &ul)| nest.loops()[l].trip_count() % (ul as i64 + 1) == 0);
+        if !divisible {
+            continue;
+        }
+        let inputs = inputs_at(&u);
+        if inputs.registers > regs {
+            continue;
+        }
+        let beta = match model {
+            CostModel::AllHits => inputs.no_cache_balance(),
+            CostModel::CacheAware => loop_balance(&inputs, machine),
+        };
+        let score = ((beta - beta_m).abs(), space.copies(&u));
+        if score.0 < best_score.0 - 1e-12
+            || ((score.0 - best_score.0).abs() <= 1e-12 && score.1 < best_score.1)
+        {
+            best_score = score;
+            best = u;
+        }
+    }
+
+    let unroll = space.full_vector(&best);
+    let nest_out = unroll_and_jam(nest, &unroll).expect("search only visits legal vectors");
+    Optimized {
+        nest: nest_out,
+        unroll,
+        predicted: Prediction::from_inputs(&inputs_at(&best), machine),
+        original: Prediction::from_inputs(&original_inputs, machine),
+        space: space.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ujam_ir::NestBuilder;
+
+    fn intro(n: i64) -> LoopNest {
+        NestBuilder::new("intro")
+            .array("A", &[n + 2])
+            .array("B", &[n + 2])
+            .loop_("J", 1, n)
+            .loop_("I", 1, n)
+            .stmt("A(J) = A(J) + B(I)")
+            .build()
+    }
+
+    #[test]
+    fn intro_loop_is_unrolled_toward_machine_balance() {
+        let plan = optimize(&intro(240), &MachineModel::dec_alpha());
+        assert!(plan.unroll[0] >= 1, "J should be unrolled: {:?}", plan.unroll);
+        assert_eq!(plan.unroll[1], 0);
+        assert!(plan.predicted.no_cache_balance < plan.original.no_cache_balance);
+        // The transformed nest is really unrolled.
+        assert_eq!(
+            plan.nest.body().len(),
+            plan.unroll[0] as usize + 1
+        );
+    }
+
+    #[test]
+    fn register_constraint_limits_unrolling() {
+        let tiny = MachineModel::builder("tiny")
+            .rates(1.0, 1.0)
+            .registers(8)
+            .cache(8 * 1024, 32, 1)
+            .miss(20.0, 1.0)
+            .build();
+        let big = MachineModel::builder("big")
+            .rates(1.0, 4.0)
+            .registers(128)
+            .cache(8 * 1024, 32, 1)
+            .miss(20.0, 1.0)
+            .build();
+        let nest = intro(240);
+        let small_plan = optimize(&nest, &tiny);
+        let big_plan = optimize(&nest, &big);
+        assert!(small_plan.predicted.registers <= 2);
+        assert!(big_plan.unroll[0] >= small_plan.unroll[0]);
+    }
+
+    #[test]
+    fn balanced_loop_is_left_alone() {
+        // One load, two flops on a 0.5-balance machine: already matched.
+        let nest = NestBuilder::new("bal")
+            .array("A", &[242])
+            .array("B", &[242])
+            .loop_("J", 1, 240)
+            .loop_("I", 1, 240)
+            .stmt("A(J) = A(J) + B(I) * B(I) + 2.0")
+            .build();
+        // no_cache model: M = 1 (B load; A hoisted), F = 3.
+        let machine = MachineModel::builder("match")
+            .rates(1.0, 3.0)
+            .registers(32)
+            .cache(8 * 1024, 32, 1)
+            .miss(1.0, 1.0) // miss ratio 1: cache term negligible
+            .build();
+        let plan = optimize(&nest, &machine);
+        assert_eq!(
+            plan.unroll,
+            vec![0, 0],
+            "already-balanced loop must not be unrolled"
+        );
+    }
+
+    #[test]
+    fn dependence_safety_bounds_the_search() {
+        // A(I,J) = A(I+1,J-2): unrolling J beyond 1 is illegal.
+        let nest = NestBuilder::new("bw")
+            .array("A", &[244, 244])
+            .loop_("J", 3, 242)
+            .loop_("I", 2, 241)
+            .stmt("A(I,J) = A(I+1,J-2) * 0.5")
+            .build();
+        let plan = optimize(&nest, &MachineModel::dec_alpha());
+        assert!(plan.unroll[0] <= 1, "safety bound violated: {:?}", plan.unroll);
+    }
+
+    #[test]
+    fn matmul_unrolls_two_loops_on_wide_machine() {
+        let nest = NestBuilder::new("mm")
+            .array("A", &[64, 64])
+            .array("B", &[64, 64])
+            .array("C", &[64, 64])
+            .loop_("J", 1, 60)
+            .loop_("K", 1, 60)
+            .loop_("I", 1, 60)
+            .stmt("C(I,J) = C(I,J) + A(I,K) * B(K,J)")
+            .build();
+        let machine = MachineModel::builder("wide")
+            .rates(1.0, 2.0)
+            .registers(64)
+            .cache(8 * 1024, 32, 1)
+            .miss(10.0, 1.0)
+            .build();
+        let plan = optimize(&nest, &machine);
+        let unrolled_loops = plan.unroll.iter().filter(|&&u| u > 0).count();
+        assert!(
+            unrolled_loops >= 1,
+            "matmul should be unrolled: {:?}",
+            plan.unroll
+        );
+        assert!(plan.predicted.balance <= plan.original.balance);
+    }
+}

@@ -1,0 +1,61 @@
+//! Unroll-and-jam guided by uniformly generated sets — the algorithm of
+//! Carr & Guan (MICRO 1997).
+//!
+//! Unroll-and-jam lowers a loop's *balance* — memory operations (plus cache
+//! penalties) per flop — toward the machine's balance, subject to register
+//! pressure.  The expensive part is predicting, for every candidate unroll
+//! vector `u`, how many memory operations, cache lines, and registers the
+//! unrolled loop will need.  Previous approaches either stored read–read
+//! *input dependences* (most of the dependence graph; see `ujam-dep`) or
+//! materialised every candidate body and re-analysed it (Wolf, Maydan &
+//! Chen).  This crate implements the paper's alternative:
+//!
+//! 1. partition references into uniformly generated sets (`ujam-reuse`),
+//! 2. precompute small **tables indexed by copy offset** whose prefix sums
+//!    give the number of group-temporal sets ([`gts_table`]), group-spatial
+//!    sets ([`gss_table`]), and register-reuse streams ([`rrs_tables`])
+//!    after unrolling by any `u` — Figures 2–5 of the paper,
+//! 3. evaluate loop balance from those tables ([`balance`]) and search the
+//!    whole unroll space for the best legal vector ([`optimize`], §4.5).
+//!
+//! The brute-force comparator ([`brute`]) and the analytic copy-vector
+//! evaluator ([`streams`]) double as correctness oracles: property tests
+//! assert `tables == analytic == full-IR-transform` on the paper's loop
+//! class.
+//!
+//! # Example
+//!
+//! ```
+//! use ujam_ir::NestBuilder;
+//! use ujam_machine::MachineModel;
+//! use ujam_core::optimize;
+//!
+//! // The paper's §3.3 example: DO J; DO I; A(J) = A(J) + B(I).
+//! let nest = NestBuilder::new("intro")
+//!     .array("A", &[512]).array("B", &[512])
+//!     .loop_("J", 1, 512).loop_("I", 1, 512)
+//!     .stmt("A(J) = A(J) + B(I)")
+//!     .build();
+//! let plan = optimize(&nest, &MachineModel::dec_alpha());
+//! // Unrolling J improves balance: the optimizer picks a non-trivial u.
+//! assert!(plan.unroll[0] >= 1);
+//! assert!(plan.predicted.balance <= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod brute;
+mod driver;
+mod space;
+pub mod streams;
+pub mod tables;
+
+pub use balance::{loop_balance, BalanceInputs};
+pub use driver::{
+    optimize, optimize_in_space, optimize_in_space_with, optimize_with, CostModel, Optimized,
+    Prediction,
+};
+pub use space::{OffsetIter, Table, UnrollSpace};
+pub use tables::{gss_table, gts_table, rrs_tables, CostTables, RrsTables};

@@ -1,0 +1,318 @@
+//! The unroll space `%` and offset-indexed tables (§4.1).
+
+use std::fmt;
+
+/// The bounded space of unroll vectors for a chosen set of loops.
+///
+/// `loops` are nest-loop positions (outermost = 0), ascending, never
+/// including the innermost loop; each dimension carries its own maximum
+/// unroll amount (typically that loop's dependence-safety bound), so
+/// offsets range over the box `Π [0, bound_d]`.
+///
+/// # Example
+///
+/// ```
+/// use ujam_core::UnrollSpace;
+/// let s = UnrollSpace::new(3, &[0, 1], 2);
+/// assert_eq!(s.len(), 9);
+/// assert_eq!(s.offsets().count(), 9);
+/// assert_eq!(s.full_vector(&[2, 1]), vec![2, 1, 0]);
+///
+/// let r = UnrollSpace::with_bounds(3, &[0, 1], &[3, 1]);
+/// assert_eq!(r.len(), 8);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnrollSpace {
+    depth: usize,
+    loops: Vec<usize>,
+    bounds: Vec<u32>,
+}
+
+impl UnrollSpace {
+    /// Creates a space with one uniform per-dimension bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a loop is out of range, duplicated, or innermost.
+    pub fn new(depth: usize, loops: &[usize], bound: u32) -> UnrollSpace {
+        UnrollSpace::with_bounds(depth, loops, &vec![bound; loops.len()])
+    }
+
+    /// Creates a space with an individual bound per unrolled loop
+    /// (parallel to `loops`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a loop is out of range, duplicated, or innermost, or if
+    /// `bounds.len() != loops.len()`.
+    pub fn with_bounds(depth: usize, loops: &[usize], bounds: &[u32]) -> UnrollSpace {
+        assert_eq!(bounds.len(), loops.len(), "one bound per unrolled loop");
+        let mut pairs: Vec<(usize, u32)> =
+            loops.iter().copied().zip(bounds.iter().copied()).collect();
+        pairs.sort_unstable_by_key(|&(l, _)| l);
+        pairs.dedup_by_key(|&mut (l, _)| l);
+        assert_eq!(pairs.len(), loops.len(), "duplicate unroll loop");
+        assert!(
+            pairs.iter().all(|&(l, _)| l + 1 < depth),
+            "unroll loops must be outer loops of the nest"
+        );
+        UnrollSpace {
+            depth,
+            loops: pairs.iter().map(|&(l, _)| l).collect(),
+            bounds: pairs.iter().map(|&(_, b)| b).collect(),
+        }
+    }
+
+    /// Nest depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The unrolled loop positions, ascending.
+    pub fn loops(&self) -> &[usize] {
+        &self.loops
+    }
+
+    /// The largest per-dimension bound (inclusive).
+    pub fn bound(&self) -> u32 {
+        self.bounds.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Per-dimension bounds (inclusive), parallel to [`UnrollSpace::loops`].
+    pub fn bounds(&self) -> &[u32] {
+        &self.bounds
+    }
+
+    /// Number of dimensions (unrolled loops).
+    pub fn dims(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Number of offset vectors in the box.
+    pub fn len(&self) -> usize {
+        self.bounds.iter().map(|&b| b as usize + 1).product()
+    }
+
+    /// `true` for the degenerate zero-dimensional space.
+    pub fn is_empty(&self) -> bool {
+        self.dims() == 0
+    }
+
+    /// Iterates all offsets in lexicographic order.
+    pub fn offsets(&self) -> OffsetIter {
+        OffsetIter {
+            bounds: self.bounds.clone(),
+            next: Some(vec![0; self.dims()]),
+        }
+    }
+
+    /// Flat row-major index of an offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset is outside the box.
+    pub fn index(&self, offset: &[u32]) -> usize {
+        assert_eq!(offset.len(), self.dims(), "offset arity mismatch");
+        let mut idx = 0usize;
+        for (&o, &b) in offset.iter().zip(&self.bounds) {
+            assert!(o <= b, "offset outside the unroll space");
+            idx = idx * (b as usize + 1) + o as usize;
+        }
+        idx
+    }
+
+    /// Number of body copies `Π (u_i + 1)` produced by unrolling by `u`.
+    pub fn copies(&self, u: &[u32]) -> usize {
+        assert_eq!(u.len(), self.dims(), "offset arity mismatch");
+        u.iter().map(|&x| x as usize + 1).product()
+    }
+
+    /// Embeds a space-offset into a full per-nest-loop unroll vector.
+    pub fn full_vector(&self, u: &[u32]) -> Vec<u32> {
+        assert_eq!(u.len(), self.dims(), "offset arity mismatch");
+        let mut out = vec![0u32; self.depth];
+        for (&l, &v) in self.loops.iter().zip(u) {
+            out[l] = v;
+        }
+        out
+    }
+}
+
+/// Iterator over the offsets of an [`UnrollSpace`] in lexicographic order.
+#[derive(Clone, Debug)]
+pub struct OffsetIter {
+    bounds: Vec<u32>,
+    next: Option<Vec<u32>>,
+}
+
+impl Iterator for OffsetIter {
+    type Item = Vec<u32>;
+
+    fn next(&mut self) -> Option<Vec<u32>> {
+        let current = self.next.take()?;
+        // Compute the successor.
+        let mut succ = current.clone();
+        for d in (0..self.bounds.len()).rev() {
+            if succ[d] < self.bounds[d] {
+                succ[d] += 1;
+                self.next = Some(succ);
+                return Some(current);
+            }
+            succ[d] = 0;
+        }
+        // Overflowed every dimension: `current` was the last offset.  A
+        // zero-dimensional space yields exactly one (empty) offset.
+        self.next = None;
+        Some(current)
+    }
+}
+
+/// An integer table indexed by unroll offset, with the prefix-sum query the
+/// paper's `Sum` function performs (Figure 2).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Table {
+    space: UnrollSpace,
+    data: Vec<i64>,
+}
+
+impl Table {
+    /// A table with every entry set to `fill`.
+    pub fn filled(space: UnrollSpace, fill: i64) -> Table {
+        let n = space.len();
+        Table {
+            space,
+            data: vec![fill; n],
+        }
+    }
+
+    /// The table's unroll space.
+    pub fn space(&self) -> &UnrollSpace {
+        &self.space
+    }
+
+    /// Entry at an offset.
+    pub fn get(&self, offset: &[u32]) -> i64 {
+        self.data[self.space.index(offset)]
+    }
+
+    /// Adds `delta` to the entry at an offset.
+    pub fn add(&mut self, offset: &[u32], delta: i64) {
+        let i = self.space.index(offset);
+        self.data[i] += delta;
+    }
+
+    /// Adds `delta` to every entry in the *union of up-sets* of `points`:
+    /// offsets `o` with `o ≥ p` (component-wise) for at least one `p`.
+    ///
+    /// This is the merge-region update of Figures 2/3/5: once a copy's
+    /// offset dominates a merge point it stops contributing a new group,
+    /// and dominating several merge points still merges it only once.
+    pub fn add_upset_union(&mut self, points: &[Vec<u32>], delta: i64) {
+        if points.is_empty() {
+            return;
+        }
+        for o in self.space.offsets() {
+            if points
+                .iter()
+                .any(|p| p.iter().zip(&o).all(|(&pi, &oi)| oi >= pi))
+            {
+                let i = self.space.index(&o);
+                self.data[i] += delta;
+            }
+        }
+    }
+
+    /// The paper's `Sum`: total over the box `[0, u]` — the value of the
+    /// tabulated quantity after unrolling by `u`.
+    pub fn prefix_sum(&self, u: &[u32]) -> i64 {
+        assert_eq!(u.len(), self.space.dims(), "offset arity mismatch");
+        let mut total = 0;
+        for o in self.space.offsets() {
+            if o.iter().zip(u).all(|(&oi, &ui)| oi <= ui) {
+                total += self.data[self.space.index(&o)];
+            }
+        }
+        total
+    }
+}
+
+impl fmt::Debug for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Table over {:?}: {:?}", self.space.loops(), self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_enumerate_lexicographically() {
+        let s = UnrollSpace::new(3, &[0, 1], 1);
+        let all: Vec<Vec<u32>> = s.offsets().collect();
+        assert_eq!(
+            all,
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
+        );
+    }
+
+    #[test]
+    fn zero_dimensional_space_has_one_offset() {
+        let s = UnrollSpace::new(2, &[], 4);
+        assert_eq!(s.len(), 1);
+        let all: Vec<Vec<u32>> = s.offsets().collect();
+        assert_eq!(all, vec![Vec::<u32>::new()]);
+    }
+
+    #[test]
+    fn index_is_row_major() {
+        let s = UnrollSpace::new(3, &[0, 1], 2);
+        assert_eq!(s.index(&[0, 0]), 0);
+        assert_eq!(s.index(&[0, 2]), 2);
+        assert_eq!(s.index(&[1, 0]), 3);
+        assert_eq!(s.index(&[2, 2]), 8);
+    }
+
+    #[test]
+    fn copies_and_full_vector() {
+        let s = UnrollSpace::new(4, &[0, 2], 3);
+        assert_eq!(s.copies(&[1, 2]), 6);
+        assert_eq!(s.full_vector(&[1, 2]), vec![1, 0, 2, 0]);
+    }
+
+    #[test]
+    fn prefix_sum_counts_box() {
+        let s = UnrollSpace::new(2, &[0], 4);
+        let t = Table::filled(s, 3);
+        assert_eq!(t.prefix_sum(&[0]), 3);
+        assert_eq!(t.prefix_sum(&[4]), 15);
+    }
+
+    #[test]
+    fn upset_union_applies_once_per_point() {
+        let s = UnrollSpace::new(3, &[0, 1], 2);
+        let mut t = Table::filled(s, 2);
+        // Merge regions from (1,0) and (0,2): their union covers 7 of the
+        // 9 offsets ((0,0), (0,1) remain).
+        t.add_upset_union(&[vec![1, 0], vec![0, 2]], -1);
+        assert_eq!(t.get(&[0, 0]), 2);
+        assert_eq!(t.get(&[0, 1]), 2);
+        assert_eq!(t.get(&[0, 2]), 1);
+        assert_eq!(t.get(&[1, 0]), 1);
+        assert_eq!(t.get(&[2, 2]), 1, "overlap decremented once");
+        assert_eq!(t.prefix_sum(&[2, 2]), 2 * 9 - 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "outer loops")]
+    fn innermost_loop_rejected() {
+        let _ = UnrollSpace::new(2, &[1], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the unroll space")]
+    fn out_of_box_offset_panics() {
+        let s = UnrollSpace::new(2, &[0], 2);
+        let _ = s.index(&[3]);
+    }
+}

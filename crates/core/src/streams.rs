@@ -1,0 +1,506 @@
+//! Analytic copy-vector evaluation of an unrolled loop body.
+//!
+//! Unrolling by offset `u'` turns a reference `A(H·i + c)` into the copy
+//! `A(H·i + c + H·u')` (§4.1) — so every quantity scalar replacement
+//! derives from the unrolled body is a function of the multiset of constant
+//! vectors `{ c + H·u' }`.  This module computes those quantities directly
+//! from the vectors, without materialising any IR: it is the exact
+//! *semantics* the paper's prefix-sum tables approximate in O(1), and it
+//! doubles as the correctness oracle for them (property tests assert
+//! `tables == analytic == scalar_replacement(unroll_and_jam(nest))`).
+
+use crate::space::UnrollSpace;
+use std::collections::BTreeMap;
+use ujam_ir::LoopNest;
+use ujam_linalg::Mat;
+use ujam_reuse::UgsSet;
+
+/// The per-iteration counts of an unrolled, scalar-replaced body.
+///
+/// Field meanings mirror `ujam_ir::transform::ReplacementStats`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CopyCounts {
+    /// Array loads remaining per (unrolled) iteration.
+    pub loads: usize,
+    /// Array stores remaining.
+    pub stores: usize,
+    /// Loads removed by register reuse.
+    pub replaced_loads: usize,
+    /// Loads hoisted with innermost-invariant streams.
+    pub hoisted_loads: usize,
+    /// Stores hoisted with innermost-invariant streams.
+    pub hoisted_stores: usize,
+    /// Floating-point registers consumed by the replaced values.
+    pub registers: usize,
+    /// Number of value streams.
+    pub streams: usize,
+}
+
+impl CopyCounts {
+    /// Memory operations per iteration (`M` of §3.2).
+    pub fn memory_ops(&self) -> usize {
+        self.loads + self.stores
+    }
+}
+
+/// One reference copy: its adjusted constant vector and body position.
+#[derive(Clone, Debug)]
+struct Copy {
+    /// `c + H·u'` for the copy's offset.
+    c: Vec<i64>,
+    /// Lexicographic rank of the copy's offset (jam emits copies in this
+    /// order), then original reference order — the unrolled body position.
+    order: (usize, usize),
+    is_def: bool,
+}
+
+/// Evaluates scalar-replacement counts for unrolling by `u`, analytically.
+///
+/// # Example
+///
+/// ```
+/// use ujam_core::{streams::replacement_counts_at, UnrollSpace};
+/// use ujam_ir::NestBuilder;
+/// let nest = NestBuilder::new("intro")
+///     .array("A", &[512]).array("B", &[512])
+///     .loop_("J", 1, 512).loop_("I", 1, 512)
+///     .stmt("A(J) = A(J) + B(I)")
+///     .build();
+/// let space = UnrollSpace::new(2, &[0], 4);
+/// let counts = replacement_counts_at(&nest, &space, &[1]);
+/// // Two copies: A(J), A(J+1) hoisted; B(I) loads once, its copy reuses.
+/// assert_eq!(counts.loads, 1);
+/// assert_eq!(counts.replaced_loads, 1);
+/// ```
+pub fn replacement_counts_at(nest: &LoopNest, space: &UnrollSpace, u: &[u32]) -> CopyCounts {
+    let ugs = UgsSet::partition(nest);
+    let mut counts = CopyCounts::default();
+    for set in &ugs {
+        tally_ugs(set, space, u, nest.depth(), &mut counts);
+    }
+    counts
+}
+
+/// Builds the copies of one UGS at unroll `u` and tallies its streams.
+fn tally_ugs(
+    set: &UgsSet,
+    space: &UnrollSpace,
+    u: &[u32],
+    depth: usize,
+    counts: &mut CopyCounts,
+) {
+    let copies = materialize_copies(set, space, u, depth);
+    let inner_col: Vec<i64> = set.h().col(depth - 1);
+    let invariant = inner_col.iter().all(|&x| x == 0);
+
+    // Partition copies into streams by canonical signature: two copies are
+    // in the same stream iff `c₁ − c₂ = d·inner_col`, which holds exactly
+    // when their signatures (c with the key quotient divided out) match.
+    let mut groups: BTreeMap<Vec<i64>, Vec<(Copy, i64)>> = BTreeMap::new();
+    for copy in copies {
+        let (sig, key) = stream_signature(&copy.c, &inner_col);
+        groups.entry(sig).or_default().push((copy, key));
+    }
+
+    for (_, mut members) in groups.into_values().map(|m| ((), m)) {
+        counts.streams += 1;
+        // Touch order: larger key first; ties by body order.
+        members.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.order.cmp(&b.0.order)));
+        if invariant {
+            counts.registers += 1;
+            for (m, _) in &members {
+                if m.is_def {
+                    counts.hoisted_stores += 1;
+                } else {
+                    counts.hoisted_loads += 1;
+                }
+            }
+            continue;
+        }
+        // Split into register-reuse sets at defs.
+        let mut sets: Vec<Vec<&(Copy, i64)>> = Vec::new();
+        for m in &members {
+            if m.0.is_def || sets.is_empty() {
+                sets.push(vec![m]);
+            } else {
+                sets.last_mut().expect("non-empty").push(m);
+            }
+        }
+        for rrs in sets {
+            let leader = rrs[0];
+            let rest = &rrs[1..];
+            if leader.0.is_def {
+                counts.stores += 1;
+            } else {
+                counts.loads += 1;
+            }
+            if rest.is_empty() {
+                continue;
+            }
+            let span = (leader.1 - rest.iter().map(|m| m.1).min().expect("non-empty")) as usize;
+            counts.registers += span + 1;
+            counts.replaced_loads += rest.len();
+        }
+    }
+}
+
+/// The number of group-spatial sets of one UGS after unrolling by `u`,
+/// evaluated analytically over copy vectors (greedy leader walk in
+/// lexicographic order, exactly as `ujam_reuse::group_spatial_sets` walks
+/// the unrolled nest's references).
+pub fn gss_count_at(
+    set: &UgsSet,
+    space: &UnrollSpace,
+    u: &[u32],
+    depth: usize,
+    line_elems: i64,
+) -> usize {
+    let mut copies = materialize_copies(set, space, u, depth);
+    copies.sort_by(|a, b| a.c.cmp(&b.c).then(a.order.cmp(&b.order)));
+    let h = set.h();
+    let inner = depth - 1;
+    let mut leaders: Vec<Vec<i64>> = Vec::new();
+    'copies: for copy in &copies {
+        for leader in &leaders {
+            let delta: Vec<i64> = copy.c.iter().zip(leader).map(|(a, b)| a - b).collect();
+            if spatially_related(h, &delta, inner, line_elems) {
+                continue 'copies;
+            }
+        }
+        leaders.push(copy.c.clone());
+    }
+    leaders.len()
+}
+
+/// The number of group-temporal sets (innermost-localized value streams)
+/// after unrolling by `u`, evaluated analytically.
+pub fn gts_count_at(set: &UgsSet, space: &UnrollSpace, u: &[u32], depth: usize) -> usize {
+    let copies = materialize_copies(set, space, u, depth);
+    let inner_col: Vec<i64> = set.h().col(depth - 1);
+    let mut sigs: std::collections::BTreeSet<Vec<i64>> = std::collections::BTreeSet::new();
+    for copy in &copies {
+        sigs.insert(stream_signature(&copy.c, &inner_col).0);
+    }
+    sigs.len()
+}
+
+/// The canonical stream signature and key of a constant vector relative to
+/// the innermost column of `H`: `c₁ − c₂ = d·col` iff the signatures agree,
+/// in which case `key₁ − key₂ = d`.
+///
+/// For the all-zero column (innermost-invariant references) the signature
+/// is `c` itself and the key is 0.
+fn stream_signature(c: &[i64], col: &[i64]) -> (Vec<i64>, i64) {
+    let Some(r) = col.iter().position(|&k| k != 0) else {
+        return (c.to_vec(), 0);
+    };
+    let k = col[r];
+    let key = c[r].div_euclid(k.abs()) * k.signum();
+    let sig: Vec<i64> = c.iter().zip(col).map(|(&ci, &ki)| ci - key * ki).collect();
+    (sig, key)
+}
+
+/// Instantiates every member copy of a UGS for unroll vector `u`.
+fn materialize_copies(set: &UgsSet, space: &UnrollSpace, u: &[u32], depth: usize) -> Vec<Copy> {
+    let h = set.h();
+    let mut out = Vec::new();
+    for (rank, offset) in box_offsets(u).into_iter().enumerate() {
+        // Embed the offset into a full iteration-space vector.
+        let mut full = vec![0i64; depth];
+        for (&l, &o) in space.loops().iter().zip(&offset) {
+            full[l] = o as i64;
+        }
+        let shift = h.mul_vec(&full);
+        for (ord, m) in set.members().iter().enumerate() {
+            let c: Vec<i64> = m.c.iter().zip(&shift).map(|(a, b)| a + b).collect();
+            out.push(Copy {
+                c,
+                order: (rank, ord),
+                is_def: m.is_def,
+            });
+        }
+    }
+    out
+}
+
+/// All offsets `0 ≤ o ≤ u` in lexicographic order.
+fn box_offsets(u: &[u32]) -> Vec<Vec<u32>> {
+    let mut all = vec![Vec::new()];
+    for &hi in u {
+        let mut next = Vec::with_capacity(all.len() * (hi as usize + 1));
+        for prefix in &all {
+            for k in 0..=hi {
+                let mut o = prefix.clone();
+                o.push(k);
+                next.push(o);
+            }
+        }
+        all = next;
+    }
+    all
+}
+
+/// If `c1 - c2 == d * col` for an integer `d`, returns `d`.
+fn inner_distance(c1: &[i64], c2: &[i64], col: &[i64]) -> Option<i64> {
+    let mut d: Option<i64> = None;
+    for ((&a, &b), &k) in c1.iter().zip(c2).zip(col) {
+        let delta = a - b;
+        if k == 0 {
+            if delta != 0 {
+                return None;
+            }
+        } else {
+            if delta % k != 0 {
+                return None;
+            }
+            let cand = delta / k;
+            match d {
+                None => d = Some(cand),
+                Some(prev) if prev != cand => return None,
+                Some(_) => {}
+            }
+        }
+    }
+    Some(d.unwrap_or(0))
+}
+
+/// Spatial relation between copy vectors: every subscript dimension except
+/// the first closes along the innermost loop, and the first-dimension
+/// residue (reduced modulo the innermost first-row stride, if any) fits in
+/// a cache line.
+fn spatially_related(h: &Mat, delta: &[i64], inner: usize, line_elems: i64) -> bool {
+    if delta.is_empty() {
+        return true;
+    }
+    // Rows below the first must close exactly along the inner column.
+    let mut d: Option<i64> = None;
+    for r in 1..h.rows() {
+        let k = h[(r, inner)];
+        if k == 0 {
+            if delta[r] != 0 {
+                return false;
+            }
+        } else {
+            if delta[r] % k != 0 {
+                return false;
+            }
+            let cand = delta[r] / k;
+            match d {
+                None => d = Some(cand),
+                Some(prev) if prev != cand => return false,
+                Some(_) => {}
+            }
+        }
+    }
+    let mut residual = delta[0];
+    let a0 = h[(0, inner)];
+    if a0 != 0 {
+        match d {
+            // The inner distance is pinned by the lower rows.
+            Some(d) => residual -= a0 * d,
+            // Free: reduce modulo the stride.
+            None => residual = centered_mod(residual, a0.abs()),
+        }
+    }
+    residual.abs() < line_elems
+}
+
+fn centered_mod(v: i64, m: i64) -> i64 {
+    let mut r = v.rem_euclid(m);
+    if r > m / 2 {
+        r -= m;
+    }
+    r
+}
+
+/// Use-led (load-issuing) stream count of one UGS after unrolling by `u`:
+/// streams whose earliest-touching member is a use.  Innermost-invariant
+/// sets contribute nothing (their streams are hoisted).
+pub fn ugs_loads_at(set: &UgsSet, space: &UnrollSpace, u: &[u32], depth: usize) -> usize {
+    let inner_col: Vec<i64> = set.h().col(depth - 1);
+    if inner_col.iter().all(|&x| x == 0) {
+        return 0;
+    }
+    let copies = materialize_copies(set, space, u, depth);
+    // Earliest toucher per stream signature: max key, ties by body order.
+    let mut leaders: BTreeMap<Vec<i64>, (i64, (usize, usize), bool)> = BTreeMap::new();
+    for copy in copies {
+        let (sig, key) = stream_signature(&copy.c, &inner_col);
+        let cand = (key, copy.order, copy.is_def);
+        leaders
+            .entry(sig)
+            .and_modify(|cur| {
+                if key > cur.0 || (key == cur.0 && copy.order < cur.1) {
+                    *cur = cand;
+                }
+            })
+            .or_insert(cand);
+    }
+    leaders.values().filter(|&&(_, _, is_def)| !is_def).count()
+}
+
+/// Registers one UGS consumes after unrolling by `u`, evaluated
+/// analytically (the per-UGS slice of
+/// [`replacement_counts_at`]`.registers`).
+pub fn ugs_registers_at(set: &UgsSet, space: &UnrollSpace, u: &[u32], depth: usize) -> usize {
+    let mut counts = CopyCounts::default();
+    tally_ugs(set, space, u, depth, &mut counts);
+    counts.registers
+}
+
+/// Shared helper for table construction: the map from each UGS member to
+/// its innermost-stream key, plus the stream partition of the *original*
+/// body (unroll offset zero).
+pub(crate) fn original_streams(
+    set: &UgsSet,
+    depth: usize,
+) -> Vec<Vec<(usize, i64)>> {
+    let inner_col: Vec<i64> = set.h().col(depth - 1);
+    let mut groups: BTreeMap<usize, Vec<(usize, i64)>> = BTreeMap::new();
+    let mut bases: Vec<(Vec<i64>, usize)> = Vec::new();
+    'members: for (idx, m) in set.members().iter().enumerate() {
+        for (base, gid) in &bases {
+            if let Some(d) = inner_distance(&m.c, base, &inner_col) {
+                groups.entry(*gid).or_default().push((idx, d));
+                continue 'members;
+            }
+        }
+        let gid = bases.len();
+        bases.push((m.c.clone(), gid));
+        groups.entry(gid).or_default().push((idx, 0));
+    }
+    groups.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ujam_ir::transform::{scalar_replacement, unroll_and_jam};
+    use ujam_ir::NestBuilder;
+
+    fn check_against_transform(nest: &ujam_ir::LoopNest, loops: &[usize], u: &[u32]) {
+        let space = UnrollSpace::new(nest.depth(), loops, 8);
+        let analytic = replacement_counts_at(nest, &space, u);
+        let full = space.full_vector(u);
+        let transformed = unroll_and_jam(nest, &full).expect("legal in tests");
+        let actual = scalar_replacement(&transformed).stats;
+        assert_eq!(analytic.loads, actual.loads, "loads @ {u:?}");
+        assert_eq!(analytic.stores, actual.stores, "stores @ {u:?}");
+        assert_eq!(
+            analytic.replaced_loads, actual.replaced_loads,
+            "replaced @ {u:?}"
+        );
+        assert_eq!(
+            analytic.hoisted_loads, actual.hoisted_loads,
+            "hoisted loads @ {u:?}"
+        );
+        assert_eq!(
+            analytic.hoisted_stores, actual.hoisted_stores,
+            "hoisted stores @ {u:?}"
+        );
+        assert_eq!(analytic.registers, actual.registers, "registers @ {u:?}");
+    }
+
+    #[test]
+    fn intro_counts_match_real_transform() {
+        let nest = NestBuilder::new("intro")
+            .array("A", &[842])
+            .array("B", &[64])
+            .loop_("J", 1, 840)
+            .loop_("I", 1, 64)
+            .stmt("A(J) = A(J) + B(I)")
+            .build();
+        for u in 0..=7u32 {
+            check_against_transform(&nest, &[0], &[u]);
+        }
+    }
+
+    #[test]
+    fn stencil_counts_match_real_transform() {
+        let nest = NestBuilder::new("st")
+            .array("A", &[70, 70])
+            .array("B", &[70, 70])
+            .loop_("J", 2, 49)
+            .loop_("I", 2, 49)
+            .stmt("B(I,J) = A(I,J-1) + A(I,J) + A(I,J+1) + A(I-1,J)")
+            .build();
+        for u in [0u32, 1, 2, 3, 5] {
+            check_against_transform(&nest, &[0], &[u]);
+        }
+    }
+
+    #[test]
+    fn matmul_two_loop_counts_match() {
+        let nest = NestBuilder::new("mm")
+            .array("A", &[64, 64])
+            .array("B", &[64, 64])
+            .array("C", &[64, 64])
+            .loop_("J", 1, 24)
+            .loop_("K", 1, 24)
+            .loop_("I", 1, 24)
+            .stmt("C(I,J) = C(I,J) + A(I,K) * B(K,J)")
+            .build();
+        for u in [[0u32, 0], [1, 0], [0, 1], [1, 1], [2, 3]] {
+            check_against_transform(&nest, &[0, 1], &u);
+        }
+    }
+
+    #[test]
+    fn gss_count_matches_reuse_partition_on_unrolled_nest() {
+        use ujam_reuse::{group_spatial_sets, Localized};
+        let nest = NestBuilder::new("pair")
+            .array("A", &[52, 424])
+            .array("B", &[52, 424])
+            .loop_("J", 1, 420)
+            .loop_("I", 1, 48)
+            .stmt("A(I,J) = B(I,J) + B(I,J+2)")
+            .build();
+        let space = UnrollSpace::new(2, &[0], 8);
+        for u in 0..=6u32 {
+            let transformed = unroll_and_jam(&nest, &[u, 0]).expect("legal");
+            let l = Localized::innermost(2);
+            let expected: usize = UgsSet::partition(&transformed)
+                .iter()
+                .filter(|s| s.array() == "B")
+                .map(|s| group_spatial_sets(s, &l, 4).len())
+                .sum();
+            let b = UgsSet::partition(&nest)
+                .into_iter()
+                .find(|s| s.array() == "B")
+                .expect("B");
+            assert_eq!(
+                gss_count_at(&b, &space, &[u], 2, 4),
+                expected,
+                "GSS count @ u={u}"
+            );
+        }
+    }
+
+    #[test]
+    fn gts_count_tracks_merging() {
+        // Figure 1's shape: A(I,J) and A(I-2,J) with the *J* loop unrolled
+        // never merge; unrolling over I is not possible (innermost).  Use
+        // the outer-difference pair instead: B(I,J) and B(I,J+2) merge at
+        // unroll 2.
+        let nest = NestBuilder::new("m")
+            .array("A", &[70, 70])
+            .array("B", &[70, 70])
+            .loop_("J", 1, 48)
+            .loop_("I", 1, 48)
+            .stmt("A(I,J) = B(I,J) + B(I,J+2)")
+            .build();
+        let b = UgsSet::partition(&nest)
+            .into_iter()
+            .find(|s| s.array() == "B")
+            .expect("B");
+        let space = UnrollSpace::new(2, &[0], 8);
+        // Distinct J-offsets covered: {0..u} ∪ {2..u+2} = u + 3 values;
+        // from u = 2 on, each extra unroll adds one group instead of two
+        // because B(I,J)'s new copy coincides with an existing B(I,J+2)
+        // copy.
+        assert_eq!(gts_count_at(&b, &space, &[0], 2), 3 - 1); // {0,2}
+        assert_eq!(gts_count_at(&b, &space, &[1], 2), 4);
+        assert_eq!(gts_count_at(&b, &space, &[2], 2), 5);
+        assert_eq!(gts_count_at(&b, &space, &[3], 2), 6);
+    }
+}

@@ -1,0 +1,884 @@
+//! The precomputed unroll tables of Carr & Guan (Figures 2–5, §4.2–§4.4).
+//!
+//! Each table is indexed by *copy offset* `u'` and holds the number of new
+//! groups the copy at that offset contributes; the value of the tabulated
+//! quantity after unrolling by `u` is the prefix sum over the box
+//! `[0, u]` (the paper's `Sum`, Figure 2).  Construction solves, once per
+//! ordered leader pair, the merge equation `H·x = Δc` over the unrolled
+//! loops plus the innermost loop: a copy whose offset dominates the merge
+//! point no longer starts a new group.  Dominating several merge points
+//! still merges a copy only once — the union-of-up-sets update
+//! ([`crate::Table::add_upset_union`]) realizes the paper's
+//! previous-superleader bookkeeping.
+//!
+//! Scope: like the paper (§3.5, §5), the closed-form table construction
+//! targets **separable SIV** references; [`CostTables::siv`] reports
+//! whether a nest qualifies.  Where the up-set region structure breaks
+//! (line chains, reverse providers, provider switches), construction
+//! falls back to exact Möbius tabulation of the analytic evaluator —
+//! see DESIGN.md §5.
+
+use crate::space::{Table, UnrollSpace};
+use crate::streams;
+use ujam_ir::LoopNest;
+use ujam_linalg::{solve_unique, Mat, SolveOutcome};
+use ujam_reuse::{group_spatial_sets, has_self_spatial, has_self_temporal, Localized, UgsSet};
+
+/// Solves the merge equation `H·x = delta` with `x` supported on the
+/// unrolled loops and the innermost loop.  Returns the unroll components
+/// (the merge point) and the innermost component (any sign) when the
+/// solution exists, is integral, and is non-negative on every unrolled
+/// loop.
+fn merge_point(h: &Mat, delta: &[i64], space: &UnrollSpace) -> Option<(Vec<u32>, i64)> {
+    let inner = space.depth() - 1;
+    let mut cols: Vec<usize> = space.loops().to_vec();
+    cols.push(inner);
+    // Drop all-zero columns: they are unconstrained and take value 0.
+    let nonzero: Vec<usize> = cols
+        .iter()
+        .copied()
+        .filter(|&c| (0..h.rows()).any(|r| h[(r, c)] != 0))
+        .collect();
+    let SolveOutcome::Unique(x) = solve_unique(h, delta, &nonzero) else {
+        return None;
+    };
+    let mut point = vec![0u32; space.dims()];
+    for (k, &l) in space.loops().iter().enumerate() {
+        if let Some(p) = nonzero.iter().position(|&c| c == l) {
+            point[k] = u32::try_from(x[p]).ok()?;
+        }
+    }
+    let mut inner_val = 0;
+    if let Some(p) = nonzero.iter().position(|&c| c == inner) {
+        inner_val = x[p];
+    }
+    Some((point, inner_val))
+}
+
+/// Offsets at which *every* copy of this UGS coincides with an earlier
+/// copy of itself: the unit vectors of unrolled loops whose `H` column is
+/// zero (the reference ignores that loop, so unrolling duplicates it).
+fn self_merge_points(h: &Mat, space: &UnrollSpace) -> Vec<Vec<u32>> {
+    space
+        .loops()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &l)| (0..h.rows()).all(|r| h[(r, l)] == 0))
+        .map(|(d, _)| {
+            let mut e = vec![0u32; space.dims()];
+            e[d] = 1;
+            e
+        })
+        .collect()
+}
+
+/// Figure 2: the table of new group-temporal sets per copy offset for one
+/// uniformly generated set, under innermost localization (the localized
+/// space of an unrolled loop's body).
+///
+/// `gts_table(set, space).prefix_sum(u)` equals the number of GTSs of the
+/// unrolled loop — validated against [`streams::gts_count_at`] and against
+/// re-partitioning the actually-unrolled IR.
+///
+/// # Example
+///
+/// ```
+/// use ujam_core::{gts_table, UnrollSpace};
+/// use ujam_ir::NestBuilder;
+/// use ujam_reuse::UgsSet;
+/// let nest = NestBuilder::new("fig1")
+///     .array("A", &[66, 66]).array("B", &[66, 66])
+///     .loop_("J", 1, 64).loop_("I", 1, 64)
+///     .stmt("A(I,J) = B(I,J) + B(I,J+2)")
+///     .build();
+/// let b = UgsSet::partition(&nest).into_iter()
+///     .find(|s| s.array() == "B").unwrap();
+/// let t = gts_table(&b, &UnrollSpace::new(2, &[0], 4));
+/// assert_eq!(t.prefix_sum(&[0]), 2);
+/// assert_eq!(t.prefix_sum(&[2]), 5); // merging begins at offset 2
+/// ```
+pub fn gts_table(set: &UgsSet, space: &UnrollSpace) -> Table {
+    let depth = space.depth();
+    let groups = streams::original_streams(set, depth);
+    let self_points = self_merge_points(set.h(), space);
+    let mut t = Table::filled(space.clone(), groups.len() as i64);
+
+    for (j, gj) in groups.iter().enumerate() {
+        let cj = &set.members()[gj[0].0].c;
+        let mut points = self_points.clone();
+        for (i, gi) in groups.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let ci = &set.members()[gi[0].0].c;
+            let delta: Vec<i64> = cj.iter().zip(ci).map(|(a, b)| a - b).collect();
+            if let Some((point, _)) = merge_point(set.h(), &delta, space) {
+                if point.iter().any(|&p| p > 0) {
+                    points.push(point);
+                }
+            }
+        }
+        t.add_upset_union(&points, -1);
+    }
+    t
+}
+
+/// Figure 3: the table of new group-spatial sets per copy offset.
+///
+/// Same structure as [`gts_table`] with the spatial merge relation: the
+/// subscript rows below the first must close exactly, while the
+/// first-dimension (column-contiguous) residue only has to fall within the
+/// cache line.  Unrolled loops appearing in the first subscript produce
+/// line *chains*: a new leader every `ceil(line/|a|)` copies.
+pub fn gss_table(set: &UgsSet, space: &UnrollSpace, line_elems: i64) -> Table {
+    assert!(line_elems >= 1, "cache line must hold at least one element");
+    let depth = space.depth();
+    let h = set.h();
+    let inner = depth - 1;
+
+    // Line *chains*: an unrolled loop that drives the first (contiguous)
+    // subscript walks copies along cache lines, and the greedy leader walk
+    // over the combined value stream does not decompose into up-sets.
+    // Tabulate such sets exactly by direct counting, inverted back into
+    // per-offset contributions (Möbius inversion over the offset lattice)
+    // so the prefix-sum interface is preserved.
+    let chained = space.loops().iter().any(|&lp| h[(0, lp)] != 0);
+    if chained {
+        return mobius_table(space, |u| {
+            streams::gss_count_at(set, space, u, depth, line_elems) as i64
+        });
+    }
+
+    let l = Localized::innermost(depth);
+    let groups = group_spatial_sets(set, &l, line_elems);
+    let mut t = Table::filled(space.clone(), groups.len() as i64);
+
+    let self_points = self_merge_points(h, space);
+    for (j, gj) in groups.iter().enumerate() {
+        let cj = &set.members()[gj[0]].c;
+        let mut points = self_points.clone();
+        for (i, gi) in groups.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let ci = &set.members()[gi[0]].c;
+            let delta: Vec<i64> = cj.iter().zip(ci).map(|(a, b)| a - b).collect();
+            if let Some(point) = spatial_merge_point(h, &delta, space, inner, line_elems) {
+                if point.iter().any(|&p| p > 0) {
+                    points.push(point);
+                }
+            }
+        }
+        t.add_upset_union(&points, -1);
+    }
+    t
+}
+
+/// Builds a table whose prefix sums reproduce `count` exactly, by
+/// inclusion–exclusion over the offset lattice:
+/// `T[u] = Σ_{s ⊆ dims} (−1)^{|s|} count(u − e_s)`.
+fn mobius_table(space: &UnrollSpace, count: impl Fn(&[u32]) -> i64) -> Table {
+    let mut t = Table::filled(space.clone(), 0);
+    let dims = space.dims();
+    for u in space.offsets() {
+        let mut v = 0i64;
+        'subsets: for mask in 0..(1u32 << dims) {
+            let mut shifted = u.clone();
+            for d in 0..dims {
+                if mask & (1 << d) != 0 {
+                    if shifted[d] == 0 {
+                        continue 'subsets;
+                    }
+                    shifted[d] -= 1;
+                }
+            }
+            let sign = if mask.count_ones() % 2 == 0 { 1 } else { -1 };
+            v += sign * count(&shifted);
+        }
+        t.add(&u, v);
+    }
+    t
+}
+
+/// The spatial merge point: rows below the first close exactly over
+/// (unrolled ∪ innermost), the first row up to a residue `< line`.
+fn spatial_merge_point(
+    h: &Mat,
+    delta: &[i64],
+    space: &UnrollSpace,
+    inner: usize,
+    line_elems: i64,
+) -> Option<Vec<u32>> {
+    if h.rows() == 0 {
+        return Some(vec![0; space.dims()]);
+    }
+    // Build the sub-system of rows 1.. and solve it.
+    let sub_rows: Vec<&[i64]> = (1..h.rows()).map(|r| h.row(r)).collect();
+    let sub = Mat::from_rows(&sub_rows);
+    let sub_delta = &delta[1..];
+    let mut cols: Vec<usize> = space.loops().to_vec();
+    cols.push(inner);
+    let nonzero: Vec<usize> = cols
+        .iter()
+        .copied()
+        .filter(|&c| (0..sub.rows()).any(|r| sub[(r, c)] != 0))
+        .collect();
+    let x = match solve_unique(&sub, sub_delta, &nonzero) {
+        SolveOutcome::Unique(x) => x,
+        SolveOutcome::Underdetermined => vec![0; nonzero.len()],
+        _ => return None,
+    };
+    let mut point = vec![0u32; space.dims()];
+    for (k, &l) in space.loops().iter().enumerate() {
+        if let Some(p) = nonzero.iter().position(|&c| c == l) {
+            point[k] = u32::try_from(x[p]).ok()?;
+        }
+    }
+    // First-row residue: localized loops appearing (only) in row 0 can
+    // absorb part of the difference.
+    let mut residual = delta[0];
+    for (p, &c) in nonzero.iter().enumerate() {
+        residual -= h[(0, c)] * x[p];
+    }
+    // A free unrolled loop in row 0: pick the smallest non-negative copy
+    // distance that brings the residue within the line.
+    for (d, &l) in space.loops().iter().enumerate() {
+        let a = h[(0, l)];
+        if a == 0 || nonzero.contains(&l) {
+            continue;
+        }
+        let chosen = (0..=space.bound() as i64)
+            .find(|&xl| (residual - a * xl).abs() < line_elems)?;
+        point[d] = chosen as u32;
+        residual -= a * chosen;
+    }
+    // A free innermost loop in row 0 reduces the residue modulo |a|.
+    let a_in = h[(0, inner)];
+    if a_in != 0 && !nonzero.contains(&inner) {
+        residual = centered_mod(residual, a_in.abs());
+    }
+    (residual.abs() < line_elems).then_some(point)
+}
+
+fn centered_mod(v: i64, m: i64) -> i64 {
+    let mut r = v.rem_euclid(m);
+    if r > m / 2 {
+        r -= m;
+    }
+    r
+}
+
+/// The tables driving the memory-operation count `M(u)` (§4.3, Figures
+/// 4–5): stores scale with the number of copies; loads are one per
+/// *use-led* register-reuse stream, tabulated with merge regions.
+#[derive(Clone, Debug)]
+pub struct RrsTables {
+    use_led: Table,
+    stores_per_copy: i64,
+}
+
+impl RrsTables {
+    /// Loads per unrolled iteration after scalar replacement.
+    pub fn loads(&self, u: &[u32]) -> i64 {
+        self.use_led.prefix_sum(u)
+    }
+
+    /// Stores per unrolled iteration.
+    pub fn stores(&self, u: &[u32]) -> i64 {
+        self.stores_per_copy * self.use_led.space().copies(u) as i64
+    }
+
+    /// Memory operations per unrolled iteration (`M`).
+    pub fn memory_ops(&self, u: &[u32]) -> i64 {
+        self.loads(u) + self.stores(u)
+    }
+}
+
+/// Figures 4–5: builds the register-reuse-stream tables for a whole nest.
+///
+/// Each use-led register-reuse set issues one load per iteration until a
+/// copy of an *earlier-touching* reference (its provider) appears at a
+/// dominated offset; defs always keep their store.  Innermost-invariant
+/// streams are hoisted and issue nothing per iteration.
+pub fn rrs_tables(nest: &LoopNest, space: &UnrollSpace) -> RrsTables {
+    let depth = nest.depth();
+    let mut use_led = Table::filled(space.clone(), 0);
+    let mut stores_per_copy = 0i64;
+
+    for set in UgsSet::partition(nest) {
+        let inner_col: Vec<i64> = set.h().col(depth - 1);
+        if inner_col.iter().all(|&x| x == 0) {
+            // Invariant UGS: every stream is hoisted.
+            continue;
+        }
+        // Defs always store, regardless of merging.
+        stores_per_copy += set.members().iter().filter(|m| m.is_def).count() as i64;
+
+        // A *reverse provider* — a reference whose copy at a HIGHER unroll
+        // offset touches the shared cells earlier — makes absorption depend
+        // on the query box, not just the copy offset, so the up-set region
+        // algorithm cannot express it (the merge comes "from above").
+        // Tabulate such sets exactly by Möbius inversion instead.
+        if has_reverse_provider(&set, space, depth) {
+            let exact = mobius_table(space, |u| {
+                streams::ugs_loads_at(&set, space, u, depth) as i64
+            });
+            for o in space.offsets() {
+                use_led.add(&o, exact.get(&o));
+            }
+            continue;
+        }
+
+        let groups = streams::original_streams(&set, depth);
+        for (g_idx, g) in groups.iter().enumerate() {
+            // Sort members by touch order (key desc, reference order asc).
+            let mut ms: Vec<(usize, i64)> = g.clone();
+            ms.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            for (pos, &(idx, _key)) in ms.iter().enumerate() {
+                if set.members()[idx].is_def {
+                    // Stores were counted at the UGS level.
+                } else if pos == 0 {
+                    // A use-led stream: one load per copy until absorbed.
+                    let cj = &set.members()[idx].c;
+                    let mut points = self_merge_points(set.h(), space);
+                    for (i, gi) in groups.iter().enumerate() {
+                        if i == g_idx {
+                            continue;
+                        }
+                        for &(m_idx, _) in gi {
+                            let cm = &set.members()[m_idx].c;
+                            let delta: Vec<i64> =
+                                cm.iter().zip(cj).map(|(a, b)| a - b).collect();
+                            // Solve H·x = c_m − c_j: the provider copy sits
+                            // at `u' − x_unroll` and touches `x_inner`
+                            // iterations earlier than the leader; it
+                            // provides when it touches no later.
+                            if let Some((point, inner_val)) =
+                                merge_point(set.h(), &delta, space)
+                            {
+                                if inner_val >= 0 && point.iter().any(|&p| p > 0) {
+                                    points.push(point);
+                                }
+                            }
+                        }
+                    }
+                    let mut contrib = Table::filled(space.clone(), 1);
+                    contrib.add_upset_union(&points, -1);
+                    for o in space.offsets() {
+                        use_led.add(&o, contrib.get(&o));
+                    }
+                }
+            }
+        }
+    }
+    RrsTables {
+        use_led,
+        stores_per_copy,
+    }
+}
+
+/// Like [`merge_point`] but without any sign restriction: the raw unique
+/// integral solution's unroll components and innermost component.
+fn merge_point_raw(h: &Mat, delta: &[i64], space: &UnrollSpace) -> Option<(Vec<i64>, i64)> {
+    let inner = space.depth() - 1;
+    let mut cols: Vec<usize> = space.loops().to_vec();
+    cols.push(inner);
+    let nonzero: Vec<usize> = cols
+        .iter()
+        .copied()
+        .filter(|&c| (0..h.rows()).any(|r| h[(r, c)] != 0))
+        .collect();
+    let SolveOutcome::Unique(x) = solve_unique(h, delta, &nonzero) else {
+        return None;
+    };
+    let mut unroll_parts = vec![0i64; space.dims()];
+    for (k, &l) in space.loops().iter().enumerate() {
+        if let Some(p) = nonzero.iter().position(|&c| c == l) {
+            unroll_parts[k] = x[p];
+        }
+    }
+    let mut inner_val = 0;
+    if let Some(p) = nonzero.iter().position(|&c| c == inner) {
+        inner_val = x[p];
+    }
+    Some((unroll_parts, inner_val))
+}
+
+/// Detects absorptions the up-set region algorithm cannot express:
+///
+/// * a *reverse provider* — a reference whose copy at a strictly higher
+///   unroll offset touches the shared cells strictly earlier — or
+/// * a *mixed-sign* merge offset (partner above in one unrolled dimension
+///   and below in another).
+///
+/// Either makes the absorbed-copy set depend on the query box, so the UGS
+/// is tabulated exactly by Möbius inversion instead (see DESIGN.md §5).
+fn has_reverse_provider(set: &UgsSet, space: &UnrollSpace, _depth: usize) -> bool {
+    let members = set.members();
+    for j in members {
+        for m in members {
+            // `m` as a candidate provider for `j`: the solve is over
+            // c_m − c_j; its unroll part locates the provider copy at
+            // `u' − x` (negative components = above).
+            let delta: Vec<i64> = m.c.iter().zip(&j.c).map(|(a, b)| a - b).collect();
+            if delta.iter().all(|&d| d == 0) {
+                continue;
+            }
+            let Some((x, inner_val)) = merge_point_raw(set.h(), &delta, space) else {
+                continue;
+            };
+            let has_neg = x.iter().any(|&v| v < 0);
+            let has_pos = x.iter().any(|&v| v > 0);
+            if has_neg && has_pos {
+                return true; // mixed sign
+            }
+            if has_neg && inner_val > 0 {
+                return true; // provider strictly above, touching earlier
+            }
+        }
+    }
+    false
+}
+
+/// Figure 7: the register-pressure table `RL(u)` for one UGS, built with
+/// the same per-offset region discipline as the other tables.
+///
+/// The closed-form construction applies to def-free, non-invariant,
+/// chain-free sets whose merges are pairwise (each group has at most one
+/// provider): the common stencil-read case that actually drives register
+/// pressure.  Everything else — defs re-splitting streams, invariant
+/// sets, line chains, reverse providers, provider switches (the paper's
+/// Figure 6) — falls back to exact Möbius tabulation of the analytic
+/// count, preserving the prefix-sum interface.
+pub fn reg_table(set: &UgsSet, space: &UnrollSpace) -> Table {
+    let depth = space.depth();
+    let h = set.h();
+    let inner_col: Vec<i64> = h.col(depth - 1);
+
+    let analytic_fallback =
+        || mobius_table(space, |u| streams::ugs_registers_at(set, space, u, depth) as i64);
+
+    // Invariant sets, sets with defs, row-0 unrolled loops (chains), or
+    // reverse providers: fall back.
+    if inner_col.iter().all(|&x| x == 0)
+        || set.members().iter().any(|m| m.is_def)
+        || space.loops().iter().any(|&l| h[(0, l)] != 0)
+        || has_reverse_provider(set, space, depth)
+        || !self_merge_points(h, space).is_empty()
+    {
+        return analytic_fallback();
+    }
+
+    // Streams with their touch keys, leaders first (key descending).
+    let groups = streams::original_streams(set, depth);
+    struct StreamInfo {
+        c: Vec<i64>,
+        key_max: i64,
+        key_min: i64,
+        members: usize,
+    }
+    let infos: Vec<StreamInfo> = groups
+        .iter()
+        .map(|g| {
+            let keys: Vec<i64> = g.iter().map(|&(_, k)| k).collect();
+            StreamInfo {
+                c: set.members()[g[0].0].c.clone(),
+                key_max: *keys.iter().max().expect("non-empty"),
+                key_min: *keys.iter().min().expect("non-empty"),
+                members: g.len(),
+            }
+        })
+        .collect();
+    let base_cost = |s: &StreamInfo| {
+        if s.members >= 2 {
+            (s.key_max - s.key_min + 1) as i64
+        } else {
+            0
+        }
+    };
+
+    // Pairwise merges: j absorbed into i at unroll point x with key shift
+    // δ = −x_inner of the solve H·x = c_i − c_j (provider below, earlier).
+    struct Merge {
+        j: usize,
+        i: usize,
+        point: Vec<u32>,
+        shift: i64,
+    }
+    let mut merges: Vec<Merge> = Vec::new();
+    for (j, sj) in infos.iter().enumerate() {
+        for (i, si) in infos.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let delta: Vec<i64> = si.c.iter().zip(&sj.c).map(|(a, b)| a - b).collect();
+            if let Some((point, inner_val)) = merge_point(h, &delta, space) {
+                // Provider below and earlier-or-equal in touch order.
+                if inner_val >= 0 && point.iter().any(|&p| p > 0) {
+                    merges.push(Merge {
+                        j,
+                        i,
+                        point,
+                        shift: -inner_val,
+                    });
+                }
+            }
+        }
+    }
+    // Chain detection: a group with several providers, or a group that is
+    // both absorbed and absorbing, needs the provider-switch walk — fall
+    // back rather than approximate.
+    let mut absorbed = vec![0usize; infos.len()];
+    let mut providing = vec![0usize; infos.len()];
+    for m in &merges {
+        absorbed[m.j] += 1;
+        providing[m.i] += 1;
+    }
+    if absorbed.iter().any(|&a| a > 1)
+        || (0..infos.len()).any(|g| absorbed[g] > 0 && providing[g] > 0)
+    {
+        return analytic_fallback();
+    }
+
+    // Base contributions: every copy of every stream pays its own cost.
+    let mut t = Table::filled(space.clone(), infos.iter().map(base_cost).sum());
+    // Merge deltas: for offsets dominating the merge point, the pair
+    // (i @ u'−x, j @ u') costs span(union)+1 instead of the two separate
+    // costs; attribute the delta to j's copy offset.
+    for m in &merges {
+        let (si, sj) = (&infos[m.i], &infos[m.j]);
+        let merged_max = si.key_max.max(sj.key_max + m.shift);
+        let merged_min = si.key_min.min(sj.key_min + m.shift);
+        let merged_cost = merged_max - merged_min + 1;
+        let delta = merged_cost - base_cost(si) - base_cost(sj);
+        t.add_upset_union(std::slice::from_ref(&m.point), delta);
+    }
+    t
+}
+
+/// The complete per-nest query interface the optimizer searches over:
+/// flops, memory operations, cache misses, and registers as functions of
+/// the unroll vector — all from precomputed tables.
+#[derive(Clone, Debug)]
+pub struct CostTables {
+    space: UnrollSpace,
+    flops_per_copy: usize,
+    rrs: RrsTables,
+    /// Per-UGS `(line cost factor, GSS table)`.
+    gss: Vec<(f64, Table)>,
+    /// Per-UGS register tables (Figure 7).
+    registers: Vec<Table>,
+    siv: bool,
+}
+
+impl CostTables {
+    /// Builds every table for a nest over an unroll space.
+    ///
+    /// `line_elems` is the cache line size in array elements (Equation 1's
+    /// `C`).  The closed-form tables assume separable SIV references
+    /// (§3.5); [`CostTables::siv`] reports whether the nest qualifies.
+    pub fn build(nest: &LoopNest, space: &UnrollSpace, line_elems: i64) -> CostTables {
+        let siv = nest.is_siv_separable();
+        let l = Localized::innermost(nest.depth());
+        let gss = UgsSet::partition(nest)
+            .into_iter()
+            .map(|set| {
+                let f = if has_self_temporal(set.h(), &l) {
+                    0.0
+                } else if has_self_spatial(set.h(), &l) {
+                    1.0 / line_elems as f64
+                } else {
+                    1.0
+                };
+                let t = gss_table(&set, space, line_elems);
+                (f, t)
+            })
+            .collect();
+        let rrs = rrs_tables(nest, space);
+        let registers = UgsSet::partition(nest)
+            .iter()
+            .map(|set| reg_table(set, space))
+            .collect();
+        CostTables {
+            space: space.clone(),
+            flops_per_copy: nest.flops_per_iter(),
+            rrs,
+            gss,
+            registers,
+            siv,
+        }
+    }
+
+    /// The table's unroll space.
+    pub fn space(&self) -> &UnrollSpace {
+        &self.space
+    }
+
+    /// `true` when the nest satisfies the separable-SIV restriction the
+    /// closed-form tables assume.
+    pub fn siv(&self) -> bool {
+        self.siv
+    }
+
+    /// Floating-point operations per unrolled iteration.
+    pub fn flops(&self, u: &[u32]) -> usize {
+        self.flops_per_copy * self.space.copies(u)
+    }
+
+    /// Memory operations per unrolled iteration (`M` of §3.2).
+    pub fn memory_ops(&self, u: &[u32]) -> i64 {
+        self.rrs.memory_ops(u)
+    }
+
+    /// Loads per unrolled iteration.
+    pub fn loads(&self, u: &[u32]) -> i64 {
+        self.rrs.loads(u)
+    }
+
+    /// Stores per unrolled iteration.
+    pub fn stores(&self, u: &[u32]) -> i64 {
+        self.rrs.stores(u)
+    }
+
+    /// Cache lines fetched per unrolled iteration (Equation 1 summed over
+    /// the uniformly generated sets).
+    pub fn cache_lines(&self, u: &[u32]) -> f64 {
+        self.gss
+            .iter()
+            .map(|(f, t)| f * t.prefix_sum(u) as f64)
+            .sum()
+    }
+
+    /// Floating-point registers required by scalar replacement (`R(u)`).
+    pub fn registers(&self, u: &[u32]) -> i64 {
+        self.registers.iter().map(|t| t.prefix_sum(u)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::streams::{gss_count_at, gts_count_at, replacement_counts_at};
+    use ujam_ir::NestBuilder;
+
+    fn check_all_tables(nest: &LoopNest, loops: &[usize], bound: u32, line: i64) {
+        let space = UnrollSpace::new(nest.depth(), loops, bound);
+        let sets = UgsSet::partition(nest);
+        for set in &sets {
+            let gts = gts_table(set, &space);
+            let gss = gss_table(set, &space, line);
+            for u in space.offsets() {
+                assert_eq!(
+                    gts.prefix_sum(&u),
+                    gts_count_at(set, &space, &u, nest.depth()) as i64,
+                    "GTS mismatch for {} at {u:?}",
+                    set.array()
+                );
+                assert_eq!(
+                    gss.prefix_sum(&u),
+                    gss_count_at(set, &space, &u, nest.depth(), line) as i64,
+                    "GSS mismatch for {} at {u:?}",
+                    set.array()
+                );
+            }
+        }
+        let rrs = rrs_tables(nest, &space);
+        for u in space.offsets() {
+            let analytic = replacement_counts_at(nest, &space, &u);
+            assert_eq!(
+                rrs.loads(&u),
+                analytic.loads as i64,
+                "loads mismatch at {u:?}"
+            );
+            assert_eq!(
+                rrs.stores(&u),
+                analytic.stores as i64,
+                "stores mismatch at {u:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn intro_loop_tables_match_analytic() {
+        let nest = NestBuilder::new("intro")
+            .array("A", &[840])
+            .array("B", &[64])
+            .loop_("J", 1, 840)
+            .loop_("I", 1, 64)
+            .stmt("A(J) = A(J) + B(I)")
+            .build();
+        check_all_tables(&nest, &[0], 6, 4);
+    }
+
+    #[test]
+    fn stencil_tables_match_analytic() {
+        let nest = NestBuilder::new("st")
+            .array("A", &[70, 70])
+            .array("B", &[70, 70])
+            .loop_("J", 2, 49)
+            .loop_("I", 2, 49)
+            .stmt("B(I,J) = A(I,J-1) + A(I,J) + A(I,J+1) + A(I-1,J)")
+            .build();
+        check_all_tables(&nest, &[0], 6, 4);
+    }
+
+    #[test]
+    fn matmul_two_loop_tables_match_analytic() {
+        let nest = NestBuilder::new("mm")
+            .array("A", &[64, 64])
+            .array("B", &[64, 64])
+            .array("C", &[64, 64])
+            .loop_("J", 1, 24)
+            .loop_("K", 1, 24)
+            .loop_("I", 1, 24)
+            .stmt("C(I,J) = C(I,J) + A(I,K) * B(K,J)")
+            .build();
+        check_all_tables(&nest, &[0, 1], 3, 4);
+    }
+
+    #[test]
+    fn strided_tables_match_analytic() {
+        let nest = NestBuilder::new("strided")
+            .array("A", &[200])
+            .array("B", &[100, 100])
+            .loop_("J", 1, 48)
+            .loop_("I", 1, 48)
+            .stmt("B(I,J) = A(2J-1) + A(2J+3)")
+            .build();
+        check_all_tables(&nest, &[0], 5, 8);
+    }
+
+    #[test]
+    fn def_use_streams_tabulate() {
+        let nest = NestBuilder::new("fwd")
+            .array("A", &[70, 70])
+            .array("B", &[70, 70])
+            .loop_("J", 2, 49)
+            .loop_("I", 2, 49)
+            .stmt("A(I,J) = B(I,J) * 2.0")
+            .stmt("B(I,J) = A(I,J-1) + A(I-1,J)")
+            .build();
+        check_all_tables(&nest, &[0], 4, 4);
+    }
+
+    #[test]
+    fn cost_tables_queries_are_consistent() {
+        let nest = NestBuilder::new("mm")
+            .array("A", &[64, 64])
+            .array("B", &[64, 64])
+            .array("C", &[64, 64])
+            .loop_("J", 1, 24)
+            .loop_("K", 1, 24)
+            .loop_("I", 1, 24)
+            .stmt("C(I,J) = C(I,J) + A(I,K) * B(K,J)")
+            .build();
+        let space = UnrollSpace::new(3, &[0, 1], 3);
+        let ct = CostTables::build(&nest, &space, 4);
+        assert!(ct.siv());
+        assert_eq!(ct.flops(&[0, 0]), 2);
+        assert_eq!(ct.flops(&[1, 1]), 8);
+        // Unrolling improves the memory-op to flop ratio.
+        let r0 = ct.memory_ops(&[0, 0]) as f64 / ct.flops(&[0, 0]) as f64;
+        let r3 = ct.memory_ops(&[3, 3]) as f64 / ct.flops(&[3, 3]) as f64;
+        assert!(r3 < r0, "unrolling must improve the op ratio: {r3} vs {r0}");
+        // Registers grow with the unroll amounts.
+        assert!(ct.registers(&[3, 3]) > ct.registers(&[0, 0]));
+        // Cache lines per iteration grow, but slower than copies.
+        let lines0 = ct.cache_lines(&[0, 0]);
+        let lines3 = ct.cache_lines(&[3, 3]);
+        assert!(lines3 < lines0 * 16.0);
+    }
+}
+
+#[cfg(test)]
+mod reg_table_tests {
+    use super::*;
+    use crate::streams::ugs_registers_at;
+    use ujam_ir::NestBuilder;
+
+    fn check_registers(nest: &ujam_ir::LoopNest, loops: &[usize], bound: u32) {
+        let space = UnrollSpace::new(nest.depth(), loops, bound);
+        for set in UgsSet::partition(nest) {
+            let t = reg_table(&set, &space);
+            for u in space.offsets() {
+                assert_eq!(
+                    t.prefix_sum(&u),
+                    ugs_registers_at(&set, &space, &u, nest.depth()) as i64,
+                    "registers mismatch for {} at {u:?}",
+                    set.array()
+                );
+            }
+        }
+        // And the whole-nest query agrees with the analytic evaluator.
+        let ct = CostTables::build(nest, &space, 4);
+        for u in space.offsets() {
+            assert_eq!(
+                ct.registers(&u),
+                streams::replacement_counts_at(nest, &space, &u).registers as i64,
+                "CostTables registers @ {u:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stencil_reads_use_the_region_path() {
+        // Def-free pairwise merges along the unrolled loop: the closed
+        // form applies.
+        let nest = NestBuilder::new("st")
+            .array("A", &[70, 70])
+            .array("B", &[70, 70])
+            .loop_("J", 2, 49)
+            .loop_("I", 2, 49)
+            .stmt("B(I,J) = A(I,J-1) + A(I,J) + A(I,J+1) + A(I-1,J)")
+            .build();
+        check_registers(&nest, &[0], 6);
+    }
+
+    #[test]
+    fn reductions_and_defs_fall_back_exactly() {
+        let nest = NestBuilder::new("fwd")
+            .array("A", &[70, 70])
+            .array("B", &[70, 70])
+            .loop_("J", 2, 49)
+            .loop_("I", 2, 49)
+            .stmt("A(I,J) = B(I,J) * 2.0")
+            .stmt("B(I,J) = A(I,J-1) + A(I-1,J)")
+            .build();
+        check_registers(&nest, &[0], 4);
+    }
+
+    #[test]
+    fn invariant_and_jacobi_cases() {
+        let intro = NestBuilder::new("intro")
+            .array("A", &[840])
+            .array("B", &[64])
+            .loop_("J", 1, 840)
+            .loop_("I", 1, 64)
+            .stmt("A(J) = A(J) + B(I)")
+            .build();
+        check_registers(&intro, &[0], 6);
+
+        let jacobi = NestBuilder::new("jacobi")
+            .array("A", &[52, 52])
+            .array("B", &[52, 52])
+            .loop_("J", 2, 49)
+            .loop_("I", 2, 49)
+            .stmt("B(I,J) = 0.25 * (A(I-1,J) + A(I+1,J) + A(I,J-1) + A(I,J+1))")
+            .build();
+        check_registers(&jacobi, &[0], 5);
+    }
+
+    #[test]
+    fn two_loop_spaces_match() {
+        let nest = NestBuilder::new("mm")
+            .array("A", &[64, 64])
+            .array("B", &[64, 64])
+            .array("C", &[64, 64])
+            .loop_("J", 1, 24)
+            .loop_("K", 1, 24)
+            .loop_("I", 1, 24)
+            .stmt("C(I,J) = C(I,J) + A(I,K) * B(K,J)")
+            .build();
+        check_registers(&nest, &[0, 1], 3);
+    }
+}

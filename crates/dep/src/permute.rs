@@ -1,0 +1,198 @@
+//! Loop-permutation legality.
+//!
+//! A permutation of a nest's loops is legal iff every data dependence's
+//! distance vector remains lexicographically non-negative after
+//! reordering — otherwise some sink would execute before its source.
+//! Input dependences impose nothing.
+//!
+//! Edges store constraint vectors whose unconstrained (`*`) components
+//! stand for *any* value, but the edge's direction already restricts its
+//! realizations to lexicographically non-negative vectors in the original
+//! order.  Legality therefore quantifies over realizations: the
+//! permutation is illegal iff some realization that is non-negative in the
+//! original order becomes negative in the new order.  Lexicographic sign
+//! only depends on each component's sign, so enumerating `{-1, 0, 1}` for
+//! every `*` component decides this exactly.
+
+use crate::dist::Dist;
+use crate::graph::{DepGraph, DepKind};
+
+/// `true` if reordering the loops by `perm` (where `perm[k]` is the
+/// original position of the loop placed at depth `k`) preserves every
+/// data dependence.
+///
+/// # Panics
+///
+/// Panics if `perm`'s length differs from an edge's distance-vector
+/// length.
+///
+/// # Example
+///
+/// ```
+/// use ujam_ir::NestBuilder;
+/// use ujam_dep::{legal_permutation, DepGraph};
+/// // A(I,J) = A(I-1,J+1): distance (J:1, I:-1) forbids interchange.
+/// let nest = NestBuilder::new("skew")
+///     .array("A", &[66, 66])
+///     .loop_("J", 2, 33).loop_("I", 2, 33)
+///     .stmt("A(I,J) = A(I-1,J+1) * 0.5")
+///     .build();
+/// let g = DepGraph::build(&nest);
+/// assert!(legal_permutation(&g, &[0, 1]));
+/// assert!(!legal_permutation(&g, &[1, 0]));
+/// ```
+pub fn legal_permutation(graph: &DepGraph, perm: &[usize]) -> bool {
+    graph.edges().iter().all(|e| {
+        if e.kind == DepKind::Input {
+            return true;
+        }
+        assert_eq!(e.dist.len(), perm.len(), "permutation arity mismatch");
+        !violation_exists(&e.dist, perm, &mut vec![0i64; perm.len()], 0)
+    })
+}
+
+/// Depth-first enumeration of representative realizations: `true` if some
+/// realization is lex-non-negative in original order but lex-negative
+/// after the permutation.
+fn violation_exists(dist: &[Dist], perm: &[usize], real: &mut Vec<i64>, k: usize) -> bool {
+    if k == dist.len() {
+        return lex_sign(real.iter().copied()) >= 0
+            && lex_sign(perm.iter().map(|&p| real[p])) < 0;
+    }
+    match dist[k] {
+        Dist::Exact(v) => {
+            real[k] = v;
+            violation_exists(dist, perm, real, k + 1)
+        }
+        Dist::Any => [-1i64, 0, 1].iter().any(|&v| {
+            real[k] = v;
+            violation_exists(dist, perm, real, k + 1)
+        }),
+    }
+}
+
+/// Sign of a vector under lexicographic comparison with zero.
+fn lex_sign(components: impl Iterator<Item = i64>) -> i64 {
+    for c in components {
+        if c != 0 {
+            return c.signum();
+        }
+    }
+    0
+}
+
+/// Every legal permutation of a `depth`-loop nest, in lexicographic order
+/// (the identity first).
+pub fn legal_permutations(graph: &DepGraph, depth: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut perm: Vec<usize> = (0..depth).collect();
+    permutations(&mut perm, 0, &mut |p| {
+        if legal_permutation(graph, p) {
+            out.push(p.to_vec());
+        }
+    });
+    out.sort();
+    out
+}
+
+fn permutations(items: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        f(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permutations(items, k + 1, f);
+        items.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ujam_ir::interp::execute;
+    use ujam_ir::transform::permute_loops;
+    use ujam_ir::NestBuilder;
+
+    #[test]
+    fn independent_nest_is_fully_permutable() {
+        let nest = NestBuilder::new("free")
+            .array("A", &[40, 40])
+            .array("B", &[40, 40])
+            .loop_("J", 1, 8)
+            .loop_("I", 1, 8)
+            .stmt("A(I,J) = B(I,J) + 1.0")
+            .build();
+        let g = DepGraph::build(&nest);
+        assert_eq!(legal_permutations(&g, 2).len(), 2);
+    }
+
+    #[test]
+    fn forward_wave_is_interchangeable() {
+        // Distance (1,1): both orders keep it positive.
+        let nest = NestBuilder::new("fw")
+            .array("A", &[40, 40])
+            .loop_("J", 2, 9)
+            .loop_("I", 2, 9)
+            .stmt("A(I,J) = A(I-1,J-1) * 0.5")
+            .build();
+        let g = DepGraph::build(&nest);
+        assert!(legal_permutation(&g, &[1, 0]));
+        // And the interpreter agrees.
+        let p = permute_loops(&nest, &[1, 0]).unwrap();
+        assert_eq!(execute(&p), execute(&nest));
+    }
+
+    #[test]
+    fn skewed_wave_blocks_interchange_and_breaks_semantics() {
+        let nest = NestBuilder::new("skew")
+            .array("A", &[40, 40])
+            .loop_("J", 2, 9)
+            .loop_("I", 2, 9)
+            .stmt("A(I,J) = A(I-1,J+1) * 0.5")
+            .build();
+        let g = DepGraph::build(&nest);
+        assert!(!legal_permutation(&g, &[1, 0]));
+        // The legality test is not conservative here: interchange really
+        // does change the result.
+        let p = permute_loops(&nest, &[1, 0]).unwrap();
+        assert_ne!(execute(&p), execute(&nest));
+    }
+
+    #[test]
+    fn reduction_interchange_is_legal() {
+        // A(J) = A(J) + B(I): the accumulation's realizations are
+        // (J:0, I:k>0); after interchange they become (k, 0), still
+        // positive — each A(J) sees the B values in the same order.
+        let nest = NestBuilder::new("red")
+            .array("A", &[40])
+            .array("B", &[40])
+            .loop_("J", 1, 8)
+            .loop_("I", 1, 8)
+            .stmt("A(J) = A(J) + B(I)")
+            .build();
+        let g = DepGraph::build(&nest);
+        assert!(legal_permutation(&g, &[0, 1]));
+        assert!(legal_permutation(&g, &[1, 0]));
+        let p = permute_loops(&nest, &[1, 0]).unwrap();
+        assert_eq!(execute(&p), execute(&nest));
+    }
+
+    #[test]
+    fn all_legal_permutations_preserve_semantics() {
+        let nest = NestBuilder::new("mix")
+            .array("A", &[40, 40])
+            .array("B", &[40, 40])
+            .loop_("J", 2, 9)
+            .loop_("K", 2, 9)
+            .loop_("I", 2, 9)
+            .stmt("A(I,J) = A(I-1,J) + B(K,J)")
+            .build();
+        let g = DepGraph::build(&nest);
+        let orig = execute(&nest);
+        for perm in legal_permutations(&g, 3) {
+            let p = permute_loops(&nest, &perm).unwrap();
+            assert_eq!(execute(&p), orig, "permutation {perm:?} broke semantics");
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Unroll-and-jam legality bounds.
+//!
+//! Unroll-and-jam is strip-mine-and-interchange: unrolling loop `l` by `u`
+//! moves `u + 1` consecutive `l`-iterations into the same innermost
+//! iteration.  A dependence is *violated* when its source and sink land in
+//! the same jammed iteration group in the wrong order — which happens
+//! exactly when there is a dependence whose distance vector has zeros on
+//! the loops outside `l`'s prefix, a component `k` with `1 ≤ k ≤ u` on `l`,
+//! and a lexicographically *negative* suffix below `l` (Callahan, Cocke &
+//! Kennedy).  The safe bound for `l` is therefore `min(k) − 1` over all such
+//! "interchange-preventing" dependences.
+
+use crate::dist::Dist;
+use crate::graph::{DepGraph, DepKind};
+use ujam_ir::LoopNest;
+
+/// Cap applied to unroll bounds when no dependence limits them; also the
+/// default bound of the unroll search space `%` (§4.1).
+pub const UNROLL_CAP: u32 = 16;
+
+/// Computes the maximum safe unroll amount for every loop of the nest.
+///
+/// The innermost loop's entry is always `0` (unroll-and-jam never unrolls
+/// it).  Unconstrained loops are capped at [`UNROLL_CAP`].  Input
+/// dependences never constrain legality and are ignored.
+///
+/// # Example
+///
+/// ```
+/// use ujam_ir::NestBuilder;
+/// use ujam_dep::{safe_unroll_bounds, DepGraph, UNROLL_CAP};
+///
+/// let nest = NestBuilder::new("wave")
+///     .array("A", &[64, 64])
+///     .loop_("J", 2, 33)
+///     .loop_("I", 2, 33)
+///     .stmt("A(I,J) = A(I+1,J-1) * 0.5")
+///     .build();
+/// let g = DepGraph::build(&nest);
+/// // The (1, -1) anti-direction dependence forbids jamming J at all.
+/// assert_eq!(safe_unroll_bounds(&nest, &g), vec![0, 0]);
+/// ```
+pub fn safe_unroll_bounds(nest: &LoopNest, graph: &DepGraph) -> Vec<u32> {
+    let depth = nest.depth();
+    let trips: Vec<i64> = nest.loops().iter().map(|l| l.trip_count()).collect();
+    let mut bounds = vec![UNROLL_CAP; depth];
+    if depth > 0 {
+        bounds[depth - 1] = 0;
+    }
+
+    for edge in graph.edges() {
+        if edge.kind == DepKind::Input {
+            continue;
+        }
+        for l in 0..depth.saturating_sub(1) {
+            // Prefix above `l` must admit all-zero for the dependence to
+            // stay within one jammed group of outer iterations.
+            if !edge.dist[..l].iter().all(|d| d.can_be_zero()) {
+                continue;
+            }
+            // Suffix below `l` must admit a lexicographically negative
+            // value for the jam to reverse the dependence.
+            if !can_be_lex_negative(&edge.dist[l + 1..], &trips[l + 1..]) {
+                continue;
+            }
+            let limit = match edge.dist[l] {
+                // Carried by `l` at exact distance k: unrolling by k or
+                // more puts source and sink in the same group.
+                Dist::Exact(k) if k >= 1 => (k - 1).min(UNROLL_CAP as i64) as u32,
+                Dist::Exact(_) => continue,
+                // Unconstrained distance: any unrolling is unsafe.
+                Dist::Any => 0,
+            };
+            bounds[l] = bounds[l].min(limit);
+        }
+    }
+    bounds
+}
+
+/// Whether the constraint suffix admits a lexicographically negative value.
+fn can_be_lex_negative(dist: &[Dist], trips: &[i64]) -> bool {
+    for (&d, &trip) in dist.iter().zip(trips) {
+        match d {
+            Dist::Any => return trip > 1,
+            Dist::Exact(k) if k < 0 => return true,
+            Dist::Exact(0) => continue,
+            Dist::Exact(_) => return false,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ujam_ir::interp::execute;
+    use ujam_ir::transform::unroll_and_jam;
+    use ujam_ir::NestBuilder;
+
+    #[test]
+    fn independent_nest_is_unconstrained() {
+        let nest = NestBuilder::new("free")
+            .array("A", &[64, 64])
+            .array("B", &[64, 64])
+            .loop_("J", 1, 32)
+            .loop_("I", 1, 32)
+            .stmt("A(I,J) = B(I,J) + 1.0")
+            .build();
+        let g = DepGraph::build(&nest);
+        assert_eq!(safe_unroll_bounds(&nest, &g), vec![UNROLL_CAP, 0]);
+    }
+
+    #[test]
+    fn forward_wave_allows_jam() {
+        // A(I,J) = A(I-1,J-1): distance (1,1); suffix positive, never
+        // reversed by jamming J.
+        let nest = NestBuilder::new("fw")
+            .array("A", &[64, 64])
+            .loop_("J", 2, 33)
+            .loop_("I", 2, 33)
+            .stmt("A(I,J) = A(I-1,J-1) * 0.5")
+            .build();
+        let g = DepGraph::build(&nest);
+        assert_eq!(safe_unroll_bounds(&nest, &g)[0], UNROLL_CAP);
+    }
+
+    #[test]
+    fn backward_wave_with_distance_limits_unroll() {
+        // A(I,J) = A(I+1,J-2): distance (2,-1): unrolling J by 2+ is
+        // illegal, by 1 is fine.
+        let nest = NestBuilder::new("bw")
+            .array("A", &[64, 64])
+            .loop_("J", 3, 34)
+            .loop_("I", 2, 33)
+            .stmt("A(I,J) = A(I+1,J-2) * 0.5")
+            .build();
+        let g = DepGraph::build(&nest);
+        assert_eq!(safe_unroll_bounds(&nest, &g)[0], 1);
+    }
+
+    #[test]
+    fn safety_bound_matches_interpreter() {
+        // The nest above: unroll within the bound preserves semantics.
+        let nest = NestBuilder::new("bw")
+            .array("A", &[64, 64])
+            .loop_("J", 3, 34)
+            .loop_("I", 2, 33)
+            .stmt("A(I,J) = A(I+1,J-2) * 0.5")
+            .build();
+        let orig = execute(&nest);
+        let t = unroll_and_jam(&nest, &[1, 0]).unwrap();
+        assert_eq!(execute(&t), orig, "legal unroll must preserve semantics");
+        // Beyond the bound the transform *does* change semantics,
+        // demonstrating the bound is tight.
+        let t2 = unroll_and_jam(&nest, &[3, 0]).unwrap();
+        assert_ne!(execute(&t2), orig, "illegal unroll should break");
+    }
+
+    #[test]
+    fn input_dependences_do_not_constrain() {
+        // Reads in a "backward" pattern impose nothing.
+        let nest = NestBuilder::new("reads")
+            .array("A", &[64, 64])
+            .array("B", &[64, 64])
+            .loop_("J", 2, 33)
+            .loop_("I", 2, 33)
+            .stmt("B(I,J) = A(I+1,J-1) + A(I-1,J+1)")
+            .build();
+        let g = DepGraph::build(&nest);
+        assert_eq!(safe_unroll_bounds(&nest, &g)[0], UNROLL_CAP);
+    }
+
+    #[test]
+    fn reduction_is_jammable() {
+        // A(J) = A(J) + B(I): flow/anti/output deps carried by I with J
+        // distance 0; jamming J is safe.
+        let nest = NestBuilder::new("intro")
+            .array("A", &[64])
+            .array("B", &[64])
+            .loop_("J", 1, 64)
+            .loop_("I", 1, 64)
+            .stmt("A(J) = A(J) + B(I)")
+            .build();
+        let g = DepGraph::build(&nest);
+        assert_eq!(safe_unroll_bounds(&nest, &g)[0], UNROLL_CAP);
+    }
+}

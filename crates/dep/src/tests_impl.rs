@@ -1,0 +1,244 @@
+//! Per-pair dependence testing (the "practical dependence testing" suite of
+//! Goff, Kennedy & Tseng, restricted to what affine nests need).
+//!
+//! Given two references to the same array, each subscript dimension is
+//! classified and tested:
+//!
+//! * **ZIV** (no induction variable): constants must match, else the pair is
+//!   independent;
+//! * **strong SIV** (same variable, same coefficient): exact distance
+//!   `(c1 − c2) / a`, independent if fractional or out of loop bounds;
+//! * **weak SIV / crossing** (same variable, different coefficients, or the
+//!   variable appears on one side only): solvability is checked with a GCD
+//!   argument and the loop's distance is left unconstrained (`*`);
+//! * **MIV** (several variables in one dimension): a GCD test over all
+//!   coefficients; involved loops are left unconstrained.
+//!
+//! Per-dimension constraints are intersected across dimensions; a conflict
+//! anywhere proves independence.
+
+use crate::dist::{Dist, DistVec};
+use ujam_ir::ArrayRef;
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Computes the per-loop distance constraints under which `a` and `b` access
+/// the same element, or `None` if they are proven independent.
+///
+/// `loop_vars` lists the nest's induction variables outermost first; the
+/// returned vector is parallel to it.  Distances are from `a`'s iteration to
+/// `b`'s: element touched by `b` at iteration `i` equals the element touched
+/// by `a` at iteration `i − d`.
+///
+/// # Example
+///
+/// ```
+/// use ujam_ir::{ArrayRef, sub, subs};
+/// use ujam_dep::{pairwise_distance, Dist};
+/// let w = ArrayRef::new("A", subs(&[sub("I")]));
+/// let r = ArrayRef::new("A", subs(&[sub("I").offset(-1)]));
+/// // A(I) at iteration i is read by A(I-1) at iteration i+1: distance 1.
+/// let d = pairwise_distance(&w, &r, &["J", "I"]).unwrap();
+/// // J appears in neither reference, so its component is unconstrained.
+/// assert_eq!(d, vec![Dist::Any, Dist::Exact(1)]);
+/// ```
+pub fn pairwise_distance(a: &ArrayRef, b: &ArrayRef, loop_vars: &[&str]) -> Option<DistVec> {
+    if a.array() != b.array() || a.dims().len() != b.dims().len() {
+        return None;
+    }
+    let mut dist: DistVec = vec![Dist::Any; loop_vars.len()];
+    for (da, db) in a.dims().iter().zip(b.dims()) {
+        let constraint = test_dimension(da, db, loop_vars)?;
+        for (slot, c) in dist.iter_mut().zip(constraint) {
+            *slot = slot.meet(c)?;
+        }
+    }
+    Some(dist)
+}
+
+/// Tests one subscript dimension pair, yielding per-loop constraints.
+fn test_dimension(
+    da: &ujam_ir::AffineSub,
+    db: &ujam_ir::AffineSub,
+    loop_vars: &[&str],
+) -> Option<DistVec> {
+    let coefs: Vec<(i64, i64)> = loop_vars
+        .iter()
+        .map(|v| (da.coef(v), db.coef(v)))
+        .collect();
+    let delta = db.constant_part() - da.constant_part();
+    let involved: Vec<usize> = (0..loop_vars.len())
+        .filter(|&i| coefs[i].0 != 0 || coefs[i].1 != 0)
+        .collect();
+
+    // ZIV: no induction variable on either side.
+    if involved.is_empty() {
+        return (delta == 0).then(|| vec![Dist::Any; loop_vars.len()]);
+    }
+
+    let mut out = vec![Dist::Any; loop_vars.len()];
+    if involved.len() == 1 {
+        let l = involved[0];
+        let (ca, cb) = coefs[l];
+        if ca == cb {
+            // Strong SIV: a·i_a + c_a = a·i_b + c_b  =>  i_a − i_b = Δc / a
+            // with Δc = c_b − c_a as computed above; d is from a to b:
+            // b at iteration i touches what a touched at i − d, i.e.
+            // a·(i − d) + c_a = a·i + c_b  =>  d = −Δc / a ... solve:
+            // a·i_a + c_a = a·i_b + c_b with d = i_b − i_a = −Δc/a? Check:
+            // a·i_a + c_a = a·i_b + c_b => a(i_a − i_b) = Δc => i_b − i_a =
+            // −Δc/a.
+            if delta % ca != 0 {
+                return None;
+            }
+            out[l] = Dist::Exact(-delta / ca);
+        } else {
+            // Weak SIV (zero / crossing / general): solvable iff
+            // gcd(ca, cb) divides Δc (with the one-sided case demanding
+            // divisibility by the present coefficient).
+            let g = gcd(ca, cb);
+            if g != 0 && delta % g != 0 {
+                return None;
+            }
+            // Distance varies with the iteration: unconstrained.
+            out[l] = Dist::Any;
+        }
+        return Some(out);
+    }
+
+    // MIV: GCD test over every coefficient of both references.
+    let mut g = 0;
+    for &i in &involved {
+        g = gcd(g, coefs[i].0);
+        g = gcd(g, coefs[i].1);
+    }
+    if g != 0 && delta % g != 0 {
+        return None;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ujam_ir::{sub, sub_affine, sub_const, subs, ArrayRef};
+
+    const VARS: [&str; 2] = ["J", "I"];
+
+    fn r1(dim: ujam_ir::AffineSub) -> ArrayRef {
+        ArrayRef::new("A", subs(&[dim]))
+    }
+
+    #[test]
+    fn strong_siv_exact_distance() {
+        let a = r1(sub("I"));
+        let b = r1(sub("I").offset(-2));
+        // A(I-2) at iteration i touches element i-2, touched by A(I) at
+        // iteration i-2: distance from a to b is +2.
+        assert_eq!(
+            pairwise_distance(&a, &b, &VARS).unwrap(),
+            vec![Dist::Any, Dist::Exact(2)]
+        );
+        // And the reverse is −2.
+        assert_eq!(
+            pairwise_distance(&b, &a, &VARS).unwrap(),
+            vec![Dist::Any, Dist::Exact(-2)]
+        );
+    }
+
+    #[test]
+    fn strong_siv_fractional_is_independent() {
+        let a = r1(sub_affine(&[(2, "I")], 0));
+        let b = r1(sub_affine(&[(2, "I")], -1));
+        assert_eq!(pairwise_distance(&a, &b, &VARS), None);
+        let c = r1(sub_affine(&[(2, "I")], -4));
+        assert_eq!(
+            pairwise_distance(&a, &c, &VARS).unwrap()[1],
+            Dist::Exact(2)
+        );
+    }
+
+    #[test]
+    fn ziv_dimension() {
+        let a = ArrayRef::new("A", subs(&[sub("I"), sub_const(1)]));
+        let b = ArrayRef::new("A", subs(&[sub("I"), sub_const(2)]));
+        assert_eq!(pairwise_distance(&a, &b, &VARS), None);
+        let c = ArrayRef::new("A", subs(&[sub("I"), sub_const(1)]));
+        assert!(pairwise_distance(&a, &c, &VARS).is_some());
+    }
+
+    #[test]
+    fn weak_siv_unconstrained_when_solvable() {
+        // A(2I) vs A(I): intersects at even elements; distance varies.
+        let a = r1(sub_affine(&[(2, "I")], 0));
+        let b = r1(sub("I"));
+        assert_eq!(
+            pairwise_distance(&a, &b, &VARS).unwrap(),
+            vec![Dist::Any, Dist::Any]
+        );
+    }
+
+    #[test]
+    fn one_sided_variable() {
+        // A(I) vs A(4): a single interior iteration collides; kept as Any.
+        let a = r1(sub("I"));
+        let b = r1(sub_const(4));
+        assert_eq!(
+            pairwise_distance(&a, &b, &VARS).unwrap()[1],
+            Dist::Any
+        );
+    }
+
+    #[test]
+    fn miv_gcd_rejects() {
+        // A(2I + 2J) vs A(2I + 2J + 1): parity never matches.
+        let a = r1(sub_affine(&[(2, "I"), (2, "J")], 0));
+        let b = r1(sub_affine(&[(2, "I"), (2, "J")], 1));
+        assert_eq!(pairwise_distance(&a, &b, &VARS), None);
+        let c = r1(sub_affine(&[(2, "I"), (2, "J")], 2));
+        assert!(pairwise_distance(&a, &c, &VARS).is_some());
+    }
+
+    #[test]
+    fn different_arrays_never_depend() {
+        let a = ArrayRef::new("A", subs(&[sub("I")]));
+        let b = ArrayRef::new("B", subs(&[sub("I")]));
+        assert_eq!(pairwise_distance(&a, &b, &VARS), None);
+    }
+
+    #[test]
+    fn multidim_constraints_intersect() {
+        let a = ArrayRef::new("A", subs(&[sub("I"), sub("J")]));
+        let b = ArrayRef::new("A", subs(&[sub("I").offset(-1), sub("J").offset(-2)]));
+        assert_eq!(
+            pairwise_distance(&a, &b, &VARS).unwrap(),
+            vec![Dist::Exact(2), Dist::Exact(1)]
+        );
+    }
+
+    #[test]
+    fn conflicting_dimensions_prove_independence() {
+        // Same variable constrained to two different distances.
+        let a = ArrayRef::new("A", subs(&[sub("I"), sub("I")]));
+        let b = ArrayRef::new(
+            "A",
+            subs(&[sub("I").offset(-1), sub("I").offset(-2)]),
+        );
+        assert_eq!(pairwise_distance(&a, &b, &VARS), None);
+    }
+
+    #[test]
+    fn invariant_ref_is_any_on_unused_loops() {
+        let a = r1(sub("I"));
+        let d = pairwise_distance(&a, &a, &VARS).unwrap();
+        assert_eq!(d, vec![Dist::Any, Dist::Exact(0)]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Symbolic affine subscripts and their `(H, c)` resolution.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use ujam_linalg::Mat;
+
+/// One dimension of an array subscript: an affine function of loop indices,
+/// `Σ coef·index + offset`.
+///
+/// Subscripts are stored symbolically (index *names*, not positions) so that
+/// transformations such as unroll-and-jam can rewrite them without knowing
+/// the loop order; [`crate::ArrayRef::access_matrix`] resolves them against
+/// a concrete loop list.
+///
+/// # Example
+///
+/// ```
+/// use ujam_ir::{sub, sub_affine};
+/// let simple = sub("I");                 // A(I)
+/// let shifted = sub("I").offset(2);      // A(I+2)
+/// let strided = sub_affine(&[(2, "J")], -1); // A(2J-1)
+/// assert_eq!(shifted.to_string(), "I+2");
+/// assert_eq!(strided.to_string(), "2J-1");
+/// # let _ = (simple, strided);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct AffineSub {
+    /// Map from index name to coefficient; zero coefficients are dropped.
+    terms: BTreeMap<String, i64>,
+    /// Constant part of the subscript.
+    offset: i64,
+}
+
+impl AffineSub {
+    /// A constant subscript (e.g. the `1` in `A(I, 1)`).
+    pub fn constant(k: i64) -> AffineSub {
+        AffineSub {
+            terms: BTreeMap::new(),
+            offset: k,
+        }
+    }
+
+    /// Builds a subscript from `(coefficient, index-name)` terms plus offset.
+    pub fn from_terms(terms: &[(i64, &str)], offset: i64) -> AffineSub {
+        let mut map = BTreeMap::new();
+        for &(coef, var) in terms {
+            if coef != 0 {
+                *map.entry(var.to_string()).or_insert(0) += coef;
+            }
+        }
+        map.retain(|_, c| *c != 0);
+        AffineSub { terms: map, offset }
+    }
+
+    /// Returns a copy with `delta` added to the constant part.
+    pub fn offset(&self, delta: i64) -> AffineSub {
+        let mut s = self.clone();
+        s.offset += delta;
+        s
+    }
+
+    /// The coefficient of index `var` (zero if absent).
+    pub fn coef(&self, var: &str) -> i64 {
+        self.terms.get(var).copied().unwrap_or(0)
+    }
+
+    /// The constant part.
+    pub fn constant_part(&self) -> i64 {
+        self.offset
+    }
+
+    /// Iterator over `(index-name, coefficient)` terms.
+    pub fn terms(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.terms.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of distinct induction variables in this dimension.
+    pub fn num_vars(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Substitutes `var := var + delta`, folding the shift into the offset.
+    ///
+    /// This is the core rewrite of unroll-and-jam: a body copy at unroll
+    /// offset `delta` of loop `var` sees `coef·(var + delta)`.
+    pub fn shift_var(&mut self, var: &str, delta: i64) {
+        if let Some(&c) = self.terms.get(var) {
+            self.offset += c * delta;
+        }
+    }
+
+    /// Evaluates the subscript at a concrete index assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced index is missing from `env`.
+    pub fn eval(&self, env: &BTreeMap<&str, i64>) -> i64 {
+        let mut v = self.offset;
+        for (var, coef) in self.terms() {
+            v += coef * env.get(var).unwrap_or_else(|| panic!("unbound index {var}"));
+        }
+        v
+    }
+}
+
+impl fmt::Display for AffineSub {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (var, coef) in self.terms() {
+            if first {
+                match coef {
+                    1 => write!(f, "{var}")?,
+                    -1 => write!(f, "-{var}")?,
+                    c => write!(f, "{c}{var}")?,
+                }
+                first = false;
+            } else {
+                match coef {
+                    1 => write!(f, "+{var}")?,
+                    -1 => write!(f, "-{var}")?,
+                    c if c > 0 => write!(f, "+{c}{var}")?,
+                    c => write!(f, "{c}{var}")?,
+                }
+            }
+        }
+        if first {
+            write!(f, "{}", self.offset)?;
+        } else if self.offset > 0 {
+            write!(f, "+{}", self.offset)?;
+        } else if self.offset < 0 {
+            write!(f, "{}", self.offset)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for AffineSub {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AffineSub({self})")
+    }
+}
+
+/// Shorthand for a plain one-variable subscript dimension `var`.
+pub fn sub(var: &str) -> AffineSub {
+    AffineSub::from_terms(&[(1, var)], 0)
+}
+
+/// Shorthand for a constant subscript dimension.
+pub fn sub_const(k: i64) -> AffineSub {
+    AffineSub::constant(k)
+}
+
+/// Shorthand for a general affine subscript dimension.
+pub fn sub_affine(terms: &[(i64, &str)], offset: i64) -> AffineSub {
+    AffineSub::from_terms(terms, offset)
+}
+
+/// Shorthand turning a slice of dimensions into the owned `Vec` the builder
+/// APIs take.
+pub fn subs(dims: &[AffineSub]) -> Vec<AffineSub> {
+    dims.to_vec()
+}
+
+/// Resolves symbolic subscripts to the access matrix `H` (`rank × depth`)
+/// and constant vector `c` against an ordered list of loop index names
+/// (outermost first).
+pub fn resolve(dims: &[AffineSub], loop_vars: &[&str]) -> (Mat, Vec<i64>) {
+    let mut h = Mat::zeros(dims.len(), loop_vars.len());
+    let mut c = Vec::with_capacity(dims.len());
+    for (r, d) in dims.iter().enumerate() {
+        for (var, coef) in d.terms() {
+            if let Some(col) = loop_vars.iter().position(|&v| v == var) {
+                h[(r, col)] = coef;
+            }
+            // Indices not bound by the nest (e.g. parameters) fold into the
+            // constant conceptually; we treat them as zero here because the
+            // builder rejects unbound names up front.
+        }
+        c.push(d.constant_part());
+    }
+    (h, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(sub("I").to_string(), "I");
+        assert_eq!(sub("I").offset(2).to_string(), "I+2");
+        assert_eq!(sub("I").offset(-2).to_string(), "I-2");
+        assert_eq!(sub_const(4).to_string(), "4");
+        assert_eq!(sub_affine(&[(2, "J")], -1).to_string(), "2J-1");
+        assert_eq!(sub_affine(&[(-1, "I")], 0).to_string(), "-I");
+        assert_eq!(sub_affine(&[(1, "I"), (1, "J")], 0).to_string(), "I+J");
+    }
+
+    #[test]
+    fn zero_coefficients_are_dropped() {
+        let s = sub_affine(&[(0, "I"), (2, "J"), (-2, "J")], 3);
+        assert_eq!(s.num_vars(), 0);
+        assert_eq!(s, sub_const(3));
+    }
+
+    #[test]
+    fn shift_var_folds_into_offset() {
+        let mut s = sub_affine(&[(3, "I")], 1);
+        s.shift_var("I", 2);
+        assert_eq!(s, sub_affine(&[(3, "I")], 7));
+        s.shift_var("J", 5); // absent: no-op
+        assert_eq!(s.constant_part(), 7);
+    }
+
+    #[test]
+    fn eval_uses_environment() {
+        let s = sub_affine(&[(2, "I"), (-1, "J")], 4);
+        let mut env = BTreeMap::new();
+        env.insert("I", 3);
+        env.insert("J", 1);
+        assert_eq!(s.eval(&env), 9);
+    }
+
+    #[test]
+    fn resolve_builds_h_and_c() {
+        let dims = [sub("I").offset(1), sub_affine(&[(2, "K")], -3)];
+        let (h, c) = resolve(&dims, &["J", "I", "K"]);
+        assert_eq!(h.row(0), &[0, 1, 0]);
+        assert_eq!(h.row(1), &[0, 0, 2]);
+        assert_eq!(c, vec![1, -3]);
+    }
+}

@@ -1,0 +1,24 @@
+//! The evaluation workloads of the reproduction.
+//!
+//! * [`kernels`] — the 19 test loops of the paper's Table 2, rebuilt in
+//!   the `ujam-ir` DSL with the reference patterns of the original
+//!   SPEC92 / Perfect / NAS / local codes (see [`Kernel`] for the
+//!   per-kernel notes on what was preserved);
+//! * [`corpus`] — a seeded synthetic routine generator standing in for
+//!   the 1187-routine Fortran corpus of §5.1 (we do not have the original
+//!   sources); the pattern mix mirrors array-based scientific code:
+//!   stencils, reductions, dense linear algebra, and multi-array sweeps.
+//!
+//! All kernels are separable SIV (§3.5) — as the paper notes, "on loops
+//! where unroll-and-jam is applicable nearly all array references fit
+//! these criteria" — and use trip counts divisible by every unroll factor
+//! up to 8 so the clean (no clean-up loop) transformation always applies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod suite;
+mod synth;
+
+pub use suite::{kernel, kernels, Kernel};
+pub use synth::{corpus, corpus_routine, corpus_subroutine, corpus_subroutines};

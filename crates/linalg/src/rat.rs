@@ -1,0 +1,249 @@
+//! Normalized rational numbers over `i128`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number.
+///
+/// Invariants: the denominator is always positive and `gcd(num, den) == 1`
+/// (with `0` represented as `0/1`).  Arithmetic panics on overflow; the
+/// matrices in this domain are tiny (loop depth × array rank), so overflow
+/// indicates a logic error rather than a workload we must support.
+///
+/// # Example
+///
+/// ```
+/// use ujam_linalg::Rat;
+/// let a = Rat::new(2, 4);
+/// assert_eq!(a, Rat::new(1, 2));
+/// assert_eq!((a + Rat::from(1)).to_string(), "3/2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rat {
+    /// The rational zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Creates a rational `num/den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "rational with zero denominator");
+        let g = gcd(num, den).max(1);
+        let sign = if den < 0 { -1 } else { 1 };
+        Rat {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn num(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn den(self) -> i128 {
+        self.den
+    }
+
+    /// Returns `true` if the value is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Returns `true` if the value is a (possibly negative) integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// Returns the value as an `i64` if it is an integer that fits.
+    pub fn to_i64(self) -> Option<i64> {
+        if self.den == 1 {
+            i64::try_from(self.num).ok()
+        } else {
+            None
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(self) -> Rat {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rat::new(self.den, self.num)
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Rat {
+        Rat {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Rat {
+        Rat {
+            num: v as i128,
+            den: 1,
+        }
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        Rat::new(
+            self.num
+                .checked_mul(rhs.den)
+                .and_then(|a| a.checked_add(rhs.num.checked_mul(self.den).expect("rat overflow")))
+                .expect("rat overflow"),
+            self.den.checked_mul(rhs.den).expect("rat overflow"),
+        )
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        Rat::new(
+            self.num.checked_mul(rhs.num).expect("rat overflow"),
+            self.den.checked_mul(rhs.den).expect("rat overflow"),
+        )
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: Rat) -> Rat {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_reduces_and_fixes_sign() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(1, -2), Rat::new(-1, 2));
+        assert_eq!(Rat::new(-3, -6), Rat::new(1, 2));
+        assert_eq!(Rat::new(0, -7), Rat::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        let a = Rat::new(1, 3);
+        let b = Rat::new(1, 6);
+        assert_eq!(a + b, Rat::new(1, 2));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(1, 18));
+        assert_eq!(a / b, Rat::from(2));
+        assert_eq!(-a, Rat::new(-1, 3));
+    }
+
+    #[test]
+    fn ordering_compares_cross_products() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::ZERO);
+        assert!(Rat::new(7, 2) > Rat::from(3));
+    }
+
+    #[test]
+    fn integer_queries() {
+        assert!(Rat::new(4, 2).is_integer());
+        assert_eq!(Rat::new(4, 2).to_i64(), Some(2));
+        assert_eq!(Rat::new(1, 2).to_i64(), None);
+        assert!(Rat::ZERO.is_zero());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Rat::new(3, 2).to_string(), "3/2");
+        assert_eq!(Rat::from(-4).to_string(), "-4");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn zero_reciprocal_panics() {
+        let _ = Rat::ZERO.recip();
+    }
+}

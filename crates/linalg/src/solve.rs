@@ -1,0 +1,278 @@
+//! Linear solvers for the merge-point equations of the table algorithms.
+//!
+//! The Carr–Guan table construction (Figures 2, 3, 5, 7 of the paper)
+//! repeatedly asks: *at which unroll offset does a copy of reference group
+//! `j` coincide with group `i`?*  That is the system `H·x = c_j − c_i`,
+//! where `x` is supported only on the loops being unrolled and must be a
+//! non-negative integer vector.  For the separable-SIV references the paper
+//! targets (§3.5), the restricted system has full column rank, so the
+//! solution — if any — is unique; [`solve_unique_nonneg`] reports exactly
+//! which of the possible failure modes occurred so callers (and tests) can
+//! distinguish "never merges" from "merges outside the unroll space".
+
+use crate::{Mat, Rat};
+
+/// Result of the merge-point solve `H·x = d` over selected columns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// A unique, integral, component-wise non-negative solution; entries are
+    /// given for the selected columns in the order they were passed.
+    Unique(Vec<i64>),
+    /// The system is inconsistent: the groups never coincide.
+    NoSolution,
+    /// The restricted system is under-determined (non-trivial kernel), so
+    /// there is no single merge point.  Does not occur for separable SIV.
+    Underdetermined,
+    /// A unique rational solution exists but is not integral: the copies
+    /// interleave without ever coinciding.
+    NonIntegral,
+    /// The unique integral solution has a negative component: the merge
+    /// would require unrolling "backwards", which unroll-and-jam cannot do.
+    Negative,
+}
+
+impl SolveOutcome {
+    /// Convenience accessor for the solution vector, if unique/valid.
+    pub fn unique(&self) -> Option<&[i64]> {
+        match self {
+            SolveOutcome::Unique(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Solves `H·x = d` for `x` supported on `cols`, requiring a unique
+/// non-negative integer solution.
+///
+/// Rows of `H` whose restriction to `cols` is all zero impose the pure
+/// constraint `d_r == 0`; if violated the system is inconsistent.
+///
+/// # Panics
+///
+/// Panics if `d.len() != h.rows()` or any column index is out of range.
+///
+/// # Example
+///
+/// ```
+/// use ujam_linalg::{Mat, solve::{solve_unique_nonneg, SolveOutcome}};
+/// // A(I,J) vs A(I-2,J): Δc = (2, 0); unrolling I by 2 merges the copies.
+/// let h = Mat::identity(2);
+/// let got = solve_unique_nonneg(&h, &[2, 0], &[0]);
+/// assert_eq!(got, SolveOutcome::Unique(vec![2]));
+/// ```
+pub fn solve_unique_nonneg(h: &Mat, d: &[i64], cols: &[usize]) -> SolveOutcome {
+    match solve_unique(h, d, cols) {
+        SolveOutcome::Unique(ints) if ints.iter().any(|&v| v < 0) => SolveOutcome::Negative,
+        other => other,
+    }
+}
+
+/// Solves `H·x = d` for `x` supported on `cols`, requiring a unique integer
+/// solution of any sign.
+///
+/// This is the group-reuse membership query of the Wolf–Lam model: two
+/// uniformly generated references belong to the same group-temporal set iff
+/// `H·x = c₂ − c₁` has an (any-sign) integer solution within the localized
+/// loops.  [`solve_unique_nonneg`] layers the unroll-space sign requirement
+/// on top.
+///
+/// # Panics
+///
+/// Panics if `d.len() != h.rows()` or any column index is out of range.
+pub fn solve_unique(h: &Mat, d: &[i64], cols: &[usize]) -> SolveOutcome {
+    assert_eq!(d.len(), h.rows(), "rhs length mismatch");
+    let restricted = h.select_cols(cols);
+    match solve_rational(&restricted, d) {
+        RationalSolve::NoSolution => SolveOutcome::NoSolution,
+        RationalSolve::Underdetermined => SolveOutcome::Underdetermined,
+        RationalSolve::Unique(x) => {
+            if x.iter().any(|r| !r.is_integer()) {
+                SolveOutcome::NonIntegral
+            } else {
+                SolveOutcome::Unique(
+                    x.iter()
+                        .map(|r| r.to_i64().expect("merge offset exceeds i64"))
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+/// Internal result of the rational solve.
+enum RationalSolve {
+    Unique(Vec<Rat>),
+    NoSolution,
+    Underdetermined,
+}
+
+/// Gaussian elimination of `[A | d]` over the rationals.
+fn solve_rational(a: &Mat, d: &[i64]) -> RationalSolve {
+    let (m, n) = (a.rows(), a.cols());
+    let mut aug: Vec<Vec<Rat>> = (0..m)
+        .map(|r| {
+            let mut row: Vec<Rat> = a.row(r).iter().map(|&x| Rat::from(x)).collect();
+            row.push(Rat::from(d[r]));
+            row
+        })
+        .collect();
+
+    let mut pivot_cols = Vec::new();
+    let mut pivot_row = 0;
+    for col in 0..n {
+        let Some(src) = (pivot_row..m).find(|&r| !aug[r][col].is_zero()) else {
+            continue;
+        };
+        aug.swap(pivot_row, src);
+        let inv = aug[pivot_row][col].recip();
+        for x in aug[pivot_row].iter_mut() {
+            *x = *x * inv;
+        }
+        for r in 0..m {
+            if r != pivot_row && !aug[r][col].is_zero() {
+                let factor = aug[r][col];
+                for c in 0..=n {
+                    let sub = aug[pivot_row][c] * factor;
+                    aug[r][c] = aug[r][c] - sub;
+                }
+            }
+        }
+        pivot_cols.push(col);
+        pivot_row += 1;
+        if pivot_row == m {
+            break;
+        }
+    }
+
+    // Inconsistent row: 0 = nonzero.
+    for r in pivot_row..m {
+        if !aug[r][n].is_zero() {
+            return RationalSolve::NoSolution;
+        }
+    }
+    if pivot_cols.len() < n {
+        return RationalSolve::Underdetermined;
+    }
+    let mut x = vec![Rat::ZERO; n];
+    for (r, &c) in pivot_cols.iter().enumerate() {
+        x[c] = aug[r][n];
+    }
+    RationalSolve::Unique(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_merge_point() {
+        // Paper Figure 1: A(I,J) and A(I-2,J) merge once the I loop is
+        // unrolled by 2.
+        let h = Mat::identity(2);
+        assert_eq!(
+            solve_unique_nonneg(&h, &[2, 0], &[0]),
+            SolveOutcome::Unique(vec![2])
+        );
+    }
+
+    #[test]
+    fn inconsistent_when_unselected_dimension_differs() {
+        // A(I,J) vs A(I-2,J-1) unrolling only I: the J difference can never
+        // be closed.
+        let h = Mat::identity(2);
+        assert_eq!(
+            solve_unique_nonneg(&h, &[2, 1], &[0]),
+            SolveOutcome::NoSolution
+        );
+    }
+
+    #[test]
+    fn two_loop_merge() {
+        let h = Mat::identity(3);
+        assert_eq!(
+            solve_unique_nonneg(&h, &[1, 3, 0], &[0, 1]),
+            SolveOutcome::Unique(vec![1, 3])
+        );
+    }
+
+    #[test]
+    fn negative_offset_is_reported() {
+        let h = Mat::identity(2);
+        assert_eq!(
+            solve_unique_nonneg(&h, &[-1, 0], &[0]),
+            SolveOutcome::Negative
+        );
+    }
+
+    #[test]
+    fn non_integral_offset_is_reported() {
+        // A(2I) vs A(2I - 1): copies interleave, never coincide.
+        let h = Mat::from_rows(&[&[2, 0]]);
+        assert_eq!(
+            solve_unique_nonneg(&h, &[1], &[0]),
+            SolveOutcome::NonIntegral
+        );
+        // A(2I) vs A(2I - 4): merge at unroll offset 2.
+        assert_eq!(
+            solve_unique_nonneg(&h, &[4], &[0]),
+            SolveOutcome::Unique(vec![2])
+        );
+    }
+
+    #[test]
+    fn underdetermined_non_siv() {
+        // H with a dependent column pair: x0 + x1 appears in one subscript.
+        let h = Mat::from_rows(&[&[1, 1]]);
+        assert_eq!(
+            solve_unique_nonneg(&h, &[2], &[0, 1]),
+            SolveOutcome::Underdetermined
+        );
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero_solution() {
+        let h = Mat::identity(2);
+        assert_eq!(
+            solve_unique_nonneg(&h, &[0, 0], &[0]),
+            SolveOutcome::Unique(vec![0])
+        );
+    }
+
+    #[test]
+    fn coefficient_scaling() {
+        // A(3J) style access: merge needs Δc divisible by 3.
+        let h = Mat::from_rows(&[&[0, 3]]);
+        assert_eq!(
+            solve_unique_nonneg(&h, &[6], &[1]),
+            SolveOutcome::Unique(vec![2])
+        );
+        assert_eq!(
+            solve_unique_nonneg(&h, &[7], &[1]),
+            SolveOutcome::NonIntegral
+        );
+    }
+
+    #[test]
+    fn unique_accessor() {
+        assert_eq!(SolveOutcome::Unique(vec![1]).unique(), Some(&[1][..]));
+        assert_eq!(SolveOutcome::NoSolution.unique(), None);
+    }
+}
+
+#[cfg(test)]
+mod solve_unique_tests {
+    use super::*;
+
+    #[test]
+    fn any_sign_solution_is_accepted() {
+        let h = Mat::identity(2);
+        assert_eq!(
+            solve_unique(&h, &[-3, 0], &[0]),
+            SolveOutcome::Unique(vec![-3])
+        );
+        assert_eq!(
+            solve_unique_nonneg(&h, &[-3, 0], &[0]),
+            SolveOutcome::Negative
+        );
+    }
+}

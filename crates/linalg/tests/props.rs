@@ -1,0 +1,136 @@
+//! Property-based tests for the exact linear-algebra substrate.
+
+use proptest::prelude::*;
+use ujam_linalg::{solve_unique_nonneg, Mat, Rat, Space, SolveOutcome};
+
+/// Small matrices keep the search space meaningful while staying exact.
+/// The column count is fixed so generated rows share an ambient dimension.
+fn small_mat(max_rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
+    (1..=max_rows).prop_flat_map(move |r| {
+        proptest::collection::vec(-4i64..=4, r * cols)
+            .prop_map(move |data| Mat::from_vec(r, cols, data))
+    })
+}
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(-6i64..=6, len)
+}
+
+proptest! {
+    #[test]
+    fn rat_add_commutes(a in -50i64..50, b in 1i64..20, c in -50i64..50, d in 1i64..20) {
+        let x = Rat::new(a as i128, b as i128);
+        let y = Rat::new(c as i128, d as i128);
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!(x * y, y * x);
+        prop_assert_eq!((x - y) + y, x);
+    }
+
+    #[test]
+    fn transpose_involution(m in small_mat(4, 4)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn kernel_vectors_annihilate(m in small_mat(3, 4)) {
+        let k = Space::kernel(&m);
+        for b in k.basis() {
+            for row in m.iter_rows() {
+                let mut acc = Rat::ZERO;
+                for (coef, x) in row.iter().zip(b) {
+                    acc = acc + Rat::from(*coef) * *x;
+                }
+                prop_assert!(acc.is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn rank_nullity(m in small_mat(4, 4)) {
+        let k = Space::kernel(&m);
+        // rank = n - nullity; rank is the row-space dimension.
+        let row_space = Space::span_rat(
+            m.cols(),
+            m.iter_rows().map(|r| r.iter().map(|&x| Rat::from(x)).collect()).collect(),
+        );
+        prop_assert_eq!(row_space.dim() + k.dim(), m.cols());
+    }
+
+    #[test]
+    fn span_contains_generators(m in small_mat(4, 4)) {
+        let s = Space::span_rat(
+            m.cols(),
+            m.iter_rows().map(|r| r.iter().map(|&x| Rat::from(x)).collect()).collect(),
+        );
+        for row in m.iter_rows() {
+            prop_assert!(s.contains_int(row));
+        }
+    }
+
+    #[test]
+    fn intersection_is_contained_in_both(a in small_mat(3, 4), b in small_mat(3, 4)) {
+        let sa = Space::span_rat(
+            4,
+            a.iter_rows().map(|r| r.iter().map(|&x| Rat::from(x)).collect()).collect(),
+        );
+        let sb = Space::span_rat(
+            4,
+            b.iter_rows().map(|r| r.iter().map(|&x| Rat::from(x)).collect()).collect(),
+        );
+        let i = sa.intersect(&sb);
+        prop_assert!(sa.contains_space(&i));
+        prop_assert!(sb.contains_space(&i));
+        // Dimension formula: dim(A) + dim(B) = dim(A+B) + dim(A∩B).
+        prop_assert_eq!(sa.dim() + sb.dim(), sa.sum(&sb).dim() + i.dim());
+    }
+
+    #[test]
+    fn sum_contains_both(a in small_mat(2, 3), b in small_mat(2, 3)) {
+        let sa = Space::span_rat(
+            3,
+            a.iter_rows().map(|r| r.iter().map(|&x| Rat::from(x)).collect()).collect(),
+        );
+        let sb = Space::span_rat(
+            3,
+            b.iter_rows().map(|r| r.iter().map(|&x| Rat::from(x)).collect()).collect(),
+        );
+        let s = sa.sum(&sb);
+        prop_assert!(s.contains_space(&sa));
+        prop_assert!(s.contains_space(&sb));
+    }
+
+    /// If the solver claims a unique solution, plugging it back in must
+    /// reproduce the right-hand side.
+    #[test]
+    fn solve_round_trip(m in small_mat(3, 3), x in small_vec(2)) {
+        // Build d = H·(x embedded in the first two columns), then re-solve.
+        let cols = [0usize, 1usize];
+        let cols = &cols[..cols.len().min(m.cols())];
+        let mut full = vec![0i64; m.cols()];
+        for (i, &c) in cols.iter().enumerate() {
+            full[c] = x[i].abs(); // non-negative target
+        }
+        let d = m.mul_vec(&full);
+        match solve_unique_nonneg(&m, &d, cols) {
+            SolveOutcome::Unique(sol) => {
+                let mut back = vec![0i64; m.cols()];
+                for (i, &c) in cols.iter().enumerate() {
+                    back[c] = sol[i];
+                }
+                prop_assert_eq!(m.mul_vec(&back), d);
+            }
+            // Underdetermined/NoSolution are legitimate for rank-deficient H;
+            // Negative/NonIntegral cannot happen since we constructed d from
+            // a non-negative integer point, but an alternative solution may
+            // exist only when the kernel is non-trivial, which reports
+            // Underdetermined.
+            SolveOutcome::Underdetermined => {}
+            other => {
+                // Only reachable if H restricted to cols is singular in a way
+                // that makes our constructed point non-unique; that is
+                // Underdetermined, so anything else is a bug.
+                prop_assert!(false, "unexpected outcome {:?}", other);
+            }
+        }
+    }
+}

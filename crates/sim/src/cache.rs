@@ -1,0 +1,212 @@
+//! A set-associative, write-allocate, LRU data cache.
+
+/// Result of one cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// The line was resident.
+    Hit,
+    /// The line had to be fetched.
+    Miss,
+}
+
+/// A simple set-associative cache over byte addresses.
+///
+/// Loads and stores are treated alike (write-allocate, no write-back
+/// penalty modelling): the balance model charges misses, not dirtiness.
+///
+/// # Example
+///
+/// ```
+/// use ujam_sim::{Access, Cache};
+/// let mut c = Cache::new(1024, 32, 1);
+/// assert_eq!(c.access(0), Access::Miss);
+/// assert_eq!(c.access(8), Access::Hit);    // same 32-byte line
+/// assert_eq!(c.access(1024), Access::Miss); // maps onto set 0
+/// assert_eq!(c.access(0), Access::Miss);   // direct-mapped conflict
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    line_bytes: usize,
+    sets: usize,
+    ways: usize,
+    /// `tags[set * ways + way]`: line tag, `None` when invalid.
+    tags: Vec<Option<u64>>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `capacity_bytes` with `line_bytes` lines and
+    /// `ways`-way associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry (zero sizes, capacity not divisible
+    /// by `line_bytes * ways`).
+    pub fn new(capacity_bytes: usize, line_bytes: usize, ways: usize) -> Cache {
+        assert!(
+            capacity_bytes > 0 && line_bytes > 0 && ways > 0,
+            "degenerate cache geometry"
+        );
+        assert_eq!(
+            capacity_bytes % (line_bytes * ways),
+            0,
+            "capacity must be a whole number of sets"
+        );
+        let sets = capacity_bytes / (line_bytes * ways);
+        Cache {
+            line_bytes,
+            sets,
+            ways,
+            tags: vec![None; sets * ways],
+            stamps: vec![0; sets * ways],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Builds the cache described by a machine model.
+    pub fn for_machine(m: &ujam_machine::MachineModel) -> Cache {
+        Cache::new(m.cache_bytes(), m.line_bytes(), m.associativity())
+    }
+
+    /// Touches one byte address.
+    pub fn access(&mut self, addr: u64) -> Access {
+        self.clock += 1;
+        let line = addr / self.line_bytes as u64;
+        let set = (line % self.sets as u64) as usize;
+        let base = set * self.ways;
+        // Hit?
+        for w in 0..self.ways {
+            if self.tags[base + w] == Some(line) {
+                self.stamps[base + w] = self.clock;
+                self.hits += 1;
+                return Access::Hit;
+            }
+        }
+        // Miss: fill the LRU way.
+        self.misses += 1;
+        let victim = (0..self.ways)
+            .min_by_key(|&w| {
+                if self.tags[base + w].is_none() {
+                    (0, 0)
+                } else {
+                    (1, self.stamps[base + w])
+                }
+            })
+            .expect("ways >= 1");
+        self.tags[base + victim] = Some(line);
+        self.stamps[base + victim] = self.clock;
+        Access::Miss
+    }
+
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss rate in `[0, 1]` (0 when nothing was accessed).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_walk_misses_once_per_line() {
+        let mut c = Cache::new(4096, 32, 1);
+        for i in 0..512u64 {
+            c.access(i * 8);
+        }
+        assert_eq!(c.misses(), 512 * 8 / 32);
+        assert_eq!(c.accesses(), 512);
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = Cache::new(1024, 32, 2);
+        c.access(100);
+        for _ in 0..10 {
+            assert_eq!(c.access(100), Access::Hit);
+        }
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflicts_thrash() {
+        let mut c = Cache::new(1024, 32, 1);
+        // Two addresses one cache-size apart alternate: always miss.
+        for _ in 0..8 {
+            assert_eq!(c.access(0), Access::Miss);
+            assert_eq!(c.access(1024), Access::Miss);
+        }
+    }
+
+    #[test]
+    fn two_way_associativity_resolves_the_same_conflict() {
+        let mut c = Cache::new(2048, 32, 2);
+        c.access(0);
+        c.access(2048); // same set, second way
+        for _ in 0..8 {
+            assert_eq!(c.access(0), Access::Hit);
+            assert_eq!(c.access(2048), Access::Hit);
+        }
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = Cache::new(64, 32, 2); // one set, two ways
+        c.access(0); // line 0
+        c.access(64); // line 2
+        c.access(0); // refresh line 0
+        c.access(128); // line 4: evicts line 2 (LRU)
+        assert_eq!(c.access(0), Access::Hit);
+        assert_eq!(c.access(64), Access::Miss);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_misses_every_pass() {
+        let mut c = Cache::new(1024, 32, 1);
+        // Stream 4 KiB twice: capacity misses on the second pass too.
+        for _pass in 0..2 {
+            for line in 0..128u64 {
+                c.access(line * 32);
+            }
+        }
+        assert_eq!(c.misses(), 256);
+    }
+
+    #[test]
+    fn small_working_set_hits_on_second_pass() {
+        let mut c = Cache::new(4096, 32, 1);
+        for _pass in 0..2 {
+            for line in 0..64u64 {
+                c.access(line * 32);
+            }
+        }
+        assert_eq!(c.misses(), 64);
+        assert_eq!(c.hits(), 64);
+    }
+}

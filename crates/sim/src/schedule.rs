@@ -1,0 +1,139 @@
+//! Innermost-loop initiation-interval estimation.
+//!
+//! The paper's targets are pipelined, multi-issue RISC machines; a
+//! software-pipelined innermost loop sustains one iteration every `II`
+//! cycles where `II = max(ResMII, RecMII)`:
+//!
+//! * **ResMII** — resource pressure: the busiest of the memory pipe, the
+//!   floating-point pipe, and total issue bandwidth;
+//! * **RecMII** — recurrence pressure: a value carried around a
+//!   loop-carried flow dependence of distance `d` must traverse its
+//!   pipeline latency every `d` iterations.
+//!
+//! Scalar replacement feeds ResMII (fewer memory ops per iteration), and
+//! unroll-and-jam feeds the flop side (more independent work per
+//! iteration) — which is exactly how the transformation buys speed on
+//! these machines.
+
+use ujam_dep::{DepGraph, DepKind, Dist};
+use ujam_ir::transform::ReplacementStats;
+use ujam_ir::LoopNest;
+use ujam_machine::MachineModel;
+
+/// Resource-constrained minimum initiation interval, in cycles per
+/// innermost iteration.
+///
+/// `spill_ops` memory operations are added when scalar replacement wants
+/// more registers than the machine has (each spilled value costs a store
+/// and a reload per iteration, charged as two memory ops).
+pub fn res_mii(stats: &ReplacementStats, flops: usize, machine: &MachineModel) -> f64 {
+    let spill = 2 * (stats.registers as i64 - machine.registers_for_replacement() as i64).max(0);
+    let mem = stats.memory_ops() as f64 + spill as f64;
+    let fp = flops as f64;
+    let mem_bound = mem / machine.mem_rate();
+    let fp_bound = fp / machine.flop_rate();
+    let issue_bound = (mem + fp) / machine.issue_width() as f64;
+    mem_bound.max(fp_bound).max(issue_bound)
+}
+
+/// Recurrence-constrained minimum initiation interval.
+///
+/// Every flow dependence that can be carried by the innermost loop with
+/// all outer components zero forces `fp_latency / d` cycles per iteration
+/// (a single-operation recurrence — the accumulator case that dominates
+/// the paper's loops).
+pub fn rec_mii(nest: &LoopNest, graph: &DepGraph, machine: &MachineModel) -> f64 {
+    let depth = nest.depth();
+    let mut worst: f64 = 0.0;
+    for e in graph.edges_of(DepKind::True) {
+        let outer_zero = e.dist[..depth - 1].iter().all(|d| d.can_be_zero());
+        if !outer_zero {
+            continue;
+        }
+        let d = match e.dist[depth - 1] {
+            Dist::Exact(k) if k >= 1 => k as f64,
+            Dist::Exact(_) => continue,
+            // Unconstrained: the tightest realizable carry is distance 1.
+            Dist::Any => 1.0,
+        };
+        worst = worst.max(machine.fp_latency() as f64 / d);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ujam_ir::transform::scalar_replacement;
+    use ujam_ir::NestBuilder;
+
+    #[test]
+    fn res_mii_tracks_the_busiest_pipe() {
+        let nest = NestBuilder::new("r")
+            .array("A", &[66])
+            .array("B", &[66])
+            .loop_("I", 1, 64)
+            .stmt("A(I) = B(I) + 1.0")
+            .build();
+        let stats = scalar_replacement(&nest).stats;
+        let alpha = MachineModel::dec_alpha();
+        // 2 memory ops (load B, store A), 1 flop: memory pipe dominates.
+        assert_eq!(res_mii(&stats, 1, &alpha), 2.0);
+    }
+
+    #[test]
+    fn spills_charge_extra_memory_ops() {
+        let nest = NestBuilder::new("r")
+            .array("A", &[66])
+            .array("B", &[66])
+            .loop_("I", 1, 64)
+            .stmt("A(I) = B(I) + B(I-1) + B(I-2)")
+            .build();
+        let stats = scalar_replacement(&nest).stats;
+        assert_eq!(stats.registers, 3);
+        let cramped = MachineModel::builder("cramped")
+            .rates(1.0, 1.0)
+            .registers(7) // 1 usable after the reserve
+            .build();
+        // 2 ops + 2 spilled values * 2 = 6 memory ops.
+        assert_eq!(res_mii(&stats, 2, &cramped), 6.0);
+    }
+
+    #[test]
+    fn accumulator_recurrence_bounds_ii() {
+        let nest = NestBuilder::new("acc")
+            .array("A", &[66])
+            .array("B", &[66])
+            .loop_("J", 1, 64)
+            .loop_("I", 1, 64)
+            .stmt("A(J) = A(J) + B(I)")
+            .build();
+        let g = DepGraph::build(&nest);
+        let alpha = MachineModel::dec_alpha();
+        assert_eq!(rec_mii(&nest, &g, &alpha), alpha.fp_latency() as f64);
+    }
+
+    #[test]
+    fn long_distance_recurrence_relaxes_ii() {
+        let nest = NestBuilder::new("rec3")
+            .array("A", &[70])
+            .loop_("I", 4, 67)
+            .stmt("A(I) = A(I-3) * 0.5")
+            .build();
+        let g = DepGraph::build(&nest);
+        let alpha = MachineModel::dec_alpha();
+        assert_eq!(rec_mii(&nest, &g, &alpha), alpha.fp_latency() as f64 / 3.0);
+    }
+
+    #[test]
+    fn independent_body_has_no_recurrence() {
+        let nest = NestBuilder::new("indep")
+            .array("A", &[66])
+            .array("B", &[66])
+            .loop_("I", 1, 64)
+            .stmt("A(I) = B(I) * 2.0")
+            .build();
+        let g = DepGraph::build(&nest);
+        assert_eq!(rec_mii(&nest, &g, &MachineModel::dec_alpha()), 0.0);
+    }
+}

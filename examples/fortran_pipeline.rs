@@ -1,0 +1,47 @@
+//! The source-to-source workflow the paper's Memoria tool provided:
+//! Fortran in, optimized Fortran out.
+//!
+//! Run with `cargo run --example fortran_pipeline`.
+
+use ujam::core::optimize;
+use ujam::fortran::{emit, parse};
+use ujam::machine::MachineModel;
+use ujam::sim::simulate;
+
+const SOURCE: &str = "
+      SUBROUTINE MXV
+C     y <- y + M x, column-major sweep (LINPACK dmxpy shape)
+      DIMENSION Y(240), X(240), M(244,244)
+      DO 10 J = 1, 240
+      DO 10 I = 1, 240
+      Y(I) = Y(I) + X(J) * M(I,J)
+ 10   CONTINUE
+      END
+";
+
+fn main() {
+    println!("--- input ---{SOURCE}");
+    let nest = parse(SOURCE).expect("the subset parser accepts this");
+    let machine = MachineModel::dec_alpha();
+
+    let plan = optimize(&nest, &machine);
+    println!(
+        "--- analysis: unroll {:?}, balance {:.2} -> {:.2} (machine {:.2}) ---\n",
+        plan.unroll,
+        plan.original.balance,
+        plan.predicted.balance,
+        machine.balance()
+    );
+
+    println!("--- output ---\n{}", emit(&plan.nest));
+
+    let before = simulate(&nest, &machine);
+    let after = simulate(&plan.nest, &machine);
+    println!(
+        "simulated on {}: {:.0} -> {:.0} cycles ({:.2}x)",
+        machine.name(),
+        before.cycles,
+        after.cycles,
+        before.cycles / after.cycles
+    );
+}

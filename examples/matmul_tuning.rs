@@ -1,0 +1,63 @@
+//! Tune matrix multiply for two machines and watch the optimizer trade
+//! registers for balance.
+//!
+//! Run with `cargo run --release --example matmul_tuning`.
+
+use ujam::core::{optimize, UnrollSpace};
+use ujam::ir::NestBuilder;
+use ujam::machine::MachineModel;
+use ujam::sim::simulate;
+
+fn matmul(n: i64) -> ujam::ir::LoopNest {
+    NestBuilder::new("mmjki")
+        .array("A", &[n + 4, n + 4])
+        .array("B", &[n + 4, n + 4])
+        .array("C", &[n + 4, n + 4])
+        .loop_("J", 1, n)
+        .loop_("K", 1, n)
+        .loop_("I", 1, n)
+        .stmt("C(I,J) = C(I,J) + A(I,K) * B(K,J)")
+        .build()
+}
+
+fn main() {
+    let nest = matmul(48);
+    for machine in [MachineModel::dec_alpha(), MachineModel::hp_parisc()] {
+        println!("=== {} (balance {}) ===", machine.name(), machine.balance());
+        let plan = optimize(&nest, &machine);
+        println!(
+            "chosen unroll {:?}: balance {:.3} -> {:.3}, registers {}",
+            plan.unroll, plan.original.balance, plan.predicted.balance, plan.predicted.registers
+        );
+        let before = simulate(&nest, &machine);
+        let after = simulate(&plan.nest, &machine);
+        println!(
+            "simulated {:.2}x speedup ({:.0} -> {:.0} cycles, miss rate {:.1}% -> {:.1}%)",
+            before.cycles / after.cycles,
+            before.cycles,
+            after.cycles,
+            100.0 * before.miss_rate(),
+            100.0 * after.miss_rate()
+        );
+
+        // Sweep the whole 2-D unroll space to see the balance surface —
+        // one table build answers every query.
+        let space = UnrollSpace::new(3, &[0, 1], 3);
+        let tables = ujam::core::tables::CostTables::build(&nest, &space, machine.line_elems());
+        println!("balance surface over (uJ, uK):");
+        for uj in 0..=3u32 {
+            print!("  ");
+            for uk in 0..=3u32 {
+                let inputs = ujam::core::BalanceInputs {
+                    flops: tables.flops(&[uj, uk]) as f64,
+                    memory_ops: tables.memory_ops(&[uj, uk]) as f64,
+                    cache_lines: tables.cache_lines(&[uj, uk]),
+                    registers: tables.registers(&[uj, uk]),
+                };
+                print!("{:7.3}", ujam::core::loop_balance(&inputs, &machine));
+            }
+            println!();
+        }
+        println!();
+    }
+}

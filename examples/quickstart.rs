@@ -1,0 +1,58 @@
+//! Quickstart: optimize the paper's §3.3 example loop end to end.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use ujam::core::optimize;
+use ujam::ir::transform::scalar_replacement;
+use ujam::ir::NestBuilder;
+use ujam::machine::MachineModel;
+use ujam::sim::simulate;
+
+fn main() {
+    // DO J = 1, 2N ; DO I = 1, M ; A(J) = A(J) + B(I)
+    let nest = NestBuilder::new("intro")
+        .array("A", &[512])
+        .array("B", &[512])
+        .loop_("J", 1, 512)
+        .loop_("I", 1, 512)
+        .stmt("A(J) = A(J) + B(I)")
+        .build();
+
+    let machine = MachineModel::dec_alpha();
+    println!("machine: {} (balance {})", machine.name(), machine.balance());
+    println!("\noriginal loop:\n{nest}");
+
+    let plan = optimize(&nest, &machine);
+    println!("chosen unroll vector: {:?}", plan.unroll);
+    println!(
+        "predicted balance: {:.3} -> {:.3} (machine balance {:.3})",
+        plan.original.balance,
+        plan.predicted.balance,
+        machine.balance()
+    );
+    println!(
+        "memory ops / flops: {}/{} -> {}/{}",
+        plan.original.memory_ops,
+        plan.original.flops,
+        plan.predicted.memory_ops,
+        plan.predicted.flops
+    );
+
+    println!("\nafter unroll-and-jam:\n{}", plan.nest);
+
+    let replaced = scalar_replacement(&plan.nest);
+    println!("after scalar replacement:\n{}", replaced.nest);
+    println!(
+        "loads {} stores {} registers {}",
+        replaced.stats.loads, replaced.stats.stores, replaced.stats.registers
+    );
+
+    let before = simulate(&nest, &machine);
+    let after = simulate(&plan.nest, &machine);
+    println!(
+        "\nsimulated: {:.0} -> {:.0} cycles ({:.2}x speedup)",
+        before.cycles,
+        after.cycles,
+        before.cycles / after.cycles
+    );
+}

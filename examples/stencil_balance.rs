@@ -1,0 +1,52 @@
+//! Why the cache model matters: the jacobi stencil under the all-hits
+//! model versus the §3.2 cache-aware model.
+//!
+//! Run with `cargo run --release --example stencil_balance`.
+
+use ujam::core::{optimize_with, CostModel};
+use ujam::kernels::kernel;
+use ujam::machine::MachineModel;
+use ujam::reuse::{nest_cache_cost, Localized};
+use ujam::sim::simulate;
+
+fn main() {
+    let k = kernel("jacobi").expect("jacobi is in the suite");
+    let nest = k.nest();
+    let machine = MachineModel::dec_alpha();
+
+    println!("kernel: {} — {}\n{nest}", k.name, k.description);
+    let inner = Localized::innermost(nest.depth());
+    println!(
+        "Equation 1 cache lines/iteration (innermost localized): {:.3}",
+        nest_cache_cost(&nest, &inner, machine.line_elems())
+    );
+    println!(
+        "with the J loop localized (what unrolling J buys): {:.3}",
+        nest_cache_cost(
+            &nest,
+            &Localized::with_unrolled(nest.depth(), &[0]),
+            machine.line_elems()
+        )
+    );
+
+    let baseline = simulate(&nest, &machine);
+    for (label, model) in [
+        ("all-hits model (Carr-Kennedy '94)", CostModel::AllHits),
+        ("cache-aware model (this paper)", CostModel::CacheAware),
+    ] {
+        let plan = optimize_with(&nest, &machine, model);
+        let run = simulate(&plan.nest, &machine);
+        println!(
+            "\n{label}: unroll {:?}\n  predicted balance {:.3} -> {:.3}\n  simulated {:.0} cycles ({:.2}x vs original), miss rate {:.1}%",
+            plan.unroll,
+            plan.original.balance,
+            plan.predicted.balance,
+            run.cycles,
+            baseline.cycles / run.cycles,
+            100.0 * run.miss_rate()
+        );
+    }
+    println!(
+        "\nThe all-hits model sees no reason to unroll jacobi (its M/F is already\nlow); only the cache term exposes the group reuse between A(I,J-1),\nA(I,J) and A(I,J+1) that unrolling J converts into register reuse."
+    );
+}

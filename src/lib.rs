@@ -1,0 +1,52 @@
+//! # ujam — Unroll-and-Jam Using Uniformly Generated Sets
+//!
+//! A complete reproduction of Carr & Guan (MICRO 1997): unroll-and-jam
+//! amounts computed from the Wolf–Lam linear-algebra reuse model instead
+//! of a dependence graph bloated with input dependences.
+//!
+//! This facade crate re-exports the whole system:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`ir`] | `ujam-ir` | affine loop-nest IR, builder DSL, unroll-and-jam and scalar replacement |
+//! | [`linalg`] | `ujam-linalg` | exact matrices, rationals, vector spaces, merge-equation solvers |
+//! | [`dep`] | `ujam-dep` | dependence testing, graphs (with input-dep accounting), jam safety |
+//! | [`reuse`] | `ujam-reuse` | uniformly generated sets, GTS/GSS partitions, Equation 1 |
+//! | [`machine`] | `ujam-machine` | machine-balance models (DEC Alpha / HP PA-RISC presets) |
+//! | [`core`] | `ujam-core` | the paper's tables (Figs. 2–5), loop balance, the optimizer, the brute-force baseline |
+//! | [`sim`] | `ujam-sim` | cache + initiation-interval simulator standing in for the 1997 testbeds |
+//! | [`kernels`] | `ujam-kernels` | the 19 Table 2 loops and the synthetic §5.1 corpus |
+//! | [`fortran`] | `ujam-fortran` | a Fortran-77 DO-nest front end (parse + emit) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ujam::ir::NestBuilder;
+//! use ujam::machine::MachineModel;
+//! use ujam::core::optimize;
+//!
+//! // DO J = 1, 2N ; DO I = 1, M ; A(J) = A(J) + B(I)   (§3.3)
+//! let nest = NestBuilder::new("intro")
+//!     .array("A", &[512]).array("B", &[512])
+//!     .loop_("J", 1, 512).loop_("I", 1, 512)
+//!     .stmt("A(J) = A(J) + B(I)")
+//!     .build();
+//!
+//! let plan = optimize(&nest, &MachineModel::dec_alpha());
+//! println!("{}", plan.nest);          // the unrolled-and-jammed loop
+//! assert!(plan.unroll[0] >= 1);       // J was unrolled
+//! assert!(plan.predicted.balance <= plan.original.balance);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ujam_core as core;
+pub use ujam_dep as dep;
+pub use ujam_fortran as fortran;
+pub use ujam_ir as ir;
+pub use ujam_kernels as kernels;
+pub use ujam_linalg as linalg;
+pub use ujam_machine as machine;
+pub use ujam_reuse as reuse;
+pub use ujam_sim as sim;

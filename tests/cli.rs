@@ -1,0 +1,122 @@
+//! Black-box tests of the `ujam` command-line driver.
+
+use std::process::{Command, Output};
+
+fn ujam(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ujam"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+#[test]
+fn list_names_all_nineteen_kernels() {
+    let out = ujam(&["list"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for name in ["jacobi", "mmjki", "vpenta.7", "shal"] {
+        assert!(text.contains(name), "missing {name}");
+    }
+    assert_eq!(text.lines().count(), 20); // header + 19 rows
+}
+
+#[test]
+fn show_prints_fortran_style_listing() {
+    let out = ujam(&["show", "dmxpy0"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("DO J = 1, 240"));
+    assert!(text.contains("Y(I) = Y(I) + X(J) * M(I,J)"));
+}
+
+#[test]
+fn deps_reports_counts_and_bounds() {
+    let out = ujam(&["deps", "sor"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("true:"));
+    assert!(text.contains("input:"));
+    assert!(text.contains("safe unroll bounds"));
+}
+
+#[test]
+fn tables_prints_one_row_per_offset() {
+    let out = ujam(&["tables", "dmxpy0", "3"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    // Header + u = 0..=3.
+    assert!(text.lines().count() >= 6, "{text}");
+    assert!(text.contains("lines/it"));
+}
+
+#[test]
+fn optimize_emits_a_transformed_loop() {
+    let out = ujam(&["optimize", "dmxpy0", "--machine", "alpha"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("chosen unroll vector"));
+    assert!(text.contains("after scalar replacement"));
+    assert!(text.contains("DO J = 1, 240, "), "J loop should be stepped");
+}
+
+#[test]
+fn simulate_reports_speedup() {
+    let out = ujam(&["simulate", "afold", "--machine", "alpha", "--model", "cache"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("speedup:"));
+    assert!(text.contains("original:"));
+}
+
+#[test]
+fn bad_inputs_fail_with_usage() {
+    for args in [
+        &["frobnicate"][..],
+        &["show", "nope"][..],
+        &["optimize", "sor", "--machine", "vax"][..],
+        &[][..],
+    ] {
+        let out = ujam(args);
+        assert!(!out.status.success(), "{args:?} should fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("usage:"), "{args:?}: {err}");
+    }
+}
+
+#[test]
+fn fortran_files_round_trip_through_the_cli() {
+    let dir = std::env::temp_dir().join("ujam_cli_test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("intro.f");
+    // Emit a kernel as Fortran, re-read it, optimize it.
+    let emitted = ujam(&["emit", "dmxpy0"]);
+    assert!(emitted.status.success());
+    std::fs::write(&path, stdout(&emitted)).expect("write source");
+
+    let shown = ujam(&["show", path.to_str().expect("utf8 path")]);
+    assert!(shown.status.success());
+    assert!(stdout(&shown).contains("Y(I) = Y(I) + X(J) * M(I,J)"));
+
+    let optimized = ujam(&["simulate", path.to_str().expect("utf8 path")]);
+    assert!(optimized.status.success());
+    assert!(stdout(&optimized).contains("speedup:"));
+
+    let bad = dir.join("bad.f");
+    std::fs::write(&bad, "      DO I = 1, N\n      ENDDO\n      END").expect("write");
+    let out = ujam(&["show", bad.to_str().expect("utf8 path")]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("integer constant"));
+}
+
+#[test]
+fn schedule_reports_op_mix_and_makespan() {
+    let out = ujam(&["schedule", "dmxpy0"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("makespan"));
+    assert!(text.contains("per original iteration"));
+}

@@ -1,0 +1,130 @@
+//! End-to-end integration: optimize → transform → verify → simulate,
+//! across the whole kernel suite and both machine models.
+
+use ujam::core::{optimize, optimize_with, CostModel};
+use ujam::dep::{safe_unroll_bounds, DepGraph};
+use ujam::ir::interp::execute;
+use ujam::ir::transform::scalar_replacement;
+use ujam::kernels::{kernel, kernels};
+use ujam::machine::MachineModel;
+use ujam::sim::simulate;
+
+/// Every kernel optimizes without panicking, the chosen vector is within
+/// the dependence-safety bounds, and the predicted balance never gets
+/// worse.
+#[test]
+fn every_kernel_optimizes_safely_on_both_machines() {
+    for machine in [MachineModel::dec_alpha(), MachineModel::hp_parisc()] {
+        for k in kernels() {
+            let nest = k.nest();
+            let graph = DepGraph::build(&nest);
+            let bounds = safe_unroll_bounds(&nest, &graph);
+            let plan = optimize(&nest, &machine);
+            for (l, (&u, &b)) in plan.unroll.iter().zip(&bounds).enumerate() {
+                assert!(
+                    u <= b,
+                    "{} on {}: loop {l} unrolled {u} beyond safe bound {b}",
+                    k.name,
+                    machine.name()
+                );
+            }
+            assert!(
+                plan.predicted.balance <= plan.original.balance + 1e-9,
+                "{} on {}: balance worsened",
+                k.name,
+                machine.name()
+            );
+            // Register constraint respected.
+            assert!(
+                plan.predicted.registers <= machine.registers_for_replacement() as i64,
+                "{} on {}: register budget exceeded",
+                k.name,
+                machine.name()
+            );
+        }
+    }
+}
+
+/// The transformation the optimizer applies preserves program semantics
+/// (checked with the reference interpreter on representative kernels).
+#[test]
+fn optimizer_transformations_preserve_semantics() {
+    let machine = MachineModel::dec_alpha();
+    for name in ["jacobi", "dmxpy0", "vpenta.7", "sor", "collc.2"] {
+        let nest = kernel(name).expect("known kernel").nest();
+        let plan = optimize(&nest, &machine);
+        assert_eq!(
+            execute(&plan.nest),
+            execute(&nest),
+            "{name}: unroll-and-jam by {:?} changed semantics",
+            plan.unroll
+        );
+    }
+}
+
+/// Figures 8/9 shape at the granularity of single loops: on the Alpha the
+/// cache-aware plan is simulated to be at least as fast as no transform
+/// for the memory-bound kernels the paper highlights.
+#[test]
+fn memory_bound_kernels_speed_up() {
+    let machine = MachineModel::dec_alpha();
+    for name in ["afold", "dmxpy1", "mmjik", "gmtry.3"] {
+        let nest = kernel(name).expect("known kernel").nest();
+        let plan = optimize(&nest, &machine);
+        let before = simulate(&nest, &machine);
+        let after = simulate(&plan.nest, &machine);
+        assert!(
+            after.cycles < before.cycles,
+            "{name}: no speedup ({} -> {})",
+            before.cycles,
+            after.cycles
+        );
+    }
+}
+
+/// The cache-aware model never chooses a (simulated) slower plan than the
+/// all-hits model by more than noise — the paper's §5.2 comparison.
+#[test]
+fn cache_model_is_no_worse_than_all_hits() {
+    let machine = MachineModel::dec_alpha();
+    for k in kernels() {
+        let nest = k.nest();
+        let nc = optimize_with(&nest, &machine, CostModel::AllHits);
+        let c = optimize_with(&nest, &machine, CostModel::CacheAware);
+        let t_nc = simulate(&nc.nest, &machine).cycles;
+        let t_c = simulate(&c.nest, &machine).cycles;
+        assert!(
+            t_c <= t_nc * 1.05,
+            "{}: cache model lost ({} vs {})",
+            k.name,
+            t_c,
+            t_nc
+        );
+    }
+}
+
+/// Scalar replacement of an optimized kernel never increases memory
+/// operations, and the balance prediction's M matches the transform.
+#[test]
+fn predictions_match_the_transformed_loop() {
+    let machine = MachineModel::hp_parisc();
+    for name in ["dmxpy0", "mmjki", "cond.9", "shal"] {
+        let nest = kernel(name).expect("known kernel").nest();
+        let plan = optimize(&nest, &machine);
+        let replaced = scalar_replacement(&plan.nest);
+        assert_eq!(
+            replaced.stats.memory_ops() as f64,
+            plan.predicted.memory_ops,
+            "{name}: predicted M diverges from the actual transform"
+        );
+        assert_eq!(
+            replaced.stats.registers as i64, plan.predicted.registers,
+            "{name}: predicted registers diverge"
+        );
+        assert_eq!(
+            plan.nest.flops_per_iter() as f64,
+            plan.predicted.flops,
+            "{name}: predicted flops diverge"
+        );
+    }
+}

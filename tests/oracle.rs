@@ -1,0 +1,95 @@
+//! Cross-crate oracle tests: the paper's precomputed tables must agree
+//! exactly with re-analysis of the actually-transformed IR, kernel by
+//! kernel — the strongest form of the §5.3 equivalence claim.
+
+use ujam::core::brute::optimize_brute;
+use ujam::core::streams::replacement_counts_at;
+use ujam::core::{gss_table, gts_table, optimize_in_space, tables::CostTables, UnrollSpace};
+use ujam::dep::{safe_unroll_bounds, DepGraph};
+use ujam::ir::transform::{scalar_replacement, unroll_and_jam};
+use ujam::kernels::kernels;
+use ujam::machine::MachineModel;
+use ujam::reuse::{group_spatial_sets, group_temporal_sets, Localized, UgsSet};
+
+/// Per-kernel: every table's prefix sums equal the partition sizes of the
+/// actually-unrolled nest, at every offset of a 1-D unroll space.
+#[test]
+fn tables_equal_unrolled_ir_partitions_on_all_kernels() {
+    for k in kernels() {
+        let nest = k.nest();
+        let graph = DepGraph::build(&nest);
+        let bounds = safe_unroll_bounds(&nest, &graph);
+        let Some(loop_idx) = (0..nest.depth() - 1).find(|&l| bounds[l] >= 3) else {
+            continue;
+        };
+        let space = UnrollSpace::new(nest.depth(), &[loop_idx], 3);
+        let l = Localized::innermost(nest.depth());
+        let line = 4;
+
+        for u in space.offsets() {
+            let full = space.full_vector(&u);
+            let unrolled = unroll_and_jam(&nest, &full).expect("within safety bound");
+            // Group counts, per UGS, against the real partitions.
+            let original_sets = UgsSet::partition(&nest);
+            let unrolled_sets = UgsSet::partition(&unrolled);
+            for set in &original_sets {
+                let gts_t = gts_table(set, &space).prefix_sum(&u);
+                let gss_t = gss_table(set, &space, line).prefix_sum(&u);
+                let (mut gts_a, mut gss_a) = (0i64, 0i64);
+                for us in unrolled_sets.iter().filter(|s| {
+                    s.array() == set.array() && s.h() == set.h()
+                }) {
+                    gts_a += group_temporal_sets(us, &l).len() as i64;
+                    gss_a += group_spatial_sets(us, &l, line).len() as i64;
+                }
+                assert_eq!(gts_t, gts_a, "{}: GTS {} @ {u:?}", k.name, set.array());
+                assert_eq!(gss_t, gss_a, "{}: GSS {} @ {u:?}", k.name, set.array());
+            }
+            // Memory-op counts against real scalar replacement.
+            let stats = scalar_replacement(&unrolled).stats;
+            let analytic = replacement_counts_at(&nest, &space, &u);
+            assert_eq!(analytic.loads, stats.loads, "{} loads @ {u:?}", k.name);
+            assert_eq!(analytic.stores, stats.stores, "{} stores @ {u:?}", k.name);
+            assert_eq!(
+                analytic.registers, stats.registers,
+                "{} registers @ {u:?}",
+                k.name
+            );
+            let ct = CostTables::build(&nest, &space, line);
+            assert_eq!(
+                ct.memory_ops(&u),
+                stats.memory_ops() as i64,
+                "{} M(u) @ {u:?}",
+                k.name
+            );
+        }
+    }
+}
+
+/// The table-driven and brute-force optimizers make identical decisions on
+/// every kernel and both machines over a 2-D space where available.
+#[test]
+fn optimizers_agree_on_two_loop_spaces() {
+    for machine in [MachineModel::dec_alpha(), MachineModel::hp_parisc()] {
+        for k in kernels() {
+            let nest = k.nest();
+            let graph = DepGraph::build(&nest);
+            let bounds = safe_unroll_bounds(&nest, &graph);
+            let eligible: Vec<usize> = (0..nest.depth() - 1).filter(|&l| bounds[l] >= 2).collect();
+            if eligible.is_empty() {
+                continue;
+            }
+            let loops = &eligible[..eligible.len().min(2)];
+            let space = UnrollSpace::new(nest.depth(), loops, 2);
+            let table = optimize_in_space(&nest, &machine, &space);
+            let brute = optimize_brute(&nest, &machine, &space);
+            assert_eq!(
+                table.unroll,
+                brute.unroll,
+                "{} on {} disagrees",
+                k.name,
+                machine.name()
+            );
+        }
+    }
+}

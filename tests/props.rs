@@ -1,0 +1,89 @@
+//! Workspace-level property tests: random SIV nests through the full
+//! pipeline, asserting the table/transform equivalence the paper rests on.
+
+use proptest::prelude::*;
+use ujam::core::streams::replacement_counts_at;
+use ujam::core::{tables::CostTables, UnrollSpace};
+use ujam::ir::transform::{scalar_replacement, unroll_and_jam};
+use ujam::ir::{LoopNest, NestBuilder};
+
+/// Random 2-deep separable-SIV nests mixing invariant, streaming, and
+/// outer-offset references — the shapes unroll-and-jam feeds on.
+fn siv_nest() -> impl Strategy<Value = LoopNest> {
+    (
+        proptest::collection::vec((0i64..=3, 0i64..=3), 1..=4),
+        proptest::collection::vec(0i64..=3, 0..=3),
+        proptest::bool::ANY,
+    )
+        .prop_map(|(offsets, inv_offsets, reduce)| {
+            let mut rhs = String::from("0.0");
+            for (di, dj) in &offsets {
+                rhs.push_str(&format!(" + B(I+{di}, J+{dj})"));
+            }
+            for dj in &inv_offsets {
+                rhs.push_str(&format!(" + V(J+{dj})"));
+            }
+            let lhs = if reduce { "V(J)" } else { "X(I,J)" };
+            NestBuilder::new("prop")
+                .array("B", &[40, 40])
+                .array("V", &[40])
+                .array("X", &[40, 40])
+                .loop_("J", 1, 24)
+                .loop_("I", 1, 24)
+                .stmt(&format!("{lhs} = {rhs}"))
+                .build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Table predictions equal real scalar replacement of the real
+    /// transform at every offset.
+    #[test]
+    fn tables_match_transform(nest in siv_nest(), u in 0u32..=3) {
+        let space = UnrollSpace::new(2, &[0], 3);
+        prop_assume!(nest.loops()[0].trip_count() % (u as i64 + 1) == 0);
+        let full = space.full_vector(&[u]);
+        let transformed = unroll_and_jam(&nest, &full).expect("divisible");
+        let stats = scalar_replacement(&transformed).stats;
+
+        let analytic = replacement_counts_at(&nest, &space, &[u]);
+        prop_assert_eq!(analytic.loads, stats.loads);
+        prop_assert_eq!(analytic.stores, stats.stores);
+        prop_assert_eq!(analytic.registers, stats.registers);
+        prop_assert_eq!(analytic.hoisted_loads, stats.hoisted_loads);
+
+        let ct = CostTables::build(&nest, &space, 4);
+        prop_assert_eq!(ct.memory_ops(&[u]), stats.memory_ops() as i64);
+        prop_assert_eq!(ct.registers(&[u]), stats.registers as i64);
+        prop_assert_eq!(ct.flops(&[u]), transformed.flops_per_iter());
+    }
+
+    /// Monotonicity: unrolling more never increases memory ops per flop.
+    #[test]
+    fn memory_ops_per_flop_monotone(nest in siv_nest()) {
+        let space = UnrollSpace::new(2, &[0], 3);
+        let ct = CostTables::build(&nest, &space, 4);
+        let ratio = |u: u32| ct.memory_ops(&[u]) as f64 / ct.flops(&[u]) as f64;
+        for u in 0..3u32 {
+            prop_assert!(
+                ratio(u + 1) <= ratio(u) + 1e-12,
+                "ratio rose from {} to {} at u={}",
+                ratio(u),
+                ratio(u + 1),
+                u
+            );
+        }
+    }
+
+    /// Registers never shrink with more unrolling (more live values).
+    #[test]
+    fn registers_monotone(nest in siv_nest()) {
+        let space = UnrollSpace::new(2, &[0], 3);
+        let ct = CostTables::build(&nest, &space, 4);
+        for u in 0..3u32 {
+            prop_assert!(ct.registers(&[u + 1]) >= ct.registers(&[u]));
+        }
+    }
+}

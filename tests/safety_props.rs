@@ -1,0 +1,101 @@
+//! Property tests for transformation *safety*: dependence-derived unroll
+//! bounds and permutation legality must never admit a transformation that
+//! the reference interpreter can distinguish from the original.
+
+use proptest::prelude::*;
+use ujam::dep::{legal_permutations, safe_unroll_bounds, DepGraph};
+use ujam::ir::interp::execute;
+use ujam::ir::transform::{permute_loops, unroll_and_jam};
+use ujam::ir::{LoopNest, NestBuilder};
+
+/// Random in-place wavefront updates `A(I,J) = f(A(I±di, J±dj), B(I,J))`:
+/// the loop-carried dependences these create are exactly what limits
+/// unroll-and-jam.
+fn carried_nest() -> impl Strategy<Value = LoopNest> {
+    (
+        proptest::collection::vec((-2i64..=2, -2i64..=2), 1..=3),
+        proptest::bool::ANY,
+    )
+        .prop_map(|(offsets, with_b)| {
+            let mut rhs = String::from("0.5");
+            for (di, dj) in &offsets {
+                rhs.push_str(&format!(" + A(I+{}, J+{})", di + 3, dj + 3));
+            }
+            if with_b {
+                rhs.push_str(" + B(I, J)");
+            }
+            NestBuilder::new("carried")
+                .array("A", &[40, 40])
+                .array("B", &[40, 40])
+                .loop_("J", 4, 27) // trip 24: divisible by 1,2,3,4,6,8
+                .loop_("I", 4, 27)
+                .stmt(&format!("A(I+3, J+3) = {rhs}"))
+                .build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every unroll amount within the dependence-derived safety bound
+    /// preserves the final memory image.
+    #[test]
+    fn safe_unroll_amounts_preserve_semantics(nest in carried_nest()) {
+        let g = DepGraph::build(&nest);
+        let bounds = safe_unroll_bounds(&nest, &g);
+        let orig = execute(&nest);
+        let trip = nest.loops()[0].trip_count();
+        for u in 1..=bounds[0].min(7) {
+            if trip % (u as i64 + 1) != 0 {
+                continue;
+            }
+            let t = unroll_and_jam(&nest, &[u, 0]).expect("divisible");
+            prop_assert_eq!(
+                execute(&t),
+                orig.clone(),
+                "unroll by {} within bound {} changed semantics",
+                u,
+                bounds[0]
+            );
+        }
+    }
+
+    /// Every permutation the legality test admits preserves the final
+    /// memory image.
+    #[test]
+    fn legal_permutations_preserve_semantics(nest in carried_nest()) {
+        let g = DepGraph::build(&nest);
+        let orig = execute(&nest);
+        for perm in legal_permutations(&g, nest.depth()) {
+            let p = permute_loops(&nest, &perm).expect("valid perm");
+            prop_assert_eq!(
+                execute(&p),
+                orig.clone(),
+                "legal permutation {:?} changed semantics",
+                perm
+            );
+        }
+    }
+
+    /// The safety bound is *useful*: whenever the bound is finite and
+    /// small, exceeding it really does change behaviour for at least the
+    /// canonical witnesses (spot-checked when divisibility allows).
+    #[test]
+    fn bound_zero_loops_have_a_reason(nest in carried_nest()) {
+        let g = DepGraph::build(&nest);
+        let bounds = safe_unroll_bounds(&nest, &g);
+        if bounds[0] == 0 {
+            // There must be a data dependence that the jam would reverse:
+            // some non-input edge with a positive J-component and a
+            // possibly-negative inner suffix.
+            let found = g.edges().iter().any(|e| {
+                e.kind != ujam::dep::DepKind::Input
+                    && match e.dist[0] {
+                        ujam::dep::Dist::Exact(k) => k >= 1,
+                        ujam::dep::Dist::Any => true,
+                    }
+            });
+            prop_assert!(found, "bound 0 without a carried dependence");
+        }
+    }
+}
