@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Local CI gate. The workspace has no external dependencies, so everything
+# runs with --offline (the build environment has no crates.io registry).
+set -euxo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --offline --workspace --all-targets
+cargo test -q --offline --workspace
+cargo fmt --all -- --check
+cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -1,4 +1,4 @@
-//! Criterion benches for the design choices DESIGN.md §5 calls out:
+//! Micro-benchmarks for the design choices DESIGN.md §5 calls out:
 //!
 //! * region algorithm vs Möbius-inversion tabulation for group-spatial
 //!   tables (the fallback costs more — measure how much);
@@ -6,19 +6,28 @@
 //!   evaluator (the register table evaluates it at every offset);
 //! * the dependence graph with vs without input-dependence pairs (the
 //!   processing-time half of the Table 1 claim).
+//!
+//! Plain-`Instant` harness (`ujam_bench::timing`): the offline registry
+//! rules out criterion.  Run with `cargo bench --bench ablations`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ujam_bench::timing::bench;
 use ujam_core::{gss_table, streams::replacement_counts_at, UnrollSpace};
 use ujam_dep::DepGraph;
 use ujam_ir::NestBuilder;
 use ujam_kernels::kernel;
 use ujam_reuse::UgsSet;
 
+fn main() {
+    gss_construction();
+    stream_partition();
+    dep_graph_cost();
+}
+
 /// jacobi's A set never touches the contiguous row with an unrolled loop:
 /// the region algorithm applies.  A row-indexed variant forces the Möbius
 /// fallback.
-fn bench_gss_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gss_table_construction");
+fn gss_construction() {
+    println!("gss_table_construction");
     let region_nest = kernel("jacobi").expect("known kernel").nest();
     let chain_nest = NestBuilder::new("chain")
         .array("A", &[260, 260])
@@ -33,42 +42,36 @@ fn bench_gss_construction(c: &mut Criterion) {
             .find(|s| s.array() == "A")
             .expect("A set");
         let region_space = UnrollSpace::new(region_nest.depth(), &[0], bound);
-        group.bench_with_input(
-            BenchmarkId::new("region", bound),
-            &bound,
-            |b, _| b.iter(|| gss_table(&region_set, &region_space, 4)),
-        );
+        bench(&format!("region/{bound}"), || {
+            gss_table(&region_set, &region_space, 4)
+        });
         let chain_set = UgsSet::partition(&chain_nest)
             .into_iter()
             .find(|s| s.array() == "A")
             .expect("A set");
         let chain_space = UnrollSpace::new(chain_nest.depth(), &[0], bound);
-        group.bench_with_input(
-            BenchmarkId::new("mobius_fallback", bound),
-            &bound,
-            |b, _| b.iter(|| gss_table(&chain_set, &chain_space, 4)),
-        );
-    }
-    group.finish();
-}
-
-fn bench_stream_partition(c: &mut Criterion) {
-    // A wide body: many copies to partition.
-    let nest = kernel("shal").expect("known kernel").nest();
-    let space = UnrollSpace::new(2, &[0], 8);
-    let mut group = c.benchmark_group("analytic_counts");
-    for u in [0u32, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("signatures", u), &u, |b, &u| {
-            b.iter(|| replacement_counts_at(&nest, &space, &[u]))
+        bench(&format!("mobius_fallback/{bound}"), || {
+            gss_table(&chain_set, &chain_space, 4)
         });
     }
-    group.finish();
 }
 
-fn bench_dep_graph_cost(c: &mut Criterion) {
+fn stream_partition() {
+    // A wide body: many copies to partition.
+    println!("analytic_counts");
+    let nest = kernel("shal").expect("known kernel").nest();
+    let space = UnrollSpace::new(2, &[0], 8);
+    for u in [0u32, 4, 8] {
+        bench(&format!("signatures/{u}"), || {
+            replacement_counts_at(&nest, &space, &[u])
+        });
+    }
+}
+
+fn dep_graph_cost() {
     // The processing-time half of Table 1: building the graph is
     // quadratic in references, and read-read pairs dominate.
-    let mut group = c.benchmark_group("dep_graph_build");
+    println!("dep_graph_build");
     for reads in [2usize, 6, 10] {
         let mut rhs = String::from("0.0");
         for k in 0..reads {
@@ -81,20 +84,6 @@ fn bench_dep_graph_cost(c: &mut Criterion) {
             .loop_("I", 1, 240)
             .stmt(&format!("B(I,J) = {rhs}"))
             .build();
-        group.bench_with_input(BenchmarkId::from_parameter(reads), &nest, |b, nest| {
-            b.iter(|| DepGraph::build(nest))
-        });
+        bench(&format!("reads/{reads}"), || DepGraph::build(&nest));
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets =
-    bench_gss_construction,
-    bench_stream_partition,
-    bench_dep_graph_cost
-
-}
-criterion_main!(benches);

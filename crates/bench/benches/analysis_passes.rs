@@ -1,8 +1,11 @@
-//! Criterion bench for the individual analysis passes: dependence-graph
+//! Micro-benchmarks for the individual analysis passes: dependence-graph
 //! construction (with and without the input dependences Table 1 counts),
 //! UGS partitioning, table construction, and the simulator.
+//!
+//! Plain-`Instant` harness (`ujam_bench::timing`): the offline registry
+//! rules out criterion.  Run with `cargo bench --bench analysis_passes`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ujam_bench::timing::bench;
 use ujam_core::{tables::CostTables, UnrollSpace};
 use ujam_dep::{DepGraph, DepKind};
 use ujam_ir::transform::{scalar_replacement, unroll_and_jam};
@@ -11,63 +14,37 @@ use ujam_machine::MachineModel;
 use ujam_reuse::{nest_cache_cost, Localized, UgsSet};
 use ujam_sim::simulate;
 
-fn bench_dependence_graph(c: &mut Criterion) {
+fn main() {
     let routines = corpus(1997, 64);
-    c.bench_function("dep_graph/corpus64", |b| {
-        b.iter(|| {
-            let mut edges = 0usize;
-            let mut input = 0usize;
-            for nest in &routines {
-                let g = DepGraph::build(nest);
-                edges += g.len();
-                input += g.count(DepKind::Input);
-            }
-            (edges, input)
-        })
+    bench("dep_graph/corpus64", || {
+        let mut edges = 0usize;
+        let mut input = 0usize;
+        for nest in &routines {
+            let g = DepGraph::build(nest);
+            edges += g.len();
+            input += g.count(DepKind::Input);
+        }
+        (edges, input)
     });
-}
 
-fn bench_reuse_analysis(c: &mut Criterion) {
     let nest = kernel("jacobi").expect("known kernel").nest();
-    c.bench_function("ugs_partition/jacobi", |b| {
-        b.iter(|| UgsSet::partition(&nest))
-    });
-    c.bench_function("equation1/jacobi", |b| {
-        b.iter(|| nest_cache_cost(&nest, &Localized::innermost(nest.depth()), 4))
+    bench("ugs_partition/jacobi", || UgsSet::partition(&nest));
+    bench("equation1/jacobi", || {
+        nest_cache_cost(&nest, &Localized::innermost(nest.depth()), 4)
     });
     let space = UnrollSpace::new(nest.depth(), &[0], 8);
-    c.bench_function("cost_tables/jacobi", |b| {
-        b.iter(|| CostTables::build(&nest, &space, 4))
-    });
-}
+    bench("cost_tables/jacobi", || CostTables::build(&nest, &space, 4));
 
-fn bench_transforms(c: &mut Criterion) {
     let nest = kernel("mmjki").expect("known kernel").nest();
-    c.bench_function("unroll_and_jam/mmjki_3x3", |b| {
-        b.iter(|| unroll_and_jam(&nest, &[3, 3, 0]).expect("legal"))
+    bench("unroll_and_jam/mmjki_3x3", || {
+        unroll_and_jam(&nest, &[3, 3, 0]).expect("legal")
     });
     let unrolled = unroll_and_jam(&nest, &[3, 3, 0]).expect("legal");
-    c.bench_function("scalar_replacement/mmjki_3x3", |b| {
-        b.iter(|| scalar_replacement(&unrolled))
+    bench("scalar_replacement/mmjki_3x3", || {
+        scalar_replacement(&unrolled)
     });
-}
 
-fn bench_simulator(c: &mut Criterion) {
     let machine = MachineModel::dec_alpha();
     let nest = kernel("cond.7").expect("known kernel").nest();
-    c.bench_function("simulate/cond7_alpha", |b| {
-        b.iter(|| simulate(&nest, &machine))
-    });
+    bench("simulate/cond7_alpha", || simulate(&nest, &machine));
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets =
-    bench_dependence_graph,
-    bench_reuse_analysis,
-    bench_transforms,
-    bench_simulator
-
-}
-criterion_main!(benches);

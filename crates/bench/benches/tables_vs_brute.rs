@@ -1,8 +1,11 @@
-//! Criterion bench for the paper's core efficiency claim (§5.3): choosing
+//! Micro-benchmark for the paper's core efficiency claim (§5.3): choosing
 //! unroll amounts from precomputed tables versus materialising and
 //! re-analysing every candidate body (Wolf, Maydan & Chen).
+//!
+//! Plain-`Instant` harness (`ujam_bench::timing`): the offline registry
+//! rules out criterion.  Run with `cargo bench --bench tables_vs_brute`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ujam_bench::timing::bench;
 use ujam_core::brute::optimize_brute;
 use ujam_core::{optimize_in_space, UnrollSpace};
 use ujam_kernels::kernel;
@@ -10,37 +13,21 @@ use ujam_machine::MachineModel;
 
 /// Representative kernels: a reduction, a streaming stencil, and dense
 /// linear algebra (2-loop unroll space).
-const KERNELS: [(&str, &[usize]); 3] = [
-    ("dmxpy0", &[0]),
-    ("jacobi", &[0]),
-    ("mmjki", &[0, 1]),
-];
+const KERNELS: [(&str, &[usize]); 3] = [("dmxpy0", &[0]), ("jacobi", &[0]), ("mmjki", &[0, 1])];
 
-fn bench_optimizers(c: &mut Criterion) {
+fn main() {
     let machine = MachineModel::dec_alpha();
-    let mut group = c.benchmark_group("unroll_amount_selection");
+    println!("unroll_amount_selection");
     for (name, loops) in KERNELS {
         let nest = kernel(name).expect("known kernel").nest();
         for bound in [2u32, 4, 8] {
             let space = UnrollSpace::new(nest.depth(), loops, bound);
-            group.bench_with_input(
-                BenchmarkId::new(format!("tables/{name}"), bound),
-                &space,
-                |b, space| b.iter(|| optimize_in_space(&nest, &machine, space)),
-            );
-            group.bench_with_input(
-                BenchmarkId::new(format!("brute/{name}"), bound),
-                &space,
-                |b, space| b.iter(|| optimize_brute(&nest, &machine, space)),
-            );
+            bench(&format!("tables/{name}/{bound}"), || {
+                optimize_in_space(&nest, &machine, &space).expect("valid kernel")
+            });
+            bench(&format!("brute/{name}/{bound}"), || {
+                optimize_brute(&nest, &machine, &space).expect("valid kernel")
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_optimizers
-}
-criterion_main!(benches);

@@ -39,18 +39,18 @@ pub fn ablation(machine: &MachineModel, bound: u32) -> Vec<AblationRow> {
             let graph = DepGraph::build(&nest);
             let bounds = safe_unroll_bounds(&nest, &graph);
             // Unroll the outermost jammable loop (all kernels have one).
-            let loop_idx = (0..nest.depth() - 1)
-                .find(|&l| bounds[l] >= 1)
-                .unwrap_or(0);
+            let loop_idx = (0..nest.depth() - 1).find(|&l| bounds[l] >= 1).unwrap_or(0);
             let b = bound.min(bounds[loop_idx].max(1));
             let space = UnrollSpace::new(nest.depth(), &[loop_idx], b);
 
             let t0 = Instant::now();
-            let table_plan = optimize_in_space(&nest, machine, &space);
+            let table_plan =
+                optimize_in_space(&nest, machine, &space).expect("Table 2 kernels are valid");
             let table_us = t0.elapsed().as_secs_f64() * 1e6;
 
             let t0 = Instant::now();
-            let brute_plan = optimize_brute(&nest, machine, &space);
+            let brute_plan =
+                optimize_brute(&nest, machine, &space).expect("Table 2 kernels are valid");
             let brute_us = t0.elapsed().as_secs_f64() * 1e6;
 
             AblationRow {
@@ -72,12 +72,7 @@ mod tests {
     fn both_optimizers_agree_on_every_kernel() {
         for machine in [MachineModel::dec_alpha(), MachineModel::hp_parisc()] {
             for row in ablation(&machine, 4) {
-                assert!(
-                    row.agree,
-                    "{} disagrees on {}",
-                    row.name,
-                    machine.name()
-                );
+                assert!(row.agree, "{} disagrees on {}", row.name, machine.name());
             }
         }
     }

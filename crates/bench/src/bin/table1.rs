@@ -18,7 +18,7 @@ fn main() {
 
     let r = table1(seed, n);
     println!("== Table 1: Percentage of Input Dependences ==");
-    println!("{:>12} | {}", "Range", "Number of Routines");
+    println!("{:>12} | Number of Routines", "Range");
     println!("{:->12}-+-{:->20}", "", "");
     for (label, count) in &r.bands {
         println!("{label:>12} | {count}");
@@ -37,7 +37,10 @@ fn main() {
         "mean per-routine input %:   {:.1}% (std {:.1}; paper: 55.7%, std 33.6)",
         r.mean_pct, r.std_pct
     );
-    println!("mean input deps / routine:  {:.1} (paper: 398)", r.mean_count);
+    println!(
+        "mean input deps / routine:  {:.1} (paper: 398)",
+        r.mean_count
+    );
     println!();
     println!("== Dependence-graph storage (A2) ==");
     println!("bytes with input deps:      {}", r.bytes_all);

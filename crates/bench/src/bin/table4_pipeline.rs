@@ -6,7 +6,10 @@ use ujam_machine::MachineModel;
 
 fn main() {
     let machine = MachineModel::dec_alpha();
-    println!("== Permute-then-jam pipeline on {} (speedups vs original) ==", machine.name());
+    println!(
+        "== Permute-then-jam pipeline on {} (speedups vs original) ==",
+        machine.name()
+    );
     println!(
         "{:10} {:>12} {:>9} {:>9} {:>9}",
         "loop", "order", "jam", "permute", "combined"

@@ -26,8 +26,8 @@ fn main() {
             continue;
         };
         let space = UnrollSpace::new(nest.depth(), &[loop_idx], bounds[loop_idx].min(7));
-        let ugs = optimize_in_space(&nest, &machine, &space);
-        let (dep, bytes) = optimize_depbased(&nest, &machine, &space);
+        let ugs = optimize_in_space(&nest, &machine, &space).expect("valid nest");
+        let (dep, bytes) = optimize_depbased(&nest, &machine, &space).expect("valid nest");
         let agree = ugs.unroll == dep.unroll;
         agreements += agree as usize;
         // Even when the exact vectors differ, the delivered performance

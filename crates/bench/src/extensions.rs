@@ -48,7 +48,7 @@ pub fn register_sweep(names: &[&'static str], sizes: &[u32]) -> Vec<RegisterRow>
                 .miss(20.0, 1.0)
                 .fp_latency(6)
                 .build();
-            let plan = optimize(&nest, &machine);
+            let plan = optimize(&nest, &machine).expect("known kernels are valid");
             let before = simulate(&nest, &machine);
             let after = simulate(&plan.nest, &machine);
             rows.push(RegisterRow {
@@ -95,7 +95,8 @@ pub fn prefetch_sweep(names: &[&'static str], bandwidths: &[f64]) -> Vec<Prefetc
                 .prefetch(bandwidth)
                 .fp_latency(6)
                 .build();
-            let plan = optimize_with(&nest, &machine, CostModel::CacheAware);
+            let plan = optimize_with(&nest, &machine, CostModel::CacheAware)
+                .expect("known kernels are valid");
             let before = simulate(&nest, &machine);
             let after = simulate(&plan.nest, &machine);
             rows.push(PrefetchRow {
@@ -134,14 +135,15 @@ pub fn permute_then_jam(machine: &MachineModel) -> Vec<PipelineRow> {
             let nest = k.nest();
             let baseline = simulate(&nest, machine).cycles;
 
-            let jam = optimize(&nest, machine);
+            let jam = optimize(&nest, machine).expect("known kernels are valid");
             let jam_only = baseline / simulate(&jam.nest, machine).cycles;
 
             let graph = DepGraph::build(&nest);
             let (permuted, _) = best_order(&nest, &graph, machine.line_elems());
             let permute_only = baseline / simulate(&permuted, machine).cycles;
 
-            let combined_plan = optimize(&permuted, machine);
+            let combined_plan =
+                optimize(&permuted, machine).expect("permutation preserves validity");
             let combined = baseline / simulate(&combined_plan.nest, machine).cycles;
 
             PipelineRow {
@@ -166,7 +168,10 @@ mod tests {
         assert_eq!(rows.len(), 3);
         // The chosen unroll amount is monotone in the register budget.
         let amounts: Vec<u32> = rows.iter().map(|r| r.unroll[0]).collect();
-        assert!(amounts[0] <= amounts[1] && amounts[1] <= amounts[2], "{amounts:?}");
+        assert!(
+            amounts[0] <= amounts[1] && amounts[1] <= amounts[2],
+            "{amounts:?}"
+        );
         // And the budget is always respected.
         for r in &rows {
             assert!(r.used <= r.registers.saturating_sub(6) as i64);
@@ -195,7 +200,7 @@ mod tests {
             .prefetch(1.0)
             .fp_latency(6)
             .build();
-        let plan = optimize(&nest, &base);
+        let plan = optimize(&nest, &base).expect("known kernels are valid");
         assert!(simulate(&plan.nest, &pf).cycles <= simulate(&plan.nest, &base).cycles);
         // And the sweep produces a row per (kernel, bandwidth).
         let rows = prefetch_sweep(&["mmjik"], &[0.0, 1.0]);
@@ -249,7 +254,7 @@ pub fn scaling_sweep(names: &[&'static str], sizes: &[i64]) -> Vec<ScalingRow> {
         let k = kernel(name).expect("known kernel");
         for &n in sizes {
             let nest = k.nest_sized(n);
-            let plan = optimize(&nest, &machine);
+            let plan = optimize(&nest, &machine).expect("known kernels are valid");
             let before = simulate(&nest, &machine);
             let after = simulate(&plan.nest, &machine);
             // Rough working-set estimate: every declared array element.

@@ -1,6 +1,6 @@
 //! Figures 8 & 9: normalized execution time of the 19 test loops.
 
-use ujam_core::{optimize_with, CostModel};
+use ujam_core::{optimize_batch_with, CostModel};
 use ujam_kernels::kernels;
 use ujam_machine::MachineModel;
 use ujam_sim::simulate;
@@ -42,13 +42,20 @@ impl FigureRow {
 /// Reproduces one figure: optimize every Table 2 loop under both cost
 /// models and simulate all three variants on `machine`.
 pub fn figure(machine: &MachineModel) -> Vec<FigureRow> {
-    kernels()
-        .iter()
-        .map(|k| {
-            let nest = k.nest();
-            let original = simulate(&nest, machine);
-            let nc = optimize_with(&nest, machine, CostModel::AllHits);
-            let c = optimize_with(&nest, machine, CostModel::CacheAware);
+    let ks = kernels();
+    let nests: Vec<_> = ks.iter().map(|k| k.nest()).collect();
+    // Both experimental arms go through the batch driver: one pipeline
+    // context per nest, fanned out across scoped threads.
+    let no_cache_plans = optimize_batch_with(&nests, machine, CostModel::AllHits);
+    let cache_plans = optimize_batch_with(&nests, machine, CostModel::CacheAware);
+    ks.iter()
+        .zip(&nests)
+        .zip(no_cache_plans)
+        .zip(cache_plans)
+        .map(|(((k, nest), nc), c)| {
+            let nc = nc.expect("Table 2 kernels are valid");
+            let c = c.expect("Table 2 kernels are valid");
+            let original = simulate(nest, machine);
             let no_cache = simulate(&nc.nest, machine);
             let cache = simulate(&c.nest, machine);
             FigureRow {

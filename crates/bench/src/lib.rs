@@ -12,6 +12,7 @@ pub mod ablation;
 pub mod extensions;
 pub mod figures;
 pub mod table1;
+pub mod timing;
 
 pub use ablation::{ablation, AblationRow};
 pub use extensions::{permute_then_jam, prefetch_sweep, register_sweep, scaling_sweep};

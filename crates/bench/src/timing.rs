@@ -1,0 +1,108 @@
+//! A minimal plain-`Instant` micro-benchmark harness.
+//!
+//! The workspace builds against an offline registry, so the bench
+//! targets cannot pull in criterion; this module provides the small
+//! subset they need — calibrated batching, a few repeated samples, and a
+//! median/min report — with no dependencies.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Samples collected per benchmark; the median is the headline number.
+const SAMPLES: usize = 7;
+
+/// Target wall time per sample batch.
+const BATCH_TARGET: Duration = Duration::from_millis(40);
+
+/// One measured benchmark: its name and per-iteration timings.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark label, e.g. `"tables/jacobi/4"`.
+    pub name: String,
+    /// Median nanoseconds per iteration across sample batches.
+    pub median_ns: f64,
+    /// Fastest sample batch, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Iterations per sample batch after calibration.
+    pub iters: u64,
+}
+
+impl Measurement {
+    /// Renders one aligned report line.
+    pub fn report(&self) -> String {
+        format!(
+            "{:44} {:>12} /iter   (min {:>12}, {} iters/sample)",
+            self.name,
+            fmt_ns(self.median_ns),
+            fmt_ns(self.min_ns),
+            self.iters
+        )
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Times `f`, printing a report line and returning the measurement.
+///
+/// The routine warms up, calibrates a batch size that runs for roughly
+/// [`BATCH_TARGET`], then takes [`SAMPLES`] batches and reports the
+/// median.  Results are passed through [`black_box`] so the work is not
+/// optimized away.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Measurement {
+    // Warm-up and calibration in one: time single calls until the batch
+    // size that hits the target is known.
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().max(Duration::from_nanos(1));
+    let iters = (BATCH_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut per_iter: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let m = Measurement {
+        name: name.to_string(),
+        median_ns: per_iter[per_iter.len() / 2],
+        min_ns: per_iter[0],
+        iters,
+    };
+    println!("{}", m.report());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let m = bench("spin", || (0..100u64).sum::<u64>());
+        assert!(m.median_ns > 0.0);
+        assert!(m.min_ns <= m.median_ns);
+        assert!(m.iters >= 1);
+    }
+
+    #[test]
+    fn formats_every_magnitude() {
+        assert!(fmt_ns(5.0).ends_with("ns"));
+        assert!(fmt_ns(5.0e3).ends_with("µs"));
+        assert!(fmt_ns(5.0e6).ends_with("ms"));
+        assert!(fmt_ns(5.0e9).ends_with("s"));
+    }
+}

@@ -8,26 +8,36 @@
 //! optimizer (that equivalence is a test), but costs a full re-analysis
 //! per candidate; `ujam-bench` measures the gap, reproducing the paper's
 //! argument for the table method.
+//!
+//! Within the pipeline this search lives in
+//! [`crate::pipeline::BruteSearch`], a drop-in alternative to the
+//! table-driven [`crate::pipeline::SearchSpace`] stage; the free
+//! functions here are the standalone entry points.
 
 use crate::balance::{loop_balance, BalanceInputs};
 use crate::driver::{Optimized, Prediction};
+use crate::pipeline::{AnalysisCtx, ApplyTransform, BruteSearch, OptimizeError, Pass};
 use crate::space::UnrollSpace;
-use ujam_ir::transform::{scalar_replacement, unroll_and_jam};
+use ujam_ir::transform::{scalar_replacement, unroll_and_jam, TransformError};
 use ujam_ir::LoopNest;
 use ujam_machine::MachineModel;
 use ujam_reuse::{nest_cache_cost, Localized};
 
 /// Evaluates the balance inputs of one candidate by actually transforming
 /// the loop: unroll-and-jam, scalar replacement, Equation 1 on the result.
+///
+/// Fails with the underlying [`TransformError`] when the unroll vector
+/// cannot be applied (illegal under the dependence analysis, wrong
+/// length, and so on).
 pub fn measure_candidate(
     nest: &LoopNest,
     unroll: &[u32],
     machine: &MachineModel,
-) -> Option<BalanceInputs> {
-    let transformed = unroll_and_jam(nest, unroll).ok()?;
+) -> Result<BalanceInputs, TransformError> {
+    let transformed = unroll_and_jam(nest, unroll)?;
     let replaced = scalar_replacement(&transformed);
     let l = Localized::innermost(nest.depth());
-    Some(BalanceInputs {
+    Ok(BalanceInputs {
         flops: transformed.flops_per_iter() as f64,
         memory_ops: replaced.stats.memory_ops() as f64,
         cache_lines: nest_cache_cost(&transformed, &l, machine.line_elems()),
@@ -39,31 +49,97 @@ pub fn measure_candidate(
 ///
 /// Mirrors [`crate::optimize_in_space`]'s objective exactly so the two
 /// can be compared both for agreement (correctness) and cost (the
-/// ablation benchmark).
-///
-/// # Panics
-///
-/// Panics if the space's depth does not match the nest.
+/// ablation benchmark).  Runs the [`BruteSearch`] pipeline stage followed
+/// by [`ApplyTransform`].
 pub fn optimize_brute(
     nest: &LoopNest,
     machine: &MachineModel,
     space: &UnrollSpace,
-) -> Optimized {
-    assert_eq!(space.depth(), nest.depth(), "space/nest depth mismatch");
+) -> Result<Optimized, OptimizeError> {
+    let mut ctx = AnalysisCtx::new(nest, machine)?;
+    let found = BruteSearch {
+        space: space.clone(),
+    }
+    .run(&mut ctx)?;
+    let nest_out = ApplyTransform {
+        unroll: found.unroll.clone(),
+    }
+    .run(&mut ctx)?;
+    Ok(Optimized {
+        nest: nest_out,
+        unroll: found.unroll,
+        predicted: found.predicted,
+        original: found.original,
+        space: space.clone(),
+    })
+}
+
+/// Evaluates a candidate with the *dependence-based* reuse model (Carr,
+/// PACT'96 — the paper's reference \[1\]): cache lines are derived from the
+/// transformed loop's dependence graph, **input dependences included**,
+/// instead of from uniformly generated sets.
+///
+/// Returns the balance inputs plus the bytes of dependence graph the
+/// analysis had to build — the storage the UGS model avoids (§5.1).
+pub fn measure_candidate_depbased(
+    nest: &LoopNest,
+    unroll: &[u32],
+    machine: &MachineModel,
+) -> Result<(BalanceInputs, usize), TransformError> {
+    let transformed = unroll_and_jam(nest, unroll)?;
+    let replaced = scalar_replacement(&transformed);
+    let l = Localized::innermost(nest.depth());
+    let graph = ujam_dep::DepGraph::build(&transformed);
+    let bytes = graph.stats().bytes_all;
+    let lines =
+        ujam_reuse::depbased::dep_cache_cost(&transformed, &graph, &l, machine.line_elems());
+    Ok((
+        BalanceInputs {
+            flops: transformed.flops_per_iter() as f64,
+            memory_ops: replaced.stats.memory_ops() as f64,
+            cache_lines: lines,
+            registers: replaced.stats.registers as i64,
+        },
+        bytes,
+    ))
+}
+
+/// The paper's *previous-work* optimizer: exhaustive search scored by the
+/// dependence-based reuse model.  Also reports the total dependence-graph
+/// bytes consumed across the search — the §5.1 cost the UGS tables avoid.
+pub fn optimize_depbased(
+    nest: &LoopNest,
+    machine: &MachineModel,
+    space: &UnrollSpace,
+) -> Result<(Optimized, usize), OptimizeError> {
+    // Validation mirrors `AnalysisCtx::new` so this comparator is as
+    // panic-free on bad input as the pipeline proper.
+    nest.validate().map_err(OptimizeError::InvalidNest)?;
+    if nest.depth() == 0 {
+        return Err(OptimizeError::EmptyNest);
+    }
+    if space.depth() != nest.depth() {
+        return Err(OptimizeError::DepthMismatch {
+            nest: nest.depth(),
+            space: space.depth(),
+        });
+    }
     let beta_m = machine.balance();
     let regs = machine.registers_for_replacement() as i64;
 
     let zero = vec![0u32; space.dims()];
-    let original = measure_candidate(nest, &space.full_vector(&zero), machine)
-        .expect("u = 0 always transforms");
+    let (original, mut graph_bytes) =
+        measure_candidate_depbased(nest, &space.full_vector(&zero), machine)
+            .map_err(OptimizeError::Transform)?;
     let mut best = zero;
     let mut best_inputs = original;
     let mut best_score = (f64::INFINITY, usize::MAX);
     for u in space.offsets() {
         let full = space.full_vector(&u);
-        let Some(inputs) = measure_candidate(nest, &full, machine) else {
+        let Ok((inputs, bytes)) = measure_candidate_depbased(nest, &full, machine) else {
             continue;
         };
+        graph_bytes += bytes;
         if inputs.registers > regs {
             continue;
         }
@@ -79,25 +155,17 @@ pub fn optimize_brute(
     }
 
     let unroll = space.full_vector(&best);
-    let nest_out = unroll_and_jam(nest, &unroll).expect("winner is transformable");
-    Optimized {
-        nest: nest_out,
-        unroll,
-        predicted: prediction(&best_inputs, machine),
-        original: prediction(&original, machine),
-        space: space.clone(),
-    }
-}
-
-fn prediction(i: &BalanceInputs, machine: &MachineModel) -> Prediction {
-    Prediction {
-        balance: loop_balance(i, machine),
-        no_cache_balance: i.no_cache_balance(),
-        memory_ops: i.memory_ops,
-        flops: i.flops,
-        cache_lines: i.cache_lines,
-        registers: i.registers,
-    }
+    let nest_out = unroll_and_jam(nest, &unroll).map_err(OptimizeError::Transform)?;
+    Ok((
+        Optimized {
+            nest: nest_out,
+            unroll,
+            predicted: Prediction::from_inputs(&best_inputs, machine),
+            original: Prediction::from_inputs(&original, machine),
+            space: space.clone(),
+        },
+        graph_bytes,
+    ))
 }
 
 #[cfg(test)]
@@ -138,10 +206,11 @@ mod tests {
         for machine in [MachineModel::dec_alpha(), MachineModel::hp_parisc()] {
             for nest in &kernels {
                 let space = UnrollSpace::new(nest.depth(), &[0], 5);
-                let table = optimize_in_space(nest, &machine, &space);
-                let brute = optimize_brute(nest, &machine, &space);
+                let table = optimize_in_space(nest, &machine, &space).expect("valid nest");
+                let brute = optimize_brute(nest, &machine, &space).expect("valid nest");
                 assert_eq!(
-                    table.unroll, brute.unroll,
+                    table.unroll,
+                    brute.unroll,
                     "{} on {}: table {:?} vs brute {:?}",
                     nest.name(),
                     machine.name(),
@@ -168,98 +237,19 @@ mod tests {
             .stmt("A(J) = A(J) + B(I)")
             .build();
         let space = UnrollSpace::new(2, &[0], 5);
-        let plan = optimize_brute(&nest, &MachineModel::dec_alpha(), &space);
+        let plan = optimize_brute(&nest, &MachineModel::dec_alpha(), &space).expect("valid nest");
         assert!(plan.unroll[0] == 0, "no legal divisor within bound 5");
     }
-}
 
-/// Evaluates a candidate with the *dependence-based* reuse model (Carr,
-/// PACT'96 — the paper's reference \[1\]): cache lines are derived from the
-/// transformed loop's dependence graph, **input dependences included**,
-/// instead of from uniformly generated sets.
-///
-/// Returns the balance inputs plus the bytes of dependence graph the
-/// analysis had to build — the storage the UGS model avoids (§5.1).
-pub fn measure_candidate_depbased(
-    nest: &LoopNest,
-    unroll: &[u32],
-    machine: &MachineModel,
-) -> Option<(BalanceInputs, usize)> {
-    let transformed = unroll_and_jam(nest, unroll).ok()?;
-    let replaced = scalar_replacement(&transformed);
-    let l = Localized::innermost(nest.depth());
-    let graph = ujam_dep::DepGraph::build(&transformed);
-    let bytes = graph.stats().bytes_all;
-    let lines = ujam_reuse::depbased::dep_cache_cost(
-        &transformed,
-        &graph,
-        &l,
-        machine.line_elems(),
-    );
-    Some((
-        BalanceInputs {
-            flops: transformed.flops_per_iter() as f64,
-            memory_ops: replaced.stats.memory_ops() as f64,
-            cache_lines: lines,
-            registers: replaced.stats.registers as i64,
-        },
-        bytes,
-    ))
-}
-
-/// The paper's *previous-work* optimizer: exhaustive search scored by the
-/// dependence-based reuse model.  Also reports the total dependence-graph
-/// bytes consumed across the search — the §5.1 cost the UGS tables avoid.
-///
-/// # Panics
-///
-/// Panics if the space's depth does not match the nest.
-pub fn optimize_depbased(
-    nest: &LoopNest,
-    machine: &MachineModel,
-    space: &UnrollSpace,
-) -> (Optimized, usize) {
-    assert_eq!(space.depth(), nest.depth(), "space/nest depth mismatch");
-    let beta_m = machine.balance();
-    let regs = machine.registers_for_replacement() as i64;
-
-    let zero = vec![0u32; space.dims()];
-    let (original, mut graph_bytes) =
-        measure_candidate_depbased(nest, &space.full_vector(&zero), machine)
-            .expect("u = 0 always transforms");
-    let mut best = zero;
-    let mut best_inputs = original;
-    let mut best_score = (f64::INFINITY, usize::MAX);
-    for u in space.offsets() {
-        let full = space.full_vector(&u);
-        let Some((inputs, bytes)) = measure_candidate_depbased(nest, &full, machine) else {
-            continue;
-        };
-        graph_bytes += bytes;
-        if inputs.registers > regs {
-            continue;
-        }
-        let beta = loop_balance(&inputs, machine);
-        let score = ((beta - beta_m).abs(), space.copies(&u));
-        if score.0 < best_score.0 - 1e-12
-            || ((score.0 - best_score.0).abs() <= 1e-12 && score.1 < best_score.1)
-        {
-            best_score = score;
-            best = u;
-            best_inputs = inputs;
-        }
+    #[test]
+    fn brute_rejects_depth_mismatch() {
+        let nest = NestBuilder::new("d")
+            .array("A", &[9])
+            .loop_("I", 1, 7)
+            .stmt("A(I) = A(I) + 1.0")
+            .build();
+        let space = UnrollSpace::new(2, &[0], 5);
+        let err = optimize_brute(&nest, &MachineModel::dec_alpha(), &space).unwrap_err();
+        assert_eq!(err, OptimizeError::DepthMismatch { nest: 1, space: 2 });
     }
-
-    let unroll = space.full_vector(&best);
-    let nest_out = unroll_and_jam(nest, &unroll).expect("winner is transformable");
-    (
-        Optimized {
-            nest: nest_out,
-            unroll,
-            predicted: prediction(&best_inputs, machine),
-            original: prediction(&original, machine),
-            space: space.clone(),
-        },
-        graph_bytes,
-    )
 }

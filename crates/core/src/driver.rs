@@ -1,12 +1,12 @@
-//! The end-to-end optimizer (§4.5): choose loops, build tables, search.
+//! The end-to-end optimizer (§4.5), as thin wrappers over the staged
+//! pipeline in [`crate::pipeline`]: select loops, build tables, search,
+//! apply.
 
 use crate::balance::{loop_balance, BalanceInputs};
+use crate::pipeline::{AnalysisCtx, ApplyTransform, OptimizeError, Pass, SearchSpace, SelectLoops};
 use crate::space::UnrollSpace;
-use crate::tables::CostTables;
-use ujam_dep::{safe_unroll_bounds, DepGraph, UNROLL_CAP};
-use ujam_ir::{transform::unroll_and_jam, LoopNest};
+use ujam_ir::LoopNest;
 use ujam_machine::MachineModel;
-use ujam_reuse::{nest_cache_cost, Localized};
 
 /// Which balance model guides the search (§5.2's two experimental arms).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,7 +37,7 @@ pub struct Prediction {
 }
 
 impl Prediction {
-    fn from_inputs(i: &BalanceInputs, machine: &MachineModel) -> Prediction {
+    pub(crate) fn from_inputs(i: &BalanceInputs, machine: &MachineModel) -> Prediction {
         Prediction {
             balance: loop_balance(i, machine),
             no_cache_balance: i.no_cache_balance(),
@@ -66,44 +66,6 @@ pub struct Optimized {
     pub space: UnrollSpace,
 }
 
-/// Scores a candidate loop for unrolling: how much cache traffic would
-/// localizing it remove (Equation 1 with and without the loop in `L`)?
-fn locality_score(nest: &LoopNest, loop_idx: usize, line: i64) -> f64 {
-    let depth = nest.depth();
-    let inner = Localized::innermost(depth);
-    let with = Localized::with_unrolled(depth, &[loop_idx]);
-    nest_cache_cost(nest, &inner, line) - nest_cache_cost(nest, &with, line)
-}
-
-/// Chooses up to two loops to unroll (§4.5: "we pick the two loops with
-/// the best locality as measured by Equation 1"), restricted to loops the
-/// dependence analysis allows to be jammed at all.
-fn choose_loops(nest: &LoopNest, machine: &MachineModel, bounds: &[u32]) -> Vec<usize> {
-    let line = machine.line_elems();
-    let mut scored: Vec<(usize, f64)> = (0..nest.depth().saturating_sub(1))
-        .filter(|&l| bounds[l] >= 1)
-        .map(|l| (l, locality_score(nest, l, line)))
-        .collect();
-    // Highest locality benefit first; ties prefer outer position.
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite").then(a.0.cmp(&b.0)));
-    let mut chosen: Vec<usize> = scored
-        .iter()
-        .filter(|&&(_, s)| s > 0.0)
-        .take(2)
-        .map(|&(l, _)| l)
-        .collect();
-    // A memory-bound loop can still profit from pure flop replication
-    // (merging loads of invariant or group-reusing references); keep at
-    // least one candidate when any loop is jammable.
-    if chosen.is_empty() {
-        if let Some(&(l, _)) = scored.first() {
-            chosen.push(l);
-        }
-    }
-    chosen.sort_unstable();
-    chosen
-}
-
 /// Optimizes a nest for a machine: selects loops, builds the tables,
 /// searches the unroll space, and applies the winning transformation.
 ///
@@ -112,6 +74,8 @@ fn choose_loops(nest: &LoopNest, machine: &MachineModel, bounds: &[u32]) -> Vec<
 /// that the dependence analysis proves safe and whose factors divide the
 /// loop trip counts (so the transformation applies without a clean-up
 /// loop).  Ties prefer fewer body copies.
+///
+/// Malformed nests return an [`OptimizeError`] instead of panicking.
 ///
 /// # Example
 ///
@@ -124,105 +88,71 @@ fn choose_loops(nest: &LoopNest, machine: &MachineModel, bounds: &[u32]) -> Vec<
 ///     .loop_("J", 1, 256).loop_("I", 1, 256)
 ///     .stmt("Y(I) = Y(I) + X(J) * M(I,J)")
 ///     .build();
-/// let plan = optimize(&nest, &MachineModel::dec_alpha());
+/// let plan = optimize(&nest, &MachineModel::dec_alpha()).expect("valid nest");
 /// assert!(plan.unroll[0] >= 1, "dmxpy profits from unrolling J");
 /// assert!(plan.predicted.balance < plan.original.balance);
 /// ```
-pub fn optimize(nest: &LoopNest, machine: &MachineModel) -> Optimized {
+pub fn optimize(nest: &LoopNest, machine: &MachineModel) -> Result<Optimized, OptimizeError> {
     optimize_with(nest, machine, CostModel::CacheAware)
 }
 
 /// [`optimize`] with an explicit cost model (§5.2 compares both arms).
-pub fn optimize_with(nest: &LoopNest, machine: &MachineModel, model: CostModel) -> Optimized {
-    let graph = DepGraph::build(nest);
-    let bounds = safe_unroll_bounds(nest, &graph);
-    let loops = choose_loops(nest, machine, &bounds);
-    // Each chosen loop searches up to its own safety bound, capped for
-    // tractability.
-    let per_loop: Vec<u32> = loops
-        .iter()
-        .map(|&l| bounds[l].min(UNROLL_CAP).min(8))
-        .collect();
-    let space = UnrollSpace::with_bounds(nest.depth(), &loops, &per_loop);
-    optimize_in_space_with(nest, machine, &space, model)
+pub fn optimize_with(
+    nest: &LoopNest,
+    machine: &MachineModel,
+    model: CostModel,
+) -> Result<Optimized, OptimizeError> {
+    let mut ctx = AnalysisCtx::new(nest, machine)?;
+    let space = SelectLoops.run(&mut ctx)?;
+    finish(&mut ctx, &space, model)
 }
 
 /// [`optimize`] with an explicit, caller-chosen unroll space.
 ///
-/// # Panics
-///
-/// Panics if the space's depth does not match the nest.
+/// A space whose depth does not match the nest returns
+/// [`OptimizeError::DepthMismatch`].
 pub fn optimize_in_space(
     nest: &LoopNest,
     machine: &MachineModel,
     space: &UnrollSpace,
-) -> Optimized {
+) -> Result<Optimized, OptimizeError> {
     optimize_in_space_with(nest, machine, space, CostModel::CacheAware)
 }
 
 /// [`optimize_in_space`] with an explicit cost model.
-///
-/// # Panics
-///
-/// Panics if the space's depth does not match the nest.
 pub fn optimize_in_space_with(
     nest: &LoopNest,
     machine: &MachineModel,
     space: &UnrollSpace,
     model: CostModel,
-) -> Optimized {
-    assert_eq!(space.depth(), nest.depth(), "space/nest depth mismatch");
-    let tables = CostTables::build(nest, space, machine.line_elems());
-    let beta_m = machine.balance();
-    let regs = machine.registers_for_replacement() as i64;
+) -> Result<Optimized, OptimizeError> {
+    let mut ctx = AnalysisCtx::new(nest, machine)?;
+    finish(&mut ctx, space, model)
+}
 
-    let inputs_at = |u: &[u32]| BalanceInputs {
-        flops: tables.flops(u) as f64,
-        memory_ops: tables.memory_ops(u) as f64,
-        cache_lines: tables.cache_lines(u),
-        registers: tables.registers(u),
-    };
-
-    let zero = vec![0u32; space.dims()];
-    let original_inputs = inputs_at(&zero);
-    let mut best = zero.clone();
-    let mut best_score = (f64::INFINITY, usize::MAX);
-    for u in space.offsets() {
-        // The factors must divide the trip counts for a clean transform.
-        let divisible = space
-            .loops()
-            .iter()
-            .zip(&u)
-            .all(|(&l, &ul)| nest.loops()[l].trip_count() % (ul as i64 + 1) == 0);
-        if !divisible {
-            continue;
-        }
-        let inputs = inputs_at(&u);
-        if inputs.registers > regs {
-            continue;
-        }
-        let beta = match model {
-            CostModel::AllHits => inputs.no_cache_balance(),
-            CostModel::CacheAware => loop_balance(&inputs, machine),
-        };
-        let score = ((beta - beta_m).abs(), space.copies(&u));
-        if score.0 < best_score.0 - 1e-12
-            || ((score.0 - best_score.0).abs() <= 1e-12 && score.1 < best_score.1)
-        {
-            best_score = score;
-            best = u;
-        }
-    }
-
-    let unroll = space.full_vector(&best);
-    let nest_out = unroll_and_jam(nest, &unroll).expect("search only visits legal vectors");
-    Optimized {
-        nest: nest_out,
-        unroll,
-        predicted: Prediction::from_inputs(&inputs_at(&best), machine),
-        original: Prediction::from_inputs(&original_inputs, machine),
+/// Runs the tail of the standard pipeline — `BuildTables` (inside
+/// `SearchSpace`) then `ApplyTransform` — against a prepared context.
+pub(crate) fn finish(
+    ctx: &mut AnalysisCtx<'_>,
+    space: &UnrollSpace,
+    model: CostModel,
+) -> Result<Optimized, OptimizeError> {
+    let found = SearchSpace {
         space: space.clone(),
+        model,
     }
+    .run(ctx)?;
+    let nest_out = ApplyTransform {
+        unroll: found.unroll.clone(),
+    }
+    .run(ctx)?;
+    Ok(Optimized {
+        nest: nest_out,
+        unroll: found.unroll,
+        predicted: found.predicted,
+        original: found.original,
+        space: space.clone(),
+    })
 }
 
 #[cfg(test)]
@@ -242,15 +172,16 @@ mod tests {
 
     #[test]
     fn intro_loop_is_unrolled_toward_machine_balance() {
-        let plan = optimize(&intro(240), &MachineModel::dec_alpha());
-        assert!(plan.unroll[0] >= 1, "J should be unrolled: {:?}", plan.unroll);
+        let plan = optimize(&intro(240), &MachineModel::dec_alpha()).expect("valid nest");
+        assert!(
+            plan.unroll[0] >= 1,
+            "J should be unrolled: {:?}",
+            plan.unroll
+        );
         assert_eq!(plan.unroll[1], 0);
         assert!(plan.predicted.no_cache_balance < plan.original.no_cache_balance);
         // The transformed nest is really unrolled.
-        assert_eq!(
-            plan.nest.body().len(),
-            plan.unroll[0] as usize + 1
-        );
+        assert_eq!(plan.nest.body().len(), plan.unroll[0] as usize + 1);
     }
 
     #[test]
@@ -268,8 +199,8 @@ mod tests {
             .miss(20.0, 1.0)
             .build();
         let nest = intro(240);
-        let small_plan = optimize(&nest, &tiny);
-        let big_plan = optimize(&nest, &big);
+        let small_plan = optimize(&nest, &tiny).expect("valid nest");
+        let big_plan = optimize(&nest, &big).expect("valid nest");
         assert!(small_plan.predicted.registers <= 2);
         assert!(big_plan.unroll[0] >= small_plan.unroll[0]);
     }
@@ -291,7 +222,7 @@ mod tests {
             .cache(8 * 1024, 32, 1)
             .miss(1.0, 1.0) // miss ratio 1: cache term negligible
             .build();
-        let plan = optimize(&nest, &machine);
+        let plan = optimize(&nest, &machine).expect("valid nest");
         assert_eq!(
             plan.unroll,
             vec![0, 0],
@@ -308,8 +239,12 @@ mod tests {
             .loop_("I", 2, 241)
             .stmt("A(I,J) = A(I+1,J-2) * 0.5")
             .build();
-        let plan = optimize(&nest, &MachineModel::dec_alpha());
-        assert!(plan.unroll[0] <= 1, "safety bound violated: {:?}", plan.unroll);
+        let plan = optimize(&nest, &MachineModel::dec_alpha()).expect("valid nest");
+        assert!(
+            plan.unroll[0] <= 1,
+            "safety bound violated: {:?}",
+            plan.unroll
+        );
     }
 
     #[test]
@@ -329,7 +264,7 @@ mod tests {
             .cache(8 * 1024, 32, 1)
             .miss(10.0, 1.0)
             .build();
-        let plan = optimize(&nest, &machine);
+        let plan = optimize(&nest, &machine).expect("valid nest");
         let unrolled_loops = plan.unroll.iter().filter(|&&u| u > 0).count();
         assert!(
             unrolled_loops >= 1,
@@ -337,5 +272,37 @@ mod tests {
             plan.unroll
         );
         assert!(plan.predicted.balance <= plan.original.balance);
+    }
+
+    #[test]
+    fn depth_mismatch_is_an_error() {
+        let nest = intro(240);
+        let space = UnrollSpace::new(3, &[0], 4);
+        let err = optimize_in_space(&nest, &MachineModel::dec_alpha(), &space).unwrap_err();
+        assert_eq!(err, OptimizeError::DepthMismatch { nest: 2, space: 3 });
+    }
+
+    /// Regression for the NaN-unsafe loop-selection sort: degenerate
+    /// nests (zero-benefit loops, exact score ties across every
+    /// candidate) must select deterministically and never panic.  The
+    /// seed sorted with `partial_cmp(..).expect("scores are finite")`.
+    #[test]
+    fn degenerate_locality_scores_select_without_panicking() {
+        // Every outer loop is absent from every subscript: all locality
+        // scores are exactly equal (a maximal tie), and pure in-place
+        // updates keep them degenerate.
+        let nest = NestBuilder::new("degen")
+            .array("A", &[26])
+            .loop_("L", 1, 24)
+            .loop_("K", 1, 24)
+            .loop_("J", 1, 24)
+            .loop_("I", 1, 24)
+            .stmt("A(I) = A(I) * 0.5")
+            .build();
+        let plan = optimize(&nest, &MachineModel::dec_alpha()).expect("valid nest");
+        assert_eq!(plan.unroll.len(), 4);
+        // Deterministic: a re-run picks the same vector.
+        let again = optimize(&nest, &MachineModel::dec_alpha()).expect("valid nest");
+        assert_eq!(plan.unroll, again.unroll);
     }
 }

@@ -23,6 +23,23 @@
 //! assert `tables == analytic == full-IR-transform` on the paper's loop
 //! class.
 //!
+//! # Architecture
+//!
+//! The optimizer is a pipeline of named passes over a shared, memoizing
+//! [`pipeline::AnalysisCtx`]:
+//!
+//! ```text
+//! SelectLoops ──► BuildTables ──► SearchSpace ──► ApplyTransform
+//!       └──────────── all querying one AnalysisCtx ───────────┘
+//!            (DepGraph, safety bounds, UGS partition,
+//!             locality scores, CostTables — each built ≤ once)
+//! ```
+//!
+//! [`optimize`] and friends are thin wrappers over that sequence and
+//! return `Result` — malformed nests yield a
+//! [`pipeline::OptimizeError`], never a panic.  [`optimize_batch`] fans
+//! a slice of nests out across scoped threads, one context per nest.
+//!
 //! # Example
 //!
 //! ```
@@ -36,10 +53,28 @@
 //!     .loop_("J", 1, 512).loop_("I", 1, 512)
 //!     .stmt("A(J) = A(J) + B(I)")
 //!     .build();
-//! let plan = optimize(&nest, &MachineModel::dec_alpha());
+//! let plan = optimize(&nest, &MachineModel::dec_alpha()).expect("valid nest");
 //! // Unrolling J improves balance: the optimizer picks a non-trivial u.
 //! assert!(plan.unroll[0] >= 1);
 //! assert!(plan.predicted.balance <= 1.0);
+//! ```
+//!
+//! Batches go through [`optimize_batch`]:
+//!
+//! ```
+//! use ujam_ir::NestBuilder;
+//! use ujam_machine::MachineModel;
+//! use ujam_core::optimize_batch;
+//!
+//! let nests: Vec<_> = (0..3).map(|k| {
+//!     NestBuilder::new(&format!("n{k}"))
+//!         .array("A", &[242]).array("B", &[242])
+//!         .loop_("J", 1, 240).loop_("I", 1, 240)
+//!         .stmt("A(J) = A(J) + B(I)")
+//!         .build()
+//! }).collect();
+//! let plans = optimize_batch(&nests, &MachineModel::dec_alpha());
+//! assert!(plans.iter().all(|p| p.is_ok()));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -48,6 +83,7 @@
 pub mod balance;
 pub mod brute;
 mod driver;
+pub mod pipeline;
 mod space;
 pub mod streams;
 pub mod tables;
@@ -56,6 +92,10 @@ pub use balance::{loop_balance, BalanceInputs};
 pub use driver::{
     optimize, optimize_in_space, optimize_in_space_with, optimize_with, CostModel, Optimized,
     Prediction,
+};
+pub use pipeline::{
+    optimize_batch, optimize_batch_with, optimize_batch_with_workers, AnalysisCtx, CtxStats,
+    OptimizeError,
 };
 pub use space::{OffsetIter, Table, UnrollSpace};
 pub use tables::{gss_table, gts_table, rrs_tables, CostTables, RrsTables};

@@ -1,0 +1,160 @@
+//! The parallel batch driver: one pipeline run per nest, fanned out
+//! across scoped threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use crate::driver::{optimize_with, CostModel, Optimized};
+use crate::pipeline::OptimizeError;
+use ujam_ir::LoopNest;
+use ujam_machine::MachineModel;
+
+/// Optimizes every nest of a batch, returning one result per input in
+/// order.  Nests are distributed across `std::thread::scope` workers
+/// (work-stealing over a shared index), one [`super::AnalysisCtx`] per
+/// nest, so a bad nest fails with its own [`OptimizeError`] without
+/// affecting the rest of the batch.
+///
+/// Results are bitwise-identical to calling [`crate::optimize`] on each
+/// nest sequentially — the scheduling only changes *when* a nest is
+/// analysed, never *what* the analysis computes (a workspace test
+/// asserts this over the full kernel suite).
+///
+/// # Example
+///
+/// ```
+/// use ujam_core::optimize_batch;
+/// use ujam_ir::NestBuilder;
+/// use ujam_machine::MachineModel;
+/// let nests: Vec<_> = (0..4).map(|k| {
+///     NestBuilder::new(&format!("n{k}"))
+///         .array("A", &[242]).array("B", &[242])
+///         .loop_("J", 1, 240).loop_("I", 1, 240)
+///         .stmt("A(J) = A(J) + B(I)")
+///         .build()
+/// }).collect();
+/// let plans = optimize_batch(&nests, &MachineModel::dec_alpha());
+/// assert_eq!(plans.len(), 4);
+/// assert!(plans.iter().all(|p| p.is_ok()));
+/// ```
+pub fn optimize_batch(
+    nests: &[LoopNest],
+    machine: &MachineModel,
+) -> Vec<Result<Optimized, OptimizeError>> {
+    optimize_batch_with(nests, machine, CostModel::CacheAware)
+}
+
+/// [`optimize_batch`] with an explicit cost model.
+pub fn optimize_batch_with(
+    nests: &[LoopNest],
+    machine: &MachineModel,
+    model: CostModel,
+) -> Vec<Result<Optimized, OptimizeError>> {
+    let workers = thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    optimize_batch_with_workers(nests, machine, model, workers)
+}
+
+/// [`optimize_batch_with`] with an explicit worker count (clamped to
+/// `1..=nests.len()`).  A worker count of 1 runs inline without
+/// spawning.
+pub fn optimize_batch_with_workers(
+    nests: &[LoopNest],
+    machine: &MachineModel,
+    model: CostModel,
+    workers: usize,
+) -> Vec<Result<Optimized, OptimizeError>> {
+    if nests.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, nests.len());
+    if workers == 1 {
+        return nests
+            .iter()
+            .map(|nest| optimize_with(nest, machine, model))
+            .collect();
+    }
+
+    let n = nests.len();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<Optimized, OptimizeError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = optimize_with(&nests[i], machine, model);
+                // Each index is claimed by exactly one worker, so the
+                // slot is written exactly once.
+                if let Ok(mut slot) = slots[i].lock() {
+                    *slot = Some(result);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every index below n is claimed and written once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ujam_ir::NestBuilder;
+
+    fn stencil(k: usize) -> LoopNest {
+        NestBuilder::new(&format!("st{k}"))
+            .array("A", &[52, 52])
+            .array("B", &[52, 52])
+            .loop_("J", 2, 49)
+            .loop_("I", 2, 49)
+            .stmt("B(I,J) = A(I,J-1) + A(I,J) + A(I,J+1)")
+            .build()
+    }
+
+    #[test]
+    fn batch_matches_sequential_for_every_worker_count() {
+        let nests: Vec<LoopNest> = (0..6).map(stencil).collect();
+        let machine = MachineModel::dec_alpha();
+        let sequential: Vec<_> = nests
+            .iter()
+            .map(|n| optimize_with(n, &machine, CostModel::CacheAware).expect("valid"))
+            .collect();
+        for workers in [1, 2, 4, 16] {
+            let batch =
+                optimize_batch_with_workers(&nests, &machine, CostModel::CacheAware, workers);
+            assert_eq!(batch.len(), nests.len());
+            for (b, s) in batch.iter().zip(&sequential) {
+                let b = b.as_ref().expect("valid nest");
+                assert_eq!(b.unroll, s.unroll, "workers={workers}");
+                assert_eq!(b.nest, s.nest);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let machine = MachineModel::dec_alpha();
+        assert!(optimize_batch(&[], &machine).is_empty());
+    }
+
+    #[test]
+    fn bad_nests_fail_individually() {
+        let good = stencil(0);
+        let bad = crate::pipeline::ctx::bad_nest();
+        let machine = MachineModel::dec_alpha();
+        let out = optimize_batch_with_workers(&[good, bad], &machine, CostModel::CacheAware, 2);
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(OptimizeError::InvalidNest(_))));
+    }
+}

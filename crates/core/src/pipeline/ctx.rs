@@ -1,0 +1,290 @@
+//! The shared, memoizing analysis context every pass runs against.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::pipeline::OptimizeError;
+use crate::space::UnrollSpace;
+use crate::tables::CostTables;
+use ujam_dep::{safe_unroll_bounds, DepGraph};
+use ujam_ir::LoopNest;
+use ujam_machine::MachineModel;
+use ujam_reuse::{ugs_cost, Localized, UgsSet};
+
+/// Cache key for [`CostTables`]: the unrolled loop positions, their
+/// per-dimension bounds, and the cache line size in elements.
+type TableKey = (Vec<usize>, Vec<u32>, i64);
+
+/// How many times each analysis has actually been computed (not served
+/// from cache).  Exposed so tests can prove the at-most-once guarantee.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CtxStats {
+    /// Dependence-graph constructions.
+    pub dep_graph_builds: usize,
+    /// Safety-bound derivations.
+    pub bounds_builds: usize,
+    /// UGS partitionings of the nest.
+    pub ugs_builds: usize,
+    /// Locality-score evaluations (one per `(loop, line)` pair).
+    pub locality_builds: usize,
+    /// Cost-table constructions (one per `(loops, bounds, line)` key).
+    pub cost_table_builds: usize,
+}
+
+/// Lazily computes and caches every per-nest analysis the optimizer
+/// needs: the dependence graph, dependence-derived safety bounds, the
+/// UGS partition, per-loop locality scores, and [`CostTables`] keyed by
+/// `(loops, bounds, line)`.
+///
+/// One context serves one `(nest, machine)` pair; passes borrow it
+/// mutably and query, so each analysis runs at most once no matter how
+/// many passes (or repeated pass runs) consume it.
+///
+/// # Example
+///
+/// ```
+/// use ujam_core::pipeline::{AnalysisCtx, Pass, SelectLoops};
+/// use ujam_ir::NestBuilder;
+/// use ujam_machine::MachineModel;
+/// let nest = NestBuilder::new("intro")
+///     .array("A", &[242]).array("B", &[242])
+///     .loop_("J", 1, 240).loop_("I", 1, 240)
+///     .stmt("A(J) = A(J) + B(I)")
+///     .build();
+/// let machine = MachineModel::dec_alpha();
+/// let mut ctx = AnalysisCtx::new(&nest, &machine).expect("valid nest");
+/// let space = SelectLoops.run(&mut ctx).expect("selection succeeds");
+/// assert_eq!(space.loops(), &[0]);
+/// assert_eq!(ctx.stats().dep_graph_builds, 1);
+/// ```
+#[derive(Debug)]
+pub struct AnalysisCtx<'a> {
+    nest: &'a LoopNest,
+    machine: &'a MachineModel,
+    dep_graph: Option<DepGraph>,
+    safe_bounds: Option<Vec<u32>>,
+    ugs: Option<Vec<UgsSet>>,
+    locality: HashMap<(usize, i64), f64>,
+    tables: HashMap<TableKey, Rc<CostTables>>,
+    stats: CtxStats,
+}
+
+impl<'a> AnalysisCtx<'a> {
+    /// Creates a context after validating the nest.
+    ///
+    /// Malformed nests (structural validation failures, zero loops) are
+    /// rejected here, which is what makes every downstream pass — and
+    /// every public `optimize*` wrapper — panic-free on bad input.
+    pub fn new(
+        nest: &'a LoopNest,
+        machine: &'a MachineModel,
+    ) -> Result<AnalysisCtx<'a>, OptimizeError> {
+        nest.validate().map_err(OptimizeError::InvalidNest)?;
+        if nest.depth() == 0 {
+            return Err(OptimizeError::EmptyNest);
+        }
+        Ok(AnalysisCtx {
+            nest,
+            machine,
+            dep_graph: None,
+            safe_bounds: None,
+            ugs: None,
+            locality: HashMap::new(),
+            tables: HashMap::new(),
+            stats: CtxStats::default(),
+        })
+    }
+
+    /// The nest under optimization.
+    pub fn nest(&self) -> &'a LoopNest {
+        self.nest
+    }
+
+    /// The target machine model.
+    pub fn machine(&self) -> &'a MachineModel {
+        self.machine
+    }
+
+    /// Build counters proving each analysis runs at most once.
+    pub fn stats(&self) -> CtxStats {
+        self.stats
+    }
+
+    /// The dependence graph, built on first use.
+    pub fn dep_graph(&mut self) -> &DepGraph {
+        if self.dep_graph.is_none() {
+            self.stats.dep_graph_builds += 1;
+            self.dep_graph = Some(DepGraph::build(self.nest));
+        }
+        self.dep_graph.as_ref().expect("just computed")
+    }
+
+    /// Per-loop dependence-safety unroll bounds, derived on first use.
+    pub fn safe_bounds(&mut self) -> &[u32] {
+        if self.safe_bounds.is_none() {
+            self.dep_graph();
+            self.stats.bounds_builds += 1;
+            let graph = self.dep_graph.as_ref().expect("just ensured");
+            self.safe_bounds = Some(safe_unroll_bounds(self.nest, graph));
+        }
+        self.safe_bounds.as_deref().expect("just computed")
+    }
+
+    /// The uniformly generated sets of the nest, partitioned on first
+    /// use and shared by locality scoring and table construction.
+    pub fn ugs(&mut self) -> &[UgsSet] {
+        if self.ugs.is_none() {
+            self.stats.ugs_builds += 1;
+            self.ugs = Some(UgsSet::partition(self.nest));
+        }
+        self.ugs.as_deref().expect("just computed")
+    }
+
+    /// The locality score of unrolling `loop_idx` (Equation 1 with and
+    /// without the loop localized), cached per `(loop, line)` pair.
+    pub fn locality_score(&mut self, loop_idx: usize, line_elems: i64) -> f64 {
+        if let Some(&score) = self.locality.get(&(loop_idx, line_elems)) {
+            return score;
+        }
+        self.ugs();
+        self.stats.locality_builds += 1;
+        let depth = self.nest.depth();
+        let inner = Localized::innermost(depth);
+        let with = Localized::with_unrolled(depth, &[loop_idx]);
+        let sets = self.ugs.as_deref().expect("just ensured");
+        let score = sets
+            .iter()
+            .map(|s| ugs_cost(s, &inner, line_elems) - ugs_cost(s, &with, line_elems))
+            .sum();
+        self.locality.insert((loop_idx, line_elems), score);
+        score
+    }
+
+    /// The cost tables for an unroll space, built once per
+    /// `(loops, bounds, line)` key and shared via `Rc`.
+    pub fn tables(&mut self, space: &UnrollSpace) -> Result<Rc<CostTables>, OptimizeError> {
+        if space.depth() != self.nest.depth() {
+            return Err(OptimizeError::DepthMismatch {
+                nest: self.nest.depth(),
+                space: space.depth(),
+            });
+        }
+        let key: TableKey = (
+            space.loops().to_vec(),
+            space.bounds().to_vec(),
+            self.machine.line_elems(),
+        );
+        if let Some(tables) = self.tables.get(&key) {
+            return Ok(Rc::clone(tables));
+        }
+        self.ugs();
+        self.stats.cost_table_builds += 1;
+        let sets = self.ugs.as_deref().expect("just ensured");
+        let tables = Rc::new(CostTables::build_with_sets(
+            self.nest,
+            sets,
+            space,
+            self.machine.line_elems(),
+        ));
+        self.tables.insert(key, Rc::clone(&tables));
+        Ok(tables)
+    }
+}
+
+/// A structurally invalid nest for negative-path tests: the statement
+/// reads undeclared `Z`, which `NestBuilder::build` would refuse to
+/// construct — assembled with the raw constructor instead, exactly what
+/// a front end handing over unvalidated IR looks like.
+#[cfg(test)]
+pub(crate) fn bad_nest() -> LoopNest {
+    use ujam_ir::{parse_expr, sub, subs, ArrayDecl, ArrayRef, Loop, Stmt};
+    LoopNest::new(
+        "bad",
+        vec![ArrayDecl::new("A", &[16])],
+        vec![Loop::new("J", 1, 8), Loop::new("I", 1, 8)],
+        vec![Stmt::assign(
+            ArrayRef::new("A", subs(&[sub("I")])),
+            parse_expr("Z(I) + 1.0").expect("parses"),
+        )],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ujam_ir::NestBuilder;
+
+    fn intro() -> LoopNest {
+        NestBuilder::new("intro")
+            .array("A", &[242])
+            .array("B", &[242])
+            .loop_("J", 1, 240)
+            .loop_("I", 1, 240)
+            .stmt("A(J) = A(J) + B(I)")
+            .build()
+    }
+
+    #[test]
+    fn each_analysis_builds_at_most_once() {
+        let nest = intro();
+        let machine = MachineModel::dec_alpha();
+        let mut ctx = AnalysisCtx::new(&nest, &machine).expect("valid");
+        let line = machine.line_elems();
+        let space = UnrollSpace::new(2, &[0], 4);
+
+        for _ in 0..5 {
+            ctx.dep_graph();
+            ctx.safe_bounds();
+            ctx.ugs();
+            ctx.locality_score(0, line);
+            ctx.tables(&space).expect("depth matches");
+        }
+        assert_eq!(
+            ctx.stats(),
+            CtxStats {
+                dep_graph_builds: 1,
+                bounds_builds: 1,
+                ugs_builds: 1,
+                locality_builds: 1,
+                cost_table_builds: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn distinct_table_keys_build_separately() {
+        let nest = intro();
+        let machine = MachineModel::dec_alpha();
+        let mut ctx = AnalysisCtx::new(&nest, &machine).expect("valid");
+        let a = UnrollSpace::new(2, &[0], 4);
+        let b = UnrollSpace::new(2, &[0], 6);
+        ctx.tables(&a).expect("a");
+        ctx.tables(&b).expect("b");
+        ctx.tables(&a).expect("a cached");
+        assert_eq!(ctx.stats().cost_table_builds, 2);
+        // The partition behind both builds was still computed only once.
+        assert_eq!(ctx.stats().ugs_builds, 1);
+    }
+
+    #[test]
+    fn depth_mismatch_is_an_error_not_a_panic() {
+        let nest = intro();
+        let machine = MachineModel::dec_alpha();
+        let mut ctx = AnalysisCtx::new(&nest, &machine).expect("valid");
+        let wrong = UnrollSpace::new(3, &[0], 4);
+        assert_eq!(
+            ctx.tables(&wrong).unwrap_err(),
+            OptimizeError::DepthMismatch { nest: 2, space: 3 }
+        );
+    }
+
+    #[test]
+    fn invalid_nests_are_rejected_at_construction() {
+        let nest = bad_nest();
+        let machine = MachineModel::dec_alpha();
+        assert!(matches!(
+            AnalysisCtx::new(&nest, &machine),
+            Err(OptimizeError::InvalidNest(_))
+        ));
+    }
+}

@@ -1,0 +1,102 @@
+//! The staged optimizer pipeline: named passes over a shared,
+//! memoizing [`AnalysisCtx`].
+//!
+//! The paper's whole point is to compute the reuse analyses **once per
+//! nest** and amortize them across the entire unroll space.  The seed
+//! driver re-derived the dependence graph, UGS partition, and cost
+//! tables from scratch on every `optimize*` call; this module makes the
+//! precompute-then-query design explicit:
+//!
+//! ```text
+//!              ┌────────────────────────────────────────────┐
+//!              │            AnalysisCtx<'a>                 │
+//!              │  nest + machine, lazily cached:            │
+//!              │   · DepGraph          (built ≤ once)       │
+//!              │   · safe unroll bounds (built ≤ once)      │
+//!              │   · UGS partition     (built ≤ once)       │
+//!              │   · locality scores   (per loop × line)    │
+//!              │   · CostTables        (per loops/bounds/   │
+//!              │                        line key)           │
+//!              └───────▲──────▲──────────▲──────────▲───────┘
+//!                      │      │          │          │
+//!   SelectLoops ──► BuildTables ──► SearchSpace ──► ApplyTransform
+//!     (which loops,   (GTS/GSS/RRS/     (min |β−β_M|   (unroll-and-jam
+//!      what bounds)    register tables)  s.t. registers) the winner)
+//! ```
+//!
+//! Each stage is a small struct implementing [`Pass`], so stages are
+//! independently testable and swappable — [`BruteSearch`] is a drop-in
+//! replacement for [`SearchSpace`] that materialises every candidate
+//! body instead of querying tables (the §5.3 comparison).  The public
+//! `optimize*` functions in [`crate::driver`] are thin wrappers that run
+//! the standard sequence; [`optimize_batch`] fans a slice of nests out
+//! across `std::thread::scope` workers, one context per nest.
+//!
+//! Failures surface as [`OptimizeError`] instead of panics: malformed
+//! nests, depth-mismatched spaces, and untransformable winners all
+//! return `Err` from every public entry point.
+
+mod batch;
+mod ctx;
+mod pass;
+
+pub use batch::{optimize_batch, optimize_batch_with, optimize_batch_with_workers};
+pub use ctx::{AnalysisCtx, CtxStats};
+pub use pass::{
+    ApplyTransform, BruteSearch, BuildTables, Pass, SearchOutcome, SearchSpace, SelectLoops,
+};
+
+use std::fmt;
+use ujam_ir::transform::TransformError;
+
+/// Why the optimizer could not produce a plan for a nest.
+///
+/// Every public `optimize*` entry point returns this instead of
+/// panicking on malformed input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OptimizeError {
+    /// The nest failed structural validation (duplicate loop variables,
+    /// undeclared arrays, rank mismatches, unbound subscript variables).
+    InvalidNest(String),
+    /// The nest has no loops, so there is nothing to unroll or jam.
+    EmptyNest,
+    /// A caller-provided unroll space was built for a different nest
+    /// depth.
+    DepthMismatch {
+        /// The nest's depth.
+        nest: usize,
+        /// The space's depth.
+        space: usize,
+    },
+    /// The chosen transformation could not be applied to the nest.
+    Transform(TransformError),
+}
+
+impl fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizeError::InvalidNest(why) => write!(f, "invalid nest: {why}"),
+            OptimizeError::EmptyNest => write!(f, "nest has no loops"),
+            OptimizeError::DepthMismatch { nest, space } => write!(
+                f,
+                "unroll space depth {space} does not match nest depth {nest}"
+            ),
+            OptimizeError::Transform(e) => write!(f, "transform failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptimizeError::Transform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransformError> for OptimizeError {
+    fn from(e: TransformError) -> OptimizeError {
+        OptimizeError::Transform(e)
+    }
+}

@@ -1,0 +1,285 @@
+//! The named pass stages of the optimizer pipeline.
+
+use std::rc::Rc;
+
+use crate::balance::{loop_balance, BalanceInputs};
+use crate::brute::measure_candidate;
+use crate::driver::{CostModel, Prediction};
+use crate::pipeline::{AnalysisCtx, OptimizeError};
+use crate::space::UnrollSpace;
+use crate::tables::CostTables;
+use ujam_dep::UNROLL_CAP;
+use ujam_ir::{transform::unroll_and_jam, LoopNest};
+use ujam_machine::MachineModel;
+
+/// One stage of the optimizer pipeline.
+///
+/// A pass borrows the shared [`AnalysisCtx`] mutably (so its queries
+/// are memoized across stages) and returns an owned product, which
+/// keeps the stages independently runnable and swappable — see
+/// [`BruteSearch`] for a drop-in [`SearchSpace`] alternative.
+pub trait Pass {
+    /// The stage's product.
+    type Output;
+
+    /// The stage's name, for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Runs the stage against the shared context.
+    fn run(&self, ctx: &mut AnalysisCtx<'_>) -> Result<Self::Output, OptimizeError>;
+}
+
+/// Stage 1 (§4.5): pick up to two loops to unroll — the loops whose
+/// localization removes the most cache traffic by Equation 1 — bounded
+/// by the dependence-safety limits, and box them into an
+/// [`UnrollSpace`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SelectLoops;
+
+impl Pass for SelectLoops {
+    type Output = UnrollSpace;
+
+    fn name(&self) -> &'static str {
+        "select-loops"
+    }
+
+    fn run(&self, ctx: &mut AnalysisCtx<'_>) -> Result<UnrollSpace, OptimizeError> {
+        let depth = ctx.nest().depth();
+        let line = ctx.machine().line_elems();
+        let bounds = ctx.safe_bounds().to_vec();
+        let mut scored: Vec<(usize, f64)> = (0..depth.saturating_sub(1))
+            .filter(|&l| bounds[l] >= 1)
+            .map(|l| (l, ctx.locality_score(l, line)))
+            .collect();
+        // Highest locality benefit first; ties prefer outer position.
+        // `total_cmp` keeps the sort total even if a degenerate nest
+        // yields a non-finite score (the seed's `partial_cmp(..).expect`
+        // panicked there).
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut chosen: Vec<usize> = scored
+            .iter()
+            .filter(|&&(_, s)| s > 0.0)
+            .take(2)
+            .map(|&(l, _)| l)
+            .collect();
+        // A memory-bound loop can still profit from pure flop replication
+        // (merging loads of invariant or group-reusing references); keep at
+        // least one candidate when any loop is jammable.
+        if chosen.is_empty() {
+            if let Some(&(l, _)) = scored.first() {
+                chosen.push(l);
+            }
+        }
+        chosen.sort_unstable();
+        // Each chosen loop searches up to its own safety bound, capped
+        // for tractability.
+        let per_loop: Vec<u32> = chosen
+            .iter()
+            .map(|&l| bounds[l].min(UNROLL_CAP).min(8))
+            .collect();
+        Ok(UnrollSpace::with_bounds(depth, &chosen, &per_loop))
+    }
+}
+
+/// Stage 2 (§4.2–§4.4): build (or fetch from the context cache) the
+/// GTS/GSS/RRS/register tables for an unroll space.
+#[derive(Clone, Debug)]
+pub struct BuildTables {
+    /// The space to tabulate.
+    pub space: UnrollSpace,
+}
+
+impl Pass for BuildTables {
+    type Output = Rc<CostTables>;
+
+    fn name(&self) -> &'static str {
+        "build-tables"
+    }
+
+    fn run(&self, ctx: &mut AnalysisCtx<'_>) -> Result<Rc<CostTables>, OptimizeError> {
+        ctx.tables(&self.space)
+    }
+}
+
+/// What a search stage found: the winning offset, its full per-loop
+/// unroll vector, and the predicted behaviour before and after.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// The winning offset in space coordinates.
+    pub offset: Vec<u32>,
+    /// The winning offset embedded as a full per-nest-loop vector.
+    pub unroll: Vec<u32>,
+    /// Predicted behaviour at the chosen vector.
+    pub predicted: Prediction,
+    /// Predicted behaviour of the original loop (`u = 0`).
+    pub original: Prediction,
+}
+
+/// Shared search objective (§3.3): minimize `|β − β_M|` subject to the
+/// register budget, ties preferring fewer body copies.  Returns the
+/// winning offset and its inputs (`None` when nothing beat `u = 0`).
+fn search_over(
+    machine: &MachineModel,
+    space: &UnrollSpace,
+    mut inputs_at: impl FnMut(&[u32]) -> Option<BalanceInputs>,
+    beta_of: impl Fn(&BalanceInputs) -> f64,
+    divisible: impl Fn(&[u32]) -> bool,
+) -> (Vec<u32>, Option<BalanceInputs>) {
+    let beta_m = machine.balance();
+    let regs = machine.registers_for_replacement() as i64;
+    let zero = vec![0u32; space.dims()];
+    let mut best = zero;
+    let mut best_inputs = None;
+    let mut best_score = (f64::INFINITY, usize::MAX);
+    for u in space.offsets() {
+        if !divisible(&u) {
+            continue;
+        }
+        let Some(inputs) = inputs_at(&u) else {
+            continue;
+        };
+        if inputs.registers > regs {
+            continue;
+        }
+        let beta = beta_of(&inputs);
+        let score = ((beta - beta_m).abs(), space.copies(&u));
+        if score.0 < best_score.0 - 1e-12
+            || ((score.0 - best_score.0).abs() <= 1e-12 && score.1 < best_score.1)
+        {
+            best_score = score;
+            best = u;
+            best_inputs = Some(inputs);
+        }
+    }
+    (best, best_inputs)
+}
+
+/// Stage 3 (§4.5): search the unroll space for the offset minimizing
+/// `|β_L(u) − β_M|` subject to the register constraint, scoring
+/// candidates from the precomputed tables.
+#[derive(Clone, Debug)]
+pub struct SearchSpace {
+    /// The space to search.
+    pub space: UnrollSpace,
+    /// Which balance model scores candidates.
+    pub model: CostModel,
+}
+
+impl Pass for SearchSpace {
+    type Output = SearchOutcome;
+
+    fn name(&self) -> &'static str {
+        "search-space"
+    }
+
+    fn run(&self, ctx: &mut AnalysisCtx<'_>) -> Result<SearchOutcome, OptimizeError> {
+        let tables = BuildTables {
+            space: self.space.clone(),
+        }
+        .run(ctx)?;
+        let nest = ctx.nest();
+        let machine = ctx.machine();
+        let space = &self.space;
+        let model = self.model;
+
+        let inputs_at = |u: &[u32]| BalanceInputs {
+            flops: tables.flops(u) as f64,
+            memory_ops: tables.memory_ops(u) as f64,
+            cache_lines: tables.cache_lines(u),
+            registers: tables.registers(u),
+        };
+        // The factors must divide the trip counts for a clean transform.
+        let divisible = |u: &[u32]| {
+            space
+                .loops()
+                .iter()
+                .zip(u)
+                .all(|(&l, &ul)| nest.loops()[l].trip_count() % (ul as i64 + 1) == 0)
+        };
+        let beta_of = |inputs: &BalanceInputs| match model {
+            CostModel::AllHits => inputs.no_cache_balance(),
+            CostModel::CacheAware => loop_balance(inputs, machine),
+        };
+
+        let zero = vec![0u32; space.dims()];
+        let original = inputs_at(&zero);
+        let (best, best_inputs) =
+            search_over(machine, space, |u| Some(inputs_at(u)), beta_of, divisible);
+        let predicted = best_inputs.unwrap_or(original);
+        Ok(SearchOutcome {
+            unroll: space.full_vector(&best),
+            offset: best,
+            predicted: Prediction::from_inputs(&predicted, machine),
+            original: Prediction::from_inputs(&original, machine),
+        })
+    }
+}
+
+/// A drop-in [`SearchSpace`] alternative implementing Wolf, Maydan &
+/// Chen's approach (§5.3): materialise every candidate body, run scalar
+/// replacement and the reuse analysis on it, and score the result.
+///
+/// Same objective, same tie-breaking — the equivalence of the two
+/// search stages is the paper's headline correctness claim and a test.
+#[derive(Clone, Debug)]
+pub struct BruteSearch {
+    /// The space to search.
+    pub space: UnrollSpace,
+}
+
+impl Pass for BruteSearch {
+    type Output = SearchOutcome;
+
+    fn name(&self) -> &'static str {
+        "brute-search"
+    }
+
+    fn run(&self, ctx: &mut AnalysisCtx<'_>) -> Result<SearchOutcome, OptimizeError> {
+        let nest = ctx.nest();
+        let machine = ctx.machine();
+        let space = &self.space;
+        if space.depth() != nest.depth() {
+            return Err(OptimizeError::DepthMismatch {
+                nest: nest.depth(),
+                space: space.depth(),
+            });
+        }
+
+        let zero = vec![0u32; space.dims()];
+        let original = measure_candidate(nest, &space.full_vector(&zero), machine)
+            .map_err(OptimizeError::Transform)?;
+        let (best, best_inputs) = search_over(
+            machine,
+            space,
+            |u| measure_candidate(nest, &space.full_vector(u), machine).ok(),
+            |inputs| loop_balance(inputs, machine),
+            |_| true,
+        );
+        let predicted = best_inputs.unwrap_or(original);
+        Ok(SearchOutcome {
+            unroll: space.full_vector(&best),
+            offset: best,
+            predicted: Prediction::from_inputs(&predicted, machine),
+            original: Prediction::from_inputs(&original, machine),
+        })
+    }
+}
+
+/// Stage 4: apply the winning unroll vector with real unroll-and-jam.
+#[derive(Clone, Debug)]
+pub struct ApplyTransform {
+    /// The full per-nest-loop unroll vector to apply.
+    pub unroll: Vec<u32>,
+}
+
+impl Pass for ApplyTransform {
+    type Output = LoopNest;
+
+    fn name(&self) -> &'static str {
+        "apply-transform"
+    }
+
+    fn run(&self, ctx: &mut AnalysisCtx<'_>) -> Result<LoopNest, OptimizeError> {
+        unroll_and_jam(ctx.nest(), &self.unroll).map_err(OptimizeError::Transform)
+    }
+}

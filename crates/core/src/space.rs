@@ -250,10 +250,7 @@ mod tests {
     fn offsets_enumerate_lexicographically() {
         let s = UnrollSpace::new(3, &[0, 1], 1);
         let all: Vec<Vec<u32>> = s.offsets().collect();
-        assert_eq!(
-            all,
-            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
-        );
+        assert_eq!(all, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
     }
 
     #[test]

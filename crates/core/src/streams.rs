@@ -82,13 +82,7 @@ pub fn replacement_counts_at(nest: &LoopNest, space: &UnrollSpace, u: &[u32]) ->
 }
 
 /// Builds the copies of one UGS at unroll `u` and tallies its streams.
-fn tally_ugs(
-    set: &UgsSet,
-    space: &UnrollSpace,
-    u: &[u32],
-    depth: usize,
-    counts: &mut CopyCounts,
-) {
+fn tally_ugs(set: &UgsSet, space: &UnrollSpace, u: &[u32], depth: usize, counts: &mut CopyCounts) {
     let copies = materialize_copies(set, space, u, depth);
     let inner_col: Vec<i64> = set.h().col(depth - 1);
     let invariant = inner_col.iter().all(|&x| x == 0);
@@ -351,10 +345,7 @@ pub fn ugs_registers_at(set: &UgsSet, space: &UnrollSpace, u: &[u32], depth: usi
 /// Shared helper for table construction: the map from each UGS member to
 /// its innermost-stream key, plus the stream partition of the *original*
 /// body (unroll offset zero).
-pub(crate) fn original_streams(
-    set: &UgsSet,
-    depth: usize,
-) -> Vec<Vec<(usize, i64)>> {
+pub(crate) fn original_streams(set: &UgsSet, depth: usize) -> Vec<Vec<(usize, i64)>> {
     let inner_col: Vec<i64> = set.h().col(depth - 1);
     let mut groups: BTreeMap<usize, Vec<(usize, i64)>> = BTreeMap::new();
     let mut bases: Vec<(Vec<i64>, usize)> = Vec::new();

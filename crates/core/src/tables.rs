@@ -184,12 +184,12 @@ fn mobius_table(space: &UnrollSpace, count: impl Fn(&[u32]) -> i64) -> Table {
         let mut v = 0i64;
         'subsets: for mask in 0..(1u32 << dims) {
             let mut shifted = u.clone();
-            for d in 0..dims {
+            for (d, s) in shifted.iter_mut().enumerate().take(dims) {
                 if mask & (1 << d) != 0 {
-                    if shifted[d] == 0 {
+                    if *s == 0 {
                         continue 'subsets;
                     }
-                    shifted[d] -= 1;
+                    *s -= 1;
                 }
             }
             let sign = if mask.count_ones() % 2 == 0 { 1 } else { -1 };
@@ -247,8 +247,8 @@ fn spatial_merge_point(
         if a == 0 || nonzero.contains(&l) {
             continue;
         }
-        let chosen = (0..=space.bound() as i64)
-            .find(|&xl| (residual - a * xl).abs() < line_elems)?;
+        let chosen =
+            (0..=space.bound() as i64).find(|&xl| (residual - a * xl).abs() < line_elems)?;
         point[d] = chosen as u32;
         residual -= a * chosen;
     }
@@ -301,11 +301,16 @@ impl RrsTables {
 /// dominated offset; defs always keep their store.  Innermost-invariant
 /// streams are hoisted and issue nothing per iteration.
 pub fn rrs_tables(nest: &LoopNest, space: &UnrollSpace) -> RrsTables {
-    let depth = nest.depth();
+    rrs_tables_from(&UgsSet::partition(nest), nest.depth(), space)
+}
+
+/// [`rrs_tables`] over an already-computed UGS partition (the analysis
+/// context caches one partition per nest and shares it across passes).
+pub fn rrs_tables_from(sets: &[UgsSet], depth: usize, space: &UnrollSpace) -> RrsTables {
     let mut use_led = Table::filled(space.clone(), 0);
     let mut stores_per_copy = 0i64;
 
-    for set in UgsSet::partition(nest) {
+    for set in sets {
         let inner_col: Vec<i64> = set.h().col(depth - 1);
         if inner_col.iter().all(|&x| x == 0) {
             // Invariant UGS: every stream is hoisted.
@@ -319,9 +324,9 @@ pub fn rrs_tables(nest: &LoopNest, space: &UnrollSpace) -> RrsTables {
         // on the query box, not just the copy offset, so the up-set region
         // algorithm cannot express it (the merge comes "from above").
         // Tabulate such sets exactly by Möbius inversion instead.
-        if has_reverse_provider(&set, space, depth) {
+        if has_reverse_provider(set, space, depth) {
             let exact = mobius_table(space, |u| {
-                streams::ugs_loads_at(&set, space, u, depth) as i64
+                streams::ugs_loads_at(set, space, u, depth) as i64
             });
             for o in space.offsets() {
                 use_led.add(&o, exact.get(&o));
@@ -329,7 +334,7 @@ pub fn rrs_tables(nest: &LoopNest, space: &UnrollSpace) -> RrsTables {
             continue;
         }
 
-        let groups = streams::original_streams(&set, depth);
+        let groups = streams::original_streams(set, depth);
         for (g_idx, g) in groups.iter().enumerate() {
             // Sort members by touch order (key desc, reference order asc).
             let mut ms: Vec<(usize, i64)> = g.clone();
@@ -347,15 +352,12 @@ pub fn rrs_tables(nest: &LoopNest, space: &UnrollSpace) -> RrsTables {
                         }
                         for &(m_idx, _) in gi {
                             let cm = &set.members()[m_idx].c;
-                            let delta: Vec<i64> =
-                                cm.iter().zip(cj).map(|(a, b)| a - b).collect();
+                            let delta: Vec<i64> = cm.iter().zip(cj).map(|(a, b)| a - b).collect();
                             // Solve H·x = c_m − c_j: the provider copy sits
                             // at `u' − x_unroll` and touches `x_inner`
                             // iterations earlier than the leader; it
                             // provides when it touches no later.
-                            if let Some((point, inner_val)) =
-                                merge_point(set.h(), &delta, space)
-                            {
+                            if let Some((point, inner_val)) = merge_point(set.h(), &delta, space) {
                                 if inner_val >= 0 && point.iter().any(|&p| p > 0) {
                                     points.push(point);
                                 }
@@ -455,8 +457,11 @@ pub fn reg_table(set: &UgsSet, space: &UnrollSpace) -> Table {
     let h = set.h();
     let inner_col: Vec<i64> = h.col(depth - 1);
 
-    let analytic_fallback =
-        || mobius_table(space, |u| streams::ugs_registers_at(set, space, u, depth) as i64);
+    let analytic_fallback = || {
+        mobius_table(space, |u| {
+            streams::ugs_registers_at(set, space, u, depth) as i64
+        })
+    };
 
     // Invariant sets, sets with defs, row-0 unrolled loops (chains), or
     // reverse providers: fall back.
@@ -491,7 +496,7 @@ pub fn reg_table(set: &UgsSet, space: &UnrollSpace) -> Table {
         .collect();
     let base_cost = |s: &StreamInfo| {
         if s.members >= 2 {
-            (s.key_max - s.key_min + 1) as i64
+            s.key_max - s.key_min + 1
         } else {
             0
         }
@@ -578,10 +583,25 @@ impl CostTables {
     /// `C`).  The closed-form tables assume separable SIV references
     /// (§3.5); [`CostTables::siv`] reports whether the nest qualifies.
     pub fn build(nest: &LoopNest, space: &UnrollSpace, line_elems: i64) -> CostTables {
+        Self::build_with_sets(nest, &UgsSet::partition(nest), space, line_elems)
+    }
+
+    /// [`CostTables::build`] over an already-computed UGS partition.
+    ///
+    /// The seed optimizer partitioned the nest three times per table
+    /// build (GSS, RRS, registers); the analysis context computes the
+    /// partition once per nest and shares it here and with the
+    /// loop-selection scoring.
+    pub fn build_with_sets(
+        nest: &LoopNest,
+        sets: &[UgsSet],
+        space: &UnrollSpace,
+        line_elems: i64,
+    ) -> CostTables {
         let siv = nest.is_siv_separable();
         let l = Localized::innermost(nest.depth());
-        let gss = UgsSet::partition(nest)
-            .into_iter()
+        let gss = sets
+            .iter()
             .map(|set| {
                 let f = if has_self_temporal(set.h(), &l) {
                     0.0
@@ -590,15 +610,12 @@ impl CostTables {
                 } else {
                     1.0
                 };
-                let t = gss_table(&set, space, line_elems);
+                let t = gss_table(set, space, line_elems);
                 (f, t)
             })
             .collect();
-        let rrs = rrs_tables(nest, space);
-        let registers = UgsSet::partition(nest)
-            .iter()
-            .map(|set| reg_table(set, space))
-            .collect();
+        let rrs = rrs_tables_from(sets, nest.depth(), space);
+        let registers = sets.iter().map(|set| reg_table(set, space)).collect();
         CostTables {
             space: space.clone(),
             flops_per_copy: nest.flops_per_iter(),

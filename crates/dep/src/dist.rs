@@ -74,7 +74,7 @@ pub fn lex_positive_realizable(dist: &[Dist], trips: &[i64]) -> (bool, bool) {
         match d {
             Dist::Any => {
                 // Choose positive here (possible when trip > 1): suffix free.
-                return (trip > 1, zero && true);
+                return (trip > 1, zero);
             }
             Dist::Exact(k) => {
                 if k.abs() >= trip {
@@ -147,10 +147,7 @@ mod tests {
 
     #[test]
     fn single_iteration_loop_any_cannot_be_positive() {
-        assert_eq!(
-            lex_positive_realizable(&[Dist::Any], &[1]),
-            (false, true)
-        );
+        assert_eq!(lex_positive_realizable(&[Dist::Any], &[1]), (false, true));
     }
 
     #[test]

@@ -304,7 +304,10 @@ mod tests {
         assert_eq!(s.input, 2);
         assert!((s.input_fraction() - 0.4).abs() < 1e-12);
         assert!(s.bytes_no_input < s.bytes_all);
-        assert_eq!(s.bytes_all / s.total, s.bytes_no_input / (s.total - s.input));
+        assert_eq!(
+            s.bytes_all / s.total,
+            s.bytes_no_input / (s.total - s.input)
+        );
     }
 
     #[test]

@@ -56,8 +56,7 @@ pub fn legal_permutation(graph: &DepGraph, perm: &[usize]) -> bool {
 /// after the permutation.
 fn violation_exists(dist: &[Dist], perm: &[usize], real: &mut Vec<i64>, k: usize) -> bool {
     if k == dist.len() {
-        return lex_sign(real.iter().copied()) >= 0
-            && lex_sign(perm.iter().map(|&p| real[p])) < 0;
+        return lex_sign(real.iter().copied()) >= 0 && lex_sign(perm.iter().map(|&p| real[p])) < 0;
     }
     match dist[k] {
         Dist::Exact(v) => {

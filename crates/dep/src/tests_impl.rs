@@ -70,10 +70,7 @@ fn test_dimension(
     db: &ujam_ir::AffineSub,
     loop_vars: &[&str],
 ) -> Option<DistVec> {
-    let coefs: Vec<(i64, i64)> = loop_vars
-        .iter()
-        .map(|v| (da.coef(v), db.coef(v)))
-        .collect();
+    let coefs: Vec<(i64, i64)> = loop_vars.iter().map(|v| (da.coef(v), db.coef(v))).collect();
     let delta = db.constant_part() - da.constant_part();
     let involved: Vec<usize> = (0..loop_vars.len())
         .filter(|&i| coefs[i].0 != 0 || coefs[i].1 != 0)
@@ -160,10 +157,7 @@ mod tests {
         let b = r1(sub_affine(&[(2, "I")], -1));
         assert_eq!(pairwise_distance(&a, &b, &VARS), None);
         let c = r1(sub_affine(&[(2, "I")], -4));
-        assert_eq!(
-            pairwise_distance(&a, &c, &VARS).unwrap()[1],
-            Dist::Exact(2)
-        );
+        assert_eq!(pairwise_distance(&a, &c, &VARS).unwrap()[1], Dist::Exact(2));
     }
 
     #[test]
@@ -191,10 +185,7 @@ mod tests {
         // A(I) vs A(4): a single interior iteration collides; kept as Any.
         let a = r1(sub("I"));
         let b = r1(sub_const(4));
-        assert_eq!(
-            pairwise_distance(&a, &b, &VARS).unwrap()[1],
-            Dist::Any
-        );
+        assert_eq!(pairwise_distance(&a, &b, &VARS).unwrap()[1], Dist::Any);
     }
 
     #[test]
@@ -228,10 +219,7 @@ mod tests {
     fn conflicting_dimensions_prove_independence() {
         // Same variable constrained to two different distances.
         let a = ArrayRef::new("A", subs(&[sub("I"), sub("I")]));
-        let b = ArrayRef::new(
-            "A",
-            subs(&[sub("I").offset(-1), sub("I").offset(-2)]),
-        );
+        let b = ArrayRef::new("A", subs(&[sub("I").offset(-1), sub("I").offset(-2)]));
         assert_eq!(pairwise_distance(&a, &b, &VARS), None);
     }
 

@@ -70,7 +70,10 @@ mod tests {
     fn emits_parseable_kernel_sources() {
         // Spot check a couple of hand-built paper-style loops.
         for (name, stmt) in [
-            ("JAC", "B(I,J) = 0.25 * (A(I-1,J) + A(I+1,J) + A(I,J-1) + A(I,J+1))"),
+            (
+                "JAC",
+                "B(I,J) = 0.25 * (A(I-1,J) + A(I+1,J) + A(I,J-1) + A(I,J+1))",
+            ),
             ("STR", "B(I,J) = A(2J-1,J) + 1.0"),
         ] {
             let nest = NestBuilder::new(name)

@@ -129,7 +129,10 @@ pub fn parse(source: &str) -> Result<LoopNest, ParseError> {
                     return Err(err(lineno, "assignment outside any DO loop"));
                 }
                 if open.len() != max_depth {
-                    return Err(err(lineno, "imperfect nest: statement above the innermost loop"));
+                    return Err(err(
+                        lineno,
+                        "imperfect nest: statement above the innermost loop",
+                    ));
                 }
                 body.push((text, lineno));
             }
@@ -137,7 +140,10 @@ pub fn parse(source: &str) -> Result<LoopNest, ParseError> {
         }
     }
     if !open.is_empty() {
-        return Err(err(open.last().expect("non-empty").5, "unterminated DO loop"));
+        return Err(err(
+            open.last().expect("non-empty").5,
+            "unterminated DO loop",
+        ));
     }
 
     // Assemble through the validating builder.
@@ -273,9 +279,7 @@ fn parse_do(rest: &str, lineno: usize) -> Result<Line, ParseError> {
         label = Some(digits.clone());
         s = s[digits.len()..].trim();
     }
-    let eq = s
-        .find('=')
-        .ok_or_else(|| err(lineno, "DO without '='"))?;
+    let eq = s.find('=').ok_or_else(|| err(lineno, "DO without '='"))?;
     let var = s[..eq].trim().to_string();
     if var.is_empty() || !var.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
         return Err(err(lineno, format!("bad DO variable {var:?}")));
@@ -381,7 +385,8 @@ C fixed comment
 
     #[test]
     fn rejects_unbalanced_loops() {
-        let e = parse("      DIMENSION A(4)\n      DO I = 1, 4\n      A(I) = 1.0\n      END").unwrap_err();
+        let e = parse("      DIMENSION A(4)\n      DO I = 1, 4\n      A(I) = 1.0\n      END")
+            .unwrap_err();
         assert!(e.message.contains("unterminated"), "{e}");
 
         let e = parse("      ENDDO\n      END").unwrap_err();

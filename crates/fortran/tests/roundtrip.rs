@@ -1,61 +1,71 @@
-//! Property test: `parse(emit(nest))` is the identity on expressible nests.
+//! Property-style test: `parse(emit(nest))` is the identity on
+//! expressible nests.
+//!
+//! Triage note: originally `proptest`; the offline registry cannot serve
+//! external crates, so the strategy is now a deterministic seeded
+//! generator from the in-tree `ujam-rng` crate with the same coverage.
 
-use proptest::prelude::*;
 use ujam_fortran::{emit, parse};
 use ujam_ir::{LoopNest, NestBuilder};
+use ujam_rng::Rng;
 
 /// Random nests within the front end's subset: 1–3 unit-step loops,
 /// integer bounds, stencil/reduction statements.
-fn expressible_nest() -> impl Strategy<Value = LoopNest> {
-    (
-        1usize..=3,
-        proptest::collection::vec((0i64..=4, 0i64..=4), 1..=4),
-        proptest::bool::ANY,
-    )
-        .prop_map(|(depth, offsets, reduce)| {
-            let vars = ["K", "J", "I"];
-            let used = &vars[3 - depth..];
-            let mut rhs = String::from("0.5");
-            for (a, b) in &offsets {
-                match depth {
-                    1 => rhs.push_str(&format!(" + A(I+{a})")),
-                    _ => rhs.push_str(&format!(" + A(I+{a}, J+{b})")),
-                }
-            }
-            let lhs = match (depth, reduce) {
-                (1, _) => "B(I)".to_string(),
-                (_, true) => "B(J, J)".to_string(),
-                (_, false) => "B(I, J)".to_string(),
-            };
-            let mut builder = NestBuilder::new("PROP");
-            builder = match depth {
-                1 => builder.array("A", &[32]).array("B", &[32]),
-                _ => builder.array("A", &[32, 32]).array("B", &[32, 32]),
-            };
-            for v in used {
-                builder = builder.loop_(v, 1, 8);
-            }
-            builder.stmt(&format!("{lhs} = {rhs}")).build()
-        })
+fn expressible_nest(rng: &mut Rng) -> LoopNest {
+    let depth = rng.int(1, 3) as usize;
+    let n_offsets = rng.int(1, 4);
+    let reduce = rng.chance(0.5);
+    let vars = ["K", "J", "I"];
+    let used = &vars[3 - depth..];
+    let mut rhs = String::from("0.5");
+    for _ in 0..n_offsets {
+        let a = rng.int(0, 4);
+        let b = rng.int(0, 4);
+        match depth {
+            1 => rhs.push_str(&format!(" + A(I+{a})")),
+            _ => rhs.push_str(&format!(" + A(I+{a}, J+{b})")),
+        }
+    }
+    let lhs = match (depth, reduce) {
+        (1, _) => "B(I)".to_string(),
+        (_, true) => "B(J, J)".to_string(),
+        (_, false) => "B(I, J)".to_string(),
+    };
+    let mut builder = NestBuilder::new("PROP");
+    builder = match depth {
+        1 => builder.array("A", &[32]).array("B", &[32]),
+        _ => builder.array("A", &[32, 32]).array("B", &[32, 32]),
+    };
+    for v in used {
+        builder = builder.loop_(v, 1, 8);
+    }
+    builder.stmt(&format!("{lhs} = {rhs}")).build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    #[test]
-    fn emit_then_parse_is_identity(nest in expressible_nest()) {
+#[test]
+fn emit_then_parse_is_identity() {
+    let mut rng = Rng::new(0x3017);
+    for _ in 0..CASES {
+        let nest = expressible_nest(&mut rng);
         let src = emit(&nest);
         let back = parse(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
-        prop_assert_eq!(back, nest);
+        assert_eq!(back, nest);
     }
+}
 
-    /// Emitted sources survive whitespace mangling and comment injection.
-    #[test]
-    fn parser_tolerates_formatting_noise(nest in expressible_nest(), seed in 0u64..1000) {
+/// Emitted sources survive whitespace mangling and comment injection.
+#[test]
+fn parser_tolerates_formatting_noise() {
+    let mut rng = Rng::new(0x4015e);
+    for _ in 0..CASES {
+        let nest = expressible_nest(&mut rng);
+        let seed = rng.int(0, 999) as u64;
         let src = emit(&nest);
         let mut noisy = String::from("C generated header\n\n");
         for (i, line) in src.lines().enumerate() {
-            if (seed as usize + i) % 3 == 0 {
+            if (seed as usize + i).is_multiple_of(3) {
                 noisy.push_str("! noise\n");
             }
             // Vary indentation.
@@ -64,6 +74,6 @@ proptest! {
             noisy.push('\n');
         }
         let back = parse(&noisy).unwrap_or_else(|e| panic!("{e}\n{noisy}"));
-        prop_assert_eq!(back, nest);
+        assert_eq!(back, nest);
     }
 }

@@ -71,7 +71,8 @@ impl NestBuilder {
     #[must_use]
     pub fn assign_expr(mut self, array: &str, dims: Vec<AffineSub>, rhs: &str) -> NestBuilder {
         let rhs = parse_expr(rhs).unwrap_or_else(|e| panic!("bad expression {rhs:?}: {e}"));
-        self.body.push(Stmt::assign(ArrayRef::new(array, dims), rhs));
+        self.body
+            .push(Stmt::assign(ArrayRef::new(array, dims), rhs));
         self
     }
 
@@ -83,7 +84,8 @@ impl NestBuilder {
     /// Panics on malformed input.
     #[must_use]
     pub fn stmt(mut self, text: &str) -> NestBuilder {
-        self.body.push(parse_stmt(text).unwrap_or_else(|e| panic!("bad statement {text:?}: {e}")));
+        self.body
+            .push(parse_stmt(text).unwrap_or_else(|e| panic!("bad statement {text:?}: {e}")));
         self
     }
 
@@ -104,7 +106,8 @@ impl NestBuilder {
     ///
     /// Panics if validation fails; see [`NestBuilder::try_build`].
     pub fn build(self) -> LoopNest {
-        self.try_build().unwrap_or_else(|e| panic!("invalid loop nest: {e}"))
+        self.try_build()
+            .unwrap_or_else(|e| panic!("invalid loop nest: {e}"))
     }
 
     /// Finishes the nest, reporting validation problems.
@@ -290,9 +293,10 @@ impl<'a> Parser<'a> {
                 }
                 Ok(e)
             }
-            Some(c) if c.is_ascii_digit() || c == '.' => {
-                self.number().map(Expr::Const).ok_or_else(|| "bad number".into())
-            }
+            Some(c) if c.is_ascii_digit() || c == '.' => self
+                .number()
+                .map(Expr::Const)
+                .ok_or_else(|| "bad number".into()),
             Some(c) if c.is_ascii_alphabetic() || c == '_' => {
                 let name = self.ident().ok_or("bad identifier")?;
                 self.skip_ws();

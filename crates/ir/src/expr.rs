@@ -193,7 +193,11 @@ mod tests {
         let e = Expr::bin(
             BinOp::Sub,
             Expr::Ref(aref("A", "I")),
-            Expr::bin(BinOp::Mul, Expr::Ref(aref("B", "I")), Expr::Ref(aref("C", "I"))),
+            Expr::bin(
+                BinOp::Mul,
+                Expr::Ref(aref("B", "I")),
+                Expr::Ref(aref("C", "I")),
+            ),
         );
         let names: Vec<&str> = e.refs().iter().map(|r| r.array()).collect();
         assert_eq!(names, ["A", "B", "C"]);
@@ -215,14 +219,22 @@ mod tests {
     fn display_parenthesizes_by_precedence() {
         let e = Expr::bin(
             BinOp::Mul,
-            Expr::bin(BinOp::Add, Expr::Scalar("a".into()), Expr::Scalar("b".into())),
+            Expr::bin(
+                BinOp::Add,
+                Expr::Scalar("a".into()),
+                Expr::Scalar("b".into()),
+            ),
             Expr::Scalar("c".into()),
         );
         assert_eq!(e.to_string(), "(a + b) * c");
         let e2 = Expr::bin(
             BinOp::Sub,
             Expr::Scalar("a".into()),
-            Expr::bin(BinOp::Add, Expr::Scalar("b".into()), Expr::Scalar("c".into())),
+            Expr::bin(
+                BinOp::Add,
+                Expr::Scalar("b".into()),
+                Expr::Scalar("c".into()),
+            ),
         );
         assert_eq!(e2.to_string(), "a - (b + c)");
     }

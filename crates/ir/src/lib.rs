@@ -43,8 +43,8 @@
 #![warn(missing_docs)]
 
 mod builder;
-pub mod interp;
 mod expr;
+pub mod interp;
 mod nest;
 mod pretty;
 mod subscript;

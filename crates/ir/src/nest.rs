@@ -199,7 +199,8 @@ impl Stmt {
     /// Array references in evaluation order: RHS uses left-to-right, then
     /// the LHS def (Fortran stores after evaluating the right-hand side).
     pub fn refs(&self) -> Vec<(&ArrayRef, bool)> {
-        let mut out: Vec<(&ArrayRef, bool)> = self.rhs.refs().into_iter().map(|r| (r, false)).collect();
+        let mut out: Vec<(&ArrayRef, bool)> =
+            self.rhs.refs().into_iter().map(|r| (r, false)).collect();
         if let Lhs::Array(a) = &self.lhs {
             out.push((a, true));
         }

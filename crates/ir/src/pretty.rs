@@ -20,7 +20,14 @@ impl fmt::Display for LoopNest {
             if l.step() == 1 {
                 writeln!(f, "DO {} = {}, {}", l.var(), l.lower(), l.upper())?;
             } else {
-                writeln!(f, "DO {} = {}, {}, {}", l.var(), l.lower(), l.upper(), l.step())?;
+                writeln!(
+                    f,
+                    "DO {} = {}, {}, {}",
+                    l.var(),
+                    l.lower(),
+                    l.upper(),
+                    l.step()
+                )?;
             }
         }
         for stmt in self.body() {

@@ -97,7 +97,10 @@ impl AffineSub {
     pub fn eval(&self, env: &BTreeMap<&str, i64>) -> i64 {
         let mut v = self.offset;
         for (var, coef) in self.terms() {
-            v += coef * env.get(var).unwrap_or_else(|| panic!("unbound index {var}"));
+            v += coef
+                * env
+                    .get(var)
+                    .unwrap_or_else(|| panic!("unbound index {var}"));
         }
         v
     }

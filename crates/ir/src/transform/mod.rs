@@ -14,6 +14,6 @@ mod stripmine;
 mod unroll;
 
 pub use permute::permute_loops;
-pub use stripmine::{fully_unroll, strip_mine, tile};
 pub use scalarrep::{scalar_replacement, ReplacementStats, ScalarReplaced};
+pub use stripmine::{fully_unroll, strip_mine, tile};
 pub use unroll::{unroll_and_jam, TransformError};

@@ -32,7 +32,11 @@ use crate::transform::TransformError;
 pub fn permute_loops(nest: &LoopNest, perm: &[usize]) -> Result<LoopNest, TransformError> {
     let depth = nest.depth();
     let mut seen = vec![false; depth];
-    if perm.len() != depth || perm.iter().any(|&p| p >= depth || std::mem::replace(&mut seen[p], true)) {
+    if perm.len() != depth
+        || perm
+            .iter()
+            .any(|&p| p >= depth || std::mem::replace(&mut seen[p], true))
+    {
         return Err(TransformError::BadPermutation {
             depth,
             perm: perm.to_vec(),

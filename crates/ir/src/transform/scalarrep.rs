@@ -178,8 +178,8 @@ pub fn scalar_replacement(nest: &LoopNest) -> ScalarReplaced {
                 }
                 continue;
             }
-            let span = (leader.dist - members.iter().map(|m| m.dist).min().expect("non-empty"))
-                as usize;
+            let span =
+                (leader.dist - members.iter().map(|m| m.dist).min().expect("non-empty")) as usize;
             let base = format!("{}_t{}", stream.array.to_lowercase(), temp_idx);
             temp_idx += 1;
             stats.registers += span + 1;
@@ -289,7 +289,8 @@ fn build_streams(nest: &LoopNest) -> Vec<Stream> {
         let invariant = inner_col.iter().all(|&x| x == 0);
         // Partition raws into streams: two refs are in the same stream iff
         // c1 - c2 = d * inner_col for an integer d.
-        let mut groups: Vec<(Vec<i64>, Vec<(Raw, i64)>)> = Vec::new();
+        type StreamGroup = (Vec<i64>, Vec<(Raw, i64)>);
+        let mut groups: Vec<StreamGroup> = Vec::new();
         'raws: for raw in raws {
             for (base_c, members) in groups.iter_mut() {
                 if let Some(d) = inner_distance(&raw.c, base_c, &inner_col) {

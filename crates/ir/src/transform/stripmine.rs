@@ -40,7 +40,11 @@ use crate::transform::TransformError;
 /// assert!(s.to_string().contains("DO J = 1, 8, 2"));
 /// assert!(s.to_string().contains("A(J+J_s) = A(J+J_s) * 2"));
 /// ```
-pub fn strip_mine(nest: &LoopNest, loop_idx: usize, factor: i64) -> Result<LoopNest, TransformError> {
+pub fn strip_mine(
+    nest: &LoopNest,
+    loop_idx: usize,
+    factor: i64,
+) -> Result<LoopNest, TransformError> {
     if loop_idx >= nest.depth() {
         return Err(TransformError::BadUnrollLength {
             expected: nest.depth(),
@@ -348,8 +352,8 @@ pub fn tile(nest: &LoopNest, tiles: &[(usize, i64)]) -> Result<LoopNest, Transfo
     // they span.
     let mut perm = Vec::with_capacity(depth);
     let first_control = controls[0];
-    for p in 0..first_control {
-        if !consumed[p] {
+    for (p, &used) in consumed.iter().enumerate().take(first_control) {
+        if !used {
             perm.push(p);
         }
     }

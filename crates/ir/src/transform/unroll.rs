@@ -42,13 +42,19 @@ impl fmt::Display for TransformError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TransformError::BadUnrollLength { expected, got } => {
-                write!(f, "unroll vector has length {got}, nest depth is {expected}")
+                write!(
+                    f,
+                    "unroll vector has length {got}, nest depth is {expected}"
+                )
             }
             TransformError::InnermostUnroll => {
                 write!(f, "the innermost loop cannot be unrolled by unroll-and-jam")
             }
             TransformError::TripNotDivisible { var, trip, copies } => {
-                write!(f, "trip count {trip} of loop {var} not divisible by {copies}")
+                write!(
+                    f,
+                    "trip count {trip} of loop {var} not divisible by {copies}"
+                )
             }
             TransformError::NonUnitStep(var) => {
                 write!(f, "loop {var} already has non-unit step")

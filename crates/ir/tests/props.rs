@@ -1,117 +1,143 @@
-//! Property tests: transformation semantics and accounting invariants.
+//! Property-style tests: transformation semantics and accounting
+//! invariants.
+//!
+//! Triage note: originally `proptest`; the offline registry cannot serve
+//! external crates, so the strategies are now deterministic seeded
+//! generators from the in-tree `ujam-rng` crate with the same coverage.
 
-use proptest::prelude::*;
 use ujam_ir::interp::execute;
 use ujam_ir::transform::{scalar_replacement, unroll_and_jam};
 use ujam_ir::{LoopNest, NestBuilder};
+use ujam_rng::Rng;
 
 /// A random "stencil-ish" nest: 2-deep, one or two statements whose
 /// references carry small constant offsets.  The LHS arrays are distinct
 /// from the RHS arrays so that any unroll-and-jam is legal (no loop-carried
 /// write conflicts), letting us test semantics preservation unconditionally.
-fn stencil_nest() -> impl Strategy<Value = (LoopNest, u32)> {
-    let off = -2i64..=2;
-    (
-        proptest::collection::vec((off.clone(), off.clone()), 1..=3),
-        proptest::collection::vec((off.clone(), off), 1..=3),
-        1u32..=3,
-    )
-        .prop_map(|(offs_b, offs_c, unroll)| {
-            let mut rhs1 = String::from("0.0");
-            for (di, dj) in &offs_b {
-                rhs1.push_str(&format!(" + B(I+{}, J+{})", di + 2, dj + 2));
-            }
-            let mut rhs2 = String::from("1.0");
-            for (di, dj) in &offs_c {
-                rhs2.push_str(&format!(" + C(I+{}, J+{})", di + 2, dj + 2));
-            }
-            let nest = NestBuilder::new("prop")
-                .array("X", &[32, 32])
-                .array("Y", &[32, 32])
-                .array("B", &[32, 32])
-                .array("C", &[32, 32])
-                .loop_("J", 1, 12)
-                .loop_("I", 1, 6)
-                .stmt(&format!("X(I,J) = {rhs1}"))
-                .stmt(&format!("Y(I,J) = {rhs2}"))
-                .build();
-            (nest, unroll)
-        })
+fn stencil_nest(rng: &mut Rng) -> (LoopNest, u32) {
+    let n_b = rng.int(1, 3);
+    let n_c = rng.int(1, 3);
+    let unroll = rng.int(1, 3) as u32;
+    let mut rhs1 = String::from("0.0");
+    for _ in 0..n_b {
+        let di = rng.int(-2, 2);
+        let dj = rng.int(-2, 2);
+        rhs1.push_str(&format!(" + B(I+{}, J+{})", di + 2, dj + 2));
+    }
+    let mut rhs2 = String::from("1.0");
+    for _ in 0..n_c {
+        let di = rng.int(-2, 2);
+        let dj = rng.int(-2, 2);
+        rhs2.push_str(&format!(" + C(I+{}, J+{})", di + 2, dj + 2));
+    }
+    let nest = NestBuilder::new("prop")
+        .array("X", &[32, 32])
+        .array("Y", &[32, 32])
+        .array("B", &[32, 32])
+        .array("C", &[32, 32])
+        .loop_("J", 1, 12)
+        .loop_("I", 1, 6)
+        .stmt(&format!("X(I,J) = {rhs1}"))
+        .stmt(&format!("Y(I,J) = {rhs2}"))
+        .build();
+    (nest, unroll)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    /// Unroll-and-jam of an independent-iteration nest never changes the
-    /// final memory image.
-    #[test]
-    fn unroll_and_jam_preserves_semantics((nest, u) in stencil_nest()) {
+/// Runs `f` over the seeded case stream, skipping unrolls that don't
+/// divide the outer trip count (the proptest version `prop_assume`d).
+fn for_divisible_cases(seed: u64, mut f: impl FnMut(usize, &LoopNest, u32)) {
+    let mut rng = Rng::new(seed);
+    for case in 0..CASES {
+        let (nest, u) = stencil_nest(&mut rng);
         let trip = nest.loops()[0].trip_count();
-        prop_assume!(trip % (u as i64 + 1) == 0);
-        let t = unroll_and_jam(&nest, &[u, 0]).expect("legal unroll");
-        prop_assert_eq!(execute(&t), execute(&nest));
+        if trip % (u as i64 + 1) != 0 {
+            continue;
+        }
+        f(case, &nest, u);
     }
+}
 
-    /// Body size scales exactly with the number of copies.
-    #[test]
-    fn unroll_scales_body((nest, u) in stencil_nest()) {
-        let trip = nest.loops()[0].trip_count();
-        prop_assume!(trip % (u as i64 + 1) == 0);
-        let t = unroll_and_jam(&nest, &[u, 0]).expect("legal unroll");
-        prop_assert_eq!(t.body().len(), nest.body().len() * (u as usize + 1));
-        prop_assert_eq!(t.iterations() * (u as i64 + 1), nest.iterations());
-        prop_assert_eq!(
+/// Unroll-and-jam of an independent-iteration nest never changes the
+/// final memory image.
+#[test]
+fn unroll_and_jam_preserves_semantics() {
+    for_divisible_cases(0x5e4a, |case, nest, u| {
+        let t = unroll_and_jam(nest, &[u, 0]).expect("legal unroll");
+        assert_eq!(execute(&t), execute(nest), "case {case}");
+    });
+}
+
+/// Body size scales exactly with the number of copies.
+#[test]
+fn unroll_scales_body() {
+    for_divisible_cases(0x5ca1e, |case, nest, u| {
+        let t = unroll_and_jam(nest, &[u, 0]).expect("legal unroll");
+        assert_eq!(t.body().len(), nest.body().len() * (u as usize + 1));
+        assert_eq!(t.iterations() * (u as i64 + 1), nest.iterations());
+        assert_eq!(
             t.flops_per_iter(),
-            nest.flops_per_iter() * (u as usize + 1)
+            nest.flops_per_iter() * (u as usize + 1),
+            "case {case}"
         );
-    }
+    });
+}
 
-    /// Scalar replacement accounting: every original load is kept, replaced,
-    /// or hoisted; every original store is kept or hoisted.
-    #[test]
-    fn replacement_accounts_for_every_reference((nest, u) in stencil_nest()) {
-        let trip = nest.loops()[0].trip_count();
-        prop_assume!(trip % (u as i64 + 1) == 0);
-        let t = unroll_and_jam(&nest, &[u, 0]).expect("legal unroll");
+/// Scalar replacement accounting: every original load is kept, replaced,
+/// or hoisted; every original store is kept or hoisted.
+#[test]
+fn replacement_accounts_for_every_reference() {
+    for_divisible_cases(0xacc7, |case, nest, u| {
+        let t = unroll_and_jam(nest, &[u, 0]).expect("legal unroll");
         let original_loads = t.refs().iter().filter(|r| !r.is_def).count();
         let original_stores = t.refs().iter().filter(|r| r.is_def).count();
         let r = scalar_replacement(&t);
-        prop_assert_eq!(
+        assert_eq!(
             r.stats.loads + r.stats.replaced_loads + r.stats.hoisted_loads,
-            original_loads
+            original_loads,
+            "case {case}"
         );
-        prop_assert_eq!(r.stats.stores + r.stats.hoisted_stores, original_stores);
-    }
+        assert_eq!(r.stats.stores + r.stats.hoisted_stores, original_stores);
+    });
+}
 
-    /// The transformed body's direct counts agree with the reported stats,
-    /// and scalar replacement never *increases* memory operations.
-    #[test]
-    fn replacement_stats_match_body((nest, u) in stencil_nest()) {
-        let trip = nest.loops()[0].trip_count();
-        prop_assume!(trip % (u as i64 + 1) == 0);
-        let t = unroll_and_jam(&nest, &[u, 0]).expect("legal unroll");
+/// The transformed body's direct counts agree with the reported stats,
+/// and scalar replacement never *increases* memory operations.
+#[test]
+fn replacement_stats_match_body() {
+    for_divisible_cases(0xb0d4, |case, nest, u| {
+        let t = unroll_and_jam(nest, &[u, 0]).expect("legal unroll");
         let r = scalar_replacement(&t);
         let mut loads = 0;
         let mut stores = 0;
         for stmt in r.nest.body() {
             for (_, is_def) in stmt.refs() {
-                if is_def { stores += 1 } else { loads += 1 }
+                if is_def {
+                    stores += 1
+                } else {
+                    loads += 1
+                }
             }
         }
-        prop_assert_eq!(loads, r.stats.loads);
-        prop_assert_eq!(stores, r.stats.stores);
+        assert_eq!(loads, r.stats.loads, "case {case}");
+        assert_eq!(stores, r.stats.stores);
         let before = t.refs().len();
-        prop_assert!(r.stats.memory_ops() <= before);
-    }
+        assert!(r.stats.memory_ops() <= before);
+    });
+}
 
-    /// Idempotence: running scalar replacement on already-replaced code
-    /// finds nothing further to replace.
-    #[test]
-    fn replacement_is_idempotent((nest, _u) in stencil_nest()) {
+/// Idempotence: running scalar replacement on already-replaced code finds
+/// nothing further to replace.
+#[test]
+fn replacement_is_idempotent() {
+    let mut rng = Rng::new(0x1de3);
+    for _ in 0..CASES {
+        let (nest, _u) = stencil_nest(&mut rng);
         let r1 = scalar_replacement(&nest);
         let r2 = scalar_replacement(&r1.nest);
-        prop_assert_eq!(r2.stats.replaced_loads, 0);
-        prop_assert_eq!(r2.stats.loads, r1.stats.loads);
-        prop_assert_eq!(r2.stats.stores, r1.stats.stores);
+        assert_eq!(r2.stats.replaced_loads, 0);
+        assert_eq!(r2.stats.loads, r1.stats.loads);
+        assert_eq!(r2.stats.stores, r1.stats.stores);
     }
 }

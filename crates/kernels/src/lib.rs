@@ -20,5 +20,5 @@
 mod suite;
 mod synth;
 
-pub use suite::{kernel, kernels, Kernel};
+pub use suite::{kernel, kernels, optimize_suite, Kernel};
 pub use synth::{corpus, corpus_routine, corpus_subroutine, corpus_subroutines};

@@ -308,50 +308,169 @@ pub fn kernels() -> Vec<Kernel> {
         };
     }
     vec![
-        k!(1, "jacobi", "Compute Jacobian of a Matrix",
-           "5-point relaxation stencil, out-of-place", jacobi),
-        k!(2, "afold", "Adjoint Convolution",
-           "separable form of the accumulate-products pattern (original C(J-I) is MIV)", afold),
-        k!(3, "btrix.1", "SPEC/NASA7/BTRIX",
-           "forward elimination along J in a 3-D block solve", btrix1, true),
-        k!(4, "btrix.2", "SPEC/NASA7/BTRIX",
-           "scale-and-correct sweep over the 3-D block", btrix2, true),
-        k!(5, "btrix.7", "SPEC/NASA7/BTRIX",
-           "back-substitution sweep with an invariant pivot column", btrix7, true),
-        k!(6, "collc.2", "Perfect/FLO52/COLLC",
-           "residual collection: forward difference of FS", collc2),
-        k!(7, "cond.7", "local/simple/CONDUCT",
-           "I-direction conduction flux", cond7),
-        k!(8, "cond.9", "local/simple/CONDUCT",
-           "J-direction conduction flux", cond9),
-        k!(9, "dflux.16", "Perfect/FLO52/DFLUX",
-           "I-direction dissipation flux", dflux16),
-        k!(10, "dflux.17", "Perfect/FLO52/DFLUX",
-           "flux difference accumulated into DW", dflux17),
-        k!(11, "dflux.20", "Perfect/FLO52/DFLUX",
-           "J-direction dissipation flux", dflux20),
-        k!(12, "dmxpy0", "Vector-Matrix Multiply",
-           "LINPACK dmxpy, column loop outer", dmxpy0),
-        k!(13, "dmxpy1", "Vector-Matrix Multiply",
-           "dmxpy interchanged: dot-product orientation", dmxpy1),
-        k!(14, "gmtry.3", "SPEC/NASA7/GMTRY",
-           "Gaussian-elimination rank-1 update", gmtry3, true),
-        k!(15, "mmjik", "Matrix-Matrix Multiply",
-           "JIK loop order (reduction innermost)", mmjik, true),
-        k!(16, "mmjki", "Matrix-Matrix Multiply",
-           "JKI loop order (stride-1 innermost)", mmjki, true),
-        k!(17, "vpenta.7", "SPEC/NASA7/VPENTA",
-           "pentadiagonal back-substitution", vpenta7),
-        k!(18, "sor", "Successive Over Relaxation",
-           "in-place 5-point relaxation", sor),
-        k!(19, "shal", "Shallow Water Kernel",
-           "multi-array momentum update with scalar weights", shal),
+        k!(
+            1,
+            "jacobi",
+            "Compute Jacobian of a Matrix",
+            "5-point relaxation stencil, out-of-place",
+            jacobi
+        ),
+        k!(
+            2,
+            "afold",
+            "Adjoint Convolution",
+            "separable form of the accumulate-products pattern (original C(J-I) is MIV)",
+            afold
+        ),
+        k!(
+            3,
+            "btrix.1",
+            "SPEC/NASA7/BTRIX",
+            "forward elimination along J in a 3-D block solve",
+            btrix1,
+            true
+        ),
+        k!(
+            4,
+            "btrix.2",
+            "SPEC/NASA7/BTRIX",
+            "scale-and-correct sweep over the 3-D block",
+            btrix2,
+            true
+        ),
+        k!(
+            5,
+            "btrix.7",
+            "SPEC/NASA7/BTRIX",
+            "back-substitution sweep with an invariant pivot column",
+            btrix7,
+            true
+        ),
+        k!(
+            6,
+            "collc.2",
+            "Perfect/FLO52/COLLC",
+            "residual collection: forward difference of FS",
+            collc2
+        ),
+        k!(
+            7,
+            "cond.7",
+            "local/simple/CONDUCT",
+            "I-direction conduction flux",
+            cond7
+        ),
+        k!(
+            8,
+            "cond.9",
+            "local/simple/CONDUCT",
+            "J-direction conduction flux",
+            cond9
+        ),
+        k!(
+            9,
+            "dflux.16",
+            "Perfect/FLO52/DFLUX",
+            "I-direction dissipation flux",
+            dflux16
+        ),
+        k!(
+            10,
+            "dflux.17",
+            "Perfect/FLO52/DFLUX",
+            "flux difference accumulated into DW",
+            dflux17
+        ),
+        k!(
+            11,
+            "dflux.20",
+            "Perfect/FLO52/DFLUX",
+            "J-direction dissipation flux",
+            dflux20
+        ),
+        k!(
+            12,
+            "dmxpy0",
+            "Vector-Matrix Multiply",
+            "LINPACK dmxpy, column loop outer",
+            dmxpy0
+        ),
+        k!(
+            13,
+            "dmxpy1",
+            "Vector-Matrix Multiply",
+            "dmxpy interchanged: dot-product orientation",
+            dmxpy1
+        ),
+        k!(
+            14,
+            "gmtry.3",
+            "SPEC/NASA7/GMTRY",
+            "Gaussian-elimination rank-1 update",
+            gmtry3,
+            true
+        ),
+        k!(
+            15,
+            "mmjik",
+            "Matrix-Matrix Multiply",
+            "JIK loop order (reduction innermost)",
+            mmjik,
+            true
+        ),
+        k!(
+            16,
+            "mmjki",
+            "Matrix-Matrix Multiply",
+            "JKI loop order (stride-1 innermost)",
+            mmjki,
+            true
+        ),
+        k!(
+            17,
+            "vpenta.7",
+            "SPEC/NASA7/VPENTA",
+            "pentadiagonal back-substitution",
+            vpenta7
+        ),
+        k!(
+            18,
+            "sor",
+            "Successive Over Relaxation",
+            "in-place 5-point relaxation",
+            sor
+        ),
+        k!(
+            19,
+            "shal",
+            "Shallow Water Kernel",
+            "multi-array momentum update with scalar weights",
+            shal
+        ),
     ]
 }
 
 /// Looks a kernel up by name.
 pub fn kernel(name: &str) -> Option<Kernel> {
     kernels().into_iter().find(|k| k.name == name)
+}
+
+/// Optimizes the whole Table 2 suite through `ujam-core`'s parallel
+/// batch driver: one `(kernel, plan)` pair per roster entry, in order.
+///
+/// Each nest gets its own analysis context, so results are identical to
+/// calling `optimize` per kernel — the batch only changes scheduling.
+pub fn optimize_suite(
+    machine: &ujam_machine::MachineModel,
+) -> Vec<(
+    Kernel,
+    Result<ujam_core::Optimized, ujam_core::OptimizeError>,
+)> {
+    let ks = kernels();
+    let nests: Vec<_> = ks.iter().map(|k| k.nest()).collect();
+    ks.into_iter()
+        .zip(ujam_core::optimize_batch(&nests, machine))
+        .collect()
 }
 
 #[cfg(test)]
@@ -392,6 +511,16 @@ mod tests {
     fn lookup_by_name() {
         assert_eq!(kernel("mmjki").unwrap().num, 16);
         assert!(kernel("nope").is_none());
+    }
+
+    #[test]
+    fn optimize_suite_covers_the_roster() {
+        let plans = optimize_suite(&ujam_machine::MachineModel::dec_alpha());
+        assert_eq!(plans.len(), 19);
+        for (k, plan) in &plans {
+            let plan = plan.as_ref().expect(k.name);
+            assert_eq!(plan.unroll.len(), k.nest().depth(), "{}", k.name);
+        }
     }
 
     #[test]

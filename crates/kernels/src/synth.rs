@@ -11,9 +11,8 @@
 //! graph — is a structural property of these patterns, not of the exact
 //! 1992 source files.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use ujam_ir::{LoopNest, NestBuilder};
+use ujam_rng::Rng;
 
 /// The pattern families the generator mixes, with weights loosely
 /// following their frequency in scientific codes.
@@ -32,8 +31,8 @@ enum Family {
     InPlace,
 }
 
-fn pick_family(rng: &mut StdRng) -> Family {
-    match rng.gen_range(0..14) {
+fn pick_family(rng: &mut Rng) -> Family {
+    match rng.int(0, 13) {
         0..=3 => Family::Stencil,
         4..=6 => Family::Reduction,
         7..=8 => Family::LinearAlgebra,
@@ -48,7 +47,7 @@ fn pick_family(rng: &mut StdRng) -> Family {
 /// the dependence statistics depend on the reference pattern, not the
 /// trip counts.
 pub fn corpus_routine(seed: u64, idx: usize) -> LoopNest {
-    let mut rng = StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut rng = Rng::new(seed ^ (idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
     let name = format!("synth{idx}");
     gen_nest(&mut rng, &name)
 }
@@ -64,13 +63,12 @@ pub fn corpus_routine(seed: u64, idx: usize) -> LoopNest {
 /// std-dev is 33.6) instead of averaging every routine toward the corpus
 /// mean.
 pub fn corpus_subroutine(seed: u64, idx: usize) -> Vec<LoopNest> {
-    let mut rng =
-        StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0xd134_2543_de82_ef95));
-    let nests = rng.gen_range(2..=10);
+    let mut rng = Rng::new(seed ^ (idx as u64).wrapping_mul(0xd134_2543_de82_ef95));
+    let nests = rng.int(2, 10);
     let dominant = pick_family(&mut rng);
     (0..nests)
         .map(|k| {
-            let family = if rng.gen_bool(0.8) {
+            let family = if rng.chance(0.8) {
                 dominant
             } else {
                 pick_family(&mut rng)
@@ -80,19 +78,19 @@ pub fn corpus_subroutine(seed: u64, idx: usize) -> Vec<LoopNest> {
         .collect()
 }
 
-fn gen_nest(rng: &mut StdRng, name: &str) -> LoopNest {
+fn gen_nest(rng: &mut Rng, name: &str) -> LoopNest {
     let family = pick_family(rng);
     gen_nest_of(rng, name, family)
 }
 
-fn gen_nest_of(rng: &mut StdRng, name: &str, family: Family) -> LoopNest {
+fn gen_nest_of(rng: &mut Rng, name: &str, family: Family) -> LoopNest {
     match family {
         Family::Stencil => {
             // Large relaxation stencils dominate scientific codes; their
             // k reads generate O(k²) input dependences, which is what
             // drives the corpus-wide fraction toward the paper's 84%.
-            let terms = rng.gen_range(3..=8);
-            let stmts = rng.gen_range(1..=2);
+            let terms = rng.int(3, 8);
+            let stmts = rng.int(1, 2);
             let mut b = NestBuilder::new(name)
                 .array("A", &[40, 40])
                 .array("B", &[40, 40])
@@ -102,8 +100,8 @@ fn gen_nest_of(rng: &mut StdRng, name: &str, family: Family) -> LoopNest {
             for s in 0..stmts {
                 let mut rhs = String::from("0.0");
                 for _ in 0..terms {
-                    let di = rng.gen_range(-1..=1);
-                    let dj = rng.gen_range(-1..=1);
+                    let di = rng.int(-1, 1);
+                    let dj = rng.int(-1, 1);
                     rhs.push_str(&format!(" + A(I+{}, J+{})", di + 2, dj + 2));
                 }
                 b = b.stmt(&format!("{}(I,J) = {rhs}", if s == 0 { "B" } else { "C" }));
@@ -111,10 +109,10 @@ fn gen_nest_of(rng: &mut StdRng, name: &str, family: Family) -> LoopNest {
             b.build()
         }
         Family::Reduction => {
-            let extra = rng.gen_range(1..=3);
+            let extra = rng.int(1, 3);
             let mut rhs = String::from("A(J)");
             for k in 0..extra {
-                if rng.gen_bool(0.5) {
+                if rng.chance(0.5) {
                     rhs.push_str(&format!(" + X{k}(I)"));
                 } else {
                     rhs.push_str(&format!(" + X{k}(I) * X{k}(I)"));
@@ -132,7 +130,7 @@ fn gen_nest_of(rng: &mut StdRng, name: &str, family: Family) -> LoopNest {
         Family::LinearAlgebra => {
             // Randomize the loop order of the canonical triple loop.
             let orders = [["J", "K", "I"], ["J", "I", "K"], ["K", "J", "I"]];
-            let ord = orders[rng.gen_range(0..orders.len())];
+            let ord = orders[rng.index(orders.len())];
             let mut b = NestBuilder::new(name)
                 .array("C", &[24, 24])
                 .array("A", &[24, 24])
@@ -143,7 +141,7 @@ fn gen_nest_of(rng: &mut StdRng, name: &str, family: Family) -> LoopNest {
             b.stmt("C(I,J) = C(I,J) + A(I,K) * B(K,J)").build()
         }
         Family::InPlace => {
-            let scaled = rng.gen_bool(0.5);
+            let scaled = rng.chance(0.5);
             NestBuilder::new(name)
                 .array("A", &[40, 40])
                 .loop_("J", 1, 24)
@@ -156,7 +154,7 @@ fn gen_nest_of(rng: &mut StdRng, name: &str, family: Family) -> LoopNest {
                 .build()
         }
         Family::Sweep => {
-            let stmts = rng.gen_range(1..=3);
+            let stmts = rng.int(1, 3);
             let mut b = NestBuilder::new(name)
                 .array("P", &[40, 40])
                 .array("Q", &[40, 40])

@@ -149,7 +149,11 @@ impl Div for Rat {
     ///
     /// Panics if `rhs` is zero.
     fn div(self, rhs: Rat) -> Rat {
-        self * rhs.recip()
+        let inv = rhs.recip();
+        Rat::new(
+            self.num.checked_mul(inv.num).expect("rat overflow"),
+            self.den.checked_mul(inv.den).expect("rat overflow"),
+        )
     }
 }
 

@@ -128,12 +128,13 @@ fn solve_rational(a: &Mat, d: &[i64]) -> RationalSolve {
         for x in aug[pivot_row].iter_mut() {
             *x = *x * inv;
         }
-        for r in 0..m {
-            if r != pivot_row && !aug[r][col].is_zero() {
-                let factor = aug[r][col];
-                for c in 0..=n {
-                    let sub = aug[pivot_row][c] * factor;
-                    aug[r][c] = aug[r][c] - sub;
+        let prow = aug[pivot_row].clone();
+        for (r, row) in aug.iter_mut().enumerate() {
+            if r != pivot_row && !row[col].is_zero() {
+                let factor = row[col];
+                for (x, &p) in row.iter_mut().zip(&prow) {
+                    let sub = p * factor;
+                    *x = *x - sub;
                 }
             }
         }
@@ -145,8 +146,8 @@ fn solve_rational(a: &Mat, d: &[i64]) -> RationalSolve {
     }
 
     // Inconsistent row: 0 = nonzero.
-    for r in pivot_row..m {
-        if !aug[r][n].is_zero() {
+    for row in &aug[pivot_row..] {
+        if !row[n].is_zero() {
             return RationalSolve::NoSolution;
         }
     }

@@ -40,12 +40,13 @@ fn rref(rows: &mut Vec<Vec<Rat>>, width: usize) {
         for x in rows[pivot_row].iter_mut() {
             *x = *x * inv;
         }
-        for r in 0..rows.len() {
-            if r != pivot_row && !rows[r][col].is_zero() {
-                let factor = rows[r][col];
-                for c in 0..width {
-                    let sub = rows[pivot_row][c] * factor;
-                    rows[r][c] = rows[r][c] - sub;
+        let prow = rows[pivot_row].clone();
+        for (r, row) in rows.iter_mut().enumerate() {
+            if r != pivot_row && !row[col].is_zero() {
+                let factor = row[col];
+                for (x, &p) in row.iter_mut().zip(&prow) {
+                    let sub = p * factor;
+                    *x = *x - sub;
                 }
             }
         }
@@ -59,7 +60,9 @@ fn rref(rows: &mut Vec<Vec<Rat>>, width: usize) {
 
 /// Returns the pivot column of an RREF row.
 fn pivot_col(row: &[Rat]) -> usize {
-    row.iter().position(|x| !x.is_zero()).expect("zero row in basis")
+    row.iter()
+        .position(|x| !x.is_zero())
+        .expect("zero row in basis")
 }
 
 impl Space {

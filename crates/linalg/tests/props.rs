@@ -1,38 +1,58 @@
-//! Property-based tests for the exact linear-algebra substrate.
+//! Property-style tests for the exact linear-algebra substrate.
+//!
+//! Triage note: originally `proptest`; the offline registry cannot serve
+//! external crates, so the strategies are now deterministic seeded
+//! generators from the in-tree `ujam-rng` crate with the same coverage.
 
-use proptest::prelude::*;
-use ujam_linalg::{solve_unique_nonneg, Mat, Rat, Space, SolveOutcome};
+use ujam_linalg::{solve_unique_nonneg, Mat, Rat, SolveOutcome, Space};
+use ujam_rng::Rng;
 
 /// Small matrices keep the search space meaningful while staying exact.
 /// The column count is fixed so generated rows share an ambient dimension.
-fn small_mat(max_rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
-    (1..=max_rows).prop_flat_map(move |r| {
-        proptest::collection::vec(-4i64..=4, r * cols)
-            .prop_map(move |data| Mat::from_vec(r, cols, data))
-    })
+fn small_mat(rng: &mut Rng, max_rows: usize, cols: usize) -> Mat {
+    let r = rng.int(1, max_rows as i64) as usize;
+    let data: Vec<i64> = (0..r * cols).map(|_| rng.int(-4, 4)).collect();
+    Mat::from_vec(r, cols, data)
 }
 
-fn small_vec(len: usize) -> impl Strategy<Value = Vec<i64>> {
-    proptest::collection::vec(-6i64..=6, len)
+fn small_vec(rng: &mut Rng, len: usize) -> Vec<i64> {
+    (0..len).map(|_| rng.int(-6, 6)).collect()
 }
 
-proptest! {
-    #[test]
-    fn rat_add_commutes(a in -50i64..50, b in 1i64..20, c in -50i64..50, d in 1i64..20) {
-        let x = Rat::new(a as i128, b as i128);
-        let y = Rat::new(c as i128, d as i128);
-        prop_assert_eq!(x + y, y + x);
-        prop_assert_eq!(x * y, y * x);
-        prop_assert_eq!((x - y) + y, x);
-    }
+fn rat_rows(m: &Mat) -> Vec<Vec<Rat>> {
+    m.iter_rows()
+        .map(|r| r.iter().map(|&x| Rat::from(x)).collect())
+        .collect()
+}
 
-    #[test]
-    fn transpose_involution(m in small_mat(4, 4)) {
-        prop_assert_eq!(m.transpose().transpose(), m);
-    }
+const CASES: usize = 64;
 
-    #[test]
-    fn kernel_vectors_annihilate(m in small_mat(3, 4)) {
+#[test]
+fn rat_add_commutes() {
+    let mut rng = Rng::new(0x2a7);
+    for _ in 0..256 {
+        let x = Rat::new(rng.int(-50, 49) as i128, rng.int(1, 19) as i128);
+        let y = Rat::new(rng.int(-50, 49) as i128, rng.int(1, 19) as i128);
+        assert_eq!(x + y, y + x);
+        assert_eq!(x * y, y * x);
+        assert_eq!((x - y) + y, x);
+    }
+}
+
+#[test]
+fn transpose_involution() {
+    let mut rng = Rng::new(0x7a0);
+    for _ in 0..CASES {
+        let m = small_mat(&mut rng, 4, 4);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+}
+
+#[test]
+fn kernel_vectors_annihilate() {
+    let mut rng = Rng::new(0xbe1);
+    for _ in 0..CASES {
+        let m = small_mat(&mut rng, 3, 4);
         let k = Space::kernel(&m);
         for b in k.basis() {
             for row in m.iter_rows() {
@@ -40,69 +60,74 @@ proptest! {
                 for (coef, x) in row.iter().zip(b) {
                     acc = acc + Rat::from(*coef) * *x;
                 }
-                prop_assert!(acc.is_zero());
+                assert!(acc.is_zero());
             }
         }
     }
+}
 
-    #[test]
-    fn rank_nullity(m in small_mat(4, 4)) {
+#[test]
+fn rank_nullity() {
+    let mut rng = Rng::new(0x4a11);
+    for _ in 0..CASES {
+        let m = small_mat(&mut rng, 4, 4);
         let k = Space::kernel(&m);
         // rank = n - nullity; rank is the row-space dimension.
-        let row_space = Space::span_rat(
-            m.cols(),
-            m.iter_rows().map(|r| r.iter().map(|&x| Rat::from(x)).collect()).collect(),
-        );
-        prop_assert_eq!(row_space.dim() + k.dim(), m.cols());
+        let row_space = Space::span_rat(m.cols(), rat_rows(&m));
+        assert_eq!(row_space.dim() + k.dim(), m.cols());
     }
+}
 
-    #[test]
-    fn span_contains_generators(m in small_mat(4, 4)) {
-        let s = Space::span_rat(
-            m.cols(),
-            m.iter_rows().map(|r| r.iter().map(|&x| Rat::from(x)).collect()).collect(),
-        );
+#[test]
+fn span_contains_generators() {
+    let mut rng = Rng::new(0x59a);
+    for _ in 0..CASES {
+        let m = small_mat(&mut rng, 4, 4);
+        let s = Space::span_rat(m.cols(), rat_rows(&m));
         for row in m.iter_rows() {
-            prop_assert!(s.contains_int(row));
+            assert!(s.contains_int(row));
         }
     }
+}
 
-    #[test]
-    fn intersection_is_contained_in_both(a in small_mat(3, 4), b in small_mat(3, 4)) {
-        let sa = Space::span_rat(
-            4,
-            a.iter_rows().map(|r| r.iter().map(|&x| Rat::from(x)).collect()).collect(),
-        );
-        let sb = Space::span_rat(
-            4,
-            b.iter_rows().map(|r| r.iter().map(|&x| Rat::from(x)).collect()).collect(),
-        );
+#[test]
+fn intersection_is_contained_in_both() {
+    let mut rng = Rng::new(0x17ce);
+    for _ in 0..CASES {
+        let a = small_mat(&mut rng, 3, 4);
+        let b = small_mat(&mut rng, 3, 4);
+        let sa = Space::span_rat(4, rat_rows(&a));
+        let sb = Space::span_rat(4, rat_rows(&b));
         let i = sa.intersect(&sb);
-        prop_assert!(sa.contains_space(&i));
-        prop_assert!(sb.contains_space(&i));
+        assert!(sa.contains_space(&i));
+        assert!(sb.contains_space(&i));
         // Dimension formula: dim(A) + dim(B) = dim(A+B) + dim(A∩B).
-        prop_assert_eq!(sa.dim() + sb.dim(), sa.sum(&sb).dim() + i.dim());
+        assert_eq!(sa.dim() + sb.dim(), sa.sum(&sb).dim() + i.dim());
     }
+}
 
-    #[test]
-    fn sum_contains_both(a in small_mat(2, 3), b in small_mat(2, 3)) {
-        let sa = Space::span_rat(
-            3,
-            a.iter_rows().map(|r| r.iter().map(|&x| Rat::from(x)).collect()).collect(),
-        );
-        let sb = Space::span_rat(
-            3,
-            b.iter_rows().map(|r| r.iter().map(|&x| Rat::from(x)).collect()).collect(),
-        );
+#[test]
+fn sum_contains_both() {
+    let mut rng = Rng::new(0x50b);
+    for _ in 0..CASES {
+        let a = small_mat(&mut rng, 2, 3);
+        let b = small_mat(&mut rng, 2, 3);
+        let sa = Space::span_rat(3, rat_rows(&a));
+        let sb = Space::span_rat(3, rat_rows(&b));
         let s = sa.sum(&sb);
-        prop_assert!(s.contains_space(&sa));
-        prop_assert!(s.contains_space(&sb));
+        assert!(s.contains_space(&sa));
+        assert!(s.contains_space(&sb));
     }
+}
 
-    /// If the solver claims a unique solution, plugging it back in must
-    /// reproduce the right-hand side.
-    #[test]
-    fn solve_round_trip(m in small_mat(3, 3), x in small_vec(2)) {
+/// If the solver claims a unique solution, plugging it back in must
+/// reproduce the right-hand side.
+#[test]
+fn solve_round_trip() {
+    let mut rng = Rng::new(0x501e);
+    for _ in 0..CASES {
+        let m = small_mat(&mut rng, 3, 3);
+        let x = small_vec(&mut rng, 2);
         // Build d = H·(x embedded in the first two columns), then re-solve.
         let cols = [0usize, 1usize];
         let cols = &cols[..cols.len().min(m.cols())];
@@ -117,7 +142,7 @@ proptest! {
                 for (i, &c) in cols.iter().enumerate() {
                     back[c] = sol[i];
                 }
-                prop_assert_eq!(m.mul_vec(&back), d);
+                assert_eq!(m.mul_vec(&back), d);
             }
             // Underdetermined/NoSolution are legitimate for rank-deficient H;
             // Negative/NonIntegral cannot happen since we constructed d from
@@ -129,7 +154,7 @@ proptest! {
                 // Only reachable if H restricted to cols is singular in a way
                 // that makes our constructed point non-unique; that is
                 // Underdetermined, so anything else is a bug.
-                prop_assert!(false, "unexpected outcome {:?}", other);
+                panic!("unexpected outcome {other:?}");
             }
         }
     }

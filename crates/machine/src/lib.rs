@@ -235,7 +235,10 @@ impl MachineModelBuilder {
     /// multiple of the line, associativity 0).
     pub fn cache(mut self, bytes: usize, line: usize, ways: usize) -> Self {
         assert!(bytes > 0 && line > 0 && ways > 0, "degenerate cache");
-        assert!(bytes % (line * ways) == 0, "capacity not divisible by way size");
+        assert!(
+            bytes.is_multiple_of(line * ways),
+            "capacity not divisible by way size"
+        );
         self.model.cache_bytes = bytes;
         self.model.line_bytes = line;
         self.model.associativity = ways;

@@ -25,12 +25,7 @@ use ujam_ir::{LoopNest, RefId};
 /// their self reuse: `0` if a localized self dependence revisits the
 /// element, `1/line` if the innermost walk is unit-stride, else a full
 /// line.
-pub fn dep_cache_cost(
-    nest: &LoopNest,
-    graph: &DepGraph,
-    l: &Localized,
-    line_elems: i64,
-) -> f64 {
+pub fn dep_cache_cost(nest: &LoopNest, graph: &DepGraph, l: &Localized, line_elems: i64) -> f64 {
     let refs = nest.refs();
     let vars = nest.loop_vars();
     let mut cost = 0.0;
@@ -41,11 +36,11 @@ pub fn dep_cache_cost(
         // Leader: self-temporal via a localized self dependence?  The
         // realization must be *nonzero* in the localized loops (a zero
         // self-distance is the access itself, not reuse).
-        let self_temporal = graph.edges().iter().any(|e| {
-            e.src == r.id
-                && e.dst == r.id
-                && localized_reuse(&e.dist, l, true)
-        }) || invariant_in_localized(nest, &r.aref, l, &vars);
+        let self_temporal = graph
+            .edges()
+            .iter()
+            .any(|e| e.src == r.id && e.dst == r.id && localized_reuse(&e.dist, l, true))
+            || invariant_in_localized(nest, &r.aref, l, &vars);
         if self_temporal {
             continue;
         }
@@ -116,9 +111,9 @@ fn spatial_leader(aref: &ujam_ir::ArrayRef, l: &Localized, vars: &[&str]) -> boo
     if h.rows() == 0 {
         return false;
     }
-    l.loops().iter().any(|&col| {
-        h[(0, col)] != 0 && (1..h.rows()).all(|r| h[(r, col)] == 0)
-    })
+    l.loops()
+        .iter()
+        .any(|&col| h[(0, col)] != 0 && (1..h.rows()).all(|r| h[(r, col)] == 0))
 }
 
 #[cfg(test)]

@@ -35,7 +35,8 @@ pub fn rank_orders(nest: &LoopNest, graph: &DepGraph, line_elems: i64) -> Vec<Ra
     let mut ranked: Vec<RankedOrder> = legal_permutations(graph, depth)
         .into_iter()
         .map(|perm| {
-            let permuted = permute_loops(nest, &perm).expect("legal_permutations yields valid perms");
+            let permuted =
+                permute_loops(nest, &perm).expect("legal_permutations yields valid perms");
             let cost_profile: Vec<f64> = (1..=depth)
                 .map(|k| {
                     let loops: Vec<usize> = (depth - k..depth).collect();

@@ -1,0 +1,157 @@
+//! A minimal, dependency-free deterministic PRNG.
+//!
+//! The workspace builds against an offline registry, so external
+//! randomness crates (`rand`, `proptest`) cannot be fetched.  Everything
+//! here is seeded and reproducible by construction — the synthetic
+//! corpus generator and the deterministic property-style tests both
+//! depend on stable streams, so a tiny local generator is the right
+//! tool anyway.
+//!
+//! The core is Steele, Lea & Flood's SplitMix64: a 64-bit
+//! counter-with-finalizer generator with a full 2^64 period and
+//! excellent statistical quality for non-cryptographic use.
+//!
+//! # Example
+//!
+//! ```
+//! use ujam_rng::Rng;
+//! let mut rng = Rng::new(1997);
+//! let a = rng.int(1, 6);
+//! assert!((1..=6).contains(&a));
+//! // Same seed, same stream.
+//! assert_eq!(Rng::new(1997).int(1, 6), a);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A seeded SplitMix64 pseudo-random number generator.
+///
+/// Streams are a pure function of the seed and the call sequence:
+/// identical seeds yield identical values on every platform and build.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)` built from the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform index in `[0, n)`.  `n` must be non-zero.
+    ///
+    /// Uses the multiply-shift reduction, which is unbiased enough for
+    /// the small ranges used here and avoids a rejection loop.
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "index() needs a non-empty range");
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+
+    /// A uniform integer in the inclusive range `[lo, hi]`.
+    pub fn int(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi, "int() needs lo <= hi");
+        let span = (hi - lo) as u128 + 1;
+        lo + (((self.next_u64() as u128) * span) >> 64) as i64
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Fisher–Yates shuffle of a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(8);
+        assert_ne!(Rng::new(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn int_stays_in_bounds_and_hits_endpoints() {
+        let mut rng = Rng::new(42);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..1000 {
+            let v = rng.int(-3, 3);
+            assert!((-3..=3).contains(&v));
+            seen_lo |= v == -3;
+            seen_hi |= v == 3;
+        }
+        assert!(seen_lo && seen_hi, "endpoints should be reachable");
+    }
+
+    #[test]
+    fn index_covers_small_ranges() {
+        let mut rng = Rng::new(1);
+        let mut hits = [0usize; 5];
+        for _ in 0..5000 {
+            hits[rng.index(5)] += 1;
+        }
+        assert!(hits.iter().all(|&h| h > 500), "roughly uniform: {hits:?}");
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut rng = Rng::new(3);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_tracks_probability() {
+        let mut rng = Rng::new(9);
+        let heads = (0..10_000).filter(|_| rng.chance(0.8)).count();
+        assert!((7500..8500).contains(&heads), "got {heads}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = Rng::new(11);
+        let mut v: Vec<u32> = (0..32).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 32-element shuffle should move something");
+    }
+}

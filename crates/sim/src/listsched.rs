@@ -208,11 +208,7 @@ fn list_schedule(ops: &mut [ScheduledOp], machine: &MachineModel) {
         let mut issued = 0;
         // Ready ops by priority.
         let mut ready: Vec<usize> = (0..n)
-            .filter(|&i| {
-                !done[i]
-                    && ops[i].deps.iter().all(|&d| done[d])
-                    && ready_at[i] <= cycle
-            })
+            .filter(|&i| !done[i] && ops[i].deps.iter().all(|&d| done[d]) && ready_at[i] <= cycle)
             .collect();
         ready.sort_by_key(|&i| std::cmp::Reverse(height[i]));
         for i in ready {
@@ -348,10 +344,7 @@ mod tests {
         let u = unroll_and_jam(&nest, &[3, 0]).expect("legal");
         let s4 = scalar_replacement(&u);
         let m4 = schedule_body(&s4.nest, &alpha).makespan as f64 / 4.0;
-        assert!(
-            m4 < m1,
-            "per-iteration makespan should drop: {m1} -> {m4}"
-        );
+        assert!(m4 < m1, "per-iteration makespan should drop: {m1} -> {m4}");
     }
 
     /// Tiny local copies of two kernels (avoiding a dev-dependency cycle

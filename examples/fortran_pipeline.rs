@@ -1,8 +1,12 @@
 //! The source-to-source workflow the paper's Memoria tool provided:
 //! Fortran in, optimized Fortran out.
 //!
+//! Both fallible stages — parsing and optimization — report their errors
+//! instead of unwrapping, which is the shape a real front end wants.
+//!
 //! Run with `cargo run --example fortran_pipeline`.
 
+use std::process::ExitCode;
 use ujam::core::optimize;
 use ujam::fortran::{emit, parse};
 use ujam::machine::MachineModel;
@@ -19,12 +23,24 @@ C     y <- y + M x, column-major sweep (LINPACK dmxpy shape)
       END
 ";
 
-fn main() {
+fn main() -> ExitCode {
     println!("--- input ---{SOURCE}");
-    let nest = parse(SOURCE).expect("the subset parser accepts this");
+    let nest = match parse(SOURCE) {
+        Ok(nest) => nest,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let machine = MachineModel::dec_alpha();
 
-    let plan = optimize(&nest, &machine);
+    let plan = match optimize(&nest, &machine) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("could not optimize {}: {e}", nest.name());
+            return ExitCode::FAILURE;
+        }
+    };
     println!(
         "--- analysis: unroll {:?}, balance {:.2} -> {:.2} (machine {:.2}) ---\n",
         plan.unroll,
@@ -44,4 +60,5 @@ fn main() {
         after.cycles,
         before.cycles / after.cycles
     );
+    ExitCode::SUCCESS
 }

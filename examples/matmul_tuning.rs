@@ -24,7 +24,7 @@ fn main() {
     let nest = matmul(48);
     for machine in [MachineModel::dec_alpha(), MachineModel::hp_parisc()] {
         println!("=== {} (balance {}) ===", machine.name(), machine.balance());
-        let plan = optimize(&nest, &machine);
+        let plan = optimize(&nest, &machine).expect("valid nest");
         println!(
             "chosen unroll {:?}: balance {:.3} -> {:.3}, registers {}",
             plan.unroll, plan.original.balance, plan.predicted.balance, plan.predicted.registers

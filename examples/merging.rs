@@ -27,7 +27,10 @@ fn main() {
     println!(
         "uniformly generated set on B: H =\n{}\nleaders (c vectors): {:?}",
         b.h(),
-        b.members_lex().iter().map(|m| m.c.clone()).collect::<Vec<_>>()
+        b.members_lex()
+            .iter()
+            .map(|m| m.c.clone())
+            .collect::<Vec<_>>()
     );
 
     let space = UnrollSpace::new(2, &[0], 5);

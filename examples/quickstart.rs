@@ -1,14 +1,19 @@
 //! Quickstart: optimize the paper's §3.3 example loop end to end.
 //!
+//! The optimizer returns `Result<Optimized, OptimizeError>` — this
+//! example shows the graceful path: report the error and exit instead of
+//! unwrapping.
+//!
 //! Run with `cargo run --example quickstart`.
 
+use std::process::ExitCode;
 use ujam::core::optimize;
 use ujam::ir::transform::scalar_replacement;
 use ujam::ir::NestBuilder;
 use ujam::machine::MachineModel;
 use ujam::sim::simulate;
 
-fn main() {
+fn main() -> ExitCode {
     // DO J = 1, 2N ; DO I = 1, M ; A(J) = A(J) + B(I)
     let nest = NestBuilder::new("intro")
         .array("A", &[512])
@@ -19,10 +24,21 @@ fn main() {
         .build();
 
     let machine = MachineModel::dec_alpha();
-    println!("machine: {} (balance {})", machine.name(), machine.balance());
+    println!(
+        "machine: {} (balance {})",
+        machine.name(),
+        machine.balance()
+    );
     println!("\noriginal loop:\n{nest}");
 
-    let plan = optimize(&nest, &machine);
+    // A malformed nest surfaces here as an `OptimizeError`, not a panic.
+    let plan = match optimize(&nest, &machine) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("could not optimize {}: {e}", nest.name());
+            return ExitCode::FAILURE;
+        }
+    };
     println!("chosen unroll vector: {:?}", plan.unroll);
     println!(
         "predicted balance: {:.3} -> {:.3} (machine balance {:.3})",
@@ -55,4 +71,5 @@ fn main() {
         after.cycles,
         before.cycles / after.cycles
     );
+    ExitCode::SUCCESS
 }

@@ -34,7 +34,7 @@ fn main() {
         ("all-hits model (Carr-Kennedy '94)", CostModel::AllHits),
         ("cache-aware model (this paper)", CostModel::CacheAware),
     ] {
-        let plan = optimize_with(&nest, &machine, model);
+        let plan = optimize_with(&nest, &machine, model).expect("valid nest");
         let run = simulate(&plan.nest, &machine);
         println!(
             "\n{label}: unroll {:?}\n  predicted balance {:.3} -> {:.3}\n  simulated {:.0} cycles ({:.2}x vs original), miss rate {:.1}%",

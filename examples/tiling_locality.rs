@@ -45,7 +45,7 @@ fn main() {
     let tiled = tile(&permuted, &[(0, 8), (1, 8)]).expect("tileable");
     let after_tile = report("…then 8x8 tiling", &tiled);
 
-    let jam = optimize(&permuted, &machine);
+    let jam = optimize(&permuted, &machine).expect("valid nest");
     let after_jam = report("…then unroll-and-jam", &jam.nest);
 
     println!(

@@ -32,10 +32,22 @@
 //!     .stmt("A(J) = A(J) + B(I)")
 //!     .build();
 //!
-//! let plan = optimize(&nest, &MachineModel::dec_alpha());
+//! let plan = optimize(&nest, &MachineModel::dec_alpha()).expect("valid nest");
 //! println!("{}", plan.nest);          // the unrolled-and-jammed loop
 //! assert!(plan.unroll[0] >= 1);       // J was unrolled
 //! assert!(plan.predicted.balance <= plan.original.balance);
+//! ```
+//!
+//! Whole suites go through the batch driver, which fans nests out across
+//! scoped threads (one analysis context per nest):
+//!
+//! ```
+//! use ujam::core::optimize_batch;
+//! use ujam::machine::MachineModel;
+//!
+//! let nests: Vec<_> = ujam::kernels::kernels().iter().map(|k| k.nest()).collect();
+//! let plans = optimize_batch(&nests, &MachineModel::dec_alpha());
+//! assert!(plans.iter().all(|p| p.is_ok()));
 //! ```
 
 #![forbid(unsafe_code)]

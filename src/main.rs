@@ -56,7 +56,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let cmd = it.next().ok_or("missing command")?;
     match cmd.as_str() {
         "list" => {
-            println!("{:>3} {:10} {}", "#", "name", "description");
+            println!("{:>3} {:10} description", "#", "name");
             for k in kernels() {
                 println!("{:>3} {:10} {}", k.num, k.name, k.description);
             }
@@ -76,7 +76,12 @@ fn run(args: &[String]) -> Result<(), String> {
             let nest = lookup(it.next())?;
             let g = DepGraph::build(&nest);
             println!("dependences of {}:", nest.name());
-            for kind in [DepKind::True, DepKind::Anti, DepKind::Output, DepKind::Input] {
+            for kind in [
+                DepKind::True,
+                DepKind::Anti,
+                DepKind::Output,
+                DepKind::Input,
+            ] {
                 println!("  {kind}: {}", g.count(kind));
             }
             let s = g.stats();
@@ -128,7 +133,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "optimize" => {
             let nest = lookup(it.next())?;
             let (machine, model) = options(it)?;
-            let plan = optimize_with(&nest, &machine, model);
+            let plan = optimize_with(&nest, &machine, model).map_err(|e| e.to_string())?;
             println!(
                 "machine {} (balance {}), model {:?}",
                 machine.name(),
@@ -154,7 +159,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "schedule" => {
             let nest = lookup(it.next())?;
             let (machine, model) = options(it)?;
-            let plan = optimize_with(&nest, &machine, model);
+            let plan = optimize_with(&nest, &machine, model).map_err(|e| e.to_string())?;
             let replaced = scalar_replacement(&plan.nest);
             let sched = ujam::sim::listsched::schedule_body(&replaced.nest, &machine);
             println!(
@@ -182,7 +187,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "simulate" => {
             let nest = lookup(it.next())?;
             let (machine, model) = options(it)?;
-            let plan = optimize_with(&nest, &machine, model);
+            let plan = optimize_with(&nest, &machine, model).map_err(|e| e.to_string())?;
             let before = simulate(&nest, &machine);
             let after = simulate(&plan.nest, &machine);
             println!(
@@ -215,8 +220,8 @@ fn lookup(name: Option<&String>) -> Result<LoopNest, String> {
     let name = name.ok_or("missing loop name")?;
     let lower = name.to_ascii_lowercase();
     if lower.ends_with(".f") || lower.ends_with(".f77") || lower.ends_with(".for") {
-        let src = std::fs::read_to_string(name)
-            .map_err(|e| format!("cannot read {name:?}: {e}"))?;
+        let src =
+            std::fs::read_to_string(name).map_err(|e| format!("cannot read {name:?}: {e}"))?;
         return ujam::fortran::parse(&src).map_err(|e| format!("{name}: {e}"));
     }
     kernel(name)

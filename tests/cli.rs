@@ -65,7 +65,14 @@ fn optimize_emits_a_transformed_loop() {
 
 #[test]
 fn simulate_reports_speedup() {
-    let out = ujam(&["simulate", "afold", "--machine", "alpha", "--model", "cache"]);
+    let out = ujam(&[
+        "simulate",
+        "afold",
+        "--machine",
+        "alpha",
+        "--model",
+        "cache",
+    ]);
     assert!(out.status.success());
     let text = stdout(&out);
     assert!(text.contains("speedup:"));

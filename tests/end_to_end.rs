@@ -19,7 +19,7 @@ fn every_kernel_optimizes_safely_on_both_machines() {
             let nest = k.nest();
             let graph = DepGraph::build(&nest);
             let bounds = safe_unroll_bounds(&nest, &graph);
-            let plan = optimize(&nest, &machine);
+            let plan = optimize(&nest, &machine).expect("valid nest");
             for (l, (&u, &b)) in plan.unroll.iter().zip(&bounds).enumerate() {
                 assert!(
                     u <= b,
@@ -52,7 +52,7 @@ fn optimizer_transformations_preserve_semantics() {
     let machine = MachineModel::dec_alpha();
     for name in ["jacobi", "dmxpy0", "vpenta.7", "sor", "collc.2"] {
         let nest = kernel(name).expect("known kernel").nest();
-        let plan = optimize(&nest, &machine);
+        let plan = optimize(&nest, &machine).expect("valid nest");
         assert_eq!(
             execute(&plan.nest),
             execute(&nest),
@@ -70,7 +70,7 @@ fn memory_bound_kernels_speed_up() {
     let machine = MachineModel::dec_alpha();
     for name in ["afold", "dmxpy1", "mmjik", "gmtry.3"] {
         let nest = kernel(name).expect("known kernel").nest();
-        let plan = optimize(&nest, &machine);
+        let plan = optimize(&nest, &machine).expect("valid nest");
         let before = simulate(&nest, &machine);
         let after = simulate(&plan.nest, &machine);
         assert!(
@@ -89,8 +89,8 @@ fn cache_model_is_no_worse_than_all_hits() {
     let machine = MachineModel::dec_alpha();
     for k in kernels() {
         let nest = k.nest();
-        let nc = optimize_with(&nest, &machine, CostModel::AllHits);
-        let c = optimize_with(&nest, &machine, CostModel::CacheAware);
+        let nc = optimize_with(&nest, &machine, CostModel::AllHits).expect("valid nest");
+        let c = optimize_with(&nest, &machine, CostModel::CacheAware).expect("valid nest");
         let t_nc = simulate(&nc.nest, &machine).cycles;
         let t_c = simulate(&c.nest, &machine).cycles;
         assert!(
@@ -110,7 +110,7 @@ fn predictions_match_the_transformed_loop() {
     let machine = MachineModel::hp_parisc();
     for name in ["dmxpy0", "mmjki", "cond.9", "shal"] {
         let nest = kernel(name).expect("known kernel").nest();
-        let plan = optimize(&nest, &machine);
+        let plan = optimize(&nest, &machine).expect("valid nest");
         let replaced = scalar_replacement(&plan.nest);
         assert_eq!(
             replaced.stats.memory_ops() as f64,

@@ -12,15 +12,21 @@ use ujam::machine::MachineModel;
 
 #[test]
 fn table1_statistics_are_pinned() {
+    // Re-pinned when the corpus generator moved from the unfetchable
+    // `rand` crate to the in-tree `ujam-rng` SplitMix64 (the offline
+    // registry cannot serve external crates): a different PRNG yields a
+    // different — still fixed and fully deterministic — synthetic corpus.
+    // The Table 1 *shape* is unchanged: input dependences still dominate
+    // (~89% of all dependences) and the byte savings still hold (~89%).
     let r = ujam_bench_table1();
-    assert_eq!(r.0, 30675, "total dependences");
-    assert_eq!(r.1, 27033, "input dependences");
+    assert_eq!(r.0, 35024, "total dependences");
+    assert_eq!(r.1, 31331, "input dependences");
     assert_eq!(r.2, 400, "routines with dependences");
-    assert_eq!(r.3, 1_091_751, "bytes with input deps");
-    assert_eq!(r.4, 136_524, "bytes without input deps");
+    assert_eq!(r.3, 1_246_612, "bytes with input deps");
+    assert_eq!(r.4, 139_632, "bytes without input deps");
     assert_eq!(
         r.5,
-        vec![20, 26, 23, 28, 66, 63, 25, 23, 126],
+        vec![17, 28, 20, 28, 60, 59, 23, 29, 136],
         "histogram bands"
     );
 }
@@ -33,7 +39,10 @@ fn ujam_bench_table1() -> (usize, usize, usize, usize, usize, Vec<usize>) {
         .iter()
         .map(|k| vec![k.nest()])
         .collect();
-    routines.extend(ujam::kernels::corpus_subroutines(1997, 400 - routines.len()));
+    routines.extend(ujam::kernels::corpus_subroutines(
+        1997,
+        400 - routines.len(),
+    ));
     let bands = [
         (0.0, 0.0),
         (0.01, 32.99),
@@ -100,7 +109,8 @@ fn chosen_unroll_vectors_are_pinned_on_alpha() {
         ("collc.2", &[0, 0]),
     ];
     for (name, unroll) in expect {
-        let plan = optimize(&kernel(name).expect("known kernel").nest(), &machine);
+        let plan =
+            optimize(&kernel(name).expect("known kernel").nest(), &machine).expect("valid nest");
         assert_eq!(plan.unroll, *unroll, "{name}");
     }
 }

@@ -36,9 +36,10 @@ fn tables_equal_unrolled_ir_partitions_on_all_kernels() {
                 let gts_t = gts_table(set, &space).prefix_sum(&u);
                 let gss_t = gss_table(set, &space, line).prefix_sum(&u);
                 let (mut gts_a, mut gss_a) = (0i64, 0i64);
-                for us in unrolled_sets.iter().filter(|s| {
-                    s.array() == set.array() && s.h() == set.h()
-                }) {
+                for us in unrolled_sets
+                    .iter()
+                    .filter(|s| s.array() == set.array() && s.h() == set.h())
+                {
                     gts_a += group_temporal_sets(us, &l).len() as i64;
                     gss_a += group_spatial_sets(us, &l, line).len() as i64;
                 }
@@ -81,8 +82,8 @@ fn optimizers_agree_on_two_loop_spaces() {
             }
             let loops = &eligible[..eligible.len().min(2)];
             let space = UnrollSpace::new(nest.depth(), loops, 2);
-            let table = optimize_in_space(&nest, &machine, &space);
-            let brute = optimize_brute(&nest, &machine, &space);
+            let table = optimize_in_space(&nest, &machine, &space).expect("valid nest");
+            let brute = optimize_brute(&nest, &machine, &space).expect("valid nest");
             assert_eq!(
                 table.unroll,
                 brute.unroll,

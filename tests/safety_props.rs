@@ -1,46 +1,51 @@
-//! Property tests for transformation *safety*: dependence-derived unroll
-//! bounds and permutation legality must never admit a transformation that
-//! the reference interpreter can distinguish from the original.
+//! Property-style tests for transformation *safety*: dependence-derived
+//! unroll bounds and permutation legality must never admit a
+//! transformation that the reference interpreter can distinguish from
+//! the original.
+//!
+//! Triage note: previously `proptest`-based; the offline registry cannot
+//! serve `proptest`, so the generator is now a deterministic seeded
+//! sweep over the same distribution via the in-tree `ujam-rng` crate.
 
-use proptest::prelude::*;
 use ujam::dep::{legal_permutations, safe_unroll_bounds, DepGraph};
 use ujam::ir::interp::execute;
 use ujam::ir::transform::{permute_loops, unroll_and_jam};
 use ujam::ir::{LoopNest, NestBuilder};
+use ujam_rng::Rng;
 
 /// Random in-place wavefront updates `A(I,J) = f(A(I±di, J±dj), B(I,J))`:
 /// the loop-carried dependences these create are exactly what limits
 /// unroll-and-jam.
-fn carried_nest() -> impl Strategy<Value = LoopNest> {
-    (
-        proptest::collection::vec((-2i64..=2, -2i64..=2), 1..=3),
-        proptest::bool::ANY,
-    )
-        .prop_map(|(offsets, with_b)| {
-            let mut rhs = String::from("0.5");
-            for (di, dj) in &offsets {
-                rhs.push_str(&format!(" + A(I+{}, J+{})", di + 3, dj + 3));
-            }
-            if with_b {
-                rhs.push_str(" + B(I, J)");
-            }
-            NestBuilder::new("carried")
-                .array("A", &[40, 40])
-                .array("B", &[40, 40])
-                .loop_("J", 4, 27) // trip 24: divisible by 1,2,3,4,6,8
-                .loop_("I", 4, 27)
-                .stmt(&format!("A(I+3, J+3) = {rhs}"))
-                .build()
-        })
+fn carried_nest(rng: &mut Rng) -> LoopNest {
+    let n_offsets = rng.int(1, 3);
+    let with_b = rng.chance(0.5);
+    let mut rhs = String::from("0.5");
+    for _ in 0..n_offsets {
+        let di = rng.int(-2, 2);
+        let dj = rng.int(-2, 2);
+        rhs.push_str(&format!(" + A(I+{}, J+{})", di + 3, dj + 3));
+    }
+    if with_b {
+        rhs.push_str(" + B(I, J)");
+    }
+    NestBuilder::new("carried")
+        .array("A", &[40, 40])
+        .array("B", &[40, 40])
+        .loop_("J", 4, 27) // trip 24: divisible by 1,2,3,4,6,8
+        .loop_("I", 4, 27)
+        .stmt(&format!("A(I+3, J+3) = {rhs}"))
+        .build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    /// Every unroll amount within the dependence-derived safety bound
-    /// preserves the final memory image.
-    #[test]
-    fn safe_unroll_amounts_preserve_semantics(nest in carried_nest()) {
+/// Every unroll amount within the dependence-derived safety bound
+/// preserves the final memory image.
+#[test]
+fn safe_unroll_amounts_preserve_semantics() {
+    let mut rng = Rng::new(0x5afe);
+    for case in 0..CASES {
+        let nest = carried_nest(&mut rng);
         let g = DepGraph::build(&nest);
         let bounds = safe_unroll_bounds(&nest, &g);
         let orig = execute(&nest);
@@ -50,38 +55,43 @@ proptest! {
                 continue;
             }
             let t = unroll_and_jam(&nest, &[u, 0]).expect("divisible");
-            prop_assert_eq!(
+            assert_eq!(
                 execute(&t),
-                orig.clone(),
-                "unroll by {} within bound {} changed semantics",
-                u,
+                orig,
+                "case {case}: unroll by {u} within bound {} changed semantics",
                 bounds[0]
             );
         }
     }
+}
 
-    /// Every permutation the legality test admits preserves the final
-    /// memory image.
-    #[test]
-    fn legal_permutations_preserve_semantics(nest in carried_nest()) {
+/// Every permutation the legality test admits preserves the final memory
+/// image.
+#[test]
+fn legal_permutations_preserve_semantics() {
+    let mut rng = Rng::new(0x9e2a);
+    for case in 0..CASES {
+        let nest = carried_nest(&mut rng);
         let g = DepGraph::build(&nest);
         let orig = execute(&nest);
         for perm in legal_permutations(&g, nest.depth()) {
             let p = permute_loops(&nest, &perm).expect("valid perm");
-            prop_assert_eq!(
+            assert_eq!(
                 execute(&p),
-                orig.clone(),
-                "legal permutation {:?} changed semantics",
-                perm
+                orig,
+                "case {case}: legal permutation {perm:?} changed semantics",
             );
         }
     }
+}
 
-    /// The safety bound is *useful*: whenever the bound is finite and
-    /// small, exceeding it really does change behaviour for at least the
-    /// canonical witnesses (spot-checked when divisibility allows).
-    #[test]
-    fn bound_zero_loops_have_a_reason(nest in carried_nest()) {
+/// The safety bound is *useful*: whenever the bound is zero there is a
+/// carried dependence that the jam would reverse.
+#[test]
+fn bound_zero_loops_have_a_reason() {
+    let mut rng = Rng::new(0xb0bb);
+    for case in 0..CASES {
+        let nest = carried_nest(&mut rng);
         let g = DepGraph::build(&nest);
         let bounds = safe_unroll_bounds(&nest, &g);
         if bounds[0] == 0 {
@@ -95,7 +105,7 @@ proptest! {
                         ujam::dep::Dist::Any => true,
                     }
             });
-            prop_assert!(found, "bound 0 without a carried dependence");
+            assert!(found, "case {case}: bound 0 without a carried dependence");
         }
     }
 }
