@@ -8,3 +8,9 @@ cargo build --release --offline --workspace --all-targets
 cargo test -q --offline --workspace
 cargo fmt --all -- --check
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Observability smoke test: --trace=json must emit exactly one JSON
+# document on stdout, accepted by the in-tree strict parser, with a
+# provenance table behind it (std-only check, no external tools).
+./target/release/ujam optimize dmxpy0 --explain --trace=json > /tmp/ujam_trace.json
+cargo run --release --offline --quiet --example validate_trace -- /tmp/ujam_trace.json

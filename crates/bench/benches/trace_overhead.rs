@@ -1,0 +1,100 @@
+//! Overhead guard for the tracing layer: with the default `NullSink`,
+//! the tables-path optimizer must stay within 2% of a pipeline that has
+//! no tracing plumbing at all.
+//!
+//! Three arms over the same kernel:
+//! 1. `bare` — the pass sequence invoked via `Pass::run` directly (no
+//!    `run_traced` wrapper, no sink anywhere),
+//! 2. `null-sink` — `optimize_with`, which routes through
+//!    `optimize_traced(.., NullSink)`: every emission site is behind
+//!    one `enabled()` check,
+//! 3. `collect` — `optimize_traced` with a `CollectingSink`, to show
+//!    what full tracing costs (informational).
+//!
+//! Plain-`Instant` harness (`ujam_bench::timing`): the offline registry
+//! rules out criterion.  Run with `cargo bench --bench trace_overhead`.
+//! The 2% gate is checked on the fastest of several attempts so a noisy
+//! scheduler tick cannot fail the guard spuriously.
+
+use ujam_bench::timing::bench;
+use ujam_core::pipeline::{AnalysisCtx, ApplyTransform, Pass, SearchSpace, SelectLoops};
+use ujam_core::{optimize_traced, optimize_with, CostModel, Optimized};
+use ujam_kernels::kernel;
+use ujam_machine::MachineModel;
+use ujam_trace::CollectingSink;
+
+/// The pipeline exactly as `optimize_with` runs it, but through the
+/// plain `Pass::run` entry points — the no-tracing-plumbing baseline.
+fn optimize_bare(
+    nest: &ujam_ir::LoopNest,
+    machine: &MachineModel,
+) -> Result<Optimized, ujam_core::OptimizeError> {
+    let mut ctx = AnalysisCtx::new(nest, machine)?;
+    let space = SelectLoops.run(&mut ctx)?;
+    let found = SearchSpace {
+        space: space.clone(),
+        model: CostModel::CacheAware,
+    }
+    .run(&mut ctx)?;
+    let nest_out = ApplyTransform {
+        unroll: found.unroll.clone(),
+    }
+    .run(&mut ctx)?;
+    Ok(Optimized {
+        nest: nest_out,
+        unroll: found.unroll,
+        predicted: found.predicted,
+        original: found.original,
+        space,
+    })
+}
+
+fn main() {
+    let nest = kernel("dmxpy0").expect("known kernel").nest();
+    let machine = MachineModel::dec_alpha();
+
+    // Sanity first: all three arms agree on the plan.
+    let bare = optimize_bare(&nest, &machine).expect("valid kernel");
+    let null = optimize_with(&nest, &machine, CostModel::CacheAware).expect("valid kernel");
+    let sink = CollectingSink::new();
+    let collected =
+        optimize_traced(&nest, &machine, CostModel::CacheAware, &sink).expect("valid kernel");
+    assert_eq!(bare.unroll, null.unroll);
+    assert_eq!(bare.unroll, collected.unroll);
+    assert!(!sink.take().records.is_empty(), "collector saw the run");
+
+    const MAX_OVERHEAD: f64 = 0.02;
+    const ATTEMPTS: usize = 5;
+    let mut best_ratio = f64::INFINITY;
+    for attempt in 1..=ATTEMPTS {
+        let base = bench("optimize/bare/dmxpy0", || optimize_bare(&nest, &machine));
+        let nulled = bench("optimize/null-sink/dmxpy0", || {
+            optimize_with(&nest, &machine, CostModel::CacheAware)
+        });
+        let ratio = nulled.min_ns / base.min_ns;
+        best_ratio = best_ratio.min(ratio);
+        println!(
+            "attempt {attempt}: null-sink / bare = {ratio:.4} (best {best_ratio:.4}, gate {:.2})",
+            1.0 + MAX_OVERHEAD
+        );
+        if best_ratio <= 1.0 + MAX_OVERHEAD {
+            break;
+        }
+    }
+    // Informational: what a fully collecting sink costs on the same path.
+    bench("optimize/collecting-sink/dmxpy0", || {
+        let sink = CollectingSink::new();
+        optimize_traced(&nest, &machine, CostModel::CacheAware, &sink)
+    });
+    assert!(
+        best_ratio <= 1.0 + MAX_OVERHEAD,
+        "NullSink overhead {:.2}% exceeds the {:.0}% gate",
+        100.0 * (best_ratio - 1.0),
+        100.0 * MAX_OVERHEAD
+    );
+    println!(
+        "PASS: disabled tracing costs {:+.2}% on the tables path (gate {:.0}%)",
+        100.0 * (best_ratio - 1.0),
+        100.0 * MAX_OVERHEAD
+    );
+}

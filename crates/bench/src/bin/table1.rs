@@ -3,17 +3,37 @@
 //! Usage: `table1 [routine-count] [seed]` (defaults: 1187 routines —
 //! the paper's corpus size — seed 1997).
 
+use std::process::ExitCode;
 use ujam_bench::{pct, table1};
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: table1 [routine-count] [seed]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let mut args = std::env::args().skip(1);
     let n: usize = args
         .next()
-        .map(|a| a.parse().expect("routine count must be a number"))
+        .map(|a| {
+            a.parse()
+                .map_err(|_| format!("routine count must be a number, got {a:?}"))
+        })
+        .transpose()?
         .unwrap_or(1187);
     let seed: u64 = args
         .next()
-        .map(|a| a.parse().expect("seed must be a number"))
+        .map(|a| {
+            a.parse()
+                .map_err(|_| format!("seed must be a number, got {a:?}"))
+        })
+        .transpose()?
         .unwrap_or(1997);
 
     let r = table1(seed, n);
@@ -49,4 +69,5 @@ fn main() {
         "space saved by UGS model:   {}",
         pct(r.bytes_saved_fraction())
     );
+    Ok(())
 }

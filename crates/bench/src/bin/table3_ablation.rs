@@ -3,13 +3,29 @@
 //!
 //! Usage: `table3_ablation [bound]` (default unroll-space bound 8).
 
+use std::process::ExitCode;
 use ujam_bench::ablation;
 use ujam_machine::MachineModel;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: table3_ablation [bound]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let bound: u32 = std::env::args()
         .nth(1)
-        .map(|a| a.parse().expect("bound must be a number"))
+        .map(|a| {
+            a.parse()
+                .map_err(|_| format!("bound must be a number, got {a:?}"))
+        })
+        .transpose()?
         .unwrap_or(8);
     let machine = MachineModel::dec_alpha();
     let rows = ablation(&machine, bound);
@@ -41,4 +57,5 @@ fn main() {
         total_b,
         total_b / total_t.max(1e-9)
     );
+    Ok(())
 }

@@ -1,8 +1,14 @@
 //! Extension experiment: the Wolf/Maydan/Chen combination (§5.3) —
-//! memory-order loop permutation (reference \[4\]) before unroll-and-jam.
+//! memory-order loop permutation (reference \[4\]) before unroll-and-jam,
+//! followed by a per-pass wall-time breakdown of the optimizer pipeline
+//! over the full Table 2 suite (from the tracing layer's spans).
 
 use ujam_bench::permute_then_jam;
+use ujam_bench::timing::PassBreakdown;
+use ujam_core::{optimize_batch_traced_with_workers, CostModel};
+use ujam_kernels::kernels;
 use ujam_machine::MachineModel;
+use ujam_trace::CollectingSink;
 
 fn main() {
     let machine = MachineModel::dec_alpha();
@@ -24,4 +30,22 @@ fn main() {
             row.combined
         );
     }
+
+    // Where the optimizer spends its time, pass by pass, across the
+    // whole Table 2 suite — straight off the tracing layer's spans.
+    let nests: Vec<_> = kernels().iter().map(|k| k.nest()).collect();
+    let sink = CollectingSink::new();
+    let results =
+        optimize_batch_traced_with_workers(&nests, &machine, CostModel::CacheAware, 1, &sink);
+    let failures = results.iter().filter(|r| r.is_err()).count();
+    println!(
+        "\n== Per-pass timing over the Table 2 suite ({} nests{}) ==",
+        nests.len(),
+        if failures > 0 {
+            format!(", {failures} failed")
+        } else {
+            String::new()
+        }
+    );
+    print!("{}", PassBreakdown::from_trace(&sink.take()).report());
 }

@@ -26,8 +26,22 @@ fn main() {
             continue;
         };
         let space = UnrollSpace::new(nest.depth(), &[loop_idx], bounds[loop_idx].min(7));
-        let ugs = optimize_in_space(&nest, &machine, &space).expect("valid nest");
-        let (dep, bytes) = optimize_depbased(&nest, &machine, &space).expect("valid nest");
+        // A kernel the optimizer rejects gets its error row, not a panic:
+        // the rest of the suite still prints.
+        let ugs = match optimize_in_space(&nest, &machine, &space) {
+            Ok(plan) => plan,
+            Err(e) => {
+                println!("{:10} skipped: {e}", k.name);
+                continue;
+            }
+        };
+        let (dep, bytes) = match optimize_depbased(&nest, &machine, &space) {
+            Ok(pair) => pair,
+            Err(e) => {
+                println!("{:10} skipped (dep-based): {e}", k.name);
+                continue;
+            }
+        };
         let agree = ugs.unroll == dep.unroll;
         agreements += agree as usize;
         // Even when the exact vectors differ, the delivered performance

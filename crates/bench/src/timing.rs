@@ -86,9 +86,105 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Measurement {
     m
 }
 
+/// Per-pass wall-time totals aggregated from a pipeline [`Trace`].
+///
+/// Collapses the trace's spans by pass name (keeping first-seen order),
+/// so a batch run over many nests reports one row per pass with the
+/// total time and how many nests contributed.
+///
+/// [`Trace`]: ujam_trace::Trace
+#[derive(Clone, Debug, Default)]
+pub struct PassBreakdown {
+    rows: Vec<PassRow>,
+}
+
+/// One aggregated row of a [`PassBreakdown`].
+#[derive(Clone, Debug)]
+pub struct PassRow {
+    /// Pass name as it appears in the span (`"build-tables"`, …).
+    pub pass: String,
+    /// Total nanoseconds across all aggregated spans.
+    pub total_ns: u128,
+    /// Number of spans (≈ nests) aggregated into this row.
+    pub count: usize,
+}
+
+impl PassBreakdown {
+    /// Aggregates every span of `trace` by pass name.
+    pub fn from_trace(trace: &ujam_trace::Trace) -> PassBreakdown {
+        let mut b = PassBreakdown::default();
+        for (_, pass, ns) in trace.spans() {
+            match b.rows.iter_mut().find(|r| r.pass == pass) {
+                Some(row) => {
+                    row.total_ns += ns;
+                    row.count += 1;
+                }
+                None => b.rows.push(PassRow {
+                    pass: pass.to_string(),
+                    total_ns: ns,
+                    count: 1,
+                }),
+            }
+        }
+        b
+    }
+
+    /// The aggregated rows, in first-seen (pipeline) order.
+    pub fn rows(&self) -> &[PassRow] {
+        &self.rows
+    }
+
+    /// Total nanoseconds across every pass.
+    pub fn total_ns(&self) -> u128 {
+        self.rows.iter().map(|r| r.total_ns).sum()
+    }
+
+    /// Renders an aligned table: pass, total time, share of the
+    /// pipeline, span count.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:18} {:>12} {:>7} {:>7}\n",
+            "pass", "total", "share", "spans"
+        ));
+        let total = self.total_ns().max(1) as f64;
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:18} {:>12} {:>6.1}% {:>7}\n",
+                r.pass,
+                fmt_ns(r.total_ns as f64),
+                100.0 * r.total_ns as f64 / total,
+                r.count
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ujam_trace::{Trace, TraceRecord};
+
+    #[test]
+    fn breakdown_aggregates_by_pass_in_pipeline_order() {
+        let trace = Trace::new(vec![
+            TraceRecord::span("a", "select-loops", 10),
+            TraceRecord::span("a", "search-space", 30),
+            TraceRecord::span("b", "select-loops", 5),
+            TraceRecord::span("b", "search-space", 15),
+        ]);
+        let b = PassBreakdown::from_trace(&trace);
+        assert_eq!(b.rows().len(), 2);
+        assert_eq!(b.rows()[0].pass, "select-loops");
+        assert_eq!(b.rows()[0].total_ns, 15);
+        assert_eq!(b.rows()[0].count, 2);
+        assert_eq!(b.rows()[1].total_ns, 45);
+        assert_eq!(b.total_ns(), 60);
+        let report = b.report();
+        assert!(report.contains("select-loops"));
+        assert!(report.contains("75.0%"), "search-space share: {report}");
+    }
 
     #[test]
     fn measures_something_positive() {

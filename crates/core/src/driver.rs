@@ -7,6 +7,7 @@ use crate::pipeline::{AnalysisCtx, ApplyTransform, OptimizeError, Pass, SearchSp
 use crate::space::UnrollSpace;
 use ujam_ir::LoopNest;
 use ujam_machine::MachineModel;
+use ujam_trace::TraceSink;
 
 /// Which balance model guides the search (§5.2's two experimental arms).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -102,8 +103,46 @@ pub fn optimize_with(
     machine: &MachineModel,
     model: CostModel,
 ) -> Result<Optimized, OptimizeError> {
-    let mut ctx = AnalysisCtx::new(nest, machine)?;
-    let space = SelectLoops.run(&mut ctx)?;
+    optimize_traced(nest, machine, model, ujam_trace::null_sink())
+}
+
+/// [`optimize_with`] with a trace sink: every pipeline pass emits a
+/// wall-time span, the analysis context streams cache hit/miss
+/// counters, and the search stage records per-candidate decision
+/// provenance ([`ujam_trace::ExplainRecord`]).
+///
+/// Tracing observes the pipeline without steering it: the returned plan
+/// is identical to [`optimize_with`]'s no matter which sink is passed
+/// (with [`ujam_trace::NullSink`] the two are literally the same call).
+///
+/// # Example
+///
+/// ```
+/// use ujam_core::{optimize_traced, CostModel};
+/// use ujam_ir::NestBuilder;
+/// use ujam_machine::MachineModel;
+/// use ujam_trace::{CollectingSink, Verdict};
+/// let nest = NestBuilder::new("intro")
+///     .array("A", &[242]).array("B", &[242])
+///     .loop_("J", 1, 240).loop_("I", 1, 240)
+///     .stmt("A(J) = A(J) + B(I)")
+///     .build();
+/// let sink = CollectingSink::new();
+/// let plan = optimize_traced(&nest, &MachineModel::dec_alpha(),
+///                            CostModel::CacheAware, &sink).expect("valid");
+/// let trace = sink.take();
+/// let winner = trace.explains().find(|e| e.verdict == Verdict::Won).expect("one wins");
+/// assert_eq!(winner.u, plan.unroll);
+/// assert!(trace.spans().any(|(_, pass, _)| pass == "search-space"));
+/// ```
+pub fn optimize_traced(
+    nest: &LoopNest,
+    machine: &MachineModel,
+    model: CostModel,
+    sink: &dyn TraceSink,
+) -> Result<Optimized, OptimizeError> {
+    let mut ctx = AnalysisCtx::with_sink(nest, machine, sink)?;
+    let space = SelectLoops.run_traced(&mut ctx)?;
     finish(&mut ctx, &space, model)
 }
 
@@ -141,11 +180,11 @@ pub(crate) fn finish(
         space: space.clone(),
         model,
     }
-    .run(ctx)?;
+    .run_traced(ctx)?;
     let nest_out = ApplyTransform {
         unroll: found.unroll.clone(),
     }
-    .run(ctx)?;
+    .run_traced(ctx)?;
     Ok(Optimized {
         nest: nest_out,
         unroll: found.unroll,

@@ -40,6 +40,12 @@
 //! [`pipeline::OptimizeError`], never a panic.  [`optimize_batch`] fans
 //! a slice of nests out across scoped threads, one context per nest.
 //!
+//! Every entry point has a `*_traced` variant taking a
+//! [`ujam_trace::TraceSink`] that records per-pass timing spans, cache
+//! hit/miss counters, and per-candidate decision provenance (why each
+//! unroll vector won, was pruned, or was dominated) without changing
+//! the optimization result.
+//!
 //! # Example
 //!
 //! ```
@@ -90,12 +96,12 @@ pub mod tables;
 
 pub use balance::{loop_balance, BalanceInputs};
 pub use driver::{
-    optimize, optimize_in_space, optimize_in_space_with, optimize_with, CostModel, Optimized,
-    Prediction,
+    optimize, optimize_in_space, optimize_in_space_with, optimize_traced, optimize_with, CostModel,
+    Optimized, Prediction,
 };
 pub use pipeline::{
-    optimize_batch, optimize_batch_with, optimize_batch_with_workers, AnalysisCtx, CtxStats,
-    OptimizeError,
+    optimize_batch, optimize_batch_traced, optimize_batch_traced_with_workers, optimize_batch_with,
+    optimize_batch_with_workers, AnalysisCtx, CtxStats, CtxTimings, OptimizeError,
 };
 pub use space::{OffsetIter, Table, UnrollSpace};
 pub use tables::{gss_table, gts_table, rrs_tables, CostTables, RrsTables};

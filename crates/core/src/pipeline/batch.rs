@@ -5,10 +5,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
-use crate::driver::{optimize_with, CostModel, Optimized};
+use crate::driver::{optimize_traced, optimize_with, CostModel, Optimized};
 use crate::pipeline::OptimizeError;
 use ujam_ir::LoopNest;
 use ujam_machine::MachineModel;
+use ujam_trace::{CollectingSink, TraceSink};
 
 /// Optimizes every nest of a batch, returning one result per input in
 /// order.  Nests are distributed across `std::thread::scope` workers
@@ -66,45 +67,104 @@ pub fn optimize_batch_with_workers(
     model: CostModel,
     workers: usize,
 ) -> Vec<Result<Optimized, OptimizeError>> {
+    optimize_batch_traced_with_workers(nests, machine, model, workers, ujam_trace::null_sink())
+}
+
+/// [`optimize_batch`] with a trace sink and the default worker count.
+///
+/// See [`optimize_batch_traced_with_workers`] for the trace-ordering
+/// guarantee.
+pub fn optimize_batch_traced(
+    nests: &[LoopNest],
+    machine: &MachineModel,
+    model: CostModel,
+    sink: &dyn TraceSink,
+) -> Vec<Result<Optimized, OptimizeError>> {
+    let workers = thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    optimize_batch_traced_with_workers(nests, machine, model, workers, sink)
+}
+
+/// [`optimize_batch_with_workers`] with a trace sink.
+///
+/// Each nest's pipeline records into a private buffer; after every nest
+/// completes, the buffers are forwarded to `sink` **in input order**.
+/// The aggregate trace is therefore deterministic — identical to
+/// running [`optimize_traced`] on each nest sequentially (modulo span
+/// wall-times; compare with `Trace::without_timing`) no matter how the
+/// scheduler interleaved the workers — and the optimization results
+/// stay bitwise-identical to the untraced batch.
+pub fn optimize_batch_traced_with_workers(
+    nests: &[LoopNest],
+    machine: &MachineModel,
+    model: CostModel,
+    workers: usize,
+    sink: &dyn TraceSink,
+) -> Vec<Result<Optimized, OptimizeError>> {
     if nests.is_empty() {
         return Vec::new();
     }
     let workers = workers.clamp(1, nests.len());
-    if workers == 1 {
-        return nests
-            .iter()
-            .map(|nest| optimize_with(nest, machine, model))
-            .collect();
-    }
-
-    let n = nests.len();
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<Optimized, OptimizeError>>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
-    thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let result = optimize_with(&nests[i], machine, model);
-                // Each index is claimed by exactly one worker, so the
-                // slot is written exactly once.
-                if let Ok(mut slot) = slots[i].lock() {
-                    *slot = Some(result);
-                }
-            });
+    // One private collector per nest keeps the merged trace independent
+    // of worker scheduling.  With tracing disabled the collectors stay
+    // untouched: each pipeline runs against the NullSink-equivalent
+    // fast path and the forwarding loop below sends nothing.
+    let tracing = sink.enabled();
+    let run_one = |nest: &LoopNest, collector: &CollectingSink| {
+        if tracing {
+            optimize_traced(nest, machine, model, collector)
+        } else {
+            optimize_with(nest, machine, model)
         }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .expect("every index below n is claimed and written once")
-        })
-        .collect()
+    };
+    let collectors: Vec<CollectingSink> = (0..nests.len()).map(|_| CollectingSink::new()).collect();
+
+    let results: Vec<Result<Optimized, OptimizeError>> = if workers == 1 {
+        nests
+            .iter()
+            .zip(&collectors)
+            .map(|(nest, collector)| run_one(nest, collector))
+            .collect()
+    } else {
+        let n = nests.len();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<Optimized, OptimizeError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = run_one(&nests[i], &collectors[i]);
+                    // Each index is claimed by exactly one worker, so the
+                    // slot is written exactly once.
+                    if let Ok(mut slot) = slots[i].lock() {
+                        *slot = Some(result);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .expect("every index below n is claimed and written once")
+            })
+            .collect()
+    };
+
+    if tracing {
+        for collector in &collectors {
+            for record in collector.take().records {
+                sink.record(record);
+            }
+        }
+    }
+    results
 }
 
 #[cfg(test)]

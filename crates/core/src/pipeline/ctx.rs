@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::time::Instant;
 
 use crate::pipeline::OptimizeError;
 use crate::space::UnrollSpace;
@@ -10,13 +11,16 @@ use ujam_dep::{safe_unroll_bounds, DepGraph};
 use ujam_ir::LoopNest;
 use ujam_machine::MachineModel;
 use ujam_reuse::{ugs_cost, Localized, UgsSet};
+use ujam_trace::{null_sink, TraceRecord, TraceSink};
 
 /// Cache key for [`CostTables`]: the unrolled loop positions, their
 /// per-dimension bounds, and the cache line size in elements.
 type TableKey = (Vec<usize>, Vec<u32>, i64);
 
-/// How many times each analysis has actually been computed (not served
-/// from cache).  Exposed so tests can prove the at-most-once guarantee.
+/// How many times each analysis has actually been computed (`*_builds`)
+/// versus served from cache (`*_hits`).  Exposed so tests can prove both
+/// halves of the amortization claim: every analysis runs at most once,
+/// and repeated queries really are cache hits.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CtxStats {
     /// Dependence-graph constructions.
@@ -29,6 +33,40 @@ pub struct CtxStats {
     pub locality_builds: usize,
     /// Cost-table constructions (one per `(loops, bounds, line)` key).
     pub cost_table_builds: usize,
+    /// Dependence-graph queries served from cache.
+    pub dep_graph_hits: usize,
+    /// Safety-bound queries served from cache.
+    pub bounds_hits: usize,
+    /// UGS-partition queries served from cache.
+    pub ugs_hits: usize,
+    /// Locality-score queries served from cache.
+    pub locality_hits: usize,
+    /// Cost-table queries served from cache.
+    pub cost_table_hits: usize,
+}
+
+/// Wall time spent *building* each cached analysis, in nanoseconds.
+/// Cache hits add nothing here — the gap between a hit and its build
+/// time is exactly the amortization the paper claims.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CtxTimings {
+    /// Nanoseconds constructing the dependence graph.
+    pub dep_graph_ns: u128,
+    /// Nanoseconds deriving the safety bounds.
+    pub bounds_ns: u128,
+    /// Nanoseconds partitioning into uniformly generated sets.
+    pub ugs_ns: u128,
+    /// Nanoseconds evaluating locality scores.
+    pub locality_ns: u128,
+    /// Nanoseconds building cost tables.
+    pub cost_table_ns: u128,
+}
+
+impl CtxTimings {
+    /// Total build time across every analysis, nanoseconds.
+    pub fn total_ns(&self) -> u128 {
+        self.dep_graph_ns + self.bounds_ns + self.ugs_ns + self.locality_ns + self.cost_table_ns
+    }
 }
 
 /// Lazily computes and caches every per-nest analysis the optimizer
@@ -39,6 +77,12 @@ pub struct CtxStats {
 /// One context serves one `(nest, machine)` pair; passes borrow it
 /// mutably and query, so each analysis runs at most once no matter how
 /// many passes (or repeated pass runs) consume it.
+///
+/// A context built with [`AnalysisCtx::with_sink`] additionally streams
+/// cache hit/miss counters to the sink and lets passes emit wall-time
+/// spans and decision provenance; [`AnalysisCtx::new`] uses the
+/// [`ujam_trace::NullSink`], whose `enabled() == false` fast path keeps
+/// the untraced pipeline free of record construction.
 ///
 /// # Example
 ///
@@ -57,20 +101,33 @@ pub struct CtxStats {
 /// assert_eq!(space.loops(), &[0]);
 /// assert_eq!(ctx.stats().dep_graph_builds, 1);
 /// ```
-#[derive(Debug)]
 pub struct AnalysisCtx<'a> {
     nest: &'a LoopNest,
     machine: &'a MachineModel,
+    sink: &'a dyn TraceSink,
     dep_graph: Option<DepGraph>,
     safe_bounds: Option<Vec<u32>>,
     ugs: Option<Vec<UgsSet>>,
     locality: HashMap<(usize, i64), f64>,
     tables: HashMap<TableKey, Rc<CostTables>>,
     stats: CtxStats,
+    timings: CtxTimings,
+}
+
+impl std::fmt::Debug for AnalysisCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisCtx")
+            .field("nest", &self.nest.name())
+            .field("machine", &self.machine.name())
+            .field("tracing", &self.sink.enabled())
+            .field("stats", &self.stats)
+            .field("timings", &self.timings)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> AnalysisCtx<'a> {
-    /// Creates a context after validating the nest.
+    /// Creates an untraced context after validating the nest.
     ///
     /// Malformed nests (structural validation failures, zero loops) are
     /// rejected here, which is what makes every downstream pass — and
@@ -79,6 +136,18 @@ impl<'a> AnalysisCtx<'a> {
         nest: &'a LoopNest,
         machine: &'a MachineModel,
     ) -> Result<AnalysisCtx<'a>, OptimizeError> {
+        AnalysisCtx::with_sink(nest, machine, null_sink())
+    }
+
+    /// [`AnalysisCtx::new`] with an explicit trace sink: cache hits and
+    /// misses stream to `sink` as counters, and passes run through
+    /// [`super::Pass::run_traced`] additionally emit wall-time spans and
+    /// explain records.
+    pub fn with_sink(
+        nest: &'a LoopNest,
+        machine: &'a MachineModel,
+        sink: &'a dyn TraceSink,
+    ) -> Result<AnalysisCtx<'a>, OptimizeError> {
         nest.validate().map_err(OptimizeError::InvalidNest)?;
         if nest.depth() == 0 {
             return Err(OptimizeError::EmptyNest);
@@ -86,12 +155,14 @@ impl<'a> AnalysisCtx<'a> {
         Ok(AnalysisCtx {
             nest,
             machine,
+            sink,
             dep_graph: None,
             safe_bounds: None,
             ugs: None,
             locality: HashMap::new(),
             tables: HashMap::new(),
             stats: CtxStats::default(),
+            timings: CtxTimings::default(),
         })
     }
 
@@ -105,16 +176,46 @@ impl<'a> AnalysisCtx<'a> {
         self.machine
     }
 
-    /// Build counters proving each analysis runs at most once.
+    /// The trace sink instrumentation reports to.
+    pub fn sink(&self) -> &'a dyn TraceSink {
+        self.sink
+    }
+
+    /// Whether the sink wants records — the guard every emission site
+    /// checks before constructing a record.
+    pub fn tracing(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    /// Build/hit counters proving each analysis runs at most once.
     pub fn stats(&self) -> CtxStats {
         self.stats
+    }
+
+    /// Wall time spent building each cached analysis.
+    pub fn timings(&self) -> CtxTimings {
+        self.timings
+    }
+
+    /// Emits a cache-event counter increment when tracing is enabled.
+    fn count(&self, name: &str) {
+        if self.sink.enabled() {
+            self.sink
+                .record(TraceRecord::counter(self.nest.name(), name, 1));
+        }
     }
 
     /// The dependence graph, built on first use.
     pub fn dep_graph(&mut self) -> &DepGraph {
         if self.dep_graph.is_none() {
             self.stats.dep_graph_builds += 1;
+            self.count("dep_graph.build");
+            let t0 = Instant::now();
             self.dep_graph = Some(DepGraph::build(self.nest));
+            self.timings.dep_graph_ns += t0.elapsed().as_nanos();
+        } else {
+            self.stats.dep_graph_hits += 1;
+            self.count("dep_graph.hit");
         }
         self.dep_graph.as_ref().expect("just computed")
     }
@@ -124,8 +225,14 @@ impl<'a> AnalysisCtx<'a> {
         if self.safe_bounds.is_none() {
             self.dep_graph();
             self.stats.bounds_builds += 1;
+            self.count("bounds.build");
+            let t0 = Instant::now();
             let graph = self.dep_graph.as_ref().expect("just ensured");
             self.safe_bounds = Some(safe_unroll_bounds(self.nest, graph));
+            self.timings.bounds_ns += t0.elapsed().as_nanos();
+        } else {
+            self.stats.bounds_hits += 1;
+            self.count("bounds.hit");
         }
         self.safe_bounds.as_deref().expect("just computed")
     }
@@ -135,7 +242,13 @@ impl<'a> AnalysisCtx<'a> {
     pub fn ugs(&mut self) -> &[UgsSet] {
         if self.ugs.is_none() {
             self.stats.ugs_builds += 1;
+            self.count("ugs.build");
+            let t0 = Instant::now();
             self.ugs = Some(UgsSet::partition(self.nest));
+            self.timings.ugs_ns += t0.elapsed().as_nanos();
+        } else {
+            self.stats.ugs_hits += 1;
+            self.count("ugs.hit");
         }
         self.ugs.as_deref().expect("just computed")
     }
@@ -144,10 +257,14 @@ impl<'a> AnalysisCtx<'a> {
     /// without the loop localized), cached per `(loop, line)` pair.
     pub fn locality_score(&mut self, loop_idx: usize, line_elems: i64) -> f64 {
         if let Some(&score) = self.locality.get(&(loop_idx, line_elems)) {
+            self.stats.locality_hits += 1;
+            self.count("locality.hit");
             return score;
         }
         self.ugs();
         self.stats.locality_builds += 1;
+        self.count("locality.build");
+        let t0 = Instant::now();
         let depth = self.nest.depth();
         let inner = Localized::innermost(depth);
         let with = Localized::with_unrolled(depth, &[loop_idx]);
@@ -157,6 +274,7 @@ impl<'a> AnalysisCtx<'a> {
             .map(|s| ugs_cost(s, &inner, line_elems) - ugs_cost(s, &with, line_elems))
             .sum();
         self.locality.insert((loop_idx, line_elems), score);
+        self.timings.locality_ns += t0.elapsed().as_nanos();
         score
     }
 
@@ -175,10 +293,14 @@ impl<'a> AnalysisCtx<'a> {
             self.machine.line_elems(),
         );
         if let Some(tables) = self.tables.get(&key) {
+            self.stats.cost_table_hits += 1;
+            self.count("cost_tables.hit");
             return Ok(Rc::clone(tables));
         }
         self.ugs();
         self.stats.cost_table_builds += 1;
+        self.count("cost_tables.build");
+        let t0 = Instant::now();
         let sets = self.ugs.as_deref().expect("just ensured");
         let tables = Rc::new(CostTables::build_with_sets(
             self.nest,
@@ -186,6 +308,7 @@ impl<'a> AnalysisCtx<'a> {
             space,
             self.machine.line_elems(),
         ));
+        self.timings.cost_table_ns += t0.elapsed().as_nanos();
         self.tables.insert(key, Rc::clone(&tables));
         Ok(tables)
     }
@@ -213,6 +336,7 @@ pub(crate) fn bad_nest() -> LoopNest {
 mod tests {
     use super::*;
     use ujam_ir::NestBuilder;
+    use ujam_trace::CollectingSink;
 
     fn intro() -> LoopNest {
         NestBuilder::new("intro")
@@ -239,6 +363,39 @@ mod tests {
             ctx.locality_score(0, line);
             ctx.tables(&space).expect("depth matches");
         }
+        let stats = ctx.stats();
+        assert_eq!(
+            (
+                stats.dep_graph_builds,
+                stats.bounds_builds,
+                stats.ugs_builds,
+                stats.locality_builds,
+                stats.cost_table_builds,
+            ),
+            (1, 1, 1, 1, 1)
+        );
+    }
+
+    /// The other half of the amortization claim: repeated queries are
+    /// served from cache, and the hit counters prove it.  (The first
+    /// iteration produces two internal hits — `safe_bounds` re-queries
+    /// the dependence graph and `locality`/`tables` re-query the UGS
+    /// partition; later iterations hit on every direct query.)
+    #[test]
+    fn repeated_queries_are_cache_hits() {
+        let nest = intro();
+        let machine = MachineModel::dec_alpha();
+        let mut ctx = AnalysisCtx::new(&nest, &machine).expect("valid");
+        let line = machine.line_elems();
+        let space = UnrollSpace::new(2, &[0], 4);
+
+        for _ in 0..5 {
+            ctx.dep_graph();
+            ctx.safe_bounds();
+            ctx.ugs();
+            ctx.locality_score(0, line);
+            ctx.tables(&space).expect("depth matches");
+        }
         assert_eq!(
             ctx.stats(),
             CtxStats {
@@ -247,7 +404,52 @@ mod tests {
                 ugs_builds: 1,
                 locality_builds: 1,
                 cost_table_builds: 1,
+                // 4 direct re-queries + 1 internal (from the first
+                // safe_bounds build).
+                dep_graph_hits: 5,
+                bounds_hits: 4,
+                // 4 direct re-queries + 2 internal (first locality and
+                // first cost-table build both ensure the partition).
+                ugs_hits: 6,
+                locality_hits: 4,
+                cost_table_hits: 4,
             }
+        );
+    }
+
+    #[test]
+    fn build_timings_accumulate_only_on_builds() {
+        let nest = intro();
+        let machine = MachineModel::dec_alpha();
+        let mut ctx = AnalysisCtx::new(&nest, &machine).expect("valid");
+        ctx.dep_graph();
+        let after_build = ctx.timings();
+        ctx.dep_graph();
+        ctx.dep_graph();
+        assert_eq!(
+            ctx.timings().dep_graph_ns,
+            after_build.dep_graph_ns,
+            "hits must not add build time"
+        );
+        assert_eq!(ctx.timings().total_ns(), after_build.total_ns());
+    }
+
+    #[test]
+    fn sinks_receive_hit_and_build_counters() {
+        let nest = intro();
+        let machine = MachineModel::dec_alpha();
+        let sink = CollectingSink::new();
+        let mut ctx = AnalysisCtx::with_sink(&nest, &machine, &sink).expect("valid");
+        ctx.ugs();
+        ctx.ugs();
+        ctx.ugs();
+        let totals = sink.take().counter_totals();
+        assert_eq!(
+            totals,
+            vec![
+                ("intro".to_string(), "ugs.build".to_string(), 1),
+                ("intro".to_string(), "ugs.hit".to_string(), 2),
+            ]
         );
     }
 
@@ -262,6 +464,7 @@ mod tests {
         ctx.tables(&b).expect("b");
         ctx.tables(&a).expect("a cached");
         assert_eq!(ctx.stats().cost_table_builds, 2);
+        assert_eq!(ctx.stats().cost_table_hits, 1);
         // The partition behind both builds was still computed only once.
         assert_eq!(ctx.stats().ugs_builds, 1);
     }

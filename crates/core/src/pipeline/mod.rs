@@ -35,13 +35,24 @@
 //! Failures surface as [`OptimizeError`] instead of panics: malformed
 //! nests, depth-mismatched spaces, and untransformable winners all
 //! return `Err` from every public entry point.
+//!
+//! Every stage is observable through a [`ujam_trace::TraceSink`]: the
+//! `*_traced` entry points record per-pass wall-time spans, cache
+//! hit/miss counters (mirroring [`CtxStats`]), and per-candidate
+//! explain records that justify the chosen unroll vector.  With the
+//! default [`ujam_trace::NullSink`] every emission site is guarded by a
+//! single `enabled()` check, so the untraced path stays on the seed's
+//! fast path.
 
 mod batch;
 mod ctx;
 mod pass;
 
-pub use batch::{optimize_batch, optimize_batch_with, optimize_batch_with_workers};
-pub use ctx::{AnalysisCtx, CtxStats};
+pub use batch::{
+    optimize_batch, optimize_batch_traced, optimize_batch_traced_with_workers, optimize_batch_with,
+    optimize_batch_with_workers,
+};
+pub use ctx::{AnalysisCtx, CtxStats, CtxTimings};
 pub use pass::{
     ApplyTransform, BruteSearch, BuildTables, Pass, SearchOutcome, SearchSpace, SelectLoops,
 };

@@ -1,6 +1,7 @@
 //! The named pass stages of the optimizer pipeline.
 
 use std::rc::Rc;
+use std::time::Instant;
 
 use crate::balance::{loop_balance, BalanceInputs};
 use crate::brute::measure_candidate;
@@ -11,6 +12,7 @@ use crate::tables::CostTables;
 use ujam_dep::UNROLL_CAP;
 use ujam_ir::{transform::unroll_and_jam, LoopNest};
 use ujam_machine::MachineModel;
+use ujam_trace::{ExplainRecord, TraceRecord, Verdict};
 
 /// One stage of the optimizer pipeline.
 ///
@@ -27,6 +29,24 @@ pub trait Pass {
 
     /// Runs the stage against the shared context.
     fn run(&self, ctx: &mut AnalysisCtx<'_>) -> Result<Self::Output, OptimizeError>;
+
+    /// Runs the stage, emitting a wall-time span to the context's trace
+    /// sink.  With tracing disabled this is exactly [`Pass::run`] — the
+    /// `enabled()` check is the only added work, which is what keeps
+    /// the [`ujam_trace::NullSink`] path within noise of untraced code.
+    fn run_traced(&self, ctx: &mut AnalysisCtx<'_>) -> Result<Self::Output, OptimizeError> {
+        if !ctx.tracing() {
+            return self.run(ctx);
+        }
+        let t0 = Instant::now();
+        let out = self.run(ctx);
+        ctx.sink().record(TraceRecord::span(
+            ctx.nest().name(),
+            self.name(),
+            t0.elapsed().as_nanos(),
+        ));
+        out
+    }
 }
 
 /// Stage 1 (§4.5): pick up to two loops to unroll — the loops whose
@@ -71,6 +91,12 @@ impl Pass for SelectLoops {
             }
         }
         chosen.sort_unstable();
+        if ctx.tracing() {
+            ctx.sink().record(TraceRecord::event(
+                ctx.nest().name(),
+                &format!("selected loops {chosen:?} (locality scores {scored:?})"),
+            ));
+        }
         // Each chosen loop searches up to its own safety bound, capped
         // for tractability.
         let per_loop: Vec<u32> = chosen
@@ -115,15 +141,32 @@ pub struct SearchOutcome {
     pub original: Prediction,
 }
 
+/// One candidate's fate during a search, before it is stamped into an
+/// [`ExplainRecord`]: the space-offset, what was measured, and why it
+/// was kept or dropped.
+struct CandidateFate {
+    u: Vec<u32>,
+    beta: Option<f64>,
+    registers: Option<i64>,
+    verdict: Verdict,
+}
+
 /// Shared search objective (§3.3): minimize `|β − β_M|` subject to the
 /// register budget, ties preferring fewer body copies.  Returns the
 /// winning offset and its inputs (`None` when nothing beat `u = 0`).
+///
+/// With `explain` present, every candidate's fate is recorded: exactly
+/// one record carries [`Verdict::Won`] — the offset this function
+/// returns — and the rest say why they lost (`dominated`), were pruned
+/// (`pruned_registers`, `pruned_divisibility`), or could not be
+/// measured (`infeasible`).
 fn search_over(
     machine: &MachineModel,
     space: &UnrollSpace,
     mut inputs_at: impl FnMut(&[u32]) -> Option<BalanceInputs>,
     beta_of: impl Fn(&BalanceInputs) -> f64,
     divisible: impl Fn(&[u32]) -> bool,
+    mut explain: Option<&mut Vec<CandidateFate>>,
 ) -> (Vec<u32>, Option<BalanceInputs>) {
     let beta_m = machine.balance();
     let regs = machine.registers_for_replacement() as i64;
@@ -131,17 +174,32 @@ fn search_over(
     let mut best = zero;
     let mut best_inputs = None;
     let mut best_score = (f64::INFINITY, usize::MAX);
+    let mut best_rec = None;
     for u in space.offsets() {
+        let mut fate = |beta, registers, verdict| {
+            if let Some(records) = explain.as_deref_mut() {
+                records.push(CandidateFate {
+                    u: u.clone(),
+                    beta,
+                    registers,
+                    verdict,
+                });
+            }
+        };
         if !divisible(&u) {
+            fate(None, None, Verdict::PrunedDivisibility);
             continue;
         }
         let Some(inputs) = inputs_at(&u) else {
+            fate(None, None, Verdict::Infeasible);
             continue;
         };
         if inputs.registers > regs {
+            fate(None, Some(inputs.registers), Verdict::PrunedRegisters);
             continue;
         }
         let beta = beta_of(&inputs);
+        fate(Some(beta), Some(inputs.registers), Verdict::Dominated);
         let score = ((beta - beta_m).abs(), space.copies(&u));
         if score.0 < best_score.0 - 1e-12
             || ((score.0 - best_score.0).abs() <= 1e-12 && score.1 < best_score.1)
@@ -149,9 +207,46 @@ fn search_over(
             best_score = score;
             best = u;
             best_inputs = Some(inputs);
+            if let Some(records) = explain.as_deref_mut() {
+                best_rec = Some(records.len() - 1);
+            }
+        }
+    }
+    if let Some(records) = explain {
+        match best_rec {
+            Some(i) => records[i].verdict = Verdict::Won,
+            // Every candidate was pruned: the search falls back to
+            // u = 0, so the zero record (if any) is what "won".
+            None => {
+                if let Some(rec) = records.iter_mut().find(|r| r.u == best) {
+                    rec.verdict = Verdict::Won;
+                }
+            }
         }
     }
     (best, best_inputs)
+}
+
+/// Stamps search-internal [`CandidateFate`]s into public
+/// [`ExplainRecord`]s and emits them through the context's sink.
+fn emit_explains(
+    ctx: &AnalysisCtx<'_>,
+    pass: &str,
+    space: &UnrollSpace,
+    fates: Vec<CandidateFate>,
+) {
+    let beta_m = ctx.machine().balance();
+    for fate in fates {
+        ctx.sink().record(TraceRecord::Explain(ExplainRecord {
+            nest: ctx.nest().name().to_string(),
+            pass: pass.to_string(),
+            u: space.full_vector(&fate.u),
+            beta: fate.beta,
+            beta_m,
+            registers: fate.registers,
+            verdict: fate.verdict,
+        }));
+    }
 }
 
 /// Stage 3 (§4.5): search the unroll space for the offset minimizing
@@ -176,7 +271,7 @@ impl Pass for SearchSpace {
         let tables = BuildTables {
             space: self.space.clone(),
         }
-        .run(ctx)?;
+        .run_traced(ctx)?;
         let nest = ctx.nest();
         let machine = ctx.machine();
         let space = &self.space;
@@ -203,8 +298,18 @@ impl Pass for SearchSpace {
 
         let zero = vec![0u32; space.dims()];
         let original = inputs_at(&zero);
-        let (best, best_inputs) =
-            search_over(machine, space, |u| Some(inputs_at(u)), beta_of, divisible);
+        let mut fates = ctx.tracing().then(Vec::new);
+        let (best, best_inputs) = search_over(
+            machine,
+            space,
+            |u| Some(inputs_at(u)),
+            beta_of,
+            divisible,
+            fates.as_mut(),
+        );
+        if let Some(fates) = fates {
+            emit_explains(ctx, self.name(), space, fates);
+        }
         let predicted = best_inputs.unwrap_or(original);
         Ok(SearchOutcome {
             unroll: space.full_vector(&best),
@@ -248,13 +353,18 @@ impl Pass for BruteSearch {
         let zero = vec![0u32; space.dims()];
         let original = measure_candidate(nest, &space.full_vector(&zero), machine)
             .map_err(OptimizeError::Transform)?;
+        let mut fates = ctx.tracing().then(Vec::new);
         let (best, best_inputs) = search_over(
             machine,
             space,
             |u| measure_candidate(nest, &space.full_vector(u), machine).ok(),
             |inputs| loop_balance(inputs, machine),
             |_| true,
+            fates.as_mut(),
         );
+        if let Some(fates) = fates {
+            emit_explains(ctx, self.name(), space, fates);
+        }
         let predicted = best_inputs.unwrap_or(original);
         Ok(SearchOutcome {
             unroll: space.full_vector(&best),
@@ -281,5 +391,213 @@ impl Pass for ApplyTransform {
 
     fn run(&self, ctx: &mut AnalysisCtx<'_>) -> Result<LoopNest, OptimizeError> {
         unroll_and_jam(ctx.nest(), &self.unroll).map_err(OptimizeError::Transform)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ujam_ir::NestBuilder;
+    use ujam_trace::CollectingSink;
+
+    fn intro() -> LoopNest {
+        NestBuilder::new("intro")
+            .array("A", &[242])
+            .array("B", &[242])
+            .loop_("J", 1, 240)
+            .loop_("I", 1, 240)
+            .stmt("A(J) = A(J) + B(I)")
+            .build()
+    }
+
+    #[test]
+    fn run_traced_emits_one_span_per_pass() {
+        let nest = intro();
+        let machine = MachineModel::dec_alpha();
+        let sink = CollectingSink::new();
+        let mut ctx = AnalysisCtx::with_sink(&nest, &machine, &sink).expect("valid");
+        let space = SelectLoops.run_traced(&mut ctx).expect("selects");
+        SearchSpace {
+            space,
+            model: CostModel::CacheAware,
+        }
+        .run_traced(&mut ctx)
+        .expect("searches");
+        let trace = sink.take();
+        let names: Vec<&str> = trace.spans().map(|(_, name, _)| name).collect();
+        assert_eq!(names, ["select-loops", "build-tables", "search-space"]);
+        assert!(trace.spans().all(|(nest_name, _, _)| nest_name == "intro"));
+    }
+
+    #[test]
+    fn run_traced_without_a_sink_is_plain_run() {
+        let nest = intro();
+        let machine = MachineModel::dec_alpha();
+        let mut traced = AnalysisCtx::new(&nest, &machine).expect("valid");
+        let mut plain = AnalysisCtx::new(&nest, &machine).expect("valid");
+        let a = SelectLoops.run_traced(&mut traced).expect("selects");
+        let b = SelectLoops.run(&mut plain).expect("selects");
+        assert_eq!(a, b);
+    }
+
+    /// The headline provenance property: exactly one candidate wins, it
+    /// is the candidate the search returns, and every other candidate
+    /// carries a pruning or domination verdict.
+    #[test]
+    fn explain_records_name_the_winner_search_returns() {
+        let nest = intro();
+        let machine = MachineModel::dec_alpha();
+        let sink = CollectingSink::new();
+        let mut ctx = AnalysisCtx::with_sink(&nest, &machine, &sink).expect("valid");
+        let space = SelectLoops.run_traced(&mut ctx).expect("selects");
+        let found = SearchSpace {
+            space: space.clone(),
+            model: CostModel::CacheAware,
+        }
+        .run_traced(&mut ctx)
+        .expect("searches");
+
+        let trace = sink.take();
+        let explains: Vec<_> = trace.explains().collect();
+        assert_eq!(
+            explains.len(),
+            space.len(),
+            "one explain record per candidate offset"
+        );
+        let winners: Vec<_> = explains
+            .iter()
+            .filter(|e| e.verdict == Verdict::Won)
+            .collect();
+        assert_eq!(winners.len(), 1, "exactly one candidate wins");
+        assert_eq!(winners[0].u, found.unroll);
+        assert_eq!(winners[0].beta_m, machine.balance());
+        assert!(winners[0].beta.is_some());
+        assert!(winners[0].registers.is_some());
+        assert!(explains.iter().all(|e| e.pass == "search-space"));
+    }
+
+    /// Table-driven and brute-force searches agree not just on the
+    /// winner but in their explain records' verdict for it.
+    #[test]
+    fn brute_search_explain_agrees_on_the_winner() {
+        let nest = intro();
+        let machine = MachineModel::dec_alpha();
+        let space = UnrollSpace::new(2, &[0], 5);
+
+        let table_sink = CollectingSink::new();
+        let mut ctx = AnalysisCtx::with_sink(&nest, &machine, &table_sink).expect("valid");
+        let table = SearchSpace {
+            space: space.clone(),
+            model: CostModel::CacheAware,
+        }
+        .run_traced(&mut ctx)
+        .expect("searches");
+
+        let brute_sink = CollectingSink::new();
+        let mut ctx = AnalysisCtx::with_sink(&nest, &machine, &brute_sink).expect("valid");
+        let brute = BruteSearch {
+            space: space.clone(),
+        }
+        .run_traced(&mut ctx)
+        .expect("searches");
+
+        assert_eq!(table.unroll, brute.unroll);
+        let table_winner = table_sink
+            .take()
+            .explains()
+            .find(|e| e.verdict == Verdict::Won)
+            .expect("table search has a winner")
+            .clone();
+        let brute_winner = brute_sink
+            .take()
+            .explains()
+            .find(|e| e.verdict == Verdict::Won)
+            .expect("brute search has a winner")
+            .clone();
+        assert_eq!(table_winner.u, brute_winner.u);
+        assert_eq!(table_winner.u, table.unroll);
+    }
+
+    /// A register budget of nearly zero prunes every profitable
+    /// candidate; the explain records say so.
+    #[test]
+    fn register_pruning_is_visible_in_explains() {
+        let nest = intro();
+        let tiny = MachineModel::builder("tiny")
+            .rates(1.0, 4.0)
+            .registers(2)
+            .cache(8 * 1024, 32, 1)
+            .miss(20.0, 1.0)
+            .build();
+        let sink = CollectingSink::new();
+        let mut ctx = AnalysisCtx::with_sink(&nest, &tiny, &sink).expect("valid");
+        SearchSpace {
+            space: UnrollSpace::new(2, &[0], 7),
+            model: CostModel::CacheAware,
+        }
+        .run_traced(&mut ctx)
+        .expect("searches");
+        let trace = sink.take();
+        assert!(
+            trace
+                .explains()
+                .any(|e| e.verdict == Verdict::PrunedRegisters),
+            "some candidate must exceed a 2-register budget"
+        );
+    }
+
+    /// Divisibility pruning (trip count 7 is prime) shows up as
+    /// `pruned_divisibility`, never as a winner.
+    #[test]
+    fn divisibility_pruning_is_visible_in_explains() {
+        let nest = NestBuilder::new("prime")
+            .array("A", &[9])
+            .array("B", &[9])
+            .loop_("J", 1, 7)
+            .loop_("I", 1, 7)
+            .stmt("A(J) = A(J) + B(I)")
+            .build();
+        let machine = MachineModel::dec_alpha();
+        let sink = CollectingSink::new();
+        let mut ctx = AnalysisCtx::with_sink(&nest, &machine, &sink).expect("valid");
+        let found = SearchSpace {
+            space: UnrollSpace::new(2, &[0], 5),
+            model: CostModel::CacheAware,
+        }
+        .run_traced(&mut ctx)
+        .expect("searches");
+        assert_eq!(found.unroll, vec![0, 0]);
+        let trace = sink.take();
+        let pruned = trace
+            .explains()
+            .filter(|e| e.verdict == Verdict::PrunedDivisibility)
+            .count();
+        assert_eq!(pruned, 5, "u = 1..=5 all fail to divide 7");
+        let winner = trace
+            .explains()
+            .find(|e| e.verdict == Verdict::Won)
+            .expect("winner exists");
+        assert_eq!(winner.u, vec![0, 0]);
+    }
+
+    /// With tracing disabled nothing is recorded and the outcome is
+    /// identical — the provenance layer cannot perturb decisions.
+    #[test]
+    fn tracing_does_not_change_the_outcome() {
+        let nest = intro();
+        let machine = MachineModel::dec_alpha();
+        let space = UnrollSpace::new(2, &[0], 5);
+        let sink = CollectingSink::new();
+        let mut traced_ctx = AnalysisCtx::with_sink(&nest, &machine, &sink).expect("valid");
+        let mut plain_ctx = AnalysisCtx::new(&nest, &machine).expect("valid");
+        let pass = SearchSpace {
+            space,
+            model: CostModel::CacheAware,
+        };
+        let traced = pass.run_traced(&mut traced_ctx).expect("searches");
+        let plain = pass.run_traced(&mut plain_ctx).expect("searches");
+        assert_eq!(traced.unroll, plain.unroll);
+        assert_eq!(traced.offset, plain.offset);
+        assert_eq!(traced.predicted, plain.predicted);
     }
 }

@@ -1,0 +1,329 @@
+//! Human and JSON renderers for a collected [`Trace`].
+
+use crate::json::{write_escaped, write_f64};
+use crate::{ExplainRecord, Trace, TraceRecord};
+use std::fmt::Write as _;
+
+/// Formats nanoseconds with a unit chosen by magnitude.
+pub fn fmt_ns(ns: u128) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn fmt_opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.3}"),
+        Some(_) => "inf".to_string(),
+        None => "-".to_string(),
+    }
+}
+
+fn fmt_u(u: &[u32]) -> String {
+    let mut s = String::from("[");
+    for (i, x) in u.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{x}");
+    }
+    s.push(']');
+    s
+}
+
+impl Trace {
+    /// Renders the spans, aggregated counters, events, and explain
+    /// records as aligned, human-readable sections.  Sections with no
+    /// records are omitted.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        let spans: Vec<_> = self.spans().collect();
+        if !spans.is_empty() {
+            out.push_str("== trace: pass spans ==\n");
+            let _ = writeln!(out, "{:12} {:16} {:>12}", "nest", "pass", "time");
+            for (nest, name, nanos) in spans {
+                let _ = writeln!(out, "{nest:12} {name:16} {:>12}", fmt_ns(nanos));
+            }
+        }
+        let counters = self.counter_totals();
+        if !counters.is_empty() {
+            out.push_str("== trace: counters ==\n");
+            let _ = writeln!(out, "{:12} {:24} {:>8}", "nest", "counter", "total");
+            for (nest, name, value) in counters {
+                let _ = writeln!(out, "{nest:12} {name:24} {value:>8}");
+            }
+        }
+        let events: Vec<_> = self
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Event { nest, message } => Some((nest, message)),
+                _ => None,
+            })
+            .collect();
+        if !events.is_empty() {
+            out.push_str("== trace: events ==\n");
+            for (nest, message) in events {
+                let _ = writeln!(out, "{nest:12} {message}");
+            }
+        }
+        let explains: Vec<_> = self.explains().collect();
+        if !explains.is_empty() {
+            out.push_str(&render_explain_table(&explains));
+        }
+        out
+    }
+
+    /// Renders the per-candidate provenance table alone (the `--explain`
+    /// view), without the span/counter sections.
+    pub fn render_explain_human(&self) -> String {
+        let explains: Vec<_> = self.explains().collect();
+        if explains.is_empty() {
+            return "no explain records (run a search pass with tracing enabled)\n".to_string();
+        }
+        render_explain_table(&explains)
+    }
+
+    /// Renders the whole trace as one machine-readable JSON document:
+    /// `{"spans": [...], "counters": [...], "events": [...],
+    /// "explain": [...]}` with counters aggregated by `(nest, name)`.
+    /// Non-finite `β` values are emitted as `null` (JSON has no
+    /// `Infinity`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"spans\":[");
+        let mut first = true;
+        for (nest, name, nanos) in self.spans() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"nest\":");
+            write_escaped(&mut out, nest);
+            out.push_str(",\"name\":");
+            write_escaped(&mut out, name);
+            let _ = write!(out, ",\"ns\":{nanos}}}");
+        }
+        out.push_str("],\"counters\":[");
+        let mut first = true;
+        for (nest, name, value) in self.counter_totals() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"nest\":");
+            write_escaped(&mut out, &nest);
+            out.push_str(",\"name\":");
+            write_escaped(&mut out, &name);
+            let _ = write!(out, ",\"value\":{value}}}");
+        }
+        out.push_str("],\"events\":[");
+        let mut first = true;
+        for r in &self.records {
+            if let TraceRecord::Event { nest, message } = r {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str("{\"nest\":");
+                write_escaped(&mut out, nest);
+                out.push_str(",\"message\":");
+                write_escaped(&mut out, message);
+                out.push('}');
+            }
+        }
+        out.push_str("],\"explain\":[");
+        let mut first = true;
+        for e in self.explains() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"nest\":");
+            write_escaped(&mut out, &e.nest);
+            out.push_str(",\"pass\":");
+            write_escaped(&mut out, &e.pass);
+            out.push_str(",\"u\":[");
+            for (i, x) in e.u.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{x}");
+            }
+            out.push_str("],\"beta\":");
+            match e.beta {
+                Some(b) => write_f64(&mut out, b),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"beta_m\":");
+            write_f64(&mut out, e.beta_m);
+            out.push_str(",\"registers\":");
+            match e.registers {
+                Some(r) => {
+                    let _ = write!(out, "{r}");
+                }
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"verdict\":");
+            write_escaped(&mut out, e.verdict.as_str());
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn render_explain_table(explains: &[&ExplainRecord]) -> String {
+    let mut out = String::new();
+    // One table per (nest, pass) group, in first-seen order.
+    let mut groups: Vec<(&str, &str)> = Vec::new();
+    for e in explains {
+        if !groups.iter().any(|&(n, p)| n == e.nest && p == e.pass) {
+            groups.push((&e.nest, &e.pass));
+        }
+    }
+    for (nest, pass) in groups {
+        let rows: Vec<_> = explains
+            .iter()
+            .filter(|e| e.nest == nest && e.pass == pass)
+            .collect();
+        let beta_m = rows.first().map_or(f64::NAN, |e| e.beta_m);
+        let _ = writeln!(out, "== explain: {nest} ({pass}, β_M = {beta_m:.3}) ==");
+        let _ = writeln!(
+            out,
+            "{:>12} {:>9} {:>9} {:>5}  verdict",
+            "u", "β", "β_M", "regs"
+        );
+        for e in rows {
+            let regs = e
+                .registers
+                .map_or_else(|| "-".to_string(), |r| r.to_string());
+            let _ = writeln!(
+                out,
+                "{:>12} {:>9} {:>9.3} {:>5}  {}",
+                fmt_u(&e.u),
+                fmt_opt_f64(e.beta),
+                e.beta_m,
+                regs,
+                e.verdict
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{json, Verdict};
+
+    fn sample() -> Trace {
+        Trace::new(vec![
+            TraceRecord::span("intro", "select-loops", 1_250),
+            TraceRecord::span("intro", "search-space", 2_500_000),
+            TraceRecord::counter("intro", "ugs.build", 1),
+            TraceRecord::counter("intro", "ugs.hit", 1),
+            TraceRecord::counter("intro", "ugs.hit", 1),
+            TraceRecord::event("intro", "selected loops [0]"),
+            TraceRecord::Explain(ExplainRecord {
+                nest: "intro".to_string(),
+                pass: "search-space".to_string(),
+                u: vec![0, 0],
+                beta: Some(21.0),
+                beta_m: 0.5,
+                registers: Some(1),
+                verdict: Verdict::Dominated,
+            }),
+            TraceRecord::Explain(ExplainRecord {
+                nest: "intro".to_string(),
+                pass: "search-space".to_string(),
+                u: vec![3, 0],
+                beta: None,
+                beta_m: 0.5,
+                registers: None,
+                verdict: Verdict::PrunedDivisibility,
+            }),
+            TraceRecord::Explain(ExplainRecord {
+                nest: "intro".to_string(),
+                pass: "search-space".to_string(),
+                u: vec![4, 0],
+                beta: Some(0.625),
+                beta_m: 0.5,
+                registers: Some(5),
+                verdict: Verdict::Won,
+            }),
+        ])
+    }
+
+    #[test]
+    fn human_rendering_has_every_section() {
+        let text = sample().render_human();
+        assert!(text.contains("pass spans"));
+        assert!(text.contains("select-loops"));
+        assert!(text.contains("2.500 ms"));
+        assert!(text.contains("ugs.hit"));
+        assert!(text.contains("selected loops [0]"));
+        assert!(text.contains("pruned_divisibility"));
+        assert!(text.contains("won"));
+        // Aggregation: the two ugs.hit increments render as one total.
+        assert_eq!(text.matches("ugs.hit").count(), 1);
+    }
+
+    #[test]
+    fn explain_only_rendering_reports_the_table() {
+        let text = sample().render_explain_human();
+        assert!(text.contains("== explain: intro (search-space"));
+        assert!(text.contains("[4,0]"));
+        assert!(!text.contains("pass spans"));
+        let empty = Trace::default().render_explain_human();
+        assert!(empty.contains("no explain records"));
+    }
+
+    #[test]
+    fn json_rendering_parses_and_preserves_fields() {
+        let doc = sample().render_json();
+        let v = json::parse(&doc).expect("valid JSON");
+        let spans = v.get("spans").and_then(|s| s.as_array()).expect("spans");
+        assert_eq!(spans.len(), 2);
+        assert_eq!(
+            spans[1].get("ns").and_then(|n| n.as_f64()),
+            Some(2_500_000.0)
+        );
+        let counters = v
+            .get("counters")
+            .and_then(|c| c.as_array())
+            .expect("counters");
+        assert_eq!(counters.len(), 2, "hits aggregated");
+        let explain = v
+            .get("explain")
+            .and_then(|e| e.as_array())
+            .expect("explain");
+        assert_eq!(explain.len(), 3);
+        assert_eq!(
+            explain[2].get("verdict").and_then(|s| s.as_str()),
+            Some("won")
+        );
+        assert_eq!(explain[1].get("beta"), Some(&json::Value::Null));
+    }
+
+    #[test]
+    fn empty_trace_renders_valid_json() {
+        let doc = Trace::default().render_json();
+        json::parse(&doc).expect("valid JSON");
+        assert!(Trace::default().render_human().is_empty());
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(900), "900 ns");
+        assert_eq!(fmt_ns(1_500), "1.500 µs");
+        assert_eq!(fmt_ns(2_500_000), "2.500 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+}

@@ -1,0 +1,89 @@
+//! CI helper: validates a `ujam optimize --trace=json` document.
+//!
+//! Reads the file named by the first argument (or stdin when absent),
+//! parses it with the in-tree strict JSON parser, and checks the shape
+//! the observability layer promises: a span for every pipeline pass,
+//! cache counters, and exactly one winning explain record.  Exits
+//! non-zero with a message on any violation — `ci.sh` runs this against
+//! a freshly captured trace.
+
+use std::io::Read;
+use std::process::ExitCode;
+use ujam::trace::json;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(summary) => {
+            println!("trace OK: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("invalid trace: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<String, String> {
+    let text = match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path:?}: {e}"))?
+        }
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buf
+        }
+    };
+    let doc = json::parse(&text)?;
+
+    let spans = doc
+        .get("spans")
+        .and_then(|s| s.as_array())
+        .ok_or("missing spans array")?;
+    let names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name")?.as_str())
+        .collect();
+    for pass in [
+        "select-loops",
+        "build-tables",
+        "search-space",
+        "apply-transform",
+    ] {
+        if !names.contains(&pass) {
+            return Err(format!("no span for pass {pass:?} (have {names:?})"));
+        }
+    }
+
+    let counters = doc
+        .get("counters")
+        .and_then(|c| c.as_array())
+        .ok_or("missing counters array")?;
+    if counters.is_empty() {
+        return Err("counters array is empty".to_string());
+    }
+
+    let explain = doc
+        .get("explain")
+        .and_then(|e| e.as_array())
+        .ok_or("missing explain array")?;
+    let winners = explain
+        .iter()
+        .filter(|e| e.get("verdict").and_then(|v| v.as_str()) == Some("won"))
+        .count();
+    if winners != 1 {
+        return Err(format!(
+            "expected exactly one winning candidate, found {winners}"
+        ));
+    }
+
+    Ok(format!(
+        "{} spans, {} counters, {} candidates, 1 winner",
+        spans.len(),
+        counters.len(),
+        explain.len()
+    ))
+}

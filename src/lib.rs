@@ -17,6 +17,7 @@
 //! | [`sim`] | `ujam-sim` | cache + initiation-interval simulator standing in for the 1997 testbeds |
 //! | [`kernels`] | `ujam-kernels` | the 19 Table 2 loops and the synthetic §5.1 corpus |
 //! | [`fortran`] | `ujam-fortran` | a Fortran-77 DO-nest front end (parse + emit) |
+//! | [`trace`] | `ujam-trace` | trace sinks, per-pass spans/counters, decision provenance, renderers |
 //!
 //! # Quickstart
 //!
@@ -62,3 +63,4 @@ pub use ujam_linalg as linalg;
 pub use ujam_machine as machine;
 pub use ujam_reuse as reuse;
 pub use ujam_sim as sim;
+pub use ujam_trace as trace;

@@ -15,15 +15,20 @@
 //! source file (`.f`, `.f77`, `.for`) holding one DO nest.
 //!
 //! Options: `--machine alpha|parisc|prefetch`, `--model cache|allhits`.
+//! `optimize` additionally takes `--explain` (per-candidate decision
+//! provenance) and `--trace`/`--trace=json` (pass spans, cache
+//! counters, events; the JSON form prints only the machine-readable
+//! document).
 
 use std::process::ExitCode;
-use ujam::core::{optimize_with, tables::CostTables, CostModel, UnrollSpace};
+use ujam::core::{optimize_traced, optimize_with, tables::CostTables, CostModel, UnrollSpace};
 use ujam::dep::{safe_unroll_bounds, DepGraph, DepKind};
 use ujam::ir::transform::scalar_replacement;
 use ujam::ir::LoopNest;
 use ujam::kernels::{kernel, kernels};
 use ujam::machine::MachineModel;
 use ujam::sim::simulate;
+use ujam::trace::CollectingSink;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +49,7 @@ const USAGE: &str = "usage:
   ujam deps <loop>
   ujam tables <loop> [bound]
   ujam optimize <loop> [--machine alpha|parisc|prefetch] [--model cache|allhits]
+                       [--explain] [--trace[=json]]
   ujam simulate <loop> [--machine alpha|parisc|prefetch] [--model cache|allhits]
   ujam emit <loop>
   ujam schedule <loop> [--machine alpha|parisc|prefetch] [--model cache|allhits]
@@ -132,8 +138,22 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "optimize" => {
             let nest = lookup(it.next())?;
-            let (machine, model) = options(it)?;
-            let plan = optimize_with(&nest, &machine, model).map_err(|e| e.to_string())?;
+            let opts = optimize_options(it)?;
+            let (machine, model) = (&opts.machine, opts.model);
+            let sink = CollectingSink::new();
+            let plan = if opts.observing() {
+                optimize_traced(&nest, machine, model, &sink)
+            } else {
+                optimize_with(&nest, machine, model)
+            }
+            .map_err(|e| e.to_string())?;
+            let trace = sink.take();
+            if opts.trace == TraceMode::Json {
+                // Machine-readable mode: the JSON document is the whole
+                // output, so downstream tools can parse stdout as-is.
+                println!("{}", trace.render_json());
+                return Ok(());
+            }
             println!(
                 "machine {} (balance {}), model {:?}",
                 machine.name(),
@@ -151,6 +171,16 @@ fn run(args: &[String]) -> Result<(), String> {
                 plan.predicted.flops,
                 plan.predicted.registers
             );
+            // `render_human` already includes the explain tables, so
+            // only render them separately when --trace is off.
+            if opts.explain && opts.trace != TraceMode::Human {
+                println!();
+                print!("{}", trace.render_explain_human());
+            }
+            if opts.trace == TraceMode::Human {
+                println!();
+                print!("{}", trace.render_human());
+            }
             println!("\ntransformed loop:\n{}", plan.nest);
             let replaced = scalar_replacement(&plan.nest);
             println!("after scalar replacement:\n{}", replaced.nest);
@@ -227,6 +257,66 @@ fn lookup(name: Option<&String>) -> Result<LoopNest, String> {
     kernel(name)
         .map(|k| k.nest())
         .ok_or_else(|| format!("unknown kernel {name:?} (try `ujam list`)"))
+}
+
+/// How much trace output `ujam optimize` should render.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceMode {
+    Off,
+    Human,
+    Json,
+}
+
+struct OptimizeOptions {
+    machine: MachineModel,
+    model: CostModel,
+    trace: TraceMode,
+    explain: bool,
+}
+
+impl OptimizeOptions {
+    /// Whether the pipeline should run with a collecting sink at all.
+    fn observing(&self) -> bool {
+        self.trace != TraceMode::Off || self.explain
+    }
+}
+
+fn optimize_options<'a>(it: impl Iterator<Item = &'a String>) -> Result<OptimizeOptions, String> {
+    let mut machine = MachineModel::dec_alpha();
+    let mut model = CostModel::CacheAware;
+    let mut trace = TraceMode::Off;
+    let mut explain = false;
+    let mut it = it.peekable();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--machine" => {
+                machine = match it.next().map(|s| s.as_str()) {
+                    Some("alpha") => MachineModel::dec_alpha(),
+                    Some("parisc") => MachineModel::hp_parisc(),
+                    Some("prefetch") => MachineModel::prefetching_risc(),
+                    other => return Err(format!("bad --machine value {other:?}")),
+                }
+            }
+            "--model" => {
+                model = match it.next().map(|s| s.as_str()) {
+                    Some("cache") => CostModel::CacheAware,
+                    Some("allhits") => CostModel::AllHits,
+                    other => return Err(format!("bad --model value {other:?}")),
+                }
+            }
+            "--trace" => trace = TraceMode::Human,
+            "--trace=json" => trace = TraceMode::Json,
+            "--trace=human" => trace = TraceMode::Human,
+            "--explain" => explain = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(OptimizeOptions {
+        machine,
+        model,
+        trace,
+        explain,
+    })
 }
 
 fn options<'a>(it: impl Iterator<Item = &'a String>) -> Result<(MachineModel, CostModel), String> {

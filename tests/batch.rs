@@ -3,12 +3,13 @@
 
 use ujam::core::brute::{optimize_brute, optimize_depbased};
 use ujam::core::{
-    optimize, optimize_batch, optimize_batch_with_workers, optimize_in_space, CostModel,
-    OptimizeError, UnrollSpace,
+    optimize, optimize_batch, optimize_batch_traced_with_workers, optimize_batch_with_workers,
+    optimize_in_space, optimize_traced, CostModel, OptimizeError, UnrollSpace,
 };
 use ujam::ir::{parse_expr, sub, subs, ArrayDecl, ArrayRef, Loop, LoopNest, Stmt};
 use ujam::kernels::{kernels, optimize_suite};
 use ujam::machine::MachineModel;
+use ujam::trace::CollectingSink;
 
 /// The headline batch property: `optimize_batch` over the full Table 2
 /// suite is bitwise-identical to sequential `optimize` — same unroll
@@ -32,6 +33,50 @@ fn batch_equals_sequential_on_the_kernel_suite() {
                 assert_eq!(b.nest, s.nest, "{} (workers={workers})", k.name);
                 assert_eq!(b.predicted, s.predicted, "{} (workers={workers})", k.name);
             }
+        }
+    }
+}
+
+/// The batch driver's trace-merge guarantee: no matter the worker
+/// count, the batch's aggregate trace equals the concatenation of the
+/// sequential per-nest traces (compared span-time-blind, since
+/// wall-times differ run to run) — and tracing does not perturb the
+/// optimization results, which stay bitwise-identical to the untraced
+/// batch.
+#[test]
+fn batch_trace_is_the_sequential_concatenation() {
+    let machine = MachineModel::dec_alpha();
+    let nests: Vec<LoopNest> = kernels().iter().take(6).map(|k| k.nest()).collect();
+
+    let sequential_sink = CollectingSink::new();
+    let sequential: Vec<_> = nests
+        .iter()
+        .map(|n| {
+            optimize_traced(n, &machine, CostModel::CacheAware, &sequential_sink)
+                .expect("Table 2 kernels are valid")
+        })
+        .collect();
+    let expected = sequential_sink.take().without_timing();
+
+    for workers in [1usize, 3, 8] {
+        let sink = CollectingSink::new();
+        let batch = optimize_batch_traced_with_workers(
+            &nests,
+            &machine,
+            CostModel::CacheAware,
+            workers,
+            &sink,
+        );
+        assert_eq!(
+            sink.take().without_timing(),
+            expected,
+            "workers={workers}: batch trace must merge in input order"
+        );
+        for ((k, b), s) in kernels().iter().zip(&batch).zip(&sequential) {
+            let b = b.as_ref().expect("Table 2 kernels are valid");
+            assert_eq!(b.unroll, s.unroll, "{} (workers={workers})", k.name);
+            assert_eq!(b.nest, s.nest, "{} (workers={workers})", k.name);
+            assert_eq!(b.predicted, s.predicted, "{} (workers={workers})", k.name);
         }
     }
 }

@@ -119,6 +119,103 @@ fn fortran_files_round_trip_through_the_cli() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("integer constant"));
 }
 
+/// `--explain` on the paper's introductory loop (Figure 8's `A(J) =
+/// A(J) + B(I)`), fed through a Fortran file: the provenance table
+/// reports exactly one winning candidate, and it is the same unroll
+/// vector the library's table-driven search returns.
+#[test]
+fn explain_reports_the_search_winner_on_the_intro_loop() {
+    let nest = ujam::ir::NestBuilder::new("intro")
+        .array("A", &[242])
+        .array("B", &[242])
+        .loop_("J", 1, 240)
+        .loop_("I", 1, 240)
+        .stmt("A(J) = A(J) + B(I)")
+        .build();
+    let dir = std::env::temp_dir().join("ujam_cli_explain_test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("intro.f");
+    std::fs::write(&path, ujam::fortran::emit(&nest)).expect("write source");
+
+    let out = ujam(&["optimize", path.to_str().expect("utf8 path"), "--explain"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+
+    let plan = ujam::core::optimize(&nest, &ujam::machine::MachineModel::dec_alpha())
+        .expect("intro loop is valid");
+    let u_text = format!(
+        "[{}]",
+        plan.unroll
+            .iter()
+            .map(|u| u.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+
+    let won: Vec<&str> = text
+        .lines()
+        .filter(|l| l.split_whitespace().next_back() == Some("won"))
+        .collect();
+    assert_eq!(won.len(), 1, "exactly one winning candidate: {text}");
+    assert_eq!(
+        won[0].split_whitespace().next(),
+        Some(u_text.as_str()),
+        "explain winner must be the library's winner"
+    );
+    assert!(
+        text.contains(&format!("chosen unroll vector: {:?}", plan.unroll)),
+        "CLI plan must match the library plan"
+    );
+}
+
+/// `--trace=json` emits one machine-readable document on stdout that the
+/// in-tree parser accepts, with spans for every pipeline pass, counters
+/// from the analysis cache, and exactly one winning explain record.
+#[test]
+fn trace_json_emits_parseable_spans_and_provenance() {
+    let out = ujam(&["optimize", "dmxpy0", "--trace=json"]);
+    assert!(out.status.success());
+    let doc = ujam::trace::json::parse(&stdout(&out)).expect("stdout is one valid JSON document");
+
+    let span_names: Vec<&str> = doc
+        .get("spans")
+        .and_then(|s| s.as_array())
+        .expect("spans array")
+        .iter()
+        .filter_map(|s| s.get("name")?.as_str())
+        .collect();
+    for pass in [
+        "select-loops",
+        "build-tables",
+        "search-space",
+        "apply-transform",
+    ] {
+        assert!(
+            span_names.contains(&pass),
+            "missing span {pass}: {span_names:?}"
+        );
+    }
+
+    let counters = doc
+        .get("counters")
+        .and_then(|c| c.as_array())
+        .expect("counters array");
+    assert!(!counters.is_empty(), "analysis cache emits counters");
+
+    let verdicts: Vec<&str> = doc
+        .get("explain")
+        .and_then(|e| e.as_array())
+        .expect("explain array")
+        .iter()
+        .filter_map(|e| e.get("verdict")?.as_str())
+        .collect();
+    assert_eq!(
+        verdicts.iter().filter(|v| **v == "won").count(),
+        1,
+        "exactly one candidate wins: {verdicts:?}"
+    );
+}
+
 #[test]
 fn schedule_reports_op_mix_and_makespan() {
     let out = ujam(&["schedule", "dmxpy0"]);
