@@ -14,3 +14,11 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # provenance table behind it (std-only check, no external tools).
 ./target/release/ujam optimize dmxpy0 --explain --trace=json > /tmp/ujam_trace.json
 cargo run --release --offline --quiet --example validate_trace -- /tmp/ujam_trace.json
+
+# Bench smoke test: every bench harness must build, and a quick run of
+# the search-scaling bench must emit a schema-valid BENCH_search.json
+# (winner agreement across the naive / summed-area / pruned engines is
+# checked inside the bench and again by the validator).
+cargo bench --offline --workspace --no-run
+cargo bench --offline -p ujam-bench --bench search_scaling -- --quick --out /tmp/ujam_bench_search.json
+cargo run --release --offline --quiet --example validate_search_bench -- /tmp/ujam_bench_search.json

@@ -1,7 +1,7 @@
 //! Micro-benchmarks for the design choices DESIGN.md §5 calls out:
 //!
-//! * region algorithm vs Möbius-inversion tabulation for group-spatial
-//!   tables (the fallback costs more — measure how much);
+//! * region algorithm vs the exact per-offset `Sum` tabulation for
+//!   group-spatial tables (the fallback costs more — measure how much);
 //! * signature-based vs greedy stream partitioning in the analytic
 //!   evaluator (the register table evaluates it at every offset);
 //! * the dependence graph with vs without input-dependence pairs (the
@@ -24,8 +24,8 @@ fn main() {
 }
 
 /// jacobi's A set never touches the contiguous row with an unrolled loop:
-/// the region algorithm applies.  A row-indexed variant forces the Möbius
-/// fallback.
+/// the region algorithm applies.  A row-indexed variant forces the exact
+/// per-offset fallback.
 fn gss_construction() {
     println!("gss_table_construction");
     let region_nest = kernel("jacobi").expect("known kernel").nest();
@@ -50,7 +50,7 @@ fn gss_construction() {
             .find(|s| s.array() == "A")
             .expect("A set");
         let chain_space = UnrollSpace::new(chain_nest.depth(), &[0], bound);
-        bench(&format!("mobius_fallback/{bound}"), || {
+        bench(&format!("exact_fallback/{bound}"), || {
             gss_table(&chain_set, &chain_space, 4)
         });
     }

@@ -1,0 +1,112 @@
+//! `search_scaling`: how the table-driven unroll search scales with the
+//! size of the unroll space, comparing three query engines behind the
+//! identical walk (`ujam_core::search_tables`):
+//!
+//! * `naive` — raw (de-finalized) tables: every `Sum` query
+//!   re-enumerates the box below the offset, the seed behaviour —
+//!   O(N) per query, O(N²) per search;
+//! * `summed_area` — finalized summed-area tables: every `Sum` query
+//!   is one dense lookup — O(1) per query, O(N) per search;
+//! * `pruned` — finalized tables plus monotone up-set pruning of
+//!   over-budget candidates.
+//!
+//! Emits the measurements as machine-readable JSON (default
+//! `BENCH_search.json`, override with `-- --out PATH`) alongside the
+//! human report; `-- --quick` shrinks the sweep for CI smoke runs,
+//! where `examples/validate_search_bench.rs` checks the schema.  In the
+//! full sweep the largest space must show the ≥10× naive→summed-area
+//! speedup the O(N²)→O(N) rework promises, and all three engines must
+//! agree on the winner everywhere — violations abort the run.
+//!
+//! Run with `cargo bench -p ujam-bench --bench search_scaling`.
+
+use std::fmt::Write as _;
+use ujam_bench::timing::bench;
+use ujam_core::{search_tables, tables::CostTables, CostModel, UnrollSpace};
+use ujam_kernels::kernel;
+use ujam_machine::MachineModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_search.json".to_string());
+
+    let machine = MachineModel::dec_alpha();
+    let model = CostModel::CacheAware;
+    let nest = kernel("mmjki").expect("known kernel").nest();
+    // Two unrolled loops: the space grows quadratically in the bound.
+    let bounds: &[u32] = if quick { &[2, 4] } else { &[4, 8, 16, 24] };
+
+    println!("search_scaling ({} on {})", nest.name(), machine.name());
+    let mut rows = String::new();
+    for (i, &bound) in bounds.iter().enumerate() {
+        let space = UnrollSpace::new(nest.depth(), &[0, 1], bound);
+        let sat = CostTables::build(&nest, &space, machine.line_elems());
+        let raw = sat.definalized();
+
+        let naive = bench(&format!("naive/{}", space.len()), || {
+            search_tables(&nest, &machine, &space, &raw, model, false)
+        });
+        let summed = bench(&format!("summed_area/{}", space.len()), || {
+            search_tables(&nest, &machine, &space, &sat, model, false)
+        });
+        let pruned = bench(&format!("pruned/{}", space.len()), || {
+            search_tables(&nest, &machine, &space, &sat, model, true)
+        });
+
+        let (naive_win, _) = search_tables(&nest, &machine, &space, &raw, model, false);
+        let (sat_win, _) = search_tables(&nest, &machine, &space, &sat, model, false);
+        let (pruned_win, pruned_upset) = search_tables(&nest, &machine, &space, &sat, model, true);
+        let agree = naive_win == sat_win && sat_win == pruned_win;
+        assert!(
+            agree,
+            "engines disagree at bound {bound}: naive {naive_win:?}, \
+             summed-area {sat_win:?}, pruned {pruned_win:?}"
+        );
+        let speedup = naive.median_ns / summed.median_ns.max(1e-9);
+        println!(
+            "  space {:>4}: naive/summed_area speedup {:.1}x, {} pruned",
+            space.len(),
+            speedup,
+            pruned_upset
+        );
+        if !quick && i == bounds.len() - 1 {
+            assert!(
+                speedup >= 10.0,
+                "largest space must show the >=10x summed-area speedup, got {speedup:.1}x"
+            );
+        }
+
+        if i > 0 {
+            rows.push(',');
+        }
+        let winner: Vec<String> = sat_win.iter().map(|x| x.to_string()).collect();
+        let _ = write!(
+            rows,
+            "{{\"space\":{},\"bound\":{bound},\"naive_ns\":{:.1},\
+             \"summed_area_ns\":{:.1},\"pruned_ns\":{:.1},\"pruned_upset\":{},\
+             \"winner\":[{}],\"winners_agree\":{agree},\
+             \"speedup_naive_over_summed\":{:.3}}}",
+            space.len(),
+            naive.median_ns,
+            summed.median_ns,
+            pruned.median_ns,
+            pruned_upset,
+            winner.join(","),
+            speedup
+        );
+    }
+    let doc = format!(
+        "{{\"bench\":\"search_scaling\",\"kernel\":\"{}\",\"machine\":\"{}\",\
+         \"model\":\"cache\",\"quick\":{quick},\"rows\":[{rows}]}}\n",
+        nest.name(),
+        machine.name()
+    );
+    std::fs::write(&out, &doc).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+}

@@ -147,25 +147,25 @@ pub fn optimize_depbased(
     let mut best = zero;
     let mut best_inputs = original;
     let mut best_score = (f64::INFINITY, usize::MAX);
-    for u in space.offsets() {
-        let full = space.full_vector(&u);
+    space.for_each_offset(|u| {
+        let full = space.full_vector(u);
         let Ok((inputs, bytes)) = measure_candidate_depbased(nest, &full, machine) else {
-            continue;
+            return;
         };
         graph_bytes += bytes;
         if inputs.registers > regs {
-            continue;
+            return;
         }
         let beta = loop_balance(&inputs, machine);
-        let score = ((beta - beta_m).abs(), space.copies(&u));
+        let score = ((beta - beta_m).abs(), space.copies(u));
         if score.0 < best_score.0 - 1e-12
             || ((score.0 - best_score.0).abs() <= 1e-12 && score.1 < best_score.1)
         {
             best_score = score;
-            best = u;
+            best = u.to_vec();
             best_inputs = inputs;
         }
-    }
+    });
 
     let unroll = space.full_vector(&best);
     let nest_out = unroll_and_jam(nest, &unroll).map_err(OptimizeError::Transform)?;

@@ -101,7 +101,7 @@ pub use driver::{
 };
 pub use pipeline::{
     optimize_batch, optimize_batch_traced, optimize_batch_traced_with_workers, optimize_batch_with,
-    optimize_batch_with_workers, AnalysisCtx, CtxStats, CtxTimings, OptimizeError,
+    optimize_batch_with_workers, search_tables, AnalysisCtx, CtxStats, CtxTimings, OptimizeError,
 };
 pub use space::{OffsetIter, Table, UnrollSpace};
 pub use tables::{gss_table, gts_table, rrs_tables, CostTables, RrsTables};

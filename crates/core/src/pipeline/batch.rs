@@ -105,57 +105,19 @@ pub fn optimize_batch_traced_with_workers(
     if nests.is_empty() {
         return Vec::new();
     }
-    let workers = workers.clamp(1, nests.len());
     // One private collector per nest keeps the merged trace independent
     // of worker scheduling.  With tracing disabled the collectors stay
     // untouched: each pipeline runs against the NullSink-equivalent
     // fast path and the forwarding loop below sends nothing.
     let tracing = sink.enabled();
-    let run_one = |nest: &LoopNest, collector: &CollectingSink| {
-        if tracing {
-            optimize_traced(nest, machine, model, collector)
-        } else {
-            optimize_with(nest, machine, model)
-        }
-    };
     let collectors: Vec<CollectingSink> = (0..nests.len()).map(|_| CollectingSink::new()).collect();
-
-    let results: Vec<Result<Optimized, OptimizeError>> = if workers == 1 {
-        nests
-            .iter()
-            .zip(&collectors)
-            .map(|(nest, collector)| run_one(nest, collector))
-            .collect()
-    } else {
-        let n = nests.len();
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<Optimized, OptimizeError>>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
-        thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let result = run_one(&nests[i], &collectors[i]);
-                    // Each index is claimed by exactly one worker, so the
-                    // slot is written exactly once.
-                    if let Ok(mut slot) = slots[i].lock() {
-                        *slot = Some(result);
-                    }
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .expect("every index below n is claimed and written once")
-            })
-            .collect()
-    };
+    let results = parallel_map_indexed(nests.len(), workers, |i| {
+        if tracing {
+            optimize_traced(&nests[i], machine, model, &collectors[i])
+        } else {
+            optimize_with(&nests[i], machine, model)
+        }
+    });
 
     if tracing {
         for collector in &collectors {
@@ -165,6 +127,50 @@ pub fn optimize_batch_traced_with_workers(
         }
     }
     results
+}
+
+/// Runs `f(i)` for every `i` in `0..n` across up to `workers` scoped
+/// threads (work-stealing over a shared index), returning results in
+/// index order.  With one worker or at most one item it runs inline
+/// without spawning.  The scheduling only changes *when* an index is
+/// evaluated, never the contents of the returned vector — which is what
+/// lets both the batch driver above and the parallel
+/// [`crate::pipeline::BruteSearch`] keep bitwise-deterministic results.
+pub(crate) fn parallel_map_indexed<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.clamp(1, n.max(1));
+    if workers == 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i);
+                // Each index is claimed by exactly one worker, so the
+                // slot is written exactly once.
+                if let Ok(mut slot) = slots[i].lock() {
+                    *slot = Some(result);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every index below n is claimed and written once")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -200,6 +206,15 @@ mod tests {
                 assert_eq!(b.nest, s.nest);
             }
         }
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        for workers in [1, 3, 8] {
+            let out = parallel_map_indexed(17, workers, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(parallel_map_indexed(0, 4, |i| i).is_empty());
     }
 
     #[test]

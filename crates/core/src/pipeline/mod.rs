@@ -54,7 +54,8 @@ pub use batch::{
 };
 pub use ctx::{AnalysisCtx, CtxStats, CtxTimings};
 pub use pass::{
-    ApplyTransform, BruteSearch, BuildTables, Pass, SearchOutcome, SearchSpace, SelectLoops,
+    search_tables, ApplyTransform, BruteSearch, BuildTables, Pass, SearchOutcome, SearchSpace,
+    SelectLoops,
 };
 
 use std::fmt;

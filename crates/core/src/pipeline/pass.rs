@@ -6,6 +6,7 @@ use std::time::Instant;
 use crate::balance::{loop_balance, BalanceInputs};
 use crate::brute::measure_candidate;
 use crate::driver::{CostModel, Prediction};
+use crate::pipeline::batch::parallel_map_indexed;
 use crate::pipeline::{AnalysisCtx, OptimizeError};
 use crate::space::UnrollSpace;
 use crate::tables::CostTables;
@@ -151,67 +152,74 @@ struct CandidateFate {
     verdict: Verdict,
 }
 
+/// What [`search_over`] found: the winning offset, its measured inputs
+/// (`None` when nothing beat `u = 0`), and how many candidates were
+/// skipped by monotone up-set pruning.
+struct SearchResult {
+    best: Vec<u32>,
+    best_inputs: Option<BalanceInputs>,
+    pruned_upset: usize,
+}
+
 /// Shared search objective (§3.3): minimize `|β − β_M|` subject to the
-/// register budget, ties preferring fewer body copies.  Returns the
-/// winning offset and its inputs (`None` when nothing beat `u = 0`).
+/// register budget, ties preferring fewer body copies.
 ///
-/// With `explain` present, every candidate's fate is recorded: exactly
-/// one record carries [`Verdict::Won`] — the offset this function
-/// returns — and the rest say why they lost (`dominated`), were pruned
-/// (`pruned_registers`, `pruned_divisibility`), or could not be
-/// measured (`infeasible`).
+/// Candidates are visited in lexicographic order by a recursive walk
+/// that reuses one scratch offset vector — no per-candidate allocation.
+/// With `prune_upsets` set (sound only when the register tables are
+/// monotone in `u`), an over-budget candidate whose trailing dimensions
+/// are all zero prunes every lexicographically-later sibling subtree:
+/// each such candidate dominates the over-budget one component-wise, so
+/// by monotonicity it is over budget too.  Pruned candidates are
+/// counted in closed form and never measured.
+///
+/// With `explain` present, every candidate's fate is recorded — even
+/// pruned-up-set ones, so the records always cover the whole space:
+/// exactly one record carries [`Verdict::Won`] — the offset this
+/// function returns — and the rest say why they lost (`dominated`),
+/// were pruned (`pruned_registers`, `pruned_divisibility`,
+/// `pruned_upset`), or could not be measured (`infeasible`).
 fn search_over(
     machine: &MachineModel,
     space: &UnrollSpace,
-    mut inputs_at: impl FnMut(&[u32]) -> Option<BalanceInputs>,
+    inputs_at: impl FnMut(&[u32]) -> Option<BalanceInputs>,
     beta_of: impl Fn(&BalanceInputs) -> f64,
     divisible: impl Fn(&[u32]) -> bool,
-    mut explain: Option<&mut Vec<CandidateFate>>,
-) -> (Vec<u32>, Option<BalanceInputs>) {
-    let beta_m = machine.balance();
-    let regs = machine.registers_for_replacement() as i64;
-    let zero = vec![0u32; space.dims()];
-    let mut best = zero;
-    let mut best_inputs = None;
-    let mut best_score = (f64::INFINITY, usize::MAX);
-    let mut best_rec = None;
-    for u in space.offsets() {
-        let mut fate = |beta, registers, verdict| {
-            if let Some(records) = explain.as_deref_mut() {
-                records.push(CandidateFate {
-                    u: u.clone(),
-                    beta,
-                    registers,
-                    verdict,
-                });
-            }
-        };
-        if !divisible(&u) {
-            fate(None, None, Verdict::PrunedDivisibility);
-            continue;
-        }
-        let Some(inputs) = inputs_at(&u) else {
-            fate(None, None, Verdict::Infeasible);
-            continue;
-        };
-        if inputs.registers > regs {
-            fate(None, Some(inputs.registers), Verdict::PrunedRegisters);
-            continue;
-        }
-        let beta = beta_of(&inputs);
-        fate(Some(beta), Some(inputs.registers), Verdict::Dominated);
-        let score = ((beta - beta_m).abs(), space.copies(&u));
-        if score.0 < best_score.0 - 1e-12
-            || ((score.0 - best_score.0).abs() <= 1e-12 && score.1 < best_score.1)
-        {
-            best_score = score;
-            best = u;
-            best_inputs = Some(inputs);
-            if let Some(records) = explain.as_deref_mut() {
-                best_rec = Some(records.len() - 1);
-            }
-        }
+    prune_upsets: bool,
+    explain: Option<&mut Vec<CandidateFate>>,
+) -> SearchResult {
+    // suffix[d] = how many offsets one subtree at level d spans — the
+    // closed-form size of a pruned sibling subtree.
+    let mut suffix = vec![1usize; space.dims() + 1];
+    for d in (0..space.dims()).rev() {
+        suffix[d] = suffix[d + 1] * (space.bounds()[d] as usize + 1);
     }
+    let mut walk = Walk {
+        beta_m: machine.balance(),
+        regs: machine.registers_for_replacement() as i64,
+        space,
+        inputs_at,
+        beta_of,
+        divisible,
+        prune_upsets,
+        explain,
+        suffix,
+        u: vec![0u32; space.dims()],
+        best: vec![0u32; space.dims()],
+        best_inputs: None,
+        best_score: (f64::INFINITY, usize::MAX),
+        best_rec: None,
+        pruned_upset: 0,
+    };
+    walk.descend(0);
+    let Walk {
+        explain,
+        best,
+        best_inputs,
+        best_rec,
+        pruned_upset,
+        ..
+    } = walk;
     if let Some(records) = explain {
         match best_rec {
             Some(i) => records[i].verdict = Verdict::Won,
@@ -224,7 +232,139 @@ fn search_over(
             }
         }
     }
-    (best, best_inputs)
+    SearchResult {
+        best,
+        best_inputs,
+        pruned_upset,
+    }
+}
+
+/// The recursive state of one [`search_over`] walk.
+struct Walk<'a, 's, I, B, D> {
+    beta_m: f64,
+    regs: i64,
+    space: &'s UnrollSpace,
+    inputs_at: I,
+    beta_of: B,
+    divisible: D,
+    prune_upsets: bool,
+    explain: Option<&'a mut Vec<CandidateFate>>,
+    suffix: Vec<usize>,
+    u: Vec<u32>,
+    best: Vec<u32>,
+    best_inputs: Option<BalanceInputs>,
+    best_score: (f64, usize),
+    best_rec: Option<usize>,
+    pruned_upset: usize,
+}
+
+impl<I, B, D> Walk<'_, '_, I, B, D>
+where
+    I: FnMut(&[u32]) -> Option<BalanceInputs>,
+    B: Fn(&BalanceInputs) -> f64,
+    D: Fn(&[u32]) -> bool,
+{
+    /// Walks dimensions `d..` with `u[..d]` fixed, in lexicographic
+    /// order.  Returns true when the subtree's first candidate (the
+    /// all-zero suffix) exceeded the register budget — the signal that
+    /// every candidate dominating it can be skipped.
+    fn descend(&mut self, d: usize) -> bool {
+        if d == self.space.dims() {
+            return self.visit();
+        }
+        let bound = self.space.bounds()[d];
+        for x in 0..=bound {
+            self.u[d] = x;
+            if self.descend(d + 1) {
+                // u[..d] ++ [x] ++ zeros is over budget: every sibling
+                // subtree at x+1.. dominates it component-wise, so by
+                // monotonicity none of them can fit either.
+                if x < bound {
+                    self.skip_upset(d, x + 1);
+                }
+                self.u[d] = 0;
+                // Only an all-zero suffix propagates the signal: for
+                // x > 0 the next value of dimension d-1 resets this
+                // dimension to 0 and no longer dominates `u`.
+                return x == 0;
+            }
+        }
+        self.u[d] = 0;
+        false
+    }
+
+    /// Accounts for the sibling subtrees `u[d] = from..=bounds[d]`
+    /// (under the current `u[..d]` prefix) without measuring them:
+    /// bumps the pruned counter by the closed-form subtree size and,
+    /// when explaining, records a `pruned_upset` fate for each offset
+    /// in lexicographic order.
+    fn skip_upset(&mut self, d: usize, from: u32) {
+        let bound = self.space.bounds()[d];
+        self.pruned_upset += (bound - from + 1) as usize * self.suffix[d + 1];
+        if self.explain.is_some() {
+            for x in from..=bound {
+                self.u[d] = x;
+                self.record_subtree(d + 1);
+            }
+        }
+    }
+
+    /// Emits a `pruned_upset` fate for every offset of the subtree
+    /// below the current `u[..d]` prefix.
+    fn record_subtree(&mut self, d: usize) {
+        if d == self.space.dims() {
+            self.fate(None, None, Verdict::PrunedUpset);
+            return;
+        }
+        for x in 0..=self.space.bounds()[d] {
+            self.u[d] = x;
+            self.record_subtree(d + 1);
+        }
+        self.u[d] = 0;
+    }
+
+    fn fate(&mut self, beta: Option<f64>, registers: Option<i64>, verdict: Verdict) {
+        if let Some(records) = self.explain.as_deref_mut() {
+            records.push(CandidateFate {
+                u: self.u.clone(),
+                beta,
+                registers,
+                verdict,
+            });
+        }
+    }
+
+    /// Scores the candidate at `u`.  Returns true when it is over the
+    /// register budget and pruning is on (the up-set skip signal).
+    fn visit(&mut self) -> bool {
+        if !(self.divisible)(&self.u) {
+            self.fate(None, None, Verdict::PrunedDivisibility);
+            return false;
+        }
+        let Some(inputs) = (self.inputs_at)(&self.u) else {
+            self.fate(None, None, Verdict::Infeasible);
+            return false;
+        };
+        if inputs.registers > self.regs {
+            self.fate(None, Some(inputs.registers), Verdict::PrunedRegisters);
+            return self.prune_upsets;
+        }
+        let beta = (self.beta_of)(&inputs);
+        self.fate(Some(beta), Some(inputs.registers), Verdict::Dominated);
+        let score = ((beta - self.beta_m).abs(), self.space.copies(&self.u));
+        if score.0 < self.best_score.0 - 1e-12
+            || ((score.0 - self.best_score.0).abs() <= 1e-12 && score.1 < self.best_score.1)
+        {
+            self.best_score = score;
+            self.best.clear();
+            self.best.extend_from_slice(&self.u);
+            self.best_inputs = Some(inputs);
+            if let Some(records) = self.explain.as_deref() {
+                self.best_rec = Some(records.len() - 1);
+            }
+        }
+        false
+    }
 }
 
 /// Stamps search-internal [`CandidateFate`]s into public
@@ -298,26 +438,83 @@ impl Pass for SearchSpace {
 
         let zero = vec![0u32; space.dims()];
         let original = inputs_at(&zero);
+        // Up-set pruning is sound exactly when every register table is
+        // monotone in u; the tables checked this once at build time.
+        let prune = tables.registers_monotone();
         let mut fates = ctx.tracing().then(Vec::new);
-        let (best, best_inputs) = search_over(
+        let found = search_over(
             machine,
             space,
             |u| Some(inputs_at(u)),
             beta_of,
             divisible,
+            prune,
             fates.as_mut(),
         );
+        if ctx.tracing() {
+            ctx.sink().record(TraceRecord::counter(
+                ctx.nest().name(),
+                "search.pruned_upset",
+                found.pruned_upset as u64,
+            ));
+        }
         if let Some(fates) = fates {
             emit_explains(ctx, self.name(), space, fates);
         }
-        let predicted = best_inputs.unwrap_or(original);
+        let predicted = found.best_inputs.unwrap_or(original);
         Ok(SearchOutcome {
-            unroll: space.full_vector(&best),
-            offset: best,
+            unroll: space.full_vector(&found.best),
+            offset: found.best,
             predicted: Prediction::from_inputs(&predicted, machine),
             original: Prediction::from_inputs(&original, machine),
         })
     }
+}
+
+/// The bare table-driven search kernel behind [`SearchSpace`], exposed
+/// so benchmarks and equivalence tests can drive the exact search code
+/// path against prebuilt (finalized *or* raw) tables with pruning
+/// toggled.  Returns the winning offset and the number of candidates
+/// skipped by monotone up-set pruning (0 with `prune` off).
+///
+/// Pruning is additionally gated on [`CostTables::registers_monotone`]
+/// — asking for it on non-monotone tables silently degrades to the
+/// exhaustive walk, which is the only sound behaviour.
+pub fn search_tables(
+    nest: &LoopNest,
+    machine: &MachineModel,
+    space: &UnrollSpace,
+    tables: &CostTables,
+    model: CostModel,
+    prune: bool,
+) -> (Vec<u32>, usize) {
+    let inputs_at = |u: &[u32]| BalanceInputs {
+        flops: tables.flops(u) as f64,
+        memory_ops: tables.memory_ops(u) as f64,
+        cache_lines: tables.cache_lines(u),
+        registers: tables.registers(u),
+    };
+    let divisible = |u: &[u32]| {
+        space
+            .loops()
+            .iter()
+            .zip(u)
+            .all(|(&l, &ul)| nest.loops()[l].trip_count() % (ul as i64 + 1) == 0)
+    };
+    let beta_of = |inputs: &BalanceInputs| match model {
+        CostModel::AllHits => inputs.no_cache_balance(),
+        CostModel::CacheAware => loop_balance(inputs, machine),
+    };
+    let found = search_over(
+        machine,
+        space,
+        |u| Some(inputs_at(u)),
+        beta_of,
+        divisible,
+        prune && tables.registers_monotone(),
+        None,
+    );
+    (found.best, found.pruned_upset)
 }
 
 /// A drop-in [`SearchSpace`] alternative implementing Wolf, Maydan &
@@ -353,22 +550,39 @@ impl Pass for BruteSearch {
         let zero = vec![0u32; space.dims()];
         let original = measure_candidate(nest, &space.full_vector(&zero), machine)
             .map_err(OptimizeError::Transform)?;
+        // Materializing a candidate (body construction, scalar
+        // replacement, reuse analysis) dominates the walk and is pure
+        // and independent per candidate, so fan it out across the batch
+        // worker pool; the reduction below then runs sequentially over
+        // the precomputed slots in input order, which keeps the winner
+        // — tie-breaks included — bitwise-identical to a sequential
+        // walk.  No up-set pruning here: the measured register counts
+        // carry no monotonicity guarantee.
+        let offsets: Vec<Vec<u32>> = space.offsets().collect();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let measured: Vec<Option<BalanceInputs>> =
+            parallel_map_indexed(offsets.len(), workers, |i| {
+                measure_candidate(nest, &space.full_vector(&offsets[i]), machine).ok()
+            });
         let mut fates = ctx.tracing().then(Vec::new);
-        let (best, best_inputs) = search_over(
+        let found = search_over(
             machine,
             space,
-            |u| measure_candidate(nest, &space.full_vector(u), machine).ok(),
+            |u| measured[space.index(u)],
             |inputs| loop_balance(inputs, machine),
             |_| true,
+            false,
             fates.as_mut(),
         );
         if let Some(fates) = fates {
             emit_explains(ctx, self.name(), space, fates);
         }
-        let predicted = best_inputs.unwrap_or(original);
+        let predicted = found.best_inputs.unwrap_or(original);
         Ok(SearchOutcome {
-            unroll: space.full_vector(&best),
-            offset: best,
+            unroll: space.full_vector(&found.best),
+            offset: found.best,
             predicted: Prediction::from_inputs(&predicted, machine),
             original: Prediction::from_inputs(&original, machine),
         })
@@ -519,7 +733,10 @@ mod tests {
     }
 
     /// A register budget of nearly zero prunes every profitable
-    /// candidate; the explain records say so.
+    /// candidate; the explain records say so.  Even `u = 0` is over
+    /// budget here, so the monotone walk probes it once (that record
+    /// doubles as the fallback winner), skips the whole remaining
+    /// up-set, and still leaves one record per candidate.
     #[test]
     fn register_pruning_is_visible_in_explains() {
         let nest = intro();
@@ -531,18 +748,37 @@ mod tests {
             .build();
         let sink = CollectingSink::new();
         let mut ctx = AnalysisCtx::with_sink(&nest, &tiny, &sink).expect("valid");
-        SearchSpace {
-            space: UnrollSpace::new(2, &[0], 7),
+        let space = UnrollSpace::new(2, &[0], 7);
+        let found = SearchSpace {
+            space: space.clone(),
             model: CostModel::CacheAware,
         }
         .run_traced(&mut ctx)
         .expect("searches");
+        assert_eq!(found.unroll, vec![0, 0], "nothing fits a 2-register budget");
         let trace = sink.take();
+        let explains: Vec<_> = trace.explains().collect();
+        assert_eq!(
+            explains.len(),
+            space.len(),
+            "pruned candidates still logged"
+        );
         assert!(
-            trace
-                .explains()
-                .any(|e| e.verdict == Verdict::PrunedRegisters),
+            explains
+                .iter()
+                .any(|e| matches!(e.verdict, Verdict::PrunedRegisters | Verdict::PrunedUpset)),
             "some candidate must exceed a 2-register budget"
+        );
+        let pruned_upset = trace
+            .counter_totals()
+            .iter()
+            .find(|(_, name, _)| name == "search.pruned_upset")
+            .map(|&(_, _, v)| v)
+            .expect("search emits the pruned_upset counter");
+        assert_eq!(
+            pruned_upset as usize,
+            space.len() - 1,
+            "one probe, rest skipped"
         );
     }
 

@@ -1,4 +1,16 @@
 //! The unroll space `%` and offset-indexed tables (§4.1).
+//!
+//! [`Table`] has two representations.  It is *built* in the density
+//! domain — each entry holds the contribution of one copy offset, and
+//! merge-region updates ([`Table::add_upset_union`]) record only the
+//! up-set *frontier* as difference-domain corner writes instead of
+//! touching every covered offset.  It is then [`Table::finalize`]d into
+//! a summed-area table: one inclusive prefix scan per dimension turns
+//! the stored densities into the paper's `Sum` values, after which
+//! [`Table::prefix_sum`] is a single dense lookup instead of an O(N)
+//! box enumeration.  The raw (un-finalized) query path is kept as the
+//! naive reference — property tests and the `search_scaling` bench
+//! compare the two.
 
 use std::fmt;
 
@@ -99,10 +111,41 @@ impl UnrollSpace {
     }
 
     /// Iterates all offsets in lexicographic order.
+    ///
+    /// Each yielded item is an owned `Vec`; hot loops that only need to
+    /// *look* at every offset should use [`UnrollSpace::for_each_offset`],
+    /// which reuses one scratch buffer and allocates nothing per step.
     pub fn offsets(&self) -> OffsetIter {
         OffsetIter {
             bounds: self.bounds.clone(),
-            next: Some(vec![0; self.dims()]),
+            current: vec![0; self.dims()],
+            remaining: self.len(),
+        }
+    }
+
+    /// Visits every offset in lexicographic order through one reused
+    /// scratch buffer — the allocation-free counterpart of
+    /// [`UnrollSpace::offsets`] for hot loops.
+    ///
+    /// The visitation order (and therefore the running flat index, if the
+    /// caller keeps one) is identical to [`UnrollSpace::offsets`] and to
+    /// [`UnrollSpace::index`]'s row-major layout.
+    pub fn for_each_offset(&self, mut f: impl FnMut(&[u32])) {
+        let mut u = vec![0u32; self.dims()];
+        loop {
+            f(&u);
+            let mut d = self.dims();
+            loop {
+                if d == 0 {
+                    return;
+                }
+                d -= 1;
+                if u[d] < self.bounds[d] {
+                    u[d] += 1;
+                    break;
+                }
+                u[d] = 0;
+            }
         }
     }
 
@@ -136,43 +179,85 @@ impl UnrollSpace {
         }
         out
     }
+
+    /// Decodes a flat row-major index back into offset coordinates.
+    fn coords(&self, mut idx: usize) -> Vec<u32> {
+        let mut out = vec![0u32; self.dims()];
+        for d in (0..self.dims()).rev() {
+            let extent = self.bounds[d] as usize + 1;
+            out[d] = (idx % extent) as u32;
+            idx /= extent;
+        }
+        out
+    }
 }
 
 /// Iterator over the offsets of an [`UnrollSpace`] in lexicographic order.
+///
+/// The iterator knows exactly how many offsets remain
+/// ([`ExactSizeIterator`]), and advancing it clones nothing beyond the
+/// `Vec` it yields.
 #[derive(Clone, Debug)]
 pub struct OffsetIter {
     bounds: Vec<u32>,
-    next: Option<Vec<u32>>,
+    current: Vec<u32>,
+    remaining: usize,
 }
 
 impl Iterator for OffsetIter {
     type Item = Vec<u32>;
 
     fn next(&mut self) -> Option<Vec<u32>> {
-        let current = self.next.take()?;
-        // Compute the successor.
-        let mut succ = current.clone();
-        for d in (0..self.bounds.len()).rev() {
-            if succ[d] < self.bounds[d] {
-                succ[d] += 1;
-                self.next = Some(succ);
-                return Some(current);
-            }
-            succ[d] = 0;
+        if self.remaining == 0 {
+            return None;
         }
-        // Overflowed every dimension: `current` was the last offset.  A
-        // zero-dimensional space yields exactly one (empty) offset.
-        self.next = None;
-        Some(current)
+        self.remaining -= 1;
+        let out = self.current.clone();
+        // Advance the odometer in place; wrapping past the last offset
+        // leaves `current` at zero with `remaining == 0`.
+        for d in (0..self.bounds.len()).rev() {
+            if self.current[d] < self.bounds[d] {
+                self.current[d] += 1;
+                break;
+            }
+            self.current[d] = 0;
+        }
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
     }
 }
 
+impl ExactSizeIterator for OffsetIter {}
+
+impl std::iter::FusedIterator for OffsetIter {}
+
+/// How many antichain points the closed-form inclusion–exclusion update
+/// accepts before [`Table::add_upset_union`] falls back to a dense
+/// indicator sweep (2^k − 1 corner writes vs. one O(N·dims) pass).
+const UPSET_IE_MAX_POINTS: usize = 12;
+
 /// An integer table indexed by unroll offset, with the prefix-sum query the
 /// paper's `Sum` function performs (Figure 2).
+///
+/// A table starts in the **density** domain: `data[o]` is the
+/// contribution of the copy at offset `o`, and up-set updates are held
+/// as difference-domain corner writes in `pending`.  [`Table::finalize`]
+/// integrates the pending writes and runs one inclusive prefix scan per
+/// dimension, after which `data[o]` holds `Sum(o)` directly and
+/// [`Table::prefix_sum`] is a single lookup.  Mutation is only legal
+/// before finalization; queries work in both states.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Table {
     space: UnrollSpace,
     data: Vec<i64>,
+    /// Difference-domain writes `(flat index, delta)` not yet integrated
+    /// into `data`: each means "+delta over the whole up-set of this
+    /// point".  Always empty once finalized.
+    pending: Vec<(usize, i64)>,
+    finalized: bool,
 }
 
 impl Table {
@@ -182,6 +267,26 @@ impl Table {
         Table {
             space,
             data: vec![fill; n],
+            pending: Vec::new(),
+            finalized: false,
+        }
+    }
+
+    /// Builds an already-finalized table whose [`Table::prefix_sum`]
+    /// equals `sum_at` for every offset — the exact-tabulation path for
+    /// set shapes the closed-form region construction cannot express.
+    ///
+    /// The seed realized this via Möbius inversion back into the density
+    /// domain followed by an O(N) box enumeration per query; storing the
+    /// `Sum` values directly is both simpler and O(1) per query.
+    pub fn from_sums(space: UnrollSpace, mut sum_at: impl FnMut(&[u32]) -> i64) -> Table {
+        let mut data = Vec::with_capacity(space.len());
+        space.for_each_offset(|u| data.push(sum_at(u)));
+        Table {
+            space,
+            data,
+            pending: Vec::new(),
+            finalized: true,
         }
     }
 
@@ -190,13 +295,54 @@ impl Table {
         &self.space
     }
 
-    /// Entry at an offset.
+    /// Whether the table has been turned into a summed-area table.
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
+    }
+
+    /// Entry (density) at an offset: the contribution of the copy at
+    /// exactly that offset.
+    ///
+    /// On a finalized table the density is recovered from the stored
+    /// sums by inclusion–exclusion over the ≤ 2^dims adjacent corners.
     pub fn get(&self, offset: &[u32]) -> i64 {
-        self.data[self.space.index(offset)]
+        if self.finalized {
+            // density(o) = Σ_{S ⊆ dims, o_d > 0 ∀ d∈S} (−1)^|S| Sum(o − 1_S)
+            let dims = self.space.dims();
+            let mut total = 0i64;
+            let mut corner = offset.to_vec();
+            'subsets: for mask in 0u32..(1 << dims) {
+                corner.copy_from_slice(offset);
+                for (d, c) in corner.iter_mut().enumerate() {
+                    if mask & (1 << d) != 0 {
+                        if *c == 0 {
+                            continue 'subsets;
+                        }
+                        *c -= 1;
+                    }
+                }
+                let sign = if mask.count_ones() % 2 == 0 { 1 } else { -1 };
+                total += sign * self.data[self.space.index(&corner)];
+            }
+            return total;
+        }
+        let mut v = self.data[self.space.index(offset)];
+        for &(idx, delta) in &self.pending {
+            let p = self.space.coords(idx);
+            if p.iter().zip(offset).all(|(&pi, &oi)| oi >= pi) {
+                v += delta;
+            }
+        }
+        v
     }
 
     /// Adds `delta` to the entry at an offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a finalized table — mutation only precedes finalization.
     pub fn add(&mut self, offset: &[u32], delta: i64) {
+        assert!(!self.finalized, "cannot mutate a finalized table");
         let i = self.space.index(offset);
         self.data[i] += delta;
     }
@@ -207,38 +353,289 @@ impl Table {
     /// This is the merge-region update of Figures 2/3/5: once a copy's
     /// offset dominates a merge point it stops contributing a new group,
     /// and dominating several merge points still merges it only once.
+    ///
+    /// Only the region's *frontier* is recorded: the points are reduced
+    /// to their minimal antichain and turned into difference-domain
+    /// corner writes (a staircase decomposition in 2-D, inclusion–
+    /// exclusion over antichain joins in general), integrated lazily by
+    /// the prefix scans of [`Table::finalize`].  Cost is O(|points|² ·
+    /// dims) plus O(2^k) corner writes for an antichain of size k — the
+    /// full-space sweep only remains as a fallback for pathologically
+    /// large antichains in ≥ 3 dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a finalized table.
     pub fn add_upset_union(&mut self, points: &[Vec<u32>], delta: i64) {
-        if points.is_empty() {
+        assert!(!self.finalized, "cannot mutate a finalized table");
+        if points.is_empty() || delta == 0 {
             return;
         }
-        for o in self.space.offsets() {
-            if points
+        // Reduce to the minimal antichain: if p ≥ q then up(p) ⊆ up(q).
+        // Points outside the box (merge solutions are unbounded) cover
+        // nothing and are dropped.
+        let mut minimal: Vec<&Vec<u32>> = Vec::with_capacity(points.len());
+        for p in points {
+            if p.iter().zip(&self.space.bounds).any(|(&pi, &b)| pi > b) {
+                continue;
+            }
+            if minimal
                 .iter()
-                .any(|p| p.iter().zip(&o).all(|(&pi, &oi)| oi >= pi))
+                .any(|q| q.iter().zip(p).all(|(&qi, &pi)| pi >= qi))
             {
-                let i = self.space.index(&o);
+                continue;
+            }
+            minimal.retain(|q| !p.iter().zip(q.iter()).all(|(&pi, &qi)| qi >= pi));
+            minimal.push(p);
+        }
+        let dims = self.space.dims();
+        if minimal.len() == 1 {
+            // One corner covers the whole region (always the case in ≤ 1
+            // dimension, where offsets are totally ordered).
+            let idx = self.space.index(minimal[0]);
+            self.pending.push((idx, delta));
+            return;
+        }
+        if dims == 2 {
+            // Staircase decomposition: sorted by dim 0 ascending, an
+            // antichain descends strictly in dim 1, and the union is
+            //   Σ_i up(p_i) − Σ_i up(p_i ∨ p_{i+1})
+            // (each overlap of consecutive steps subtracted once).
+            minimal.sort_unstable_by_key(|p| p[0]);
+            for i in 0..minimal.len() {
+                self.pending.push((self.space.index(minimal[i]), delta));
+                if i + 1 < minimal.len() {
+                    let join = [minimal[i + 1][0], minimal[i][1]];
+                    self.pending.push((self.space.index(&join), -delta));
+                }
+            }
+            return;
+        }
+        if minimal.len() <= UPSET_IE_MAX_POINTS {
+            // General dimensions: inclusion–exclusion over antichain
+            // subsets.  Every join stays inside the box because each
+            // coordinate is a max of in-box coordinates.
+            let mut join = vec![0u32; dims];
+            for mask in 1u64..(1 << minimal.len()) {
+                join.iter_mut().for_each(|j| *j = 0);
+                for (i, p) in minimal.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        for (j, &pi) in join.iter_mut().zip(p.iter()) {
+                            *j = (*j).max(pi);
+                        }
+                    }
+                }
+                let sign = if mask.count_ones() % 2 == 1 {
+                    delta
+                } else {
+                    -delta
+                };
+                self.pending.push((self.space.index(&join), sign));
+            }
+            return;
+        }
+        // Fallback: dense indicator sweep directly into the density data.
+        // covered(i) = i is a point, or any predecessor along an axis is
+        // covered — ascending flat order visits predecessors first.
+        let mut covered = vec![false; self.space.len()];
+        for p in &minimal {
+            covered[self.space.index(p)] = true;
+        }
+        let extents: Vec<usize> = self.space.bounds.iter().map(|&b| b as usize + 1).collect();
+        let strides = strides_of(&extents);
+        for i in 0..covered.len() {
+            if covered[i] {
+                continue;
+            }
+            for d in 0..dims {
+                if !(i / strides[d]).is_multiple_of(extents[d]) && covered[i - strides[d]] {
+                    covered[i] = true;
+                    break;
+                }
+            }
+        }
+        for (i, c) in covered.into_iter().enumerate() {
+            if c {
                 self.data[i] += delta;
             }
         }
     }
 
+    /// Integrates any pending difference-domain writes into the density
+    /// data (one scatter plus one prefix scan per dimension).
+    fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let extents: Vec<usize> = self.space.bounds.iter().map(|&b| b as usize + 1).collect();
+        let mut scratch = vec![0i64; self.space.len()];
+        for &(idx, delta) in &self.pending {
+            scratch[idx] += delta;
+        }
+        self.pending.clear();
+        scan_axes(&mut scratch, &extents, false);
+        for (d, s) in self.data.iter_mut().zip(&scratch) {
+            *d += s;
+        }
+    }
+
+    /// Turns the density table into a summed-area table: pending up-set
+    /// writes are integrated and one inclusive prefix scan runs per
+    /// dimension, so every entry now holds the paper's `Sum` at that
+    /// offset and [`Table::prefix_sum`] is a single lookup.
+    ///
+    /// Idempotent; costs O(N · dims) once.
+    pub fn finalize(&mut self) {
+        if self.finalized {
+            return;
+        }
+        self.flush();
+        let extents: Vec<usize> = self.space.bounds.iter().map(|&b| b as usize + 1).collect();
+        scan_axes(&mut self.data, &extents, false);
+        self.finalized = true;
+    }
+
+    /// The inverse of [`Table::finalize`]: a copy of this table back in
+    /// the density domain, so its queries take the naive enumeration
+    /// path.  Exists for the `search_scaling` bench (which measures the
+    /// seed's O(N)-per-query behaviour against the summed-area path) and
+    /// for round-trip property tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is not finalized.
+    pub fn definalized(&self) -> Table {
+        assert!(self.finalized, "definalized() inverts a finalized table");
+        let mut t = self.clone();
+        let extents: Vec<usize> = t.space.bounds.iter().map(|&b| b as usize + 1).collect();
+        scan_axes(&mut t.data, &extents, true);
+        t.finalized = false;
+        t
+    }
+
+    /// Whether the finalized sums are non-decreasing along every axis —
+    /// the soundness condition for up-set pruning in the search: when
+    /// every register table is monotone, `registers(u)` can only grow
+    /// with `u`, so a candidate over budget rules out its whole up-set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is not finalized.
+    pub fn is_monotone(&self) -> bool {
+        assert!(self.finalized, "monotonicity is a property of the sums");
+        let extents: Vec<usize> = self.space.bounds.iter().map(|&b| b as usize + 1).collect();
+        let strides = strides_of(&extents);
+        for (d, &stride) in strides.iter().enumerate() {
+            for i in 0..self.data.len() {
+                if !(i / stride).is_multiple_of(extents[d]) && self.data[i] < self.data[i - stride]
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Adds another table's values into this one, element-wise.  Both
+    /// sides must be finalized over the same space ­— prefix sums are
+    /// linear, so accumulating in the `Sum` domain is exact.
+    pub(crate) fn accumulate(&mut self, other: &Table) {
+        assert!(
+            self.finalized && other.finalized,
+            "accumulate operates in the Sum domain"
+        );
+        assert_eq!(self.space, other.space, "accumulate needs matching spaces");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
     /// The paper's `Sum`: total over the box `[0, u]` — the value of the
     /// tabulated quantity after unrolling by `u`.
+    ///
+    /// On a finalized table this is a single lookup; before finalization
+    /// it is the naive box enumeration (the reference the property tests
+    /// and the scaling bench compare against).
     pub fn prefix_sum(&self, u: &[u32]) -> i64 {
         assert_eq!(u.len(), self.space.dims(), "offset arity mismatch");
+        if self.finalized {
+            return self.data[self.space.index(u)];
+        }
+        // Naive path: enumerate the box over the densities...
         let mut total = 0;
-        for o in self.space.offsets() {
-            if o.iter().zip(u).all(|(&oi, &ui)| oi <= ui) {
-                total += self.data[self.space.index(&o)];
+        let mut o = vec![0u32; u.len()];
+        'walk: loop {
+            total += self.data[self.space.index(&o)];
+            let mut d = o.len();
+            loop {
+                if d == 0 {
+                    break 'walk;
+                }
+                d -= 1;
+                if o[d] < u[d] {
+                    o[d] += 1;
+                    break;
+                }
+                o[d] = 0;
+            }
+        }
+        // ...plus each pending up-set write in closed form: an up-set
+        // corner at p contributes delta · Π max(0, u_d − p_d + 1).
+        for &(idx, delta) in &self.pending {
+            let p = self.space.coords(idx);
+            if p.iter().zip(u).all(|(&pi, &ui)| ui >= pi) {
+                let cells: i64 = p
+                    .iter()
+                    .zip(u)
+                    .map(|(&pi, &ui)| (ui - pi) as i64 + 1)
+                    .product();
+                total += delta * cells;
             }
         }
         total
     }
 }
 
+/// Row-major strides for the given per-dimension extents.
+fn strides_of(extents: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; extents.len()];
+    for d in (0..extents.len().saturating_sub(1)).rev() {
+        strides[d] = strides[d + 1] * extents[d + 1];
+    }
+    strides
+}
+
+/// Runs one inclusive prefix scan (or its inverse) along every axis of a
+/// row-major dense array.
+fn scan_axes(data: &mut [i64], extents: &[usize], inverse: bool) {
+    let strides = strides_of(extents);
+    for (d, &stride) in strides.iter().enumerate() {
+        let extent = extents[d];
+        if inverse {
+            for i in (0..data.len()).rev() {
+                if !(i / stride).is_multiple_of(extent) {
+                    data[i] -= data[i - stride];
+                }
+            }
+        } else {
+            for i in 0..data.len() {
+                if !(i / stride).is_multiple_of(extent) {
+                    data[i] += data[i - stride];
+                }
+            }
+        }
+    }
+}
+
 impl fmt::Debug for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Table over {:?}: {:?}", self.space.loops(), self.data)
+        write!(
+            f,
+            "Table over {:?} ({}): {:?}",
+            self.space.loops(),
+            if self.finalized { "sums" } else { "densities" },
+            self.data
+        )
     }
 }
 
@@ -251,6 +648,42 @@ mod tests {
         let s = UnrollSpace::new(3, &[0, 1], 1);
         let all: Vec<Vec<u32>> = s.offsets().collect();
         assert_eq!(all, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn offset_iter_len_matches_space_len() {
+        for s in [
+            UnrollSpace::new(3, &[0, 1], 2),
+            UnrollSpace::new(2, &[0], 7),
+            UnrollSpace::new(2, &[], 4),
+            UnrollSpace::with_bounds(4, &[0, 1, 2], &[1, 0, 3]),
+        ] {
+            let it = s.offsets();
+            assert_eq!(it.len(), s.len());
+            assert_eq!(it.size_hint(), (s.len(), Some(s.len())));
+            // The hint stays exact while draining.
+            let mut it = s.offsets();
+            let mut seen = 0;
+            while it.next().is_some() {
+                seen += 1;
+                assert_eq!(it.len(), s.len() - seen);
+            }
+            assert_eq!(seen, s.len());
+        }
+    }
+
+    #[test]
+    fn for_each_offset_matches_offsets() {
+        for s in [
+            UnrollSpace::new(3, &[0, 1], 2),
+            UnrollSpace::new(2, &[], 4),
+            UnrollSpace::with_bounds(4, &[0, 2], &[3, 1]),
+        ] {
+            let mut visited = Vec::new();
+            s.for_each_offset(|u| visited.push(u.to_vec()));
+            let owned: Vec<Vec<u32>> = s.offsets().collect();
+            assert_eq!(visited, owned);
+        }
     }
 
     #[test]
@@ -268,6 +701,10 @@ mod tests {
         assert_eq!(s.index(&[0, 2]), 2);
         assert_eq!(s.index(&[1, 0]), 3);
         assert_eq!(s.index(&[2, 2]), 8);
+        for (i, u) in s.offsets().enumerate() {
+            assert_eq!(s.index(&u), i);
+            assert_eq!(s.coords(i), u);
+        }
     }
 
     #[test]
@@ -283,6 +720,10 @@ mod tests {
         let t = Table::filled(s, 3);
         assert_eq!(t.prefix_sum(&[0]), 3);
         assert_eq!(t.prefix_sum(&[4]), 15);
+        let mut f = t.clone();
+        f.finalize();
+        assert_eq!(f.prefix_sum(&[0]), 3);
+        assert_eq!(f.prefix_sum(&[4]), 15);
     }
 
     #[test]
@@ -298,6 +739,76 @@ mod tests {
         assert_eq!(t.get(&[1, 0]), 1);
         assert_eq!(t.get(&[2, 2]), 1, "overlap decremented once");
         assert_eq!(t.prefix_sum(&[2, 2]), 2 * 9 - 7);
+    }
+
+    #[test]
+    fn finalize_preserves_every_query() {
+        let s = UnrollSpace::new(3, &[0, 1], 3);
+        let mut raw = Table::filled(s.clone(), 1);
+        raw.add(&[2, 1], 5);
+        raw.add_upset_union(&[vec![1, 2], vec![2, 0]], -1);
+        raw.add_upset_union(&[vec![0, 3], vec![3, 3]], 2);
+        let mut fin = raw.clone();
+        fin.finalize();
+        assert!(fin.is_finalized());
+        s.for_each_offset(|u| {
+            assert_eq!(fin.prefix_sum(u), raw.prefix_sum(u), "Sum at {u:?}");
+            assert_eq!(fin.get(u), raw.get(u), "density at {u:?}");
+        });
+        // And the round trip back to densities is exact.
+        let back = fin.definalized();
+        s.for_each_offset(|u| assert_eq!(back.get(u), raw.get(u), "round trip at {u:?}"));
+    }
+
+    #[test]
+    fn dense_fallback_agrees_with_inclusion_exclusion() {
+        // 3-D antichain larger than the closed-form cutoff would need:
+        // force both paths over the same points and compare.
+        let s = UnrollSpace::new(4, &[0, 1, 2], 2);
+        let points: Vec<Vec<u32>> = vec![
+            vec![2, 0, 0],
+            vec![0, 2, 0],
+            vec![0, 0, 2],
+            vec![1, 1, 0],
+            vec![0, 1, 1],
+            vec![1, 0, 1],
+        ];
+        let mut ie = Table::filled(s.clone(), 0);
+        ie.add_upset_union(&points, 3);
+        // Reference: per-offset membership test.
+        let mut naive = Table::filled(s.clone(), 0);
+        s.for_each_offset(|o| {
+            if points
+                .iter()
+                .any(|p| p.iter().zip(o).all(|(&pi, &oi)| oi >= pi))
+            {
+                naive.add(o, 3);
+            }
+        });
+        s.for_each_offset(|u| {
+            assert_eq!(ie.prefix_sum(u), naive.prefix_sum(u), "Sum at {u:?}");
+            assert_eq!(ie.get(u), naive.get(u), "density at {u:?}");
+        });
+    }
+
+    #[test]
+    fn monotone_detects_axis_growth() {
+        let s = UnrollSpace::new(3, &[0, 1], 2);
+        let mut grows = Table::filled(s.clone(), 1);
+        grows.finalize();
+        assert!(grows.is_monotone());
+        let mut dips = Table::filled(s, 0);
+        dips.add(&[1, 1], -2);
+        dips.finalize();
+        assert!(!dips.is_monotone());
+    }
+
+    #[test]
+    #[should_panic(expected = "finalized")]
+    fn mutation_after_finalize_panics() {
+        let mut t = Table::filled(UnrollSpace::new(2, &[0], 2), 0);
+        t.finalize();
+        t.add(&[1], 1);
     }
 
     #[test]

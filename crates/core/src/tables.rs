@@ -15,14 +15,44 @@
 //! targets **separable SIV** references; [`CostTables::siv`] reports
 //! whether a nest qualifies.  Where the up-set region structure breaks
 //! (line chains, reverse providers, provider switches), construction
-//! falls back to exact Möbius tabulation of the analytic evaluator —
-//! see DESIGN.md §5.
+//! falls back to exact tabulation of the analytic evaluator, storing
+//! the `Sum` values directly ([`Table::from_sums`]) — see DESIGN.md §5.
+//!
+//! Every table this module returns is **finalized** (a summed-area
+//! table), so each `prefix_sum` query downstream is a single lookup;
+//! merge solves are memoized per construction, keyed by the leader-pair
+//! difference `Δc` (identical deltas recur across pairs).
 
 use crate::space::{Table, UnrollSpace};
 use crate::streams;
+use std::collections::HashMap;
 use ujam_ir::LoopNest;
 use ujam_linalg::{solve_unique, Mat, SolveOutcome};
 use ujam_reuse::{group_spatial_sets, has_self_spatial, has_self_temporal, Localized, UgsSet};
+
+/// Memoizes [`merge_point`] solves within one table construction, keyed
+/// by the leader-pair delta — `H` and the space are fixed per set, and
+/// identical deltas are re-solved many times across leader pairs.
+struct MergeMemo {
+    cache: HashMap<Vec<i64>, Option<(Vec<u32>, i64)>>,
+}
+
+impl MergeMemo {
+    fn new() -> MergeMemo {
+        MergeMemo {
+            cache: HashMap::new(),
+        }
+    }
+
+    fn solve(&mut self, h: &Mat, delta: &[i64], space: &UnrollSpace) -> Option<(Vec<u32>, i64)> {
+        if let Some(hit) = self.cache.get(delta) {
+            return hit.clone();
+        }
+        let solved = merge_point(h, delta, space);
+        self.cache.insert(delta.to_vec(), solved.clone());
+        solved
+    }
+}
 
 /// Solves the merge equation `H·x = delta` with `x` supported on the
 /// unrolled loops and the innermost loop.  Returns the unroll components
@@ -102,6 +132,7 @@ pub fn gts_table(set: &UgsSet, space: &UnrollSpace) -> Table {
     let groups = streams::original_streams(set, depth);
     let self_points = self_merge_points(set.h(), space);
     let mut t = Table::filled(space.clone(), groups.len() as i64);
+    let mut memo = MergeMemo::new();
 
     for (j, gj) in groups.iter().enumerate() {
         let cj = &set.members()[gj[0].0].c;
@@ -112,7 +143,7 @@ pub fn gts_table(set: &UgsSet, space: &UnrollSpace) -> Table {
             }
             let ci = &set.members()[gi[0].0].c;
             let delta: Vec<i64> = cj.iter().zip(ci).map(|(a, b)| a - b).collect();
-            if let Some((point, _)) = merge_point(set.h(), &delta, space) {
+            if let Some((point, _)) = memo.solve(set.h(), &delta, space) {
                 if point.iter().any(|&p| p > 0) {
                     points.push(point);
                 }
@@ -120,6 +151,7 @@ pub fn gts_table(set: &UgsSet, space: &UnrollSpace) -> Table {
         }
         t.add_upset_union(&points, -1);
     }
+    t.finalize();
     t
 }
 
@@ -139,12 +171,12 @@ pub fn gss_table(set: &UgsSet, space: &UnrollSpace, line_elems: i64) -> Table {
     // Line *chains*: an unrolled loop that drives the first (contiguous)
     // subscript walks copies along cache lines, and the greedy leader walk
     // over the combined value stream does not decompose into up-sets.
-    // Tabulate such sets exactly by direct counting, inverted back into
-    // per-offset contributions (Möbius inversion over the offset lattice)
-    // so the prefix-sum interface is preserved.
+    // Tabulate such sets exactly by direct counting, storing the counts
+    // as already-finalized sums so the prefix-sum interface (and its O(1)
+    // query cost) is preserved.
     let chained = space.loops().iter().any(|&lp| h[(0, lp)] != 0);
     if chained {
-        return mobius_table(space, |u| {
+        return Table::from_sums(space.clone(), |u| {
             streams::gss_count_at(set, space, u, depth, line_elems) as i64
         });
     }
@@ -154,6 +186,7 @@ pub fn gss_table(set: &UgsSet, space: &UnrollSpace, line_elems: i64) -> Table {
     let mut t = Table::filled(space.clone(), groups.len() as i64);
 
     let self_points = self_merge_points(h, space);
+    let mut memo: HashMap<Vec<i64>, Option<Vec<u32>>> = HashMap::new();
     for (j, gj) in groups.iter().enumerate() {
         let cj = &set.members()[gj[0]].c;
         let mut points = self_points.clone();
@@ -163,40 +196,18 @@ pub fn gss_table(set: &UgsSet, space: &UnrollSpace, line_elems: i64) -> Table {
             }
             let ci = &set.members()[gi[0]].c;
             let delta: Vec<i64> = cj.iter().zip(ci).map(|(a, b)| a - b).collect();
-            if let Some(point) = spatial_merge_point(h, &delta, space, inner, line_elems) {
+            let point = memo
+                .entry(delta)
+                .or_insert_with_key(|d| spatial_merge_point(h, d, space, inner, line_elems));
+            if let Some(point) = point {
                 if point.iter().any(|&p| p > 0) {
-                    points.push(point);
+                    points.push(point.clone());
                 }
             }
         }
         t.add_upset_union(&points, -1);
     }
-    t
-}
-
-/// Builds a table whose prefix sums reproduce `count` exactly, by
-/// inclusion–exclusion over the offset lattice:
-/// `T[u] = Σ_{s ⊆ dims} (−1)^{|s|} count(u − e_s)`.
-fn mobius_table(space: &UnrollSpace, count: impl Fn(&[u32]) -> i64) -> Table {
-    let mut t = Table::filled(space.clone(), 0);
-    let dims = space.dims();
-    for u in space.offsets() {
-        let mut v = 0i64;
-        'subsets: for mask in 0..(1u32 << dims) {
-            let mut shifted = u.clone();
-            for (d, s) in shifted.iter_mut().enumerate().take(dims) {
-                if mask & (1 << d) != 0 {
-                    if *s == 0 {
-                        continue 'subsets;
-                    }
-                    *s -= 1;
-                }
-            }
-            let sign = if mask.count_ones() % 2 == 0 { 1 } else { -1 };
-            v += sign * count(&shifted);
-        }
-        t.add(&u, v);
-    }
+    t.finalize();
     t
 }
 
@@ -308,6 +319,7 @@ pub fn rrs_tables(nest: &LoopNest, space: &UnrollSpace) -> RrsTables {
 /// context caches one partition per nest and shares it across passes).
 pub fn rrs_tables_from(sets: &[UgsSet], depth: usize, space: &UnrollSpace) -> RrsTables {
     let mut use_led = Table::filled(space.clone(), 0);
+    use_led.finalize(); // zeros; per-set contributions accumulate as sums
     let mut stores_per_copy = 0i64;
 
     for set in sets {
@@ -323,17 +335,15 @@ pub fn rrs_tables_from(sets: &[UgsSet], depth: usize, space: &UnrollSpace) -> Rr
         // offset touches the shared cells earlier — makes absorption depend
         // on the query box, not just the copy offset, so the up-set region
         // algorithm cannot express it (the merge comes "from above").
-        // Tabulate such sets exactly by Möbius inversion instead.
+        // Tabulate such sets exactly, directly in the `Sum` domain.
         if has_reverse_provider(set, space, depth) {
-            let exact = mobius_table(space, |u| {
+            use_led.accumulate(&Table::from_sums(space.clone(), |u| {
                 streams::ugs_loads_at(set, space, u, depth) as i64
-            });
-            for o in space.offsets() {
-                use_led.add(&o, exact.get(&o));
-            }
+            }));
             continue;
         }
 
+        let mut memo = MergeMemo::new();
         let groups = streams::original_streams(set, depth);
         for (g_idx, g) in groups.iter().enumerate() {
             // Sort members by touch order (key desc, reference order asc).
@@ -357,7 +367,7 @@ pub fn rrs_tables_from(sets: &[UgsSet], depth: usize, space: &UnrollSpace) -> Rr
                             // at `u' − x_unroll` and touches `x_inner`
                             // iterations earlier than the leader; it
                             // provides when it touches no later.
-                            if let Some((point, inner_val)) = merge_point(set.h(), &delta, space) {
+                            if let Some((point, inner_val)) = memo.solve(set.h(), &delta, space) {
                                 if inner_val >= 0 && point.iter().any(|&p| p > 0) {
                                     points.push(point);
                                 }
@@ -366,9 +376,8 @@ pub fn rrs_tables_from(sets: &[UgsSet], depth: usize, space: &UnrollSpace) -> Rr
                     }
                     let mut contrib = Table::filled(space.clone(), 1);
                     contrib.add_upset_union(&points, -1);
-                    for o in space.offsets() {
-                        use_led.add(&o, contrib.get(&o));
-                    }
+                    contrib.finalize();
+                    use_led.accumulate(&contrib);
                 }
             }
         }
@@ -417,6 +426,7 @@ fn merge_point_raw(h: &Mat, delta: &[i64], space: &UnrollSpace) -> Option<(Vec<i
 /// is tabulated exactly by Möbius inversion instead (see DESIGN.md §5).
 fn has_reverse_provider(set: &UgsSet, space: &UnrollSpace, _depth: usize) -> bool {
     let members = set.members();
+    let mut memo: HashMap<Vec<i64>, Option<(Vec<i64>, i64)>> = HashMap::new();
     for j in members {
         for m in members {
             // `m` as a candidate provider for `j`: the solve is over
@@ -426,7 +436,10 @@ fn has_reverse_provider(set: &UgsSet, space: &UnrollSpace, _depth: usize) -> boo
             if delta.iter().all(|&d| d == 0) {
                 continue;
             }
-            let Some((x, inner_val)) = merge_point_raw(set.h(), &delta, space) else {
+            let solved = memo
+                .entry(delta)
+                .or_insert_with_key(|d| merge_point_raw(set.h(), d, space));
+            let Some((x, inner_val)) = solved.clone() else {
                 continue;
             };
             let has_neg = x.iter().any(|&v| v < 0);
@@ -450,15 +463,15 @@ fn has_reverse_provider(set: &UgsSet, space: &UnrollSpace, _depth: usize) -> boo
 /// provider): the common stencil-read case that actually drives register
 /// pressure.  Everything else — defs re-splitting streams, invariant
 /// sets, line chains, reverse providers, provider switches (the paper's
-/// Figure 6) — falls back to exact Möbius tabulation of the analytic
-/// count, preserving the prefix-sum interface.
+/// Figure 6) — falls back to exact tabulation of the analytic count in
+/// the `Sum` domain, preserving the prefix-sum interface.
 pub fn reg_table(set: &UgsSet, space: &UnrollSpace) -> Table {
     let depth = space.depth();
     let h = set.h();
     let inner_col: Vec<i64> = h.col(depth - 1);
 
     let analytic_fallback = || {
-        mobius_table(space, |u| {
+        Table::from_sums(space.clone(), |u| {
             streams::ugs_registers_at(set, space, u, depth) as i64
         })
     };
@@ -511,13 +524,14 @@ pub fn reg_table(set: &UgsSet, space: &UnrollSpace) -> Table {
         shift: i64,
     }
     let mut merges: Vec<Merge> = Vec::new();
+    let mut memo = MergeMemo::new();
     for (j, sj) in infos.iter().enumerate() {
         for (i, si) in infos.iter().enumerate() {
             if i == j {
                 continue;
             }
             let delta: Vec<i64> = si.c.iter().zip(&sj.c).map(|(a, b)| a - b).collect();
-            if let Some((point, inner_val)) = merge_point(h, &delta, space) {
+            if let Some((point, inner_val)) = memo.solve(h, &delta, space) {
                 // Provider below and earlier-or-equal in touch order.
                 if inner_val >= 0 && point.iter().any(|&p| p > 0) {
                     merges.push(Merge {
@@ -558,6 +572,7 @@ pub fn reg_table(set: &UgsSet, space: &UnrollSpace) -> Table {
         let delta = merged_cost - base_cost(si) - base_cost(sj);
         t.add_upset_union(std::slice::from_ref(&m.point), delta);
     }
+    t.finalize();
     t
 }
 
@@ -574,6 +589,9 @@ pub struct CostTables {
     /// Per-UGS register tables (Figure 7).
     registers: Vec<Table>,
     siv: bool,
+    /// Whether every register table's sums are axis-monotone — the
+    /// soundness condition for up-set pruning in the search.
+    registers_monotone: bool,
 }
 
 impl CostTables {
@@ -615,7 +633,8 @@ impl CostTables {
             })
             .collect();
         let rrs = rrs_tables_from(sets, nest.depth(), space);
-        let registers = sets.iter().map(|set| reg_table(set, space)).collect();
+        let registers: Vec<Table> = sets.iter().map(|set| reg_table(set, space)).collect();
+        let registers_monotone = registers.iter().all(Table::is_monotone);
         CostTables {
             space: space.clone(),
             flops_per_copy: nest.flops_per_iter(),
@@ -623,6 +642,7 @@ impl CostTables {
             gss,
             registers,
             siv,
+            registers_monotone,
         }
     }
 
@@ -670,6 +690,38 @@ impl CostTables {
     pub fn registers(&self, u: &[u32]) -> i64 {
         self.registers.iter().map(|t| t.prefix_sum(u)).sum()
     }
+
+    /// `true` when [`CostTables::registers`] is monotone in `u` (every
+    /// per-UGS register table's sums grow along every axis) — checked
+    /// once at build time.  When it holds, a candidate over the register
+    /// budget rules out its entire up-set, so the search may prune
+    /// whole subtrees without changing the winner.
+    pub fn registers_monotone(&self) -> bool {
+        self.registers_monotone
+    }
+
+    /// A copy of these tables back in the density domain, so every query
+    /// re-enumerates its box — the seed's O(N)-per-query behaviour.
+    /// Exists for the `search_scaling` bench and round-trip tests; the
+    /// optimizer never uses it.
+    pub fn definalized(&self) -> CostTables {
+        CostTables {
+            space: self.space.clone(),
+            flops_per_copy: self.flops_per_copy,
+            rrs: RrsTables {
+                use_led: self.rrs.use_led.definalized(),
+                stores_per_copy: self.rrs.stores_per_copy,
+            },
+            gss: self
+                .gss
+                .iter()
+                .map(|(f, t)| (*f, t.definalized()))
+                .collect(),
+            registers: self.registers.iter().map(Table::definalized).collect(),
+            siv: self.siv,
+            registers_monotone: self.registers_monotone,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -684,35 +736,35 @@ mod tests {
         for set in &sets {
             let gts = gts_table(set, &space);
             let gss = gss_table(set, &space, line);
-            for u in space.offsets() {
+            space.for_each_offset(|u| {
                 assert_eq!(
-                    gts.prefix_sum(&u),
-                    gts_count_at(set, &space, &u, nest.depth()) as i64,
+                    gts.prefix_sum(u),
+                    gts_count_at(set, &space, u, nest.depth()) as i64,
                     "GTS mismatch for {} at {u:?}",
                     set.array()
                 );
                 assert_eq!(
-                    gss.prefix_sum(&u),
-                    gss_count_at(set, &space, &u, nest.depth(), line) as i64,
+                    gss.prefix_sum(u),
+                    gss_count_at(set, &space, u, nest.depth(), line) as i64,
                     "GSS mismatch for {} at {u:?}",
                     set.array()
                 );
-            }
+            });
         }
         let rrs = rrs_tables(nest, &space);
-        for u in space.offsets() {
-            let analytic = replacement_counts_at(nest, &space, &u);
+        space.for_each_offset(|u| {
+            let analytic = replacement_counts_at(nest, &space, u);
             assert_eq!(
-                rrs.loads(&u),
+                rrs.loads(u),
                 analytic.loads as i64,
                 "loads mismatch at {u:?}"
             );
             assert_eq!(
-                rrs.stores(&u),
+                rrs.stores(u),
                 analytic.stores as i64,
                 "stores mismatch at {u:?}"
             );
-        }
+        });
     }
 
     #[test]
@@ -817,24 +869,24 @@ mod reg_table_tests {
         let space = UnrollSpace::new(nest.depth(), loops, bound);
         for set in UgsSet::partition(nest) {
             let t = reg_table(&set, &space);
-            for u in space.offsets() {
+            space.for_each_offset(|u| {
                 assert_eq!(
-                    t.prefix_sum(&u),
-                    ugs_registers_at(&set, &space, &u, nest.depth()) as i64,
+                    t.prefix_sum(u),
+                    ugs_registers_at(&set, &space, u, nest.depth()) as i64,
                     "registers mismatch for {} at {u:?}",
                     set.array()
                 );
-            }
+            });
         }
         // And the whole-nest query agrees with the analytic evaluator.
         let ct = CostTables::build(nest, &space, 4);
-        for u in space.offsets() {
+        space.for_each_offset(|u| {
             assert_eq!(
-                ct.registers(&u),
-                streams::replacement_counts_at(nest, &space, &u).registers as i64,
+                ct.registers(u),
+                streams::replacement_counts_at(nest, &space, u).registers as i64,
                 "CostTables registers @ {u:?}"
             );
-        }
+        });
     }
 
     #[test]

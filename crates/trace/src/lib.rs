@@ -62,6 +62,12 @@ pub enum Verdict {
     /// transformation would need a clean-up loop; the table-driven
     /// search skips such vectors.
     PrunedDivisibility,
+    /// Skipped without measurement because a dominated candidate (one
+    /// component-wise ≤ this vector) already exceeded the register
+    /// budget and the register tables are monotone, so this vector must
+    /// exceed it too.  Emitted only by the up-set-pruning table search;
+    /// the matching `search.pruned_upset` counter totals them.
+    PrunedUpset,
     /// The candidate body could not be materialised (brute-force search
     /// only: the transform itself failed for this vector).
     Infeasible,
@@ -71,12 +77,14 @@ pub enum Verdict {
 
 impl Verdict {
     /// The stable lower-snake-case wire name (`won`, `pruned_registers`,
-    /// `pruned_divisibility`, `infeasible`, `dominated`).
+    /// `pruned_divisibility`, `pruned_upset`, `infeasible`,
+    /// `dominated`).
     pub fn as_str(&self) -> &'static str {
         match self {
             Verdict::Won => "won",
             Verdict::PrunedRegisters => "pruned_registers",
             Verdict::PrunedDivisibility => "pruned_divisibility",
+            Verdict::PrunedUpset => "pruned_upset",
             Verdict::Infeasible => "infeasible",
             Verdict::Dominated => "dominated",
         }
@@ -423,6 +431,7 @@ mod tests {
             Verdict::PrunedDivisibility.to_string(),
             "pruned_divisibility"
         );
+        assert_eq!(Verdict::PrunedUpset.to_string(), "pruned_upset");
         assert_eq!(Verdict::Infeasible.to_string(), "infeasible");
         assert_eq!(Verdict::Dominated.to_string(), "dominated");
     }

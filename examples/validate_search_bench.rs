@@ -1,0 +1,100 @@
+//! CI helper: validates a `search_scaling` bench document
+//! (`BENCH_search.json`).
+//!
+//! Reads the file named by the first argument (or stdin when absent),
+//! parses it with the in-tree strict JSON parser, and checks the schema
+//! the bench promises: a `rows` array over strictly growing spaces, the
+//! three engine timings per row, agreement of all three winners, and a
+//! self-consistent speedup ratio.  Exits non-zero with a message on any
+//! violation — `ci.sh` runs this against a fresh quick-mode run.
+
+use std::io::Read;
+use std::process::ExitCode;
+use ujam::trace::json::{self, Value};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(summary) => {
+            println!("search bench OK: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("invalid search bench document: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<String, String> {
+    let text = match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path:?}: {e}"))?
+        }
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buf
+        }
+    };
+    let doc = json::parse(&text)?;
+
+    if doc.get("bench").and_then(Value::as_str) != Some("search_scaling") {
+        return Err("bench field must be \"search_scaling\"".to_string());
+    }
+    for field in ["kernel", "machine", "model"] {
+        if doc.get(field).and_then(Value::as_str).is_none() {
+            return Err(format!("missing string field {field:?}"));
+        }
+    }
+    if !matches!(doc.get("quick"), Some(Value::Bool(_))) {
+        return Err("missing boolean field \"quick\"".to_string());
+    }
+
+    let rows = doc
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or("missing rows array")?;
+    if rows.is_empty() {
+        return Err("rows array is empty".to_string());
+    }
+    let mut last_space = 0.0;
+    for (i, row) in rows.iter().enumerate() {
+        let num = |field: &str| {
+            row.get(field)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("row {i}: missing numeric field {field:?}"))
+        };
+        let space = num("space")?;
+        if space <= last_space {
+            return Err(format!("row {i}: spaces must strictly grow"));
+        }
+        last_space = space;
+        num("bound")?;
+        let naive = num("naive_ns")?;
+        let summed = num("summed_area_ns")?;
+        let pruned_ns = num("pruned_ns")?;
+        let pruned = num("pruned_upset")?;
+        if naive <= 0.0 || summed <= 0.0 || pruned_ns <= 0.0 {
+            return Err(format!("row {i}: timings must be positive"));
+        }
+        if pruned < 0.0 || pruned >= space {
+            return Err(format!("row {i}: pruned_upset out of range"));
+        }
+        if row.get("winner").and_then(Value::as_array).is_none() {
+            return Err(format!("row {i}: missing winner array"));
+        }
+        if row.get("winners_agree") != Some(&Value::Bool(true)) {
+            return Err(format!("row {i}: engines must agree on the winner"));
+        }
+        let speedup = num("speedup_naive_over_summed")?;
+        if (speedup - naive / summed).abs() > 0.01 * speedup {
+            return Err(format!("row {i}: speedup inconsistent with timings"));
+        }
+    }
+    Ok(format!(
+        "{} rows, largest space {last_space:.0}",
+        rows.len()
+    ))
+}
