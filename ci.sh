@@ -22,3 +22,21 @@ cargo run --release --offline --quiet --example validate_trace -- /tmp/ujam_trac
 cargo bench --offline --workspace --no-run
 cargo bench --offline -p ujam-bench --bench search_scaling -- --quick --out /tmp/ujam_bench_search.json
 cargo run --release --offline --quiet --example validate_search_bench -- /tmp/ujam_bench_search.json
+
+# Serve smoke test: three NDJSON requests through the daemon's stdin — a
+# kernel request, its exact duplicate (must be cache-served with an
+# identical decision), and one malformed line (must get a structured
+# error reply, not a dropped connection).  --batch 1 keeps the duplicate
+# strictly after the original so the cache hit is deterministic.
+printf '%s\n' \
+  '{"id":"1","kernel":"dmxpy0"}' \
+  '{"id":"2","kernel":"dmxpy0"}' \
+  'this is not json' \
+  | ./target/release/ujam serve --workers 2 --batch 1 > /tmp/ujam_serve_replies.ndjson
+cargo run --release --offline --quiet --example validate_serve -- /tmp/ujam_serve_replies.ndjson
+
+# Semantics fuzz: the fixed default seed makes this run deterministic;
+# it enumerates every applicable unroll vector over a 200-nest synthetic
+# corpus and interprets original vs transformed (and scalar-replaced)
+# nests cell-for-cell.
+cargo test -q --offline --test semantics_fuzz

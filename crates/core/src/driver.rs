@@ -3,7 +3,9 @@
 //! apply.
 
 use crate::balance::{loop_balance, BalanceInputs};
-use crate::pipeline::{AnalysisCtx, ApplyTransform, OptimizeError, Pass, SearchSpace, SelectLoops};
+use crate::pipeline::{
+    AnalysisCtx, ApplyTransform, CancelToken, OptimizeError, Pass, SearchSpace, SelectLoops,
+};
 use crate::space::UnrollSpace;
 use ujam_ir::LoopNest;
 use ujam_machine::MachineModel;
@@ -141,7 +143,47 @@ pub fn optimize_traced(
     model: CostModel,
     sink: &dyn TraceSink,
 ) -> Result<Optimized, OptimizeError> {
-    let mut ctx = AnalysisCtx::with_sink(nest, machine, sink)?;
+    optimize_cancellable(nest, machine, model, sink, CancelToken::never())
+}
+
+/// [`optimize_traced`] under a cooperative [`CancelToken`]: every pass
+/// checks the token at entry and the search stages poll it at candidate
+/// granularity, so a fired token (an explicit [`CancelToken::cancel`] or
+/// an elapsed deadline) surfaces as
+/// [`OptimizeError::DeadlineExceeded`] within a bounded amount of extra
+/// work.  With [`CancelToken::never`] this is exactly
+/// [`optimize_traced`].
+///
+/// Cancellation never yields a partial plan: the result is either the
+/// same `Optimized` an uncancelled run would return, or the structured
+/// error — which is what lets a serving layer cache every `Ok` without
+/// poisoning.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use ujam_core::{optimize_cancellable, CancelToken, CostModel, OptimizeError};
+/// use ujam_ir::NestBuilder;
+/// use ujam_machine::MachineModel;
+/// let nest = NestBuilder::new("intro")
+///     .array("A", &[242]).array("B", &[242])
+///     .loop_("J", 1, 240).loop_("I", 1, 240)
+///     .stmt("A(J) = A(J) + B(I)")
+///     .build();
+/// let expired = CancelToken::with_deadline(Duration::ZERO);
+/// let err = optimize_cancellable(&nest, &MachineModel::dec_alpha(),
+///                                CostModel::CacheAware, ujam_trace::null_sink(), expired);
+/// assert_eq!(err.unwrap_err(), OptimizeError::DeadlineExceeded);
+/// ```
+pub fn optimize_cancellable(
+    nest: &LoopNest,
+    machine: &MachineModel,
+    model: CostModel,
+    sink: &dyn TraceSink,
+    cancel: CancelToken,
+) -> Result<Optimized, OptimizeError> {
+    let mut ctx = AnalysisCtx::with_sink_and_cancel(nest, machine, sink, cancel)?;
     let space = SelectLoops.run_traced(&mut ctx)?;
     finish(&mut ctx, &space, model)
 }

@@ -96,12 +96,13 @@ pub mod tables;
 
 pub use balance::{loop_balance, BalanceInputs};
 pub use driver::{
-    optimize, optimize_in_space, optimize_in_space_with, optimize_traced, optimize_with, CostModel,
-    Optimized, Prediction,
+    optimize, optimize_cancellable, optimize_in_space, optimize_in_space_with, optimize_traced,
+    optimize_with, CostModel, Optimized, Prediction,
 };
 pub use pipeline::{
     optimize_batch, optimize_batch_traced, optimize_batch_traced_with_workers, optimize_batch_with,
-    optimize_batch_with_workers, search_tables, AnalysisCtx, CtxStats, CtxTimings, OptimizeError,
+    optimize_batch_with_workers, parallel_map_indexed, search_tables, AnalysisCtx, CancelToken,
+    CtxStats, CtxTimings, OptimizeError,
 };
 pub use space::{OffsetIter, Table, UnrollSpace};
 pub use tables::{gss_table, gts_table, rrs_tables, CostTables, RrsTables};

@@ -136,7 +136,9 @@ pub fn optimize_batch_traced_with_workers(
 /// evaluated, never the contents of the returned vector — which is what
 /// lets both the batch driver above and the parallel
 /// [`crate::pipeline::BruteSearch`] keep bitwise-deterministic results.
-pub(crate) fn parallel_map_indexed<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+/// Exposed publicly so higher layers (e.g. a serving front end) can fan
+/// independent requests across the same deterministic worker pool.
+pub fn parallel_map_indexed<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,

@@ -1,0 +1,175 @@
+//! Cooperative cancellation for long-running optimizations.
+//!
+//! A serving layer cannot afford an unbounded search: a request either
+//! finishes inside its deadline or must give the worker back.  The
+//! pipeline's passes are pure and cheap to abandon, so cancellation is
+//! *cooperative*: a [`CancelToken`] is threaded through the
+//! [`super::AnalysisCtx`] and checked at pass boundaries and — inside
+//! the two search stages, where the real time goes — at candidate
+//! granularity.  A fired token surfaces as
+//! [`super::OptimizeError::DeadlineExceeded`]; no partial plan escapes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many candidates a search walk scores between deadline checks.
+/// Flag checks are a single relaxed atomic load and happen every
+/// candidate; `Instant::now` is costlier, so the clock is only consulted
+/// once per stride.  Table-search candidates cost well over a
+/// microsecond each, so a stride of 32 bounds deadline overshoot to a
+/// few tens of microseconds.
+pub(crate) const DEADLINE_CHECK_STRIDE: u32 = 32;
+
+/// Shared state behind cancellable tokens.
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cheap, clonable handle that tells a running optimization to stop.
+///
+/// Tokens are either *inert* (the default — [`CancelToken::never`], zero
+/// overhead beyond one branch) or carry shared state: an explicit flag
+/// raised by [`CancelToken::cancel`], an absolute deadline, or both.
+/// All clones observe the same state, so a server can hand one clone to
+/// the pipeline and keep another to revoke the request.
+///
+/// # Example
+///
+/// ```
+/// use ujam_core::CancelToken;
+/// use std::time::Duration;
+///
+/// let never = CancelToken::never();
+/// assert!(!never.is_cancelled());
+///
+/// let token = CancelToken::new();
+/// let watcher = token.clone();
+/// token.cancel();
+/// assert!(watcher.is_cancelled());
+///
+/// let expired = CancelToken::with_deadline(Duration::ZERO);
+/// assert!(expired.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// A token that never fires.  This is the default for every
+    /// non-serving entry point; checking it is a single `None` branch.
+    pub fn never() -> CancelToken {
+        CancelToken { inner: None }
+    }
+
+    /// A manually-fired token: inert until [`CancelToken::cancel`] is
+    /// called on any clone.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+            })),
+        }
+    }
+
+    /// A token that fires once `budget` has elapsed (measured from now),
+    /// or when any clone calls [`CancelToken::cancel`] — whichever comes
+    /// first.  A zero budget is already expired.
+    pub fn with_deadline(budget: Duration) -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: Some(Instant::now() + budget),
+            })),
+        }
+    }
+
+    /// Fires the token: every clone reports cancelled from now on.
+    /// Inert ([`CancelToken::never`]) tokens ignore this.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the token has fired — explicitly or by deadline.
+    pub fn is_cancelled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => {
+                inner.flag.load(Ordering::Relaxed)
+                    || inner.deadline.is_some_and(|d| {
+                        // Latch deadline expiry into the flag so later
+                        // checks (and other clones) skip the clock.
+                        let expired = Instant::now() >= d;
+                        if expired {
+                            inner.flag.store(true, Ordering::Relaxed);
+                        }
+                        expired
+                    })
+            }
+        }
+    }
+
+    /// Whether the explicit flag is already raised, without consulting
+    /// the clock.  The search walks call this every candidate and fall
+    /// back to the full [`CancelToken::is_cancelled`] (clock included)
+    /// once per [`DEADLINE_CHECK_STRIDE`] candidates.
+    pub(crate) fn flag_raised(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => inner.flag.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether this token can ever fire (i.e. is not
+    /// [`CancelToken::never`]).
+    pub fn can_cancel(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_never_fires() {
+        let t = CancelToken::never();
+        t.cancel();
+        assert!(!t.is_cancelled());
+        assert!(!t.can_cancel());
+        assert!(!t.flag_raised());
+    }
+
+    #[test]
+    fn cancel_is_visible_to_every_clone() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert!(c.flag_raised());
+    }
+
+    #[test]
+    fn zero_deadline_is_already_expired() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.can_cancel());
+        assert!(t.is_cancelled());
+        // Expiry latches into the flag for cheap re-checks.
+        assert!(t.flag_raised());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire_early() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled(), "explicit cancel overrides the deadline");
+    }
+}

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Instant;
 
-use crate::pipeline::OptimizeError;
+use crate::pipeline::{CancelToken, OptimizeError};
 use crate::space::UnrollSpace;
 use crate::tables::CostTables;
 use ujam_dep::{safe_unroll_bounds, DepGraph};
@@ -105,6 +105,7 @@ pub struct AnalysisCtx<'a> {
     nest: &'a LoopNest,
     machine: &'a MachineModel,
     sink: &'a dyn TraceSink,
+    cancel: CancelToken,
     dep_graph: Option<DepGraph>,
     safe_bounds: Option<Vec<u32>>,
     ugs: Option<Vec<UgsSet>>,
@@ -148,14 +149,33 @@ impl<'a> AnalysisCtx<'a> {
         machine: &'a MachineModel,
         sink: &'a dyn TraceSink,
     ) -> Result<AnalysisCtx<'a>, OptimizeError> {
+        AnalysisCtx::with_sink_and_cancel(nest, machine, sink, CancelToken::never())
+    }
+
+    /// [`AnalysisCtx::with_sink`] with a cancellation token: every pass
+    /// checks it at entry, and the search stages additionally check it
+    /// at candidate granularity, so a fired token surfaces as
+    /// [`OptimizeError::DeadlineExceeded`] within a bounded amount of
+    /// work.  A token that is already fired fails here, before any
+    /// analysis runs.
+    pub fn with_sink_and_cancel(
+        nest: &'a LoopNest,
+        machine: &'a MachineModel,
+        sink: &'a dyn TraceSink,
+        cancel: CancelToken,
+    ) -> Result<AnalysisCtx<'a>, OptimizeError> {
         nest.validate().map_err(OptimizeError::InvalidNest)?;
         if nest.depth() == 0 {
             return Err(OptimizeError::EmptyNest);
+        }
+        if cancel.is_cancelled() {
+            return Err(OptimizeError::DeadlineExceeded);
         }
         Ok(AnalysisCtx {
             nest,
             machine,
             sink,
+            cancel,
             dep_graph: None,
             safe_bounds: None,
             ugs: None,
@@ -185,6 +205,22 @@ impl<'a> AnalysisCtx<'a> {
     /// checks before constructing a record.
     pub fn tracing(&self) -> bool {
         self.sink.enabled()
+    }
+
+    /// The cancellation token the pipeline cooperates with.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Fails with [`OptimizeError::DeadlineExceeded`] once the context's
+    /// token has fired.  Every pass calls this at entry; the search
+    /// stages also poll mid-walk.
+    pub fn check_cancelled(&self) -> Result<(), OptimizeError> {
+        if self.cancel.is_cancelled() {
+            Err(OptimizeError::DeadlineExceeded)
+        } else {
+            Ok(())
+        }
     }
 
     /// Build/hit counters proving each analysis runs at most once.

@@ -45,13 +45,15 @@
 //! fast path.
 
 mod batch;
+mod cancel;
 mod ctx;
 mod pass;
 
 pub use batch::{
     optimize_batch, optimize_batch_traced, optimize_batch_traced_with_workers, optimize_batch_with,
-    optimize_batch_with_workers,
+    optimize_batch_with_workers, parallel_map_indexed,
 };
+pub use cancel::CancelToken;
 pub use ctx::{AnalysisCtx, CtxStats, CtxTimings};
 pub use pass::{
     search_tables, ApplyTransform, BruteSearch, BuildTables, Pass, SearchOutcome, SearchSpace,
@@ -82,6 +84,11 @@ pub enum OptimizeError {
     },
     /// The chosen transformation could not be applied to the nest.
     Transform(TransformError),
+    /// The optimization was cancelled — its [`CancelToken`] fired (an
+    /// explicit revocation or an elapsed deadline) before the pipeline
+    /// finished.  The work already done is discarded; no partial plan is
+    /// returned and nothing may be cached from the attempt.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for OptimizeError {
@@ -94,6 +101,9 @@ impl fmt::Display for OptimizeError {
                 "unroll space depth {space} does not match nest depth {nest}"
             ),
             OptimizeError::Transform(e) => write!(f, "transform failed: {e}"),
+            OptimizeError::DeadlineExceeded => {
+                write!(f, "optimization cancelled: deadline exceeded")
+            }
         }
     }
 }

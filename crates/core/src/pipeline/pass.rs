@@ -7,6 +7,7 @@ use crate::balance::{loop_balance, BalanceInputs};
 use crate::brute::measure_candidate;
 use crate::driver::{CostModel, Prediction};
 use crate::pipeline::batch::parallel_map_indexed;
+use crate::pipeline::cancel::{CancelToken, DEADLINE_CHECK_STRIDE};
 use crate::pipeline::{AnalysisCtx, OptimizeError};
 use crate::space::UnrollSpace;
 use crate::tables::CostTables;
@@ -65,6 +66,7 @@ impl Pass for SelectLoops {
     }
 
     fn run(&self, ctx: &mut AnalysisCtx<'_>) -> Result<UnrollSpace, OptimizeError> {
+        ctx.check_cancelled()?;
         let depth = ctx.nest().depth();
         let line = ctx.machine().line_elems();
         let bounds = ctx.safe_bounds().to_vec();
@@ -124,6 +126,7 @@ impl Pass for BuildTables {
     }
 
     fn run(&self, ctx: &mut AnalysisCtx<'_>) -> Result<Rc<CostTables>, OptimizeError> {
+        ctx.check_cancelled()?;
         ctx.tables(&self.space)
     }
 }
@@ -153,12 +156,15 @@ struct CandidateFate {
 }
 
 /// What [`search_over`] found: the winning offset, its measured inputs
-/// (`None` when nothing beat `u = 0`), and how many candidates were
-/// skipped by monotone up-set pruning.
+/// (`None` when nothing beat `u = 0`), how many candidates were skipped
+/// by monotone up-set pruning, and whether the walk was abandoned by a
+/// fired [`CancelToken`] (in which case the other fields are partial
+/// and the caller must surface [`OptimizeError::DeadlineExceeded`]).
 struct SearchResult {
     best: Vec<u32>,
     best_inputs: Option<BalanceInputs>,
     pruned_upset: usize,
+    cancelled: bool,
 }
 
 /// Shared search objective (§3.3): minimize `|β − β_M|` subject to the
@@ -179,6 +185,7 @@ struct SearchResult {
 /// function returns — and the rest say why they lost (`dominated`),
 /// were pruned (`pruned_registers`, `pruned_divisibility`,
 /// `pruned_upset`), or could not be measured (`infeasible`).
+#[allow(clippy::too_many_arguments)]
 fn search_over(
     machine: &MachineModel,
     space: &UnrollSpace,
@@ -187,6 +194,7 @@ fn search_over(
     divisible: impl Fn(&[u32]) -> bool,
     prune_upsets: bool,
     explain: Option<&mut Vec<CandidateFate>>,
+    cancel: &CancelToken,
 ) -> SearchResult {
     // suffix[d] = how many offsets one subtree at level d spans — the
     // closed-form size of a pruned sibling subtree.
@@ -210,6 +218,9 @@ fn search_over(
         best_score: (f64::INFINITY, usize::MAX),
         best_rec: None,
         pruned_upset: 0,
+        cancel,
+        visits: 0,
+        cancelled: false,
     };
     walk.descend(0);
     let Walk {
@@ -218,6 +229,7 @@ fn search_over(
         best_inputs,
         best_rec,
         pruned_upset,
+        cancelled,
         ..
     } = walk;
     if let Some(records) = explain {
@@ -236,6 +248,7 @@ fn search_over(
         best,
         best_inputs,
         pruned_upset,
+        cancelled,
     }
 }
 
@@ -256,6 +269,9 @@ struct Walk<'a, 's, I, B, D> {
     best_score: (f64, usize),
     best_rec: Option<usize>,
     pruned_upset: usize,
+    cancel: &'s CancelToken,
+    visits: u32,
+    cancelled: bool,
 }
 
 impl<I, B, D> Walk<'_, '_, I, B, D>
@@ -269,6 +285,12 @@ where
     /// all-zero suffix) exceeded the register budget — the signal that
     /// every candidate dominating it can be skipped.
     fn descend(&mut self, d: usize) -> bool {
+        if self.cancelled {
+            // A fired token unwinds the whole recursion without visiting
+            // (or recording) anything further; the partial result is
+            // discarded by the caller.
+            return false;
+        }
         if d == self.space.dims() {
             return self.visit();
         }
@@ -337,6 +359,16 @@ where
     /// Scores the candidate at `u`.  Returns true when it is over the
     /// register budget and pruning is on (the up-set skip signal).
     fn visit(&mut self) -> bool {
+        // Candidate-granularity cancellation: the explicit flag is one
+        // relaxed load and is polled every candidate; the deadline clock
+        // only every `DEADLINE_CHECK_STRIDE`-th.
+        self.visits = self.visits.wrapping_add(1);
+        if self.cancel.flag_raised()
+            || (self.visits.is_multiple_of(DEADLINE_CHECK_STRIDE) && self.cancel.is_cancelled())
+        {
+            self.cancelled = true;
+            return false;
+        }
         if !(self.divisible)(&self.u) {
             self.fate(None, None, Verdict::PrunedDivisibility);
             return false;
@@ -408,6 +440,7 @@ impl Pass for SearchSpace {
     }
 
     fn run(&self, ctx: &mut AnalysisCtx<'_>) -> Result<SearchOutcome, OptimizeError> {
+        ctx.check_cancelled()?;
         let tables = BuildTables {
             space: self.space.clone(),
         }
@@ -450,7 +483,11 @@ impl Pass for SearchSpace {
             divisible,
             prune,
             fates.as_mut(),
+            ctx.cancel_token(),
         );
+        if found.cancelled {
+            return Err(OptimizeError::DeadlineExceeded);
+        }
         if ctx.tracing() {
             ctx.sink().record(TraceRecord::counter(
                 ctx.nest().name(),
@@ -513,6 +550,7 @@ pub fn search_tables(
         divisible,
         prune && tables.registers_monotone(),
         None,
+        &CancelToken::never(),
     );
     (found.best, found.pruned_upset)
 }
@@ -537,6 +575,7 @@ impl Pass for BruteSearch {
     }
 
     fn run(&self, ctx: &mut AnalysisCtx<'_>) -> Result<SearchOutcome, OptimizeError> {
+        ctx.check_cancelled()?;
         let nest = ctx.nest();
         let machine = ctx.machine();
         let space = &self.space;
@@ -562,10 +601,20 @@ impl Pass for BruteSearch {
         let workers = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1);
+        let cancel = ctx.cancel_token();
         let measured: Vec<Option<BalanceInputs>> =
             parallel_map_indexed(offsets.len(), workers, |i| {
+                // Candidate-granularity cancellation: materialising a
+                // body is the expensive unit here, so skip the remaining
+                // ones as soon as the token fires (measure errors and
+                // skips are both `None`; the post-walk check below turns
+                // a fired token into the structured error).
+                if cancel.is_cancelled() {
+                    return None;
+                }
                 measure_candidate(nest, &space.full_vector(&offsets[i]), machine).ok()
             });
+        ctx.check_cancelled()?;
         let mut fates = ctx.tracing().then(Vec::new);
         let found = search_over(
             machine,
@@ -575,7 +624,11 @@ impl Pass for BruteSearch {
             |_| true,
             false,
             fates.as_mut(),
+            cancel,
         );
+        if found.cancelled {
+            return Err(OptimizeError::DeadlineExceeded);
+        }
         if let Some(fates) = fates {
             emit_explains(ctx, self.name(), space, fates);
         }
@@ -604,6 +657,7 @@ impl Pass for ApplyTransform {
     }
 
     fn run(&self, ctx: &mut AnalysisCtx<'_>) -> Result<LoopNest, OptimizeError> {
+        ctx.check_cancelled()?;
         unroll_and_jam(ctx.nest(), &self.unroll).map_err(OptimizeError::Transform)
     }
 }

@@ -62,26 +62,41 @@ fn run_level<'a>(
     state: &mut ExecState,
 ) {
     if level == nest.depth() {
-        for stmt in nest.body() {
-            let value = eval(stmt.rhs(), env, state);
-            match stmt.lhs() {
-                Lhs::Array(a) => {
-                    let sub = a.eval(env);
-                    state.cells.insert((a.array().to_string(), sub), value);
-                }
-                Lhs::Scalar(s) => {
-                    state.scalars.insert(s.clone(), value);
-                }
-            }
-        }
+        exec_stmts(nest.body(), env, state);
         return;
     }
     let l = &nest.loops()[level];
+    // The prologue/epilogue bracket each *instance* of the innermost
+    // loop: they run with the outer induction variables bound but the
+    // innermost one out of scope (its iterations are pinned to
+    // constants by the transformation that emitted them).
+    let innermost = level + 1 == nest.depth();
+    if innermost {
+        exec_stmts(nest.prologue(), env, state);
+    }
     for v in l.values() {
         env.insert(l.var(), v);
         run_level(nest, level + 1, env, state);
     }
     env.remove(l.var());
+    if innermost {
+        exec_stmts(nest.epilogue(), env, state);
+    }
+}
+
+fn exec_stmts(stmts: &[crate::nest::Stmt], env: &BTreeMap<&str, i64>, state: &mut ExecState) {
+    for stmt in stmts {
+        let value = eval(stmt.rhs(), env, state);
+        match stmt.lhs() {
+            Lhs::Array(a) => {
+                let sub = a.eval(env);
+                state.cells.insert((a.array().to_string(), sub), value);
+            }
+            Lhs::Scalar(s) => {
+                state.scalars.insert(s.clone(), value);
+            }
+        }
+    }
 }
 
 fn eval(e: &Expr, env: &BTreeMap<&str, i64>, state: &ExecState) -> f64 {

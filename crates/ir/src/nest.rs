@@ -301,13 +301,20 @@ pub struct RefInfo {
 /// A perfect affine loop nest: the program unit unroll-and-jam operates on.
 ///
 /// Loops are ordered outermost first; the body is a straight-line sequence
-/// of assignments executed in the innermost loop.
+/// of assignments executed in the innermost loop.  A transformation may
+/// additionally attach a *prologue* and *epilogue*: statements executed
+/// once per innermost-loop instance, immediately before its first and
+/// after its last iteration (scalar replacement uses them to prime and
+/// drain register temporaries).  Analyses deliberately ignore both — the
+/// steady-state body is what the balance and register models measure.
 #[derive(Clone, Debug, PartialEq)]
 pub struct LoopNest {
     name: String,
     arrays: Vec<ArrayDecl>,
     loops: Vec<Loop>,
     body: Vec<Stmt>,
+    prologue: Vec<Stmt>,
+    epilogue: Vec<Stmt>,
 }
 
 impl LoopNest {
@@ -318,6 +325,8 @@ impl LoopNest {
             arrays,
             loops,
             body,
+            prologue: Vec::new(),
+            epilogue: Vec::new(),
         }
     }
 
@@ -359,6 +368,28 @@ impl LoopNest {
     /// Mutable body (used by transformations).
     pub fn body_mut(&mut self) -> &mut Vec<Stmt> {
         &mut self.body
+    }
+
+    /// Statements executed once per innermost-loop instance, before its
+    /// first iteration (e.g. scalar-replacement priming loads).
+    pub fn prologue(&self) -> &[Stmt] {
+        &self.prologue
+    }
+
+    /// Mutable prologue (used by transformations).
+    pub fn prologue_mut(&mut self) -> &mut Vec<Stmt> {
+        &mut self.prologue
+    }
+
+    /// Statements executed once per innermost-loop instance, after its
+    /// last iteration (e.g. scalar-replacement draining stores).
+    pub fn epilogue(&self) -> &[Stmt] {
+        &self.epilogue
+    }
+
+    /// Mutable epilogue (used by transformations).
+    pub fn epilogue_mut(&mut self) -> &mut Vec<Stmt> {
+        &mut self.epilogue
     }
 
     /// Loop-variable names, outermost first.

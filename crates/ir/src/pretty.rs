@@ -1,6 +1,6 @@
 //! Fortran-flavoured pretty printing of loop nests.
 
-use crate::nest::{Lhs, LoopNest};
+use crate::nest::{Lhs, LoopNest, Stmt};
 use std::fmt;
 
 impl fmt::Display for LoopNest {
@@ -14,8 +14,17 @@ impl fmt::Display for LoopNest {
     ///         ENDDO
     ///       ENDDO
     /// ```
+    ///
+    /// A prologue prints between the second-innermost header and the
+    /// innermost `DO`; an epilogue prints right after the innermost
+    /// `ENDDO` — where the statements actually execute.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (depth, l) in self.loops().iter().enumerate() {
+            if depth + 1 == self.depth() {
+                for stmt in self.prologue() {
+                    write_stmt(f, depth, stmt)?;
+                }
+            }
             indent(f, depth)?;
             if l.step() == 1 {
                 writeln!(f, "DO {} = {}, {}", l.var(), l.lower(), l.upper())?;
@@ -31,17 +40,26 @@ impl fmt::Display for LoopNest {
             }
         }
         for stmt in self.body() {
-            indent(f, self.depth())?;
-            match stmt.lhs() {
-                Lhs::Array(a) => writeln!(f, "{a} = {}", stmt.rhs())?,
-                Lhs::Scalar(s) => writeln!(f, "{s} = {}", stmt.rhs())?,
-            }
+            write_stmt(f, self.depth(), stmt)?;
         }
         for depth in (0..self.depth()).rev() {
             indent(f, depth)?;
             writeln!(f, "ENDDO")?;
+            if depth + 1 == self.depth() {
+                for stmt in self.epilogue() {
+                    write_stmt(f, depth, stmt)?;
+                }
+            }
         }
         Ok(())
+    }
+}
+
+fn write_stmt(f: &mut fmt::Formatter<'_>, depth: usize, stmt: &Stmt) -> fmt::Result {
+    indent(f, depth)?;
+    match stmt.lhs() {
+        Lhs::Array(a) => writeln!(f, "{a} = {}", stmt.rhs()),
+        Lhs::Scalar(s) => writeln!(f, "{s} = {}", stmt.rhs()),
     }
 }
 

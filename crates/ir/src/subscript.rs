@@ -89,6 +89,18 @@ impl AffineSub {
         }
     }
 
+    /// Substitutes `var := value`, removing the term and folding its
+    /// contribution into the offset (no-op if `var` is absent).
+    ///
+    /// Scalar replacement uses this to materialise prologue loads: the
+    /// innermost induction variable is pinned to a concrete iteration
+    /// number, leaving a subscript valid outside the loop.
+    pub fn bind_var(&mut self, var: &str, value: i64) {
+        if let Some(c) = self.terms.remove(var) {
+            self.offset += c * value;
+        }
+    }
+
     /// Evaluates the subscript at a concrete index assignment.
     ///
     /// # Panics

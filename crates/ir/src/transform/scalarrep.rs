@@ -24,9 +24,15 @@
 //! * emits the register-rotation copies (`t2 = t1; t1 = t0`) that carry
 //!   values across iterations.
 //!
-//! The emitted code is steady-state code: prologue loads that would
-//! initialise the rotating registers for the first few iterations are not
-//! materialised (the analysis is asymptotic, matching the paper's model).
+//! The emitted *body* is steady-state code — what the balance and register
+//! models measure (the analysis is asymptotic, matching the paper's model).
+//! Execution semantics are nonetheless preserved exactly: the transformation
+//! attaches a prologue (priming loads that initialise the rotating
+//! registers and invariant temporaries before the first innermost
+//! iteration) and an epilogue (the hoisted stores that drain invariant
+//! temporaries back to memory) to the nest, which the interpreter runs
+//! once per innermost-loop instance.  Neither contributes to
+//! [`ReplacementStats`]: their cost amortises to zero per iteration.
 
 use crate::expr::Expr;
 use crate::nest::{Lhs, LoopNest, RefId, Stmt};
@@ -67,7 +73,8 @@ impl ReplacementStats {
 /// Result of scalar replacement: the rewritten nest plus its statistics.
 #[derive(Clone, Debug)]
 pub struct ScalarReplaced {
-    /// The transformed nest (steady-state body).
+    /// The transformed nest: steady-state body plus the priming
+    /// prologue and draining epilogue that make it semantics-preserving.
     pub nest: LoopNest,
     /// Counts for the balance model.
     pub stats: ReplacementStats,
@@ -118,6 +125,24 @@ pub fn scalar_replacement(nest: &LoopNest) -> ScalarReplaced {
         ..ReplacementStats::default()
     };
 
+    let all_refs = nest.refs();
+    let aref_of = |id: RefId| {
+        all_refs
+            .iter()
+            .find(|r| r.id == id)
+            .expect("stream refs come from nest.refs()")
+            .aref
+            .clone()
+    };
+    let inner = &nest.loops()[nest.depth() - 1];
+    let inner_var = inner.var().to_string();
+    let (inner_lo, inner_step) = (inner.lower(), inner.step());
+    // Statements bracketing each innermost-loop instance.  Subscripts pin
+    // the innermost variable to a constant via `bind_var`, so they are
+    // valid outside the loop.
+    let mut prologue: Vec<Stmt> = Vec::new();
+    let mut epilogue: Vec<Stmt> = Vec::new();
+
     // Plan the rewrite: for each RefId, what happens to it.
     #[derive(Clone)]
     enum Action {
@@ -151,6 +176,16 @@ pub fn scalar_replacement(nest: &LoopNest) -> ScalarReplaced {
                     stats.hoisted_loads += 1;
                     plan.insert(r.id, Action::UseTemp(temp.clone()));
                 }
+            }
+            // Prime the register before the loop and drain it after: the
+            // invariant address is the same for every ref in the stream.
+            let mut aref = aref_of(stream.refs[0].id);
+            for d in aref.dims_mut() {
+                d.bind_var(&inner_var, inner_lo);
+            }
+            prologue.push(Stmt::assign_scalar(&temp, Expr::Ref(aref.clone())));
+            if stream.refs.iter().any(|r| r.is_def) {
+                epilogue.push(Stmt::assign(aref, Expr::Scalar(temp.clone())));
             }
             continue;
         }
@@ -199,6 +234,17 @@ pub fn scalar_replacement(nest: &LoopNest) -> ScalarReplaced {
             }
             for k in (1..=span).rev() {
                 rotations.push((format!("{base}_{k}"), format!("{base}_{}", k - 1)));
+            }
+            // Prime the rotating registers: at the first iteration the
+            // lag-k member reads the cell the generator touches k
+            // iterations before the loop starts — load it from memory.
+            let leader_aref = aref_of(leader.id);
+            for k in 1..=span {
+                let mut aref = leader_aref.clone();
+                for d in aref.dims_mut() {
+                    d.bind_var(&inner_var, inner_lo - k as i64 * inner_step);
+                }
+                prologue.push(Stmt::assign_scalar(&format!("{base}_{k}"), Expr::Ref(aref)));
             }
         }
     }
@@ -249,6 +295,8 @@ pub fn scalar_replacement(nest: &LoopNest) -> ScalarReplaced {
         new_body.push(Stmt::assign_scalar(&dst, Expr::Scalar(src)));
     }
     *out.body_mut() = new_body;
+    out.prologue_mut().extend(prologue);
+    out.epilogue_mut().extend(epilogue);
 
     ScalarReplaced { nest: out, stats }
 }

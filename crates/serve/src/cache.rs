@@ -1,0 +1,250 @@
+//! A content-addressed, LRU-evicting decision cache.
+//!
+//! The key is the *content* of the problem, not the request: the nest's
+//! canonical rendering plus the machine model and cost model
+//! ([`decision_key`]).  Two clients submitting the same loop under
+//! different names or ids therefore share one entry, and an inline
+//! `source` request hits the entry a `kernel` request warmed.
+//!
+//! Only successful decisions are stored.  Errors — parse failures,
+//! invalid nests, and especially [`DeadlineExceeded`] — are never
+//! inserted, so a request that was cancelled halfway cannot poison the
+//! cache for a later caller with a looser deadline.
+//!
+//! [`DeadlineExceeded`]: ujam_core::OptimizeError::DeadlineExceeded
+
+use std::collections::{BTreeMap, HashMap};
+use ujam_core::{CostModel, Optimized};
+use ujam_ir::LoopNest;
+use ujam_machine::MachineModel;
+
+/// The cached part of a successful optimization: everything an
+/// [`OkReply`](crate::proto::OkReply) needs except the request id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Decision {
+    /// The nest's name.
+    pub nest: String,
+    /// The chosen unroll vector.
+    pub unroll: Vec<u32>,
+    /// Predicted balance at the chosen vector.
+    pub balance: f64,
+    /// Predicted balance of the untransformed nest.
+    pub original_balance: f64,
+    /// Registers consumed by scalar replacement.
+    pub registers: i64,
+}
+
+impl Decision {
+    /// Extracts the cacheable decision from an optimizer result.
+    pub fn from_plan(plan: &Optimized) -> Decision {
+        Decision {
+            nest: plan.nest.name().to_string(),
+            unroll: plan.unroll.clone(),
+            balance: plan.predicted.balance,
+            original_balance: plan.original.balance,
+            registers: plan.predicted.registers,
+        }
+    }
+}
+
+/// Builds the content-addressed key for a problem instance.
+///
+/// The nest's `Display` rendering is canonical (loop order, bounds, and
+/// statement text all appear), and the machine/model `Debug` renderings
+/// pin every parameter that can change the decision.  Deadlines are
+/// deliberately *not* part of the key: a decision is a pure function of
+/// the problem, so a cached answer is valid however little time the next
+/// caller has.
+pub fn decision_key(nest: &LoopNest, machine: &MachineModel, model: CostModel) -> String {
+    format!("{nest}\u{0}{machine:?}\u{0}{model:?}")
+}
+
+/// Hit/miss/eviction counters, readable at any time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+}
+
+/// A bounded LRU map from [`decision_key`] to [`Decision`].
+///
+/// Recency is a monotonic tick per entry; the eviction side keeps a
+/// `BTreeMap<tick, key>` mirror so both lookup and eviction are
+/// `O(log n)`.
+#[derive(Debug)]
+pub struct DecisionCache {
+    capacity: usize,
+    entries: HashMap<String, (u64, Decision)>,
+    recency: BTreeMap<u64, String>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl DecisionCache {
+    /// An empty cache holding at most `capacity` decisions.  A zero
+    /// capacity disables storage (every lookup misses, inserts are
+    /// dropped) without disabling the counters.
+    pub fn new(capacity: usize) -> DecisionCache {
+        DecisionCache {
+            capacity,
+            entries: HashMap::new(),
+            recency: BTreeMap::new(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks up a decision, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &str) -> Option<Decision> {
+        match self.entries.get_mut(key) {
+            Some((tick, decision)) => {
+                self.stats.hits += 1;
+                self.recency.remove(tick);
+                self.tick += 1;
+                *tick = self.tick;
+                self.recency.insert(self.tick, key.to_string());
+                Some(decision.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a decision, evicting the least recently used entry when
+    /// full.  Re-inserting an existing key refreshes it in place.
+    pub fn insert(&mut self, key: String, decision: Decision) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some((old_tick, _)) = self.entries.get(&key) {
+            self.recency.remove(old_tick);
+        } else if self.entries.len() >= self.capacity {
+            if let Some((&oldest, _)) = self.recency.iter().next() {
+                let victim = self.recency.remove(&oldest).expect("tick present");
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.tick += 1;
+        self.recency.insert(self.tick, key.clone());
+        self.entries.insert(key, (self.tick, decision));
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(name: &str) -> Decision {
+        Decision {
+            nest: name.into(),
+            unroll: vec![1, 0],
+            balance: 0.5,
+            original_balance: 1.0,
+            registers: 4,
+        }
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mut c = DecisionCache::new(4);
+        assert_eq!(c.get("k"), None);
+        c.insert("k".into(), d("k"));
+        assert_eq!(c.get("k").expect("hit").nest, "k");
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn eviction_removes_the_least_recently_used() {
+        let mut c = DecisionCache::new(2);
+        c.insert("a".into(), d("a"));
+        c.insert("b".into(), d("b"));
+        assert!(c.get("a").is_some()); // refresh a → b is now LRU
+        c.insert("c".into(), d("c"));
+        assert_eq!(c.len(), 2);
+        assert!(c.get("b").is_none(), "b should have been evicted");
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_evicting() {
+        let mut c = DecisionCache::new(2);
+        c.insert("a".into(), d("a"));
+        c.insert("b".into(), d("b"));
+        c.insert("a".into(), d("a2"));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get("a").expect("a lives").nest, "a2");
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let mut c = DecisionCache::new(0);
+        c.insert("a".into(), d("a"));
+        assert!(c.is_empty());
+        assert_eq!(c.get("a"), None);
+    }
+
+    #[test]
+    fn keys_are_content_addressed() {
+        use ujam_ir::NestBuilder;
+        let build = |name: &str| {
+            NestBuilder::new(name)
+                .array("A", &[32])
+                .array("B", &[32])
+                .loop_("J", 1, 8)
+                .loop_("I", 1, 8)
+                .stmt("A(J) = A(J) + B(I)")
+                .build()
+        };
+        let alpha = MachineModel::dec_alpha();
+        // Same content, same name → same key; different machine or model
+        // → different key.
+        assert_eq!(
+            decision_key(&build("n"), &alpha, CostModel::CacheAware),
+            decision_key(&build("n"), &alpha, CostModel::CacheAware)
+        );
+        assert_ne!(
+            decision_key(&build("n"), &alpha, CostModel::CacheAware),
+            decision_key(&build("n"), &alpha, CostModel::AllHits)
+        );
+        assert_ne!(
+            decision_key(&build("n"), &alpha, CostModel::CacheAware),
+            decision_key(
+                &build("n"),
+                &MachineModel::hp_parisc(),
+                CostModel::CacheAware
+            )
+        );
+    }
+}

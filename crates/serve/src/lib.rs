@@ -1,0 +1,50 @@
+//! `ujam-serve` — a batched, deadline-aware optimization service over
+//! the `ujam-core` pipeline.
+//!
+//! The optimizer is fast, but real users ask for the same decisions over
+//! and over: build systems re-optimizing an unchanged kernel, sweeps
+//! re-visiting a nest under the same machine model.  This crate wraps
+//! the pipeline in a long-running daemon that answers newline-delimited
+//! JSON requests (see [`proto`]) and makes repeated work free:
+//!
+//! * **content-addressed decision cache** ([`cache`]) — keyed by the
+//!   nest's canonical text plus the machine and cost model, so identical
+//!   problems share one entry no matter how they were submitted; LRU
+//!   eviction, hit/miss/evict counters through `ujam-trace`;
+//! * **micro-batching worker pool** ([`Server::run`]) — pipelined
+//!   requests are drained into batches and fanned across the same
+//!   deterministic `parallel_map_indexed` pool the batch optimizer
+//!   uses, replies always in request order;
+//! * **per-request deadlines** — `deadline_ms` arms a
+//!   [`CancelToken`](ujam_core::CancelToken) that the search passes poll
+//!   at candidate granularity; an elapsed deadline answers with a
+//!   structured `deadline_exceeded` error and caches nothing;
+//! * **total error discipline** — malformed JSON, unknown kernels,
+//!   unparsable Fortran, invalid nests, and even optimizer panics each
+//!   produce a structured error reply; the daemon never dies on input.
+//!
+//! # Example
+//!
+//! ```
+//! use ujam_serve::{ServeConfig, Server};
+//!
+//! let server = Server::new(ServeConfig::default(), ujam_trace::null_sink());
+//! let mut out = Vec::new();
+//! let requests = "{\"id\":\"1\",\"kernel\":\"dmxpy1\"}\n{\"id\":\"2\",\"kernel\":\"dmxpy1\"}\n";
+//! server.run(std::io::Cursor::new(requests), &mut out).unwrap();
+//! let text = String::from_utf8(out).unwrap();
+//! assert_eq!(text.lines().count(), 2); // one reply per request, in order
+//! assert!(text.lines().all(|l| l.contains("\"ok\":true")));
+//! assert!(text.lines().nth(1).unwrap().contains("\"cached\":true")); // duplicate
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod proto;
+mod server;
+
+pub use cache::{decision_key, CacheStats, Decision, DecisionCache};
+pub use proto::{ErrorKind, ErrorReply, OkReply, Reply, Request, Source};
+pub use server::{ServeConfig, Server};

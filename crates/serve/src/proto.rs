@@ -1,0 +1,367 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one reply per line, always in request order.
+//! Requests:
+//!
+//! ```json
+//! {"id":"r1","kernel":"dmxpy1"}
+//! {"id":"r2","source":"      DO 10 J = 1, 240\n...","deadline_ms":50}
+//! ```
+//!
+//! Exactly one of `kernel` (a Table 2 name) or `source` (inline Fortran)
+//! selects the nest; `machine` (`alpha`/`parisc`/`prefetch`), `model`
+//! (`cache`/`allhits`), and `deadline_ms` are optional.  Replies are
+//! either
+//!
+//! ```json
+//! {"id":"r1","ok":true,"nest":"dmxpy1","unroll":[15,0],"balance":0.533,
+//!  "original_balance":1.0,"registers":16,"cached":false}
+//! ```
+//!
+//! or a structured error that names what went wrong without ever taking
+//! the daemon down:
+//!
+//! ```json
+//! {"id":"r2","ok":false,"error":{"kind":"parse","message":"...","line":3}}
+//! ```
+//!
+//! Malformed lines (bad JSON, missing `id`, unknown fields) still get a
+//! reply — with `"id":null` when no id could be recovered — so a client
+//! that pipelines `n` lines always reads exactly `n` replies.
+
+use ujam_core::CostModel;
+use ujam_machine::MachineModel;
+use ujam_trace::json::{self, Value};
+
+/// Which nest a request wants optimized.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Source {
+    /// A kernel name from the Table 2 suite (`ujam list`).
+    Kernel(String),
+    /// Inline Fortran-77 source holding one DO nest.
+    Inline(String),
+}
+
+/// A parsed, validated optimization request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Client-chosen request id, echoed verbatim in the reply.
+    pub id: String,
+    /// The nest to optimize.
+    pub source: Source,
+    /// Target machine (default DEC Alpha).
+    pub machine: MachineModel,
+    /// Cost model (default cache-aware).
+    pub model: CostModel,
+    /// Optional deadline in milliseconds; `Some(0)` is already expired.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Machine-readable failure categories for error replies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line was not a well-formed request object.
+    BadRequest,
+    /// Inline Fortran source failed to parse.
+    Parse,
+    /// The named kernel is not in the suite.
+    UnknownKernel,
+    /// The nest failed structural validation or could not be transformed.
+    InvalidNest,
+    /// The request's deadline elapsed before a plan was found.
+    DeadlineExceeded,
+    /// The optimizer failed unexpectedly; the daemon kept running.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The `error.kind` string on the wire.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Parse => "parse",
+            ErrorKind::UnknownKernel => "unknown_kernel",
+            ErrorKind::InvalidNest => "invalid_nest",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// A structured error reply.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ErrorReply {
+    /// The request id, when one could be recovered from the line.
+    pub id: Option<String>,
+    /// Failure category.
+    pub kind: ErrorKind,
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line for [`ErrorKind::Parse`] errors.
+    pub line: Option<usize>,
+}
+
+/// A successful reply: the decision, not the transformed body — clients
+/// that want the rewritten nest re-run `ujam optimize` locally with the
+/// reported vector.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OkReply {
+    /// The request id, echoed.
+    pub id: String,
+    /// The nest's name.
+    pub nest: String,
+    /// The chosen unroll vector, one entry per loop.
+    pub unroll: Vec<u32>,
+    /// Predicted balance at the chosen vector.
+    pub balance: f64,
+    /// Predicted balance of the untransformed nest.
+    pub original_balance: f64,
+    /// Registers consumed by scalar replacement at the chosen vector.
+    pub registers: i64,
+    /// Whether the decision was served from the cache.
+    pub cached: bool,
+}
+
+/// One reply line, success or failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// The optimization succeeded.
+    Ok(OkReply),
+    /// The request failed in a structured way.
+    Error(ErrorReply),
+}
+
+impl Reply {
+    /// Renders the reply as a single JSON line (no trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        match self {
+            Reply::Ok(r) => {
+                out.push_str("{\"id\":");
+                json::write_escaped(&mut out, &r.id);
+                out.push_str(",\"ok\":true,\"nest\":");
+                json::write_escaped(&mut out, &r.nest);
+                out.push_str(",\"unroll\":[");
+                for (i, u) in r.unroll.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&u.to_string());
+                }
+                out.push_str("],\"balance\":");
+                json::write_f64(&mut out, r.balance);
+                out.push_str(",\"original_balance\":");
+                json::write_f64(&mut out, r.original_balance);
+                out.push_str(",\"registers\":");
+                out.push_str(&r.registers.to_string());
+                out.push_str(",\"cached\":");
+                out.push_str(if r.cached { "true" } else { "false" });
+                out.push('}');
+            }
+            Reply::Error(e) => {
+                out.push_str("{\"id\":");
+                match &e.id {
+                    Some(id) => json::write_escaped(&mut out, id),
+                    None => out.push_str("null"),
+                }
+                out.push_str(",\"ok\":false,\"error\":{\"kind\":");
+                json::write_escaped(&mut out, e.kind.as_str());
+                out.push_str(",\"message\":");
+                json::write_escaped(&mut out, &e.message);
+                if let Some(line) = e.line {
+                    out.push_str(",\"line\":");
+                    out.push_str(&line.to_string());
+                }
+                out.push_str("}}");
+            }
+        }
+        out
+    }
+}
+
+/// Shorthand for a [`Reply::Error`] with no source line.
+pub(crate) fn error_reply(id: Option<&str>, kind: ErrorKind, message: impl Into<String>) -> Reply {
+    Reply::Error(ErrorReply {
+        id: id.map(str::to_owned),
+        kind,
+        message: message.into(),
+        line: None,
+    })
+}
+
+impl Request {
+    /// Parses one request line.  Every failure is a structured
+    /// [`Reply::Error`] carrying whatever id could be recovered, so the
+    /// caller can always answer the line.
+    pub fn parse(line: &str) -> Result<Request, Reply> {
+        let doc = json::parse(line)
+            .map_err(|e| error_reply(None, ErrorKind::BadRequest, format!("invalid JSON: {e}")))?;
+        let obj = match &doc {
+            Value::Object(m) => m,
+            _ => {
+                return Err(error_reply(
+                    None,
+                    ErrorKind::BadRequest,
+                    "request must be a JSON object",
+                ))
+            }
+        };
+        // Recover the id first so later errors can echo it.
+        let id = match obj.get("id") {
+            Some(Value::String(s)) => s.clone(),
+            Some(_) => {
+                return Err(error_reply(
+                    None,
+                    ErrorKind::BadRequest,
+                    "\"id\" must be a string",
+                ))
+            }
+            None => {
+                return Err(error_reply(
+                    None,
+                    ErrorKind::BadRequest,
+                    "missing \"id\" field",
+                ))
+            }
+        };
+        let fail = |msg: String| error_reply(Some(&id), ErrorKind::BadRequest, msg);
+        for key in obj.keys() {
+            if !matches!(
+                key.as_str(),
+                "id" | "kernel" | "source" | "machine" | "model" | "deadline_ms"
+            ) {
+                return Err(fail(format!("unknown field {key:?}")));
+            }
+        }
+        let source = match (obj.get("kernel"), obj.get("source")) {
+            (Some(Value::String(k)), None) => Source::Kernel(k.clone()),
+            (None, Some(Value::String(s))) => Source::Inline(s.clone()),
+            (Some(_), Some(_)) => {
+                return Err(fail(
+                    "give either \"kernel\" or \"source\", not both".into(),
+                ))
+            }
+            (None, None) => return Err(fail("missing \"kernel\" or \"source\"".into())),
+            _ => return Err(fail("\"kernel\" and \"source\" must be strings".into())),
+        };
+        let machine = match obj.get("machine") {
+            None => MachineModel::dec_alpha(),
+            Some(Value::String(s)) => match s.as_str() {
+                "alpha" => MachineModel::dec_alpha(),
+                "parisc" => MachineModel::hp_parisc(),
+                "prefetch" => MachineModel::prefetching_risc(),
+                other => return Err(fail(format!("unknown machine {other:?}"))),
+            },
+            Some(_) => return Err(fail("\"machine\" must be a string".into())),
+        };
+        let model = match obj.get("model") {
+            None => CostModel::CacheAware,
+            Some(Value::String(s)) => match s.as_str() {
+                "cache" => CostModel::CacheAware,
+                "allhits" => CostModel::AllHits,
+                other => return Err(fail(format!("unknown model {other:?}"))),
+            },
+            Some(_) => return Err(fail("\"model\" must be a string".into())),
+        };
+        let deadline_ms = match obj.get("deadline_ms") {
+            None => None,
+            Some(Value::Number(n)) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            Some(_) => {
+                return Err(fail(
+                    "\"deadline_ms\" must be a non-negative integer".into(),
+                ))
+            }
+        };
+        Ok(Request {
+            id,
+            source,
+            machine,
+            model,
+            deadline_ms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_kernel_request() {
+        let r = Request::parse(r#"{"id":"a","kernel":"dmxpy1"}"#).expect("parses");
+        assert_eq!(r.id, "a");
+        assert_eq!(r.source, Source::Kernel("dmxpy1".into()));
+        assert_eq!(r.machine.name(), MachineModel::dec_alpha().name());
+        assert_eq!(r.model, CostModel::CacheAware);
+        assert_eq!(r.deadline_ms, None);
+    }
+
+    #[test]
+    fn parses_every_optional_field() {
+        let r = Request::parse(
+            r#"{"id":"b","source":"x","machine":"parisc","model":"allhits","deadline_ms":250}"#,
+        )
+        .expect("parses");
+        assert_eq!(r.source, Source::Inline("x".into()));
+        assert_eq!(r.machine.name(), MachineModel::hp_parisc().name());
+        assert_eq!(r.model, CostModel::AllHits);
+        assert_eq!(r.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn malformed_lines_yield_bad_request_with_recovered_id() {
+        for (line, want_id) in [
+            ("not json", None),
+            ("[1,2]", None),
+            (r#"{"kernel":"dmxpy1"}"#, None),
+            (r#"{"id":7,"kernel":"dmxpy1"}"#, None),
+            (r#"{"id":"x"}"#, Some("x")),
+            (r#"{"id":"x","kernel":"a","source":"b"}"#, Some("x")),
+            (r#"{"id":"x","kernel":"a","bogus":1}"#, Some("x")),
+            (r#"{"id":"x","kernel":"a","machine":"cray"}"#, Some("x")),
+            (r#"{"id":"x","kernel":"a","model":"magic"}"#, Some("x")),
+            (r#"{"id":"x","kernel":"a","deadline_ms":-1}"#, Some("x")),
+            (r#"{"id":"x","kernel":"a","deadline_ms":1.5}"#, Some("x")),
+        ] {
+            match Request::parse(line) {
+                Err(Reply::Error(e)) => {
+                    assert_eq!(e.kind, ErrorKind::BadRequest, "{line}");
+                    assert_eq!(e.id.as_deref(), want_id, "{line}");
+                }
+                other => panic!("{line}: expected bad_request, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn replies_render_as_valid_json() {
+        let ok = Reply::Ok(OkReply {
+            id: "q\"uote".into(),
+            nest: "dmxpy1".into(),
+            unroll: vec![15, 0],
+            balance: 0.533,
+            original_balance: 1.0,
+            registers: 16,
+            cached: true,
+        });
+        let doc = json::parse(&ok.render()).expect("ok reply is valid JSON");
+        assert_eq!(doc.get("id").and_then(Value::as_str), Some("q\"uote"));
+        assert_eq!(doc.get("cached"), Some(&Value::Bool(true)));
+        assert_eq!(
+            doc.get("unroll").and_then(Value::as_array).map(<[_]>::len),
+            Some(2)
+        );
+
+        let err = error_reply(None, ErrorKind::BadRequest, "line\nbreak");
+        let doc = json::parse(&err.render()).expect("error reply is valid JSON");
+        assert_eq!(doc.get("id"), Some(&Value::Null));
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Value::as_str),
+            Some("bad_request")
+        );
+    }
+}

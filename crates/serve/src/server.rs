@@ -1,0 +1,416 @@
+//! The request handler and I/O loops.
+//!
+//! [`Server`] is the transport-independent core: `handle_line` answers
+//! one request string, `handle_batch` fans a slice of lines across the
+//! same deterministic worker pool the batch optimizer uses
+//! ([`parallel_map_indexed`]), and `run` is the newline-delimited
+//! stdin/stdout daemon loop with micro-batching — it blocks for the
+//! first pending line, then drains whatever else has already arrived
+//! (up to `batch_max`) into one batch, so a pipelining client gets
+//! parallelism and an interactive client gets per-line latency.
+//!
+//! Every failure mode is a structured reply: the daemon never panics on
+//! a request, and a client that writes `n` lines always reads exactly
+//! `n` replies (blank lines excepted), in order.  On EOF the loop drains
+//! everything already queued before returning, so shutdown never drops
+//! an accepted request.
+
+use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use ujam_core::{optimize_cancellable, parallel_map_indexed, CancelToken, OptimizeError};
+use ujam_ir::LoopNest;
+use ujam_trace::{null_sink, TraceRecord, TraceSink};
+
+use crate::cache::{decision_key, CacheStats, Decision, DecisionCache};
+use crate::proto::{ErrorKind, ErrorReply, OkReply, Reply, Request, Source};
+
+/// Tunables for a [`Server`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads for batch handling (clamped to at least 1).
+    pub workers: usize,
+    /// Most lines folded into one micro-batch.
+    pub batch_max: usize,
+    /// Decision-cache capacity in entries (0 disables storage).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            batch_max: 32,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// The optimization service: request parsing, the decision cache, the
+/// worker pool, and the I/O loops.
+///
+/// # Example
+///
+/// ```
+/// use ujam_serve::{ServeConfig, Server};
+/// let server = Server::new(ServeConfig::default(), ujam_trace::null_sink());
+/// let reply = server.handle_line(r#"{"id":"r1","kernel":"dmxpy1"}"#);
+/// assert!(reply.contains("\"ok\":true"));
+/// // The same content served again comes from the cache.
+/// let again = server.handle_line(r#"{"id":"r2","kernel":"dmxpy1"}"#);
+/// assert!(again.contains("\"cached\":true"));
+/// ```
+pub struct Server<'s> {
+    cfg: ServeConfig,
+    cache: Mutex<DecisionCache>,
+    sink: &'s dyn TraceSink,
+}
+
+impl<'s> Server<'s> {
+    /// A server with the given tunables, reporting its counters
+    /// (`serve.request`, `serve.cache.hit`/`miss`/`evict`,
+    /// `serve.deadline_exceeded`, ...) to `sink`.
+    pub fn new(cfg: ServeConfig, sink: &'s dyn TraceSink) -> Server<'s> {
+        Server {
+            cfg,
+            cache: Mutex::new(DecisionCache::new(cfg.cache_capacity)),
+            sink,
+        }
+    }
+
+    fn count(&self, name: &str, value: u64) {
+        if self.sink.enabled() && value > 0 {
+            self.sink.record(TraceRecord::counter("serve", name, value));
+        }
+    }
+
+    /// Current decision-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache lock").stats()
+    }
+
+    /// Answers one request line with one reply line (no newline).
+    pub fn handle_line(&self, line: &str) -> String {
+        self.count("serve.request", 1);
+        let reply = match Request::parse(line) {
+            Ok(req) => self.process(req),
+            Err(reply) => reply,
+        };
+        match &reply {
+            Reply::Ok(_) => self.count("serve.ok", 1),
+            Reply::Error(e) => {
+                self.count("serve.error", 1);
+                if e.kind == ErrorKind::DeadlineExceeded {
+                    self.count("serve.deadline_exceeded", 1);
+                }
+            }
+        }
+        reply.render()
+    }
+
+    /// Answers a batch of request lines, in order, using up to
+    /// `cfg.workers` threads.  The output is bitwise-identical to
+    /// calling [`Server::handle_line`] on each line sequentially —
+    /// scheduling changes *when* a line is answered, never the answer —
+    /// except for the `cached` flags of duplicates racing within one
+    /// batch.
+    pub fn handle_batch(&self, lines: &[String]) -> Vec<String> {
+        parallel_map_indexed(lines.len(), self.cfg.workers.max(1), |i| {
+            self.handle_line(&lines[i])
+        })
+    }
+
+    /// Resolves the request's nest, or the structured error reply.
+    fn resolve(&self, req: &Request) -> Result<LoopNest, Reply> {
+        match &req.source {
+            Source::Kernel(name) => ujam_kernels::kernel(name).map(|k| k.nest()).ok_or_else(|| {
+                Reply::Error(ErrorReply {
+                    id: Some(req.id.clone()),
+                    kind: ErrorKind::UnknownKernel,
+                    message: format!("unknown kernel {name:?} (try `ujam list`)"),
+                    line: None,
+                })
+            }),
+            Source::Inline(src) => ujam_fortran::parse(src).map_err(|e| {
+                Reply::Error(ErrorReply {
+                    id: Some(req.id.clone()),
+                    kind: ErrorKind::Parse,
+                    message: e.message.clone(),
+                    line: Some(e.line),
+                })
+            }),
+        }
+    }
+
+    fn process(&self, req: Request) -> Reply {
+        let nest = match self.resolve(&req) {
+            Ok(nest) => nest,
+            Err(reply) => return reply,
+        };
+        let key = decision_key(&nest, &req.machine, req.model);
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+            self.count("serve.cache.hit", 1);
+            return ok_reply(&req.id, hit, true);
+        }
+        self.count("serve.cache.miss", 1);
+
+        let cancel = match req.deadline_ms {
+            Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+            None => CancelToken::never(),
+        };
+        // The optimizer returns structured errors for every malformed
+        // input; `catch_unwind` is the last line of defence so that even
+        // a bug in the pipeline answers this one request with an
+        // `internal` error instead of killing the daemon.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            optimize_cancellable(&nest, &req.machine, req.model, null_sink(), cancel)
+        }));
+        let decision = match outcome {
+            Ok(Ok(plan)) => Decision::from_plan(&plan),
+            Ok(Err(e)) => {
+                let kind = match e {
+                    OptimizeError::DeadlineExceeded => ErrorKind::DeadlineExceeded,
+                    _ => ErrorKind::InvalidNest,
+                };
+                return Reply::Error(ErrorReply {
+                    id: Some(req.id),
+                    kind,
+                    message: e.to_string(),
+                    line: None,
+                });
+            }
+            Err(_) => {
+                return Reply::Error(ErrorReply {
+                    id: Some(req.id),
+                    kind: ErrorKind::Internal,
+                    message: "optimizer panicked; the request was dropped".into(),
+                    line: None,
+                });
+            }
+        };
+        // Only successful decisions are cached — an error (above) has
+        // already returned, so a cancelled attempt can never poison the
+        // cache for a caller with a looser deadline.
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            let before = cache.stats().evictions;
+            cache.insert(key, decision.clone());
+            let evicted = cache.stats().evictions - before;
+            drop(cache);
+            self.count("serve.cache.evict", evicted);
+        }
+        ok_reply(&req.id, decision, false)
+    }
+
+    /// The newline-delimited JSON daemon loop.
+    ///
+    /// A reader thread feeds lines into a queue; the main loop blocks
+    /// for the first line, drains up to `batch_max - 1` more that are
+    /// already pending, answers the batch in parallel, and writes the
+    /// replies in input order.  Blank lines are ignored.  On EOF every
+    /// line already read is still answered before the loop returns.
+    pub fn run<R, W>(&self, input: R, output: &mut W) -> std::io::Result<()>
+    where
+        R: BufRead + Send,
+        W: Write,
+    {
+        let (tx, rx) = mpsc::channel::<String>();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for line in input.lines() {
+                    let Ok(line) = line else { break };
+                    if tx.send(line).is_err() {
+                        break;
+                    }
+                }
+                // Dropping `tx` is the EOF signal: `recv` below keeps
+                // returning queued lines, then disconnects.
+            });
+            loop {
+                let Ok(first) = rx.recv() else { return Ok(()) };
+                let mut batch = vec![first];
+                while batch.len() < self.cfg.batch_max.max(1) {
+                    let Ok(line) = rx.try_recv() else { break };
+                    batch.push(line);
+                }
+                batch.retain(|l| !l.trim().is_empty());
+                if batch.is_empty() {
+                    continue;
+                }
+                self.count("serve.batch", 1);
+                for reply in self.handle_batch(&batch) {
+                    writeln!(output, "{reply}")?;
+                }
+                output.flush()?;
+            }
+        })
+    }
+
+    /// Serves connections on a Unix domain socket at `path`, one
+    /// [`Server::run`] loop per connection on its own scoped thread.
+    /// Pre-existing sockets at `path` are replaced.  Runs until the
+    /// listener fails (i.e. for the life of the daemon).
+    #[cfg(unix)]
+    pub fn run_unix(&self, path: &std::path::Path) -> std::io::Result<()> {
+        use std::os::unix::net::UnixListener;
+        if path.exists() {
+            std::fs::remove_file(path)?;
+        }
+        let listener = UnixListener::bind(path)?;
+        std::thread::scope(|scope| {
+            for stream in listener.incoming() {
+                let stream = stream?;
+                scope.spawn(move || {
+                    if let Ok(clone) = stream.try_clone() {
+                        let mut writer = stream;
+                        // A failed connection only ends that connection.
+                        let _ = self.run(std::io::BufReader::new(clone), &mut writer);
+                    }
+                });
+            }
+            Ok(())
+        })
+    }
+}
+
+fn ok_reply(id: &str, d: Decision, cached: bool) -> Reply {
+    Reply::Ok(OkReply {
+        id: id.to_string(),
+        nest: d.nest,
+        unroll: d.unroll,
+        balance: d.balance,
+        original_balance: d.original_balance,
+        registers: d.registers,
+        cached,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ujam_trace::{json, CollectingSink};
+
+    fn server(sink: &dyn TraceSink) -> Server<'_> {
+        Server::new(
+            ServeConfig {
+                workers: 2,
+                batch_max: 8,
+                cache_capacity: 16,
+            },
+            sink,
+        )
+    }
+
+    #[test]
+    fn kernel_request_round_trips_and_caches() {
+        let sink = CollectingSink::new();
+        let s = server(&sink);
+        let first = s.handle_line(r#"{"id":"a","kernel":"dmxpy1"}"#);
+        let doc = json::parse(&first).expect("valid JSON");
+        assert_eq!(doc.get("ok"), Some(&json::Value::Bool(true)));
+        assert_eq!(doc.get("cached"), Some(&json::Value::Bool(false)));
+        let second = s.handle_line(r#"{"id":"b","kernel":"dmxpy1"}"#);
+        let doc = json::parse(&second).expect("valid JSON");
+        assert_eq!(doc.get("cached"), Some(&json::Value::Bool(true)));
+        let stats = s.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        let totals = sink.trace().counter_totals();
+        let total = |name: &str| {
+            totals
+                .iter()
+                .find(|(_, n, _)| n == name)
+                .map(|(_, _, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(total("serve.request"), 2);
+        assert_eq!(total("serve.cache.hit"), 1);
+        assert_eq!(total("serve.cache.miss"), 1);
+        assert_eq!(total("serve.ok"), 2);
+    }
+
+    #[test]
+    fn unknown_kernel_and_parse_errors_are_structured() {
+        let s = server(null_sink());
+        let reply = s.handle_line(r#"{"id":"a","kernel":"nope"}"#);
+        let doc = json::parse(&reply).expect("valid JSON");
+        assert_eq!(doc.get("ok"), Some(&json::Value::Bool(false)));
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(json::Value::as_str),
+            Some("unknown_kernel")
+        );
+        let reply = s.handle_line(r#"{"id":"b","source":"not fortran"}"#);
+        let doc = json::parse(&reply).expect("valid JSON");
+        let err = doc.get("error").expect("error object");
+        assert_eq!(err.get("kind").and_then(json::Value::as_str), Some("parse"));
+        assert!(err.get("line").and_then(json::Value::as_f64).is_some());
+        assert!(s.cache_stats().misses == 0, "errors never touch the cache");
+    }
+
+    #[test]
+    fn zero_deadline_is_rejected_and_not_cached() {
+        let sink = CollectingSink::new();
+        let s = server(&sink);
+        let reply = s.handle_line(r#"{"id":"a","kernel":"dmxpy1","deadline_ms":0}"#);
+        let doc = json::parse(&reply).expect("valid JSON");
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(json::Value::as_str),
+            Some("deadline_exceeded")
+        );
+        // The failed attempt must not have poisoned the cache: the same
+        // content with no deadline computes fresh (a miss, not a hit).
+        let reply = s.handle_line(r#"{"id":"b","kernel":"dmxpy1"}"#);
+        let doc = json::parse(&reply).expect("valid JSON");
+        assert_eq!(doc.get("ok"), Some(&json::Value::Bool(true)));
+        assert_eq!(doc.get("cached"), Some(&json::Value::Bool(false)));
+        let totals = sink.trace().counter_totals();
+        assert!(totals
+            .iter()
+            .any(|(_, n, v)| n == "serve.deadline_exceeded" && *v == 1));
+    }
+
+    #[test]
+    fn inline_source_shares_cache_with_kernel_requests() {
+        let s = server(null_sink());
+        let emitted = ujam_fortran::emit(&ujam_kernels::kernel("dmxpy1").expect("exists").nest());
+        let mut line = String::from(r#"{"id":"a","source":"#);
+        ujam_trace::json::write_escaped(&mut line, &emitted);
+        line.push('}');
+        let first = s.handle_line(&line);
+        assert!(first.contains("\"ok\":true"), "{first}");
+        // The kernel request hits the entry the inline request warmed iff
+        // the emitted source parses back to the identical nest.
+        let roundtrip = ujam_fortran::parse(&emitted).expect("emitted source parses");
+        let direct = ujam_kernels::kernel("dmxpy1").expect("exists").nest();
+        if format!("{roundtrip}") == format!("{direct}") {
+            let second = s.handle_line(r#"{"id":"b","kernel":"dmxpy1"}"#);
+            assert!(second.contains("\"cached\":true"), "{second}");
+        }
+    }
+
+    #[test]
+    fn run_answers_every_line_and_drains_on_eof() {
+        let s = server(null_sink());
+        let input = b"{\"id\":\"1\",\"kernel\":\"dmxpy\"}\n\n{\"id\":\"2\",\"kernel\":\"nope\"}\nnot json\n"
+            .to_vec();
+        let mut out = Vec::new();
+        s.run(std::io::Cursor::new(input), &mut out).expect("io ok");
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "blank line skipped, three replies:\n{text}");
+        for line in &lines {
+            json::parse(line).expect("every reply is valid JSON");
+        }
+        assert!(lines[0].contains("\"id\":\"1\""));
+        assert!(lines[1].contains("unknown_kernel"));
+        assert!(lines[2].contains("\"id\":null"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Robustness of the JSON parser against damaged trace documents.
+//!
+//! The serve daemon and the `--trace=json` consumers both feed
+//! machine-generated documents back through [`ujam_trace::json::parse`].
+//! A damaged document — truncated mid-stream, or corrupted by a flipped
+//! byte — must come back as `Err`, never as a panic, an infinite loop,
+//! a stack overflow, or a bogus `Ok`.
+
+use ujam_trace::{json, ExplainRecord, Trace, TraceRecord, Verdict};
+
+/// A trace exercising every record shape the renderer can emit,
+/// including strings that need escaping.
+fn sample_trace() -> Trace {
+    Trace::new(vec![
+        TraceRecord::span("dmxpy", "select-loops", 1_234),
+        TraceRecord::span("dmxpy", "search-space", 56_789),
+        TraceRecord::counter("dmxpy", "sum.queries", 42),
+        TraceRecord::counter("dmxpy", "serve.cache.hit", 7),
+        TraceRecord::event("dmxpy", "hostile \"quoted\" \\ and control \u{1} text"),
+        TraceRecord::Explain(ExplainRecord {
+            nest: "dmxpy".to_string(),
+            pass: "search-space".to_string(),
+            u: vec![3, 0],
+            beta: Some(1.5),
+            beta_m: 1.0,
+            registers: Some(12),
+            verdict: Verdict::Won,
+        }),
+        TraceRecord::Explain(ExplainRecord {
+            nest: "dmxpy".to_string(),
+            pass: "search-space".to_string(),
+            u: vec![7, 0],
+            beta: None,
+            beta_m: 1.0,
+            registers: None,
+            verdict: Verdict::PrunedDivisibility,
+        }),
+    ])
+}
+
+#[test]
+fn renderer_output_round_trips_through_the_parser() {
+    let t = sample_trace();
+    let doc = json::parse(&t.render_json()).expect("renderer emits valid JSON");
+    for key in ["spans", "counters", "events", "explain"] {
+        assert!(
+            doc.get(key).and_then(json::Value::as_array).is_some(),
+            "missing {key} array"
+        );
+    }
+    let spans = doc.get("spans").and_then(json::Value::as_array).unwrap();
+    assert_eq!(spans.len(), 2);
+    // The hostile event text survives escaping and parses back intact.
+    let events = doc.get("events").and_then(json::Value::as_array).unwrap();
+    let message = events[0]
+        .get("message")
+        .and_then(json::Value::as_str)
+        .expect("message string");
+    assert_eq!(message, "hostile \"quoted\" \\ and control \u{1} text");
+    // The pruned candidate's absent measurements parse back as nulls.
+    let explains = doc.get("explain").and_then(json::Value::as_array).unwrap();
+    assert_eq!(explains[1].get("beta"), Some(&json::Value::Null));
+    assert_eq!(explains[1].get("registers"), Some(&json::Value::Null));
+}
+
+#[test]
+fn every_truncation_of_a_rendered_trace_is_an_error_not_a_panic() {
+    let doc = sample_trace().render_json();
+    let doc = doc.trim_end();
+    for len in 0..doc.len() {
+        if !doc.is_char_boundary(len) {
+            continue;
+        }
+        assert!(
+            json::parse(&doc[..len]).is_err(),
+            "prefix of {len} bytes parsed as a complete document"
+        );
+    }
+}
+
+#[test]
+fn single_byte_mutations_never_panic_or_hang() {
+    let doc = sample_trace().render_json();
+    let bytes = doc.as_bytes();
+    // Swap every position for a handful of hostile bytes; whatever
+    // results must come back as Ok or Err — completing the sweep at all
+    // is the no-panic/no-hang assertion.
+    let (mut accepted, mut rejected) = (0usize, 0usize);
+    for pos in 0..bytes.len() {
+        for evil in [b'"', b'\\', b'{', b']', b':', 0x00, b'9'] {
+            if bytes[pos] == evil {
+                continue;
+            }
+            let mut mutated = bytes.to_vec();
+            mutated[pos] = evil;
+            let Ok(text) = String::from_utf8(mutated) else {
+                continue;
+            };
+            match json::parse(&text) {
+                Ok(_) => accepted += 1,
+                Err(_) => rejected += 1,
+            }
+        }
+    }
+    // Sanity: the sweep exercised both paths (a digit swapped for
+    // another digit stays valid; structural damage must not).
+    assert!(accepted > 0, "no mutation stayed valid");
+    assert!(
+        rejected > accepted,
+        "most mutations must be rejected ({rejected} vs {accepted})"
+    );
+}
+
+#[test]
+fn hostile_non_json_inputs_are_errors() {
+    for input in [
+        "",
+        " ",
+        "null extra",
+        "{\"a\":}",
+        "{\"a\":1,}",
+        "[1,2",
+        "\"unterminated",
+        "\"bad escape \\q\"",
+        "\"bad unicode \\uZZZZ\"",
+        "\"surrogate \\ud800\"",
+        "{\"missing\":1 \"comma\":2}",
+        "nul\u{0}l",
+        "-",
+        "00",
+        "01",
+        "1.",
+        "1e",
+        "{]",
+        "\u{feff}{}",
+    ] {
+        assert!(json::parse(input).is_err(), "accepted {input:?}");
+    }
+}
+
+#[test]
+fn pathological_nesting_is_rejected_not_a_stack_overflow() {
+    // The parser is recursive descent; without a depth bound, input this
+    // deep would crash the daemon rather than answer with an error.
+    let depth = 50_000;
+    let mut doc = "[".repeat(depth);
+    doc.push_str(&"]".repeat(depth));
+    let err = json::parse(&doc).expect_err("pathological nesting rejected");
+    assert!(err.contains("nested too deeply"), "{err}");
+
+    // Sane nesting (far deeper than any real trace) still parses.
+    let depth = 64;
+    let mut doc = "[".repeat(depth);
+    doc.push_str(&"]".repeat(depth));
+    json::parse(&doc).expect("reasonable nesting accepted");
+}

@@ -1,0 +1,113 @@
+//! CI helper: validates a `ujam serve` reply stream.
+//!
+//! `ci.sh` pipes three NDJSON requests through the daemon — a valid
+//! kernel request, its exact duplicate, and one malformed line — and
+//! feeds the captured replies (file argument, or stdin when absent)
+//! through this checker.  It pins the serving-layer contract: one
+//! strict-JSON reply per request, in order; the duplicate served from
+//! the decision cache with a bitwise-identical decision; the malformed
+//! line answered with a structured error, not a dropped connection.
+
+use std::io::Read;
+use std::process::ExitCode;
+use ujam::trace::json::{self, Value};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(summary) => {
+            println!("serve replies OK: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("invalid serve replies: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn field<'a>(doc: &'a Value, name: &str) -> Result<&'a Value, String> {
+    doc.get(name)
+        .ok_or_else(|| format!("missing field {name:?}"))
+}
+
+fn run() -> Result<String, String> {
+    let text = match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path:?}: {e}"))?
+        }
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buf
+        }
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.len() != 3 {
+        return Err(format!("expected 3 replies, got {}", lines.len()));
+    }
+    let docs: Vec<Value> = lines
+        .iter()
+        .enumerate()
+        .map(|(i, line)| {
+            json::parse(line).map_err(|e| format!("reply {i} is not strict JSON: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Reply 0: fresh computation for the first request.
+    let first = &docs[0];
+    if field(first, "ok")? != &Value::Bool(true) {
+        return Err(format!("reply 0 not ok: {}", lines[0]));
+    }
+    if field(first, "cached")? != &Value::Bool(false) {
+        return Err("reply 0 claims to be cached on a cold cache".to_string());
+    }
+    let unroll = field(first, "unroll")?
+        .as_array()
+        .ok_or("reply 0: unroll is not an array")?;
+    if unroll.is_empty() {
+        return Err("reply 0: empty unroll vector".to_string());
+    }
+    for name in ["nest", "balance", "original_balance", "registers"] {
+        field(first, name)?;
+    }
+
+    // Reply 1: the duplicate must be cache-served, decision identical.
+    let second = &docs[1];
+    if field(second, "cached")? != &Value::Bool(true) {
+        return Err(format!("duplicate not served from cache: {}", lines[1]));
+    }
+    for name in ["nest", "unroll", "balance", "original_balance", "registers"] {
+        if field(first, name)? != field(second, name)? {
+            return Err(format!(
+                "cache changed the decision: field {name:?} differs"
+            ));
+        }
+    }
+
+    // Reply 2: the malformed line gets a structured error, id null.
+    let third = &docs[2];
+    if field(third, "ok")? != &Value::Bool(false) {
+        return Err(format!("malformed request not rejected: {}", lines[2]));
+    }
+    if field(third, "id")? != &Value::Null {
+        return Err("malformed request: unrecoverable id must be null".to_string());
+    }
+    let error = field(third, "error")?;
+    let kind = error
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or("error reply without a kind")?;
+    let message = error
+        .get("message")
+        .and_then(Value::as_str)
+        .ok_or("error reply without a message")?;
+    if message.is_empty() {
+        return Err("error reply with an empty message".to_string());
+    }
+
+    Ok(format!(
+        "3 replies, duplicate cache-served, malformed line answered with {kind:?}"
+    ))
+}

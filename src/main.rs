@@ -9,6 +9,7 @@
 //! ujam simulate <loop> [options]     # simulate original vs optimized
 //! ujam emit <loop>                   # render as Fortran source
 //! ujam schedule <loop> [options]     # list-schedule the optimized body
+//! ujam serve [options]               # NDJSON optimization daemon
 //! ```
 //!
 //! `<loop>` is a Table 2 kernel name (`ujam list`) or a path to a Fortran
@@ -53,9 +54,15 @@ const USAGE: &str = "usage:
   ujam simulate <loop> [--machine alpha|parisc|prefetch] [--model cache|allhits]
   ujam emit <loop>
   ujam schedule <loop> [--machine alpha|parisc|prefetch] [--model cache|allhits]
+  ujam serve [--workers N] [--batch N] [--cache N] [--socket PATH] [--trace[=json]]
 
 <loop> is a kernel name from `ujam list` or a Fortran file (.f/.f77/.for)
-holding one DO nest.";
+holding one DO nest.
+
+`serve` reads one JSON request per line from stdin (or the Unix socket at
+PATH) and writes one JSON reply per line to stdout; see the ujam-serve
+crate docs for the protocol.  With --trace, service counters are printed
+to stderr on shutdown.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -242,8 +249,80 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("speedup:   {:.2}x", before.cycles / after.cycles);
             Ok(())
         }
+        "serve" => {
+            let opts = serve_options(it)?;
+            let sink = CollectingSink::new();
+            let tracing = opts.trace != TraceMode::Off;
+            let server = ujam::serve::Server::new(
+                opts.cfg,
+                if tracing {
+                    &sink as &dyn ujam::trace::TraceSink
+                } else {
+                    ujam::trace::null_sink()
+                },
+            );
+            let result = match &opts.socket {
+                Some(path) => server.run_unix(std::path::Path::new(path)),
+                None => {
+                    let input = std::io::BufReader::new(std::io::stdin());
+                    server.run(input, &mut std::io::stdout().lock())
+                }
+            };
+            // Replies own stdout, so shutdown telemetry goes to stderr.
+            if tracing {
+                let trace = sink.take();
+                match opts.trace {
+                    TraceMode::Json => eprintln!("{}", trace.render_json()),
+                    _ => eprint!("{}", trace.render_human()),
+                }
+            }
+            result.map_err(|e| format!("serve: {e}"))
+        }
         other => Err(format!("unknown command {other:?}")),
     }
+}
+
+struct ServeOptions {
+    cfg: ujam::serve::ServeConfig,
+    socket: Option<String>,
+    trace: TraceMode,
+}
+
+fn serve_options<'a>(it: impl Iterator<Item = &'a String>) -> Result<ServeOptions, String> {
+    let mut cfg = ujam::serve::ServeConfig::default();
+    let mut socket = None;
+    let mut trace = TraceMode::Off;
+    let mut it = it.peekable();
+    let number = |flag: &str, v: Option<&String>| -> Result<usize, String> {
+        v.and_then(|s| s.parse().ok())
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("{flag} needs a positive number"))
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--workers" => cfg.workers = number("--workers", it.next())?,
+            "--batch" => cfg.batch_max = number("--batch", it.next())?,
+            "--cache" => {
+                // 0 is meaningful here: it disables the decision cache.
+                cfg.cache_capacity = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--cache needs a number")?;
+            }
+            "--socket" => socket = Some(it.next().ok_or("--socket needs a path")?.clone()),
+            "--trace" => trace = TraceMode::Human,
+            "--trace=json" => trace = TraceMode::Json,
+            "--trace=human" => trace = TraceMode::Human,
+            other if other.starts_with("--trace=") => {
+                return Err(format!(
+                    "bad --trace value {:?} (expected json or human)",
+                    &other["--trace=".len()..]
+                ))
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(ServeOptions { cfg, socket, trace })
 }
 
 fn lookup(name: Option<&String>) -> Result<LoopNest, String> {
@@ -307,6 +386,12 @@ fn optimize_options<'a>(it: impl Iterator<Item = &'a String>) -> Result<Optimize
             "--trace" => trace = TraceMode::Human,
             "--trace=json" => trace = TraceMode::Json,
             "--trace=human" => trace = TraceMode::Human,
+            other if other.starts_with("--trace=") => {
+                return Err(format!(
+                    "bad --trace value {:?} (expected json or human)",
+                    &other["--trace=".len()..]
+                ))
+            }
             "--explain" => explain = true,
             other => return Err(format!("unknown option {other:?}")),
         }

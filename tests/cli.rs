@@ -216,6 +216,55 @@ fn trace_json_emits_parseable_spans_and_provenance() {
     );
 }
 
+/// Regression: an unknown kernel name must be a clean structured
+/// failure — nonzero exit, the error on stderr, and nothing on stdout
+/// (a `--trace=json` consumer must never see half a document).
+#[test]
+fn unknown_kernel_exits_nonzero_with_error_on_stderr_only() {
+    for args in [
+        &["optimize", "nosuchkernel"][..],
+        &["optimize", "nosuchkernel", "--trace=json"][..],
+    ] {
+        let out = ujam(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("unknown kernel") && err.contains("nosuchkernel"),
+            "{args:?}: {err}"
+        );
+        assert!(
+            out.stdout.is_empty(),
+            "{args:?}: stdout must stay clean, got {:?}",
+            stdout(&out)
+        );
+    }
+}
+
+/// Regression: a malformed `--trace=` value must be rejected up front
+/// with the same discipline — nonzero exit, structured error on stderr,
+/// empty stdout — instead of being silently ignored.
+#[test]
+fn malformed_trace_flag_exits_nonzero_with_error_on_stderr_only() {
+    for args in [
+        &["optimize", "jacobi", "--trace=bogus"][..],
+        &["optimize", "jacobi", "--trace="][..],
+        &["serve", "--trace=bogus"][..],
+    ] {
+        let out = ujam(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("bad --trace value") && err.contains("expected json or human"),
+            "{args:?}: {err}"
+        );
+        assert!(
+            out.stdout.is_empty(),
+            "{args:?}: stdout must stay clean, got {:?}",
+            stdout(&out)
+        );
+    }
+}
+
 #[test]
 fn schedule_reports_op_mix_and_makespan() {
     let out = ujam(&["schedule", "dmxpy0"]);

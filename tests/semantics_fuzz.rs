@@ -1,0 +1,157 @@
+//! Semantics fuzzing: `unroll_and_jam` must preserve program meaning on
+//! randomized nests, not just the 19 curated Table 2 kernels.
+//!
+//! For every nest in a seeded synthetic corpus
+//! (`ujam_kernels::synth::corpus`) we enumerate *every* applicable
+//! multi-loop unroll vector — each jammable loop's copy count ranges
+//! over the divisors of its trip count (the only factors
+//! `unroll_and_jam` accepts), clipped to the dependence-analysis safety
+//! bound — and assert cell-for-cell that the reference interpreter
+//! computes identical results before and after the transformation,
+//! including with `scalar_replacement` composed on top.
+//!
+//! The seed is fixed so CI is deterministic; set `UJAM_FUZZ_SEED` to
+//! explore a different corpus locally.  Failures report the minimal
+//! failing `(seed, nest, u)` triple in iteration order.
+
+use ujam::dep::{safe_unroll_bounds, DepGraph};
+use ujam::ir::interp::{execute, ExecState};
+use ujam::ir::transform::{scalar_replacement, unroll_and_jam};
+use ujam::ir::LoopNest;
+use ujam::kernels::corpus;
+
+/// Fixed default so the CI run is reproducible.
+const DEFAULT_SEED: u64 = 0x5EED_CA44;
+/// The acceptance floor: at least this many seeded nests.
+const CORPUS_SIZE: usize = 200;
+
+fn fuzz_seed() -> u64 {
+    std::env::var("UJAM_FUZZ_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+/// Exact (bitwise) image of an execution, comparable across runs.
+fn cells_bits(state: &ExecState) -> Vec<((String, Vec<i64>), u64)> {
+    state
+        .cells
+        .iter()
+        .map(|(k, v)| (k.clone(), v.to_bits()))
+        .collect()
+}
+
+fn scalars_bits(state: &ExecState) -> Vec<(String, u64)> {
+    state
+        .scalars
+        .iter()
+        .map(|(k, v)| (k.clone(), v.to_bits()))
+        .collect()
+}
+
+/// Every applicable unroll vector for `nest`: per jammable loop, copy
+/// counts that divide the trip count and respect the safety bound; the
+/// innermost component is always zero (§4.1).
+fn applicable_vectors(nest: &LoopNest) -> Vec<Vec<u32>> {
+    let graph = DepGraph::build(nest);
+    let bounds = safe_unroll_bounds(nest, &graph);
+    let depth = nest.depth();
+    let mut per_loop: Vec<Vec<u32>> = Vec::with_capacity(depth);
+    for (l, lp) in nest.loops().iter().enumerate() {
+        if l == depth - 1 {
+            per_loop.push(vec![0]);
+            continue;
+        }
+        let trip = lp.trip_count();
+        let choices: Vec<u32> = (1..=trip)
+            .filter(|copies| trip % copies == 0)
+            .map(|copies| (copies - 1) as u32)
+            .filter(|&u| u <= bounds[l])
+            .collect();
+        per_loop.push(choices);
+    }
+    // Cartesian product, lexicographic — so the first reported failure
+    // is minimal in that order.
+    let mut vectors = vec![Vec::new()];
+    for choices in &per_loop {
+        let mut next = Vec::with_capacity(vectors.len() * choices.len());
+        for v in &vectors {
+            for &c in choices {
+                let mut v = v.clone();
+                v.push(c);
+                next.push(v);
+            }
+        }
+        vectors = next;
+    }
+    vectors
+}
+
+#[test]
+fn unroll_and_jam_preserves_semantics_on_the_synth_corpus() {
+    let seed = fuzz_seed();
+    let nests = corpus(seed, CORPUS_SIZE);
+    assert!(nests.len() >= CORPUS_SIZE);
+    let mut vectors_checked = 0usize;
+    let mut nontrivial = 0usize;
+    for (idx, nest) in nests.iter().enumerate() {
+        let reference = execute(nest);
+        let ref_cells = cells_bits(&reference);
+        let ref_scalars = scalars_bits(&reference);
+        for u in applicable_vectors(nest) {
+            let transformed = unroll_and_jam(nest, &u).unwrap_or_else(|e| {
+                panic!(
+                    "seed {seed:#x} nest {idx} ({}): applicable vector {u:?} rejected: {e}\n{nest}",
+                    nest.name()
+                )
+            });
+            let after = execute(&transformed);
+            assert_eq!(
+                cells_bits(&after),
+                ref_cells,
+                "seed {seed:#x} nest {idx} ({}): unroll {u:?} changed array results\n{nest}",
+                nest.name()
+            );
+            assert_eq!(
+                scalars_bits(&after),
+                ref_scalars,
+                "seed {seed:#x} nest {idx} ({}): unroll {u:?} changed scalar results\n{nest}",
+                nest.name()
+            );
+            // Scalar replacement composes on top of the jammed body; it
+            // introduces compiler temporaries, so only the array image
+            // must be preserved.
+            let replaced = scalar_replacement(&transformed).nest;
+            assert_eq!(
+                cells_bits(&execute(&replaced)),
+                ref_cells,
+                "seed {seed:#x} nest {idx} ({}): unroll {u:?} + scalar replacement \
+                 changed array results\n{nest}",
+                nest.name()
+            );
+            vectors_checked += 1;
+            if u.iter().any(|&c| c > 0) {
+                nontrivial += 1;
+            }
+        }
+    }
+    // The suite is vacuous if dependence analysis rejected everything.
+    assert!(
+        nontrivial >= CORPUS_SIZE,
+        "only {nontrivial} non-trivial vectors across {CORPUS_SIZE} nests \
+         ({vectors_checked} total) — the corpus or the safety analysis regressed"
+    );
+    println!(
+        "semantics fuzz: seed {seed:#x}, {CORPUS_SIZE} nests, \
+         {vectors_checked} vectors ({nontrivial} non-trivial)"
+    );
+}
+
+#[test]
+fn fuzz_corpus_is_deterministic_for_a_fixed_seed() {
+    let a = corpus(DEFAULT_SEED, 8);
+    let b = corpus(DEFAULT_SEED, 8);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(format!("{x}"), format!("{y}"));
+    }
+}

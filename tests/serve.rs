@@ -1,0 +1,243 @@
+//! Integration tests of the `ujam-serve` daemon core: determinism
+//! against the sequential batch optimizer, cache effectiveness on
+//! replay, and a concurrent soak with hostile traffic mixed in.
+
+use std::io::Cursor;
+
+use ujam::core::optimize_batch;
+use ujam::kernels::kernels;
+use ujam::machine::MachineModel;
+use ujam::serve::{ServeConfig, Server};
+use ujam::trace::{json, CollectingSink};
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        workers: 4,
+        batch_max: 8,
+        cache_capacity: 64,
+    }
+}
+
+fn counter_total(sink: &CollectingSink, name: &str) -> u64 {
+    sink.trace()
+        .counter_totals()
+        .iter()
+        .find(|(_, n, _)| n == name)
+        .map(|(_, _, v)| *v)
+        .unwrap_or(0)
+}
+
+/// One reply line, parsed, with the fields the replay comparison needs.
+fn parse_ok(line: &str) -> (String, Vec<u32>, u64, u64, i64) {
+    let doc = json::parse(line).expect("reply is valid JSON");
+    assert_eq!(
+        doc.get("ok"),
+        Some(&json::Value::Bool(true)),
+        "expected ok reply: {line}"
+    );
+    let id = doc
+        .get("id")
+        .and_then(json::Value::as_str)
+        .expect("id string")
+        .to_string();
+    let unroll: Vec<u32> = doc
+        .get("unroll")
+        .and_then(json::Value::as_array)
+        .expect("unroll array")
+        .iter()
+        .map(|v| v.as_f64().expect("unroll component") as u32)
+        .collect();
+    let balance = doc
+        .get("balance")
+        .and_then(json::Value::as_f64)
+        .expect("balance")
+        .to_bits();
+    let original = doc
+        .get("original_balance")
+        .and_then(json::Value::as_f64)
+        .expect("original_balance")
+        .to_bits();
+    let registers = doc
+        .get("registers")
+        .and_then(json::Value::as_f64)
+        .expect("registers") as i64;
+    (id, unroll, balance, original, registers)
+}
+
+/// Replaying the whole Table 2 kernel suite through the daemon must give
+/// decisions bitwise-identical to the sequential batch optimizer, and a
+/// second replay must be served (almost) entirely from the cache.
+#[test]
+fn suite_replay_matches_sequential_batch_and_second_pass_hits_cache() {
+    let suite = kernels();
+    let nests: Vec<_> = suite.iter().map(|k| k.nest()).collect();
+    let expected = optimize_batch(&nests, &MachineModel::dec_alpha());
+
+    let sink = CollectingSink::new();
+    let server = Server::new(test_config(), &sink);
+    let mut input = String::new();
+    for k in &suite {
+        input.push_str(&format!(
+            "{{\"id\":\"{}\",\"kernel\":\"{}\"}}\n",
+            k.name, k.name
+        ));
+    }
+
+    let mut out = Vec::new();
+    server
+        .run(Cursor::new(input.clone()), &mut out)
+        .expect("io ok");
+    let text = String::from_utf8(out).expect("utf8");
+    let replies: Vec<&str> = text.lines().collect();
+    assert_eq!(replies.len(), suite.len(), "one reply per kernel");
+
+    for ((reply, kernel), plan) in replies.iter().zip(&suite).zip(&expected) {
+        let plan = plan.as_ref().expect("suite kernels all optimize");
+        let (id, unroll, balance, original, registers) = parse_ok(reply);
+        assert_eq!(id, kernel.name, "replies arrive in request order");
+        assert_eq!(unroll, plan.unroll, "{id}: unroll vector diverged");
+        assert_eq!(
+            balance,
+            plan.predicted.balance.to_bits(),
+            "{id}: balance not bitwise-identical"
+        );
+        assert_eq!(
+            original,
+            plan.original.balance.to_bits(),
+            "{id}: original balance not bitwise-identical"
+        );
+        assert_eq!(
+            registers, plan.predicted.registers,
+            "{id}: registers diverged"
+        );
+    }
+
+    // Second replay: identical payloads, now ≥ 90 % cache-served.
+    let requests_before = counter_total(&sink, "serve.request");
+    let hits_before = counter_total(&sink, "serve.cache.hit");
+    let mut out = Vec::new();
+    server.run(Cursor::new(input), &mut out).expect("io ok");
+    let text = String::from_utf8(out).expect("utf8");
+    for (reply, kernel) in text.lines().zip(&suite) {
+        let doc = json::parse(reply).expect("valid JSON");
+        assert_eq!(
+            doc.get("cached"),
+            Some(&json::Value::Bool(true)),
+            "{}: replay must be cache-served",
+            kernel.name
+        );
+    }
+    let requests = counter_total(&sink, "serve.request") - requests_before;
+    let hits = counter_total(&sink, "serve.cache.hit") - hits_before;
+    assert_eq!(requests, suite.len() as u64);
+    assert!(
+        hits * 10 >= requests * 9,
+        "second replay served {hits}/{requests} from cache (< 90 %)"
+    );
+}
+
+/// Eight concurrent clients hammer one server with a mix of valid,
+/// duplicate, malformed, unknown-kernel, and zero-deadline requests.
+/// Every client must get exactly one valid-JSON reply per line, in
+/// order; the zero-deadline failures must not poison the cache.
+#[test]
+fn soak_eight_concurrent_clients_with_hostile_traffic() {
+    const CLIENTS: usize = 8;
+    // Kernel reserved for zero-deadline requests during the soak: no
+    // client ever computes it successfully, so afterwards it must still
+    // be absent from the cache.
+    const DOOMED: &str = "vpenta.7";
+
+    let sink = CollectingSink::new();
+    // batch_max 1 keeps each client's lines strictly sequential, so the
+    // intra-client duplicate is a *deterministic* cache hit (inside one
+    // micro-batch, duplicates race and either may compute).  Concurrency
+    // comes from the eight client threads sharing the server.
+    let server = Server::new(
+        ServeConfig {
+            workers: 4,
+            batch_max: 1,
+            cache_capacity: 64,
+        },
+        &sink,
+    );
+    let valid = ["dmxpy0", "dmxpy1", "jacobi", "sor"];
+
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let server = &server;
+            scope.spawn(move || {
+                let kernel = valid[c % valid.len()];
+                let lines = [
+                    format!("{{\"id\":\"{c}-a\",\"kernel\":\"{kernel}\"}}"),
+                    format!("{{\"id\":\"{c}-b\",\"kernel\":\"{kernel}\"}}"), // duplicate
+                    format!("{{\"id\":\"{c}-c\",\"kernel\":\"no-such-kernel\"}}"),
+                    format!("this is client {c} speaking, not JSON"),
+                    format!("{{\"id\":\"{c}-d\",\"kernel\":\"{DOOMED}\",\"deadline_ms\":0}}"),
+                ];
+                let input = lines.join("\n") + "\n";
+                let mut out = Vec::new();
+                server.run(Cursor::new(input), &mut out).expect("io ok");
+                let text = String::from_utf8(out).expect("utf8");
+                let replies: Vec<&str> = text.lines().collect();
+                assert_eq!(
+                    replies.len(),
+                    lines.len(),
+                    "client {c}: exactly one reply per line"
+                );
+
+                for reply in &replies {
+                    json::parse(reply)
+                        .unwrap_or_else(|e| panic!("client {c}: bad reply {reply}: {e}"));
+                }
+                // Replies come back in request order.
+                assert!(
+                    replies[0].contains(&format!("\"id\":\"{c}-a\"")),
+                    "{}",
+                    replies[0]
+                );
+                assert!(replies[0].contains("\"ok\":true"), "{}", replies[0]);
+                assert!(
+                    replies[1].contains(&format!("\"id\":\"{c}-b\"")),
+                    "{}",
+                    replies[1]
+                );
+                assert!(
+                    replies[1].contains("\"cached\":true"),
+                    "client {c}: duplicate must be cache-served: {}",
+                    replies[1]
+                );
+                assert!(replies[2].contains("unknown_kernel"), "{}", replies[2]);
+                assert!(replies[3].contains("\"id\":null"), "{}", replies[3]);
+                assert!(replies[3].contains("bad_request"), "{}", replies[3]);
+                assert!(replies[4].contains("deadline_exceeded"), "{}", replies[4]);
+            });
+        }
+    });
+
+    // No deadlock, every client returned.  The doomed kernel was only
+    // ever attempted under an already-expired deadline, so the cache
+    // must not hold it: a fresh request computes (cached:false) and
+    // succeeds.
+    let probe = server.handle_line(&format!("{{\"id\":\"probe\",\"kernel\":\"{DOOMED}\"}}"));
+    let doc = json::parse(&probe).expect("valid JSON");
+    assert_eq!(doc.get("ok"), Some(&json::Value::Bool(true)), "{probe}");
+    assert_eq!(
+        doc.get("cached"),
+        Some(&json::Value::Bool(false)),
+        "zero-deadline failures must never be cached: {probe}"
+    );
+
+    // Aggregate accounting: every line of every client was counted, and
+    // at least the duplicate requests hit the cache.
+    let requests = counter_total(&sink, "serve.request");
+    assert_eq!(requests, (CLIENTS * 5) as u64 + 1);
+    assert_eq!(
+        counter_total(&sink, "serve.deadline_exceeded"),
+        CLIENTS as u64
+    );
+    assert!(
+        counter_total(&sink, "serve.cache.hit") >= CLIENTS as u64,
+        "every intra-client duplicate is cache-served"
+    );
+}
