@@ -15,6 +15,11 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 ./target/release/ujam optimize dmxpy0 --explain --trace=json > /tmp/ujam_trace.json
 cargo run --release --offline --quiet --example validate_trace -- /tmp/ujam_trace.json
 
+# Chrome trace export: --trace=chrome must emit a strictly-parseable
+# trace-event array with a complete event per pipeline pass.
+./target/release/ujam optimize dmxpy0 --trace=chrome > /tmp/ujam_chrome.json
+cargo run --release --offline --quiet --example validate_trace -- --chrome /tmp/ujam_chrome.json
+
 # Bench smoke test: every bench harness must build, and a quick run of
 # the search-scaling bench must emit a schema-valid BENCH_search.json
 # (winner agreement across the naive / summed-area / pruned engines is
@@ -34,6 +39,28 @@ printf '%s\n' \
   'this is not json' \
   | ./target/release/ujam serve --workers 2 --batch 1 > /tmp/ujam_serve_replies.ndjson
 cargo run --release --offline --quiet --example validate_serve -- /tmp/ujam_serve_replies.ndjson
+
+# Metrics smoke: one optimize request and one stats round-trip over a
+# Unix socket; the daemon's snapshot must count exactly that request
+# (the stats query itself is admin traffic, not a request).
+UJAM_SOCK=/tmp/ujam_ci.sock
+rm -f "$UJAM_SOCK"
+./target/release/ujam serve --socket "$UJAM_SOCK" --workers 1 &
+UJAM_SERVE_PID=$!
+for _ in $(seq 1 100); do [ -S "$UJAM_SOCK" ] && break; sleep 0.1; done
+./target/release/ujam request --socket "$UJAM_SOCK" '{"id":"1","kernel":"dmxpy0"}' | grep -q '"ok":true'
+./target/release/ujam stats --socket "$UJAM_SOCK" --json > /tmp/ujam_stats.json
+grep -q '"version":1' /tmp/ujam_stats.json
+grep -q '"serve.requests":1' /tmp/ujam_stats.json
+grep -q '"serve.request_ns":{"count":1,' /tmp/ujam_stats.json
+kill "$UJAM_SERVE_PID"
+rm -f "$UJAM_SOCK"
+
+# Serve-latency bench smoke: a quick run must emit a BENCH_serve.json
+# whose embedded snapshot matches the workload ground truth (checked
+# together with the search artifact captured above).
+cargo bench --offline -p ujam-bench --bench serve_latency -- --quick --out /tmp/ujam_bench_serve.json
+cargo run --release --offline --quiet --example validate_metrics -- /tmp/ujam_bench_serve.json /tmp/ujam_bench_search.json
 
 # Semantics fuzz: the fixed default seed makes this run deterministic;
 # it enumerates every applicable unroll vector over a 200-nest synthetic

@@ -11,7 +11,8 @@
 //!   over-budget candidates.
 //!
 //! Emits the measurements as machine-readable JSON (default
-//! `BENCH_search.json`, override with `-- --out PATH`) alongside the
+//! `BENCH_search.json` at the repository root, override with
+//! `-- --out PATH`) alongside the
 //! human report; `-- --quick` shrinks the sweep for CI smoke runs,
 //! where `examples/validate_search_bench.rs` checks the schema.  In the
 //! full sweep the largest space must show the ≥10× naive→summed-area
@@ -34,7 +35,11 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_search.json".to_string());
+        .unwrap_or_else(|| {
+            // Anchor the default at the repository root (where the file
+            // is committed) regardless of the invoking directory.
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_search.json").to_string()
+        });
 
     let machine = MachineModel::dec_alpha();
     let model = CostModel::CacheAware;

@@ -1,0 +1,122 @@
+//! `serve_latency`: end-to-end request latency through the serve
+//! daemon, measured by the daemon's own metrics registry.
+//!
+//! A metrics-enabled [`Server`] (one worker, so every counter is
+//! replay-deterministic) answers a fixed NDJSON workload fed through
+//! the in-memory `run` entry point — the same path the stdin daemon
+//! uses, minus the OS pipe.  The `serve.request_ns` histogram then *is*
+//! the latency distribution: exact count and sum, log-scale buckets,
+//! p50/p90/p99 upper bounds.
+//!
+//! Emits `BENCH_serve.json` (override with `-- --out PATH`) holding the
+//! workload parameters plus the full versioned metrics snapshot;
+//! `examples/validate_metrics.rs` checks the schema and that the
+//! counters match the workload's ground truth.  `-- --quick` shrinks
+//! the workload for CI smoke runs.
+//!
+//! Run with `cargo bench -p ujam-bench --bench serve_latency`.
+
+use std::fmt::Write as _;
+use std::io::Cursor;
+use std::sync::Arc;
+use ujam_metrics::{MetricsHandle, MetricsRegistry};
+use ujam_serve::{ServeConfig, Server};
+
+/// The workload mix: repeated visits to three kernels, so the decision
+/// cache sees both cold misses and steady-state hits.
+const KERNELS: [&str; 3] = ["dmxpy0", "dmxpy1", "mmjki"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_string()
+        });
+    let rounds: u64 = if quick { 3 } else { 40 };
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let server = Server::with_metrics(
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+        ujam_trace::null_sink(),
+        MetricsHandle::new(Arc::clone(&registry)),
+    );
+
+    let mut workload = String::new();
+    for round in 0..rounds {
+        for kernel in KERNELS {
+            let _ = writeln!(
+                workload,
+                "{{\"id\":\"{round}-{kernel}\",\"kernel\":\"{kernel}\"}}"
+            );
+        }
+    }
+    let requests = rounds * KERNELS.len() as u64;
+
+    let mut replies = Vec::new();
+    server
+        .run(Cursor::new(workload), &mut replies)
+        .expect("in-memory serve cannot fail on I/O");
+    let reply_text = String::from_utf8(replies).expect("replies are UTF-8");
+    assert_eq!(
+        reply_text.lines().count() as u64,
+        requests,
+        "one reply per request"
+    );
+    assert!(
+        reply_text.lines().all(|l| l.contains("\"ok\":true")),
+        "every workload request succeeds"
+    );
+
+    let snapshot = server.metrics_snapshot();
+    // Ground truth: the registry saw exactly the workload.
+    assert_eq!(snapshot.counter("serve.requests"), requests);
+    assert_eq!(
+        snapshot.counter("serve.cache.hits") + snapshot.counter("serve.cache.misses"),
+        requests,
+        "every request consulted the cache"
+    );
+    assert_eq!(
+        snapshot.counter("serve.cache.misses"),
+        KERNELS.len() as u64,
+        "one cold miss per kernel with a single worker"
+    );
+    let latency = snapshot
+        .histogram("serve.request_ns")
+        .expect("latency histogram recorded");
+    assert_eq!(latency.count, requests);
+
+    println!(
+        "serve_latency ({requests} requests over {} kernels, 1 worker)",
+        KERNELS.len()
+    );
+    println!(
+        "  latency: mean {:.1}us  p50 <= {:.1}us  p90 <= {:.1}us  p99 <= {:.1}us",
+        latency.mean() / 1e3,
+        latency.p50() as f64 / 1e3,
+        latency.p90() as f64 / 1e3,
+        latency.p99() as f64 / 1e3
+    );
+    println!(
+        "  cache: {} hits / {} misses",
+        snapshot.counter("serve.cache.hits"),
+        snapshot.counter("serve.cache.misses")
+    );
+
+    let kernels: Vec<String> = KERNELS.iter().map(|k| format!("\"{k}\"")).collect();
+    let doc = format!(
+        "{{\"bench\":\"serve_latency\",\"quick\":{quick},\"workers\":1,\
+         \"requests\":{requests},\"kernels\":[{}],\"snapshot\":{}}}\n",
+        kernels.join(","),
+        snapshot.render_json()
+    );
+    std::fs::write(&out, &doc).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+}

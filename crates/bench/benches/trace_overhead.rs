@@ -1,14 +1,19 @@
-//! Overhead guard for the tracing layer: with the default `NullSink`,
-//! the tables-path optimizer must stay within 2% of a pipeline that has
-//! no tracing plumbing at all.
+//! Overhead guard for the observability layers: with the default
+//! `NullSink` (and the disabled `MetricsHandle` it implies), the
+//! tables-path optimizer must stay within 2% of a pipeline that has no
+//! tracing plumbing at all — and so must a pipeline with a *live*
+//! metrics registry, whose per-pass histogram observes are relaxed
+//! atomics on pre-sized buckets.
 //!
-//! Three arms over the same kernel:
+//! Four arms over the same kernel:
 //! 1. `bare` — the pass sequence invoked via `Pass::run` directly (no
 //!    `run_traced` wrapper, no sink anywhere),
 //! 2. `null-sink` — `optimize_with`, which routes through
-//!    `optimize_traced(.., NullSink)`: every emission site is behind
-//!    one `enabled()` check,
-//! 3. `collect` — `optimize_traced` with a `CollectingSink`, to show
+//!    `optimize_traced(.., NullSink)` with metrics disabled: every
+//!    emission site is behind one `enabled()` check (2% gate),
+//! 3. `metrics` — `optimize_observed` with a null sink but an enabled
+//!    `MetricsHandle`, recording `pass.*.ns` histograms (2% gate),
+//! 4. `collect` — `optimize_traced` with a `CollectingSink`, to show
 //!    what full tracing costs (informational).
 //!
 //! Plain-`Instant` harness (`ujam_bench::timing`): the offline registry
@@ -16,11 +21,15 @@
 //! The 2% gate is checked on the fastest of several attempts so a noisy
 //! scheduler tick cannot fail the guard spuriously.
 
+use std::sync::Arc;
 use ujam_bench::timing::bench;
 use ujam_core::pipeline::{AnalysisCtx, ApplyTransform, Pass, SearchSpace, SelectLoops};
-use ujam_core::{optimize_traced, optimize_with, CostModel, Optimized};
+use ujam_core::{
+    optimize_observed, optimize_traced, optimize_with, CancelToken, CostModel, Optimized,
+};
 use ujam_kernels::kernel;
 use ujam_machine::MachineModel;
+use ujam_metrics::{MetricsHandle, MetricsRegistry};
 use ujam_trace::CollectingSink;
 
 /// The pipeline exactly as `optimize_with` runs it, but through the
@@ -59,25 +68,57 @@ fn main() {
     let sink = CollectingSink::new();
     let collected =
         optimize_traced(&nest, &machine, CostModel::CacheAware, &sink).expect("valid kernel");
+    let registry = Arc::new(MetricsRegistry::new());
+    let handle = MetricsHandle::new(Arc::clone(&registry));
+    let metered = optimize_observed(
+        &nest,
+        &machine,
+        CostModel::CacheAware,
+        ujam_trace::null_sink(),
+        CancelToken::never(),
+        handle.clone(),
+    )
+    .expect("valid kernel");
     assert_eq!(bare.unroll, null.unroll);
     assert_eq!(bare.unroll, collected.unroll);
+    assert_eq!(bare.unroll, metered.unroll);
     assert!(!sink.take().records.is_empty(), "collector saw the run");
+    assert!(
+        registry
+            .snapshot()
+            .histogram("pass.select-loops.ns")
+            .is_some_and(|h| h.count > 0),
+        "registry saw the run"
+    );
 
     const MAX_OVERHEAD: f64 = 0.02;
     const ATTEMPTS: usize = 5;
-    let mut best_ratio = f64::INFINITY;
+    let mut best_null = f64::INFINITY;
+    let mut best_metered = f64::INFINITY;
     for attempt in 1..=ATTEMPTS {
         let base = bench("optimize/bare/dmxpy0", || optimize_bare(&nest, &machine));
         let nulled = bench("optimize/null-sink/dmxpy0", || {
             optimize_with(&nest, &machine, CostModel::CacheAware)
         });
-        let ratio = nulled.min_ns / base.min_ns;
-        best_ratio = best_ratio.min(ratio);
+        let metered = bench("optimize/metrics/dmxpy0", || {
+            optimize_observed(
+                &nest,
+                &machine,
+                CostModel::CacheAware,
+                ujam_trace::null_sink(),
+                CancelToken::never(),
+                handle.clone(),
+            )
+        });
+        best_null = best_null.min(nulled.min_ns / base.min_ns);
+        best_metered = best_metered.min(metered.min_ns / base.min_ns);
         println!(
-            "attempt {attempt}: null-sink / bare = {ratio:.4} (best {best_ratio:.4}, gate {:.2})",
+            "attempt {attempt}: null-sink / bare = {:.4}, metrics / bare = {:.4} (gate {:.2})",
+            nulled.min_ns / base.min_ns,
+            metered.min_ns / base.min_ns,
             1.0 + MAX_OVERHEAD
         );
-        if best_ratio <= 1.0 + MAX_OVERHEAD {
+        if best_null <= 1.0 + MAX_OVERHEAD && best_metered <= 1.0 + MAX_OVERHEAD {
             break;
         }
     }
@@ -87,14 +128,21 @@ fn main() {
         optimize_traced(&nest, &machine, CostModel::CacheAware, &sink)
     });
     assert!(
-        best_ratio <= 1.0 + MAX_OVERHEAD,
+        best_null <= 1.0 + MAX_OVERHEAD,
         "NullSink overhead {:.2}% exceeds the {:.0}% gate",
-        100.0 * (best_ratio - 1.0),
+        100.0 * (best_null - 1.0),
+        100.0 * MAX_OVERHEAD
+    );
+    assert!(
+        best_metered <= 1.0 + MAX_OVERHEAD,
+        "live-metrics overhead {:.2}% exceeds the {:.0}% gate",
+        100.0 * (best_metered - 1.0),
         100.0 * MAX_OVERHEAD
     );
     println!(
-        "PASS: disabled tracing costs {:+.2}% on the tables path (gate {:.0}%)",
-        100.0 * (best_ratio - 1.0),
+        "PASS: disabled tracing costs {:+.2}%, live metrics {:+.2}% on the tables path (gate {:.0}%)",
+        100.0 * (best_null - 1.0),
+        100.0 * (best_metered - 1.0),
         100.0 * MAX_OVERHEAD
     );
 }

@@ -9,6 +9,7 @@ use crate::pipeline::{
 use crate::space::UnrollSpace;
 use ujam_ir::LoopNest;
 use ujam_machine::MachineModel;
+use ujam_metrics::MetricsHandle;
 use ujam_trace::TraceSink;
 
 /// Which balance model guides the search (§5.2's two experimental arms).
@@ -183,7 +184,53 @@ pub fn optimize_cancellable(
     sink: &dyn TraceSink,
     cancel: CancelToken,
 ) -> Result<Optimized, OptimizeError> {
-    let mut ctx = AnalysisCtx::with_sink_and_cancel(nest, machine, sink, cancel)?;
+    optimize_observed(
+        nest,
+        machine,
+        model,
+        sink,
+        cancel,
+        MetricsHandle::disabled(),
+    )
+}
+
+/// [`optimize_cancellable`] with a [`MetricsHandle`]: every pipeline
+/// pass additionally records its wall time into a `pass.<name>.ns`
+/// histogram in the handle's registry.  Like tracing, metrics observe
+/// the pipeline without steering it — the returned plan is identical no
+/// matter which handle is passed, and with [`MetricsHandle::disabled`]
+/// this is exactly [`optimize_cancellable`].
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use ujam_core::{optimize_observed, CancelToken, CostModel};
+/// use ujam_ir::NestBuilder;
+/// use ujam_machine::MachineModel;
+/// use ujam_metrics::{MetricsHandle, MetricsRegistry};
+/// let nest = NestBuilder::new("intro")
+///     .array("A", &[242]).array("B", &[242])
+///     .loop_("J", 1, 240).loop_("I", 1, 240)
+///     .stmt("A(J) = A(J) + B(I)")
+///     .build();
+/// let registry = Arc::new(MetricsRegistry::new());
+/// optimize_observed(&nest, &MachineModel::dec_alpha(), CostModel::CacheAware,
+///                   ujam_trace::null_sink(), CancelToken::never(),
+///                   MetricsHandle::new(Arc::clone(&registry))).expect("valid");
+/// let snap = registry.snapshot();
+/// assert_eq!(snap.histogram("pass.select-loops.ns").unwrap().count, 1);
+/// assert_eq!(snap.histogram("pass.search-space.ns").unwrap().count, 1);
+/// ```
+pub fn optimize_observed(
+    nest: &LoopNest,
+    machine: &MachineModel,
+    model: CostModel,
+    sink: &dyn TraceSink,
+    cancel: CancelToken,
+    metrics: MetricsHandle,
+) -> Result<Optimized, OptimizeError> {
+    let mut ctx = AnalysisCtx::with_observability(nest, machine, sink, metrics, cancel)?;
     let space = SelectLoops.run_traced(&mut ctx)?;
     finish(&mut ctx, &space, model)
 }

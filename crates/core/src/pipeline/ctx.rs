@@ -10,6 +10,7 @@ use crate::tables::CostTables;
 use ujam_dep::{safe_unroll_bounds, DepGraph};
 use ujam_ir::LoopNest;
 use ujam_machine::MachineModel;
+use ujam_metrics::MetricsHandle;
 use ujam_reuse::{ugs_cost, Localized, UgsSet};
 use ujam_trace::{null_sink, TraceRecord, TraceSink};
 
@@ -105,6 +106,7 @@ pub struct AnalysisCtx<'a> {
     nest: &'a LoopNest,
     machine: &'a MachineModel,
     sink: &'a dyn TraceSink,
+    metrics: MetricsHandle,
     cancel: CancelToken,
     dep_graph: Option<DepGraph>,
     safe_bounds: Option<Vec<u32>>,
@@ -164,6 +166,22 @@ impl<'a> AnalysisCtx<'a> {
         sink: &'a dyn TraceSink,
         cancel: CancelToken,
     ) -> Result<AnalysisCtx<'a>, OptimizeError> {
+        AnalysisCtx::with_observability(nest, machine, sink, MetricsHandle::disabled(), cancel)
+    }
+
+    /// [`AnalysisCtx::with_sink_and_cancel`] with a metrics handle:
+    /// passes run through [`super::Pass::run_traced`] additionally
+    /// record their wall time into a `pass.<name>.ns` histogram.  With
+    /// [`MetricsHandle::disabled`] this is exactly
+    /// [`AnalysisCtx::with_sink_and_cancel`] — metrics, like tracing,
+    /// observe the pipeline without steering it.
+    pub fn with_observability(
+        nest: &'a LoopNest,
+        machine: &'a MachineModel,
+        sink: &'a dyn TraceSink,
+        metrics: MetricsHandle,
+        cancel: CancelToken,
+    ) -> Result<AnalysisCtx<'a>, OptimizeError> {
         nest.validate().map_err(OptimizeError::InvalidNest)?;
         if nest.depth() == 0 {
             return Err(OptimizeError::EmptyNest);
@@ -175,6 +193,7 @@ impl<'a> AnalysisCtx<'a> {
             nest,
             machine,
             sink,
+            metrics,
             cancel,
             dep_graph: None,
             safe_bounds: None,
@@ -205,6 +224,12 @@ impl<'a> AnalysisCtx<'a> {
     /// checks before constructing a record.
     pub fn tracing(&self) -> bool {
         self.sink.enabled()
+    }
+
+    /// The metrics handle instrumentation reports to (disabled unless
+    /// the context was built with [`AnalysisCtx::with_observability`]).
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
     }
 
     /// The cancellation token the pipeline cooperates with.

@@ -33,20 +33,28 @@ pub trait Pass {
     fn run(&self, ctx: &mut AnalysisCtx<'_>) -> Result<Self::Output, OptimizeError>;
 
     /// Runs the stage, emitting a wall-time span to the context's trace
-    /// sink.  With tracing disabled this is exactly [`Pass::run`] — the
-    /// `enabled()` check is the only added work, which is what keeps
-    /// the [`ujam_trace::NullSink`] path within noise of untraced code.
+    /// sink and an observation into the `pass.<name>.ns` histogram of
+    /// the context's metrics handle.  With both observers disabled this
+    /// is exactly [`Pass::run`] — two `enabled()` checks are the only
+    /// added work, which is what keeps the [`ujam_trace::NullSink`] /
+    /// disabled-metrics path within noise of untraced code.
     fn run_traced(&self, ctx: &mut AnalysisCtx<'_>) -> Result<Self::Output, OptimizeError> {
-        if !ctx.tracing() {
+        let tracing = ctx.tracing();
+        let metering = ctx.metrics().enabled();
+        if !tracing && !metering {
             return self.run(ctx);
         }
         let t0 = Instant::now();
         let out = self.run(ctx);
-        ctx.sink().record(TraceRecord::span(
-            ctx.nest().name(),
-            self.name(),
-            t0.elapsed().as_nanos(),
-        ));
+        let nanos = t0.elapsed().as_nanos();
+        if tracing {
+            ctx.sink()
+                .record(TraceRecord::span(ctx.nest().name(), self.name(), nanos));
+        }
+        if metering {
+            ctx.metrics()
+                .observe(&format!("pass.{}.ns", self.name()), nanos as u64);
+        }
         out
     }
 }

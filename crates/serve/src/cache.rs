@@ -82,6 +82,17 @@ pub struct DecisionCache {
     recency: BTreeMap<u64, String>,
     tick: u64,
     stats: CacheStats,
+    bytes: usize,
+}
+
+/// The approximate heap footprint one entry adds: the key text, the
+/// decision struct, and its owned buffers.  Maintained incrementally on
+/// insert/evict so [`DecisionCache::approx_bytes`] is O(1).
+fn entry_cost(key: &str, d: &Decision) -> usize {
+    key.len()
+        + std::mem::size_of::<Decision>()
+        + d.nest.len()
+        + d.unroll.len() * std::mem::size_of::<u32>()
 }
 
 impl DecisionCache {
@@ -95,6 +106,7 @@ impl DecisionCache {
             recency: BTreeMap::new(),
             tick: 0,
             stats: CacheStats::default(),
+            bytes: 0,
         }
     }
 
@@ -122,16 +134,20 @@ impl DecisionCache {
         if self.capacity == 0 {
             return;
         }
-        if let Some((old_tick, _)) = self.entries.get(&key) {
+        if let Some((old_tick, old)) = self.entries.get(&key) {
+            self.bytes = self.bytes.saturating_sub(entry_cost(&key, old));
             self.recency.remove(old_tick);
         } else if self.entries.len() >= self.capacity {
             if let Some((&oldest, _)) = self.recency.iter().next() {
                 let victim = self.recency.remove(&oldest).expect("tick present");
-                self.entries.remove(&victim);
+                if let Some((_, evicted)) = self.entries.remove(&victim) {
+                    self.bytes = self.bytes.saturating_sub(entry_cost(&victim, &evicted));
+                }
                 self.stats.evictions += 1;
             }
         }
         self.tick += 1;
+        self.bytes += entry_cost(&key, &decision);
         self.recency.insert(self.tick, key.clone());
         self.entries.insert(key, (self.tick, decision));
     }
@@ -144,6 +160,12 @@ impl DecisionCache {
     /// Number of live entries.
     pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Approximate heap bytes held by live entries (keys, decision
+    /// structs, and their owned buffers), maintained incrementally.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
     }
 
     /// Whether the cache holds no entries.
@@ -213,6 +235,30 @@ mod tests {
         c.insert("a".into(), d("a"));
         assert!(c.is_empty());
         assert_eq!(c.get("a"), None);
+        assert_eq!(c.approx_bytes(), 0);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_inserts_replacements_and_evictions() {
+        let mut c = DecisionCache::new(2);
+        assert_eq!(c.approx_bytes(), 0);
+        c.insert("a".into(), d("a"));
+        let one = c.approx_bytes();
+        assert!(one > 0);
+        // Replacing a key swaps its cost, it doesn't accumulate.
+        c.insert("a".into(), d("a"));
+        assert_eq!(c.approx_bytes(), one);
+        c.insert("b".into(), d("b"));
+        let two = c.approx_bytes();
+        assert!(two > one);
+        // Eviction releases the victim's bytes: still two entries' worth.
+        c.insert("c".into(), d("c"));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.approx_bytes(), two);
+        // Lookups never move the ledger.
+        c.get("c");
+        c.get("missing");
+        assert_eq!(c.approx_bytes(), two);
     }
 
     #[test]

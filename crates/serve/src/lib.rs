@@ -21,7 +21,12 @@
 //!   structured `deadline_exceeded` error and caches nothing;
 //! * **total error discipline** — malformed JSON, unknown kernels,
 //!   unparsable Fortran, invalid nests, and even optimizer panics each
-//!   produce a structured error reply; the daemon never dies on input.
+//!   produce a structured error reply; the daemon never dies on input;
+//! * **runtime metrics and an admin channel** — a server built with
+//!   [`Server::with_metrics`] records request/latency/cache metrics
+//!   into a `ujam-metrics` registry and answers `{"cmd":"stats"}` admin
+//!   lines (the `ujam stats` subcommand) with a versioned JSON
+//!   snapshot.
 //!
 //! # Example
 //!
@@ -46,5 +51,8 @@ pub mod proto;
 mod server;
 
 pub use cache::{decision_key, CacheStats, Decision, DecisionCache};
-pub use proto::{ErrorKind, ErrorReply, OkReply, Reply, Request, Source};
+pub use proto::{
+    stats_reply, AdminCmd, AdminRequest, ErrorKind, ErrorReply, Incoming, OkReply, Reply, Request,
+    Source,
+};
 pub use server::{ServeConfig, Server};

@@ -179,6 +179,113 @@ impl Reply {
     }
 }
 
+/// Admin commands addressed to the daemon itself rather than the
+/// optimizer, carried on the same NDJSON channel via a `cmd` field:
+///
+/// ```json
+/// {"id":"s1","cmd":"stats"}
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdminCmd {
+    /// Return a versioned metrics snapshot (`ujam stats`).
+    Stats,
+}
+
+/// A parsed admin request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdminRequest {
+    /// Client-chosen request id, echoed verbatim in the reply.
+    pub id: String,
+    /// What the client asked the daemon to do.
+    pub cmd: AdminCmd,
+}
+
+/// One incoming line, dispatched by shape: any well-formed object
+/// carrying a `cmd` field is an admin request; everything else goes
+/// down the optimization path (including its error handling).
+#[derive(Clone, Debug)]
+pub enum Incoming {
+    /// An optimization request ([`Request`]).
+    Optimize(Request),
+    /// An admin request ([`AdminRequest`]).
+    Admin(AdminRequest),
+}
+
+impl Incoming {
+    /// Parses one line, dispatching on the presence of `cmd`.  Every
+    /// failure is a structured [`Reply::Error`] carrying whatever id
+    /// could be recovered.
+    pub fn parse(line: &str) -> Result<Incoming, Reply> {
+        if let Ok(Value::Object(obj)) = json::parse(line) {
+            if obj.contains_key("cmd") {
+                return AdminRequest::from_object(&obj).map(Incoming::Admin);
+            }
+        }
+        Request::parse(line).map(Incoming::Optimize)
+    }
+}
+
+impl AdminRequest {
+    fn from_object(obj: &std::collections::BTreeMap<String, Value>) -> Result<AdminRequest, Reply> {
+        let id = match obj.get("id") {
+            Some(Value::String(s)) => s.clone(),
+            Some(_) => {
+                return Err(error_reply(
+                    None,
+                    ErrorKind::BadRequest,
+                    "\"id\" must be a string",
+                ))
+            }
+            None => {
+                return Err(error_reply(
+                    None,
+                    ErrorKind::BadRequest,
+                    "missing \"id\" field",
+                ))
+            }
+        };
+        for key in obj.keys() {
+            if !matches!(key.as_str(), "id" | "cmd") {
+                return Err(error_reply(
+                    Some(&id),
+                    ErrorKind::BadRequest,
+                    format!("unknown field {key:?}"),
+                ));
+            }
+        }
+        let cmd = match obj.get("cmd") {
+            Some(Value::String(s)) if s == "stats" => AdminCmd::Stats,
+            Some(Value::String(other)) => {
+                return Err(error_reply(
+                    Some(&id),
+                    ErrorKind::BadRequest,
+                    format!("unknown cmd {other:?} (try \"stats\")"),
+                ))
+            }
+            _ => {
+                return Err(error_reply(
+                    Some(&id),
+                    ErrorKind::BadRequest,
+                    "\"cmd\" must be a string",
+                ))
+            }
+        };
+        Ok(AdminRequest { id, cmd })
+    }
+}
+
+/// Renders a `stats` admin reply: the echoed id plus the snapshot
+/// object produced by `MetricsSnapshot::render_json` embedded verbatim
+/// under `"stats"`.
+pub fn stats_reply(id: &str, snapshot_json: &str) -> String {
+    let mut out = String::from("{\"id\":");
+    json::write_escaped(&mut out, id);
+    out.push_str(",\"ok\":true,\"stats\":");
+    out.push_str(snapshot_json);
+    out.push('}');
+    out
+}
+
 /// Shorthand for a [`Reply::Error`] with no source line.
 pub(crate) fn error_reply(id: Option<&str>, kind: ErrorKind, message: impl Into<String>) -> Reply {
     Reply::Error(ErrorReply {
@@ -333,6 +440,54 @@ mod tests {
                 other => panic!("{line}: expected bad_request, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn admin_lines_dispatch_on_cmd() {
+        match Incoming::parse(r#"{"id":"s1","cmd":"stats"}"#) {
+            Ok(Incoming::Admin(a)) => {
+                assert_eq!(a.id, "s1");
+                assert_eq!(a.cmd, AdminCmd::Stats);
+            }
+            other => panic!("expected admin request, got {other:?}"),
+        }
+        // No `cmd` → the ordinary optimization path.
+        assert!(matches!(
+            Incoming::parse(r#"{"id":"a","kernel":"dmxpy1"}"#),
+            Ok(Incoming::Optimize(_))
+        ));
+        // Bad admin lines are structured errors with the recovered id.
+        for (line, want_id) in [
+            (r#"{"cmd":"stats"}"#, None),
+            (r#"{"id":"x","cmd":"reboot"}"#, Some("x")),
+            (r#"{"id":"x","cmd":7}"#, Some("x")),
+            (r#"{"id":"x","cmd":"stats","kernel":"k"}"#, Some("x")),
+        ] {
+            match Incoming::parse(line) {
+                Err(Reply::Error(e)) => {
+                    assert_eq!(e.kind, ErrorKind::BadRequest, "{line}");
+                    assert_eq!(e.id.as_deref(), want_id, "{line}");
+                }
+                other => panic!("{line}: expected bad_request, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stats_replies_embed_the_snapshot_verbatim() {
+        let line = stats_reply(
+            "s1",
+            r#"{"version":1,"counters":{},"gauges":{},"histograms":{}}"#,
+        );
+        let doc = json::parse(&line).expect("valid JSON");
+        assert_eq!(doc.get("id").and_then(Value::as_str), Some("s1"));
+        assert_eq!(doc.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(
+            doc.get("stats")
+                .and_then(|s| s.get("version"))
+                .and_then(Value::as_f64),
+            Some(1.0)
+        );
     }
 
     #[test]

@@ -18,15 +18,19 @@
 use std::io::{BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-use ujam_core::{optimize_cancellable, parallel_map_indexed, CancelToken, OptimizeError};
+use ujam_core::{optimize_observed, parallel_map_indexed, CancelToken, OptimizeError};
 use ujam_ir::LoopNest;
+use ujam_metrics::{Counter, Gauge, Histogram, MetricsHandle, MetricsSnapshot};
 use ujam_trace::{null_sink, TraceRecord, TraceSink};
 
 use crate::cache::{decision_key, CacheStats, Decision, DecisionCache};
-use crate::proto::{ErrorKind, ErrorReply, OkReply, Reply, Request, Source};
+use crate::proto::{
+    stats_reply, AdminCmd, AdminRequest, ErrorKind, ErrorReply, Incoming, OkReply, Reply, Request,
+    Source,
+};
 
 /// Tunables for a [`Server`].
 #[derive(Clone, Copy, Debug)]
@@ -69,17 +73,107 @@ pub struct Server<'s> {
     cfg: ServeConfig,
     cache: Mutex<DecisionCache>,
     sink: &'s dyn TraceSink,
+    metrics: Option<ServeMetrics>,
+}
+
+/// The server's metric set, resolved once at construction so the hot
+/// path never touches the registry lock — and so every snapshot carries
+/// the same metric names (zeros included) no matter how little traffic
+/// the daemon has seen.
+///
+/// Admin lines (`{"cmd":"stats"}`) are counted under
+/// `serve.admin_requests`, *not* `serve.requests`, which is what keeps
+/// the request counter a stats query returns exactly equal to the
+/// replayed batch's ground truth.
+struct ServeMetrics {
+    handle: MetricsHandle,
+    requests: Arc<Counter>,
+    admin_requests: Arc<Counter>,
+    replies_ok: Arc<Counter>,
+    replies_error: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    batches: Arc<Counter>,
+    inflight: Arc<Gauge>,
+    queue_depth: Arc<Gauge>,
+    cache_entries: Arc<Gauge>,
+    cache_bytes: Arc<Gauge>,
+    request_ns: Arc<Histogram>,
+    batch_size: Arc<Histogram>,
+    cache_lookup_ns: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    /// Resolves the serve metric set, or `None` for a disabled handle.
+    /// Pass-duration histograms are touched eagerly too, so they appear
+    /// (empty) in snapshots taken before the first uncached request.
+    fn resolve(handle: &MetricsHandle) -> Option<ServeMetrics> {
+        let reg = handle.registry()?;
+        for pass in [
+            "select-loops",
+            "build-tables",
+            "search-space",
+            "apply-transform",
+        ] {
+            reg.histogram(&format!("pass.{pass}.ns"));
+        }
+        Some(ServeMetrics {
+            handle: handle.clone(),
+            requests: reg.counter("serve.requests"),
+            admin_requests: reg.counter("serve.admin_requests"),
+            replies_ok: reg.counter("serve.replies_ok"),
+            replies_error: reg.counter("serve.replies_error"),
+            deadline_exceeded: reg.counter("serve.deadline_exceeded"),
+            cache_hits: reg.counter("serve.cache.hits"),
+            cache_misses: reg.counter("serve.cache.misses"),
+            cache_evictions: reg.counter("serve.cache.evictions"),
+            batches: reg.counter("serve.batches"),
+            inflight: reg.gauge("serve.inflight"),
+            queue_depth: reg.gauge("serve.queue_depth"),
+            cache_entries: reg.gauge("serve.cache.entries"),
+            cache_bytes: reg.gauge("serve.cache.bytes"),
+            request_ns: reg.histogram("serve.request_ns"),
+            batch_size: reg.histogram("serve.batch_size"),
+            cache_lookup_ns: reg.histogram("serve.cache.lookup_ns"),
+        })
+    }
 }
 
 impl<'s> Server<'s> {
     /// A server with the given tunables, reporting its counters
     /// (`serve.request`, `serve.cache.hit`/`miss`/`evict`,
-    /// `serve.deadline_exceeded`, ...) to `sink`.
+    /// `serve.deadline_exceeded`, ...) to `sink`, with metrics
+    /// disabled (`{"cmd":"stats"}` answers with an empty snapshot).
     pub fn new(cfg: ServeConfig, sink: &'s dyn TraceSink) -> Server<'s> {
+        Server::with_metrics(cfg, sink, MetricsHandle::disabled())
+    }
+
+    /// [`Server::new`] with a [`MetricsHandle`]: request/reply counters,
+    /// latency and batch-size histograms, cache and in-flight gauges,
+    /// and per-pass duration histograms all record into its registry,
+    /// and `{"cmd":"stats"}` (the `ujam stats` subcommand) answers with
+    /// a versioned snapshot of it.
+    pub fn with_metrics(
+        cfg: ServeConfig,
+        sink: &'s dyn TraceSink,
+        metrics: MetricsHandle,
+    ) -> Server<'s> {
         Server {
             cfg,
             cache: Mutex::new(DecisionCache::new(cfg.cache_capacity)),
             sink,
+            metrics: ServeMetrics::resolve(&metrics),
+        }
+    }
+
+    /// A point-in-time snapshot of the server's metrics registry (empty
+    /// when the server was built without one).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        match &self.metrics {
+            Some(m) => m.handle.snapshot(),
+            None => MetricsHandle::disabled().snapshot(),
         }
     }
 
@@ -95,9 +189,40 @@ impl<'s> Server<'s> {
     }
 
     /// Answers one request line with one reply line (no newline).
+    ///
+    /// Admin lines (`{"cmd":"stats"}`) are answered from the metrics
+    /// registry and counted under `serve.admin_requests`; everything
+    /// else — including malformed lines — counts as a request.
     pub fn handle_line(&self, line: &str) -> String {
+        match Incoming::parse(line) {
+            Ok(Incoming::Admin(admin)) => self.handle_admin(&admin),
+            Ok(Incoming::Optimize(req)) => self.answer(Ok(req)),
+            Err(reply) => self.answer(Err(reply)),
+        }
+    }
+
+    /// Answers an admin request (never counted as an optimize request,
+    /// so stats snapshots match replay ground truth exactly).
+    fn handle_admin(&self, admin: &AdminRequest) -> String {
+        if let Some(m) = &self.metrics {
+            m.admin_requests.inc();
+        }
+        match admin.cmd {
+            AdminCmd::Stats => stats_reply(&admin.id, &self.metrics_snapshot().render_json()),
+        }
+    }
+
+    /// Answers one parsed (or unparsable) optimize line, with request
+    /// accounting: end-to-end latency, in-flight gauge, and ok/error/
+    /// deadline counters on both the trace and metrics channels.
+    fn answer(&self, parsed: Result<Request, Reply>) -> String {
         self.count("serve.request", 1);
-        let reply = match Request::parse(line) {
+        let t0 = self.metrics.as_ref().map(|m| {
+            m.requests.inc();
+            m.inflight.add(1);
+            Instant::now()
+        });
+        let reply = match parsed {
             Ok(req) => self.process(req),
             Err(reply) => reply,
         };
@@ -110,6 +235,20 @@ impl<'s> Server<'s> {
                 }
             }
         }
+        if let Some(m) = &self.metrics {
+            match &reply {
+                Reply::Ok(_) => m.replies_ok.inc(),
+                Reply::Error(e) => {
+                    m.replies_error.inc();
+                    if e.kind == ErrorKind::DeadlineExceeded {
+                        m.deadline_exceeded.inc();
+                    }
+                }
+            }
+            m.inflight.add(-1);
+            m.request_ns
+                .observe(t0.expect("set with metrics").elapsed().as_nanos() as u64);
+        }
         reply.render()
     }
 
@@ -120,9 +259,18 @@ impl<'s> Server<'s> {
     /// except for the `cached` flags of duplicates racing within one
     /// batch.
     pub fn handle_batch(&self, lines: &[String]) -> Vec<String> {
-        parallel_map_indexed(lines.len(), self.cfg.workers.max(1), |i| {
+        if let Some(m) = &self.metrics {
+            m.batches.inc();
+            m.batch_size.observe(lines.len() as u64);
+            m.queue_depth.set(lines.len() as i64);
+        }
+        let replies = parallel_map_indexed(lines.len(), self.cfg.workers.max(1), |i| {
             self.handle_line(&lines[i])
-        })
+        });
+        if let Some(m) = &self.metrics {
+            m.queue_depth.set(0);
+        }
+        replies
     }
 
     /// Resolves the request's nest, or the structured error reply.
@@ -153,11 +301,22 @@ impl<'s> Server<'s> {
             Err(reply) => return reply,
         };
         let key = decision_key(&nest, &req.machine, req.model);
-        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+        let lookup_t0 = self.metrics.as_ref().map(|_| Instant::now());
+        let hit = self.cache.lock().expect("cache lock").get(&key);
+        if let (Some(m), Some(t0)) = (&self.metrics, lookup_t0) {
+            m.cache_lookup_ns.observe(t0.elapsed().as_nanos() as u64);
+        }
+        if let Some(hit) = hit {
             self.count("serve.cache.hit", 1);
+            if let Some(m) = &self.metrics {
+                m.cache_hits.inc();
+            }
             return ok_reply(&req.id, hit, true);
         }
         self.count("serve.cache.miss", 1);
+        if let Some(m) = &self.metrics {
+            m.cache_misses.inc();
+        }
 
         let cancel = match req.deadline_ms {
             Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
@@ -167,8 +326,20 @@ impl<'s> Server<'s> {
         // input; `catch_unwind` is the last line of defence so that even
         // a bug in the pipeline answers this one request with an
         // `internal` error instead of killing the daemon.
+        let pass_metrics = self
+            .metrics
+            .as_ref()
+            .map(|m| m.handle.clone())
+            .unwrap_or_default();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            optimize_cancellable(&nest, &req.machine, req.model, null_sink(), cancel)
+            optimize_observed(
+                &nest,
+                &req.machine,
+                req.model,
+                null_sink(),
+                cancel,
+                pass_metrics,
+            )
         }));
         let decision = match outcome {
             Ok(Ok(plan)) => Decision::from_plan(&plan),
@@ -201,8 +372,14 @@ impl<'s> Server<'s> {
             let before = cache.stats().evictions;
             cache.insert(key, decision.clone());
             let evicted = cache.stats().evictions - before;
+            let (entries, bytes) = (cache.len(), cache.approx_bytes());
             drop(cache);
             self.count("serve.cache.evict", evicted);
+            if let Some(m) = &self.metrics {
+                m.cache_evictions.add(evicted);
+                m.cache_entries.set(entries as i64);
+                m.cache_bytes.set(bytes as i64);
+            }
         }
         ok_reply(&req.id, decision, false)
     }
@@ -393,6 +570,161 @@ mod tests {
         if format!("{roundtrip}") == format!("{direct}") {
             let second = s.handle_line(r#"{"id":"b","kernel":"dmxpy1"}"#);
             assert!(second.contains("\"cached\":true"), "{second}");
+        }
+    }
+
+    fn metric_server(
+        sink: &dyn TraceSink,
+    ) -> (std::sync::Arc<ujam_metrics::MetricsRegistry>, Server<'_>) {
+        let registry = std::sync::Arc::new(ujam_metrics::MetricsRegistry::new());
+        let server = Server::with_metrics(
+            ServeConfig {
+                workers: 2,
+                batch_max: 8,
+                cache_capacity: 16,
+            },
+            sink,
+            MetricsHandle::new(std::sync::Arc::clone(&registry)),
+        );
+        (registry, server)
+    }
+
+    #[test]
+    fn metrics_mirror_request_and_cache_accounting() {
+        let (_, s) = metric_server(null_sink());
+        s.handle_line(r#"{"id":"a","kernel":"dmxpy1"}"#);
+        s.handle_line(r#"{"id":"b","kernel":"dmxpy1"}"#);
+        s.handle_line(r#"{"id":"c","kernel":"nope"}"#);
+        let snap = s.metrics_snapshot();
+        assert_eq!(snap.counter("serve.requests"), 3);
+        assert_eq!(snap.counter("serve.replies_ok"), 2);
+        assert_eq!(snap.counter("serve.replies_error"), 1);
+        assert_eq!(snap.counter("serve.cache.hits"), 1);
+        assert_eq!(snap.counter("serve.cache.misses"), 1);
+        assert_eq!(snap.gauge("serve.inflight"), 0, "requests all retired");
+        assert_eq!(snap.gauge("serve.cache.entries"), 1);
+        assert!(snap.gauge("serve.cache.bytes") > 0);
+        let latency = snap.histogram("serve.request_ns").expect("present");
+        assert_eq!(latency.count, 3, "every request observed once");
+        assert!(latency.sum > 0);
+        // The uncached request drove the real pipeline: each pass
+        // histogram holds exactly one observation.
+        for pass in [
+            "select-loops",
+            "build-tables",
+            "search-space",
+            "apply-transform",
+        ] {
+            let h = snap
+                .histogram(&format!("pass.{pass}.ns"))
+                .unwrap_or_else(|| panic!("pass.{pass}.ns present"));
+            assert_eq!(h.count, 1, "pass.{pass}.ns");
+        }
+        // Cache lookups happened for both resolvable requests.
+        assert_eq!(
+            snap.histogram("serve.cache.lookup_ns")
+                .expect("present")
+                .count,
+            2
+        );
+    }
+
+    #[test]
+    fn stats_requests_answer_from_the_registry_without_counting_as_requests() {
+        let (_, s) = metric_server(null_sink());
+        s.handle_line(r#"{"id":"a","kernel":"dmxpy1"}"#);
+        let reply = s.handle_line(r#"{"id":"s1","cmd":"stats"}"#);
+        let doc = json::parse(&reply).expect("valid JSON");
+        assert_eq!(doc.get("ok"), Some(&json::Value::Bool(true)));
+        let stats = doc.get("stats").expect("stats object");
+        assert_eq!(
+            stats
+                .get("counters")
+                .and_then(|c| c.get("serve.requests"))
+                .and_then(json::Value::as_f64),
+            Some(1.0),
+            "the stats line itself must not count as a request"
+        );
+        assert_eq!(
+            stats
+                .get("counters")
+                .and_then(|c| c.get("serve.admin_requests"))
+                .and_then(json::Value::as_f64),
+            Some(1.0)
+        );
+        // A second stats call sees the admin counter advance, nothing else.
+        let snap = s.metrics_snapshot();
+        assert_eq!(snap.counter("serve.requests"), 1);
+        assert_eq!(snap.counter("serve.admin_requests"), 1);
+    }
+
+    #[test]
+    fn batch_metrics_record_size_and_settle_the_queue_gauge() {
+        let (_, s) = metric_server(null_sink());
+        let lines: Vec<String> = (0..3)
+            .map(|i| format!(r#"{{"id":"r{i}","kernel":"dmxpy1"}}"#))
+            .collect();
+        s.handle_batch(&lines);
+        let snap = s.metrics_snapshot();
+        assert_eq!(snap.counter("serve.batches"), 1);
+        assert_eq!(snap.gauge("serve.queue_depth"), 0);
+        let sizes = snap.histogram("serve.batch_size").expect("present");
+        assert_eq!(sizes.count, 1);
+        assert_eq!(sizes.sum, 3);
+        assert_eq!(snap.counter("serve.requests"), 3);
+    }
+
+    #[test]
+    fn metricless_servers_answer_stats_with_an_empty_snapshot() {
+        let s = server(null_sink());
+        let reply = s.handle_line(r#"{"id":"s","cmd":"stats"}"#);
+        let doc = json::parse(&reply).expect("valid JSON");
+        assert_eq!(doc.get("ok"), Some(&json::Value::Bool(true)));
+        let counters = doc
+            .get("stats")
+            .and_then(|s| s.get("counters"))
+            .expect("counters object");
+        assert_eq!(counters, &json::Value::Object(Default::default()));
+    }
+
+    /// Replay determinism: serving the same batch to two servers yields
+    /// identical snapshots once timing-valued fields are projected out.
+    /// One worker, because duplicate requests racing within a batch make
+    /// the cache hit/miss split scheduling-dependent by design.
+    #[test]
+    fn replayed_batches_produce_identical_snapshots_modulo_timing() {
+        let run = || {
+            let registry = std::sync::Arc::new(ujam_metrics::MetricsRegistry::new());
+            let s = Server::with_metrics(
+                ServeConfig {
+                    workers: 1,
+                    batch_max: 8,
+                    cache_capacity: 16,
+                },
+                null_sink(),
+                MetricsHandle::new(std::sync::Arc::clone(&registry)),
+            );
+            let lines: Vec<String> = [
+                r#"{"id":"1","kernel":"dmxpy1"}"#,
+                r#"{"id":"2","kernel":"dmxpy1"}"#,
+                r#"{"id":"3","kernel":"nope"}"#,
+                r#"not json"#,
+            ]
+            .iter()
+            .map(|l| l.to_string())
+            .collect();
+            s.handle_batch(&lines);
+            s.metrics_snapshot()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.gauges, b.gauges);
+        // Histograms: identical names and counts; sums are wall time.
+        let names =
+            |s: &ujam_metrics::MetricsSnapshot| s.histograms.keys().cloned().collect::<Vec<_>>();
+        assert_eq!(names(&a), names(&b));
+        for (name, h) in &a.histograms {
+            assert_eq!(h.count, b.histograms[name].count, "{name}");
         }
     }
 

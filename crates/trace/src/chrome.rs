@@ -1,0 +1,159 @@
+//! Chrome trace-event export: spans as a timeline loadable in Perfetto
+//! or `chrome://tracing` (`ujam optimize --trace=chrome`).
+//!
+//! The wire format is the Trace Event Format's JSON-array flavour: one
+//! complete event (`"ph":"X"`) per span, with `ts`/`dur` in
+//! microseconds.  Collected spans carry durations but no start times
+//! (the sink records a pass the moment it finishes), so timestamps are
+//! synthesized: each nest becomes one "thread" (`tid`) whose spans butt
+//! end-to-start in emission order — exactly the sequential pipeline the
+//! optimizer ran.  A `"ph":"M"` `thread_name` metadata event labels each
+//! tid with its nest, so the timeline reads `select-loops →
+//! build-tables → search-space → apply-transform` per nest row.
+
+use std::fmt::Write as _;
+
+use crate::json::{write_escaped, write_f64};
+use crate::Trace;
+
+/// Renders a [`Trace`]'s spans as Chrome trace-event JSON.
+///
+/// # Example
+///
+/// ```
+/// use ujam_trace::{ChromeTraceRenderer, Trace, TraceRecord};
+/// let trace = Trace::new(vec![
+///     TraceRecord::span("intro", "select-loops", 1_500),
+///     TraceRecord::span("intro", "build-tables", 2_500),
+/// ]);
+/// let doc = ChromeTraceRenderer::render(&trace);
+/// let v = ujam_trace::json::parse(&doc).expect("valid JSON");
+/// let events = v.as_array().expect("an array");
+/// // One "X" event per span, plus one thread_name metadata event.
+/// let complete = events.iter().filter(|e| {
+///     e.get("ph").and_then(ujam_trace::json::Value::as_str) == Some("X")
+/// }).count();
+/// assert_eq!(complete, 2);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChromeTraceRenderer;
+
+impl ChromeTraceRenderer {
+    /// Renders every span of `trace` as one JSON array of trace events:
+    /// a `thread_name` metadata event per nest (in first-seen order)
+    /// followed by one `"ph":"X"` complete event per span, timestamps
+    /// synthesized sequentially per nest.
+    pub fn render(trace: &Trace) -> String {
+        let spans: Vec<(&str, &str, u128)> = trace.spans().collect();
+        // First-seen nest order fixes each nest's tid.
+        let mut nests: Vec<&str> = Vec::new();
+        for &(nest, _, _) in &spans {
+            if !nests.contains(&nest) {
+                nests.push(nest);
+            }
+        }
+        let tid_of = |nest: &str| nests.iter().position(|&n| n == nest).expect("seen") + 1;
+
+        let mut out = String::from("[");
+        let mut first = true;
+        for &nest in &nests {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":",
+                tid_of(nest)
+            );
+            write_escaped(&mut out, nest);
+            out.push_str("}}");
+        }
+        // One sequential clock per tid, in microseconds.
+        let mut clock = vec![0.0f64; nests.len() + 1];
+        for (nest, name, nanos) in spans {
+            let tid = tid_of(nest);
+            let dur = nanos as f64 / 1000.0;
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":");
+            write_escaped(&mut out, name);
+            out.push_str(",\"cat\":\"pass\",\"ph\":\"X\",\"ts\":");
+            write_f64(&mut out, clock[tid]);
+            out.push_str(",\"dur\":");
+            write_f64(&mut out, dur);
+            let _ = write!(out, ",\"pid\":1,\"tid\":{tid}}}");
+            clock[tid] += dur;
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Value};
+    use crate::TraceRecord;
+
+    #[test]
+    fn empty_traces_render_an_empty_array() {
+        let doc = ChromeTraceRenderer::render(&Trace::default());
+        assert_eq!(doc, "[]");
+        assert_eq!(json::parse(&doc).expect("valid"), Value::Array(vec![]));
+    }
+
+    #[test]
+    fn spans_of_one_nest_butt_end_to_start() {
+        let trace = Trace::new(vec![
+            TraceRecord::span("n", "a", 2_000),
+            TraceRecord::span("n", "b", 3_000),
+        ]);
+        let v = json::parse(&ChromeTraceRenderer::render(&trace)).expect("valid");
+        let events = v.as_array().expect("array");
+        let xs: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .collect();
+        assert_eq!(xs.len(), 2);
+        assert_eq!(xs[0].get("ts").and_then(Value::as_f64), Some(0.0));
+        assert_eq!(xs[0].get("dur").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(xs[1].get("ts").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(xs[1].get("dur").and_then(Value::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn each_nest_gets_its_own_named_thread() {
+        let trace = Trace::new(vec![
+            TraceRecord::span("alpha", "p", 1_000),
+            TraceRecord::span("beta", "p", 1_000),
+            TraceRecord::span("alpha", "q", 1_000),
+        ]);
+        let v = json::parse(&ChromeTraceRenderer::render(&trace)).expect("valid");
+        let events = v.as_array().expect("array");
+        let metas: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .collect();
+        assert_eq!(metas.len(), 2, "one thread_name per nest");
+        let thread_name = |m: &Value| {
+            m.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+        };
+        assert_eq!(thread_name(metas[0]).as_deref(), Some("alpha"));
+        assert_eq!(thread_name(metas[1]).as_deref(), Some("beta"));
+        // alpha's second span starts where its first ended, on the same tid.
+        let xs: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .collect();
+        assert_eq!(xs[0].get("tid"), xs[2].get("tid"));
+        assert_ne!(xs[0].get("tid"), xs[1].get("tid"));
+        assert_eq!(xs[1].get("ts").and_then(Value::as_f64), Some(0.0));
+        assert_eq!(xs[2].get("ts").and_then(Value::as_f64), Some(1.0));
+    }
+}

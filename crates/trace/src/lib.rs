@@ -42,8 +42,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chrome;
 pub mod json;
 mod render;
+
+pub use chrome::ChromeTraceRenderer;
 
 use std::fmt;
 use std::sync::Mutex;

@@ -1,0 +1,89 @@
+//! Chrome trace-event export: RFC 8259 validity (via the in-tree strict
+//! parser) and span round-tripping from a [`CollectingSink`] fixture.
+
+use ujam_trace::json::{self, Value};
+use ujam_trace::{ChromeTraceRenderer, CollectingSink, TraceRecord, TraceSink};
+
+/// A realistic collected trace: two nests, the four standard passes on
+/// one and a partial pipeline on the other, with counters and events
+/// interleaved the way the real pipeline emits them (the renderer must
+/// ignore everything that is not a span).
+fn fixture() -> ujam_trace::Trace {
+    let sink = CollectingSink::new();
+    for (pass, nanos) in [
+        ("select-loops", 12_345),
+        ("build-tables", 456_789),
+        ("search-space", 1_234_567),
+        ("apply-transform", 89_012),
+    ] {
+        sink.record(TraceRecord::span("dmxpy1", pass, nanos));
+        sink.record(TraceRecord::counter("dmxpy1", "ugs.hit", 1));
+    }
+    sink.record(TraceRecord::event("dmxpy1", "selected loops [0]"));
+    sink.record(TraceRecord::span("mm\"quoted", "select-loops", 999));
+    sink.take()
+}
+
+#[test]
+fn chrome_output_is_rfc8259_valid() {
+    let trace = fixture();
+    let doc = ChromeTraceRenderer::render(&trace);
+    let v = json::parse(&doc).expect("strict parse accepts the document");
+    assert!(v.as_array().is_some(), "top level is a bare JSON array");
+}
+
+#[test]
+fn complete_event_count_equals_collected_span_count() {
+    let trace = fixture();
+    let doc = ChromeTraceRenderer::render(&trace);
+    let v = json::parse(&doc).expect("valid");
+    let complete = v
+        .as_array()
+        .expect("array")
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .count();
+    assert_eq!(complete, trace.spans().count());
+}
+
+#[test]
+fn span_names_and_durations_round_trip() {
+    let trace = fixture();
+    let doc = ChromeTraceRenderer::render(&trace);
+    let v = json::parse(&doc).expect("valid");
+    let events = v.as_array().expect("array");
+    let xs: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .collect();
+    // The X events appear in span emission order; `dur` is µs, spans
+    // are ns, and every fixture duration is exactly representable.
+    for (event, (_, name, nanos)) in xs.iter().zip(trace.spans()) {
+        assert_eq!(event.get("name").and_then(Value::as_str), Some(name));
+        let dur = event.get("dur").and_then(Value::as_f64).expect("dur");
+        assert_eq!(dur * 1000.0, nanos as f64, "span {name}");
+        assert!(event.get("ts").and_then(Value::as_f64).is_some());
+        assert!(event.get("pid").and_then(Value::as_f64).is_some());
+        assert!(event.get("tid").and_then(Value::as_f64).is_some());
+    }
+    // Nest names survive escaping: the quoted nest labels its thread.
+    let quoted_meta = events.iter().any(|e| {
+        e.get("ph").and_then(Value::as_str) == Some("M")
+            && e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str)
+                == Some("mm\"quoted")
+    });
+    assert!(quoted_meta, "escaped nest name round-trips");
+}
+
+#[test]
+fn events_and_counters_do_not_leak_into_the_timeline() {
+    let trace = fixture();
+    let doc = ChromeTraceRenderer::render(&trace);
+    let v = json::parse(&doc).expect("valid");
+    for event in v.as_array().expect("array") {
+        let ph = event.get("ph").and_then(Value::as_str).expect("ph");
+        assert!(matches!(ph, "X" | "M"), "unexpected phase {ph:?}");
+    }
+}

@@ -1,0 +1,149 @@
+//! CI helper: validates the bench artifacts `BENCH_serve.json` and
+//! `BENCH_search.json`.
+//!
+//! Usage: `validate_metrics <BENCH_serve.json> <BENCH_search.json>`
+//! (defaults to both files at the repository root).  Each document is
+//! parsed with the in-tree strict JSON parser; the serve document's
+//! embedded metrics snapshot must be internally consistent with the
+//! workload it claims (request counters, cache accounting, latency
+//! histogram totals, monotone quantiles), and the search document must
+//! carry the row schema `validate_search_bench` gates in full.  Exits
+//! non-zero with a message on any violation.
+
+use std::process::ExitCode;
+use ujam::trace::json::{self, Value};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(summary) => {
+            println!("metrics OK: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("invalid metrics artifact: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<String, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/");
+    let serve_path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| format!("{root}BENCH_serve.json"));
+    let search_path = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| format!("{root}BENCH_search.json"));
+    let serve = check_serve(&parse_file(&serve_path)?).map_err(|e| format!("{serve_path}: {e}"))?;
+    let search =
+        check_search(&parse_file(&search_path)?).map_err(|e| format!("{search_path}: {e}"))?;
+    Ok(format!("{serve}; {search}"))
+}
+
+fn parse_file(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn field(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn check_serve(doc: &Value) -> Result<String, String> {
+    if doc.get("bench").and_then(Value::as_str) != Some("serve_latency") {
+        return Err("bench field is not \"serve_latency\"".into());
+    }
+    let requests = field(doc, "requests")?;
+    if requests < 1.0 {
+        return Err("requests must be positive".into());
+    }
+    let snapshot = doc.get("snapshot").ok_or("missing snapshot object")?;
+    if field(snapshot, "version")? != 1.0 {
+        return Err("snapshot version is not 1".into());
+    }
+    let counters = snapshot.get("counters").ok_or("missing counters object")?;
+    if field(counters, "serve.requests")? != requests {
+        return Err("serve.requests disagrees with the workload".into());
+    }
+    if field(counters, "serve.replies_ok")? != requests {
+        return Err("a workload request failed".into());
+    }
+    if field(counters, "serve.cache.hits")? + field(counters, "serve.cache.misses")? != requests {
+        return Err("cache hits + misses != requests".into());
+    }
+    let latency = snapshot
+        .get("histograms")
+        .and_then(|h| h.get("serve.request_ns"))
+        .ok_or("missing serve.request_ns histogram")?;
+    if field(latency, "count")? != requests {
+        return Err("latency histogram count != requests".into());
+    }
+    let (p50, p90, p99) = (
+        field(latency, "p50")?,
+        field(latency, "p90")?,
+        field(latency, "p99")?,
+    );
+    if !(p50 <= p90 && p90 <= p99) {
+        return Err(format!(
+            "non-monotone quantiles p50={p50} p90={p90} p99={p99}"
+        ));
+    }
+    let buckets = latency
+        .get("buckets")
+        .and_then(Value::as_array)
+        .ok_or("missing buckets array")?;
+    let mut total = 0.0;
+    for b in buckets {
+        let triple = b
+            .as_array()
+            .filter(|t| t.len() == 3)
+            .ok_or("bucket is not a [lo,hi,count] triple")?;
+        let (lo, hi) = (
+            triple[0].as_f64().ok_or("bucket lo")?,
+            triple[1].as_f64().ok_or("bucket hi")?,
+        );
+        if lo > hi {
+            return Err(format!("inverted bucket bounds [{lo},{hi}]"));
+        }
+        total += triple[2].as_f64().ok_or("bucket count")?;
+    }
+    if total != requests {
+        return Err(format!("bucket counts sum to {total}, want {requests}"));
+    }
+    Ok(format!("serve_latency: {requests} requests accounted"))
+}
+
+fn check_search(doc: &Value) -> Result<String, String> {
+    if doc.get("bench").and_then(Value::as_str) != Some("search_scaling") {
+        return Err("bench field is not \"search_scaling\"".into());
+    }
+    let rows = doc
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or("missing rows array")?;
+    if rows.is_empty() {
+        return Err("rows array is empty".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        for key in [
+            "space",
+            "bound",
+            "naive_ns",
+            "summed_area_ns",
+            "pruned_ns",
+            "pruned_upset",
+            "speedup_naive_over_summed",
+        ] {
+            field(row, key).map_err(|e| format!("row {i}: {e}"))?;
+        }
+        if row.get("winners_agree") != Some(&Value::Bool(true)) {
+            return Err(format!("row {i}: engines disagree on the winner"));
+        }
+    }
+    Ok(format!("search_scaling: {} rows", rows.len()))
+}

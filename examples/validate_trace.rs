@@ -1,15 +1,19 @@
-//! CI helper: validates a `ujam optimize --trace=json` document.
+//! CI helper: validates a `ujam optimize --trace=json` document — or,
+//! with `--chrome`, a `--trace=chrome` trace-event export.
 //!
-//! Reads the file named by the first argument (or stdin when absent),
-//! parses it with the in-tree strict JSON parser, and checks the shape
-//! the observability layer promises: a span for every pipeline pass,
-//! cache counters, and exactly one winning explain record.  Exits
-//! non-zero with a message on any violation — `ci.sh` runs this against
-//! a freshly captured trace.
+//! Reads the file named by the first non-flag argument (or stdin when
+//! absent), parses it with the in-tree strict JSON parser, and checks
+//! the shape the observability layer promises.  Default mode: a span
+//! for every pipeline pass, cache counters, and exactly one winning
+//! explain record.  `--chrome` mode: a bare array of trace events whose
+//! phases are only `"X"` (complete) and `"M"` (metadata), with numeric
+//! `ts`/`dur`/`pid`/`tid` on every complete event and one per pipeline
+//! pass.  Exits non-zero with a message on any violation — `ci.sh` runs
+//! this against freshly captured documents in both modes.
 
 use std::io::Read;
 use std::process::ExitCode;
-use ujam::trace::json;
+use ujam::trace::json::{self, Value};
 
 fn main() -> ExitCode {
     match run() {
@@ -25,9 +29,11 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<String, String> {
-    let text = match std::env::args().nth(1) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let chrome = args.iter().any(|a| a == "--chrome");
+    let text = match args.iter().find(|a| !a.starts_with("--")) {
         Some(path) => {
-            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path:?}: {e}"))?
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?
         }
         None => {
             let mut buf = String::new();
@@ -38,6 +44,9 @@ fn run() -> Result<String, String> {
         }
     };
     let doc = json::parse(&text)?;
+    if chrome {
+        return check_chrome(&doc);
+    }
 
     let spans = doc
         .get("spans")
@@ -85,5 +94,55 @@ fn run() -> Result<String, String> {
         spans.len(),
         counters.len(),
         explain.len()
+    ))
+}
+
+/// Checks a `--trace=chrome` export: a bare trace-event array with only
+/// complete (`X`) and metadata (`M`) phases, numerically timestamped
+/// complete events, and one per pipeline pass.
+fn check_chrome(doc: &Value) -> Result<String, String> {
+    let events = doc.as_array().ok_or("top level is not an array")?;
+    let mut complete = 0usize;
+    let mut threads = 0usize;
+    let mut names: Vec<&str> = Vec::new();
+    for (i, event) in events.iter().enumerate() {
+        let ph = event
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        match ph {
+            "M" => threads += 1,
+            "X" => {
+                complete += 1;
+                for key in ["ts", "dur", "pid", "tid"] {
+                    if event.get(key).and_then(Value::as_f64).is_none() {
+                        return Err(format!("event {i}: missing numeric {key}"));
+                    }
+                }
+                names.push(
+                    event
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| format!("event {i}: missing name"))?,
+                );
+            }
+            other => return Err(format!("event {i}: unexpected phase {other:?}")),
+        }
+    }
+    for pass in [
+        "select-loops",
+        "build-tables",
+        "search-space",
+        "apply-transform",
+    ] {
+        if !names.contains(&pass) {
+            return Err(format!("no complete event for pass {pass:?}"));
+        }
+    }
+    if threads == 0 {
+        return Err("no thread_name metadata events".to_string());
+    }
+    Ok(format!(
+        "chrome: {complete} complete events on {threads} named threads"
     ))
 }

@@ -18,6 +18,7 @@
 //! | [`kernels`] | `ujam-kernels` | the 19 Table 2 loops and the synthetic §5.1 corpus |
 //! | [`fortran`] | `ujam-fortran` | a Fortran-77 DO-nest front end (parse + emit) |
 //! | [`trace`] | `ujam-trace` | trace sinks, per-pass spans/counters, decision provenance, renderers |
+//! | [`metrics`] | `ujam-metrics` | runtime metrics: counters, gauges, latency histograms, stats snapshots |
 //! | [`serve`] | `ujam-serve` | the `ujam serve` daemon: batched NDJSON requests, deadlines, decision cache |
 //!
 //! # Quickstart
@@ -62,6 +63,7 @@ pub use ujam_ir as ir;
 pub use ujam_kernels as kernels;
 pub use ujam_linalg as linalg;
 pub use ujam_machine as machine;
+pub use ujam_metrics as metrics;
 pub use ujam_reuse as reuse;
 pub use ujam_serve as serve;
 pub use ujam_sim as sim;

@@ -10,6 +10,8 @@
 //! ujam emit <loop>                   # render as Fortran source
 //! ujam schedule <loop> [options]     # list-schedule the optimized body
 //! ujam serve [options]               # NDJSON optimization daemon
+//! ujam request --socket PATH <json>  # send one request line to a daemon
+//! ujam stats --socket PATH [--json]  # query a daemon's metrics snapshot
 //! ```
 //!
 //! `<loop>` is a Table 2 kernel name (`ujam list`) or a path to a Fortran
@@ -17,19 +19,30 @@
 //!
 //! Options: `--machine alpha|parisc|prefetch`, `--model cache|allhits`.
 //! `optimize` additionally takes `--explain` (per-candidate decision
-//! provenance) and `--trace`/`--trace=json` (pass spans, cache
-//! counters, events; the JSON form prints only the machine-readable
-//! document).
+//! provenance) and `--trace`/`--trace=json`/`--trace=chrome` (pass
+//! spans, cache counters, events; the JSON form prints only the
+//! machine-readable document, the chrome form a Chrome trace-event
+//! timeline loadable in Perfetto or `chrome://tracing`).
+//!
+//! `serve` always records runtime metrics (counters, gauges, latency
+//! histograms) into a `ujam-metrics` registry; `{"cmd":"stats"}` admin
+//! lines — or the `ujam stats` subcommand — return a snapshot, and
+//! `--metrics-interval SECS` additionally prints one JSON snapshot per
+//! interval to stderr.
 
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 use ujam::core::{optimize_traced, optimize_with, tables::CostTables, CostModel, UnrollSpace};
 use ujam::dep::{safe_unroll_bounds, DepGraph, DepKind};
 use ujam::ir::transform::scalar_replacement;
 use ujam::ir::LoopNest;
 use ujam::kernels::{kernel, kernels};
 use ujam::machine::MachineModel;
+use ujam::metrics::{MetricsHandle, MetricsRegistry};
 use ujam::sim::simulate;
-use ujam::trace::CollectingSink;
+use ujam::trace::json::{self, Value};
+use ujam::trace::{ChromeTraceRenderer, CollectingSink};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,11 +63,14 @@ const USAGE: &str = "usage:
   ujam deps <loop>
   ujam tables <loop> [bound]
   ujam optimize <loop> [--machine alpha|parisc|prefetch] [--model cache|allhits]
-                       [--explain] [--trace[=json]]
+                       [--explain] [--trace[=json|chrome]]
   ujam simulate <loop> [--machine alpha|parisc|prefetch] [--model cache|allhits]
   ujam emit <loop>
   ujam schedule <loop> [--machine alpha|parisc|prefetch] [--model cache|allhits]
   ujam serve [--workers N] [--batch N] [--cache N] [--socket PATH] [--trace[=json]]
+             [--metrics-interval SECS]
+  ujam request --socket PATH <json-line>
+  ujam stats --socket PATH [--json]
 
 <loop> is a kernel name from `ujam list` or a Fortran file (.f/.f77/.for)
 holding one DO nest.
@@ -62,7 +78,13 @@ holding one DO nest.
 `serve` reads one JSON request per line from stdin (or the Unix socket at
 PATH) and writes one JSON reply per line to stdout; see the ujam-serve
 crate docs for the protocol.  With --trace, service counters are printed
-to stderr on shutdown.";
+to stderr on shutdown.  Runtime metrics are always recorded;
+--metrics-interval prints one JSON snapshot per interval to stderr.
+
+`request` sends one raw NDJSON request line to a serving daemon's Unix
+socket and prints the reply line.  `stats` asks the daemon for its
+metrics snapshot ({\"cmd\":\"stats\"}) and renders it as a table, or as
+the raw versioned JSON snapshot with --json.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -161,6 +183,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 println!("{}", trace.render_json());
                 return Ok(());
             }
+            if opts.trace == TraceMode::Chrome {
+                println!("{}", ChromeTraceRenderer::render(&trace));
+                return Ok(());
+            }
             println!(
                 "machine {} (balance {}), model {:?}",
                 machine.name(),
@@ -253,13 +279,26 @@ fn run(args: &[String]) -> Result<(), String> {
             let opts = serve_options(it)?;
             let sink = CollectingSink::new();
             let tracing = opts.trace != TraceMode::Off;
-            let server = ujam::serve::Server::new(
+            // Metrics are always on: the registry is cheap when idle and
+            // `{"cmd":"stats"}` should answer without a restart.
+            let registry = Arc::new(MetricsRegistry::new());
+            if let Some(secs) = opts.metrics_interval {
+                let registry = Arc::clone(&registry);
+                // Detached: dies with the process.  Replies own stdout,
+                // so periodic snapshots go to stderr, one line each.
+                std::thread::spawn(move || loop {
+                    std::thread::sleep(std::time::Duration::from_secs(secs));
+                    eprintln!("{}", registry.snapshot().render_json());
+                });
+            }
+            let server = ujam::serve::Server::with_metrics(
                 opts.cfg,
                 if tracing {
                     &sink as &dyn ujam::trace::TraceSink
                 } else {
                     ujam::trace::null_sink()
                 },
+                MetricsHandle::new(Arc::clone(&registry)),
             );
             let result = match &opts.socket {
                 Some(path) => server.run_unix(std::path::Path::new(path)),
@@ -276,7 +315,48 @@ fn run(args: &[String]) -> Result<(), String> {
                     _ => eprint!("{}", trace.render_human()),
                 }
             }
+            if opts.metrics_interval.is_some() {
+                eprintln!("{}", registry.snapshot().render_json());
+            }
             result.map_err(|e| format!("serve: {e}"))
+        }
+        "request" => {
+            let (socket, rest) = socket_options(it)?;
+            let line = match rest.as_slice() {
+                [line] => line.as_str(),
+                [] => return Err("request needs a JSON line to send".into()),
+                _ => return Err("request takes exactly one JSON line".into()),
+            };
+            let reply = roundtrip(&socket, line)?;
+            println!("{reply}");
+            Ok(())
+        }
+        "stats" => {
+            let (socket, rest) = socket_options(it)?;
+            let json_out = match rest.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+                [] => false,
+                ["--json"] => true,
+                _ => return Err("stats takes only --socket PATH and --json".into()),
+            };
+            let reply = roundtrip(&socket, "{\"id\":\"stats-cli\",\"cmd\":\"stats\"}")?;
+            let parsed =
+                json::parse(&reply).map_err(|e| format!("daemon sent unparsable reply: {e}"))?;
+            if parsed.get("ok") != Some(&Value::Bool(true)) {
+                return Err(format!("daemon refused the stats query: {reply}"));
+            }
+            let stats = parsed
+                .get("stats")
+                .ok_or_else(|| format!("reply has no stats field: {reply}"))?;
+            if json_out {
+                // The reply embeds the snapshot verbatim as its last
+                // field, so the raw document is everything from
+                // `"stats":` to the closing brace.
+                let at = reply.find("\"stats\":").expect("field located above");
+                println!("{}", &reply[at + "\"stats\":".len()..reply.len() - 1]);
+            } else {
+                print!("{}", render_stats_human(stats));
+            }
+            Ok(())
         }
         other => Err(format!("unknown command {other:?}")),
     }
@@ -286,12 +366,14 @@ struct ServeOptions {
     cfg: ujam::serve::ServeConfig,
     socket: Option<String>,
     trace: TraceMode,
+    metrics_interval: Option<u64>,
 }
 
 fn serve_options<'a>(it: impl Iterator<Item = &'a String>) -> Result<ServeOptions, String> {
     let mut cfg = ujam::serve::ServeConfig::default();
     let mut socket = None;
     let mut trace = TraceMode::Off;
+    let mut metrics_interval = None;
     let mut it = it.peekable();
     let number = |flag: &str, v: Option<&String>| -> Result<usize, String> {
         v.and_then(|s| s.parse().ok())
@@ -310,6 +392,9 @@ fn serve_options<'a>(it: impl Iterator<Item = &'a String>) -> Result<ServeOption
                     .ok_or("--cache needs a number")?;
             }
             "--socket" => socket = Some(it.next().ok_or("--socket needs a path")?.clone()),
+            "--metrics-interval" => {
+                metrics_interval = Some(number("--metrics-interval", it.next()).map(|n| n as u64)?)
+            }
             "--trace" => trace = TraceMode::Human,
             "--trace=json" => trace = TraceMode::Json,
             "--trace=human" => trace = TraceMode::Human,
@@ -322,7 +407,106 @@ fn serve_options<'a>(it: impl Iterator<Item = &'a String>) -> Result<ServeOption
             other => return Err(format!("unknown option {other:?}")),
         }
     }
-    Ok(ServeOptions { cfg, socket, trace })
+    Ok(ServeOptions {
+        cfg,
+        socket,
+        trace,
+        metrics_interval,
+    })
+}
+
+/// Parses a `--socket PATH` flag list for the daemon-client subcommands
+/// (`request`, `stats`), returning the path and the unconsumed
+/// arguments.
+fn socket_options<'a>(
+    it: impl Iterator<Item = &'a String>,
+) -> Result<(String, Vec<String>), String> {
+    let mut socket = None;
+    let mut rest = Vec::new();
+    let mut it = it.peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => socket = Some(it.next().ok_or("--socket needs a path")?.clone()),
+            _ => rest.push(arg.clone()),
+        }
+    }
+    let socket = socket.ok_or("--socket PATH is required (the daemon's Unix socket)")?;
+    Ok((socket, rest))
+}
+
+/// Sends one NDJSON line to the daemon at `socket` and reads one reply
+/// line back.
+fn roundtrip(socket: &str, line: &str) -> Result<String, String> {
+    let stream = std::os::unix::net::UnixStream::connect(socket)
+        .map_err(|e| format!("cannot connect to {socket:?}: {e} (is `ujam serve` running?)"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("socket error: {e}"))?;
+    writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut reply = String::new();
+    std::io::BufReader::new(stream)
+        .read_line(&mut reply)
+        .map_err(|e| format!("cannot read reply: {e}"))?;
+    if reply.is_empty() {
+        return Err("daemon closed the connection without replying".into());
+    }
+    Ok(reply.trim_end().to_string())
+}
+
+/// Renders a parsed metrics snapshot as the aligned tables a human
+/// wants at a terminal (the daemon ships JSON; see `--json` for that).
+fn render_stats_human(stats: &Value) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if let Some(v) = stats.get("version").and_then(Value::as_f64) {
+        let _ = writeln!(out, "snapshot version {v}");
+    }
+    fn section(
+        out: &mut String,
+        title: &str,
+        body: Option<&Value>,
+        f: &dyn Fn(&mut String, &Value),
+    ) {
+        use std::fmt::Write as _;
+        let Some(Value::Object(m)) = body else { return };
+        if m.is_empty() {
+            return;
+        }
+        let wide = m.keys().map(String::len).max().unwrap_or(0);
+        let _ = writeln!(out, "{title}:");
+        for (name, v) in m {
+            let mut line = format!("  {name:wide$}  ");
+            f(&mut line, v);
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+    }
+    let plain: &dyn Fn(&mut String, &Value) = &|line, v| {
+        let _ = write!(line, "{}", v.as_f64().unwrap_or(0.0));
+    };
+    section(&mut out, "counters", stats.get("counters"), plain);
+    section(&mut out, "gauges", stats.get("gauges"), plain);
+    section(
+        &mut out,
+        "histograms",
+        stats.get("histograms"),
+        &|line, v| {
+            let field = |k: &str| v.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+            let _ = write!(
+                line,
+                "count {}  mean {:.1}  p50 {}  p90 {}  p99 {}",
+                field("count"),
+                field("mean"),
+                field("p50"),
+                field("p90"),
+                field("p99")
+            );
+        },
+    );
+    out
 }
 
 fn lookup(name: Option<&String>) -> Result<LoopNest, String> {
@@ -344,6 +528,7 @@ enum TraceMode {
     Off,
     Human,
     Json,
+    Chrome,
 }
 
 struct OptimizeOptions {
@@ -386,9 +571,10 @@ fn optimize_options<'a>(it: impl Iterator<Item = &'a String>) -> Result<Optimize
             "--trace" => trace = TraceMode::Human,
             "--trace=json" => trace = TraceMode::Json,
             "--trace=human" => trace = TraceMode::Human,
+            "--trace=chrome" => trace = TraceMode::Chrome,
             other if other.starts_with("--trace=") => {
                 return Err(format!(
-                    "bad --trace value {:?} (expected json or human)",
+                    "bad --trace value {:?} (expected json, human, or chrome)",
                     &other["--trace=".len()..]
                 ))
             }
