@@ -28,6 +28,13 @@ cargo bench --offline --workspace --no-run
 cargo bench --offline -p ujam-bench --bench search_scaling -- --quick --out /tmp/ujam_bench_search.json
 cargo run --release --offline --quiet --example validate_search_bench -- /tmp/ujam_bench_search.json
 
+# Register-tile smoke: a k = 3 search over a deep (4-loop) kernel with a
+# code budget must produce a schema-valid trace document whose explain
+# ledger balances (validate_trace re-checks the per-candidate accounting,
+# now including pruned_code_size fates).
+./target/release/ujam optimize tensor4 --max-unroll-loops=3 --code-budget=48 --explain --trace=json > /tmp/ujam_tile_trace.json
+cargo run --release --offline --quiet --example validate_trace -- /tmp/ujam_tile_trace.json
+
 # Serve smoke test: three NDJSON requests through the daemon's stdin — a
 # kernel request, its exact duplicate (must be cache-served with an
 # identical decision), and one malformed line (must get a structured
@@ -39,6 +46,15 @@ printf '%s\n' \
   'this is not json' \
   | ./target/release/ujam serve --workers 2 --batch 1 > /tmp/ujam_serve_replies.ndjson
 cargo run --release --offline --quiet --example validate_serve -- /tmp/ujam_serve_replies.ndjson
+
+# Register-tile serve round-trip: the protocol's max_unroll_loops /
+# code_budget knobs reach the search — a deep kernel served at k = 3
+# answers ok with a full-depth (4-component) unroll vector.
+printf '%s\n' \
+  '{"id":"rt","kernel":"tensor4","max_unroll_loops":3,"code_budget":48}' \
+  | ./target/release/ujam serve --workers 1 > /tmp/ujam_serve_tile.ndjson
+grep -q '"ok":true' /tmp/ujam_serve_tile.ndjson
+grep -Eq '"unroll":\[[0-9]+,[0-9]+,[0-9]+,[0-9]+\]' /tmp/ujam_serve_tile.ndjson
 
 # Metrics smoke: one optimize request and one stats round-trip over a
 # Unix socket; the daemon's snapshot must count exactly that request

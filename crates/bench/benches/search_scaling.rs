@@ -55,18 +55,19 @@ fn main() {
         let raw = sat.definalized();
 
         let naive = bench(&format!("naive/{}", space.len()), || {
-            search_tables(&nest, &machine, &space, &raw, model, false)
+            search_tables(&nest, &machine, &space, &raw, model, false, None)
         });
         let summed = bench(&format!("summed_area/{}", space.len()), || {
-            search_tables(&nest, &machine, &space, &sat, model, false)
+            search_tables(&nest, &machine, &space, &sat, model, false, None)
         });
         let pruned = bench(&format!("pruned/{}", space.len()), || {
-            search_tables(&nest, &machine, &space, &sat, model, true)
+            search_tables(&nest, &machine, &space, &sat, model, true, None)
         });
 
-        let (naive_win, _) = search_tables(&nest, &machine, &space, &raw, model, false);
-        let (sat_win, _) = search_tables(&nest, &machine, &space, &sat, model, false);
-        let (pruned_win, pruned_upset) = search_tables(&nest, &machine, &space, &sat, model, true);
+        let (naive_win, _) = search_tables(&nest, &machine, &space, &raw, model, false, None);
+        let (sat_win, _) = search_tables(&nest, &machine, &space, &sat, model, false, None);
+        let (pruned_win, pruned_upset) =
+            search_tables(&nest, &machine, &space, &sat, model, true, None);
         let agree = naive_win == sat_win && sat_win == pruned_win;
         assert!(
             agree,
@@ -106,11 +107,66 @@ fn main() {
             speedup
         );
     }
+    // Depth-scaling arm: the same walk over a deep (4-loop) kernel with
+    // k = 1, 2, 3 unrolled loops — the register-tiling mode.  The space
+    // grows geometrically in k; pruned and exhaustive walks must agree
+    // on the winner at every depth.
+    let deep = ujam_kernels::deep_kernel("tensor4")
+        .expect("known deep kernel")
+        .nest();
+    let deep_bound = if quick { 4 } else { 8 };
+    println!("depth scaling ({} on {})", deep.name(), machine.name());
+    let mut depth_rows = String::new();
+    for k in 1..=3usize {
+        let loops: Vec<usize> = (0..k).collect();
+        let space = UnrollSpace::new(deep.depth(), &loops, deep_bound);
+        let sat = CostTables::build(&deep, &space, machine.line_elems());
+
+        let summed = bench(&format!("depth{k}/summed_area/{}", space.len()), || {
+            search_tables(&deep, &machine, &space, &sat, model, false, None)
+        });
+        let pruned_t = bench(&format!("depth{k}/pruned/{}", space.len()), || {
+            search_tables(&deep, &machine, &space, &sat, model, true, None)
+        });
+
+        let (sat_win, _) = search_tables(&deep, &machine, &space, &sat, model, false, None);
+        let (pruned_win, pruned_upset) =
+            search_tables(&deep, &machine, &space, &sat, model, true, None);
+        let agree = sat_win == pruned_win;
+        assert!(
+            agree,
+            "engines disagree at depth {k}: summed-area {sat_win:?}, pruned {pruned_win:?}"
+        );
+        println!(
+            "  k={k} space {:>4}: winner {:?}, {} pruned",
+            space.len(),
+            sat_win,
+            pruned_upset
+        );
+
+        if k > 1 {
+            depth_rows.push(',');
+        }
+        let winner: Vec<String> = sat_win.iter().map(|x| x.to_string()).collect();
+        let _ = write!(
+            depth_rows,
+            "{{\"k\":{k},\"space\":{},\"summed_area_ns\":{:.1},\"pruned_ns\":{:.1},\
+             \"pruned_upset\":{},\"winner\":[{}],\"winners_agree\":{agree}}}",
+            space.len(),
+            summed.median_ns,
+            pruned_t.median_ns,
+            pruned_upset,
+            winner.join(",")
+        );
+    }
+
     let doc = format!(
         "{{\"bench\":\"search_scaling\",\"kernel\":\"{}\",\"machine\":\"{}\",\
-         \"model\":\"cache\",\"quick\":{quick},\"rows\":[{rows}]}}\n",
+         \"model\":\"cache\",\"quick\":{quick},\"rows\":[{rows}],\
+         \"depth_kernel\":\"{}\",\"depth_rows\":[{depth_rows}]}}\n",
         nest.name(),
-        machine.name()
+        machine.name(),
+        deep.name()
     );
     std::fs::write(&out, &doc).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!("wrote {out}");

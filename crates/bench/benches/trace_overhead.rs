@@ -39,10 +39,11 @@ fn optimize_bare(
     machine: &MachineModel,
 ) -> Result<Optimized, ujam_core::OptimizeError> {
     let mut ctx = AnalysisCtx::new(nest, machine)?;
-    let space = SelectLoops.run(&mut ctx)?;
+    let space = SelectLoops::default().run(&mut ctx)?;
     let found = SearchSpace {
         space: space.clone(),
         model: CostModel::CacheAware,
+        code_budget: None,
     }
     .run(&mut ctx)?;
     let nest_out = ApplyTransform {

@@ -72,6 +72,7 @@ pub fn optimize_brute_traced(
     let mut ctx = AnalysisCtx::with_sink(nest, machine, sink)?;
     let found = BruteSearch {
         space: space.clone(),
+        code_budget: None,
     }
     .run_traced(&mut ctx)?;
     let nest_out = ApplyTransform {

@@ -12,6 +12,31 @@ use ujam_machine::MachineModel;
 use ujam_metrics::MetricsHandle;
 use ujam_trace::TraceSink;
 
+/// Register-tiling knobs for the search: how many loops the unroll
+/// vector may span and how large the unrolled body may grow.
+///
+/// The default reproduces the paper's arm exactly — at most two loops
+/// (§4.5), no code-size cap — so a pipeline driven with
+/// `SearchConfig::default()` is bitwise-identical to one driven through
+/// [`optimize`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SearchConfig {
+    /// Most loops the unroll vector may span; `0` = unbounded.
+    pub max_unroll_loops: usize,
+    /// Most statements the unrolled body may hold (`copies × original
+    /// statements`, an icache proxy); `None` disables the budget.
+    pub code_budget: Option<usize>,
+}
+
+impl Default for SearchConfig {
+    fn default() -> SearchConfig {
+        SearchConfig {
+            max_unroll_loops: 2,
+            code_budget: None,
+        }
+    }
+}
+
 /// Which balance model guides the search (§5.2's two experimental arms).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CostModel {
@@ -230,9 +255,58 @@ pub fn optimize_observed(
     cancel: CancelToken,
     metrics: MetricsHandle,
 ) -> Result<Optimized, OptimizeError> {
+    optimize_configured(
+        nest,
+        machine,
+        model,
+        sink,
+        cancel,
+        metrics,
+        SearchConfig::default(),
+    )
+}
+
+/// The root of the wrapper chain: [`optimize_observed`] with explicit
+/// register-tiling knobs.  `config.max_unroll_loops` parameterizes the
+/// loop-selection stage and `config.code_budget` adds the code-size
+/// constraint to the search; with [`SearchConfig::default`] this is
+/// exactly [`optimize_observed`].
+///
+/// # Example
+///
+/// ```
+/// use ujam_core::{optimize_configured, CancelToken, CostModel, SearchConfig};
+/// use ujam_ir::NestBuilder;
+/// use ujam_machine::MachineModel;
+/// use ujam_metrics::MetricsHandle;
+/// let nest = NestBuilder::new("mm")
+///     .array("A", &[26, 26]).array("B", &[26, 26]).array("C", &[26, 26])
+///     .loop_("J", 1, 24).loop_("K", 1, 24).loop_("I", 1, 24)
+///     .stmt("C(I,J) = C(I,J) + A(I,K) * B(K,J)")
+///     .build();
+/// let config = SearchConfig { max_unroll_loops: 3, code_budget: Some(64) };
+/// let plan = optimize_configured(&nest, &MachineModel::dec_alpha(),
+///                                CostModel::CacheAware, ujam_trace::null_sink(),
+///                                CancelToken::never(), MetricsHandle::disabled(),
+///                                config).expect("valid");
+/// assert!(plan.nest.body().len() <= 64, "the code budget binds");
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_configured(
+    nest: &LoopNest,
+    machine: &MachineModel,
+    model: CostModel,
+    sink: &dyn TraceSink,
+    cancel: CancelToken,
+    metrics: MetricsHandle,
+    config: SearchConfig,
+) -> Result<Optimized, OptimizeError> {
     let mut ctx = AnalysisCtx::with_observability(nest, machine, sink, metrics, cancel)?;
-    let space = SelectLoops.run_traced(&mut ctx)?;
-    finish(&mut ctx, &space, model)
+    let space = SelectLoops {
+        max_loops: config.max_unroll_loops,
+    }
+    .run_traced(&mut ctx)?;
+    finish(&mut ctx, &space, model, config.code_budget)
 }
 
 /// [`optimize`] with an explicit, caller-chosen unroll space.
@@ -255,7 +329,7 @@ pub fn optimize_in_space_with(
     model: CostModel,
 ) -> Result<Optimized, OptimizeError> {
     let mut ctx = AnalysisCtx::new(nest, machine)?;
-    finish(&mut ctx, space, model)
+    finish(&mut ctx, space, model, None)
 }
 
 /// Runs the tail of the standard pipeline — `BuildTables` (inside
@@ -264,10 +338,12 @@ pub(crate) fn finish(
     ctx: &mut AnalysisCtx<'_>,
     space: &UnrollSpace,
     model: CostModel,
+    code_budget: Option<usize>,
 ) -> Result<Optimized, OptimizeError> {
     let found = SearchSpace {
         space: space.clone(),
         model,
+        code_budget,
     }
     .run_traced(ctx)?;
     let nest_out = ApplyTransform {

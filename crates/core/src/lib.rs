@@ -96,8 +96,9 @@ pub mod tables;
 
 pub use balance::{loop_balance, BalanceInputs};
 pub use driver::{
-    optimize, optimize_cancellable, optimize_in_space, optimize_in_space_with, optimize_observed,
-    optimize_traced, optimize_with, CostModel, Optimized, Prediction,
+    optimize, optimize_cancellable, optimize_configured, optimize_in_space, optimize_in_space_with,
+    optimize_observed, optimize_traced, optimize_with, CostModel, Optimized, Prediction,
+    SearchConfig,
 };
 pub use pipeline::{
     optimize_batch, optimize_batch_traced, optimize_batch_traced_with_workers, optimize_batch_with,

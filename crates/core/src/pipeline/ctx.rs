@@ -98,7 +98,7 @@ impl CtxTimings {
 ///     .build();
 /// let machine = MachineModel::dec_alpha();
 /// let mut ctx = AnalysisCtx::new(&nest, &machine).expect("valid nest");
-/// let space = SelectLoops.run(&mut ctx).expect("selection succeeds");
+/// let space = SelectLoops::default().run(&mut ctx).expect("selection succeeds");
 /// assert_eq!(space.loops(), &[0]);
 /// assert_eq!(ctx.stats().dep_graph_builds, 1);
 /// ```

@@ -14,6 +14,7 @@ use crate::tables::CostTables;
 use ujam_dep::UNROLL_CAP;
 use ujam_ir::{transform::unroll_and_jam, LoopNest};
 use ujam_machine::MachineModel;
+use ujam_reuse::{ugs_cost, Localized};
 use ujam_trace::{ExplainRecord, TraceRecord, Verdict};
 
 /// One stage of the optimizer pipeline.
@@ -59,12 +60,28 @@ pub trait Pass {
     }
 }
 
-/// Stage 1 (§4.5): pick up to two loops to unroll — the loops whose
-/// localization removes the most cache traffic by Equation 1 — bounded
-/// by the dependence-safety limits, and box them into an
-/// [`UnrollSpace`].
-#[derive(Clone, Copy, Debug, Default)]
-pub struct SelectLoops;
+/// Stage 1 (§4.5): pick up to [`SelectLoops::max_loops`] loops to
+/// unroll — the loops whose localization removes the most cache traffic
+/// by Equation 1 — bounded by the dependence-safety limits, and box
+/// them into an [`UnrollSpace`].
+///
+/// The paper restricts the search to at most two loops; the default
+/// preserves that arm.  Register tiling over deeper nests raises the
+/// cap: with `max_loops = k` the resulting space spans up to k
+/// dimensions, and `max_loops = 0` means unbounded (every jammable loop
+/// with a positive locality score joins the space).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SelectLoops {
+    /// Most loops the unroll space may span; `0` = unbounded.  The
+    /// default of 2 reproduces the paper's §4.5 selection exactly.
+    pub max_loops: usize,
+}
+
+impl Default for SelectLoops {
+    fn default() -> SelectLoops {
+        SelectLoops { max_loops: 2 }
+    }
+}
 
 impl Pass for SelectLoops {
     type Output = UnrollSpace;
@@ -78,6 +95,13 @@ impl Pass for SelectLoops {
         let depth = ctx.nest().depth();
         let line = ctx.machine().line_elems();
         let bounds = ctx.safe_bounds().to_vec();
+        // The innermost loop (depth - 1) is deliberately excluded from
+        // candidacy: unroll-and-jam replicates a loop's body *into* the
+        // innermost loop, so unrolling the innermost loop itself is
+        // plain inner unrolling — outside the paper's transformation —
+        // and `UnrollSpace::with_bounds` rejects it outright.  The
+        // exclusion is therefore structural, not a scoring decision;
+        // the trace event below makes it observable when it bites.
         let mut scored: Vec<(usize, f64)> = (0..depth.saturating_sub(1))
             .filter(|&l| bounds[l] >= 1)
             .map(|l| (l, ctx.locality_score(l, line)))
@@ -87,10 +111,15 @@ impl Pass for SelectLoops {
         // yields a non-finite score (the seed's `partial_cmp(..).expect`
         // panicked there).
         scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let take = if self.max_loops == 0 {
+            usize::MAX
+        } else {
+            self.max_loops
+        };
         let mut chosen: Vec<usize> = scored
             .iter()
             .filter(|&&(_, s)| s > 0.0)
-            .take(2)
+            .take(take)
             .map(|&(l, _)| l)
             .collect();
         // A memory-bound loop can still profit from pure flop replication
@@ -103,6 +132,39 @@ impl Pass for SelectLoops {
         }
         chosen.sort_unstable();
         if ctx.tracing() {
+            // Record when the structurally-excluded innermost loop
+            // out-scores every selectable loop — the case where the
+            // exclusion actually changed the ranking.  The incremental
+            // score used for outer loops is identically zero for the
+            // innermost (it is already in every localized space), so its
+            // comparable figure is the locality its localization already
+            // provides: cost with nothing localized minus cost with the
+            // innermost localized.
+            if depth >= 1 {
+                let inner = depth - 1;
+                let none = Localized::new(depth, &[]);
+                let inner_loc = Localized::innermost(depth);
+                let inner_score: f64 = ctx
+                    .ugs()
+                    .iter()
+                    .map(|s| ugs_cost(s, &none, line) - ugs_cost(s, &inner_loc, line))
+                    .sum();
+                let top = scored.first().map_or(f64::NEG_INFINITY, |&(_, s)| s);
+                if inner_score > top {
+                    ctx.sink().record(TraceRecord::event(
+                        ctx.nest().name(),
+                        &format!(
+                            "innermost loop {inner} excluded despite top locality \
+                             score {inner_score:.3} (best selectable: {top:.3})"
+                        ),
+                    ));
+                    ctx.sink().record(TraceRecord::counter(
+                        ctx.nest().name(),
+                        "select.innermost_excluded",
+                        1,
+                    ));
+                }
+            }
             ctx.sink().record(TraceRecord::event(
                 ctx.nest().name(),
                 &format!("selected loops {chosen:?} (locality scores {scored:?})"),
@@ -176,7 +238,8 @@ struct SearchResult {
 }
 
 /// Shared search objective (§3.3): minimize `|β − β_M|` subject to the
-/// register budget, ties preferring fewer body copies.
+/// register budget — and, when `max_copies` is set, a code-size budget
+/// — ties preferring fewer body copies.
 ///
 /// Candidates are visited in lexicographic order by a recursive walk
 /// that reuses one scratch offset vector — no per-candidate allocation.
@@ -187,12 +250,19 @@ struct SearchResult {
 /// by monotonicity it is over budget too.  Pruned candidates are
 /// counted in closed form and never measured.
 ///
+/// `max_copies` caps the unrolled body's size in copies of the original
+/// body (`Π (uᵢ + 1)`), an icache proxy.  Unlike the register tables,
+/// copy count is multiplicative in `u` and therefore monotone by
+/// construction, so `prune_code` needs no table-monotonicity gate — it
+/// reuses the same up-set skip, which keeps one record per offset.
+///
 /// With `explain` present, every candidate's fate is recorded — even
 /// pruned-up-set ones, so the records always cover the whole space:
 /// exactly one record carries [`Verdict::Won`] — the offset this
 /// function returns — and the rest say why they lost (`dominated`),
 /// were pruned (`pruned_registers`, `pruned_divisibility`,
-/// `pruned_upset`), or could not be measured (`infeasible`).
+/// `pruned_code_size`, `pruned_upset`), or could not be measured
+/// (`infeasible`).
 #[allow(clippy::too_many_arguments)]
 fn search_over(
     machine: &MachineModel,
@@ -201,6 +271,8 @@ fn search_over(
     beta_of: impl Fn(&BalanceInputs) -> f64,
     divisible: impl Fn(&[u32]) -> bool,
     prune_upsets: bool,
+    max_copies: Option<usize>,
+    prune_code: bool,
     explain: Option<&mut Vec<CandidateFate>>,
     cancel: &CancelToken,
 ) -> SearchResult {
@@ -218,6 +290,8 @@ fn search_over(
         beta_of,
         divisible,
         prune_upsets,
+        max_copies,
+        prune_code,
         explain,
         suffix,
         u: vec![0u32; space.dims()],
@@ -269,6 +343,8 @@ struct Walk<'a, 's, I, B, D> {
     beta_of: B,
     divisible: D,
     prune_upsets: bool,
+    max_copies: Option<usize>,
+    prune_code: bool,
     explain: Option<&'a mut Vec<CandidateFate>>,
     suffix: Vec<usize>,
     u: Vec<u32>,
@@ -290,8 +366,9 @@ where
 {
     /// Walks dimensions `d..` with `u[..d]` fixed, in lexicographic
     /// order.  Returns true when the subtree's first candidate (the
-    /// all-zero suffix) exceeded the register budget — the signal that
-    /// every candidate dominating it can be skipped.
+    /// all-zero suffix) exceeded a monotone budget — registers or code
+    /// size — the signal that every candidate dominating it can be
+    /// skipped.
     fn descend(&mut self, d: usize) -> bool {
         if self.cancelled {
             // A fired token unwinds the whole recursion without visiting
@@ -365,7 +442,8 @@ where
     }
 
     /// Scores the candidate at `u`.  Returns true when it is over the
-    /// register budget and pruning is on (the up-set skip signal).
+    /// register or code-size budget and the matching pruning flag is on
+    /// (the up-set skip signal).
     fn visit(&mut self) -> bool {
         // Candidate-granularity cancellation: the explicit flag is one
         // relaxed load and is polled every candidate; the deadline clock
@@ -380,6 +458,15 @@ where
         if !(self.divisible)(&self.u) {
             self.fate(None, None, Verdict::PrunedDivisibility);
             return false;
+        }
+        // The code-size check precedes measurement: an over-budget body
+        // never needs its tables queried (or, in the brute search, its
+        // body materialised).
+        if let Some(max) = self.max_copies {
+            if self.space.copies(&self.u) > max {
+                self.fate(None, None, Verdict::PrunedCodeSize);
+                return self.prune_code;
+            }
         }
         let Some(inputs) = (self.inputs_at)(&self.u) else {
             self.fate(None, None, Verdict::Infeasible);
@@ -405,6 +492,13 @@ where
         }
         false
     }
+}
+
+/// Converts a code-size budget (statements in the unrolled body) into
+/// the walk's copy cap: `copies × stmts > budget ⇔ copies >
+/// budget / stmts` (integer floor), so the cap loses nothing.
+fn max_copies_for(code_budget: Option<usize>, nest: &LoopNest) -> Option<usize> {
+    code_budget.map(|budget| budget / nest.body().len().max(1))
 }
 
 /// Stamps search-internal [`CandidateFate`]s into public
@@ -438,6 +532,10 @@ pub struct SearchSpace {
     pub space: UnrollSpace,
     /// Which balance model scores candidates.
     pub model: CostModel,
+    /// Code-size budget: the most *statements* the unrolled body may
+    /// hold (`copies × original statements`, an icache proxy).  `None`
+    /// disables the constraint.
+    pub code_budget: Option<usize>,
 }
 
 impl Pass for SearchSpace {
@@ -481,7 +579,10 @@ impl Pass for SearchSpace {
         let original = inputs_at(&zero);
         // Up-set pruning is sound exactly when every register table is
         // monotone in u; the tables checked this once at build time.
+        // The code-size budget needs no such gate: copy count is
+        // multiplicative in u, hence monotone by construction.
         let prune = tables.registers_monotone();
+        let max_copies = max_copies_for(self.code_budget, nest);
         let mut fates = ctx.tracing().then(Vec::new);
         let found = search_over(
             machine,
@@ -490,6 +591,8 @@ impl Pass for SearchSpace {
             beta_of,
             divisible,
             prune,
+            max_copies,
+            true,
             fates.as_mut(),
             ctx.cancel_token(),
         );
@@ -522,9 +625,16 @@ impl Pass for SearchSpace {
 /// toggled.  Returns the winning offset and the number of candidates
 /// skipped by monotone up-set pruning (0 with `prune` off).
 ///
-/// Pruning is additionally gated on [`CostTables::registers_monotone`]
-/// — asking for it on non-monotone tables silently degrades to the
-/// exhaustive walk, which is the only sound behaviour.
+/// `code_budget` caps the unrolled body's statement count (`None`
+/// disables it); with `prune` off, over-budget candidates are still
+/// excluded but recorded individually rather than up-set-skipped, so
+/// the two modes always agree on the winner.
+///
+/// Register pruning is additionally gated on
+/// [`CostTables::registers_monotone`] — asking for it on non-monotone
+/// tables silently degrades to the exhaustive walk, which is the only
+/// sound behaviour.  The code-size constraint is monotone by
+/// construction and needs no gate.
 pub fn search_tables(
     nest: &LoopNest,
     machine: &MachineModel,
@@ -532,6 +642,7 @@ pub fn search_tables(
     tables: &CostTables,
     model: CostModel,
     prune: bool,
+    code_budget: Option<usize>,
 ) -> (Vec<u32>, usize) {
     let inputs_at = |u: &[u32]| BalanceInputs {
         flops: tables.flops(u) as f64,
@@ -557,6 +668,8 @@ pub fn search_tables(
         beta_of,
         divisible,
         prune && tables.registers_monotone(),
+        max_copies_for(code_budget, nest),
+        prune,
         None,
         &CancelToken::never(),
     );
@@ -573,6 +686,12 @@ pub fn search_tables(
 pub struct BruteSearch {
     /// The space to search.
     pub space: UnrollSpace,
+    /// Code-size budget in unrolled-body statements, as in
+    /// [`SearchSpace::code_budget`].  Over-budget candidates are never
+    /// materialised, but each is recorded individually (`Infeasible`-
+    /// style exhaustiveness): the brute search stays the unpruned
+    /// reference the agreement tests compare against.
+    pub code_budget: Option<usize>,
 }
 
 impl Pass for BruteSearch {
@@ -610,6 +729,7 @@ impl Pass for BruteSearch {
             .map(|p| p.get())
             .unwrap_or(1);
         let cancel = ctx.cancel_token();
+        let max_copies = max_copies_for(self.code_budget, nest);
         let measured: Vec<Option<BalanceInputs>> =
             parallel_map_indexed(offsets.len(), workers, |i| {
                 // Candidate-granularity cancellation: materialising a
@@ -618,6 +738,12 @@ impl Pass for BruteSearch {
                 // skips are both `None`; the post-walk check below turns
                 // a fired token into the structured error).
                 if cancel.is_cancelled() {
+                    return None;
+                }
+                // An over-budget body is never materialised; the walk's
+                // code-size check fires before this slot is read, so the
+                // `None` is never mistaken for `Infeasible`.
+                if max_copies.is_some_and(|max| space.copies(&offsets[i]) > max) {
                     return None;
                 }
                 measure_candidate(nest, &space.full_vector(&offsets[i]), machine).ok()
@@ -630,6 +756,8 @@ impl Pass for BruteSearch {
             |u| measured[space.index(u)],
             |inputs| loop_balance(inputs, machine),
             |_| true,
+            false,
+            max_copies,
             false,
             fates.as_mut(),
             cancel,
@@ -692,10 +820,13 @@ mod tests {
         let machine = MachineModel::dec_alpha();
         let sink = CollectingSink::new();
         let mut ctx = AnalysisCtx::with_sink(&nest, &machine, &sink).expect("valid");
-        let space = SelectLoops.run_traced(&mut ctx).expect("selects");
+        let space = SelectLoops::default()
+            .run_traced(&mut ctx)
+            .expect("selects");
         SearchSpace {
             space,
             model: CostModel::CacheAware,
+            code_budget: None,
         }
         .run_traced(&mut ctx)
         .expect("searches");
@@ -711,9 +842,84 @@ mod tests {
         let machine = MachineModel::dec_alpha();
         let mut traced = AnalysisCtx::new(&nest, &machine).expect("valid");
         let mut plain = AnalysisCtx::new(&nest, &machine).expect("valid");
-        let a = SelectLoops.run_traced(&mut traced).expect("selects");
-        let b = SelectLoops.run(&mut plain).expect("selects");
+        let a = SelectLoops::default()
+            .run_traced(&mut traced)
+            .expect("selects");
+        let b = SelectLoops::default().run(&mut plain).expect("selects");
         assert_eq!(a, b);
+    }
+
+    /// Pins the structural exclusion of the innermost loop (§4.5): it
+    /// never joins the unroll space — unrolling it would be plain inner
+    /// unrolling, not unroll-and-jam — and when its already-localized
+    /// locality tops every selectable loop's incremental score, the
+    /// exclusion is recorded as a trace event plus the
+    /// `select.innermost_excluded` counter rather than passing silently.
+    #[test]
+    fn innermost_exclusion_is_structural_and_observable() {
+        // Stride-1 innermost loop: the inner I carries all the spatial
+        // locality, so its inherent score tops the outer candidates.
+        let nest = NestBuilder::new("inner_top")
+            .array("A", &[244, 244])
+            .array("B", &[244, 244])
+            .loop_("J", 1, 240)
+            .loop_("I", 1, 240)
+            .stmt("A(I,J) = A(I,J) + B(I,J)")
+            .build();
+        let machine = MachineModel::dec_alpha();
+        let sink = CollectingSink::new();
+        let mut ctx = AnalysisCtx::with_sink(&nest, &machine, &sink).expect("valid");
+        let space = SelectLoops::default()
+            .run_traced(&mut ctx)
+            .expect("selects");
+        let inner = nest.depth() - 1;
+        assert!(
+            !space.loops().contains(&inner),
+            "innermost loop must never join the unroll space"
+        );
+        let trace = sink.take();
+        let noted = trace.records.iter().any(|r| {
+            matches!(
+                r,
+                TraceRecord::Event { message, .. } if message.contains("innermost loop 1 excluded")
+            )
+        });
+        assert!(noted, "exclusion event missing: {:?}", trace.records);
+        let counted = trace
+            .counter_totals()
+            .iter()
+            .any(|(n, c, v)| n == "inner_top" && c == "select.innermost_excluded" && *v == 1);
+        assert!(counted, "select.innermost_excluded counter missing");
+    }
+
+    /// The counter is silent when an outer loop legitimately out-scores
+    /// the innermost: the exclusion did not change the ranking.
+    #[test]
+    fn innermost_exclusion_counter_is_silent_when_outer_loop_wins() {
+        // Column-major arrays: A(J,I) is stride-1 in J, so the *outer*
+        // loop J carries the spatial locality while the inner loop I
+        // strides by a full column and carries no reuse at all.
+        let nest = NestBuilder::new("outer_top")
+            .array("A", &[244, 244])
+            .loop_("J", 1, 240)
+            .loop_("I", 1, 240)
+            .stmt("A(J,I) = A(J,I) * 2.0 + 1.0")
+            .build();
+        let machine = MachineModel::dec_alpha();
+        let sink = CollectingSink::new();
+        let mut ctx = AnalysisCtx::with_sink(&nest, &machine, &sink).expect("valid");
+        SelectLoops::default()
+            .run_traced(&mut ctx)
+            .expect("selects");
+        let trace = sink.take();
+        assert!(
+            !trace
+                .counter_totals()
+                .iter()
+                .any(|(_, c, _)| c == "select.innermost_excluded"),
+            "counter must not fire when the exclusion is ranking-neutral: {:?}",
+            trace.records
+        );
     }
 
     /// The headline provenance property: exactly one candidate wins, it
@@ -725,10 +931,13 @@ mod tests {
         let machine = MachineModel::dec_alpha();
         let sink = CollectingSink::new();
         let mut ctx = AnalysisCtx::with_sink(&nest, &machine, &sink).expect("valid");
-        let space = SelectLoops.run_traced(&mut ctx).expect("selects");
+        let space = SelectLoops::default()
+            .run_traced(&mut ctx)
+            .expect("selects");
         let found = SearchSpace {
             space: space.clone(),
             model: CostModel::CacheAware,
+            code_budget: None,
         }
         .run_traced(&mut ctx)
         .expect("searches");
@@ -765,6 +974,7 @@ mod tests {
         let table = SearchSpace {
             space: space.clone(),
             model: CostModel::CacheAware,
+            code_budget: None,
         }
         .run_traced(&mut ctx)
         .expect("searches");
@@ -773,6 +983,7 @@ mod tests {
         let mut ctx = AnalysisCtx::with_sink(&nest, &machine, &brute_sink).expect("valid");
         let brute = BruteSearch {
             space: space.clone(),
+            code_budget: None,
         }
         .run_traced(&mut ctx)
         .expect("searches");
@@ -814,6 +1025,7 @@ mod tests {
         let found = SearchSpace {
             space: space.clone(),
             model: CostModel::CacheAware,
+            code_budget: None,
         }
         .run_traced(&mut ctx)
         .expect("searches");
@@ -861,6 +1073,7 @@ mod tests {
         let found = SearchSpace {
             space: UnrollSpace::new(2, &[0], 5),
             model: CostModel::CacheAware,
+            code_budget: None,
         }
         .run_traced(&mut ctx)
         .expect("searches");
@@ -891,6 +1104,7 @@ mod tests {
         let pass = SearchSpace {
             space,
             model: CostModel::CacheAware,
+            code_budget: None,
         };
         let traced = pass.run_traced(&mut traced_ctx).expect("searches");
         let plain = pass.run_traced(&mut plain_ctx).expect("searches");

@@ -252,14 +252,16 @@ fn spatial_merge_point(
         residual -= h[(0, c)] * x[p];
     }
     // A free unrolled loop in row 0: pick the smallest non-negative copy
-    // distance that brings the residue within the line.
+    // distance that brings the residue within the line.  The search is
+    // per-dimension bounded — with heterogeneous bounds a distance only
+    // counts if this loop's own axis can reach it.
     for (d, &l) in space.loops().iter().enumerate() {
         let a = h[(0, l)];
         if a == 0 || nonzero.contains(&l) {
             continue;
         }
         let chosen =
-            (0..=space.bound() as i64).find(|&xl| (residual - a * xl).abs() < line_elems)?;
+            (0..=space.bounds()[d] as i64).find(|&xl| (residual - a * xl).abs() < line_elems)?;
         point[d] = chosen as u32;
         residual -= a * chosen;
     }

@@ -1,0 +1,243 @@
+//! Deep (3–5 loop) nests for the register-tiling search mode.
+//!
+//! The Table 2 suite tops out at three loops, and the paper's own search
+//! never spans more than two of them (§4.5).  These kernels — tensor
+//! contractions, a 3-d stencil, batched matmuls — are what actually
+//! exercises unroll vectors over k > 2 loops: a 4-deep nest has three
+//! jammable loops, a 5-deep nest four.  Like the suite, every kernel is
+//! separable SIV with trip counts divisible by each unroll factor up to
+//! 8 (except 5 and 7), so clean (no clean-up loop) transformations
+//! apply throughout the search space.
+
+use ujam_ir::{LoopNest, NestBuilder};
+
+/// One deep evaluation kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct DeepKernel {
+    /// Kernel name (`ujam optimize` and the serve daemon resolve it).
+    pub name: &'static str,
+    /// What the nest computes.
+    pub description: &'static str,
+    /// Nest depth (3–5); the number of jammable loops is `depth - 1`.
+    pub depth: usize,
+    build: fn(i64) -> LoopNest,
+}
+
+impl DeepKernel {
+    /// Builds the nest at its default evaluation size.
+    pub fn nest(&self) -> LoopNest {
+        (self.build)(N)
+    }
+
+    /// Builds the nest with `n` iterations per loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a positive multiple of 24, mirroring
+    /// [`crate::Kernel::nest_sized`].
+    pub fn nest_sized(&self, n: i64) -> LoopNest {
+        assert!(n > 0 && n % 24 == 0, "kernel sizes must be multiples of 24");
+        (self.build)(n)
+    }
+}
+
+/// Default trips per loop: divisible by 1..=8 except 5 and 7, and small
+/// enough that even a 5-deep nest's tables stay cheap (table queries are
+/// analytic — the iteration count never runs).
+const N: i64 = 24;
+
+fn stencil3d(n: i64) -> LoopNest {
+    // 7-point Laplacian sweep: three jammable-candidate loops (K, J),
+    // group-spatial reuse on every axis.
+    NestBuilder::new("stencil3d")
+        .array("A", &[n + 4, n + 4, n + 4])
+        .array("B", &[n + 4, n + 4, n + 4])
+        .loop_("K", 2, n + 1)
+        .loop_("J", 2, n + 1)
+        .loop_("I", 2, n + 1)
+        .stmt(
+            "B(I,J,K) = A(I-1,J,K) + A(I+1,J,K) + A(I,J-1,K) + A(I,J+1,K) \
+             + A(I,J,K-1) + A(I,J,K+1) - 6.0 * A(I,J,K)",
+        )
+        .build()
+}
+
+fn contract3(n: i64) -> LoopNest {
+    // Matrix product in K-outer order (distinct from the suite's mmjik /
+    // mmjki orders): the reduction loop carries the C reuse.
+    NestBuilder::new("contract3")
+        .array("A", &[n + 4, n + 4])
+        .array("B", &[n + 4, n + 4])
+        .array("C", &[n + 4, n + 4])
+        .loop_("K", 1, n)
+        .loop_("J", 1, n)
+        .loop_("I", 1, n)
+        .stmt("C(I,J) = C(I,J) + A(I,K) * B(K,J)")
+        .build()
+}
+
+fn tensor4(n: i64) -> LoopNest {
+    // Mode-3 tensor-matrix contraction T(I,J,K) += A(I,J,L) · B(L,K):
+    // three jammable loops (J, K, L), each carrying reuse of a different
+    // operand — the canonical k = 3 register-tiling candidate.
+    NestBuilder::new("tensor4")
+        .array("T", &[n + 4, n + 4, n + 4])
+        .array("A", &[n + 4, n + 4, n + 4])
+        .array("B", &[n + 4, n + 4])
+        .loop_("J", 1, n)
+        .loop_("K", 1, n)
+        .loop_("L", 1, n)
+        .loop_("I", 1, n)
+        .stmt("T(I,J,K) = T(I,J,K) + A(I,J,L) * B(L,K)")
+        .build()
+}
+
+fn assemble4(n: i64) -> LoopNest {
+    // Tensor assembly from three pairwise slices: each outer loop leaves
+    // exactly one read operand invariant (A in J, B in K, C in L), so all
+    // three score positive locality and `SelectLoops` with a lifted cap
+    // genuinely builds a 3-d unroll space — the roster's organic k = 3
+    // pipeline exercise.  The target is written once per cell, so no
+    // dependence constrains the jam.
+    NestBuilder::new("assemble4")
+        .array("T", &[n + 4, n + 4, n + 4, n + 4])
+        .array("A", &[n + 4, n + 4, n + 4])
+        .array("B", &[n + 4, n + 4, n + 4])
+        .array("C", &[n + 4, n + 4, n + 4])
+        .loop_("J", 1, n)
+        .loop_("K", 1, n)
+        .loop_("L", 1, n)
+        .loop_("I", 1, n)
+        .stmt("T(I,J,K,L) = A(I,K,L) + B(I,J,L) + C(I,J,K)")
+        .build()
+}
+
+fn bmm4(n: i64) -> LoopNest {
+    // Batched matmul C(·,·,N) += A(·,·,N) · W: the batch loop N is
+    // reuse-free for W (invariant) and streams C and A.
+    NestBuilder::new("bmm4")
+        .array("C", &[n + 4, n + 4, n + 4])
+        .array("A", &[n + 4, n + 4, n + 4])
+        .array("W", &[n + 4, n + 4])
+        .loop_("N", 1, n)
+        .loop_("J", 1, n)
+        .loop_("K", 1, n)
+        .loop_("I", 1, n)
+        .stmt("C(I,J,N) = C(I,J,N) + A(I,K,N) * W(K,J)")
+        .build()
+}
+
+fn bcontract5(n: i64) -> LoopNest {
+    // Doubly-batched contraction over (M, N): four jammable loops, the
+    // deepest nest in the roster.
+    NestBuilder::new("bcontract5")
+        .array("C", &[n + 4, n + 4, n + 4, n + 4])
+        .array("A", &[n + 4, n + 4, n + 4, n + 4])
+        .array("W", &[n + 4, n + 4])
+        .loop_("N", 1, n)
+        .loop_("M", 1, n)
+        .loop_("J", 1, n)
+        .loop_("K", 1, n)
+        .loop_("I", 1, n)
+        .stmt("C(I,J,M,N) = C(I,J,M,N) + A(I,K,M,N) * W(K,J)")
+        .build()
+}
+
+/// The deep kernel roster, shallowest first.
+pub fn deep_kernels() -> Vec<DeepKernel> {
+    vec![
+        DeepKernel {
+            name: "stencil3d",
+            description: "7-point 3-d Laplacian sweep",
+            depth: 3,
+            build: stencil3d,
+        },
+        DeepKernel {
+            name: "contract3",
+            description: "matrix product, K-outer order",
+            depth: 3,
+            build: contract3,
+        },
+        DeepKernel {
+            name: "tensor4",
+            description: "mode-3 tensor-matrix contraction",
+            depth: 4,
+            build: tensor4,
+        },
+        DeepKernel {
+            name: "assemble4",
+            description: "3-way tensor assembly from pairwise slices",
+            depth: 4,
+            build: assemble4,
+        },
+        DeepKernel {
+            name: "bmm4",
+            description: "batched matrix multiply",
+            depth: 4,
+            build: bmm4,
+        },
+        DeepKernel {
+            name: "bcontract5",
+            description: "doubly-batched matrix contraction",
+            depth: 5,
+            build: bcontract5,
+        },
+    ]
+}
+
+/// Looks a deep kernel up by name.
+pub fn deep_kernel(name: &str) -> Option<DeepKernel> {
+    deep_kernels().into_iter().find(|k| k.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_spans_depths_three_through_five() {
+        let ks = deep_kernels();
+        assert_eq!(ks.len(), 6);
+        let depths: Vec<usize> = ks.iter().map(|k| k.depth).collect();
+        assert_eq!(depths, [3, 3, 4, 4, 4, 5]);
+        for k in &ks {
+            let nest = k.nest();
+            assert_eq!(nest.depth(), k.depth, "{}", k.name);
+            assert_eq!(nest.name(), k.name);
+            nest.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn lookup_finds_every_roster_entry() {
+        for k in deep_kernels() {
+            assert_eq!(deep_kernel(k.name).expect("found").name, k.name);
+        }
+        assert!(deep_kernel("nosuchkernel").is_none());
+    }
+
+    #[test]
+    fn trip_counts_divide_cleanly() {
+        for k in deep_kernels() {
+            for lp in k.nest().loops() {
+                let trip = lp.trip_count();
+                for f in [2i64, 3, 4, 6, 8] {
+                    assert_eq!(trip % f, 0, "{}: trip {trip} vs factor {f}", k.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sized_builds_scale_and_reject_bad_sizes() {
+        let k = deep_kernel("tensor4").expect("known");
+        let small = k.nest_sized(24);
+        let big = k.nest_sized(48);
+        assert_eq!(
+            small.loops()[0].trip_count() * 2,
+            big.loops()[0].trip_count()
+        );
+        assert!(std::panic::catch_unwind(|| k.nest_sized(23)).is_err());
+    }
+}

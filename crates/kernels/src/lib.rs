@@ -4,6 +4,9 @@
 //!   the `ujam-ir` DSL with the reference patterns of the original
 //!   SPEC92 / Perfect / NAS / local codes (see [`Kernel`] for the
 //!   per-kernel notes on what was preserved);
+//! * [`deep_kernels`] — deep (3–5 loop) nests — tensor contractions, a
+//!   3-d stencil, batched matmuls — for the register-tiling search mode
+//!   that spans more than two loops;
 //! * [`corpus`] — a seeded synthetic routine generator standing in for
 //!   the 1187-routine Fortran corpus of §5.1 (we do not have the original
 //!   sources); the pattern mix mirrors array-based scientific code:
@@ -17,8 +20,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod deep;
 mod suite;
 mod synth;
 
+pub use deep::{deep_kernel, deep_kernels, DeepKernel};
 pub use suite::{kernel, kernels, optimize_suite, Kernel};
-pub use synth::{corpus, corpus_routine, corpus_subroutine, corpus_subroutines};
+pub use synth::{corpus, corpus_deep, corpus_routine, corpus_subroutine, corpus_subroutines};

@@ -179,6 +179,136 @@ pub fn corpus_subroutines(seed: u64, n: usize) -> Vec<Vec<LoopNest>> {
     (0..n).map(|i| corpus_subroutine(seed, i)).collect()
 }
 
+/// Generates `n` seeded *deep* nests (depth 3–5) for the register-tiling
+/// semantics fuzz: 3-d stencils, tensor contractions, batched matmuls,
+/// deep sweeps, and in-place updates.
+///
+/// Trip counts shrink with depth (12 / 6 / 4) so exhaustively executing
+/// every applicable k-loop unroll vector through the interpreter stays
+/// cheap, while each trip count keeps several divisors so multi-loop
+/// vectors actually arise.
+pub fn corpus_deep(seed: u64, n: usize) -> Vec<LoopNest> {
+    (0..n)
+        .map(|idx| {
+            let mut rng = Rng::new(seed ^ (idx as u64).wrapping_mul(0xa076_1d64_78bd_642f));
+            gen_deep_nest(&mut rng, &format!("deep{idx}"))
+        })
+        .collect()
+}
+
+fn gen_deep_nest(rng: &mut Rng, name: &str) -> LoopNest {
+    let depth = rng.int(3, 5) as usize;
+    // Per-loop trips: composite but small enough that the fuzz harness
+    // can run every applicable vector through the interpreter.
+    let trip = [12i64, 6, 4][depth - 3];
+    let dim = trip + 4;
+    let vars = ["N", "M", "K", "J", "I"];
+    let vars = &vars[5 - depth..];
+    match rng.int(0, 4) {
+        // 3-d stencil over the innermost three loop variables; any outer
+        // loops sweep independent planes.
+        0 => {
+            // `full` lists the loop variables innermost-first — the
+            // stride-1 subscript order.
+            let full: Vec<&str> = vars.iter().rev().copied().collect();
+            let mut b = NestBuilder::new(name)
+                .array("A", &vec![dim + 2; depth])
+                .array("B", &vec![dim + 2; depth]);
+            for v in vars {
+                b = b.loop_(v, 1, trip);
+            }
+            let idx = full.join(",");
+            // Three forward neighbours, one per innermost axis.
+            let shifted = |axis: usize| -> String {
+                let subs: Vec<String> = full
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        if i == axis {
+                            format!("{v}+1")
+                        } else {
+                            v.to_string()
+                        }
+                    })
+                    .collect();
+                subs.join(",")
+            };
+            b.stmt(&format!(
+                "B({idx}) = A({idx}) + A({}) + A({}) + A({})",
+                shifted(0),
+                shifted(1),
+                shifted(2)
+            ))
+            .build()
+        }
+        // Tensor contraction: the second-innermost loop is the reduction.
+        1 => {
+            let inner = vars[depth - 1];
+            let red = vars[depth - 2];
+            let outs: Vec<&str> = vars[..depth - 2].to_vec();
+            let mut target = vec![inner];
+            target.extend(outs.iter().rev());
+            let mut lhs_a = vec![inner, red];
+            lhs_a.extend(outs.iter().rev().skip(1));
+            let mut b = NestBuilder::new(name)
+                .array("C", &vec![dim; target.len()])
+                .array("A", &vec![dim; lhs_a.len()])
+                .array("W", &[dim, dim]);
+            for v in vars {
+                b = b.loop_(v, 1, trip);
+            }
+            let t = target.join(",");
+            b.stmt(&format!(
+                "C({t}) = C({t}) + A({}) * W({red},{})",
+                lhs_a.join(","),
+                target[1]
+            ))
+            .build()
+        }
+        // Reduction into a lower-rank accumulator: inner loops stream,
+        // outer loops address the target.
+        2 => {
+            let outs: Vec<&str> = vars[..depth - 2].iter().rev().copied().collect();
+            let ins: Vec<&str> = vars[depth - 2..].to_vec();
+            let mut b = NestBuilder::new(name)
+                .array("S", &vec![dim; outs.len()])
+                .array("X", &vec![dim; ins.len()]);
+            for v in vars {
+                b = b.loop_(v, 1, trip);
+            }
+            b.stmt(&format!(
+                "S({}) = S({}) + X({})",
+                outs.join(","),
+                outs.join(","),
+                ins.join(",")
+            ))
+            .build()
+        }
+        // Elementwise deep sweep across two arrays.
+        3 => {
+            let full: Vec<&str> = vars.iter().rev().copied().collect();
+            let idx = full.join(",");
+            let mut b = NestBuilder::new(name)
+                .array("P", &vec![dim; depth])
+                .array("Q", &vec![dim; depth]);
+            for v in vars {
+                b = b.loop_(v, 1, trip);
+            }
+            b.stmt(&format!("P({idx}) = Q({idx}) * 2.0 + 1.0")).build()
+        }
+        // In-place update: flow/anti/output dependences, no input deps.
+        _ => {
+            let full: Vec<&str> = vars.iter().rev().copied().collect();
+            let idx = full.join(",");
+            let mut b = NestBuilder::new(name).array("A", &vec![dim; depth]);
+            for v in vars {
+                b = b.loop_(v, 1, trip);
+            }
+            b.stmt(&format!("A({idx}) = A({idx}) * 0.99")).build()
+        }
+    }
+}
+
 /// Generates a whole corpus of `n` routines from one seed.
 ///
 /// # Example
@@ -227,6 +357,21 @@ mod tests {
         }
         // Deterministic.
         assert_eq!(corpus_subroutines(5, 40), subs);
+    }
+
+    #[test]
+    fn deep_corpus_validates_spans_depths_and_is_deterministic() {
+        let nests = corpus_deep(11, 60);
+        assert_eq!(nests.len(), 60);
+        let mut seen = [false; 3];
+        for nest in &nests {
+            nest.validate().expect("deep nest validates");
+            assert!((3..=5).contains(&nest.depth()), "{}", nest.name());
+            seen[nest.depth() - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of depths 3, 4, 5 appear");
+        assert_eq!(corpus_deep(11, 60), nests);
+        assert_ne!(corpus_deep(12, 60), nests);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! [`DeadlineExceeded`]: ujam_core::OptimizeError::DeadlineExceeded
 
 use std::collections::{BTreeMap, HashMap};
-use ujam_core::{CostModel, Optimized};
+use ujam_core::{CostModel, Optimized, SearchConfig};
 use ujam_ir::LoopNest;
 use ujam_machine::MachineModel;
 
@@ -50,13 +50,20 @@ impl Decision {
 /// Builds the content-addressed key for a problem instance.
 ///
 /// The nest's `Display` rendering is canonical (loop order, bounds, and
-/// statement text all appear), and the machine/model `Debug` renderings
-/// pin every parameter that can change the decision.  Deadlines are
-/// deliberately *not* part of the key: a decision is a pure function of
-/// the problem, so a cached answer is valid however little time the next
-/// caller has.
-pub fn decision_key(nest: &LoopNest, machine: &MachineModel, model: CostModel) -> String {
-    format!("{nest}\u{0}{machine:?}\u{0}{model:?}")
+/// statement text all appear), and the machine/model/search-config
+/// `Debug` renderings pin every parameter that can change the decision —
+/// including the register-tiling knobs (`max_unroll_loops`,
+/// `code_budget`), since the same nest searched over a different space
+/// can pick a different vector.  Deadlines are deliberately *not* part
+/// of the key: a decision is a pure function of the problem, so a cached
+/// answer is valid however little time the next caller has.
+pub fn decision_key(
+    nest: &LoopNest,
+    machine: &MachineModel,
+    model: CostModel,
+    config: SearchConfig,
+) -> String {
+    format!("{nest}\u{0}{machine:?}\u{0}{model:?}\u{0}{config:?}")
 }
 
 /// Hit/miss/eviction counters, readable at any time.
@@ -274,22 +281,49 @@ mod tests {
                 .build()
         };
         let alpha = MachineModel::dec_alpha();
-        // Same content, same name → same key; different machine or model
-        // → different key.
+        let dflt = SearchConfig::default();
+        // Same content, same name → same key; different machine, model,
+        // or search config → different key.
         assert_eq!(
-            decision_key(&build("n"), &alpha, CostModel::CacheAware),
-            decision_key(&build("n"), &alpha, CostModel::CacheAware)
+            decision_key(&build("n"), &alpha, CostModel::CacheAware, dflt),
+            decision_key(&build("n"), &alpha, CostModel::CacheAware, dflt)
         );
         assert_ne!(
-            decision_key(&build("n"), &alpha, CostModel::CacheAware),
-            decision_key(&build("n"), &alpha, CostModel::AllHits)
+            decision_key(&build("n"), &alpha, CostModel::CacheAware, dflt),
+            decision_key(&build("n"), &alpha, CostModel::AllHits, dflt)
         );
         assert_ne!(
-            decision_key(&build("n"), &alpha, CostModel::CacheAware),
+            decision_key(&build("n"), &alpha, CostModel::CacheAware, dflt),
             decision_key(
                 &build("n"),
                 &MachineModel::hp_parisc(),
-                CostModel::CacheAware
+                CostModel::CacheAware,
+                dflt
+            )
+        );
+        // The register-tiling knobs are part of the problem content.
+        assert_ne!(
+            decision_key(&build("n"), &alpha, CostModel::CacheAware, dflt),
+            decision_key(
+                &build("n"),
+                &alpha,
+                CostModel::CacheAware,
+                SearchConfig {
+                    max_unroll_loops: 3,
+                    ..dflt
+                }
+            )
+        );
+        assert_ne!(
+            decision_key(&build("n"), &alpha, CostModel::CacheAware, dflt),
+            decision_key(
+                &build("n"),
+                &alpha,
+                CostModel::CacheAware,
+                SearchConfig {
+                    code_budget: Some(128),
+                    ..dflt
+                }
             )
         );
     }

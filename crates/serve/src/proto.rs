@@ -55,6 +55,11 @@ pub struct Request {
     pub model: CostModel,
     /// Optional deadline in milliseconds; `Some(0)` is already expired.
     pub deadline_ms: Option<u64>,
+    /// Most loops the unroll vector may span (`0` = unbounded); `None`
+    /// keeps the paper's default of 2.
+    pub max_unroll_loops: Option<usize>,
+    /// Code-size budget: most statements the unrolled body may hold.
+    pub code_budget: Option<usize>,
 }
 
 /// Machine-readable failure categories for error replies.
@@ -335,7 +340,13 @@ impl Request {
         for key in obj.keys() {
             if !matches!(
                 key.as_str(),
-                "id" | "kernel" | "source" | "machine" | "model" | "deadline_ms"
+                "id" | "kernel"
+                    | "source"
+                    | "machine"
+                    | "model"
+                    | "deadline_ms"
+                    | "max_unroll_loops"
+                    | "code_budget"
             ) {
                 return Err(fail(format!("unknown field {key:?}")));
             }
@@ -381,12 +392,32 @@ impl Request {
                 ))
             }
         };
+        let max_unroll_loops = match obj.get("max_unroll_loops") {
+            None => None,
+            Some(Value::Number(n)) if *n >= 0.0 && n.fract() == 0.0 && *n <= u32::MAX as f64 => {
+                Some(*n as usize)
+            }
+            Some(_) => {
+                return Err(fail(
+                    "\"max_unroll_loops\" must be a non-negative integer".into(),
+                ))
+            }
+        };
+        let code_budget = match obj.get("code_budget") {
+            None => None,
+            Some(Value::Number(n)) if *n >= 1.0 && n.fract() == 0.0 && *n <= u32::MAX as f64 => {
+                Some(*n as usize)
+            }
+            Some(_) => return Err(fail("\"code_budget\" must be a positive integer".into())),
+        };
         Ok(Request {
             id,
             source,
             machine,
             model,
             deadline_ms,
+            max_unroll_loops,
+            code_budget,
         })
     }
 }
@@ -403,18 +434,47 @@ mod tests {
         assert_eq!(r.machine.name(), MachineModel::dec_alpha().name());
         assert_eq!(r.model, CostModel::CacheAware);
         assert_eq!(r.deadline_ms, None);
+        assert_eq!(r.max_unroll_loops, None);
+        assert_eq!(r.code_budget, None);
     }
 
     #[test]
     fn parses_every_optional_field() {
         let r = Request::parse(
-            r#"{"id":"b","source":"x","machine":"parisc","model":"allhits","deadline_ms":250}"#,
+            r#"{"id":"b","source":"x","machine":"parisc","model":"allhits","deadline_ms":250,"max_unroll_loops":3,"code_budget":128}"#,
         )
         .expect("parses");
         assert_eq!(r.source, Source::Inline("x".into()));
         assert_eq!(r.machine.name(), MachineModel::hp_parisc().name());
         assert_eq!(r.model, CostModel::AllHits);
         assert_eq!(r.deadline_ms, Some(250));
+        assert_eq!(r.max_unroll_loops, Some(3));
+        assert_eq!(r.code_budget, Some(128));
+    }
+
+    #[test]
+    fn register_tile_knobs_parse_strictly() {
+        // 0 unrolled loops means "unbounded", so it is accepted; a
+        // 0-statement code budget is meaningless and rejected.
+        let r =
+            Request::parse(r#"{"id":"a","kernel":"mmjki","max_unroll_loops":0}"#).expect("parses");
+        assert_eq!(r.max_unroll_loops, Some(0));
+        for line in [
+            r#"{"id":"x","kernel":"a","max_unroll_loops":-1}"#,
+            r#"{"id":"x","kernel":"a","max_unroll_loops":1.5}"#,
+            r#"{"id":"x","kernel":"a","max_unroll_loops":"two"}"#,
+            r#"{"id":"x","kernel":"a","code_budget":0}"#,
+            r#"{"id":"x","kernel":"a","code_budget":-8}"#,
+            r#"{"id":"x","kernel":"a","code_budget":true}"#,
+        ] {
+            match Request::parse(line) {
+                Err(Reply::Error(e)) => {
+                    assert_eq!(e.kind, ErrorKind::BadRequest, "{line}");
+                    assert_eq!(e.id.as_deref(), Some("x"), "{line}");
+                }
+                other => panic!("{line}: expected bad_request, got {other:?}"),
+            }
+        }
     }
 
     #[test]

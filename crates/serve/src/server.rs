@@ -21,7 +21,9 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use ujam_core::{optimize_observed, parallel_map_indexed, CancelToken, OptimizeError};
+use ujam_core::{
+    optimize_configured, parallel_map_indexed, CancelToken, OptimizeError, SearchConfig,
+};
 use ujam_ir::LoopNest;
 use ujam_metrics::{Counter, Gauge, Histogram, MetricsHandle, MetricsSnapshot};
 use ujam_trace::{null_sink, TraceRecord, TraceSink};
@@ -276,14 +278,17 @@ impl<'s> Server<'s> {
     /// Resolves the request's nest, or the structured error reply.
     fn resolve(&self, req: &Request) -> Result<LoopNest, Reply> {
         match &req.source {
-            Source::Kernel(name) => ujam_kernels::kernel(name).map(|k| k.nest()).ok_or_else(|| {
-                Reply::Error(ErrorReply {
-                    id: Some(req.id.clone()),
-                    kind: ErrorKind::UnknownKernel,
-                    message: format!("unknown kernel {name:?} (try `ujam list`)"),
-                    line: None,
-                })
-            }),
+            Source::Kernel(name) => ujam_kernels::kernel(name)
+                .map(|k| k.nest())
+                .or_else(|| ujam_kernels::deep_kernel(name).map(|k| k.nest()))
+                .ok_or_else(|| {
+                    Reply::Error(ErrorReply {
+                        id: Some(req.id.clone()),
+                        kind: ErrorKind::UnknownKernel,
+                        message: format!("unknown kernel {name:?} (try `ujam list`)"),
+                        line: None,
+                    })
+                }),
             Source::Inline(src) => ujam_fortran::parse(src).map_err(|e| {
                 Reply::Error(ErrorReply {
                     id: Some(req.id.clone()),
@@ -300,7 +305,13 @@ impl<'s> Server<'s> {
             Ok(nest) => nest,
             Err(reply) => return reply,
         };
-        let key = decision_key(&nest, &req.machine, req.model);
+        let config = SearchConfig {
+            max_unroll_loops: req
+                .max_unroll_loops
+                .unwrap_or(SearchConfig::default().max_unroll_loops),
+            code_budget: req.code_budget,
+        };
+        let key = decision_key(&nest, &req.machine, req.model, config);
         let lookup_t0 = self.metrics.as_ref().map(|_| Instant::now());
         let hit = self.cache.lock().expect("cache lock").get(&key);
         if let (Some(m), Some(t0)) = (&self.metrics, lookup_t0) {
@@ -332,13 +343,14 @@ impl<'s> Server<'s> {
             .map(|m| m.handle.clone())
             .unwrap_or_default();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            optimize_observed(
+            optimize_configured(
                 &nest,
                 &req.machine,
                 req.model,
                 null_sink(),
                 cancel,
                 pass_metrics,
+                config,
             )
         }));
         let decision = match outcome {

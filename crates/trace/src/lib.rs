@@ -71,6 +71,12 @@ pub enum Verdict {
     /// exceed it too.  Emitted only by the up-set-pruning table search;
     /// the matching `search.pruned_upset` counter totals them.
     PrunedUpset,
+    /// The unrolled body at this vector would exceed the code-size
+    /// budget (`copies × statements`, an icache proxy).  Code size is
+    /// exactly multiplicative in the unroll factors, so — unlike the
+    /// measured register tables — this constraint is monotone by
+    /// construction and always safe to up-set-prune on.
+    PrunedCodeSize,
     /// The candidate body could not be materialised (brute-force search
     /// only: the transform itself failed for this vector).
     Infeasible,
@@ -80,14 +86,15 @@ pub enum Verdict {
 
 impl Verdict {
     /// The stable lower-snake-case wire name (`won`, `pruned_registers`,
-    /// `pruned_divisibility`, `pruned_upset`, `infeasible`,
-    /// `dominated`).
+    /// `pruned_divisibility`, `pruned_upset`, `pruned_code_size`,
+    /// `infeasible`, `dominated`).
     pub fn as_str(&self) -> &'static str {
         match self {
             Verdict::Won => "won",
             Verdict::PrunedRegisters => "pruned_registers",
             Verdict::PrunedDivisibility => "pruned_divisibility",
             Verdict::PrunedUpset => "pruned_upset",
+            Verdict::PrunedCodeSize => "pruned_code_size",
             Verdict::Infeasible => "infeasible",
             Verdict::Dominated => "dominated",
         }
@@ -435,6 +442,7 @@ mod tests {
             "pruned_divisibility"
         );
         assert_eq!(Verdict::PrunedUpset.to_string(), "pruned_upset");
+        assert_eq!(Verdict::PrunedCodeSize.to_string(), "pruned_code_size");
         assert_eq!(Verdict::Infeasible.to_string(), "infeasible");
         assert_eq!(Verdict::Dominated.to_string(), "dominated");
     }

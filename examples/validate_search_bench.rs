@@ -93,8 +93,56 @@ fn run() -> Result<String, String> {
             return Err(format!("row {i}: speedup inconsistent with timings"));
         }
     }
+    // The depth-scaling arm: k = 1..3 register-tiling searches over a
+    // deep kernel, same agreement discipline as the bound sweep.
+    if doc.get("depth_kernel").and_then(Value::as_str).is_none() {
+        return Err("missing string field \"depth_kernel\"".to_string());
+    }
+    let depth_rows = doc
+        .get("depth_rows")
+        .and_then(Value::as_array)
+        .ok_or("missing depth_rows array")?;
+    if depth_rows.is_empty() {
+        return Err("depth_rows array is empty".to_string());
+    }
+    let mut last_k = 0.0;
+    let mut last_depth_space = 0.0;
+    for (i, row) in depth_rows.iter().enumerate() {
+        let num = |field: &str| {
+            row.get(field)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("depth row {i}: missing numeric field {field:?}"))
+        };
+        let k = num("k")?;
+        if k <= last_k {
+            return Err(format!("depth row {i}: k must strictly grow"));
+        }
+        last_k = k;
+        let space = num("space")?;
+        if space <= last_depth_space {
+            return Err(format!("depth row {i}: spaces must strictly grow"));
+        }
+        last_depth_space = space;
+        let summed = num("summed_area_ns")?;
+        let pruned_ns = num("pruned_ns")?;
+        if summed <= 0.0 || pruned_ns <= 0.0 {
+            return Err(format!("depth row {i}: timings must be positive"));
+        }
+        let pruned = num("pruned_upset")?;
+        if pruned < 0.0 || pruned >= space {
+            return Err(format!("depth row {i}: pruned_upset out of range"));
+        }
+        if row.get("winner").and_then(Value::as_array).is_none() {
+            return Err(format!("depth row {i}: missing winner array"));
+        }
+        if row.get("winners_agree") != Some(&Value::Bool(true)) {
+            return Err(format!("depth row {i}: engines must agree on the winner"));
+        }
+    }
     Ok(format!(
-        "{} rows, largest space {last_space:.0}",
-        rows.len()
+        "{} rows, largest space {last_space:.0}; {} depth rows up to k = {last_k:.0} \
+         (space {last_depth_space:.0})",
+        rows.len(),
+        depth_rows.len()
     ))
 }

@@ -79,10 +79,31 @@ fn run() -> Result<String, String> {
         .get("explain")
         .and_then(|e| e.as_array())
         .ok_or("missing explain array")?;
-    let winners = explain
-        .iter()
-        .filter(|e| e.get("verdict").and_then(|v| v.as_str()) == Some("won"))
-        .count();
+    // Every candidate carries one of the known fates — catching a
+    // renamed or novel verdict the renderers would silently mislabel —
+    // and exactly one of them wins.
+    const VERDICTS: [&str; 7] = [
+        "won",
+        "dominated",
+        "infeasible",
+        "pruned_upset",
+        "pruned_registers",
+        "pruned_divisibility",
+        "pruned_code_size",
+    ];
+    let mut winners = 0usize;
+    for (i, e) in explain.iter().enumerate() {
+        let verdict = e
+            .get("verdict")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("explain record {i}: missing verdict"))?;
+        if !VERDICTS.contains(&verdict) {
+            return Err(format!("explain record {i}: unknown verdict {verdict:?}"));
+        }
+        if verdict == "won" {
+            winners += 1;
+        }
+    }
     if winners != 1 {
         return Err(format!(
             "expected exactly one winning candidate, found {winners}"

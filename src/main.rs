@@ -33,11 +33,14 @@
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
-use ujam::core::{optimize_traced, optimize_with, tables::CostTables, CostModel, UnrollSpace};
+use ujam::core::{
+    optimize_configured, optimize_with, tables::CostTables, CancelToken, CostModel, SearchConfig,
+    UnrollSpace,
+};
 use ujam::dep::{safe_unroll_bounds, DepGraph, DepKind};
 use ujam::ir::transform::scalar_replacement;
 use ujam::ir::LoopNest;
-use ujam::kernels::{kernel, kernels};
+use ujam::kernels::{deep_kernel, kernel, kernels};
 use ujam::machine::MachineModel;
 use ujam::metrics::{MetricsHandle, MetricsRegistry};
 use ujam::sim::simulate;
@@ -64,6 +67,7 @@ const USAGE: &str = "usage:
   ujam tables <loop> [bound]
   ujam optimize <loop> [--machine alpha|parisc|prefetch] [--model cache|allhits]
                        [--explain] [--trace[=json|chrome]]
+                       [--max-unroll-loops K] [--code-budget B]
   ujam simulate <loop> [--machine alpha|parisc|prefetch] [--model cache|allhits]
   ujam emit <loop>
   ujam schedule <loop> [--machine alpha|parisc|prefetch] [--model cache|allhits]
@@ -72,8 +76,13 @@ const USAGE: &str = "usage:
   ujam request --socket PATH <json-line>
   ujam stats --socket PATH [--json]
 
-<loop> is a kernel name from `ujam list` or a Fortran file (.f/.f77/.for)
-holding one DO nest.
+<loop> is a kernel name from `ujam list`, a deep register-tiling kernel
+(stencil3d, contract3, tensor4, assemble4, bmm4, bcontract5), or a
+Fortran file (.f/.f77/.for) holding one DO nest.
+
+`optimize` searches unroll vectors over up to K outer loops
+(--max-unroll-loops, default 2 as in the paper; 0 = unbounded) and can
+cap unrolled body size at B statements (--code-budget).
 
 `serve` reads one JSON request per line from stdin (or the Unix socket at
 PATH) and writes one JSON reply per line to stdout; see the ujam-serve
@@ -170,11 +179,19 @@ fn run(args: &[String]) -> Result<(), String> {
             let opts = optimize_options(it)?;
             let (machine, model) = (&opts.machine, opts.model);
             let sink = CollectingSink::new();
-            let plan = if opts.observing() {
-                optimize_traced(&nest, machine, model, &sink)
-            } else {
-                optimize_with(&nest, machine, model)
-            }
+            let plan = optimize_configured(
+                &nest,
+                machine,
+                model,
+                if opts.observing() {
+                    &sink
+                } else {
+                    ujam::trace::null_sink()
+                },
+                CancelToken::never(),
+                MetricsHandle::disabled(),
+                opts.config,
+            )
             .map_err(|e| e.to_string())?;
             let trace = sink.take();
             if opts.trace == TraceMode::Json {
@@ -519,6 +536,7 @@ fn lookup(name: Option<&String>) -> Result<LoopNest, String> {
     }
     kernel(name)
         .map(|k| k.nest())
+        .or_else(|| deep_kernel(name).map(|k| k.nest()))
         .ok_or_else(|| format!("unknown kernel {name:?} (try `ujam list`)"))
 }
 
@@ -536,6 +554,7 @@ struct OptimizeOptions {
     model: CostModel,
     trace: TraceMode,
     explain: bool,
+    config: SearchConfig,
 }
 
 impl OptimizeOptions {
@@ -550,11 +569,18 @@ fn optimize_options<'a>(it: impl Iterator<Item = &'a String>) -> Result<Optimize
     let mut model = CostModel::CacheAware;
     let mut trace = TraceMode::Off;
     let mut explain = false;
+    let mut config = SearchConfig::default();
     let mut it = it.peekable();
+    // Flags taking a value accept both `--flag V` and `--flag=V`.
     while let Some(flag) = it.next() {
-        match flag.as_str() {
+        let (name, inline) = match flag.split_once('=') {
+            Some((n, v)) => (n, Some(v.to_string())),
+            None => (flag.as_str(), None),
+        };
+        match name {
             "--machine" => {
-                machine = match it.next().map(|s| s.as_str()) {
+                let v = inline.or_else(|| it.next().cloned());
+                machine = match v.as_deref() {
                     Some("alpha") => MachineModel::dec_alpha(),
                     Some("parisc") => MachineModel::hp_parisc(),
                     Some("prefetch") => MachineModel::prefetching_risc(),
@@ -562,24 +588,52 @@ fn optimize_options<'a>(it: impl Iterator<Item = &'a String>) -> Result<Optimize
                 }
             }
             "--model" => {
-                model = match it.next().map(|s| s.as_str()) {
+                let v = inline.or_else(|| it.next().cloned());
+                model = match v.as_deref() {
                     Some("cache") => CostModel::CacheAware,
                     Some("allhits") => CostModel::AllHits,
                     other => return Err(format!("bad --model value {other:?}")),
                 }
             }
-            "--trace" => trace = TraceMode::Human,
-            "--trace=json" => trace = TraceMode::Json,
-            "--trace=human" => trace = TraceMode::Human,
-            "--trace=chrome" => trace = TraceMode::Chrome,
-            other if other.starts_with("--trace=") => {
-                return Err(format!(
-                    "bad --trace value {:?} (expected json, human, or chrome)",
-                    &other["--trace=".len()..]
-                ))
+            "--max-unroll-loops" => {
+                let v = inline.or_else(|| it.next().cloned());
+                config.max_unroll_loops = v
+                    .as_deref()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .ok_or_else(|| {
+                        format!(
+                            "bad --max-unroll-loops value {v:?} \
+                             (expected a non-negative integer; 0 = unbounded)"
+                        )
+                    })?;
             }
-            "--explain" => explain = true,
-            other => return Err(format!("unknown option {other:?}")),
+            "--code-budget" => {
+                let v = inline.or_else(|| it.next().cloned());
+                let budget = v
+                    .as_deref()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&b| b > 0)
+                    .ok_or_else(|| {
+                        format!("bad --code-budget value {v:?} (expected a positive integer)")
+                    })?;
+                config.code_budget = Some(budget);
+            }
+            "--trace" if inline.is_none() => trace = TraceMode::Human,
+            "--trace" => {
+                trace = match inline.as_deref() {
+                    Some("json") => TraceMode::Json,
+                    Some("human") => TraceMode::Human,
+                    Some("chrome") => TraceMode::Chrome,
+                    other => {
+                        return Err(format!(
+                            "bad --trace value {:?} (expected json, human, or chrome)",
+                            other.unwrap_or("")
+                        ))
+                    }
+                }
+            }
+            "--explain" if inline.is_none() => explain = true,
+            _ => return Err(format!("unknown option {flag:?}")),
         }
     }
     Ok(OptimizeOptions {
@@ -587,6 +641,7 @@ fn optimize_options<'a>(it: impl Iterator<Item = &'a String>) -> Result<Optimize
         model,
         trace,
         explain,
+        config,
     })
 }
 

@@ -24,7 +24,7 @@ fn pipeline_space(
     machine: &MachineModel,
 ) -> Option<ujam::core::UnrollSpace> {
     let mut ctx = AnalysisCtx::new(nest, machine).ok()?;
-    SelectLoops.run(&mut ctx).ok()
+    SelectLoops::default().run(&mut ctx).ok()
 }
 
 /// The satellite pin: pruned and exhaustive table walks return the
@@ -40,9 +40,10 @@ fn pruning_never_changes_the_winner() {
             };
             let tables = CostTables::build(&nest, &space, machine.line_elems());
             for model in [CostModel::CacheAware, CostModel::AllHits] {
-                let (pruned, _) = search_tables(&nest, &machine, &space, &tables, model, true);
+                let (pruned, _) =
+                    search_tables(&nest, &machine, &space, &tables, model, true, None);
                 let (exhaustive, skipped) =
-                    search_tables(&nest, &machine, &space, &tables, model, false);
+                    search_tables(&nest, &machine, &space, &tables, model, false, None);
                 assert_eq!(
                     pruned,
                     exhaustive,
@@ -66,12 +67,13 @@ fn pruned_table_and_parallel_brute_searches_agree() {
         let Ok(mut ctx) = AnalysisCtx::new(&nest, &machine) else {
             continue;
         };
-        let Ok(space) = SelectLoops.run(&mut ctx) else {
+        let Ok(space) = SelectLoops::default().run(&mut ctx) else {
             continue;
         };
         let table = SearchSpace {
             space: space.clone(),
             model: CostModel::CacheAware,
+            code_budget: None,
         }
         .run(&mut ctx);
         let Ok(table) = table else {
@@ -79,6 +81,7 @@ fn pruned_table_and_parallel_brute_searches_agree() {
         };
         let brute = BruteSearch {
             space: space.clone(),
+            code_budget: None,
         }
         .run(&mut ctx)
         .expect("brute search runs wherever the table search does");
@@ -89,9 +92,9 @@ fn pruned_table_and_parallel_brute_searches_agree() {
 
 /// The `--explain` ledger balances on every kernel: one record per
 /// offset of the space, exactly one winner, evaluated + pruned_upset +
-/// pruned_registers + pruned_divisibility = space size, and the
-/// `search.pruned_upset` counter equals the number of `pruned_upset`
-/// records.
+/// pruned_registers + pruned_divisibility + pruned_code_size = space
+/// size, and the `search.pruned_upset` counter equals the number of
+/// `pruned_upset` records.
 #[test]
 fn explain_accounts_for_every_candidate() {
     for machine in machines() {
@@ -101,12 +104,13 @@ fn explain_accounts_for_every_candidate() {
             let Ok(mut ctx) = AnalysisCtx::with_sink(&nest, &machine, &sink) else {
                 continue;
             };
-            let Ok(space) = SelectLoops.run(&mut ctx) else {
+            let Ok(space) = SelectLoops::default().run(&mut ctx) else {
                 continue;
             };
             let outcome = SearchSpace {
                 space: space.clone(),
                 model: CostModel::CacheAware,
+                code_budget: None,
             }
             .run_traced(&mut ctx);
             let Ok(outcome) = outcome else {
@@ -127,7 +131,8 @@ fn explain_accounts_for_every_candidate() {
                 evaluated
                     + pruned_upset
                     + count(Verdict::PrunedRegisters)
-                    + count(Verdict::PrunedDivisibility),
+                    + count(Verdict::PrunedDivisibility)
+                    + count(Verdict::PrunedCodeSize),
                 space.len(),
                 "{tag}: the ledger balances"
             );

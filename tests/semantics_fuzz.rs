@@ -18,7 +18,7 @@ use ujam::dep::{safe_unroll_bounds, DepGraph};
 use ujam::ir::interp::{execute, ExecState};
 use ujam::ir::transform::{scalar_replacement, unroll_and_jam};
 use ujam::ir::LoopNest;
-use ujam::kernels::corpus;
+use ujam::kernels::{corpus, corpus_deep};
 
 /// Fixed default so the CI run is reproducible.
 const DEFAULT_SEED: u64 = 0x5EED_CA44;
@@ -144,6 +144,68 @@ fn unroll_and_jam_preserves_semantics_on_the_synth_corpus() {
     println!(
         "semantics fuzz: seed {seed:#x}, {CORPUS_SIZE} nests, \
          {vectors_checked} vectors ({nontrivial} non-trivial)"
+    );
+}
+
+/// Register-tiling arm: seeded nests of depth 3–5 with unroll vectors
+/// spanning `k` loops at once.  Same oracle as the 2-deep corpus —
+/// interpreter equality, bitwise, with and without scalar replacement —
+/// but the vectors here exercise the k-dimensional jam the paper never
+/// reaches (its search stops at two loops).
+#[test]
+fn unroll_and_jam_preserves_semantics_on_deep_nests() {
+    const DEEP_CORPUS: usize = 30;
+    let seed = fuzz_seed();
+    let nests = corpus_deep(seed, DEEP_CORPUS);
+    assert!(nests.len() >= DEEP_CORPUS);
+    let mut vectors_checked = 0usize;
+    let mut multi_loop = 0usize;
+    let mut depths_seen = std::collections::BTreeSet::new();
+    for (idx, nest) in nests.iter().enumerate() {
+        depths_seen.insert(nest.depth());
+        let reference = execute(nest);
+        let ref_cells = cells_bits(&reference);
+        for u in applicable_vectors(nest) {
+            let transformed = unroll_and_jam(nest, &u).unwrap_or_else(|e| {
+                panic!(
+                    "seed {seed:#x} deep nest {idx} ({}): applicable vector {u:?} rejected: {e}\n{nest}",
+                    nest.name()
+                )
+            });
+            assert_eq!(
+                cells_bits(&execute(&transformed)),
+                ref_cells,
+                "seed {seed:#x} deep nest {idx} ({}): unroll {u:?} changed array results\n{nest}",
+                nest.name()
+            );
+            let replaced = scalar_replacement(&transformed).nest;
+            assert_eq!(
+                cells_bits(&execute(&replaced)),
+                ref_cells,
+                "seed {seed:#x} deep nest {idx} ({}): unroll {u:?} + scalar replacement \
+                 changed array results\n{nest}",
+                nest.name()
+            );
+            vectors_checked += 1;
+            if u.iter().filter(|&&c| c > 0).count() >= 2 {
+                multi_loop += 1;
+            }
+        }
+    }
+    assert!(
+        depths_seen.iter().max() >= Some(&4) && depths_seen.iter().min() <= Some(&3),
+        "deep corpus must span depths 3..=5, saw {depths_seen:?}"
+    );
+    // The arm is vacuous unless genuinely multi-dimensional vectors
+    // (two or more jammed loops at once) actually ran.
+    assert!(
+        multi_loop >= DEEP_CORPUS,
+        "only {multi_loop} multi-loop vectors across {DEEP_CORPUS} deep nests \
+         ({vectors_checked} total) — the deep corpus or the safety analysis regressed"
+    );
+    println!(
+        "deep semantics fuzz: seed {seed:#x}, {DEEP_CORPUS} nests, \
+         {vectors_checked} vectors ({multi_loop} multi-loop)"
     );
 }
 
