@@ -35,6 +35,16 @@ cargo run --release --offline --quiet --example validate_search_bench -- /tmp/uj
 ./target/release/ujam optimize tensor4 --max-unroll-loops=3 --code-budget=48 --explain --trace=json > /tmp/ujam_tile_trace.json
 cargo run --release --offline --quiet --example validate_trace -- /tmp/ujam_tile_trace.json
 
+# Profiler smoke: `ujam profile` must emit a schema-valid versioned
+# reuse-distance report whose per-array sections reconcile with the
+# aggregate, and the matmul kernel must land inside the known-kernel
+# sanity bound (sa miss rate in (0, 50%]).  The alias and a custom
+# geometry both go through the validator.
+./target/release/ujam profile --kernel matmul > /tmp/ujam_profile.json
+cargo run --release --offline --quiet --example validate_profile -- --kernel mmjki /tmp/ujam_profile.json
+./target/release/ujam profile jacobi --cache-geometry=4096:32:2 --profile-out /tmp/ujam_profile_jacobi.json
+cargo run --release --offline --quiet --example validate_profile -- /tmp/ujam_profile_jacobi.json
+
 # Serve smoke test: three NDJSON requests through the daemon's stdin — a
 # kernel request, its exact duplicate (must be cache-served with an
 # identical decision), and one malformed line (must get a structured
@@ -55,6 +65,18 @@ printf '%s\n' \
   | ./target/release/ujam serve --workers 1 > /tmp/ujam_serve_tile.ndjson
 grep -q '"ok":true' /tmp/ujam_serve_tile.ndjson
 grep -Eq '"unroll":\[[0-9]+,[0-9]+,[0-9]+,[0-9]+\]' /tmp/ujam_serve_tile.ndjson
+
+# Cost-model serve round-trip: the protocol's cost_model field reaches
+# the search — the same kernel served under the analytic and the
+# profiled backend must both answer ok, and an unknown spelling must be
+# a structured error reply, not a dropped connection.
+printf '%s\n' \
+  '{"id":"cm1","kernel":"dmxpy0","cost_model":"analytic"}' \
+  '{"id":"cm2","kernel":"dmxpy0","cost_model":"profiled"}' \
+  '{"id":"cm3","kernel":"dmxpy0","cost_model":"exact"}' \
+  | ./target/release/ujam serve --workers 1 --batch 1 > /tmp/ujam_serve_cost.ndjson
+[ "$(grep -c '"ok":true' /tmp/ujam_serve_cost.ndjson)" = 2 ]
+grep -q 'unknown cost_model' /tmp/ujam_serve_cost.ndjson
 
 # Metrics smoke: one optimize request and one stats round-trip over a
 # Unix socket; the daemon's snapshot must count exactly that request

@@ -1,0 +1,99 @@
+//! Model-vs-measurement divergence over the Table 2 suite: for every
+//! kernel, the analytic Eq. 1 cache-line prediction next to the
+//! reuse-distance profiler's measured misses, and the unroll winner
+//! under the analytic vs the profiled cost backend.
+//!
+//! This regenerates the EXPERIMENTS divergence table.  Eq. 1 counts
+//! lines under an idealized fully-localized cache (no capacity, no
+//! conflicts); the profiler replays the real address stream through
+//! both a fully-associative LRU stack and the machine's set-associative
+//! geometry, so the gap between the columns *is* the modelling error.
+//!
+//! Run with `cargo bench --bench profile_divergence [-- --quick]`; the
+//! quick mode skips the profiled-backend search (the slow column) and
+//! only prints the per-iteration miss columns.
+
+use ujam_core::{
+    optimize_costed, BalanceModel, CancelToken, CostModelKind, Optimized, SearchConfig,
+};
+use ujam_kernels::kernels;
+use ujam_machine::MachineModel;
+use ujam_metrics::MetricsHandle;
+use ujam_reuse::{nest_cache_cost, Localized};
+use ujam_sim::profile_nest;
+
+fn optimize(
+    nest: &ujam_ir::LoopNest,
+    machine: &MachineModel,
+    cost: CostModelKind,
+) -> Result<Optimized, ujam_core::OptimizeError> {
+    optimize_costed(
+        nest,
+        machine,
+        BalanceModel::CacheAware,
+        cost,
+        ujam_trace::null_sink(),
+        CancelToken::never(),
+        MetricsHandle::disabled(),
+        SearchConfig::default(),
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let machine = MachineModel::dec_alpha();
+    println!(
+        "divergence on {} ({}B cache, {}B lines, {}-way):",
+        machine.name(),
+        machine.cache_bytes(),
+        machine.line_bytes(),
+        machine.associativity()
+    );
+    println!(
+        "{:10} {:>8} {:>8} {:>8} {:>12} {:>12}  flip",
+        "kernel", "eq1/it", "fa/it", "sa/it", "analytic u", "profiled u"
+    );
+    let mut flips = 0;
+    let mut ran = 0;
+    for k in kernels() {
+        let nest = k.nest();
+        let report = profile_nest(&nest, &machine);
+        let iters = nest.iterations().max(1) as f64;
+        let eq1 = nest_cache_cost(
+            &nest,
+            &Localized::innermost(nest.depth()),
+            machine.line_elems(),
+        );
+        let analytic = optimize(&nest, &machine, CostModelKind::Analytic);
+        let profiled = (!quick).then(|| optimize(&nest, &machine, CostModelKind::Profiled));
+        let (a_u, p_u, flip) = match (&analytic, &profiled) {
+            (Ok(a), Some(Ok(p))) => {
+                ran += 1;
+                let flipped = a.unroll != p.unroll;
+                flips += flipped as u32;
+                (
+                    format!("{:?}", a.unroll),
+                    format!("{:?}", p.unroll),
+                    if flipped { "FLIP" } else { "" },
+                )
+            }
+            (Ok(a), _) => (format!("{:?}", a.unroll), "-".to_string(), ""),
+            _ => ("-".to_string(), "-".to_string(), ""),
+        };
+        println!(
+            "{:10} {:>8.3} {:>8.3} {:>8.3} {:>12} {:>12}  {}",
+            k.name,
+            eq1,
+            report.fa_misses as f64 / iters,
+            report.sa_misses as f64 / iters,
+            a_u,
+            p_u,
+            flip
+        );
+    }
+    if !quick {
+        println!(
+            "\n{flips} of {ran} optimizable kernels flip their winner under the profiled backend"
+        );
+    }
+}

@@ -23,7 +23,7 @@
 
 use std::fmt::Write as _;
 use ujam_bench::timing::bench;
-use ujam_core::{search_tables, tables::CostTables, CostModel, UnrollSpace};
+use ujam_core::{search_tables, tables::CostTables, BalanceModel, UnrollSpace};
 use ujam_kernels::kernel;
 use ujam_machine::MachineModel;
 
@@ -42,7 +42,7 @@ fn main() {
         });
 
     let machine = MachineModel::dec_alpha();
-    let model = CostModel::CacheAware;
+    let model = BalanceModel::CacheAware;
     let nest = kernel("mmjki").expect("known kernel").nest();
     // Two unrolled loops: the space grows quadratically in the bound.
     let bounds: &[u32] = if quick { &[2, 4] } else { &[4, 8, 16, 24] };

@@ -13,7 +13,10 @@
 //!    emission site is behind one `enabled()` check (2% gate),
 //! 3. `metrics` — `optimize_observed` with a null sink but an enabled
 //!    `MetricsHandle`, recording `pass.*.ns` histograms (2% gate),
-//! 4. `collect` — `optimize_traced` with a `CollectingSink`, to show
+//! 4. `cost-analytic` — `optimize_costed` with the default analytic
+//!    cost backend: the profiler plumbing exists but must never run,
+//!    so this arm stays within the same 2% gate,
+//! 5. `collect` — `optimize_traced` with a `CollectingSink`, to show
 //!    what full tracing costs (informational).
 //!
 //! Plain-`Instant` harness (`ujam_bench::timing`): the offline registry
@@ -25,7 +28,8 @@ use std::sync::Arc;
 use ujam_bench::timing::bench;
 use ujam_core::pipeline::{AnalysisCtx, ApplyTransform, Pass, SearchSpace, SelectLoops};
 use ujam_core::{
-    optimize_observed, optimize_traced, optimize_with, CancelToken, CostModel, Optimized,
+    optimize_costed, optimize_observed, optimize_traced, optimize_with, BalanceModel, CancelToken,
+    CostModelKind, Optimized, SearchConfig,
 };
 use ujam_kernels::kernel;
 use ujam_machine::MachineModel;
@@ -42,7 +46,8 @@ fn optimize_bare(
     let space = SelectLoops::default().run(&mut ctx)?;
     let found = SearchSpace {
         space: space.clone(),
-        model: CostModel::CacheAware,
+        model: BalanceModel::CacheAware,
+        cost: CostModelKind::Analytic,
         code_budget: None,
     }
     .run(&mut ctx)?;
@@ -65,24 +70,36 @@ fn main() {
 
     // Sanity first: all three arms agree on the plan.
     let bare = optimize_bare(&nest, &machine).expect("valid kernel");
-    let null = optimize_with(&nest, &machine, CostModel::CacheAware).expect("valid kernel");
+    let null = optimize_with(&nest, &machine, BalanceModel::CacheAware).expect("valid kernel");
     let sink = CollectingSink::new();
     let collected =
-        optimize_traced(&nest, &machine, CostModel::CacheAware, &sink).expect("valid kernel");
+        optimize_traced(&nest, &machine, BalanceModel::CacheAware, &sink).expect("valid kernel");
     let registry = Arc::new(MetricsRegistry::new());
     let handle = MetricsHandle::new(Arc::clone(&registry));
     let metered = optimize_observed(
         &nest,
         &machine,
-        CostModel::CacheAware,
+        BalanceModel::CacheAware,
         ujam_trace::null_sink(),
         CancelToken::never(),
         handle.clone(),
     )
     .expect("valid kernel");
+    let costed = optimize_costed(
+        &nest,
+        &machine,
+        BalanceModel::CacheAware,
+        CostModelKind::Analytic,
+        ujam_trace::null_sink(),
+        CancelToken::never(),
+        MetricsHandle::disabled(),
+        SearchConfig::default(),
+    )
+    .expect("valid kernel");
     assert_eq!(bare.unroll, null.unroll);
     assert_eq!(bare.unroll, collected.unroll);
     assert_eq!(bare.unroll, metered.unroll);
+    assert_eq!(bare.unroll, costed.unroll);
     assert!(!sink.take().records.is_empty(), "collector saw the run");
     assert!(
         registry
@@ -96,37 +113,55 @@ fn main() {
     const ATTEMPTS: usize = 5;
     let mut best_null = f64::INFINITY;
     let mut best_metered = f64::INFINITY;
+    let mut best_costed = f64::INFINITY;
     for attempt in 1..=ATTEMPTS {
         let base = bench("optimize/bare/dmxpy0", || optimize_bare(&nest, &machine));
         let nulled = bench("optimize/null-sink/dmxpy0", || {
-            optimize_with(&nest, &machine, CostModel::CacheAware)
+            optimize_with(&nest, &machine, BalanceModel::CacheAware)
         });
         let metered = bench("optimize/metrics/dmxpy0", || {
             optimize_observed(
                 &nest,
                 &machine,
-                CostModel::CacheAware,
+                BalanceModel::CacheAware,
                 ujam_trace::null_sink(),
                 CancelToken::never(),
                 handle.clone(),
             )
         });
+        let costed = bench("optimize/cost-analytic/dmxpy0", || {
+            optimize_costed(
+                &nest,
+                &machine,
+                BalanceModel::CacheAware,
+                CostModelKind::Analytic,
+                ujam_trace::null_sink(),
+                CancelToken::never(),
+                MetricsHandle::disabled(),
+                SearchConfig::default(),
+            )
+        });
         best_null = best_null.min(nulled.min_ns / base.min_ns);
         best_metered = best_metered.min(metered.min_ns / base.min_ns);
+        best_costed = best_costed.min(costed.min_ns / base.min_ns);
         println!(
-            "attempt {attempt}: null-sink / bare = {:.4}, metrics / bare = {:.4} (gate {:.2})",
+            "attempt {attempt}: null-sink / bare = {:.4}, metrics / bare = {:.4}, cost-analytic / bare = {:.4} (gate {:.2})",
             nulled.min_ns / base.min_ns,
             metered.min_ns / base.min_ns,
+            costed.min_ns / base.min_ns,
             1.0 + MAX_OVERHEAD
         );
-        if best_null <= 1.0 + MAX_OVERHEAD && best_metered <= 1.0 + MAX_OVERHEAD {
+        if best_null <= 1.0 + MAX_OVERHEAD
+            && best_metered <= 1.0 + MAX_OVERHEAD
+            && best_costed <= 1.0 + MAX_OVERHEAD
+        {
             break;
         }
     }
     // Informational: what a fully collecting sink costs on the same path.
     bench("optimize/collecting-sink/dmxpy0", || {
         let sink = CollectingSink::new();
-        optimize_traced(&nest, &machine, CostModel::CacheAware, &sink)
+        optimize_traced(&nest, &machine, BalanceModel::CacheAware, &sink)
     });
     assert!(
         best_null <= 1.0 + MAX_OVERHEAD,
@@ -140,10 +175,18 @@ fn main() {
         100.0 * (best_metered - 1.0),
         100.0 * MAX_OVERHEAD
     );
+    assert!(
+        best_costed <= 1.0 + MAX_OVERHEAD,
+        "analytic cost-backend overhead {:.2}% exceeds the {:.0}% gate \
+         (the profiler must cost nothing when it is not selected)",
+        100.0 * (best_costed - 1.0),
+        100.0 * MAX_OVERHEAD
+    );
     println!(
-        "PASS: disabled tracing costs {:+.2}%, live metrics {:+.2}% on the tables path (gate {:.0}%)",
+        "PASS: disabled tracing costs {:+.2}%, live metrics {:+.2}%, analytic cost backend {:+.2}% on the tables path (gate {:.0}%)",
         100.0 * (best_null - 1.0),
         100.0 * (best_metered - 1.0),
+        100.0 * (best_costed - 1.0),
         100.0 * MAX_OVERHEAD
     );
 }

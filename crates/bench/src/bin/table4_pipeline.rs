@@ -5,7 +5,7 @@
 
 use ujam_bench::permute_then_jam;
 use ujam_bench::timing::PassBreakdown;
-use ujam_core::{optimize_batch_traced_with_workers, CostModel};
+use ujam_core::{optimize_batch_traced_with_workers, BalanceModel};
 use ujam_kernels::kernels;
 use ujam_machine::MachineModel;
 use ujam_trace::CollectingSink;
@@ -36,7 +36,7 @@ fn main() {
     let nests: Vec<_> = kernels().iter().map(|k| k.nest()).collect();
     let sink = CollectingSink::new();
     let results =
-        optimize_batch_traced_with_workers(&nests, &machine, CostModel::CacheAware, 1, &sink);
+        optimize_batch_traced_with_workers(&nests, &machine, BalanceModel::CacheAware, 1, &sink);
     let failures = results.iter().filter(|r| r.is_err()).count();
     println!(
         "\n== Per-pass timing over the Table 2 suite ({} nests{}) ==",

@@ -10,7 +10,7 @@
 //! * [`permute_then_jam`] — the Wolf/Maydan/Chen §5.3 combination:
 //!   memory-order permutation (reference \[4\]) before unroll-and-jam.
 
-use ujam_core::{optimize, optimize_with, CostModel};
+use ujam_core::{optimize, optimize_with, BalanceModel};
 use ujam_dep::DepGraph;
 use ujam_kernels::{kernel, kernels};
 use ujam_machine::MachineModel;
@@ -95,7 +95,7 @@ pub fn prefetch_sweep(names: &[&'static str], bandwidths: &[f64]) -> Vec<Prefetc
                 .prefetch(bandwidth)
                 .fp_latency(6)
                 .build();
-            let plan = optimize_with(&nest, &machine, CostModel::CacheAware)
+            let plan = optimize_with(&nest, &machine, BalanceModel::CacheAware)
                 .expect("known kernels are valid");
             let before = simulate(&nest, &machine);
             let after = simulate(&plan.nest, &machine);

@@ -1,6 +1,6 @@
 //! Figures 8 & 9: normalized execution time of the 19 test loops.
 
-use ujam_core::{optimize_batch_with, CostModel};
+use ujam_core::{optimize_batch_with, BalanceModel};
 use ujam_kernels::kernels;
 use ujam_machine::MachineModel;
 use ujam_sim::simulate;
@@ -46,8 +46,8 @@ pub fn figure(machine: &MachineModel) -> Vec<FigureRow> {
     let nests: Vec<_> = ks.iter().map(|k| k.nest()).collect();
     // Both experimental arms go through the batch driver: one pipeline
     // context per nest, fanned out across scoped threads.
-    let no_cache_plans = optimize_batch_with(&nests, machine, CostModel::AllHits);
-    let cache_plans = optimize_batch_with(&nests, machine, CostModel::CacheAware);
+    let no_cache_plans = optimize_batch_with(&nests, machine, BalanceModel::AllHits);
+    let cache_plans = optimize_batch_with(&nests, machine, BalanceModel::CacheAware);
     ks.iter()
         .zip(&nests)
         .zip(no_cache_plans)

@@ -3,6 +3,7 @@
 //! apply.
 
 use crate::balance::{loop_balance, BalanceInputs};
+use crate::costmodel::CostModelKind;
 use crate::pipeline::{
     AnalysisCtx, ApplyTransform, CancelToken, OptimizeError, Pass, SearchSpace, SelectLoops,
 };
@@ -39,7 +40,7 @@ impl Default for SearchConfig {
 
 /// Which balance model guides the search (§5.2's two experimental arms).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum CostModel {
+pub enum BalanceModel {
     /// Assume every access hits in cache (Carr & Kennedy '94): the "No
     /// Cache" series of Figures 8–9.
     AllHits,
@@ -122,14 +123,14 @@ pub struct Optimized {
 /// assert!(plan.predicted.balance < plan.original.balance);
 /// ```
 pub fn optimize(nest: &LoopNest, machine: &MachineModel) -> Result<Optimized, OptimizeError> {
-    optimize_with(nest, machine, CostModel::CacheAware)
+    optimize_with(nest, machine, BalanceModel::CacheAware)
 }
 
 /// [`optimize`] with an explicit cost model (§5.2 compares both arms).
 pub fn optimize_with(
     nest: &LoopNest,
     machine: &MachineModel,
-    model: CostModel,
+    model: BalanceModel,
 ) -> Result<Optimized, OptimizeError> {
     optimize_traced(nest, machine, model, ujam_trace::null_sink())
 }
@@ -146,7 +147,7 @@ pub fn optimize_with(
 /// # Example
 ///
 /// ```
-/// use ujam_core::{optimize_traced, CostModel};
+/// use ujam_core::{optimize_traced, BalanceModel};
 /// use ujam_ir::NestBuilder;
 /// use ujam_machine::MachineModel;
 /// use ujam_trace::{CollectingSink, Verdict};
@@ -157,7 +158,7 @@ pub fn optimize_with(
 ///     .build();
 /// let sink = CollectingSink::new();
 /// let plan = optimize_traced(&nest, &MachineModel::dec_alpha(),
-///                            CostModel::CacheAware, &sink).expect("valid");
+///                            BalanceModel::CacheAware, &sink).expect("valid");
 /// let trace = sink.take();
 /// let winner = trace.explains().find(|e| e.verdict == Verdict::Won).expect("one wins");
 /// assert_eq!(winner.u, plan.unroll);
@@ -166,7 +167,7 @@ pub fn optimize_with(
 pub fn optimize_traced(
     nest: &LoopNest,
     machine: &MachineModel,
-    model: CostModel,
+    model: BalanceModel,
     sink: &dyn TraceSink,
 ) -> Result<Optimized, OptimizeError> {
     optimize_cancellable(nest, machine, model, sink, CancelToken::never())
@@ -189,7 +190,7 @@ pub fn optimize_traced(
 ///
 /// ```
 /// use std::time::Duration;
-/// use ujam_core::{optimize_cancellable, CancelToken, CostModel, OptimizeError};
+/// use ujam_core::{optimize_cancellable, CancelToken, BalanceModel, OptimizeError};
 /// use ujam_ir::NestBuilder;
 /// use ujam_machine::MachineModel;
 /// let nest = NestBuilder::new("intro")
@@ -199,13 +200,13 @@ pub fn optimize_traced(
 ///     .build();
 /// let expired = CancelToken::with_deadline(Duration::ZERO);
 /// let err = optimize_cancellable(&nest, &MachineModel::dec_alpha(),
-///                                CostModel::CacheAware, ujam_trace::null_sink(), expired);
+///                                BalanceModel::CacheAware, ujam_trace::null_sink(), expired);
 /// assert_eq!(err.unwrap_err(), OptimizeError::DeadlineExceeded);
 /// ```
 pub fn optimize_cancellable(
     nest: &LoopNest,
     machine: &MachineModel,
-    model: CostModel,
+    model: BalanceModel,
     sink: &dyn TraceSink,
     cancel: CancelToken,
 ) -> Result<Optimized, OptimizeError> {
@@ -230,7 +231,7 @@ pub fn optimize_cancellable(
 ///
 /// ```
 /// use std::sync::Arc;
-/// use ujam_core::{optimize_observed, CancelToken, CostModel};
+/// use ujam_core::{optimize_observed, CancelToken, BalanceModel};
 /// use ujam_ir::NestBuilder;
 /// use ujam_machine::MachineModel;
 /// use ujam_metrics::{MetricsHandle, MetricsRegistry};
@@ -240,7 +241,7 @@ pub fn optimize_cancellable(
 ///     .stmt("A(J) = A(J) + B(I)")
 ///     .build();
 /// let registry = Arc::new(MetricsRegistry::new());
-/// optimize_observed(&nest, &MachineModel::dec_alpha(), CostModel::CacheAware,
+/// optimize_observed(&nest, &MachineModel::dec_alpha(), BalanceModel::CacheAware,
 ///                   ujam_trace::null_sink(), CancelToken::never(),
 ///                   MetricsHandle::new(Arc::clone(&registry))).expect("valid");
 /// let snap = registry.snapshot();
@@ -250,7 +251,7 @@ pub fn optimize_cancellable(
 pub fn optimize_observed(
     nest: &LoopNest,
     machine: &MachineModel,
-    model: CostModel,
+    model: BalanceModel,
     sink: &dyn TraceSink,
     cancel: CancelToken,
     metrics: MetricsHandle,
@@ -275,7 +276,7 @@ pub fn optimize_observed(
 /// # Example
 ///
 /// ```
-/// use ujam_core::{optimize_configured, CancelToken, CostModel, SearchConfig};
+/// use ujam_core::{optimize_configured, CancelToken, BalanceModel, SearchConfig};
 /// use ujam_ir::NestBuilder;
 /// use ujam_machine::MachineModel;
 /// use ujam_metrics::MetricsHandle;
@@ -286,7 +287,7 @@ pub fn optimize_observed(
 ///     .build();
 /// let config = SearchConfig { max_unroll_loops: 3, code_budget: Some(64) };
 /// let plan = optimize_configured(&nest, &MachineModel::dec_alpha(),
-///                                CostModel::CacheAware, ujam_trace::null_sink(),
+///                                BalanceModel::CacheAware, ujam_trace::null_sink(),
 ///                                CancelToken::never(), MetricsHandle::disabled(),
 ///                                config).expect("valid");
 /// assert!(plan.nest.body().len() <= 64, "the code budget binds");
@@ -295,7 +296,57 @@ pub fn optimize_observed(
 pub fn optimize_configured(
     nest: &LoopNest,
     machine: &MachineModel,
-    model: CostModel,
+    model: BalanceModel,
+    sink: &dyn TraceSink,
+    cancel: CancelToken,
+    metrics: MetricsHandle,
+    config: SearchConfig,
+) -> Result<Optimized, OptimizeError> {
+    optimize_costed(
+        nest,
+        machine,
+        model,
+        CostModelKind::Analytic,
+        sink,
+        cancel,
+        metrics,
+        config,
+    )
+}
+
+/// The root of the wrapper chain: [`optimize_configured`] with an
+/// explicit cache-cost backend.  [`CostModelKind::Analytic`] reproduces
+/// the classic pipeline bitwise; [`CostModelKind::Profiled`] and
+/// [`CostModelKind::Blended`] score every candidate's cache lines by
+/// reuse-distance-profiling the materialized candidate under the IR
+/// interpreter (see `ujam_sim::profile_nest`) — exact, but materially
+/// slower.
+///
+/// # Example
+///
+/// ```
+/// use ujam_core::{optimize_costed, BalanceModel, CancelToken, CostModelKind, SearchConfig};
+/// use ujam_ir::NestBuilder;
+/// use ujam_machine::MachineModel;
+/// use ujam_metrics::MetricsHandle;
+/// let nest = NestBuilder::new("intro")
+///     .array("A", &[50]).array("B", &[50])
+///     .loop_("J", 1, 48).loop_("I", 1, 48)
+///     .stmt("A(J) = A(J) + B(I)")
+///     .build();
+/// let plan = optimize_costed(&nest, &MachineModel::dec_alpha(),
+///                            BalanceModel::CacheAware, CostModelKind::Profiled,
+///                            ujam_trace::null_sink(), CancelToken::never(),
+///                            MetricsHandle::disabled(),
+///                            SearchConfig::default()).expect("valid");
+/// assert_eq!(plan.unroll.len(), 2);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_costed(
+    nest: &LoopNest,
+    machine: &MachineModel,
+    model: BalanceModel,
+    cost: CostModelKind,
     sink: &dyn TraceSink,
     cancel: CancelToken,
     metrics: MetricsHandle,
@@ -306,7 +357,7 @@ pub fn optimize_configured(
         max_loops: config.max_unroll_loops,
     }
     .run_traced(&mut ctx)?;
-    finish(&mut ctx, &space, model, config.code_budget)
+    finish(&mut ctx, &space, model, cost, config.code_budget)
 }
 
 /// [`optimize`] with an explicit, caller-chosen unroll space.
@@ -318,7 +369,7 @@ pub fn optimize_in_space(
     machine: &MachineModel,
     space: &UnrollSpace,
 ) -> Result<Optimized, OptimizeError> {
-    optimize_in_space_with(nest, machine, space, CostModel::CacheAware)
+    optimize_in_space_with(nest, machine, space, BalanceModel::CacheAware)
 }
 
 /// [`optimize_in_space`] with an explicit cost model.
@@ -326,10 +377,10 @@ pub fn optimize_in_space_with(
     nest: &LoopNest,
     machine: &MachineModel,
     space: &UnrollSpace,
-    model: CostModel,
+    model: BalanceModel,
 ) -> Result<Optimized, OptimizeError> {
     let mut ctx = AnalysisCtx::new(nest, machine)?;
-    finish(&mut ctx, space, model, None)
+    finish(&mut ctx, space, model, CostModelKind::Analytic, None)
 }
 
 /// Runs the tail of the standard pipeline — `BuildTables` (inside
@@ -337,12 +388,14 @@ pub fn optimize_in_space_with(
 pub(crate) fn finish(
     ctx: &mut AnalysisCtx<'_>,
     space: &UnrollSpace,
-    model: CostModel,
+    model: BalanceModel,
+    cost: CostModelKind,
     code_budget: Option<usize>,
 ) -> Result<Optimized, OptimizeError> {
     let found = SearchSpace {
         space: space.clone(),
         model,
+        cost,
         code_budget,
     }
     .run_traced(ctx)?;

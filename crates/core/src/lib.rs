@@ -88,6 +88,7 @@
 
 pub mod balance;
 pub mod brute;
+mod costmodel;
 mod driver;
 pub mod pipeline;
 mod space;
@@ -95,10 +96,11 @@ pub mod streams;
 pub mod tables;
 
 pub use balance::{loop_balance, BalanceInputs};
+pub use costmodel::{CostModel, CostModelKind, CostModelStats};
 pub use driver::{
-    optimize, optimize_cancellable, optimize_configured, optimize_in_space, optimize_in_space_with,
-    optimize_observed, optimize_traced, optimize_with, CostModel, Optimized, Prediction,
-    SearchConfig,
+    optimize, optimize_cancellable, optimize_configured, optimize_costed, optimize_in_space,
+    optimize_in_space_with, optimize_observed, optimize_traced, optimize_with, BalanceModel,
+    Optimized, Prediction, SearchConfig,
 };
 pub use pipeline::{
     optimize_batch, optimize_batch_traced, optimize_batch_traced_with_workers, optimize_batch_with,

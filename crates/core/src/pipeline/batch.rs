@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
-use crate::driver::{optimize_traced, optimize_with, CostModel, Optimized};
+use crate::driver::{optimize_traced, optimize_with, BalanceModel, Optimized};
 use crate::pipeline::OptimizeError;
 use ujam_ir::LoopNest;
 use ujam_machine::MachineModel;
@@ -43,14 +43,14 @@ pub fn optimize_batch(
     nests: &[LoopNest],
     machine: &MachineModel,
 ) -> Vec<Result<Optimized, OptimizeError>> {
-    optimize_batch_with(nests, machine, CostModel::CacheAware)
+    optimize_batch_with(nests, machine, BalanceModel::CacheAware)
 }
 
 /// [`optimize_batch`] with an explicit cost model.
 pub fn optimize_batch_with(
     nests: &[LoopNest],
     machine: &MachineModel,
-    model: CostModel,
+    model: BalanceModel,
 ) -> Vec<Result<Optimized, OptimizeError>> {
     let workers = thread::available_parallelism()
         .map(|p| p.get())
@@ -64,7 +64,7 @@ pub fn optimize_batch_with(
 pub fn optimize_batch_with_workers(
     nests: &[LoopNest],
     machine: &MachineModel,
-    model: CostModel,
+    model: BalanceModel,
     workers: usize,
 ) -> Vec<Result<Optimized, OptimizeError>> {
     optimize_batch_traced_with_workers(nests, machine, model, workers, ujam_trace::null_sink())
@@ -77,7 +77,7 @@ pub fn optimize_batch_with_workers(
 pub fn optimize_batch_traced(
     nests: &[LoopNest],
     machine: &MachineModel,
-    model: CostModel,
+    model: BalanceModel,
     sink: &dyn TraceSink,
 ) -> Vec<Result<Optimized, OptimizeError>> {
     let workers = thread::available_parallelism()
@@ -98,7 +98,7 @@ pub fn optimize_batch_traced(
 pub fn optimize_batch_traced_with_workers(
     nests: &[LoopNest],
     machine: &MachineModel,
-    model: CostModel,
+    model: BalanceModel,
     workers: usize,
     sink: &dyn TraceSink,
 ) -> Vec<Result<Optimized, OptimizeError>> {
@@ -196,11 +196,11 @@ mod tests {
         let machine = MachineModel::dec_alpha();
         let sequential: Vec<_> = nests
             .iter()
-            .map(|n| optimize_with(n, &machine, CostModel::CacheAware).expect("valid"))
+            .map(|n| optimize_with(n, &machine, BalanceModel::CacheAware).expect("valid"))
             .collect();
         for workers in [1, 2, 4, 16] {
             let batch =
-                optimize_batch_with_workers(&nests, &machine, CostModel::CacheAware, workers);
+                optimize_batch_with_workers(&nests, &machine, BalanceModel::CacheAware, workers);
             assert_eq!(batch.len(), nests.len());
             for (b, s) in batch.iter().zip(&sequential) {
                 let b = b.as_ref().expect("valid nest");
@@ -230,7 +230,7 @@ mod tests {
         let good = stencil(0);
         let bad = crate::pipeline::ctx::bad_nest();
         let machine = MachineModel::dec_alpha();
-        let out = optimize_batch_with_workers(&[good, bad], &machine, CostModel::CacheAware, 2);
+        let out = optimize_batch_with_workers(&[good, bad], &machine, BalanceModel::CacheAware, 2);
         assert!(out[0].is_ok());
         assert!(matches!(out[1], Err(OptimizeError::InvalidNest(_))));
     }

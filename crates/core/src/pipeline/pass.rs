@@ -5,7 +5,8 @@ use std::time::Instant;
 
 use crate::balance::{loop_balance, BalanceInputs};
 use crate::brute::measure_candidate;
-use crate::driver::{CostModel, Prediction};
+use crate::costmodel::CostModelKind;
+use crate::driver::{BalanceModel, Prediction};
 use crate::pipeline::batch::parallel_map_indexed;
 use crate::pipeline::cancel::{CancelToken, DEADLINE_CHECK_STRIDE};
 use crate::pipeline::{AnalysisCtx, OptimizeError};
@@ -531,7 +532,12 @@ pub struct SearchSpace {
     /// The space to search.
     pub space: UnrollSpace,
     /// Which balance model scores candidates.
-    pub model: CostModel,
+    pub model: BalanceModel,
+    /// Which cache-cost backend supplies the `cache_lines` input.
+    /// [`CostModelKind::Analytic`] reads the Eq. 1 tables verbatim —
+    /// the classic, bitwise-identical path; the profiling backends
+    /// measure each candidate under the IR interpreter.
+    pub cost: CostModelKind,
     /// Code-size budget: the most *statements* the unrolled body may
     /// hold (`copies × original statements`, an icache proxy).  `None`
     /// disables the constraint.
@@ -556,11 +562,23 @@ impl Pass for SearchSpace {
         let space = &self.space;
         let model = self.model;
 
-        let inputs_at = |u: &[u32]| BalanceInputs {
-            flops: tables.flops(u) as f64,
-            memory_ops: tables.memory_ops(u) as f64,
-            cache_lines: tables.cache_lines(u),
-            registers: tables.registers(u),
+        // The analytic kind bypasses the backend entirely (not even a
+        // `full_vector` allocation per candidate), keeping the classic
+        // path's flow of f64s — and its speed — exactly as before.
+        let analytic_only = self.cost == CostModelKind::Analytic;
+        let mut backend = self.cost.backend(nest, machine);
+        let mut inputs_at = |u: &[u32]| {
+            let analytic = tables.cache_lines(u);
+            BalanceInputs {
+                flops: tables.flops(u) as f64,
+                memory_ops: tables.memory_ops(u) as f64,
+                cache_lines: if analytic_only {
+                    analytic
+                } else {
+                    backend.lines_per_iter(&space.full_vector(u), analytic)
+                },
+                registers: tables.registers(u),
+            }
         };
         // The factors must divide the trip counts for a clean transform.
         let divisible = |u: &[u32]| {
@@ -571,8 +589,8 @@ impl Pass for SearchSpace {
                 .all(|(&l, &ul)| nest.loops()[l].trip_count() % (ul as i64 + 1) == 0)
         };
         let beta_of = |inputs: &BalanceInputs| match model {
-            CostModel::AllHits => inputs.no_cache_balance(),
-            CostModel::CacheAware => loop_balance(inputs, machine),
+            BalanceModel::AllHits => inputs.no_cache_balance(),
+            BalanceModel::CacheAware => loop_balance(inputs, machine),
         };
 
         let zero = vec![0u32; space.dims()];
@@ -598,6 +616,27 @@ impl Pass for SearchSpace {
         );
         if found.cancelled {
             return Err(OptimizeError::DeadlineExceeded);
+        }
+        let cost_stats = backend.stats();
+        if cost_stats.profiles > 0 {
+            if ctx.tracing() {
+                ctx.sink().record(TraceRecord::span(
+                    ctx.nest().name(),
+                    "profile",
+                    u128::from(cost_stats.profile_ns),
+                ));
+                ctx.sink().record(TraceRecord::counter(
+                    ctx.nest().name(),
+                    "profile.candidates",
+                    cost_stats.profiles,
+                ));
+            }
+            if ctx.metrics().enabled() {
+                ctx.metrics()
+                    .count("profile.candidates", cost_stats.profiles);
+                ctx.metrics().count("profile.accesses", cost_stats.accesses);
+                ctx.metrics().observe("profile.ns", cost_stats.profile_ns);
+            }
         }
         if ctx.tracing() {
             ctx.sink().record(TraceRecord::counter(
@@ -640,7 +679,7 @@ pub fn search_tables(
     machine: &MachineModel,
     space: &UnrollSpace,
     tables: &CostTables,
-    model: CostModel,
+    model: BalanceModel,
     prune: bool,
     code_budget: Option<usize>,
 ) -> (Vec<u32>, usize) {
@@ -658,8 +697,8 @@ pub fn search_tables(
             .all(|(&l, &ul)| nest.loops()[l].trip_count() % (ul as i64 + 1) == 0)
     };
     let beta_of = |inputs: &BalanceInputs| match model {
-        CostModel::AllHits => inputs.no_cache_balance(),
-        CostModel::CacheAware => loop_balance(inputs, machine),
+        BalanceModel::AllHits => inputs.no_cache_balance(),
+        BalanceModel::CacheAware => loop_balance(inputs, machine),
     };
     let found = search_over(
         machine,
@@ -825,7 +864,8 @@ mod tests {
             .expect("selects");
         SearchSpace {
             space,
-            model: CostModel::CacheAware,
+            model: BalanceModel::CacheAware,
+            cost: CostModelKind::Analytic,
             code_budget: None,
         }
         .run_traced(&mut ctx)
@@ -936,7 +976,8 @@ mod tests {
             .expect("selects");
         let found = SearchSpace {
             space: space.clone(),
-            model: CostModel::CacheAware,
+            model: BalanceModel::CacheAware,
+            cost: CostModelKind::Analytic,
             code_budget: None,
         }
         .run_traced(&mut ctx)
@@ -973,7 +1014,8 @@ mod tests {
         let mut ctx = AnalysisCtx::with_sink(&nest, &machine, &table_sink).expect("valid");
         let table = SearchSpace {
             space: space.clone(),
-            model: CostModel::CacheAware,
+            model: BalanceModel::CacheAware,
+            cost: CostModelKind::Analytic,
             code_budget: None,
         }
         .run_traced(&mut ctx)
@@ -1024,7 +1066,8 @@ mod tests {
         let space = UnrollSpace::new(2, &[0], 7);
         let found = SearchSpace {
             space: space.clone(),
-            model: CostModel::CacheAware,
+            model: BalanceModel::CacheAware,
+            cost: CostModelKind::Analytic,
             code_budget: None,
         }
         .run_traced(&mut ctx)
@@ -1072,7 +1115,8 @@ mod tests {
         let mut ctx = AnalysisCtx::with_sink(&nest, &machine, &sink).expect("valid");
         let found = SearchSpace {
             space: UnrollSpace::new(2, &[0], 5),
-            model: CostModel::CacheAware,
+            model: BalanceModel::CacheAware,
+            cost: CostModelKind::Analytic,
             code_budget: None,
         }
         .run_traced(&mut ctx)
@@ -1103,7 +1147,8 @@ mod tests {
         let mut plain_ctx = AnalysisCtx::new(&nest, &machine).expect("valid");
         let pass = SearchSpace {
             space,
-            model: CostModel::CacheAware,
+            model: BalanceModel::CacheAware,
+            cost: CostModelKind::Analytic,
             code_budget: None,
         };
         let traced = pass.run_traced(&mut traced_ctx).expect("searches");

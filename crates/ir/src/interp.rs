@@ -12,6 +12,52 @@ use crate::expr::{BinOp, Expr};
 use crate::nest::{Lhs, LoopNest};
 use std::collections::BTreeMap;
 
+/// Whether a tapped memory access reads or writes the cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// The cell was loaded (an `Expr::Ref` on a right-hand side).
+    Read,
+    /// The cell was stored (an `Lhs::Array` assignment).
+    Write,
+}
+
+/// An observer of the interpreter's array traffic: one call per array
+/// access, in program order, carrying the array name, the column-major
+/// flattened element index ([`crate::ArrayDecl::linearize`] — possibly
+/// outside the declared extent for ghost cells), and the access kind.
+///
+/// The tap sees *semantic* accesses — every reference the program text
+/// performs, before any register allocation a backend might do — which
+/// is exactly the stream a reuse-distance profiler wants.  Scalars are
+/// not memory here (they model registers) and are never reported.
+pub trait AccessTap {
+    /// Called once per array access.
+    fn access(&mut self, array: &str, flat: i64, kind: AccessKind);
+}
+
+/// The no-op tap behind plain [`execute`].  Its empty inlined methods
+/// monomorphize away entirely, so the untapped interpreter pays nothing
+/// for the instrumentation points.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullTap;
+
+impl AccessTap for NullTap {
+    #[inline(always)]
+    fn access(&mut self, _array: &str, _flat: i64, _kind: AccessKind) {}
+}
+
+/// An [`AccessTap`] that forwards every event to a closure — the glue a
+/// profiler outside this crate uses to stream events into its own
+/// accounting without implementing the trait on its public types.
+pub struct FnTap<F: FnMut(&str, i64, AccessKind)>(pub F);
+
+impl<F: FnMut(&str, i64, AccessKind)> AccessTap for FnTap<F> {
+    #[inline]
+    fn access(&mut self, array: &str, flat: i64, kind: AccessKind) {
+        (self.0)(array, flat, kind)
+    }
+}
+
 /// Final machine state after executing a nest.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ExecState {
@@ -49,20 +95,39 @@ fn initial_value(array: &str, subscript: &[i64]) -> f64 {
 /// assert_eq!(out.cells[&("A".to_string(), vec![3])], 2.0);
 /// ```
 pub fn execute(nest: &LoopNest) -> ExecState {
+    execute_with_tap(nest, &mut NullTap)
+}
+
+/// [`execute`], but streaming every array access to `tap` in program
+/// order.  Accesses to arrays without a matching declaration (or whose
+/// subscript rank disagrees with the declaration) still execute but are
+/// not reported — they have no well-defined flattened address.
+pub fn execute_with_tap<T: AccessTap + ?Sized>(nest: &LoopNest, tap: &mut T) -> ExecState {
     let mut state = ExecState::default();
     let mut env: BTreeMap<&str, i64> = BTreeMap::new();
-    run_level(nest, 0, &mut env, &mut state);
+    run_level(nest, 0, &mut env, &mut state, tap);
     state
 }
 
-fn run_level<'a>(
+/// Flattened address of `array(sub)`, or `None` when the declaration is
+/// missing or of a different rank.
+fn flat_addr(nest: &LoopNest, array: &str, sub: &[i64]) -> Option<i64> {
+    let decl = nest.array(array)?;
+    if decl.dims().len() != sub.len() {
+        return None;
+    }
+    Some(decl.linearize(sub))
+}
+
+fn run_level<'a, T: AccessTap + ?Sized>(
     nest: &'a LoopNest,
     level: usize,
     env: &mut BTreeMap<&'a str, i64>,
     state: &mut ExecState,
+    tap: &mut T,
 ) {
     if level == nest.depth() {
-        exec_stmts(nest.body(), env, state);
+        exec_stmts(nest, nest.body(), env, state, tap);
         return;
     }
     let l = &nest.loops()[level];
@@ -72,24 +137,33 @@ fn run_level<'a>(
     // constants by the transformation that emitted them).
     let innermost = level + 1 == nest.depth();
     if innermost {
-        exec_stmts(nest.prologue(), env, state);
+        exec_stmts(nest, nest.prologue(), env, state, tap);
     }
     for v in l.values() {
         env.insert(l.var(), v);
-        run_level(nest, level + 1, env, state);
+        run_level(nest, level + 1, env, state, tap);
     }
     env.remove(l.var());
     if innermost {
-        exec_stmts(nest.epilogue(), env, state);
+        exec_stmts(nest, nest.epilogue(), env, state, tap);
     }
 }
 
-fn exec_stmts(stmts: &[crate::nest::Stmt], env: &BTreeMap<&str, i64>, state: &mut ExecState) {
+fn exec_stmts<T: AccessTap + ?Sized>(
+    nest: &LoopNest,
+    stmts: &[crate::nest::Stmt],
+    env: &BTreeMap<&str, i64>,
+    state: &mut ExecState,
+    tap: &mut T,
+) {
     for stmt in stmts {
-        let value = eval(stmt.rhs(), env, state);
+        let value = eval(nest, stmt.rhs(), env, state, tap);
         match stmt.lhs() {
             Lhs::Array(a) => {
                 let sub = a.eval(env);
+                if let Some(flat) = flat_addr(nest, a.array(), &sub) {
+                    tap.access(a.array(), flat, AccessKind::Write);
+                }
                 state.cells.insert((a.array().to_string(), sub), value);
             }
             Lhs::Scalar(s) => {
@@ -99,12 +173,21 @@ fn exec_stmts(stmts: &[crate::nest::Stmt], env: &BTreeMap<&str, i64>, state: &mu
     }
 }
 
-fn eval(e: &Expr, env: &BTreeMap<&str, i64>, state: &ExecState) -> f64 {
+fn eval<T: AccessTap + ?Sized>(
+    nest: &LoopNest,
+    e: &Expr,
+    env: &BTreeMap<&str, i64>,
+    state: &ExecState,
+    tap: &mut T,
+) -> f64 {
     match e {
         Expr::Const(c) => *c,
         Expr::Scalar(s) => state.scalars.get(s).copied().unwrap_or(0.0),
         Expr::Ref(r) => {
             let sub = r.eval(env);
+            if let Some(flat) = flat_addr(nest, r.array(), &sub) {
+                tap.access(r.array(), flat, AccessKind::Read);
+            }
             let key = (r.array().to_string(), sub);
             state
                 .cells
@@ -113,7 +196,10 @@ fn eval(e: &Expr, env: &BTreeMap<&str, i64>, state: &ExecState) -> f64 {
                 .unwrap_or_else(|| initial_value(&key.0, &key.1))
         }
         Expr::Bin(op, l, rhs) => {
-            let (a, b) = (eval(l, env, state), eval(rhs, env, state));
+            let (a, b) = (
+                eval(nest, l, env, state, tap),
+                eval(nest, rhs, env, state, tap),
+            );
             match op {
                 BinOp::Add => a + b,
                 BinOp::Sub => a - b,
@@ -121,7 +207,7 @@ fn eval(e: &Expr, env: &BTreeMap<&str, i64>, state: &ExecState) -> f64 {
                 BinOp::Div => a / b,
             }
         }
-        Expr::Neg(inner) => -eval(inner, env, state),
+        Expr::Neg(inner) => -eval(nest, inner, env, state, tap),
     }
 }
 
@@ -182,6 +268,47 @@ mod tests {
             out.cells[&("A".to_string(), vec![4])],
             initial_value("A", &[5])
         );
+    }
+
+    #[test]
+    fn tap_sees_reads_then_write_in_program_order() {
+        // B(I) is read (twice) before A(I) is written, per statement.
+        let nest = NestBuilder::new("tap")
+            .array("A", &[4])
+            .array("B", &[4])
+            .loop_("I", 1, 2)
+            .stmt("A(I) = B(I) + B(I+1)")
+            .build();
+        let mut events = Vec::new();
+        let mut tap = FnTap(|array: &str, flat: i64, kind: AccessKind| {
+            events.push((array.to_string(), flat, kind));
+        });
+        let tapped = execute_with_tap(&nest, &mut tap);
+        assert_eq!(
+            events,
+            vec![
+                ("B".to_string(), 0, AccessKind::Read),
+                ("B".to_string(), 1, AccessKind::Read),
+                ("A".to_string(), 0, AccessKind::Write),
+                ("B".to_string(), 1, AccessKind::Read),
+                ("B".to_string(), 2, AccessKind::Read),
+                ("A".to_string(), 1, AccessKind::Write),
+            ]
+        );
+        // Tapping must not perturb semantics.
+        assert_eq!(tapped, execute(&nest));
+    }
+
+    #[test]
+    fn flat_addr_guards_unknown_and_mismatched_refs() {
+        let nest = NestBuilder::new("guard")
+            .array("A", &[10, 5])
+            .loop_("I", 1, 2)
+            .stmt("A(I, I) = 1.0")
+            .build();
+        assert_eq!(flat_addr(&nest, "A", &[2, 1]), Some(1));
+        assert_eq!(flat_addr(&nest, "A", &[2]), None); // rank mismatch
+        assert_eq!(flat_addr(&nest, "U", &[2]), None); // undeclared
     }
 
     #[test]

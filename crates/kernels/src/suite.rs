@@ -450,8 +450,11 @@ pub fn kernels() -> Vec<Kernel> {
     ]
 }
 
-/// Looks a kernel up by name.
+/// Looks a kernel up by name.  `matmul` is accepted as an alias for
+/// `mmjki` (the column-major matrix-multiply ordering), since that is
+/// what most callers mean by "the matmul kernel".
 pub fn kernel(name: &str) -> Option<Kernel> {
+    let name = if name == "matmul" { "mmjki" } else { name };
     kernels().into_iter().find(|k| k.name == name)
 }
 

@@ -14,7 +14,7 @@
 //! [`DeadlineExceeded`]: ujam_core::OptimizeError::DeadlineExceeded
 
 use std::collections::{BTreeMap, HashMap};
-use ujam_core::{CostModel, Optimized, SearchConfig};
+use ujam_core::{BalanceModel, CostModelKind, Optimized, SearchConfig};
 use ujam_ir::LoopNest;
 use ujam_machine::MachineModel;
 
@@ -50,20 +50,22 @@ impl Decision {
 /// Builds the content-addressed key for a problem instance.
 ///
 /// The nest's `Display` rendering is canonical (loop order, bounds, and
-/// statement text all appear), and the machine/model/search-config
-/// `Debug` renderings pin every parameter that can change the decision —
-/// including the register-tiling knobs (`max_unroll_loops`,
-/// `code_budget`), since the same nest searched over a different space
+/// statement text all appear), and the machine/model/cost-backend/
+/// search-config `Debug` renderings pin every parameter that can change
+/// the decision — including the register-tiling knobs
+/// (`max_unroll_loops`, `code_budget`) and the cache-cost backend
+/// (`cost_model`), since the same nest scored by a different backend
 /// can pick a different vector.  Deadlines are deliberately *not* part
 /// of the key: a decision is a pure function of the problem, so a cached
 /// answer is valid however little time the next caller has.
 pub fn decision_key(
     nest: &LoopNest,
     machine: &MachineModel,
-    model: CostModel,
+    model: BalanceModel,
+    cost: CostModelKind,
     config: SearchConfig,
 ) -> String {
-    format!("{nest}\u{0}{machine:?}\u{0}{model:?}\u{0}{config:?}")
+    format!("{nest}\u{0}{machine:?}\u{0}{model:?}\u{0}{cost:?}\u{0}{config:?}")
 }
 
 /// Hit/miss/eviction counters, readable at any time.
@@ -282,32 +284,83 @@ mod tests {
         };
         let alpha = MachineModel::dec_alpha();
         let dflt = SearchConfig::default();
+        let analytic = CostModelKind::Analytic;
         // Same content, same name → same key; different machine, model,
-        // or search config → different key.
+        // cost backend, or search config → different key.
         assert_eq!(
-            decision_key(&build("n"), &alpha, CostModel::CacheAware, dflt),
-            decision_key(&build("n"), &alpha, CostModel::CacheAware, dflt)
+            decision_key(
+                &build("n"),
+                &alpha,
+                BalanceModel::CacheAware,
+                analytic,
+                dflt
+            ),
+            decision_key(
+                &build("n"),
+                &alpha,
+                BalanceModel::CacheAware,
+                analytic,
+                dflt
+            )
         );
         assert_ne!(
-            decision_key(&build("n"), &alpha, CostModel::CacheAware, dflt),
-            decision_key(&build("n"), &alpha, CostModel::AllHits, dflt)
+            decision_key(
+                &build("n"),
+                &alpha,
+                BalanceModel::CacheAware,
+                analytic,
+                dflt
+            ),
+            decision_key(&build("n"), &alpha, BalanceModel::AllHits, analytic, dflt)
         );
         assert_ne!(
-            decision_key(&build("n"), &alpha, CostModel::CacheAware, dflt),
+            decision_key(
+                &build("n"),
+                &alpha,
+                BalanceModel::CacheAware,
+                analytic,
+                dflt
+            ),
             decision_key(
                 &build("n"),
                 &MachineModel::hp_parisc(),
-                CostModel::CacheAware,
+                BalanceModel::CacheAware,
+                analytic,
+                dflt
+            )
+        );
+        // The cache-cost backend is part of the problem content: an
+        // analytic and a profiled decision must never share an entry.
+        assert_ne!(
+            decision_key(
+                &build("n"),
+                &alpha,
+                BalanceModel::CacheAware,
+                analytic,
+                dflt
+            ),
+            decision_key(
+                &build("n"),
+                &alpha,
+                BalanceModel::CacheAware,
+                CostModelKind::Profiled,
                 dflt
             )
         );
         // The register-tiling knobs are part of the problem content.
         assert_ne!(
-            decision_key(&build("n"), &alpha, CostModel::CacheAware, dflt),
             decision_key(
                 &build("n"),
                 &alpha,
-                CostModel::CacheAware,
+                BalanceModel::CacheAware,
+                analytic,
+                dflt
+            ),
+            decision_key(
+                &build("n"),
+                &alpha,
+                BalanceModel::CacheAware,
+                analytic,
                 SearchConfig {
                     max_unroll_loops: 3,
                     ..dflt
@@ -315,11 +368,18 @@ mod tests {
             )
         );
         assert_ne!(
-            decision_key(&build("n"), &alpha, CostModel::CacheAware, dflt),
             decision_key(
                 &build("n"),
                 &alpha,
-                CostModel::CacheAware,
+                BalanceModel::CacheAware,
+                analytic,
+                dflt
+            ),
+            decision_key(
+                &build("n"),
+                &alpha,
+                BalanceModel::CacheAware,
+                analytic,
                 SearchConfig {
                     code_budget: Some(128),
                     ..dflt

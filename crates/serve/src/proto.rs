@@ -29,7 +29,7 @@
 //! reply — with `"id":null` when no id could be recovered — so a client
 //! that pipelines `n` lines always reads exactly `n` replies.
 
-use ujam_core::CostModel;
+use ujam_core::{BalanceModel, CostModelKind};
 use ujam_machine::MachineModel;
 use ujam_trace::json::{self, Value};
 
@@ -51,8 +51,11 @@ pub struct Request {
     pub source: Source,
     /// Target machine (default DEC Alpha).
     pub machine: MachineModel,
-    /// Cost model (default cache-aware).
-    pub model: CostModel,
+    /// Balance model (default cache-aware).
+    pub model: BalanceModel,
+    /// Cache-cost backend for the search (default analytic; `profiled`
+    /// and `blended` run the reuse-distance profiler per candidate).
+    pub cost_model: CostModelKind,
     /// Optional deadline in milliseconds; `Some(0)` is already expired.
     pub deadline_ms: Option<u64>,
     /// Most loops the unroll vector may span (`0` = unbounded); `None`
@@ -344,6 +347,7 @@ impl Request {
                     | "source"
                     | "machine"
                     | "model"
+                    | "cost_model"
                     | "deadline_ms"
                     | "max_unroll_loops"
                     | "code_budget"
@@ -373,13 +377,21 @@ impl Request {
             Some(_) => return Err(fail("\"machine\" must be a string".into())),
         };
         let model = match obj.get("model") {
-            None => CostModel::CacheAware,
+            None => BalanceModel::CacheAware,
             Some(Value::String(s)) => match s.as_str() {
-                "cache" => CostModel::CacheAware,
-                "allhits" => CostModel::AllHits,
+                "cache" => BalanceModel::CacheAware,
+                "allhits" => BalanceModel::AllHits,
                 other => return Err(fail(format!("unknown model {other:?}"))),
             },
             Some(_) => return Err(fail("\"model\" must be a string".into())),
+        };
+        let cost_model = match obj.get("cost_model") {
+            None => CostModelKind::Analytic,
+            Some(Value::String(s)) => match CostModelKind::parse(s) {
+                Some(kind) => kind,
+                None => return Err(fail(format!("unknown cost_model {s:?}"))),
+            },
+            Some(_) => return Err(fail("\"cost_model\" must be a string".into())),
         };
         let deadline_ms = match obj.get("deadline_ms") {
             None => None,
@@ -415,6 +427,7 @@ impl Request {
             source,
             machine,
             model,
+            cost_model,
             deadline_ms,
             max_unroll_loops,
             code_budget,
@@ -432,7 +445,8 @@ mod tests {
         assert_eq!(r.id, "a");
         assert_eq!(r.source, Source::Kernel("dmxpy1".into()));
         assert_eq!(r.machine.name(), MachineModel::dec_alpha().name());
-        assert_eq!(r.model, CostModel::CacheAware);
+        assert_eq!(r.model, BalanceModel::CacheAware);
+        assert_eq!(r.cost_model, CostModelKind::Analytic);
         assert_eq!(r.deadline_ms, None);
         assert_eq!(r.max_unroll_loops, None);
         assert_eq!(r.code_budget, None);
@@ -441,15 +455,43 @@ mod tests {
     #[test]
     fn parses_every_optional_field() {
         let r = Request::parse(
-            r#"{"id":"b","source":"x","machine":"parisc","model":"allhits","deadline_ms":250,"max_unroll_loops":3,"code_budget":128}"#,
+            r#"{"id":"b","source":"x","machine":"parisc","model":"allhits","cost_model":"profiled","deadline_ms":250,"max_unroll_loops":3,"code_budget":128}"#,
         )
         .expect("parses");
         assert_eq!(r.source, Source::Inline("x".into()));
         assert_eq!(r.machine.name(), MachineModel::hp_parisc().name());
-        assert_eq!(r.model, CostModel::AllHits);
+        assert_eq!(r.model, BalanceModel::AllHits);
+        assert_eq!(r.cost_model, CostModelKind::Profiled);
         assert_eq!(r.deadline_ms, Some(250));
         assert_eq!(r.max_unroll_loops, Some(3));
         assert_eq!(r.code_budget, Some(128));
+    }
+
+    #[test]
+    fn cost_model_parses_strictly() {
+        for (wire, want) in [
+            ("analytic", CostModelKind::Analytic),
+            ("profiled", CostModelKind::Profiled),
+            ("blended", CostModelKind::Blended),
+        ] {
+            let r = Request::parse(&format!(
+                r#"{{"id":"a","kernel":"mmjki","cost_model":"{wire}"}}"#
+            ))
+            .expect("parses");
+            assert_eq!(r.cost_model, want);
+        }
+        for line in [
+            r#"{"id":"x","kernel":"a","cost_model":"exact"}"#,
+            r#"{"id":"x","kernel":"a","cost_model":7}"#,
+        ] {
+            match Request::parse(line) {
+                Err(Reply::Error(e)) => {
+                    assert_eq!(e.kind, ErrorKind::BadRequest, "{line}");
+                    assert_eq!(e.id.as_deref(), Some("x"), "{line}");
+                }
+                other => panic!("{line}: expected bad_request, got {other:?}"),
+            }
+        }
     }
 
     #[test]

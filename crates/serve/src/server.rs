@@ -21,9 +21,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use ujam_core::{
-    optimize_configured, parallel_map_indexed, CancelToken, OptimizeError, SearchConfig,
-};
+use ujam_core::{optimize_costed, parallel_map_indexed, CancelToken, OptimizeError, SearchConfig};
 use ujam_ir::LoopNest;
 use ujam_metrics::{Counter, Gauge, Histogram, MetricsHandle, MetricsSnapshot};
 use ujam_trace::{null_sink, TraceRecord, TraceSink};
@@ -311,7 +309,7 @@ impl<'s> Server<'s> {
                 .unwrap_or(SearchConfig::default().max_unroll_loops),
             code_budget: req.code_budget,
         };
-        let key = decision_key(&nest, &req.machine, req.model, config);
+        let key = decision_key(&nest, &req.machine, req.model, req.cost_model, config);
         let lookup_t0 = self.metrics.as_ref().map(|_| Instant::now());
         let hit = self.cache.lock().expect("cache lock").get(&key);
         if let (Some(m), Some(t0)) = (&self.metrics, lookup_t0) {
@@ -343,10 +341,11 @@ impl<'s> Server<'s> {
             .map(|m| m.handle.clone())
             .unwrap_or_default();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            optimize_configured(
+            optimize_costed(
                 &nest,
                 &req.machine,
                 req.model,
+                req.cost_model,
                 null_sink(),
                 cancel,
                 pass_metrics,

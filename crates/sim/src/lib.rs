@@ -44,9 +44,15 @@
 
 mod cache;
 pub mod listsched;
+mod profile;
+pub mod reuse;
 mod schedule;
 
 pub use cache::{Access, Cache};
+pub use profile::{
+    profile_nest, profile_nest_with_geometry, ArrayReuse, CacheGeometry, ReuseReport,
+    REPORT_VERSION,
+};
 pub use schedule::{rec_mii, res_mii};
 
 use std::collections::BTreeMap;
@@ -120,19 +126,29 @@ pub fn simulate(nest: &LoopNest, machine: &MachineModel) -> SimReport {
     }
 }
 
-/// Runs the nest's reference trace through the machine's cache.
-fn trace_cache(nest: &LoopNest, machine: &MachineModel) -> (u64, u64) {
-    // Lay the arrays out consecutively with guard gaps so small
-    // out-of-extent ghost accesses stay distinct and deterministic.
-    const GUARD_BYTES: i64 = 4096;
-    const ELEM_BYTES: i64 = 8;
+/// Padding between arrays in the simulated address space.
+const GUARD_BYTES: i64 = 4096;
+/// All modelled elements are doubles.
+pub(crate) const ELEM_BYTES: i64 = 8;
+
+/// Lays the nest's arrays out consecutively with guard gaps so small
+/// out-of-extent ghost accesses stay distinct and deterministic.
+/// Returns each array's base byte address.  Shared by the cycle
+/// simulator's cache trace and the reuse profiler, so both see the same
+/// addresses.
+pub(crate) fn address_layout(nest: &LoopNest) -> BTreeMap<String, i64> {
     let mut bases = BTreeMap::new();
     let mut next: i64 = GUARD_BYTES;
     for a in nest.arrays() {
         bases.insert(a.name().to_string(), next);
         next += a.len() * ELEM_BYTES + 2 * GUARD_BYTES;
     }
+    bases
+}
 
+/// Runs the nest's reference trace through the machine's cache.
+fn trace_cache(nest: &LoopNest, machine: &MachineModel) -> (u64, u64) {
+    let bases = address_layout(nest);
     let mut cache = Cache::for_machine(machine);
     let mut env: BTreeMap<&str, i64> = BTreeMap::new();
     walk(nest, 0, &mut env, &mut |stmt, env| {

@@ -1,0 +1,155 @@
+//! Exact LRU stack-distance (reuse-distance) computation.
+//!
+//! The *reuse distance* of an access is the number of **distinct** cache
+//! lines touched since the previous access to the same line (0 for an
+//! immediate re-touch, `None` for the first — cold — access).  It is the
+//! machine-independent summary of a reference trace: an access hits in a
+//! fully-associative LRU cache of `C` lines iff its distance is `< C`,
+//! so one pass over a trace projects miss rates for *every* capacity at
+//! once (Mattson's stack algorithm).
+//!
+//! Two implementations live here:
+//!
+//! - [`stack_distances`] — the production O(N log N) counter: a Fenwick
+//!   (binary-indexed) tree over trace positions holds one set bit per
+//!   *currently most recent* access of each line, so the number of
+//!   distinct lines between two accesses is a prefix-sum difference.
+//! - [`stack_distances_brute`] — the obviously-correct O(N·D) reference
+//!   (an explicit LRU stack), kept as the oracle the fast path is tested
+//!   against.
+
+/// A Fenwick (binary-indexed) tree over `n` positions supporting
+/// point add and prefix sum, both O(log n).
+struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Fenwick {
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    /// Adds `delta` at position `i` (0-based).
+    fn add(&mut self, i: usize, delta: i32) {
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] = self.tree[i].wrapping_add(delta as u32);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `0..=i` (0-based inclusive).
+    fn prefix(&self, i: usize) -> u32 {
+        let mut i = i + 1;
+        let mut s = 0u32;
+        while i > 0 {
+            s = s.wrapping_add(self.tree[i]);
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Computes the reuse distance of every access in `trace` (elements are
+/// opaque line identifiers).  `None` marks a cold access.
+///
+/// O(N log N) time, O(N) space.
+///
+/// # Example
+///
+/// ```
+/// use ujam_sim::reuse::stack_distances;
+/// // a b c a  →  a and the second a have two distinct lines between.
+/// assert_eq!(
+///     stack_distances(&[1, 2, 3, 1]),
+///     vec![None, None, None, Some(2)]
+/// );
+/// ```
+pub fn stack_distances(trace: &[u64]) -> Vec<Option<u64>> {
+    use std::collections::HashMap;
+    let mut out = Vec::with_capacity(trace.len());
+    let mut last: HashMap<u64, usize> = HashMap::new();
+    let mut bit = Fenwick::new(trace.len());
+    for (t, &line) in trace.iter().enumerate() {
+        match last.insert(line, t) {
+            Some(prev) => {
+                // Distinct lines touched strictly between prev and t:
+                // each contributes exactly one set bit (its most recent
+                // position) in (prev, t).
+                let between = bit.prefix(t.saturating_sub(1)) - bit.prefix(prev);
+                out.push(Some(u64::from(between)));
+                bit.add(prev, -1);
+            }
+            None => out.push(None),
+        }
+        bit.add(t, 1);
+    }
+    out
+}
+
+/// Brute-force reference: an explicit LRU stack, O(N·D).  Exists to
+/// cross-check [`stack_distances`]; use that one for real traces.
+pub fn stack_distances_brute(trace: &[u64]) -> Vec<Option<u64>> {
+    let mut out = Vec::with_capacity(trace.len());
+    let mut stack: Vec<u64> = Vec::new(); // most recent last
+    for &line in trace {
+        match stack.iter().rposition(|&l| l == line) {
+            Some(pos) => {
+                out.push(Some((stack.len() - 1 - pos) as u64));
+                stack.remove(pos);
+            }
+            None => out.push(None),
+        }
+        stack.push(line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_checked_trace() {
+        // a b a c b b a
+        let d = stack_distances(&[1, 2, 1, 3, 2, 2, 1]);
+        assert_eq!(
+            d,
+            vec![
+                None,
+                None,
+                Some(1), // b between the two a's
+                None,
+                Some(2), // a, c between the two b's
+                Some(0), // immediate re-touch
+                Some(2), // c, b between
+            ]
+        );
+    }
+
+    #[test]
+    fn brute_matches_on_the_same_trace() {
+        let trace = [1, 2, 1, 3, 2, 2, 1];
+        assert_eq!(stack_distances(&trace), stack_distances_brute(&trace));
+    }
+
+    #[test]
+    fn all_cold_trace() {
+        let d = stack_distances(&[10, 20, 30, 40]);
+        assert!(d.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn empty_trace() {
+        assert!(stack_distances(&[]).is_empty());
+        assert!(stack_distances_brute(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_line_repeated() {
+        let d = stack_distances(&[7; 5]);
+        assert_eq!(d, vec![None, Some(0), Some(0), Some(0), Some(0)]);
+    }
+}

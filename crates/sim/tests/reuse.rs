@@ -1,0 +1,126 @@
+//! Integration tests for the stack-distance engine and the reuse
+//! profiler: the Fenwick-tree counter against the brute-force
+//! reference on random traces, byte-stable report rendering, and the
+//! degenerate traces a histogram consumer must survive.
+
+use ujam_ir::NestBuilder;
+use ujam_rng::Rng;
+use ujam_sim::reuse::{stack_distances, stack_distances_brute};
+use ujam_sim::{profile_nest_with_geometry, CacheGeometry};
+
+/// The O(N log N) tree counter and the O(N^2) reference must agree on
+/// every access of every trace — exercised over seeded random traces
+/// with line populations small enough to force heavy reuse and large
+/// enough to leave cold misses.
+#[test]
+fn tree_matches_brute_on_random_traces() {
+    let mut rng = Rng::new(1997);
+    for trial in 0..32 {
+        let lines = rng.int(1, 40) as u64;
+        let len = rng.int(0, 400) as usize;
+        let trace: Vec<u64> = (0..len)
+            .map(|_| rng.int(0, lines as i64 - 1) as u64)
+            .collect();
+        assert_eq!(
+            stack_distances(&trace),
+            stack_distances_brute(&trace),
+            "trial {trial}: tree and brute diverge on {trace:?}"
+        );
+    }
+}
+
+/// Sparse line ids (e.g. real addresses with guard gaps) must not
+/// confuse the interning step.
+#[test]
+fn tree_matches_brute_on_sparse_line_ids() {
+    let mut rng = Rng::new(42);
+    let ids = [0u64, 7, 1 << 20, u64::MAX - 3, 9_999_999, 12816 / 32];
+    let trace: Vec<u64> = (0..500).map(|_| ids[rng.index(ids.len())]).collect();
+    assert_eq!(stack_distances(&trace), stack_distances_brute(&trace));
+}
+
+#[test]
+fn degenerate_traces_are_well_defined() {
+    // Empty trace: no accesses, no distances.
+    assert_eq!(stack_distances(&[]), vec![]);
+    // All-cold trace: every line is new.
+    let cold: Vec<u64> = (0..100).collect();
+    assert!(stack_distances(&cold).iter().all(Option::is_none));
+    // Single line hammered: one cold miss then distance zero forever.
+    let hot = vec![3u64; 50];
+    let d = stack_distances(&hot);
+    assert_eq!(d[0], None);
+    assert!(d[1..].iter().all(|&x| x == Some(0)));
+}
+
+/// Profiling the same nest twice must yield byte-identical JSON — the
+/// report is pinned as a stable artifact for downstream diffing.
+#[test]
+fn report_renders_deterministically() {
+    let nest = NestBuilder::new("det")
+        .array("A", &[33, 33])
+        .array("B", &[33, 33])
+        .loop_("J", 1, 32)
+        .loop_("I", 1, 32)
+        .stmt("A(I,J) = B(I,J) + B(I+1,J)")
+        .build();
+    let g = CacheGeometry {
+        capacity_bytes: 1024,
+        line_bytes: 32,
+        ways: 2,
+    };
+    let a = profile_nest_with_geometry(&nest, g).render_json();
+    let b = profile_nest_with_geometry(&nest, g).render_json();
+    assert_eq!(a, b, "same nest, same geometry, different bytes");
+    assert!(a.starts_with("{\"version\":1,\"nest\":\"det\""));
+}
+
+/// A single-array nest attributes every access to that array, and the
+/// per-array histogram totals reconcile with the aggregate.
+#[test]
+fn single_array_report_reconciles() {
+    let nest = NestBuilder::new("solo")
+        .array("A", &[64])
+        .loop_("J", 1, 4)
+        .loop_("I", 1, 64)
+        .stmt("A(I) = A(I) + A(I)")
+        .build();
+    let g = CacheGeometry {
+        capacity_bytes: 8192,
+        line_bytes: 32,
+        ways: 1,
+    };
+    let report = profile_nest_with_geometry(&nest, g);
+    assert_eq!(report.arrays.len(), 1);
+    let a = &report.arrays["A"];
+    assert_eq!(a.accesses, report.accesses);
+    assert_eq!(a.cold, report.cold);
+    let agg: u64 = report.histogram.values().sum();
+    let per: u64 = a.histogram.values().sum();
+    assert_eq!(agg, per);
+    assert_eq!(agg + report.cold, report.accesses);
+}
+
+/// An all-cold access pattern (every iteration touches a fresh line)
+/// reports a 100% miss rate under both cache mappings.
+#[test]
+fn all_cold_nest_misses_everywhere() {
+    // Stride 4 doubles = one access per 32-byte line, never revisited.
+    let nest = NestBuilder::new("cold")
+        .array("A", &[256])
+        .loop_("I", 1, 64)
+        .stmt("A(4*I) = A(4*I)")
+        .build();
+    let g = CacheGeometry {
+        capacity_bytes: 1024,
+        line_bytes: 32,
+        ways: 1,
+    };
+    let report = profile_nest_with_geometry(&nest, g);
+    // Two taps per iteration (read + write) land on the same line, so
+    // the second is a hit at distance 0 — but across iterations every
+    // line is cold.
+    assert_eq!(report.cold, 64);
+    assert_eq!(report.histogram.get(&0), Some(&64));
+    assert_eq!(report.fa_misses, 64);
+}

@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --release --example stencil_balance`.
 
-use ujam::core::{optimize_with, CostModel};
+use ujam::core::{optimize_with, BalanceModel};
 use ujam::kernels::kernel;
 use ujam::machine::MachineModel;
 use ujam::reuse::{nest_cache_cost, Localized};
@@ -31,8 +31,8 @@ fn main() {
 
     let baseline = simulate(&nest, &machine);
     for (label, model) in [
-        ("all-hits model (Carr-Kennedy '94)", CostModel::AllHits),
-        ("cache-aware model (this paper)", CostModel::CacheAware),
+        ("all-hits model (Carr-Kennedy '94)", BalanceModel::AllHits),
+        ("cache-aware model (this paper)", BalanceModel::CacheAware),
     ] {
         let plan = optimize_with(&nest, &machine, model).expect("valid nest");
         let run = simulate(&plan.nest, &machine);

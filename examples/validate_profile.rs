@@ -1,0 +1,167 @@
+//! CI helper: validates a `ujam profile` reuse-distance report.
+//!
+//! Reads the file named by the first argument (or stdin when absent),
+//! parses it with the in-tree strict JSON parser, and checks the shape
+//! the profiler promises: the schema version, a well-formed cache
+//! geometry, per-array sections whose access and histogram totals
+//! reconcile with the aggregate, and miss rates that are consistent
+//! with the raw counts.  With `--kernel NAME` it additionally checks a
+//! known-kernel sanity bound: the set-associative miss rate must land
+//! in (0, 50%] — a streaming numerical kernel that misses on more than
+//! every other access (or never misses at all) means the address
+//! replay, not the kernel, is broken.  Exits non-zero with a message on
+//! any violation — `ci.sh` runs this against a freshly captured report.
+
+use std::io::Read;
+use std::process::ExitCode;
+use ujam::trace::json::{self, Value};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(summary) => {
+            println!("profile OK: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("invalid profile: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn field(doc: &Value, name: &str) -> Result<f64, String> {
+    doc.get(name)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing numeric field {name:?}"))
+}
+
+fn histogram_total(v: &Value, what: &str) -> Result<f64, String> {
+    let Some(Value::Object(m)) = v.get("histogram") else {
+        return Err(format!("{what}: missing histogram object"));
+    };
+    let mut total = 0.0;
+    for (bucket, count) in m {
+        bucket
+            .parse::<u64>()
+            .map_err(|_| format!("{what}: non-numeric histogram bucket {bucket:?}"))?;
+        total += count
+            .as_f64()
+            .ok_or_else(|| format!("{what}: non-numeric count in bucket {bucket:?}"))?;
+    }
+    Ok(total)
+}
+
+fn run() -> Result<String, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kernel = args
+        .iter()
+        .position(|a| a == "--kernel")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let text = match args
+        .iter()
+        .enumerate()
+        .find(|(i, a)| {
+            !a.starts_with("--")
+                && args.get(i.wrapping_sub(1)).map(String::as_str) != Some("--kernel")
+        })
+        .map(|(_, a)| a)
+    {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?
+        }
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buf
+        }
+    };
+    let doc = json::parse(text.trim())?;
+
+    if field(&doc, "version")? != 1.0 {
+        return Err("unsupported report version".into());
+    }
+    let nest = doc
+        .get("nest")
+        .and_then(Value::as_str)
+        .ok_or("missing nest name")?;
+    if let Some(expected) = &kernel {
+        if nest != expected {
+            return Err(format!("report is for {nest:?}, expected {expected:?}"));
+        }
+    }
+
+    let geometry = doc.get("geometry").ok_or("missing geometry")?;
+    let capacity = field(geometry, "capacity_bytes")?;
+    let line = field(geometry, "line_bytes")?;
+    let ways = field(geometry, "ways")?;
+    if capacity <= 0.0 || line <= 0.0 || ways <= 0.0 || capacity % (line * ways) != 0.0 {
+        return Err(format!(
+            "degenerate geometry {capacity}:{line}:{ways} (capacity must be a whole number of sets)"
+        ));
+    }
+
+    let accesses = field(&doc, "accesses")?;
+    let cold = field(&doc, "cold")?;
+    let fa = field(&doc, "fa_misses")?;
+    let sa = field(&doc, "sa_misses")?;
+    if accesses <= 0.0 {
+        return Err("report has no accesses".into());
+    }
+    // Cold misses miss under any geometry, and the fully-associative
+    // LRU cache is optimal among equal-capacity caches on a stack
+    // algorithm — the set-associative count can never beat it.
+    if fa < cold || sa < fa {
+        return Err(format!(
+            "miss counts out of order: cold {cold} <= fa {fa} <= sa {sa} must hold"
+        ));
+    }
+    for (name, raw, count) in [("fa_miss_rate", fa, "fa"), ("sa_miss_rate", sa, "sa")] {
+        let rate = field(&doc, name)?;
+        if (rate - raw / accesses).abs() > 1e-9 {
+            return Err(format!("{name} does not match {count}_misses / accesses"));
+        }
+    }
+
+    // Per-array sections must reconcile with the aggregate: accesses
+    // and cold misses partition exactly, and every non-cold access
+    // appears in exactly one histogram bucket on both sides.
+    let Some(Value::Object(arrays)) = doc.get("arrays") else {
+        return Err("missing arrays object".into());
+    };
+    if arrays.is_empty() {
+        return Err("report profiles no arrays".into());
+    }
+    let agg_hist = histogram_total(&doc, "aggregate")?;
+    if agg_hist + cold != accesses {
+        return Err("aggregate histogram + cold misses != accesses".into());
+    }
+    let (mut sum_acc, mut sum_cold, mut sum_hist) = (0.0, 0.0, 0.0);
+    for (name, a) in arrays {
+        sum_acc += field(a, "accesses")?;
+        sum_cold += field(a, "cold")?;
+        sum_hist += histogram_total(a, name)?;
+    }
+    if sum_acc != accesses || sum_cold != cold || sum_hist != agg_hist {
+        return Err(format!(
+            "per-array totals do not partition the aggregate: \
+             accesses {sum_acc}/{accesses}, cold {sum_cold}/{cold}, histogram {sum_hist}/{agg_hist}"
+        ));
+    }
+
+    let sa_rate = sa / accesses;
+    if kernel.is_some() && !(sa_rate > 0.0 && sa_rate <= 0.5) {
+        return Err(format!(
+            "known-kernel sanity bound violated: sa miss rate {:.2}% outside (0, 50%]",
+            100.0 * sa_rate
+        ));
+    }
+    Ok(format!(
+        "{nest}: {accesses} accesses over {} arrays, miss rates fa {:.2}% / sa {:.2}%",
+        arrays.len(),
+        100.0 * fa / accesses,
+        100.0 * sa_rate
+    ))
+}

@@ -7,6 +7,7 @@
 //! ujam tables <loop> [bound]         # the precomputed unroll tables
 //! ujam optimize <loop> [options]     # choose & apply unroll amounts
 //! ujam simulate <loop> [options]     # simulate original vs optimized
+//! ujam profile <loop> [options]      # reuse-distance report (JSON)
 //! ujam emit <loop>                   # render as Fortran source
 //! ujam schedule <loop> [options]     # list-schedule the optimized body
 //! ujam serve [options]               # NDJSON optimization daemon
@@ -18,11 +19,19 @@
 //! source file (`.f`, `.f77`, `.for`) holding one DO nest.
 //!
 //! Options: `--machine alpha|parisc|prefetch`, `--model cache|allhits`.
-//! `optimize` additionally takes `--explain` (per-candidate decision
-//! provenance) and `--trace`/`--trace=json`/`--trace=chrome` (pass
-//! spans, cache counters, events; the JSON form prints only the
-//! machine-readable document, the chrome form a Chrome trace-event
-//! timeline loadable in Perfetto or `chrome://tracing`).
+//! `optimize` additionally takes `--cost-model analytic|profiled|blended`
+//! (which cache-cost backend scores candidates), `--explain`
+//! (per-candidate decision provenance) and
+//! `--trace`/`--trace=json`/`--trace=chrome` (pass spans, cache
+//! counters, events; the JSON form prints only the machine-readable
+//! document, the chrome form a Chrome trace-event timeline loadable in
+//! Perfetto or `chrome://tracing`).
+//!
+//! `profile` runs the nest under the interpreter's memory tap and emits
+//! a versioned JSON reuse-distance report: per-array and aggregate
+//! stack-distance histograms, cold misses, and miss rates under both a
+//! fully-associative and the machine's set-associative cache geometry
+//! (overridable with `--cache-geometry CAPACITY:LINE:WAYS`).
 //!
 //! `serve` always records runtime metrics (counters, gauges, latency
 //! histograms) into a `ujam-metrics` registry; `{"cmd":"stats"}` admin
@@ -34,8 +43,8 @@ use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 use ujam::core::{
-    optimize_configured, optimize_with, tables::CostTables, CancelToken, CostModel, SearchConfig,
-    UnrollSpace,
+    optimize_costed, optimize_with, tables::CostTables, BalanceModel, CancelToken, CostModelKind,
+    SearchConfig, UnrollSpace,
 };
 use ujam::dep::{safe_unroll_bounds, DepGraph, DepKind};
 use ujam::ir::transform::scalar_replacement;
@@ -43,7 +52,7 @@ use ujam::ir::LoopNest;
 use ujam::kernels::{deep_kernel, kernel, kernels};
 use ujam::machine::MachineModel;
 use ujam::metrics::{MetricsHandle, MetricsRegistry};
-use ujam::sim::simulate;
+use ujam::sim::{profile_nest_with_geometry, simulate, CacheGeometry};
 use ujam::trace::json::{self, Value};
 use ujam::trace::{ChromeTraceRenderer, CollectingSink};
 
@@ -66,9 +75,12 @@ const USAGE: &str = "usage:
   ujam deps <loop>
   ujam tables <loop> [bound]
   ujam optimize <loop> [--machine alpha|parisc|prefetch] [--model cache|allhits]
+                       [--cost-model analytic|profiled|blended]
                        [--explain] [--trace[=json|chrome]]
                        [--max-unroll-loops K] [--code-budget B]
   ujam simulate <loop> [--machine alpha|parisc|prefetch] [--model cache|allhits]
+  ujam profile <loop> | --kernel NAME [--machine alpha|parisc|prefetch]
+                       [--cache-geometry CAPACITY:LINE:WAYS] [--profile-out PATH]
   ujam emit <loop>
   ujam schedule <loop> [--machine alpha|parisc|prefetch] [--model cache|allhits]
   ujam serve [--workers N] [--batch N] [--cache N] [--socket PATH] [--trace[=json]]
@@ -82,7 +94,16 @@ Fortran file (.f/.f77/.for) holding one DO nest.
 
 `optimize` searches unroll vectors over up to K outer loops
 (--max-unroll-loops, default 2 as in the paper; 0 = unbounded) and can
-cap unrolled body size at B statements (--code-budget).
+cap unrolled body size at B statements (--code-budget).  With
+--cost-model profiled (or blended) each candidate's cache-line figure is
+measured by the reuse-distance profiler instead of (or averaged with)
+the paper's Eq. 1 prediction — materially slower, intended for studies.
+
+`profile` interprets the nest with a memory-access tap and prints a
+versioned JSON reuse-distance report (stack-distance histograms per
+array and aggregate, cold/capacity/conflict misses, miss rates) to
+stdout, or to PATH with --profile-out.  The cache geometry defaults to
+the machine's; override it with --cache-geometry, e.g. 8192:32:1.
 
 `serve` reads one JSON request per line from stdin (or the Unix socket at
 PATH) and writes one JSON reply per line to stdout; see the ujam-serve
@@ -179,10 +200,11 @@ fn run(args: &[String]) -> Result<(), String> {
             let opts = optimize_options(it)?;
             let (machine, model) = (&opts.machine, opts.model);
             let sink = CollectingSink::new();
-            let plan = optimize_configured(
+            let plan = optimize_costed(
                 &nest,
                 machine,
                 model,
+                opts.cost,
                 if opts.observing() {
                     &sink
                 } else {
@@ -205,10 +227,11 @@ fn run(args: &[String]) -> Result<(), String> {
                 return Ok(());
             }
             println!(
-                "machine {} (balance {}), model {:?}",
+                "machine {} (balance {}), model {:?}, cost model {}",
                 machine.name(),
                 machine.balance(),
-                model
+                model,
+                opts.cost.as_str()
             );
             println!("chosen unroll vector: {:?}", plan.unroll);
             println!(
@@ -234,6 +257,30 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("\ntransformed loop:\n{}", plan.nest);
             let replaced = scalar_replacement(&plan.nest);
             println!("after scalar replacement:\n{}", replaced.nest);
+            Ok(())
+        }
+        "profile" => {
+            let opts = profile_options(it)?;
+            let nest = lookup(opts.nest.as_ref())?;
+            let geometry = match opts.geometry {
+                Some(g) => g,
+                None => CacheGeometry::for_machine(&opts.machine),
+            };
+            let report = profile_nest_with_geometry(&nest, geometry);
+            let rendered = report.render_json();
+            match &opts.out {
+                Some(path) => {
+                    std::fs::write(path, format!("{rendered}\n"))
+                        .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+                    eprintln!(
+                        "wrote reuse report for {} ({} accesses, sa miss rate {:.2}%) to {path}",
+                        report.nest,
+                        report.accesses,
+                        100.0 * report.sa_miss_rate()
+                    );
+                }
+                None => println!("{rendered}"),
+            }
             Ok(())
         }
         "schedule" => {
@@ -551,7 +598,8 @@ enum TraceMode {
 
 struct OptimizeOptions {
     machine: MachineModel,
-    model: CostModel,
+    model: BalanceModel,
+    cost: CostModelKind,
     trace: TraceMode,
     explain: bool,
     config: SearchConfig,
@@ -566,7 +614,8 @@ impl OptimizeOptions {
 
 fn optimize_options<'a>(it: impl Iterator<Item = &'a String>) -> Result<OptimizeOptions, String> {
     let mut machine = MachineModel::dec_alpha();
-    let mut model = CostModel::CacheAware;
+    let mut model = BalanceModel::CacheAware;
+    let mut cost = CostModelKind::Analytic;
     let mut trace = TraceMode::Off;
     let mut explain = false;
     let mut config = SearchConfig::default();
@@ -590,10 +639,19 @@ fn optimize_options<'a>(it: impl Iterator<Item = &'a String>) -> Result<Optimize
             "--model" => {
                 let v = inline.or_else(|| it.next().cloned());
                 model = match v.as_deref() {
-                    Some("cache") => CostModel::CacheAware,
-                    Some("allhits") => CostModel::AllHits,
+                    Some("cache") => BalanceModel::CacheAware,
+                    Some("allhits") => BalanceModel::AllHits,
                     other => return Err(format!("bad --model value {other:?}")),
                 }
+            }
+            "--cost-model" => {
+                let v = inline.or_else(|| it.next().cloned());
+                cost = v.as_deref().and_then(CostModelKind::parse).ok_or_else(|| {
+                    format!(
+                        "bad --cost-model value {v:?} \
+                             (expected analytic, profiled, or blended)"
+                    )
+                })?;
             }
             "--max-unroll-loops" => {
                 let v = inline.or_else(|| it.next().cloned());
@@ -639,15 +697,113 @@ fn optimize_options<'a>(it: impl Iterator<Item = &'a String>) -> Result<Optimize
     Ok(OptimizeOptions {
         machine,
         model,
+        cost,
         trace,
         explain,
         config,
     })
 }
 
-fn options<'a>(it: impl Iterator<Item = &'a String>) -> Result<(MachineModel, CostModel), String> {
+struct ProfileOptions {
+    nest: Option<String>,
+    machine: MachineModel,
+    geometry: Option<CacheGeometry>,
+    out: Option<String>,
+}
+
+/// Parses `ujam profile` arguments: a positional `<loop>` or
+/// `--kernel NAME`, plus `--machine`, `--cache-geometry CAP:LINE:WAYS`,
+/// and `--profile-out PATH` — every value flag in both `--flag V` and
+/// `--flag=V` forms.
+fn profile_options<'a>(it: impl Iterator<Item = &'a String>) -> Result<ProfileOptions, String> {
+    let mut nest = None;
     let mut machine = MachineModel::dec_alpha();
-    let mut model = CostModel::CacheAware;
+    let mut geometry = None;
+    let mut out = None;
+    let mut it = it.peekable();
+    while let Some(flag) = it.next() {
+        if !flag.starts_with("--") {
+            if nest.replace(flag.clone()).is_some() {
+                return Err("profile takes one loop (positional or --kernel)".into());
+            }
+            continue;
+        }
+        let (name, inline) = match flag.split_once('=') {
+            Some((n, v)) => (n, Some(v.to_string())),
+            None => (flag.as_str(), None),
+        };
+        match name {
+            "--kernel" => {
+                let v = inline
+                    .or_else(|| it.next().cloned())
+                    .ok_or("--kernel needs a name")?;
+                if nest.replace(v).is_some() {
+                    return Err("profile takes one loop (positional or --kernel)".into());
+                }
+            }
+            "--machine" => {
+                let v = inline.or_else(|| it.next().cloned());
+                machine = match v.as_deref() {
+                    Some("alpha") => MachineModel::dec_alpha(),
+                    Some("parisc") => MachineModel::hp_parisc(),
+                    Some("prefetch") => MachineModel::prefetching_risc(),
+                    other => return Err(format!("bad --machine value {other:?}")),
+                }
+            }
+            "--cache-geometry" => {
+                let v = inline.or_else(|| it.next().cloned());
+                geometry = Some(parse_geometry(v.as_deref())?);
+            }
+            "--profile-out" => {
+                out = Some(
+                    inline
+                        .or_else(|| it.next().cloned())
+                        .ok_or("--profile-out needs a path")?,
+                );
+            }
+            _ => return Err(format!("unknown option {flag:?}")),
+        }
+    }
+    Ok(ProfileOptions {
+        nest,
+        machine,
+        geometry,
+        out,
+    })
+}
+
+/// Parses and validates a `CAP:LINE:WAYS` cache geometry (all bytes /
+/// bytes / ways, all positive, capacity a whole number of sets).
+fn parse_geometry(v: Option<&str>) -> Result<CacheGeometry, String> {
+    let bad = || {
+        format!(
+            "bad --cache-geometry value {v:?} \
+             (expected CAPACITY:LINE:WAYS in bytes, e.g. 8192:32:1)"
+        )
+    };
+    let parts: Vec<usize> = v
+        .unwrap_or("")
+        .split(':')
+        .map(|p| p.parse::<usize>().map_err(|_| bad()))
+        .collect::<Result<_, _>>()?;
+    let [capacity_bytes, line_bytes, ways] = parts[..] else {
+        return Err(bad());
+    };
+    let g = CacheGeometry {
+        capacity_bytes,
+        line_bytes,
+        ways,
+    };
+    g.validate()
+        .map_err(|e| format!("bad --cache-geometry value: {e}"))?;
+    Ok(g)
+}
+
+fn options<'a>(
+    it: impl Iterator<Item = &'a String>,
+) -> Result<(MachineModel, BalanceModel), String> {
+    let mut machine = MachineModel::dec_alpha();
+    let mut model = BalanceModel::CacheAware;
     let mut it = it.peekable();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -661,8 +817,8 @@ fn options<'a>(it: impl Iterator<Item = &'a String>) -> Result<(MachineModel, Co
             }
             "--model" => {
                 model = match it.next().map(|s| s.as_str()) {
-                    Some("cache") => CostModel::CacheAware,
-                    Some("allhits") => CostModel::AllHits,
+                    Some("cache") => BalanceModel::CacheAware,
+                    Some("allhits") => BalanceModel::AllHits,
                     other => return Err(format!("bad --model value {other:?}")),
                 }
             }

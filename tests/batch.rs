@@ -4,7 +4,7 @@
 use ujam::core::brute::{optimize_brute, optimize_depbased};
 use ujam::core::{
     optimize, optimize_batch, optimize_batch_traced_with_workers, optimize_batch_with_workers,
-    optimize_in_space, optimize_traced, CostModel, OptimizeError, UnrollSpace,
+    optimize_in_space, optimize_traced, BalanceModel, OptimizeError, UnrollSpace,
 };
 use ujam::ir::{parse_expr, sub, subs, ArrayDecl, ArrayRef, Loop, LoopNest, Stmt};
 use ujam::kernels::{kernels, optimize_suite};
@@ -25,7 +25,7 @@ fn batch_equals_sequential_on_the_kernel_suite() {
             .collect();
         for workers in [1usize, 3, 8] {
             let batch =
-                optimize_batch_with_workers(&nests, &machine, CostModel::CacheAware, workers);
+                optimize_batch_with_workers(&nests, &machine, BalanceModel::CacheAware, workers);
             assert_eq!(batch.len(), sequential.len());
             for ((k, b), s) in kernels().iter().zip(&batch).zip(&sequential) {
                 let b = b.as_ref().expect("Table 2 kernels are valid");
@@ -52,7 +52,7 @@ fn batch_trace_is_the_sequential_concatenation() {
     let sequential: Vec<_> = nests
         .iter()
         .map(|n| {
-            optimize_traced(n, &machine, CostModel::CacheAware, &sequential_sink)
+            optimize_traced(n, &machine, BalanceModel::CacheAware, &sequential_sink)
                 .expect("Table 2 kernels are valid")
         })
         .collect();
@@ -63,7 +63,7 @@ fn batch_trace_is_the_sequential_concatenation() {
         let batch = optimize_batch_traced_with_workers(
             &nests,
             &machine,
-            CostModel::CacheAware,
+            BalanceModel::CacheAware,
             workers,
             &sink,
         );
@@ -166,7 +166,7 @@ fn batch_isolates_per_nest_failures() {
         undeclared_array_nest(),
         kernels()[1].nest(),
     ];
-    let out = optimize_batch_with_workers(&nests, &machine, CostModel::CacheAware, 2);
+    let out = optimize_batch_with_workers(&nests, &machine, BalanceModel::CacheAware, 2);
     assert!(out[0].is_ok());
     assert!(matches!(out[1], Err(OptimizeError::InvalidNest(_))));
     assert!(out[2].is_ok());

@@ -273,6 +273,147 @@ fn malformed_trace_flag_exits_nonzero_with_error_on_stderr_only() {
     }
 }
 
+/// `ujam profile` emits one versioned JSON document on stdout, in both
+/// flag spellings (`--kernel matmul` positional alias included), and
+/// the report parses with the in-tree JSON parser.
+#[test]
+fn profile_emits_a_versioned_json_report() {
+    for args in [
+        &["profile", "--kernel", "matmul"][..],
+        &["profile", "--kernel=matmul"][..],
+        &["profile", "mmjki"][..],
+    ] {
+        let out = ujam(args);
+        assert!(out.status.success(), "{args:?} must succeed");
+        let doc = ujam::trace::json::parse(&stdout(&out)).expect("stdout is one JSON document");
+        assert_eq!(
+            doc.get("version").and_then(|v| v.as_f64()),
+            Some(1.0),
+            "{args:?}: report must carry its schema version"
+        );
+        assert_eq!(
+            doc.get("nest").and_then(|v| v.as_str()),
+            Some("mmjki"),
+            "{args:?}: matmul must resolve to the mmjki kernel"
+        );
+        for field in ["geometry", "accesses", "cold", "histogram", "arrays"] {
+            assert!(doc.get(field).is_some(), "{args:?}: missing {field}");
+        }
+    }
+}
+
+/// `--profile-out` writes the report to the file (stdout stays clean of
+/// JSON), and `--cache-geometry` overrides the machine's cache in both
+/// flag spellings.
+#[test]
+fn profile_flags_accept_both_spellings() {
+    let dir = std::env::temp_dir().join("ujam_cli_profile_test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("report.json");
+    let path_s = path.to_str().expect("utf8 path");
+    let out = ujam(&["profile", "jacobi", "--profile-out", path_s]);
+    assert!(out.status.success());
+    assert!(out.stdout.is_empty(), "report goes to the file, not stdout");
+    let written = std::fs::read_to_string(&path).expect("report written");
+    let doc = ujam::trace::json::parse(written.trim()).expect("file holds one JSON document");
+
+    let separate = ujam(&["profile", "jacobi", "--cache-geometry", "2048:64:2"]);
+    let inline = ujam(&["profile", "jacobi", "--cache-geometry=2048:64:2"]);
+    assert!(separate.status.success() && inline.status.success());
+    assert_eq!(
+        stdout(&separate),
+        stdout(&inline),
+        "both flag spellings must produce identical reports"
+    );
+    let overridden = ujam::trace::json::parse(stdout(&inline).trim()).expect("valid report");
+    assert_eq!(
+        overridden
+            .get("geometry")
+            .and_then(|g| g.get("line_bytes"))
+            .and_then(|v| v.as_f64()),
+        Some(64.0)
+    );
+    // The default-geometry report differs from the overridden one.
+    assert_ne!(
+        doc.get("geometry"),
+        overridden.get("geometry"),
+        "--cache-geometry must actually change the simulated cache"
+    );
+}
+
+/// Regression: unknown or malformed values for the new flags are clean
+/// structured failures — nonzero exit, the error on stderr, stdout
+/// empty — in both `--flag V` and `--flag=V` spellings.
+#[test]
+fn malformed_profile_and_cost_model_flags_fail_cleanly() {
+    for (args, expected) in [
+        (
+            &["optimize", "jacobi", "--cost-model", "exact"][..],
+            "bad --cost-model value",
+        ),
+        (
+            &["optimize", "jacobi", "--cost-model=exact"][..],
+            "bad --cost-model value",
+        ),
+        (
+            &["optimize", "jacobi", "--cost-model="][..],
+            "bad --cost-model value",
+        ),
+        (
+            &["profile", "jacobi", "--cache-geometry", "32"][..],
+            "bad --cache-geometry value",
+        ),
+        (
+            &["profile", "jacobi", "--cache-geometry=8192:0:1"][..],
+            "bad --cache-geometry value",
+        ),
+        (
+            &["profile", "jacobi", "--cache-geometry=8192:48:1"][..],
+            "bad --cache-geometry value",
+        ),
+        (
+            &["profile", "jacobi", "--cache-geometry=a:b:c"][..],
+            "bad --cache-geometry value",
+        ),
+        (
+            &["profile", "--kernel", "nosuchkernel"][..],
+            "unknown kernel",
+        ),
+        (
+            &["profile", "jacobi", "--kernel", "sor"][..],
+            "profile takes one loop",
+        ),
+    ] {
+        let out = ujam(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(expected), "{args:?}: {err}");
+        assert!(
+            out.stdout.is_empty(),
+            "{args:?}: stdout must stay clean, got {:?}",
+            stdout(&out)
+        );
+    }
+}
+
+/// `--cost-model` is accepted in both spellings and is reflected in the
+/// optimize header; the analytic spelling changes nothing else about
+/// the output.
+#[test]
+fn cost_model_flag_accepts_both_spellings() {
+    let baseline = ujam(&["optimize", "dmxpy0"]);
+    let separate = ujam(&["optimize", "dmxpy0", "--cost-model", "analytic"]);
+    let inline = ujam(&["optimize", "dmxpy0", "--cost-model=analytic"]);
+    assert!(baseline.status.success() && separate.status.success() && inline.status.success());
+    assert_eq!(stdout(&separate), stdout(&inline));
+    assert_eq!(
+        stdout(&baseline),
+        stdout(&separate),
+        "analytic is the default"
+    );
+    assert!(stdout(&baseline).contains("cost model analytic"));
+}
+
 #[test]
 fn schedule_reports_op_mix_and_makespan() {
     let out = ujam(&["schedule", "dmxpy0"]);

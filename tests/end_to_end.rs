@@ -1,7 +1,7 @@
 //! End-to-end integration: optimize → transform → verify → simulate,
 //! across the whole kernel suite and both machine models.
 
-use ujam::core::{optimize, optimize_with, CostModel};
+use ujam::core::{optimize, optimize_with, BalanceModel};
 use ujam::dep::{safe_unroll_bounds, DepGraph};
 use ujam::ir::interp::execute;
 use ujam::ir::transform::scalar_replacement;
@@ -89,8 +89,8 @@ fn cache_model_is_no_worse_than_all_hits() {
     let machine = MachineModel::dec_alpha();
     for k in kernels() {
         let nest = k.nest();
-        let nc = optimize_with(&nest, &machine, CostModel::AllHits).expect("valid nest");
-        let c = optimize_with(&nest, &machine, CostModel::CacheAware).expect("valid nest");
+        let nc = optimize_with(&nest, &machine, BalanceModel::AllHits).expect("valid nest");
+        let c = optimize_with(&nest, &machine, BalanceModel::CacheAware).expect("valid nest");
         let t_nc = simulate(&nc.nest, &machine).cycles;
         let t_c = simulate(&c.nest, &machine).cycles;
         assert!(

@@ -114,7 +114,7 @@ fn chrome_export_accounts_for_every_real_optimizer_span() {
         ujam::core::optimize_traced(
             &nest,
             &ujam::machine::MachineModel::dec_alpha(),
-            ujam::core::CostModel::CacheAware,
+            ujam::core::BalanceModel::CacheAware,
             &sink,
         )
         .expect("valid kernel");

@@ -9,8 +9,8 @@
 
 use ujam::core::pipeline::{AnalysisCtx, BruteSearch, Pass, SearchSpace, SelectLoops};
 use ujam::core::{
-    optimize, optimize_configured, search_tables, tables::CostTables, CancelToken, CostModel,
-    SearchConfig, UnrollSpace,
+    optimize, optimize_configured, search_tables, tables::CostTables, BalanceModel, CancelToken,
+    CostModelKind, SearchConfig, UnrollSpace,
 };
 use ujam::kernels::{deep_kernel, deep_kernels, kernels};
 use ujam::machine::MachineModel;
@@ -42,7 +42,8 @@ fn deep_pruned_and_brute_winners_agree_under_every_budget() {
             let mut ctx = AnalysisCtx::new(&nest, &machine).expect("valid");
             let table = SearchSpace {
                 space: space.clone(),
-                model: CostModel::CacheAware,
+                model: BalanceModel::CacheAware,
+                cost: CostModelKind::Analytic,
                 code_budget: budget,
             }
             .run(&mut ctx)
@@ -77,7 +78,7 @@ fn deep_pruned_and_exhaustive_table_walks_agree() {
         let nest = deep_kernel(k).expect("roster kernel").nest();
         let space = k3_space(nest.depth());
         let tables = CostTables::build(&nest, &space, machine.line_elems());
-        for model in [CostModel::CacheAware, CostModel::AllHits] {
+        for model in [BalanceModel::CacheAware, BalanceModel::AllHits] {
             for budget in BUDGETS {
                 let (pruned, _) =
                     search_tables(&nest, &machine, &space, &tables, model, true, budget);
@@ -112,7 +113,8 @@ fn k3_explain_ledger_balances_under_register_and_code_budgets() {
             let mut ctx = AnalysisCtx::with_sink(&nest, &machine, &sink).expect("valid");
             let outcome = SearchSpace {
                 space: space.clone(),
-                model: CostModel::CacheAware,
+                model: BalanceModel::CacheAware,
+                cost: CostModelKind::Analytic,
                 code_budget: budget,
             }
             .run_traced(&mut ctx)
@@ -182,7 +184,7 @@ fn default_config_reproduces_every_suite_decision() {
             let configured = optimize_configured(
                 &nest,
                 &machine,
-                CostModel::CacheAware,
+                BalanceModel::CacheAware,
                 null_sink(),
                 CancelToken::never(),
                 MetricsHandle::disabled(),

@@ -5,7 +5,7 @@
 //! candidate the pruner skipped.
 
 use ujam::core::pipeline::{AnalysisCtx, BruteSearch, Pass, SearchSpace, SelectLoops};
-use ujam::core::{search_tables, tables::CostTables, CostModel};
+use ujam::core::{search_tables, tables::CostTables, BalanceModel, CostModelKind};
 use ujam::kernels::kernels;
 use ujam::machine::MachineModel;
 use ujam::trace::{CollectingSink, Verdict};
@@ -39,7 +39,7 @@ fn pruning_never_changes_the_winner() {
                 continue;
             };
             let tables = CostTables::build(&nest, &space, machine.line_elems());
-            for model in [CostModel::CacheAware, CostModel::AllHits] {
+            for model in [BalanceModel::CacheAware, BalanceModel::AllHits] {
                 let (pruned, _) =
                     search_tables(&nest, &machine, &space, &tables, model, true, None);
                 let (exhaustive, skipped) =
@@ -72,7 +72,8 @@ fn pruned_table_and_parallel_brute_searches_agree() {
         };
         let table = SearchSpace {
             space: space.clone(),
-            model: CostModel::CacheAware,
+            model: BalanceModel::CacheAware,
+            cost: CostModelKind::Analytic,
             code_budget: None,
         }
         .run(&mut ctx);
@@ -109,7 +110,8 @@ fn explain_accounts_for_every_candidate() {
             };
             let outcome = SearchSpace {
                 space: space.clone(),
-                model: CostModel::CacheAware,
+                model: BalanceModel::CacheAware,
+                cost: CostModelKind::Analytic,
                 code_budget: None,
             }
             .run_traced(&mut ctx);
