@@ -148,8 +148,11 @@ pub fn optimize_depbased(
     let mut best = zero;
     let mut best_inputs = original;
     let mut best_score = (f64::INFINITY, usize::MAX);
+    // One full-vector scratch for the whole walk, refilled in place per
+    // candidate (the write is two tiny loops; the transform dominates).
+    let mut full = vec![0u32; space.depth()];
     space.for_each_offset(|u| {
-        let full = space.full_vector(u);
+        space.write_full_vector(u, &mut full);
         let Ok((inputs, bytes)) = measure_candidate_depbased(nest, &full, machine) else {
             return;
         };

@@ -67,10 +67,23 @@ impl CostModelKind {
     /// clone it so they can materialize candidates independently of the
     /// analysis context's borrows.
     pub fn backend(&self, nest: &LoopNest, machine: &MachineModel) -> Box<dyn CostModel> {
+        self.backend_sized(nest, machine, 0)
+    }
+
+    /// [`CostModelKind::backend`] with the candidate-space size known up
+    /// front: profiling backends then memoize in a dense flat-indexed
+    /// array (one `f64` per candidate, NaN = unmeasured) instead of
+    /// hashing the unroll vector per query.
+    pub fn backend_sized(
+        &self,
+        nest: &LoopNest,
+        machine: &MachineModel,
+        candidates: usize,
+    ) -> Box<dyn CostModel> {
         match self {
             CostModelKind::Analytic => Box::new(Analytic),
-            CostModelKind::Profiled => Box::new(Profiled::new(nest, machine)),
-            CostModelKind::Blended => Box::new(Blended(Profiled::new(nest, machine))),
+            CostModelKind::Profiled => Box::new(Profiled::new(nest, machine, candidates)),
+            CostModelKind::Blended => Box::new(Blended(Profiled::new(nest, machine, candidates))),
         }
     }
 }
@@ -99,6 +112,21 @@ pub trait CostModel {
     /// `analytic_lines` is the Eq. 1 prediction for the same candidate.
     fn lines_per_iter(&mut self, full_u: &[u32], analytic_lines: f64) -> f64;
 
+    /// [`CostModel::lines_per_iter`] keyed by the candidate's flat index
+    /// in the search space.  `full_u` builds the full unroll vector
+    /// lazily — backends that answer from a memo (or ignore the vector
+    /// entirely) never invoke it, so the search's hot path stays
+    /// allocation-free.  The default just forwards to the vector form.
+    fn lines_per_iter_flat(
+        &mut self,
+        flat: usize,
+        full_u: &mut dyn FnMut() -> Vec<u32>,
+        analytic_lines: f64,
+    ) -> f64 {
+        let _ = flat;
+        self.lines_per_iter(&full_u(), analytic_lines)
+    }
+
     /// Profiling work performed so far.
     fn stats(&self) -> CostModelStats;
 }
@@ -117,6 +145,15 @@ impl CostModel for Analytic {
         analytic_lines
     }
 
+    fn lines_per_iter_flat(
+        &mut self,
+        _flat: usize,
+        _full_u: &mut dyn FnMut() -> Vec<u32>,
+        analytic_lines: f64,
+    ) -> f64 {
+        analytic_lines
+    }
+
     fn stats(&self) -> CostModelStats {
         CostModelStats::default()
     }
@@ -132,24 +169,30 @@ impl CostModel for Analytic {
 struct Profiled {
     nest: LoopNest,
     machine: MachineModel,
+    /// Coordinate-keyed memo, the fallback when a query arrives without
+    /// a usable flat index (or the backend was built unsized).
     memo: HashMap<Vec<u32>, f64>,
+    /// Dense flat-indexed memo (NaN = unmeasured), sized to the search
+    /// space by [`CostModelKind::backend_sized`]; empty when unsized.
+    /// Measured lines are finite by construction, so NaN is a safe
+    /// sentinel.
+    flat_memo: Vec<f64>,
     stats: CostModelStats,
 }
 
 impl Profiled {
-    fn new(nest: &LoopNest, machine: &MachineModel) -> Profiled {
+    fn new(nest: &LoopNest, machine: &MachineModel, candidates: usize) -> Profiled {
         Profiled {
             nest: nest.clone(),
             machine: machine.clone(),
             memo: HashMap::new(),
+            flat_memo: vec![f64::NAN; candidates],
             stats: CostModelStats::default(),
         }
     }
 
-    fn measure(&mut self, full_u: &[u32], analytic_lines: f64) -> f64 {
-        if let Some(&lines) = self.memo.get(full_u) {
-            return lines;
-        }
+    /// The un-memoized core: materialize and profile one candidate.
+    fn profile(&mut self, full_u: &[u32], analytic_lines: f64) -> f64 {
         let t0 = Instant::now();
         // Candidates reaching the cost query already passed the
         // dependence-safety and divisibility gates, so the transform
@@ -166,8 +209,35 @@ impl Profiled {
             Err(_) => analytic_lines,
         };
         self.stats.profile_ns += t0.elapsed().as_nanos() as u64;
+        lines
+    }
+
+    fn measure(&mut self, full_u: &[u32], analytic_lines: f64) -> f64 {
+        if let Some(&lines) = self.memo.get(full_u) {
+            return lines;
+        }
+        let lines = self.profile(full_u, analytic_lines);
         self.memo.insert(full_u.to_vec(), lines);
         lines
+    }
+
+    fn measure_flat(
+        &mut self,
+        flat: usize,
+        full_u: &mut dyn FnMut() -> Vec<u32>,
+        analytic_lines: f64,
+    ) -> f64 {
+        match self.flat_memo.get(flat) {
+            Some(lines) if !lines.is_nan() => *lines,
+            Some(_) => {
+                let lines = self.profile(&full_u(), analytic_lines);
+                self.flat_memo[flat] = lines;
+                lines
+            }
+            // Out of range: the backend was built for a smaller (or no)
+            // space; degrade to the coordinate memo.
+            None => self.measure(&full_u(), analytic_lines),
+        }
     }
 }
 
@@ -178,6 +248,15 @@ impl CostModel for Profiled {
 
     fn lines_per_iter(&mut self, full_u: &[u32], analytic_lines: f64) -> f64 {
         self.measure(full_u, analytic_lines)
+    }
+
+    fn lines_per_iter_flat(
+        &mut self,
+        flat: usize,
+        full_u: &mut dyn FnMut() -> Vec<u32>,
+        analytic_lines: f64,
+    ) -> f64 {
+        self.measure_flat(flat, full_u, analytic_lines)
     }
 
     fn stats(&self) -> CostModelStats {
@@ -195,6 +274,15 @@ impl CostModel for Blended {
 
     fn lines_per_iter(&mut self, full_u: &[u32], analytic_lines: f64) -> f64 {
         0.5 * self.0.measure(full_u, analytic_lines) + 0.5 * analytic_lines
+    }
+
+    fn lines_per_iter_flat(
+        &mut self,
+        flat: usize,
+        full_u: &mut dyn FnMut() -> Vec<u32>,
+        analytic_lines: f64,
+    ) -> f64 {
+        0.5 * self.0.measure_flat(flat, full_u, analytic_lines) + 0.5 * analytic_lines
     }
 
     fn stats(&self) -> CostModelStats {

@@ -244,6 +244,10 @@ struct SearchResult {
 ///
 /// Candidates are visited in lexicographic order by a recursive walk
 /// that reuses one scratch offset vector — no per-candidate allocation.
+/// The walk also maintains the candidate's flat row-major index
+/// incrementally during descent (one add per level) and hands it to
+/// `inputs_at`, so table-backed scorers read their finalized sums by
+/// index without re-deriving it per query.
 /// With `prune_upsets` set (sound only when the register tables are
 /// monotone in `u`), an over-budget candidate whose trailing dimensions
 /// are all zero prunes every lexicographically-later sibling subtree:
@@ -268,7 +272,7 @@ struct SearchResult {
 fn search_over(
     machine: &MachineModel,
     space: &UnrollSpace,
-    inputs_at: impl FnMut(&[u32]) -> Option<BalanceInputs>,
+    inputs_at: impl FnMut(&[u32], usize) -> Option<BalanceInputs>,
     beta_of: impl Fn(&BalanceInputs) -> f64,
     divisible: impl Fn(&[u32]) -> bool,
     prune_upsets: bool,
@@ -278,7 +282,9 @@ fn search_over(
     cancel: &CancelToken,
 ) -> SearchResult {
     // suffix[d] = how many offsets one subtree at level d spans — the
-    // closed-form size of a pruned sibling subtree.
+    // closed-form size of a pruned sibling subtree.  Note suffix[d + 1]
+    // is also the space's row-major stride of dimension d, which is
+    // what lets `descend` keep the flat index with one add per level.
     let mut suffix = vec![1usize; space.dims() + 1];
     for d in (0..space.dims()).rev() {
         suffix[d] = suffix[d + 1] * (space.bounds()[d] as usize + 1);
@@ -296,6 +302,7 @@ fn search_over(
         explain,
         suffix,
         u: vec![0u32; space.dims()],
+        flat: 0,
         best: vec![0u32; space.dims()],
         best_inputs: None,
         best_score: (f64::INFINITY, usize::MAX),
@@ -349,6 +356,9 @@ struct Walk<'a, 's, I, B, D> {
     explain: Option<&'a mut Vec<CandidateFate>>,
     suffix: Vec<usize>,
     u: Vec<u32>,
+    /// Flat row-major index of `u`, maintained incrementally by
+    /// `descend` (`suffix[d + 1]` is dimension `d`'s stride).
+    flat: usize,
     best: Vec<u32>,
     best_inputs: Option<BalanceInputs>,
     best_score: (f64, usize),
@@ -361,7 +371,7 @@ struct Walk<'a, 's, I, B, D> {
 
 impl<I, B, D> Walk<'_, '_, I, B, D>
 where
-    I: FnMut(&[u32]) -> Option<BalanceInputs>,
+    I: FnMut(&[u32], usize) -> Option<BalanceInputs>,
     B: Fn(&BalanceInputs) -> f64,
     D: Fn(&[u32]) -> bool,
 {
@@ -381,8 +391,10 @@ where
             return self.visit();
         }
         let bound = self.space.bounds()[d];
+        let base = self.flat;
         for x in 0..=bound {
             self.u[d] = x;
+            self.flat = base + x as usize * self.suffix[d + 1];
             if self.descend(d + 1) {
                 // u[..d] ++ [x] ++ zeros is over budget: every sibling
                 // subtree at x+1.. dominates it component-wise, so by
@@ -391,6 +403,7 @@ where
                     self.skip_upset(d, x + 1);
                 }
                 self.u[d] = 0;
+                self.flat = base;
                 // Only an all-zero suffix propagates the signal: for
                 // x > 0 the next value of dimension d-1 resets this
                 // dimension to 0 and no longer dominates `u`.
@@ -398,6 +411,7 @@ where
             }
         }
         self.u[d] = 0;
+        self.flat = base;
         false
     }
 
@@ -469,7 +483,7 @@ where
                 return self.prune_code;
             }
         }
-        let Some(inputs) = (self.inputs_at)(&self.u) else {
+        let Some(inputs) = (self.inputs_at)(&self.u, self.flat) else {
             self.fate(None, None, Verdict::Infeasible);
             return false;
         };
@@ -566,18 +580,39 @@ impl Pass for SearchSpace {
         // `full_vector` allocation per candidate), keeping the classic
         // path's flow of f64s — and its speed — exactly as before.
         let analytic_only = self.cost == CostModelKind::Analytic;
-        let mut backend = self.cost.backend(nest, machine);
-        let mut inputs_at = |u: &[u32]| {
-            let analytic = tables.cache_lines(u);
-            BalanceInputs {
-                flops: tables.flops(u) as f64,
-                memory_ops: tables.memory_ops(u) as f64,
-                cache_lines: if analytic_only {
-                    analytic
-                } else {
-                    backend.lines_per_iter(&space.full_vector(u), analytic)
-                },
-                registers: tables.registers(u),
+        let mut backend = self.cost.backend_sized(nest, machine, space.len());
+        // Tables from `BuildTables` are always finalized, so the walk's
+        // incrementally maintained flat index addresses every query
+        // directly — no per-candidate coordinate folding.  The gate is
+        // defensive: a definalized table silently falls back to the
+        // coordinate path rather than reading unfinalized sums.
+        let flat_ok = tables.flat_queryable();
+        let mut inputs_at = |u: &[u32], flat: usize| {
+            if flat_ok {
+                let copies = space.copies(u);
+                let analytic = tables.cache_lines_flat(flat);
+                BalanceInputs {
+                    flops: tables.flops_of_copies(copies) as f64,
+                    memory_ops: tables.memory_ops_flat(flat, copies) as f64,
+                    cache_lines: if analytic_only {
+                        analytic
+                    } else {
+                        backend.lines_per_iter_flat(flat, &mut || space.full_vector(u), analytic)
+                    },
+                    registers: tables.registers_flat(flat),
+                }
+            } else {
+                let analytic = tables.cache_lines(u);
+                BalanceInputs {
+                    flops: tables.flops(u) as f64,
+                    memory_ops: tables.memory_ops(u) as f64,
+                    cache_lines: if analytic_only {
+                        analytic
+                    } else {
+                        backend.lines_per_iter_flat(flat, &mut || space.full_vector(u), analytic)
+                    },
+                    registers: tables.registers(u),
+                }
             }
         };
         // The factors must divide the trip counts for a clean transform.
@@ -594,7 +629,7 @@ impl Pass for SearchSpace {
         };
 
         let zero = vec![0u32; space.dims()];
-        let original = inputs_at(&zero);
+        let original = inputs_at(&zero, 0);
         // Up-set pruning is sound exactly when every register table is
         // monotone in u; the tables checked this once at build time.
         // The code-size budget needs no such gate: copy count is
@@ -605,7 +640,7 @@ impl Pass for SearchSpace {
         let found = search_over(
             machine,
             space,
-            |u| Some(inputs_at(u)),
+            |u, flat| Some(inputs_at(u, flat)),
             beta_of,
             divisible,
             prune,
@@ -683,11 +718,27 @@ pub fn search_tables(
     prune: bool,
     code_budget: Option<usize>,
 ) -> (Vec<u32>, usize) {
-    let inputs_at = |u: &[u32]| BalanceInputs {
-        flops: tables.flops(u) as f64,
-        memory_ops: tables.memory_ops(u) as f64,
-        cache_lines: tables.cache_lines(u),
-        registers: tables.registers(u),
+    // The bench drives this kernel against definalized (density-domain)
+    // tables too, where the O(1) flat reads don't exist — hence the
+    // runtime branch, hoisted out of the closure.
+    let flat_ok = tables.flat_queryable();
+    let inputs_at = |u: &[u32], flat: usize| {
+        if flat_ok {
+            let copies = space.copies(u);
+            BalanceInputs {
+                flops: tables.flops_of_copies(copies) as f64,
+                memory_ops: tables.memory_ops_flat(flat, copies) as f64,
+                cache_lines: tables.cache_lines_flat(flat),
+                registers: tables.registers_flat(flat),
+            }
+        } else {
+            BalanceInputs {
+                flops: tables.flops(u) as f64,
+                memory_ops: tables.memory_ops(u) as f64,
+                cache_lines: tables.cache_lines(u),
+                registers: tables.registers(u),
+            }
+        }
     };
     let divisible = |u: &[u32]| {
         space
@@ -703,7 +754,7 @@ pub fn search_tables(
     let found = search_over(
         machine,
         space,
-        |u| Some(inputs_at(u)),
+        |u, flat| Some(inputs_at(u, flat)),
         beta_of,
         divisible,
         prune && tables.registers_monotone(),
@@ -792,7 +843,7 @@ impl Pass for BruteSearch {
         let found = search_over(
             machine,
             space,
-            |u| measured[space.index(u)],
+            |_u, flat| measured[flat],
             |inputs| loop_balance(inputs, machine),
             |_| true,
             false,

@@ -1,0 +1,717 @@
+//! Lane-level kernels for the flat table hot path.
+//!
+//! Every primitive the summed-area tables hammer — the per-axis
+//! inclusive prefix scans of [`crate::Table::finalize`], their inverses,
+//! the corner gather of the inclusion–exclusion `get`, and the up-set
+//! frontier OR/add sweeps — reduces to one of a handful of stride-1
+//! inner loops over `i64` (or `bool`) runs.  This module owns those
+//! loops in exactly three shapes:
+//!
+//! * **scalar** — the canonical reference, always compiled, and the
+//!   only path on non-x86_64 targets or without the `simd` feature;
+//! * **SSE2** — 2×`i64` lanes, unconditionally available on x86_64;
+//! * **AVX2** — 4×`i64` lanes plus hardware gathers, selected at
+//!   runtime via `is_x86_feature_detected!`.
+//!
+//! All kernels are pure integer arithmetic, so every level is
+//! **bitwise-identical** by construction — the property tests in
+//! `crates/core/tests/simd_props.rs` pin it anyway.  Dispatch is one
+//! relaxed atomic load per call; the detected level is cached on first
+//! use and can be forced down (never up) with the `UJAM_SIMD`
+//! environment variable (`scalar`/`off`, `sse2`, `avx2`) or, for tests
+//! and benches, with [`with_forced_level`].
+//!
+//! This is the only module in the crate allowed to use `unsafe` (the
+//! crate is otherwise `deny(unsafe_code)`): each intrinsic block is a
+//! leaf function whose safety contract is "slice bounds already
+//! checked", stated at the call site.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// A lane width the kernels can run at.
+///
+/// Ordered: a level never dispatches *above* the detected capability,
+/// and forcing via [`with_forced_level`] or `UJAM_SIMD` clamps to what
+/// the CPU supports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The canonical portable path (always available).
+    Scalar,
+    /// 2×`i64` SSE2 lanes (baseline on every x86_64).
+    Sse2,
+    /// 4×`i64` AVX2 lanes with hardware gathers.
+    Avx2,
+}
+
+impl Level {
+    /// The spelling accepted by `UJAM_SIMD` and [`Level::parse`].
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Level::Scalar => "scalar",
+            Level::Sse2 => "sse2",
+            Level::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses a level name (`scalar`/`off`, `sse2`, `avx2`).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "scalar" | "off" => Some(Level::Scalar),
+            "sse2" => Some(Level::Sse2),
+            "avx2" => Some(Level::Avx2),
+            _ => None,
+        }
+    }
+}
+
+/// Encoding for the cached/override atomics: 0 = unset.
+const fn level_code(level: Level) -> u8 {
+    match level {
+        Level::Scalar => 1,
+        Level::Sse2 => 2,
+        Level::Avx2 => 3,
+    }
+}
+
+fn level_of(code: u8) -> Option<Level> {
+    match code {
+        1 => Some(Level::Scalar),
+        2 => Some(Level::Sse2),
+        3 => Some(Level::Avx2),
+        _ => None,
+    }
+}
+
+/// Detected-capability cache (0 until first use).
+static DETECTED: AtomicU8 = AtomicU8::new(0);
+/// Test/bench override (0 = none).
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+/// Serializes [`with_forced_level`] sections so concurrent tests cannot
+/// observe each other's override.
+static FORCE_LOCK: Mutex<()> = Mutex::new(());
+
+/// The best level this build + CPU supports, before overrides.
+fn detect() -> Level {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            Level::Avx2
+        } else {
+            // SSE2 is part of the x86_64 baseline.
+            Level::Sse2
+        }
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    Level::Scalar
+}
+
+fn detected() -> Level {
+    if let Some(level) = level_of(DETECTED.load(Ordering::Relaxed)) {
+        return level;
+    }
+    let mut level = detect();
+    if let Ok(var) = std::env::var("UJAM_SIMD") {
+        if let Some(forced) = Level::parse(&var) {
+            level = forced.min(level);
+        }
+    }
+    DETECTED.store(level_code(level), Ordering::Relaxed);
+    level
+}
+
+/// The level the kernels currently dispatch at: the test override if
+/// one is active, else the cached `UJAM_SIMD`-clamped detection result.
+pub fn active_level() -> Level {
+    match level_of(OVERRIDE.load(Ordering::Relaxed)) {
+        Some(forced) => forced.min(detected()),
+        None => detected(),
+    }
+}
+
+/// Runs `f` with the dispatch level forced to `min(level, detected)`,
+/// restoring the previous state afterwards (panic-safe).
+///
+/// Holds a global lock for the duration, so concurrent tests see a
+/// consistent level; production code never calls this — it exists for
+/// the scalar-vs-SIMD equivalence pins and the bench's per-arm runs.
+pub fn with_forced_level<R>(level: Level, f: impl FnOnce() -> R) -> R {
+    let _guard = match FORCE_LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    struct Reset(u8);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            OVERRIDE.store(self.0, Ordering::Relaxed);
+        }
+    }
+    let _reset = Reset(OVERRIDE.swap(level_code(level), Ordering::Relaxed));
+    f()
+}
+
+// ---------------------------------------------------------------------
+// Scalar reference kernels — the canonical semantics of every op.
+// ---------------------------------------------------------------------
+
+mod scalar {
+    /// `dst[i] += src[i]` — the vertical step of an axis scan.
+    pub fn add_rows(dst: &mut [i64], src: &[i64]) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d += s;
+        }
+    }
+
+    /// `dst[i] -= src[i]` — the vertical step of an inverse scan.
+    pub fn sub_rows(dst: &mut [i64], src: &[i64]) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d -= s;
+        }
+    }
+
+    /// In-place inclusive prefix sum of one contiguous row.
+    pub fn prefix_scan(row: &mut [i64]) {
+        let mut acc = 0i64;
+        for v in row {
+            acc += *v;
+            *v = acc;
+        }
+    }
+
+    /// The inverse of [`prefix_scan`]: adjacent differences, in place.
+    pub fn inverse_scan(row: &mut [i64]) {
+        for i in (1..row.len()).rev() {
+            row[i] -= row[i - 1];
+        }
+    }
+
+    /// `dst[i] |= src[i]` — the vertical step of the up-set closure.
+    pub fn or_rows(dst: &mut [bool], src: &[bool]) {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d |= s;
+        }
+    }
+
+    /// `data[i] += delta` wherever `covered[i]` — the frontier add.
+    pub fn add_masked(data: &mut [i64], covered: &[bool], delta: i64) {
+        for (d, &c) in data.iter_mut().zip(covered) {
+            // Branchless: `-(c as i64)` is an all-ones mask when covered.
+            *d += delta & -(c as i64);
+        }
+    }
+
+    /// Signed corner gather: `Σ ±data[base − deltas[i]]`, the negation
+    /// chosen by `negmask[i]` (0 keeps, −1 negates: `(v ^ m) − m`).
+    pub fn gather_signed(data: &[i64], base: usize, deltas: &[i64], negmask: &[i64]) -> i64 {
+        let mut total = 0i64;
+        for (&d, &m) in deltas.iter().zip(negmask) {
+            let v = data[base - d as usize];
+            total += (v ^ m) - m;
+        }
+        total
+    }
+}
+
+// ---------------------------------------------------------------------
+// x86_64 lane kernels (compiled only with the `simd` feature).
+// ---------------------------------------------------------------------
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[allow(unsafe_code)]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller guarantees `dst.len() == src.len()`; unaligned loads and
+    /// stores stay inside the slices by the loop bounds.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn add_rows_sse2(dst: &mut [i64], src: &[i64]) {
+        let n = dst.len();
+        let mut i = 0;
+        while i + 2 <= n {
+            let p = dst.as_mut_ptr().add(i) as *mut __m128i;
+            let a = _mm_loadu_si128(p as *const __m128i);
+            let b = _mm_loadu_si128(src.as_ptr().add(i) as *const __m128i);
+            _mm_storeu_si128(p, _mm_add_epi64(a, b));
+            i += 2;
+        }
+        while i < n {
+            dst[i] += src[i];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// As [`add_rows_sse2`], plus the CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_rows_avx2(dst: &mut [i64], src: &[i64]) {
+        let n = dst.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let p = dst.as_mut_ptr().add(i) as *mut __m256i;
+            let a = _mm256_loadu_si256(p as *const __m256i);
+            let b = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
+            _mm256_storeu_si256(p, _mm256_add_epi64(a, b));
+            i += 4;
+        }
+        while i < n {
+            dst[i] += src[i];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// As [`add_rows_sse2`].
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn sub_rows_sse2(dst: &mut [i64], src: &[i64]) {
+        let n = dst.len();
+        let mut i = 0;
+        while i + 2 <= n {
+            let p = dst.as_mut_ptr().add(i) as *mut __m128i;
+            let a = _mm_loadu_si128(p as *const __m128i);
+            let b = _mm_loadu_si128(src.as_ptr().add(i) as *const __m128i);
+            _mm_storeu_si128(p, _mm_sub_epi64(a, b));
+            i += 2;
+        }
+        while i < n {
+            dst[i] -= src[i];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// As [`add_rows_avx2`].
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sub_rows_avx2(dst: &mut [i64], src: &[i64]) {
+        let n = dst.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let p = dst.as_mut_ptr().add(i) as *mut __m256i;
+            let a = _mm256_loadu_si256(p as *const __m256i);
+            let b = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
+            _mm256_storeu_si256(p, _mm256_sub_epi64(a, b));
+            i += 4;
+        }
+        while i < n {
+            dst[i] -= src[i];
+            i += 1;
+        }
+    }
+
+    /// Inclusive prefix sum, 2 lanes at a time: a within-register
+    /// shift-add turns `[a0, a1]` into `[a0, a0+a1]`, the running carry
+    /// is broadcast in, and the new carry is the upper lane.
+    ///
+    /// # Safety
+    /// Unaligned loads/stores stay inside `row` by the loop bounds.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn prefix_scan_sse2(row: &mut [i64]) {
+        let n = row.len();
+        let mut carry = _mm_setzero_si128();
+        let mut i = 0;
+        while i + 2 <= n {
+            let p = row.as_mut_ptr().add(i) as *mut __m128i;
+            let mut v = _mm_loadu_si128(p as *const __m128i);
+            v = _mm_add_epi64(v, _mm_slli_si128(v, 8));
+            v = _mm_add_epi64(v, carry);
+            _mm_storeu_si128(p, v);
+            carry = _mm_shuffle_epi32(v, 0b1110_1110); // broadcast upper i64
+            i += 2;
+        }
+        let mut acc = if i > 0 { row[i - 1] } else { 0 };
+        while i < n {
+            acc += row[i];
+            row[i] = acc;
+            i += 1;
+        }
+    }
+
+    /// Inclusive prefix sum, 4 lanes at a time: within-128-bit-lane
+    /// shift-adds, a cross-lane broadcast of the low half's total, then
+    /// the running carry.
+    ///
+    /// # Safety
+    /// As [`prefix_scan_sse2`], plus the CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn prefix_scan_avx2(row: &mut [i64]) {
+        let n = row.len();
+        let mut carry = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 4 <= n {
+            let p = row.as_mut_ptr().add(i) as *mut __m256i;
+            let mut v = _mm256_loadu_si256(p as *const __m256i);
+            // [a0, a0+a1 | a2, a2+a3] (slli shifts within 128-bit lanes)
+            v = _mm256_add_epi64(v, _mm256_slli_si256(v, 8));
+            // Add the low half's total (element 1) into the high half.
+            let low_total = _mm256_permute4x64_epi64(v, 0b01_01_01_01);
+            let high_only = _mm256_blend_epi32(_mm256_setzero_si256(), low_total, 0b1111_0000);
+            v = _mm256_add_epi64(v, high_only);
+            v = _mm256_add_epi64(v, carry);
+            _mm256_storeu_si256(p, v);
+            carry = _mm256_permute4x64_epi64(v, 0b11_11_11_11); // broadcast element 3
+            i += 4;
+        }
+        let mut acc = if i > 0 { row[i - 1] } else { 0 };
+        while i < n {
+            acc += row[i];
+            row[i] = acc;
+            i += 1;
+        }
+    }
+
+    /// Adjacent differences in place, processed right-to-left so every
+    /// chunk reads original (not-yet-differenced) predecessors.
+    ///
+    /// # Safety
+    /// Unaligned loads at `i−5` and stores at `i−4` stay inside `row`
+    /// because the vector loop requires `i ≥ 5`.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn inverse_scan_sse2(row: &mut [i64]) {
+        let mut i = row.len();
+        while i >= 3 {
+            let cur = _mm_loadu_si128(row.as_ptr().add(i - 2) as *const __m128i);
+            let prev = _mm_loadu_si128(row.as_ptr().add(i - 3) as *const __m128i);
+            _mm_storeu_si128(
+                row.as_mut_ptr().add(i - 2) as *mut __m128i,
+                _mm_sub_epi64(cur, prev),
+            );
+            i -= 2;
+        }
+        while i > 1 {
+            row[i - 1] -= row[i - 2];
+            i -= 1;
+        }
+    }
+
+    /// # Safety
+    /// As [`inverse_scan_sse2`], plus the CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn inverse_scan_avx2(row: &mut [i64]) {
+        let mut i = row.len();
+        while i >= 5 {
+            let cur = _mm256_loadu_si256(row.as_ptr().add(i - 4) as *const __m256i);
+            let prev = _mm256_loadu_si256(row.as_ptr().add(i - 5) as *const __m256i);
+            _mm256_storeu_si256(
+                row.as_mut_ptr().add(i - 4) as *mut __m256i,
+                _mm256_sub_epi64(cur, prev),
+            );
+            i -= 4;
+        }
+        while i > 1 {
+            row[i - 1] -= row[i - 2];
+            i -= 1;
+        }
+    }
+
+    /// `dst[i] |= src[i]` over `bool` runs, 16 bytes at a time.  `bool`
+    /// is layout-identical to `u8` with values 0/1, and OR preserves
+    /// that invariant.
+    ///
+    /// # Safety
+    /// Caller guarantees `dst.len() == src.len()`.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn or_rows_sse2(dst: &mut [bool], src: &[bool]) {
+        let n = dst.len();
+        let d = dst.as_mut_ptr() as *mut u8;
+        let s = src.as_ptr() as *const u8;
+        let mut i = 0;
+        while i + 16 <= n {
+            let p = d.add(i) as *mut __m128i;
+            let a = _mm_loadu_si128(p as *const __m128i);
+            let b = _mm_loadu_si128(s.add(i) as *const __m128i);
+            _mm_storeu_si128(p, _mm_or_si128(a, b));
+            i += 16;
+        }
+        while i < n {
+            *d.add(i) |= *s.add(i);
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// As [`or_rows_sse2`], plus the CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn or_rows_avx2(dst: &mut [bool], src: &[bool]) {
+        let n = dst.len();
+        let d = dst.as_mut_ptr() as *mut u8;
+        let s = src.as_ptr() as *const u8;
+        let mut i = 0;
+        while i + 32 <= n {
+            let p = d.add(i) as *mut __m256i;
+            let a = _mm256_loadu_si256(p as *const __m256i);
+            let b = _mm256_loadu_si256(s.add(i) as *const __m256i);
+            _mm256_storeu_si256(p, _mm256_or_si256(a, b));
+            i += 32;
+        }
+        while i < n {
+            *d.add(i) |= *s.add(i);
+            i += 1;
+        }
+    }
+
+    /// Frontier add: widen 4 covered bytes to `i64` lanes, turn them
+    /// into all-ones masks, AND with the broadcast delta, accumulate.
+    ///
+    /// # Safety
+    /// Caller guarantees `data.len() == covered.len()`; the 4-byte
+    /// unaligned read stays inside `covered` by the loop bound.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_masked_avx2(data: &mut [i64], covered: &[bool], delta: i64) {
+        let n = data.len();
+        let dv = _mm256_set1_epi64x(delta);
+        let ones = _mm256_set1_epi64x(1);
+        let mut i = 0;
+        while i + 4 <= n {
+            let bytes = (covered.as_ptr().add(i) as *const u32).read_unaligned();
+            let lanes = _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(bytes as i32));
+            let mask = _mm256_cmpeq_epi64(lanes, ones);
+            let p = data.as_mut_ptr().add(i) as *mut __m256i;
+            let v = _mm256_loadu_si256(p as *const __m256i);
+            _mm256_storeu_si256(p, _mm256_add_epi64(v, _mm256_and_si256(dv, mask)));
+            i += 4;
+        }
+        while i < n {
+            data[i] += delta & -(covered[i] as i64);
+            i += 1;
+        }
+    }
+
+    /// Signed corner gather with hardware gathers: 4 corners per step.
+    ///
+    /// # Safety
+    /// Caller guarantees `deltas.len() == negmask.len()` and that every
+    /// `base − deltas[i]` is a valid index into `data`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gather_signed_avx2(
+        data: &[i64],
+        base: usize,
+        deltas: &[i64],
+        negmask: &[i64],
+    ) -> i64 {
+        let n = deltas.len();
+        let basev = _mm256_set1_epi64x(base as i64);
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 4 <= n {
+            let d = _mm256_loadu_si256(deltas.as_ptr().add(i) as *const __m256i);
+            let idx = _mm256_sub_epi64(basev, d);
+            let v = _mm256_i64gather_epi64(data.as_ptr(), idx, 8);
+            let m = _mm256_loadu_si256(negmask.as_ptr().add(i) as *const __m256i);
+            acc = _mm256_add_epi64(acc, _mm256_sub_epi64(_mm256_xor_si256(v, m), m));
+            i += 4;
+        }
+        let mut lanes = [0i64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+        let mut total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+        while i < n {
+            let m = negmask[i];
+            total += (data[base - deltas[i] as usize] ^ m) - m;
+            i += 1;
+        }
+        total
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatchers — one relaxed load + match per call.
+// ---------------------------------------------------------------------
+
+macro_rules! dispatch {
+    ($level:expr, $scalar:expr, $sse2:expr, $avx2:expr) => {{
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        match $level {
+            // SAFETY: the level only reaches Sse2/Avx2 when
+            // `is_x86_feature_detected!` confirmed the feature (SSE2 is
+            // the x86_64 baseline), and every kernel's slice-bound
+            // contract is upheld by the callers below.
+            // (`unused_unsafe` allowed because a few ops share the
+            // scalar loop at the Sse2 level — no gather/widen below AVX2.)
+            #[allow(unsafe_code, unused_unsafe)]
+            Level::Avx2 => unsafe { $avx2 },
+            #[allow(unsafe_code, unused_unsafe)]
+            Level::Sse2 => unsafe { $sse2 },
+            Level::Scalar => $scalar,
+        }
+        #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+        {
+            let _ = $level;
+            $scalar
+        }
+    }};
+}
+
+/// `dst[i] += src[i]`.  Panics if the lengths differ.
+pub(crate) fn add_rows(dst: &mut [i64], src: &[i64]) {
+    assert_eq!(dst.len(), src.len(), "row length mismatch");
+    dispatch!(
+        active_level(),
+        scalar::add_rows(dst, src),
+        x86::add_rows_sse2(dst, src),
+        x86::add_rows_avx2(dst, src)
+    )
+}
+
+/// `dst[i] -= src[i]`.  Panics if the lengths differ.
+pub(crate) fn sub_rows(dst: &mut [i64], src: &[i64]) {
+    assert_eq!(dst.len(), src.len(), "row length mismatch");
+    dispatch!(
+        active_level(),
+        scalar::sub_rows(dst, src),
+        x86::sub_rows_sse2(dst, src),
+        x86::sub_rows_avx2(dst, src)
+    )
+}
+
+/// In-place inclusive prefix sum of one contiguous row.
+pub(crate) fn prefix_scan(row: &mut [i64]) {
+    dispatch!(
+        active_level(),
+        scalar::prefix_scan(row),
+        x86::prefix_scan_sse2(row),
+        x86::prefix_scan_avx2(row)
+    )
+}
+
+/// In-place adjacent differences (the inverse of [`prefix_scan`]).
+pub(crate) fn inverse_scan(row: &mut [i64]) {
+    dispatch!(
+        active_level(),
+        scalar::inverse_scan(row),
+        x86::inverse_scan_sse2(row),
+        x86::inverse_scan_avx2(row)
+    )
+}
+
+/// `dst[i] |= src[i]` over covered-indicator runs.  Panics if the
+/// lengths differ.
+pub(crate) fn or_rows(dst: &mut [bool], src: &[bool]) {
+    assert_eq!(dst.len(), src.len(), "row length mismatch");
+    dispatch!(
+        active_level(),
+        scalar::or_rows(dst, src),
+        x86::or_rows_sse2(dst, src),
+        x86::or_rows_avx2(dst, src)
+    )
+}
+
+/// `data[i] += delta` wherever `covered[i]`.  Panics if the lengths
+/// differ.  (SSE2 lacks a 64-bit widen, so that level shares the
+/// branchless scalar loop.)
+pub(crate) fn add_masked(data: &mut [i64], covered: &[bool], delta: i64) {
+    assert_eq!(data.len(), covered.len(), "row length mismatch");
+    dispatch!(
+        active_level(),
+        scalar::add_masked(data, covered, delta),
+        scalar::add_masked(data, covered, delta),
+        x86::add_masked_avx2(data, covered, delta)
+    )
+}
+
+/// Signed corner gather: `Σ ±data[base − deltas[i]]` with the sign
+/// encoded as a 0/−1 mask in `negmask`.  The caller guarantees every
+/// `base − deltas[i]` indexes into `data` (the corner map is built from
+/// the table's own strides).  SSE2 has no gather, so only AVX2 lifts
+/// off the scalar loop.
+pub(crate) fn gather_signed(data: &[i64], base: usize, deltas: &[i64], negmask: &[i64]) -> i64 {
+    assert_eq!(deltas.len(), negmask.len(), "corner map length mismatch");
+    dispatch!(
+        active_level(),
+        scalar::gather_signed(data, base, deltas, negmask),
+        scalar::gather_signed(data, base, deltas, negmask),
+        x86::gather_signed_avx2(data, base, deltas, negmask)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn levels() -> Vec<Level> {
+        let mut all = vec![Level::Scalar];
+        let top = detected();
+        if top >= Level::Sse2 {
+            all.push(Level::Sse2);
+        }
+        if top >= Level::Avx2 {
+            all.push(Level::Avx2);
+        }
+        all
+    }
+
+    #[test]
+    fn every_level_matches_scalar_on_all_kernels() {
+        let sizes = [0usize, 1, 2, 3, 4, 5, 7, 8, 15, 16, 33, 64, 100];
+        for &n in &sizes {
+            let src: Vec<i64> = (0..n as i64).map(|i| i * i - 7 * i + 3).collect();
+            let base: Vec<i64> = (0..n as i64).map(|i| 11 * i - 5).collect();
+            let cov: Vec<bool> = (0..n).map(|i| i % 3 == 0 || i % 7 == 2).collect();
+            for &level in &levels() {
+                with_forced_level(level, || {
+                    let mut a = base.clone();
+                    add_rows(&mut a, &src);
+                    let expect: Vec<i64> = base.iter().zip(&src).map(|(b, s)| b + s).collect();
+                    assert_eq!(a, expect, "add_rows n={n} {level:?}");
+
+                    let mut s = base.clone();
+                    sub_rows(&mut s, &src);
+                    let expect: Vec<i64> = base.iter().zip(&src).map(|(b, s)| b - s).collect();
+                    assert_eq!(s, expect, "sub_rows n={n} {level:?}");
+
+                    let mut p = base.clone();
+                    prefix_scan(&mut p);
+                    let mut expect = base.clone();
+                    super::scalar::prefix_scan(&mut expect);
+                    assert_eq!(p, expect, "prefix_scan n={n} {level:?}");
+
+                    // Inverse round-trips the scan exactly.
+                    inverse_scan(&mut p);
+                    assert_eq!(p, base, "inverse_scan n={n} {level:?}");
+
+                    let mut o = cov.clone();
+                    let flip: Vec<bool> = cov.iter().map(|&c| !c).collect();
+                    or_rows(&mut o, &flip);
+                    assert!(o.iter().all(|&c| c), "or_rows n={n} {level:?}");
+
+                    let mut m = base.clone();
+                    add_masked(&mut m, &cov, 13);
+                    let expect: Vec<i64> = base
+                        .iter()
+                        .zip(&cov)
+                        .map(|(b, &c)| b + if c { 13 } else { 0 })
+                        .collect();
+                    assert_eq!(m, expect, "add_masked n={n} {level:?}");
+
+                    if n > 0 {
+                        let deltas: Vec<i64> = (0..n as i64).collect();
+                        let negmask: Vec<i64> =
+                            (0..n).map(|i| if i % 2 == 0 { 0 } else { -1 }).collect();
+                        let got = gather_signed(&base, n - 1, &deltas, &negmask);
+                        let expect = super::scalar::gather_signed(&base, n - 1, &deltas, &negmask);
+                        assert_eq!(got, expect, "gather_signed n={n} {level:?}");
+                    }
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn forcing_clamps_to_detected_capability() {
+        // Forcing *up* beyond the hardware (or a non-simd build) must
+        // clamp: active_level() never exceeds the detected level.
+        with_forced_level(Level::Avx2, || {
+            assert!(active_level() <= detected());
+        });
+        with_forced_level(Level::Scalar, || {
+            assert_eq!(active_level(), Level::Scalar);
+        });
+    }
+
+    #[test]
+    fn level_names_round_trip() {
+        for level in [Level::Scalar, Level::Sse2, Level::Avx2] {
+            assert_eq!(Level::parse(level.as_str()), Some(level));
+        }
+        assert_eq!(Level::parse("off"), Some(Level::Scalar));
+        assert_eq!(Level::parse("avx512"), None);
+    }
+}

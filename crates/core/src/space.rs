@@ -11,8 +11,35 @@
 //! box enumeration.  The raw (un-finalized) query path is kept as the
 //! naive reference — property tests and the `search_scaling` bench
 //! compare the two.
+//!
+//! # Flat layout
+//!
+//! Storage is one contiguous row-major buffer.  [`UnrollSpace`]
+//! precomputes the per-dimension extents and strides once at
+//! construction, so every structural walk decomposes into *runs*:
+//! along axis `d` the array tiles into blocks of `extent_d · stride_d`
+//! elements, and a scan along that axis is either a stride-1 prefix
+//! scan per row (`stride_d == 1`, the innermost dimension) or
+//! `extent_d − 1` vertical `row += previous_row` adds over contiguous
+//! `stride_d`-element runs.  Both shapes are the lane kernels of
+//! [`crate::simd`], which dispatches to SSE2/AVX2 at runtime under the
+//! `simd` feature and stays on the canonical scalar loop otherwise.
+//!
+//! The 2^dims corner inclusion–exclusion of [`Table::get`] is likewise
+//! precomputed at [`Table::finalize`] into a flat *(index delta, sign
+//! mask, zero-skip mask)* corner map — one multiply-free signed gather
+//! per query, with no per-corner coordinate vectors.  All query paths
+//! are allocation-free.
 
 use std::fmt;
+
+use crate::simd;
+
+/// Dimension count the query scratch arrays are sized for; real unroll
+/// spaces are far below this (the paper uses ≤ 2, register tiling ≤ 6).
+/// Larger spaces still work — the naive reference path falls back to a
+/// heap buffer.
+const MAX_INLINE_DIMS: usize = 8;
 
 /// The bounded space of unroll vectors for a chosen set of loops.
 ///
@@ -20,6 +47,10 @@ use std::fmt;
 /// including the innermost loop; each dimension carries its own maximum
 /// unroll amount (typically that loop's dependence-safety bound), so
 /// offsets range over the box `Π [0, bound_d]`.
+///
+/// The row-major extents (`bound_d + 1`), strides, and total size are
+/// computed once here and shared by every table over the space — the
+/// flat layout that lets scans and queries run over contiguous runs.
 ///
 /// # Example
 ///
@@ -38,6 +69,12 @@ pub struct UnrollSpace {
     depth: usize,
     loops: Vec<usize>,
     bounds: Vec<u32>,
+    /// `bounds[d] + 1`, cached for the flat walks.
+    extents: Vec<usize>,
+    /// Row-major strides (suffix products of `extents`).
+    strides: Vec<usize>,
+    /// `Π extents` — the flat buffer length of any table over this space.
+    size: usize,
 }
 
 impl UnrollSpace {
@@ -68,10 +105,20 @@ impl UnrollSpace {
             pairs.iter().all(|&(l, _)| l + 1 < depth),
             "unroll loops must be outer loops of the nest"
         );
+        let bounds: Vec<u32> = pairs.iter().map(|&(_, b)| b).collect();
+        let extents: Vec<usize> = bounds.iter().map(|&b| b as usize + 1).collect();
+        let mut strides = vec![1usize; extents.len()];
+        for d in (0..extents.len().saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * extents[d + 1];
+        }
+        let size = extents.iter().product();
         UnrollSpace {
             depth,
             loops: pairs.iter().map(|&(l, _)| l).collect(),
-            bounds: pairs.iter().map(|&(_, b)| b).collect(),
+            bounds,
+            extents,
+            strides,
+            size,
         }
     }
 
@@ -102,12 +149,24 @@ impl UnrollSpace {
 
     /// Number of offset vectors in the box.
     pub fn len(&self) -> usize {
-        self.bounds.iter().map(|&b| b as usize + 1).product()
+        self.size
     }
 
     /// `true` for the degenerate zero-dimensional space.
     pub fn is_empty(&self) -> bool {
         self.dims() == 0
+    }
+
+    /// Per-dimension extents (`bound + 1`), parallel to
+    /// [`UnrollSpace::loops`].
+    pub(crate) fn extents(&self) -> &[usize] {
+        &self.extents
+    }
+
+    /// Row-major strides, parallel to [`UnrollSpace::loops`]: stepping
+    /// dimension `d` by one moves the flat index by `strides()[d]`.
+    pub(crate) fn strides(&self) -> &[usize] {
+        &self.strides
     }
 
     /// Iterates all offsets in lexicographic order.
@@ -157,11 +216,42 @@ impl UnrollSpace {
     pub fn index(&self, offset: &[u32]) -> usize {
         assert_eq!(offset.len(), self.dims(), "offset arity mismatch");
         let mut idx = 0usize;
-        for (&o, &b) in offset.iter().zip(&self.bounds) {
+        for ((&o, &b), &s) in offset.iter().zip(&self.bounds).zip(&self.strides) {
             assert!(o <= b, "offset outside the unroll space");
-            idx = idx * (b as usize + 1) + o as usize;
+            idx += o as usize * s;
         }
         idx
+    }
+
+    /// Flat index plus the bitmask of dimensions where the offset is
+    /// zero — the two inputs the corner-map query needs, computed in one
+    /// pass with no allocation.
+    fn index_and_zero_mask(&self, offset: &[u32]) -> (usize, u32) {
+        assert_eq!(offset.len(), self.dims(), "offset arity mismatch");
+        let mut idx = 0usize;
+        let mut zero = 0u32;
+        for (d, ((&o, &b), &s)) in offset
+            .iter()
+            .zip(&self.bounds)
+            .zip(&self.strides)
+            .enumerate()
+        {
+            assert!(o <= b, "offset outside the unroll space");
+            idx += o as usize * s;
+            zero |= ((o == 0) as u32) << d;
+        }
+        (idx, zero)
+    }
+
+    /// Whether the offset encoded by flat index `idx` is dominated by
+    /// `offset` (component-wise ≤) — the pending-write membership test,
+    /// decoded arithmetically with no coordinate buffer.
+    fn flat_dominated_by(&self, idx: usize, offset: &[u32]) -> bool {
+        self.strides
+            .iter()
+            .zip(&self.extents)
+            .zip(offset)
+            .all(|((&s, &e), &o)| ((idx / s) % e) as u32 <= o)
     }
 
     /// Number of body copies `Π (u_i + 1)` produced by unrolling by `u`.
@@ -172,23 +262,31 @@ impl UnrollSpace {
 
     /// Embeds a space-offset into a full per-nest-loop unroll vector.
     pub fn full_vector(&self, u: &[u32]) -> Vec<u32> {
-        assert_eq!(u.len(), self.dims(), "offset arity mismatch");
         let mut out = vec![0u32; self.depth];
-        for (&l, &v) in self.loops.iter().zip(u) {
-            out[l] = v;
-        }
+        self.write_full_vector(u, &mut out);
         out
     }
 
-    /// Decodes a flat row-major index back into offset coordinates.
-    fn coords(&self, mut idx: usize) -> Vec<u32> {
-        let mut out = vec![0u32; self.dims()];
-        for d in (0..self.dims()).rev() {
-            let extent = self.bounds[d] as usize + 1;
-            out[d] = (idx % extent) as u32;
-            idx /= extent;
+    /// [`UnrollSpace::full_vector`] into a caller-provided buffer of
+    /// length [`UnrollSpace::depth`] — the allocation-free variant for
+    /// per-candidate hot loops.
+    pub(crate) fn write_full_vector(&self, u: &[u32], out: &mut [u32]) {
+        assert_eq!(u.len(), self.dims(), "offset arity mismatch");
+        assert_eq!(out.len(), self.depth, "full vector arity mismatch");
+        out.iter_mut().for_each(|v| *v = 0);
+        for (&l, &v) in self.loops.iter().zip(u) {
+            out[l] = v;
         }
-        out
+    }
+
+    /// Decodes a flat row-major index back into offset coordinates.
+    #[cfg(test)]
+    fn coords(&self, idx: usize) -> Vec<u32> {
+        self.strides
+            .iter()
+            .zip(&self.extents)
+            .map(|(&s, &e)| ((idx / s) % e) as u32)
+            .collect()
     }
 }
 
@@ -239,6 +337,61 @@ impl std::iter::FusedIterator for OffsetIter {}
 /// indicator sweep (2^k − 1 corner writes vs. one O(N·dims) pass).
 const UPSET_IE_MAX_POINTS: usize = 12;
 
+/// The precomputed corner inclusion–exclusion map of a finalized table —
+/// the `GP_MAP` idiom: every `Sum`-domain corner the density query
+/// touches, flattened once per table shape into parallel arrays ordered
+/// for linear access.
+///
+/// Corner `i` contributes `sign_i · Sum(o − 1_{S_i})` where `S_i` is the
+/// i-th subset of the dimensions:
+/// * `deltas[i]` — the flat-index delta `Σ_{d ∈ S_i} stride_d` (stored as
+///   `i64` so the SIMD gather can subtract it lane-wise),
+/// * `negmask[i]` — the sign as a 0/−1 mask (`(v ^ m) − m` applies it
+///   branch-free),
+/// * `need[i]` — the bitmask of dimensions that must be nonzero in the
+///   queried offset for this corner to exist (`S_i` itself).
+///
+/// For interior offsets (`need`-test trivially true for every corner) the
+/// query is one signed gather over the whole map; boundary offsets skip
+/// the masked-out corners scalar-wise.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct CornerMap {
+    deltas: Vec<i64>,
+    negmask: Vec<i64>,
+    need: Vec<u32>,
+}
+
+impl CornerMap {
+    fn build(space: &UnrollSpace) -> CornerMap {
+        let dims = space.dims();
+        debug_assert!(dims < 32, "corner masks are u32");
+        let strides = space.strides();
+        let n = 1usize << dims;
+        let mut map = CornerMap {
+            deltas: Vec::with_capacity(n),
+            negmask: Vec::with_capacity(n),
+            need: Vec::with_capacity(n),
+        };
+        for mask in 0..n as u32 {
+            let delta: usize = (0..dims)
+                .filter(|&d| mask & (1 << d) != 0)
+                .map(|d| strides[d])
+                .sum();
+            map.deltas.push(delta as i64);
+            map.negmask
+                .push(if mask.count_ones() % 2 == 0 { 0 } else { -1 });
+            map.need.push(mask);
+        }
+        map
+    }
+
+    fn clear(&mut self) {
+        self.deltas.clear();
+        self.negmask.clear();
+        self.need.clear();
+    }
+}
+
 /// An integer table indexed by unroll offset, with the prefix-sum query the
 /// paper's `Sum` function performs (Figure 2).
 ///
@@ -249,6 +402,12 @@ const UPSET_IE_MAX_POINTS: usize = 12;
 /// dimension, after which `data[o]` holds `Sum(o)` directly and
 /// [`Table::prefix_sum`] is a single lookup.  Mutation is only legal
 /// before finalization; queries work in both states.
+///
+/// Storage is one flat row-major buffer over the space's precomputed
+/// strides; finalization additionally builds the [`CornerMap`] that
+/// makes the density query a signed gather.  Every query path —
+/// finalized or raw — is allocation-free (up to [`MAX_INLINE_DIMS`]
+/// dimensions on the raw reference path).
 #[derive(Clone, PartialEq, Eq)]
 pub struct Table {
     space: UnrollSpace,
@@ -258,6 +417,9 @@ pub struct Table {
     /// point".  Always empty once finalized.
     pending: Vec<(usize, i64)>,
     finalized: bool,
+    /// Corner inclusion–exclusion map; built by [`Table::finalize`],
+    /// empty (and unused) in the density domain.
+    corners: CornerMap,
 }
 
 impl Table {
@@ -269,6 +431,7 @@ impl Table {
             data: vec![fill; n],
             pending: Vec::new(),
             finalized: false,
+            corners: CornerMap::default(),
         }
     }
 
@@ -282,11 +445,13 @@ impl Table {
     pub fn from_sums(space: UnrollSpace, mut sum_at: impl FnMut(&[u32]) -> i64) -> Table {
         let mut data = Vec::with_capacity(space.len());
         space.for_each_offset(|u| data.push(sum_at(u)));
+        let corners = CornerMap::build(&space);
         Table {
             space,
             data,
             pending: Vec::new(),
             finalized: true,
+            corners,
         }
     }
 
@@ -304,32 +469,36 @@ impl Table {
     /// exactly that offset.
     ///
     /// On a finalized table the density is recovered from the stored
-    /// sums by inclusion–exclusion over the ≤ 2^dims adjacent corners.
+    /// sums by inclusion–exclusion over the ≤ 2^dims adjacent corners,
+    /// driven by the precomputed corner map: interior offsets are one
+    /// signed gather, boundary offsets skip the corners their zero
+    /// coordinates rule out.
     pub fn get(&self, offset: &[u32]) -> i64 {
         if self.finalized {
             // density(o) = Σ_{S ⊆ dims, o_d > 0 ∀ d∈S} (−1)^|S| Sum(o − 1_S)
-            let dims = self.space.dims();
+            let (base, zero_mask) = self.space.index_and_zero_mask(offset);
+            if zero_mask == 0 {
+                return simd::gather_signed(
+                    &self.data,
+                    base,
+                    &self.corners.deltas,
+                    &self.corners.negmask,
+                );
+            }
             let mut total = 0i64;
-            let mut corner = offset.to_vec();
-            'subsets: for mask in 0u32..(1 << dims) {
-                corner.copy_from_slice(offset);
-                for (d, c) in corner.iter_mut().enumerate() {
-                    if mask & (1 << d) != 0 {
-                        if *c == 0 {
-                            continue 'subsets;
-                        }
-                        *c -= 1;
-                    }
+            for (i, &need) in self.corners.need.iter().enumerate() {
+                if need & zero_mask != 0 {
+                    continue;
                 }
-                let sign = if mask.count_ones() % 2 == 0 { 1 } else { -1 };
-                total += sign * self.data[self.space.index(&corner)];
+                let m = self.corners.negmask[i];
+                let v = self.data[base - self.corners.deltas[i] as usize];
+                total += (v ^ m) - m;
             }
             return total;
         }
         let mut v = self.data[self.space.index(offset)];
         for &(idx, delta) in &self.pending {
-            let p = self.space.coords(idx);
-            if p.iter().zip(offset).all(|(&pi, &oi)| oi >= pi) {
+            if self.space.flat_dominated_by(idx, offset) {
                 v += delta;
             }
         }
@@ -361,7 +530,8 @@ impl Table {
     /// the prefix scans of [`Table::finalize`].  Cost is O(|points|² ·
     /// dims) plus O(2^k) corner writes for an antichain of size k — the
     /// full-space sweep only remains as a fallback for pathologically
-    /// large antichains in ≥ 3 dimensions.
+    /// large antichains in ≥ 3 dimensions, and runs as per-axis OR
+    /// closure sweeps plus one masked frontier add over linear runs.
     ///
     /// # Panics
     ///
@@ -435,30 +605,16 @@ impl Table {
             return;
         }
         // Fallback: dense indicator sweep directly into the density data.
-        // covered(i) = i is a point, or any predecessor along an axis is
-        // covered — ascending flat order visits predecessors first.
+        // The up-set union is the upward closure of the seed points, and
+        // upward closure factors into one OR-scan per axis — the same
+        // block structure as the prefix scans, so the vertical sweeps and
+        // the final frontier add run over contiguous runs.
         let mut covered = vec![false; self.space.len()];
         for p in &minimal {
             covered[self.space.index(p)] = true;
         }
-        let extents: Vec<usize> = self.space.bounds.iter().map(|&b| b as usize + 1).collect();
-        let strides = strides_of(&extents);
-        for i in 0..covered.len() {
-            if covered[i] {
-                continue;
-            }
-            for d in 0..dims {
-                if !(i / strides[d]).is_multiple_of(extents[d]) && covered[i - strides[d]] {
-                    covered[i] = true;
-                    break;
-                }
-            }
-        }
-        for (i, c) in covered.into_iter().enumerate() {
-            if c {
-                self.data[i] += delta;
-            }
-        }
+        or_scan_axes(&mut covered, self.space.extents(), self.space.strides());
+        simd::add_masked(&mut self.data, &covered, delta);
     }
 
     /// Integrates any pending difference-domain writes into the density
@@ -467,22 +623,26 @@ impl Table {
         if self.pending.is_empty() {
             return;
         }
-        let extents: Vec<usize> = self.space.bounds.iter().map(|&b| b as usize + 1).collect();
         let mut scratch = vec![0i64; self.space.len()];
         for &(idx, delta) in &self.pending {
             scratch[idx] += delta;
         }
         self.pending.clear();
-        scan_axes(&mut scratch, &extents, false);
-        for (d, s) in self.data.iter_mut().zip(&scratch) {
-            *d += s;
-        }
+        scan_axes(
+            &mut scratch,
+            self.space.extents(),
+            self.space.strides(),
+            false,
+        );
+        simd::add_rows(&mut self.data, &scratch);
     }
 
     /// Turns the density table into a summed-area table: pending up-set
     /// writes are integrated and one inclusive prefix scan runs per
     /// dimension, so every entry now holds the paper's `Sum` at that
-    /// offset and [`Table::prefix_sum`] is a single lookup.
+    /// offset and [`Table::prefix_sum`] is a single lookup.  The corner
+    /// map for [`Table::get`]'s inclusion–exclusion is built here, once
+    /// per table shape.
     ///
     /// Idempotent; costs O(N · dims) once.
     pub fn finalize(&mut self) {
@@ -490,8 +650,13 @@ impl Table {
             return;
         }
         self.flush();
-        let extents: Vec<usize> = self.space.bounds.iter().map(|&b| b as usize + 1).collect();
-        scan_axes(&mut self.data, &extents, false);
+        scan_axes(
+            &mut self.data,
+            self.space.extents(),
+            self.space.strides(),
+            false,
+        );
+        self.corners = CornerMap::build(&self.space);
         self.finalized = true;
     }
 
@@ -507,9 +672,9 @@ impl Table {
     pub fn definalized(&self) -> Table {
         assert!(self.finalized, "definalized() inverts a finalized table");
         let mut t = self.clone();
-        let extents: Vec<usize> = t.space.bounds.iter().map(|&b| b as usize + 1).collect();
-        scan_axes(&mut t.data, &extents, true);
+        scan_axes(&mut t.data, t.space.extents(), t.space.strides(), true);
         t.finalized = false;
+        t.corners.clear();
         t
     }
 
@@ -523,13 +688,23 @@ impl Table {
     /// Panics if the table is not finalized.
     pub fn is_monotone(&self) -> bool {
         assert!(self.finalized, "monotonicity is a property of the sums");
-        let extents: Vec<usize> = self.space.bounds.iter().map(|&b| b as usize + 1).collect();
-        let strides = strides_of(&extents);
+        let extents = self.space.extents();
+        let strides = self.space.strides();
         for (d, &stride) in strides.iter().enumerate() {
-            for i in 0..self.data.len() {
-                if !(i / stride).is_multiple_of(extents[d]) && self.data[i] < self.data[i - stride]
-                {
-                    return false;
+            let extent = extents[d];
+            if extent <= 1 {
+                continue;
+            }
+            let block = extent * stride;
+            for base in (0..self.data.len()).step_by(block) {
+                for e in 1..extent {
+                    let prev = base + (e - 1) * stride;
+                    let cur = base + e * stride;
+                    for i in 0..stride {
+                        if self.data[cur + i] < self.data[prev + i] {
+                            return false;
+                        }
+                    }
                 }
             }
         }
@@ -545,9 +720,7 @@ impl Table {
             "accumulate operates in the Sum domain"
         );
         assert_eq!(self.space, other.space, "accumulate needs matching spaces");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        simd::add_rows(&mut self.data, &other.data);
     }
 
     /// The paper's `Sum`: total over the box `[0, u]` — the value of the
@@ -561,11 +734,38 @@ impl Table {
         if self.finalized {
             return self.data[self.space.index(u)];
         }
-        // Naive path: enumerate the box over the densities...
+        let dims = u.len();
+        let mut inline = [0u32; MAX_INLINE_DIMS];
+        if dims <= MAX_INLINE_DIMS {
+            self.raw_prefix_sum(u, &mut inline[..dims])
+        } else {
+            self.raw_prefix_sum(u, &mut vec![0u32; dims])
+        }
+    }
+
+    /// [`Table::prefix_sum`] for a candidate whose flat index the caller
+    /// already tracks (the pruned search walk maintains it incrementally
+    /// during descent) — one bounds-checked load, no re-indexing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is not finalized — flat indices address the
+    /// `Sum` domain.
+    pub fn prefix_sum_flat(&self, idx: usize) -> i64 {
+        assert!(self.finalized, "flat queries address the Sum domain");
+        self.data[idx]
+    }
+
+    /// The naive-reference `Sum`: box enumeration over the densities plus
+    /// each pending up-set write in closed form.  `o` is caller-provided
+    /// zeroed scratch of `dims` length, so the walk allocates nothing.
+    fn raw_prefix_sum(&self, u: &[u32], o: &mut [u32]) -> i64 {
+        let strides = self.space.strides();
+        let extents = self.space.extents();
         let mut total = 0;
-        let mut o = vec![0u32; u.len()];
+        let mut flat = 0usize;
         'walk: loop {
-            total += self.data[self.space.index(&o)];
+            total += self.data[flat];
             let mut d = o.len();
             loop {
                 if d == 0 {
@@ -574,21 +774,27 @@ impl Table {
                 d -= 1;
                 if o[d] < u[d] {
                     o[d] += 1;
+                    flat += strides[d];
                     break;
                 }
+                flat -= o[d] as usize * strides[d];
                 o[d] = 0;
             }
         }
-        // ...plus each pending up-set write in closed form: an up-set
-        // corner at p contributes delta · Π max(0, u_d − p_d + 1).
+        // Each pending up-set corner at p contributes
+        // delta · Π max(0, u_d − p_d + 1); p is decoded arithmetically.
         for &(idx, delta) in &self.pending {
-            let p = self.space.coords(idx);
-            if p.iter().zip(u).all(|(&pi, &ui)| ui >= pi) {
-                let cells: i64 = p
-                    .iter()
-                    .zip(u)
-                    .map(|(&pi, &ui)| (ui - pi) as i64 + 1)
-                    .product();
+            let mut cells = 1i64;
+            let mut inside = true;
+            for ((&s, &e), &ud) in strides.iter().zip(extents).zip(u) {
+                let pd = ((idx / s) % e) as u32;
+                if ud < pd {
+                    inside = false;
+                    break;
+                }
+                cells *= (ud - pd) as i64 + 1;
+            }
+            if inside {
                 total += delta * cells;
             }
         }
@@ -596,32 +802,72 @@ impl Table {
     }
 }
 
-/// Row-major strides for the given per-dimension extents.
-fn strides_of(extents: &[usize]) -> Vec<usize> {
-    let mut strides = vec![1usize; extents.len()];
-    for d in (0..extents.len().saturating_sub(1)).rev() {
-        strides[d] = strides[d + 1] * extents[d + 1];
-    }
-    strides
-}
-
 /// Runs one inclusive prefix scan (or its inverse) along every axis of a
 /// row-major dense array.
-fn scan_axes(data: &mut [i64], extents: &[usize], inverse: bool) {
-    let strides = strides_of(extents);
+///
+/// Along axis `d` the array tiles into blocks of `extent_d · stride_d`
+/// elements.  The innermost axis (`stride == 1`) is a contiguous prefix
+/// scan per `extent`-element row; every other axis is `extent − 1`
+/// vertical `row ±= previous_row` sweeps over contiguous
+/// `stride`-element runs — both dispatch through [`crate::simd`].
+fn scan_axes(data: &mut [i64], extents: &[usize], strides: &[usize], inverse: bool) {
     for (d, &stride) in strides.iter().enumerate() {
         let extent = extents[d];
-        if inverse {
-            for i in (0..data.len()).rev() {
-                if !(i / stride).is_multiple_of(extent) {
-                    data[i] -= data[i - stride];
+        if extent <= 1 {
+            continue;
+        }
+        if stride == 1 {
+            for row in data.chunks_exact_mut(extent) {
+                if inverse {
+                    simd::inverse_scan(row);
+                } else {
+                    simd::prefix_scan(row);
                 }
             }
-        } else {
-            for i in 0..data.len() {
-                if !(i / stride).is_multiple_of(extent) {
-                    data[i] += data[i - stride];
+            continue;
+        }
+        let block = extent * stride;
+        for base in (0..data.len()).step_by(block) {
+            if inverse {
+                for e in (1..extent).rev() {
+                    let (lo, hi) = data.split_at_mut(base + e * stride);
+                    simd::sub_rows(&mut hi[..stride], &lo[base + (e - 1) * stride..]);
                 }
+            } else {
+                for e in 1..extent {
+                    let (lo, hi) = data.split_at_mut(base + e * stride);
+                    simd::add_rows(&mut hi[..stride], &lo[base + (e - 1) * stride..]);
+                }
+            }
+        }
+    }
+}
+
+/// Upward-closes an indicator array: after the sweep, `covered[i]` holds
+/// iff some seed point dominates `i` component-wise.  Upward closure
+/// factors into one running-OR scan per axis, with the same block/run
+/// structure as [`scan_axes`].
+fn or_scan_axes(covered: &mut [bool], extents: &[usize], strides: &[usize]) {
+    for (d, &stride) in strides.iter().enumerate() {
+        let extent = extents[d];
+        if extent <= 1 {
+            continue;
+        }
+        if stride == 1 {
+            for row in covered.chunks_exact_mut(extent) {
+                let mut any = false;
+                for v in row {
+                    any |= *v;
+                    *v = any;
+                }
+            }
+            continue;
+        }
+        let block = extent * stride;
+        for base in (0..covered.len()).step_by(block) {
+            for e in 1..extent {
+                let (lo, hi) = covered.split_at_mut(base + e * stride);
+                simd::or_rows(&mut hi[..stride], &lo[base + (e - 1) * stride..]);
             }
         }
     }
@@ -708,10 +954,27 @@ mod tests {
     }
 
     #[test]
+    fn strides_match_row_major_steps() {
+        let s = UnrollSpace::with_bounds(4, &[0, 1, 2], &[1, 2, 3]);
+        assert_eq!(s.extents(), &[2, 3, 4]);
+        assert_eq!(s.strides(), &[12, 4, 1]);
+        assert_eq!(s.len(), 24);
+        // Stepping dimension d by one moves the flat index by strides[d].
+        for (d, &stride) in s.strides().iter().enumerate() {
+            let mut u = vec![0u32; 3];
+            u[d] = 1;
+            assert_eq!(s.index(&u), stride);
+        }
+    }
+
+    #[test]
     fn copies_and_full_vector() {
         let s = UnrollSpace::new(4, &[0, 2], 3);
         assert_eq!(s.copies(&[1, 2]), 6);
         assert_eq!(s.full_vector(&[1, 2]), vec![1, 0, 2, 0]);
+        let mut buf = vec![9u32; 4];
+        s.write_full_vector(&[1, 2], &mut buf);
+        assert_eq!(buf, vec![1, 0, 2, 0]);
     }
 
     #[test]
@@ -724,6 +987,7 @@ mod tests {
         f.finalize();
         assert_eq!(f.prefix_sum(&[0]), 3);
         assert_eq!(f.prefix_sum(&[4]), 15);
+        assert_eq!(f.prefix_sum_flat(4), 15);
     }
 
     #[test]

@@ -195,12 +195,19 @@ fn stream_signature(c: &[i64], col: &[i64]) -> (Vec<i64>, i64) {
 }
 
 /// Instantiates every member copy of a UGS for unroll vector `u`.
+///
+/// Walks the box `0 ≤ o ≤ u` in lexicographic order with one reused
+/// odometer and full-vector scratch buffer — the output `Vec<Copy>` is
+/// the only allocation that scales with the box.
 fn materialize_copies(set: &UgsSet, space: &UnrollSpace, u: &[u32], depth: usize) -> Vec<Copy> {
     let h = set.h();
-    let mut out = Vec::new();
-    for (rank, offset) in box_offsets(u).into_iter().enumerate() {
+    let copies: usize = u.iter().map(|&x| x as usize + 1).product();
+    let mut out = Vec::with_capacity(copies * set.members().len());
+    let mut offset = vec![0u32; u.len()];
+    let mut full = vec![0i64; depth];
+    let mut rank = 0usize;
+    loop {
         // Embed the offset into a full iteration-space vector.
-        let mut full = vec![0i64; depth];
         for (&l, &o) in space.loops().iter().zip(&offset) {
             full[l] = o as i64;
         }
@@ -213,25 +220,20 @@ fn materialize_copies(set: &UgsSet, space: &UnrollSpace, u: &[u32], depth: usize
                 is_def: m.is_def,
             });
         }
-    }
-    out
-}
-
-/// All offsets `0 ≤ o ≤ u` in lexicographic order.
-fn box_offsets(u: &[u32]) -> Vec<Vec<u32>> {
-    let mut all = vec![Vec::new()];
-    for &hi in u {
-        let mut next = Vec::with_capacity(all.len() * (hi as usize + 1));
-        for prefix in &all {
-            for k in 0..=hi {
-                let mut o = prefix.clone();
-                o.push(k);
-                next.push(o);
+        rank += 1;
+        let mut d = offset.len();
+        loop {
+            if d == 0 {
+                return out;
             }
+            d -= 1;
+            if offset[d] < u[d] {
+                offset[d] += 1;
+                break;
+            }
+            offset[d] = 0;
         }
-        all = next;
     }
-    all
 }
 
 /// If `c1 - c2 == d * col` for an integer `d`, returns `d`.

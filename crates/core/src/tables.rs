@@ -305,6 +305,19 @@ impl RrsTables {
     pub fn memory_ops(&self, u: &[u32]) -> i64 {
         self.loads(u) + self.stores(u)
     }
+
+    /// [`RrsTables::loads`] by precomputed flat index (finalized tables
+    /// only — see [`Table::prefix_sum_flat`]).
+    pub fn loads_flat(&self, idx: usize) -> i64 {
+        self.use_led.prefix_sum_flat(idx)
+    }
+
+    /// [`RrsTables::memory_ops`] by precomputed flat index plus the
+    /// candidate's copy count `Π (u_d + 1)` (stores scale with copies,
+    /// not with the tables).
+    pub fn memory_ops_flat(&self, idx: usize, copies: usize) -> i64 {
+        self.loads_flat(idx) + self.stores_per_copy * copies as i64
+    }
 }
 
 /// Figures 4–5: builds the register-reuse-stream tables for a whole nest.
@@ -664,6 +677,12 @@ impl CostTables {
         self.flops_per_copy * self.space.copies(u)
     }
 
+    /// [`CostTables::flops`] by precomputed copy count, for callers that
+    /// already hold `space.copies(u)`.
+    pub fn flops_of_copies(&self, copies: usize) -> usize {
+        self.flops_per_copy * copies
+    }
+
     /// Memory operations per unrolled iteration (`M` of §3.2).
     pub fn memory_ops(&self, u: &[u32]) -> i64 {
         self.rrs.memory_ops(u)
@@ -691,6 +710,40 @@ impl CostTables {
     /// Floating-point registers required by scalar replacement (`R(u)`).
     pub fn registers(&self, u: &[u32]) -> i64 {
         self.registers.iter().map(|t| t.prefix_sum(u)).sum()
+    }
+
+    /// Whether the flat-index query variants are available: every
+    /// underlying table finalized (always true for tables built by
+    /// [`CostTables::build`]; false after [`CostTables::definalized`]).
+    pub fn flat_queryable(&self) -> bool {
+        self.rrs.use_led.is_finalized()
+            && self.gss.iter().all(|(_, t)| t.is_finalized())
+            && self.registers.iter().all(Table::is_finalized)
+    }
+
+    /// [`CostTables::memory_ops`] by precomputed flat index and copy
+    /// count — the pruned search walk tracks both incrementally during
+    /// descent, skipping the per-query re-indexing entirely.
+    pub fn memory_ops_flat(&self, idx: usize, copies: usize) -> i64 {
+        self.rrs.memory_ops_flat(idx, copies)
+    }
+
+    /// [`CostTables::loads`] by precomputed flat index.
+    pub fn loads_flat(&self, idx: usize) -> i64 {
+        self.rrs.loads_flat(idx)
+    }
+
+    /// [`CostTables::cache_lines`] by precomputed flat index.
+    pub fn cache_lines_flat(&self, idx: usize) -> f64 {
+        self.gss
+            .iter()
+            .map(|(f, t)| f * t.prefix_sum_flat(idx) as f64)
+            .sum()
+    }
+
+    /// [`CostTables::registers`] by precomputed flat index.
+    pub fn registers_flat(&self, idx: usize) -> i64 {
+        self.registers.iter().map(|t| t.prefix_sum_flat(idx)).sum()
     }
 
     /// `true` when [`CostTables::registers`] is monotone in `u` (every
@@ -726,6 +779,46 @@ impl CostTables {
     }
 }
 
+/// The one shared accumulation loop behind every table property test:
+/// walks each offset of `space` once (tracking the running flat index,
+/// so finalized queries can be cross-checked against their flat-index
+/// variants) and asserts `got(u, flat) == want(u)`.
+///
+/// Both `tests` and `reg_table_tests` previously carried near-identical
+/// copies of this walk; keeping it in one place means layout changes
+/// land exactly once.
+#[cfg(test)]
+fn assert_counts_match(
+    space: &UnrollSpace,
+    label: &str,
+    mut got: impl FnMut(&[u32], usize) -> i64,
+    mut want: impl FnMut(&[u32]) -> i64,
+) {
+    let mut flat = 0usize;
+    space.for_each_offset(|u| {
+        assert_eq!(got(u, flat), want(u), "{label} mismatch at {u:?}");
+        flat += 1;
+    });
+}
+
+/// [`assert_counts_match`] for a [`Table`]'s `Sum` query, additionally
+/// pinning `prefix_sum_flat` ≡ `prefix_sum` on finalized tables.
+#[cfg(test)]
+fn assert_table_matches(table: &Table, label: &str, want: impl FnMut(&[u32]) -> i64) {
+    assert_counts_match(
+        table.space(),
+        label,
+        |u, flat| {
+            let sum = table.prefix_sum(u);
+            if table.is_finalized() {
+                assert_eq!(table.prefix_sum_flat(flat), sum, "{label} flat at {u:?}");
+            }
+            sum
+        },
+        want,
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -738,35 +831,29 @@ mod tests {
         for set in &sets {
             let gts = gts_table(set, &space);
             let gss = gss_table(set, &space, line);
-            space.for_each_offset(|u| {
-                assert_eq!(
-                    gts.prefix_sum(u),
-                    gts_count_at(set, &space, u, nest.depth()) as i64,
-                    "GTS mismatch for {} at {u:?}",
-                    set.array()
-                );
-                assert_eq!(
-                    gss.prefix_sum(u),
-                    gss_count_at(set, &space, u, nest.depth(), line) as i64,
-                    "GSS mismatch for {} at {u:?}",
-                    set.array()
-                );
+            assert_table_matches(&gts, &format!("GTS for {}", set.array()), |u| {
+                gts_count_at(set, &space, u, nest.depth()) as i64
+            });
+            assert_table_matches(&gss, &format!("GSS for {}", set.array()), |u| {
+                gss_count_at(set, &space, u, nest.depth(), line) as i64
             });
         }
         let rrs = rrs_tables(nest, &space);
-        space.for_each_offset(|u| {
-            let analytic = replacement_counts_at(nest, &space, u);
-            assert_eq!(
-                rrs.loads(u),
-                analytic.loads as i64,
-                "loads mismatch at {u:?}"
-            );
-            assert_eq!(
-                rrs.stores(u),
-                analytic.stores as i64,
-                "stores mismatch at {u:?}"
-            );
-        });
+        assert_counts_match(
+            &space,
+            "loads",
+            |u, flat| {
+                assert_eq!(rrs.loads_flat(flat), rrs.loads(u), "flat loads at {u:?}");
+                rrs.loads(u)
+            },
+            |u| replacement_counts_at(nest, &space, u).loads as i64,
+        );
+        assert_counts_match(
+            &space,
+            "stores",
+            |u, _| rrs.stores(u),
+            |u| replacement_counts_at(nest, &space, u).stores as i64,
+        );
     }
 
     #[test]
@@ -871,24 +958,21 @@ mod reg_table_tests {
         let space = UnrollSpace::new(nest.depth(), loops, bound);
         for set in UgsSet::partition(nest) {
             let t = reg_table(&set, &space);
-            space.for_each_offset(|u| {
-                assert_eq!(
-                    t.prefix_sum(u),
-                    ugs_registers_at(&set, &space, u, nest.depth()) as i64,
-                    "registers mismatch for {} at {u:?}",
-                    set.array()
-                );
+            super::assert_table_matches(&t, &format!("registers for {}", set.array()), |u| {
+                ugs_registers_at(&set, &space, u, nest.depth()) as i64
             });
         }
         // And the whole-nest query agrees with the analytic evaluator.
         let ct = CostTables::build(nest, &space, 4);
-        space.for_each_offset(|u| {
-            assert_eq!(
-                ct.registers(u),
-                streams::replacement_counts_at(nest, &space, u).registers as i64,
-                "CostTables registers @ {u:?}"
-            );
-        });
+        super::assert_counts_match(
+            &space,
+            "CostTables registers",
+            |u, flat| {
+                assert_eq!(ct.registers_flat(flat), ct.registers(u), "flat at {u:?}");
+                ct.registers(u)
+            },
+            |u| streams::replacement_counts_at(nest, &space, u).registers as i64,
+        );
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! SIMD ≡ scalar equivalence properties for the flat summed-area
+//! `Table` kernels.
+//!
+//! Every vector kernel behind `finalize`, `get`, `prefix_sum` and
+//! `add_upset_union` must be *bitwise* interchangeable with the
+//! canonical scalar loops — the winners of the unroll search may not
+//! depend on which instruction set happened to be detected.  The tests
+//! force each dispatch level in turn (`with_forced_level` clamps to
+//! what the host actually supports, so the suite passes — vacuously at
+//! the scalar level — on any machine and with the `simd` feature off)
+//! and demand exact `i64` equality against the scalar result.
+//!
+//! All randomness is seeded `ujam-rng`: identical streams on every
+//! platform and build.
+
+use ujam_core::simd::{active_level, with_forced_level, Level};
+use ujam_core::{Table, UnrollSpace};
+use ujam_rng::Rng;
+
+/// Random spaces of 1–5 dimensions.  Bounds are biased toward small
+/// values and include 0 (a length-1 axis) with real probability, so the
+/// degenerate shapes ride along in every sweep.
+fn random_space(rng: &mut Rng) -> UnrollSpace {
+    let dims = rng.int(1, 5) as usize;
+    let bounds: Vec<u32> = (0..dims)
+        .map(|_| {
+            if rng.chance(0.25) {
+                0
+            } else {
+                rng.int(1, 4) as u32
+            }
+        })
+        .collect();
+    let loops: Vec<usize> = (0..dims).collect();
+    UnrollSpace::with_bounds(dims + 1, &loops, &bounds)
+}
+
+fn random_point(rng: &mut Rng, space: &UnrollSpace, slack: i64) -> Vec<u32> {
+    space
+        .bounds()
+        .iter()
+        .map(|&b| rng.int(0, b as i64 + slack) as u32)
+        .collect()
+}
+
+/// A raw table built from a base fill, point writes, and up-set unions
+/// of both small point sets (the inclusion–exclusion path) and large
+/// ones (the dense scan-and-mask fallback).
+fn random_table(rng: &mut Rng, space: &UnrollSpace) -> Table {
+    let mut t = Table::filled(space.clone(), rng.int(-3, 3));
+    for _ in 0..rng.int(0, 6) {
+        let p = random_point(rng, space, 0);
+        t.add(&p, rng.int(-5, 5));
+    }
+    for _ in 0..rng.int(0, 4) {
+        // Up to 16 seed points: enough joins to overflow the
+        // inclusion–exclusion budget and exercise the dense fallback.
+        let k = rng.int(1, 16) as usize;
+        let points: Vec<Vec<u32>> = (0..k).map(|_| random_point(rng, space, 2)).collect();
+        t.add_upset_union(&points, rng.int(-4, 4));
+    }
+    t
+}
+
+/// Finalizes a clone of `raw` under the forced level and reads back
+/// every query the search performs: the density (`get`), the summed
+/// prefix (`prefix_sum`), and the flat-indexed prefix.
+fn finalize_and_read(raw: &Table, level: Level) -> (Table, Vec<i64>, Vec<i64>) {
+    with_forced_level(level, || {
+        let mut t = raw.clone();
+        t.finalize();
+        let space = t.space().clone();
+        let mut gets = Vec::with_capacity(space.len());
+        let mut sums = Vec::with_capacity(space.len());
+        let mut flat = 0usize;
+        space.for_each_offset(|u| {
+            gets.push(t.get(u));
+            sums.push(t.prefix_sum(u));
+            assert_eq!(t.prefix_sum(u), t.prefix_sum_flat(flat));
+            flat += 1;
+        });
+        (t, gets, sums)
+    })
+}
+
+#[test]
+fn finalize_get_prefix_sum_agree_bitwise_across_levels() {
+    let mut rng = Rng::new(0x513d_0001);
+    for case in 0..48 {
+        let space = random_space(&mut rng);
+        let raw = random_table(&mut rng, &space);
+        let (scalar_t, scalar_gets, scalar_sums) = finalize_and_read(&raw, Level::Scalar);
+        // The scalar finalized sums must also match the raw (naive box
+        // enumeration) oracle, so "all levels agree" can't mean "all
+        // levels share a bug".
+        let mut i = 0usize;
+        space.for_each_offset(|u| {
+            assert_eq!(
+                scalar_sums[i],
+                raw.prefix_sum(u),
+                "case {case}: oracle at {u:?}"
+            );
+            i += 1;
+        });
+        for level in [Level::Sse2, Level::Avx2] {
+            let (t, gets, sums) = finalize_and_read(&raw, level);
+            assert_eq!(
+                gets,
+                scalar_gets,
+                "case {case}: get() diverges at {level:?} on bounds {:?}",
+                space.bounds()
+            );
+            assert_eq!(
+                sums,
+                scalar_sums,
+                "case {case}: prefix_sum() diverges at {level:?} on bounds {:?}",
+                space.bounds()
+            );
+            // The buffers themselves — not just the query results —
+            // must be identical, corners map included.
+            assert_eq!(
+                t, scalar_t,
+                "case {case}: finalized tables differ at {level:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn add_upset_union_agrees_bitwise_across_levels() {
+    let mut rng = Rng::new(0x513d_0002);
+    for case in 0..48 {
+        let space = random_space(&mut rng);
+        let fill = rng.int(-2, 2);
+        let k = rng.int(1, 16) as usize;
+        let points: Vec<Vec<u32>> = (0..k).map(|_| random_point(&mut rng, &space, 2)).collect();
+        let delta = rng.int(-4, 4);
+        let build = |level: Level| {
+            with_forced_level(level, || {
+                let mut t = Table::filled(space.clone(), fill);
+                t.add_upset_union(&points, delta);
+                t
+            })
+        };
+        let scalar_t = build(Level::Scalar);
+        for level in [Level::Sse2, Level::Avx2] {
+            assert_eq!(
+                build(level),
+                scalar_t,
+                "case {case}: union of {k} points diverges at {level:?} on bounds {:?}",
+                space.bounds()
+            );
+        }
+    }
+}
+
+#[test]
+fn definalize_round_trips_at_every_level() {
+    let mut rng = Rng::new(0x513d_0003);
+    for case in 0..24 {
+        let space = random_space(&mut rng);
+        let raw = random_table(&mut rng, &space);
+        let round_trip = |level: Level| {
+            with_forced_level(level, || {
+                let mut t = raw.clone();
+                t.finalize();
+                t.definalized()
+            })
+        };
+        // The scalar round-trip must agree with the raw table on every
+        // query (the raw side may still hold unflushed pending writes,
+        // so query equivalence — not buffer equality — is the oracle).
+        let scalar_back = round_trip(Level::Scalar);
+        space.for_each_offset(|u| {
+            assert_eq!(
+                scalar_back.get(u),
+                raw.get(u),
+                "case {case}: density at {u:?}"
+            );
+            assert_eq!(
+                scalar_back.prefix_sum(u),
+                raw.prefix_sum(u),
+                "case {case}: Sum({u:?})"
+            );
+        });
+        // Across levels the flushed buffers must be bitwise identical.
+        for level in [Level::Sse2, Level::Avx2] {
+            assert_eq!(
+                round_trip(level),
+                scalar_back,
+                "case {case}: round-trip diverges at {level:?}"
+            );
+        }
+    }
+}
+
+/// Degenerate shapes, exhaustively rather than by chance: every-axis-
+/// length-one boxes (dims 1–5) and the zero-dimensional space, where
+/// all four operations collapse to a single cell.
+#[test]
+fn degenerate_shapes_agree_across_levels() {
+    let mut cases: Vec<UnrollSpace> = (1..=5)
+        .map(|dims| {
+            let loops: Vec<usize> = (0..dims).collect();
+            UnrollSpace::with_bounds(dims + 1, &loops, &vec![0; dims])
+        })
+        .collect();
+    cases.push(UnrollSpace::with_bounds(1, &[], &[]));
+    for space in cases {
+        assert_eq!(space.len(), 1);
+        let zero = vec![0u32; space.dims()];
+        let scalar = with_forced_level(Level::Scalar, || {
+            let mut t = Table::filled(space.clone(), 7);
+            t.add_upset_union(std::slice::from_ref(&zero), 2);
+            t.finalize();
+            (t.get(&zero), t.prefix_sum(&zero), t.prefix_sum_flat(0))
+        });
+        assert_eq!(scalar, (9, 9, 9), "dims {}", space.dims());
+        for level in [Level::Sse2, Level::Avx2] {
+            let got = with_forced_level(level, || {
+                let mut t = Table::filled(space.clone(), 7);
+                t.add_upset_union(std::slice::from_ref(&zero), 2);
+                t.finalize();
+                (t.get(&zero), t.prefix_sum(&zero), t.prefix_sum_flat(0))
+            });
+            assert_eq!(got, scalar, "dims {} at {level:?}", space.dims());
+        }
+    }
+}
+
+/// The runtime-detect "feature absent" path: forcing scalar must
+/// actually dispatch scalar (`active_level` reports it) and produce the
+/// canonical results even when the host supports wider levels.
+#[test]
+fn forced_scalar_models_feature_absent_host() {
+    let level = with_forced_level(Level::Scalar, active_level);
+    assert_eq!(level, Level::Scalar);
+    let mut rng = Rng::new(0x513d_0004);
+    let space = random_space(&mut rng);
+    let raw = random_table(&mut rng, &space);
+    let forced = finalize_and_read(&raw, Level::Scalar);
+    // Scalar forced twice is deterministic — and, per the sweeps above,
+    // identical to every wider level; this pins the plumbing itself.
+    assert_eq!(finalize_and_read(&raw, Level::Scalar), forced);
+}

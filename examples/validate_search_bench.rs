@@ -4,9 +4,11 @@
 //! Reads the file named by the first argument (or stdin when absent),
 //! parses it with the in-tree strict JSON parser, and checks the schema
 //! the bench promises: a `rows` array over strictly growing spaces, the
-//! three engine timings per row, agreement of all three winners, and a
-//! self-consistent speedup ratio.  Exits non-zero with a message on any
-//! violation — `ci.sh` runs this against a fresh quick-mode run.
+//! engine timings per row — the scalar *and* SIMD column of every
+//! summed-area, pruned and build arm — agreement of all winners across
+//! engines and dispatch levels, and a self-consistent speedup ratio.
+//! Exits non-zero with a message on any violation — `ci.sh` runs this
+//! against a fresh quick-mode run at both feature sets.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -48,6 +50,13 @@ fn run() -> Result<String, String> {
             return Err(format!("missing string field {field:?}"));
         }
     }
+    let simd_level = doc
+        .get("simd_level")
+        .and_then(Value::as_str)
+        .ok_or("missing string field \"simd_level\"")?;
+    if !matches!(simd_level, "scalar" | "sse2" | "avx2") {
+        return Err(format!("unknown simd_level {simd_level:?}"));
+    }
     if !matches!(doc.get("quick"), Some(Value::Bool(_))) {
         return Err("missing boolean field \"quick\"".to_string());
     }
@@ -76,6 +85,18 @@ fn run() -> Result<String, String> {
         let summed = num("summed_area_ns")?;
         let pruned_ns = num("pruned_ns")?;
         let pruned = num("pruned_upset")?;
+        // Every vectorisable arm carries its forced-scalar twin, so the
+        // scalar-vs-SIMD gap is a first-class measured quantity.
+        for arm in [
+            "summed_area_scalar_ns",
+            "pruned_scalar_ns",
+            "build_ns",
+            "build_scalar_ns",
+        ] {
+            if num(arm)? <= 0.0 {
+                return Err(format!("row {i}: {arm} must be positive"));
+            }
+        }
         if naive <= 0.0 || summed <= 0.0 || pruned_ns <= 0.0 {
             return Err(format!("row {i}: timings must be positive"));
         }
@@ -128,6 +149,11 @@ fn run() -> Result<String, String> {
         if summed <= 0.0 || pruned_ns <= 0.0 {
             return Err(format!("depth row {i}: timings must be positive"));
         }
+        for arm in ["summed_area_scalar_ns", "pruned_scalar_ns"] {
+            if num(arm)? <= 0.0 {
+                return Err(format!("depth row {i}: {arm} must be positive"));
+            }
+        }
         let pruned = num("pruned_upset")?;
         if pruned < 0.0 || pruned >= space {
             return Err(format!("depth row {i}: pruned_upset out of range"));
@@ -141,7 +167,7 @@ fn run() -> Result<String, String> {
     }
     Ok(format!(
         "{} rows, largest space {last_space:.0}; {} depth rows up to k = {last_k:.0} \
-         (space {last_depth_space:.0})",
+         (space {last_depth_space:.0}); simd level {simd_level}",
         rows.len(),
         depth_rows.len()
     ))

@@ -1,0 +1,89 @@
+//! Cross-level decision pins: the optimizer's winners on the full
+//! Table 2 roster (19 kernels) and the deep register-tiling roster
+//! (6 kernels) must be bitwise identical at every SIMD dispatch level.
+//!
+//! `with_forced_level` clamps to what the host supports, so without the
+//! `simd` feature (or on a non-x86 host) every iteration runs the
+//! scalar kernels and the pins hold trivially; `ci.sh` runs the suite
+//! again with `--features simd`, where the comparison is real.
+
+use ujam::core::simd::{with_forced_level, Level};
+use ujam::core::{optimize, optimize_configured, BalanceModel, CancelToken, SearchConfig};
+use ujam::kernels::{deep_kernels, kernels};
+use ujam::machine::MachineModel;
+use ujam::metrics::MetricsHandle;
+use ujam::trace::null_sink;
+
+const LEVELS: [Level; 3] = [Level::Scalar, Level::Sse2, Level::Avx2];
+
+#[test]
+fn suite_winners_identical_at_every_level() {
+    for machine in [MachineModel::dec_alpha(), MachineModel::hp_parisc()] {
+        for k in kernels() {
+            let nest = k.nest();
+            let scalar = with_forced_level(Level::Scalar, || {
+                optimize(&nest, &machine).expect("roster kernel optimizes")
+            });
+            for level in &LEVELS[1..] {
+                let plan = with_forced_level(*level, || {
+                    optimize(&nest, &machine).expect("roster kernel optimizes")
+                });
+                assert_eq!(
+                    plan.unroll,
+                    scalar.unroll,
+                    "{} on {}: winner moved at {level:?}",
+                    k.name,
+                    machine.name()
+                );
+                assert_eq!(
+                    plan.predicted.balance.to_bits(),
+                    scalar.predicted.balance.to_bits(),
+                    "{} on {}: predicted balance drifted at {level:?}",
+                    k.name,
+                    machine.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn deep_register_tiling_winners_identical_at_every_level() {
+    let machine = MachineModel::dec_alpha();
+    let config = SearchConfig {
+        max_unroll_loops: 3,
+        code_budget: Some(48),
+    };
+    for k in deep_kernels() {
+        let nest = k.nest();
+        let tile = |level: Level| {
+            with_forced_level(level, || {
+                optimize_configured(
+                    &nest,
+                    &machine,
+                    BalanceModel::CacheAware,
+                    null_sink(),
+                    CancelToken::never(),
+                    MetricsHandle::disabled(),
+                    config,
+                )
+                .expect("deep kernel optimizes")
+            })
+        };
+        let scalar = tile(Level::Scalar);
+        for level in &LEVELS[1..] {
+            let plan = tile(*level);
+            assert_eq!(
+                plan.unroll, scalar.unroll,
+                "{}: register-tile winner moved at {level:?}",
+                k.name
+            );
+            assert_eq!(
+                plan.predicted.balance.to_bits(),
+                scalar.predicted.balance.to_bits(),
+                "{}: predicted balance drifted at {level:?}",
+                k.name
+            );
+        }
+    }
+}
