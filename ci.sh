@@ -117,6 +117,41 @@ grep -q '"serve.request_ns":{"count":1,' /tmp/ujam_stats.json
 kill "$UJAM_SERVE_PID"
 rm -f "$UJAM_SOCK"
 
+# TCP smoke: the same daemon over the event-loop TCP front end.  Bind
+# port 0 and discover the chosen port from the daemon's stderr line,
+# run the three-request contract through `ujam request` (which opens
+# with the versioned handshake), check the sharded-cache stats
+# round-trip, then shut the daemon down over its own protocol and wait
+# for a clean exit.
+./target/release/ujam serve --tcp 127.0.0.1:0 --workers 1 --batch 1 --shards 4 2> /tmp/ujam_tcp_serve.log &
+UJAM_TCP_PID=$!
+UJAM_TCP_ADDR=""
+for _ in $(seq 1 100); do
+  UJAM_TCP_ADDR=$(sed -n 's/^serve: tcp listening on //p' /tmp/ujam_tcp_serve.log)
+  [ -n "$UJAM_TCP_ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$UJAM_TCP_ADDR" ]
+./target/release/ujam request --tcp "$UJAM_TCP_ADDR" --show-hello \
+  '{"id":"1","kernel":"dmxpy0"}' \
+  '{"id":"2","kernel":"dmxpy0"}' \
+  'this is not json' > /tmp/ujam_tcp_replies.ndjson
+cargo run --release --offline --quiet --example validate_serve -- --hello /tmp/ujam_tcp_replies.ndjson
+./target/release/ujam stats --tcp "$UJAM_TCP_ADDR" --json > /tmp/ujam_tcp_stats.json
+grep -q '"version":1' /tmp/ujam_tcp_stats.json
+grep -q '"serve.conn.accepted":2' /tmp/ujam_tcp_stats.json
+grep -q '"serve.cache.shard0.' /tmp/ujam_tcp_stats.json
+grep -q '"serve.cache.shard3.' /tmp/ujam_tcp_stats.json
+./target/release/ujam request --tcp "$UJAM_TCP_ADDR" '{"id":"bye","cmd":"shutdown"}' \
+  | grep -q '"shutdown":true'
+wait "$UJAM_TCP_PID"
+
+# TCP soak: the hostile-client suite — 100 concurrent handshaking
+# clients, pipelined duplicates, oversized and half-written frames,
+# bad-version and no-handshake rejections, admission-control sheds,
+# read-timeout reaping — all against the poll(2) reactor.
+cargo test -q --offline --test serve_tcp
+
 # Serve-latency bench smoke: a quick run must emit a BENCH_serve.json
 # whose embedded snapshot matches the workload ground truth (checked
 # together with the search artifact captured above).

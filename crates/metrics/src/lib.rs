@@ -80,6 +80,13 @@ impl Gauge {
         self.0.fetch_add(delta, Ordering::Relaxed);
     }
 
+    /// Raises the level to `v` if `v` is higher, leaving it alone
+    /// otherwise — a lock-free high-water mark (peak queue depth,
+    /// peak open connections).
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Current level.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
@@ -275,6 +282,16 @@ mod tests {
         assert_eq!(g.get(), 3);
         g.set(0);
         assert_eq!(reg.snapshot().gauge("inflight"), 0);
+    }
+
+    #[test]
+    fn gauge_set_max_is_a_high_water_mark() {
+        let g = Gauge::new();
+        g.set_max(4);
+        g.set_max(2);
+        assert_eq!(g.get(), 4, "lower values never move the mark");
+        g.set_max(9);
+        assert_eq!(g.get(), 9);
     }
 
     #[test]

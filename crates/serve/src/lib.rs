@@ -26,7 +26,15 @@
 //!   [`Server::with_metrics`] records request/latency/cache metrics
 //!   into a `ujam-metrics` registry and answers `{"cmd":"stats"}` admin
 //!   lines (the `ujam stats` subcommand) with a versioned JSON
-//!   snapshot.
+//!   snapshot;
+//! * **an event-loop front end** ([`reactor`]) — TCP and Unix-socket
+//!   listeners multiplexed by one `poll(2)` thread over nonblocking
+//!   sockets with incremental NDJSON framing ([`frame`]), a fixed
+//!   worker pool fed by a bounded queue, an N-way content-hash-sharded
+//!   decision cache ([`shard`]), and admission control (load-shedding
+//!   `overloaded` replies, per-connection in-flight caps, idle/slow-
+//!   loris read timeouts).  TCP clients open with a versioned
+//!   `{"cmd":"hello"}` handshake ([`proto::PROTOCOL_VERSION`]).
 //!
 //! # Example
 //!
@@ -43,16 +51,29 @@
 //! assert!(text.lines().nth(1).unwrap().contains("\"cached\":true")); // duplicate
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed in exactly one module:
+// `sys`, the hand-rolled poll(2) binding (the offline registry has no
+// `libc`).  Everything else stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod frame;
 pub mod proto;
+#[cfg(unix)]
+pub mod reactor;
 mod server;
+pub mod shard;
+#[cfg(unix)]
+mod sys;
 
 pub use cache::{decision_key, CacheStats, Decision, DecisionCache};
+pub use frame::{Frame, LineDecoder, MAX_LINE_BYTES};
 pub use proto::{
     stats_reply, AdminCmd, AdminRequest, ErrorKind, ErrorReply, Incoming, OkReply, Reply, Request,
-    Source,
+    Source, PROTOCOL_VERSION,
 };
+#[cfg(unix)]
+pub use reactor::{ReactorConfig, Transports};
 pub use server::{ServeConfig, Server};
+pub use shard::{shard_of, InsertOutcome, ShardedDecisionCache};

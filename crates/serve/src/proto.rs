@@ -33,6 +33,17 @@ use ujam_core::{BalanceModel, CostModelKind};
 use ujam_machine::MachineModel;
 use ujam_trace::json::{self, Value};
 
+/// The wire-protocol version the TCP handshake negotiates.
+///
+/// A TCP connection's first line must be
+/// `{"id":"...","cmd":"hello","version":1}`; the daemon answers
+/// `{"id":"...","ok":true,"protocol":1}` and only then accepts
+/// requests.  Unknown versions get a structured `bad_version` error and
+/// the connection closes.  Unix-socket and stdin clients are local and
+/// version-locked to their binary, so the handshake is optional there
+/// (but answered identically when sent).
+pub const PROTOCOL_VERSION: u64 = 1;
+
 /// Which nest a request wants optimized.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Source {
@@ -80,6 +91,16 @@ pub enum ErrorKind {
     DeadlineExceeded,
     /// The optimizer failed unexpectedly; the daemon kept running.
     Internal,
+    /// The daemon shed this request under load; retry after
+    /// `error.retry_ms` milliseconds.
+    Overloaded,
+    /// A frame exceeded the protocol's maximum line length and was
+    /// discarded (see `MAX_LINE_BYTES`).
+    FrameTooLong,
+    /// A TCP connection sent a request before the versioned hello.
+    HandshakeRequired,
+    /// The hello named a protocol version this daemon does not speak.
+    BadVersion,
 }
 
 impl ErrorKind {
@@ -92,6 +113,10 @@ impl ErrorKind {
             ErrorKind::InvalidNest => "invalid_nest",
             ErrorKind::DeadlineExceeded => "deadline_exceeded",
             ErrorKind::Internal => "internal",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::FrameTooLong => "frame_too_long",
+            ErrorKind::HandshakeRequired => "handshake_required",
+            ErrorKind::BadVersion => "bad_version",
         }
     }
 }
@@ -107,6 +132,8 @@ pub struct ErrorReply {
     pub message: String,
     /// 1-based source line for [`ErrorKind::Parse`] errors.
     pub line: Option<usize>,
+    /// Suggested client backoff for [`ErrorKind::Overloaded`] replies.
+    pub retry_ms: Option<u64>,
 }
 
 /// A successful reply: the decision, not the transformed body — clients
@@ -180,6 +207,10 @@ impl Reply {
                     out.push_str(",\"line\":");
                     out.push_str(&line.to_string());
                 }
+                if let Some(ms) = e.retry_ms {
+                    out.push_str(",\"retry_ms\":");
+                    out.push_str(&ms.to_string());
+                }
                 out.push_str("}}");
             }
         }
@@ -197,6 +228,15 @@ impl Reply {
 pub enum AdminCmd {
     /// Return a versioned metrics snapshot (`ujam stats`).
     Stats,
+    /// The versioned transport handshake; `version` is the client's
+    /// claimed [`PROTOCOL_VERSION`] (`None` when the field was absent).
+    Hello {
+        /// The protocol version the client offered.
+        version: Option<u64>,
+    },
+    /// Ask the daemon to stop accepting work and exit its serve loop
+    /// cleanly after answering this line.
+    Shutdown,
 }
 
 /// A parsed admin request.
@@ -252,8 +292,10 @@ impl AdminRequest {
                 ))
             }
         };
+        let is_hello = obj.get("cmd") == Some(&Value::String("hello".into()));
         for key in obj.keys() {
-            if !matches!(key.as_str(), "id" | "cmd") {
+            let known = matches!(key.as_str(), "id" | "cmd") || (is_hello && key == "version");
+            if !known {
                 return Err(error_reply(
                     Some(&id),
                     ErrorKind::BadRequest,
@@ -263,11 +305,30 @@ impl AdminRequest {
         }
         let cmd = match obj.get("cmd") {
             Some(Value::String(s)) if s == "stats" => AdminCmd::Stats,
+            Some(Value::String(s)) if s == "shutdown" => AdminCmd::Shutdown,
+            Some(Value::String(s)) if s == "hello" => {
+                let version = match obj.get("version") {
+                    None => None,
+                    Some(Value::Number(n))
+                        if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 =>
+                    {
+                        Some(*n as u64)
+                    }
+                    Some(_) => {
+                        return Err(error_reply(
+                            Some(&id),
+                            ErrorKind::BadRequest,
+                            "\"version\" must be a non-negative integer",
+                        ))
+                    }
+                };
+                AdminCmd::Hello { version }
+            }
             Some(Value::String(other)) => {
                 return Err(error_reply(
                     Some(&id),
                     ErrorKind::BadRequest,
-                    format!("unknown cmd {other:?} (try \"stats\")"),
+                    format!("unknown cmd {other:?} (try \"stats\", \"hello\", or \"shutdown\")"),
                 ))
             }
             _ => {
@@ -294,6 +355,25 @@ pub fn stats_reply(id: &str, snapshot_json: &str) -> String {
     out
 }
 
+/// Renders a successful `hello` handshake acknowledgment.
+pub fn hello_reply(id: &str) -> String {
+    let mut out = String::from("{\"id\":");
+    json::write_escaped(&mut out, id);
+    out.push_str(",\"ok\":true,\"protocol\":");
+    out.push_str(&PROTOCOL_VERSION.to_string());
+    out.push('}');
+    out
+}
+
+/// Renders a `shutdown` acknowledgment (the daemon exits after
+/// flushing it).
+pub fn shutdown_reply(id: &str) -> String {
+    let mut out = String::from("{\"id\":");
+    json::write_escaped(&mut out, id);
+    out.push_str(",\"ok\":true,\"shutdown\":true}");
+    out
+}
+
 /// Shorthand for a [`Reply::Error`] with no source line.
 pub(crate) fn error_reply(id: Option<&str>, kind: ErrorKind, message: impl Into<String>) -> Reply {
     Reply::Error(ErrorReply {
@@ -301,7 +381,33 @@ pub(crate) fn error_reply(id: Option<&str>, kind: ErrorKind, message: impl Into<
         kind,
         message: message.into(),
         line: None,
+        retry_ms: None,
     })
+}
+
+/// The structured load-shed reply: `overloaded`, with the suggested
+/// client backoff embedded as `error.retry_ms`.
+pub fn overloaded_reply(id: Option<&str>, retry_ms: u64) -> Reply {
+    Reply::Error(ErrorReply {
+        id: id.map(str::to_owned),
+        kind: ErrorKind::Overloaded,
+        message: format!("daemon overloaded; retry in {retry_ms} ms"),
+        line: None,
+        retry_ms: Some(retry_ms),
+    })
+}
+
+/// Recovers the `id` of a line without fully validating it, so shed
+/// and framing errors can still echo the client's id when one is
+/// present.
+pub fn recover_id(line: &str) -> Option<String> {
+    match json::parse(line) {
+        Ok(Value::Object(obj)) => match obj.get("id") {
+            Some(Value::String(s)) => Some(s.clone()),
+            _ => None,
+        },
+        _ => None,
+    }
 }
 
 impl Request {

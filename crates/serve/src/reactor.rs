@@ -1,0 +1,826 @@
+//! The event-loop front end: one `poll(2)` thread multiplexing every
+//! connection, a fixed worker pool behind a bounded queue.
+//!
+//! The PR 4 daemon spawned a thread per connection, each running the
+//! blocking [`Server::run`] loop.  That shape has two failure modes the
+//! paper's serving story cannot afford: an idle or half-writing client
+//! parks a whole thread forever (the blocking reader never times out),
+//! and a burst of connections multiplies threads without bound.  The
+//! reactor inverts it: **connections are state, not threads.**
+//!
+//! * One reactor thread owns every socket (nonblocking), a
+//!   [`LineDecoder`] and an output buffer per connection, and a
+//!   `poll(2)` set rebuilt each iteration ([`crate::sys`]).
+//! * `cfg.workers` worker threads block on a bounded job queue; each
+//!   job is one request line, answered by [`Server::handle_line`] — so
+//!   replies are bitwise identical to the stdin/batch paths.
+//! * Completed replies come back over a results list plus a self-wake
+//!   pipe, and are re-sequenced per connection: a client that writes
+//!   `n` lines reads exactly `n` replies **in order**, no matter how
+//!   the pool interleaves them.
+//!
+//! Admission control is layered where each limit is cheapest to
+//! enforce:
+//!
+//! * `max_conns` — a connection over the cap is answered with one
+//!   `overloaded` line and closed at accept time;
+//! * `max_queue` — a request arriving while the queue is full is shed
+//!   inline with a structured `overloaded` reply carrying `retry_ms`
+//!   (the connection stays up; well-behaved clients back off);
+//! * `max_inflight` — a pipelining connection with that many requests
+//!   already queued stops being polled for reads (backpressure through
+//!   the kernel socket buffer, not memory growth);
+//! * `read_timeout` — a connection that sends no byte for this long is
+//!   reaped and counted under `serve.conn.timeout`; this is the
+//!   slow-loris guard and the fix for the blocking reader's
+//!   park-forever EOF edge.
+//!
+//! TCP connections must open with the versioned handshake
+//! `{"id":"h","cmd":"hello","version":1}` before anything else; Unix
+//! socket clients are grandfathered (the PR 4 protocol had no
+//! handshake) but may greet too.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{ErrorKind as IoErrorKind, Read, Write};
+use std::net::TcpListener;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ujam_metrics::{Counter, Gauge};
+
+use crate::frame::{Frame, LineDecoder, MAX_LINE_BYTES};
+use crate::proto::{
+    overloaded_reply, recover_id, AdminCmd, AdminRequest, ErrorKind, ErrorReply, Incoming, Reply,
+    PROTOCOL_VERSION,
+};
+use crate::server::Server;
+
+/// Tunables for the event loop, orthogonal to [`crate::ServeConfig`]
+/// (which sizes the worker pool and the cache).
+#[derive(Clone, Copy, Debug)]
+pub struct ReactorConfig {
+    /// Most jobs waiting in the worker queue before new requests are
+    /// shed with `overloaded` replies.
+    pub max_queue: usize,
+    /// Most open connections; one over the cap is told `overloaded`
+    /// and closed at accept.
+    pub max_conns: usize,
+    /// Most in-flight (queued, unanswered) requests per connection
+    /// before the reactor stops reading from it.
+    pub max_inflight: usize,
+    /// A connection that sends no byte for this long is closed and
+    /// counted under `serve.conn.timeout`.
+    pub read_timeout: Duration,
+    /// The backoff suggested in `overloaded` replies.
+    pub retry_ms: u64,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> ReactorConfig {
+        ReactorConfig {
+            max_queue: 256,
+            max_conns: 1024,
+            max_inflight: 32,
+            read_timeout: Duration::from_secs(30),
+            retry_ms: 50,
+        }
+    }
+}
+
+/// The listeners a reactor serves; either or both.
+#[derive(Debug, Default)]
+pub struct Transports {
+    /// A bound TCP listener (clients must handshake).
+    pub tcp: Option<TcpListener>,
+    /// A bound Unix-socket listener (handshake optional).
+    pub unix: Option<UnixListener>,
+}
+
+/// One queued request: which connection, which slot in its reply
+/// order, and the raw line.
+struct Job {
+    conn: u64,
+    seq: u64,
+    line: String,
+}
+
+/// The bounded worker queue.  `push` never blocks (admission control
+/// sheds *before* pushing); `pop` blocks until a job or close.
+struct JobQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new() -> JobQueue {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        let mut st = self.state.lock().expect("queue lock");
+        st.jobs.push_back(job);
+        drop(st);
+        self.ready.notify_one();
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).expect("queue lock");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// A finished reply on its way back to the reactor thread.
+struct Done {
+    conn: u64,
+    seq: u64,
+    reply: String,
+}
+
+/// Either kind of accepted socket, unified behind `Read`/`Write`/fd.
+enum ConnStream {
+    Tcp(std::net::TcpStream),
+    Unix(UnixStream),
+}
+
+impl ConnStream {
+    fn fd(&self) -> RawFd {
+        match self {
+            ConnStream::Tcp(s) => s.as_raw_fd(),
+            ConnStream::Unix(s) => s.as_raw_fd(),
+        }
+    }
+
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ConnStream::Tcp(s) => s.read(buf),
+            ConnStream::Unix(s) => s.read(buf),
+        }
+    }
+
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ConnStream::Tcp(s) => s.write(buf),
+            ConnStream::Unix(s) => s.write(buf),
+        }
+    }
+}
+
+/// Per-connection reactor state: the framing buffer in, the reply
+/// buffer out, and the bookkeeping that keeps replies ordered.
+struct Conn {
+    stream: ConnStream,
+    decoder: LineDecoder,
+    /// Bytes waiting to go out (already-ordered reply lines).
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Next sequence number to assign to an arriving frame.
+    next_seq: u64,
+    /// Next sequence number the client is owed.
+    next_emit: u64,
+    /// Replies that finished out of order, waiting for their turn.
+    done: BTreeMap<u64, String>,
+    /// Frames handed to the worker queue and not yet answered.
+    inflight: usize,
+    /// TCP connections must greet before anything else.
+    needs_hello: bool,
+    greeted: bool,
+    read_closed: bool,
+    last_read: Instant,
+    /// Set after a fatal protocol error: flush what's owed, then close.
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn new(stream: ConnStream, needs_hello: bool, now: Instant) -> Conn {
+        Conn {
+            stream,
+            decoder: LineDecoder::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            next_seq: 0,
+            next_emit: 0,
+            done: BTreeMap::new(),
+            inflight: 0,
+            needs_hello,
+            greeted: false,
+            read_closed: false,
+            last_read: now,
+            close_after_flush: false,
+        }
+    }
+
+    /// Records `reply` for slot `seq` and moves every now-contiguous
+    /// reply into the output buffer.
+    fn complete(&mut self, seq: u64, reply: String) {
+        self.done.insert(seq, reply);
+        while let Some(reply) = self.done.remove(&self.next_emit) {
+            self.out.extend_from_slice(reply.as_bytes());
+            self.out.push(b'\n');
+            self.next_emit += 1;
+        }
+    }
+
+    fn has_pending_out(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// Everything owed has been answered and flushed.
+    fn is_settled(&self) -> bool {
+        self.inflight == 0 && self.done.is_empty() && !self.has_pending_out()
+    }
+
+    /// Writes as much of the output buffer as the socket accepts.
+    /// `Ok(false)` means the peer is gone.
+    fn flush(&mut self) -> std::io::Result<bool> {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Ok(false),
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == IoErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == IoErrorKind::Interrupted => continue,
+                Err(_) => return Ok(false),
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        Ok(true)
+    }
+}
+
+/// Reactor-level metrics, resolved once (all `None` when the server
+/// has no registry).
+struct ReactorMetrics {
+    accepted: Arc<Counter>,
+    open: Arc<Gauge>,
+    timeouts: Arc<Counter>,
+    shed: Arc<Counter>,
+    oversized: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    queue_peak: Arc<Gauge>,
+}
+
+impl ReactorMetrics {
+    fn resolve(server: &Server<'_>) -> Option<ReactorMetrics> {
+        let handle = server.metrics_handle();
+        let reg = handle.registry()?;
+        Some(ReactorMetrics {
+            accepted: reg.counter("serve.conn.accepted"),
+            open: reg.gauge("serve.conn.open"),
+            timeouts: reg.counter("serve.conn.timeout"),
+            shed: reg.counter("serve.shed"),
+            oversized: reg.counter("serve.frame.oversized"),
+            queue_depth: reg.gauge("serve.queue_depth"),
+            queue_peak: reg.gauge("serve.queue_depth.peak"),
+        })
+    }
+}
+
+fn protocol_error(id: Option<&str>, kind: ErrorKind, message: String) -> String {
+    Reply::Error(ErrorReply {
+        id: id.map(str::to_owned),
+        kind,
+        message,
+        line: None,
+        retry_ms: None,
+    })
+    .render()
+}
+
+/// What [`Reactor::pump`] decided to do with one frame.
+enum Routed {
+    /// Answered inline; reply already completed on the connection.
+    Inline,
+    /// Queued to the worker pool.
+    Queued(Job),
+    /// Answered inline *and* the daemon should begin shutting down.
+    InlineShutdown,
+}
+
+/// The event loop.  Borrows the server; worker threads are scoped
+/// inside [`run`](Reactor::run), so the reactor cannot outlive it.
+pub(crate) struct Reactor<'a, 's> {
+    server: &'a Server<'s>,
+    rcfg: ReactorConfig,
+    metrics: Option<ReactorMetrics>,
+    conns: HashMap<u64, Conn>,
+    next_conn_id: u64,
+    /// Jobs pushed and not yet drained from the results list —
+    /// the admission-control queue depth.
+    depth: usize,
+    stopping: bool,
+    stop_deadline: Option<Instant>,
+}
+
+impl<'a, 's> Reactor<'a, 's> {
+    pub(crate) fn new(server: &'a Server<'s>, rcfg: ReactorConfig) -> Reactor<'a, 's> {
+        Reactor {
+            server,
+            rcfg,
+            metrics: ReactorMetrics::resolve(server),
+            conns: HashMap::new(),
+            next_conn_id: 0,
+            depth: 0,
+            stopping: false,
+            stop_deadline: None,
+        }
+    }
+
+    /// Serves until a `{"cmd":"shutdown"}` line (or a listener error).
+    pub(crate) fn run(mut self, transports: Transports) -> std::io::Result<()> {
+        let queue = JobQueue::new();
+        let results: Mutex<Vec<Done>> = Mutex::new(Vec::new());
+        let (wake_tx, mut wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        if let Some(l) = &transports.tcp {
+            l.set_nonblocking(true)?;
+        }
+        if let Some(l) = &transports.unix {
+            l.set_nonblocking(true)?;
+        }
+        let workers = self.server.config().workers.max(1);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let queue = &queue;
+                let results = &results;
+                let server = self.server;
+                let wake = &wake_tx;
+                scope.spawn(move || {
+                    while let Some(job) = queue.pop() {
+                        let reply = server.handle_line(&job.line);
+                        results.lock().expect("results lock").push(Done {
+                            conn: job.conn,
+                            seq: job.seq,
+                            reply,
+                        });
+                        // A full pipe already guarantees a wake-up.
+                        let mut w: &UnixStream = wake;
+                        let _ = w.write(&[1u8]);
+                    }
+                });
+            }
+
+            let run = self.event_loop(&transports, &queue, &results, &mut wake_rx);
+            queue.close();
+            run
+        })
+    }
+
+    fn event_loop(
+        &mut self,
+        transports: &Transports,
+        queue: &JobQueue,
+        results: &Mutex<Vec<Done>>,
+        wake_rx: &mut UnixStream,
+    ) -> std::io::Result<()> {
+        use crate::sys::{poll_fds, PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+
+        let tick_ms = (self.rcfg.read_timeout.as_millis() / 2)
+            .clamp(10, 100)
+            .try_into()
+            .unwrap_or(100i32);
+
+        loop {
+            // 1. Build this iteration's poll set.  Slot 0 is the wake
+            //    pipe; listeners follow (only while accepting); then one
+            //    slot per connection with interest derived from state.
+            let mut fds = vec![PollFd::new(wake_rx.as_raw_fd(), POLLIN)];
+            let mut tcp_slot = None;
+            let mut unix_slot = None;
+            if !self.stopping {
+                if let Some(l) = &transports.tcp {
+                    tcp_slot = Some(fds.len());
+                    fds.push(PollFd::new(l.as_raw_fd(), POLLIN));
+                }
+                if let Some(l) = &transports.unix {
+                    unix_slot = Some(fds.len());
+                    fds.push(PollFd::new(l.as_raw_fd(), POLLIN));
+                }
+            }
+            let mut conn_slots: Vec<(usize, u64)> = Vec::with_capacity(self.conns.len());
+            for (&id, conn) in &self.conns {
+                let mut events = 0;
+                let paused = self.stopping || conn.close_after_flush;
+                if !conn.read_closed && conn.inflight < self.rcfg.max_inflight && !paused {
+                    events |= POLLIN;
+                }
+                if conn.has_pending_out() {
+                    events |= POLLOUT;
+                }
+                if events != 0 {
+                    conn_slots.push((fds.len(), id));
+                    fds.push(PollFd::new(conn.stream.fd(), events));
+                }
+            }
+
+            poll_fds(&mut fds, tick_ms)?;
+            let now = Instant::now();
+
+            // 2. Drain the wake pipe and the results list; completed
+            //    replies free queue slots and may unblock reads.
+            if fds[0].revents != 0 {
+                let mut sink = [0u8; 256];
+                while matches!(wake_rx.read(&mut sink), Ok(n) if n > 0) {}
+            }
+            let done: Vec<Done> = std::mem::take(&mut *results.lock().expect("results lock"));
+            for d in done {
+                self.depth = self.depth.saturating_sub(1);
+                if let Some(conn) = self.conns.get_mut(&d.conn) {
+                    conn.inflight = conn.inflight.saturating_sub(1);
+                    conn.complete(d.seq, d.reply);
+                }
+                // A reply for a connection that died mid-request is
+                // simply dropped; the slot it held is already freed.
+            }
+            if let Some(m) = &self.metrics {
+                m.queue_depth.set(self.depth as i64);
+            }
+
+            // 3. Accept.
+            if let (Some(slot), Some(l)) = (tcp_slot, &transports.tcp) {
+                if fds[slot].revents != 0 {
+                    self.accept_tcp(l, now);
+                }
+            }
+            if let (Some(slot), Some(l)) = (unix_slot, &transports.unix) {
+                if fds[slot].revents != 0 {
+                    self.accept_unix(l, now);
+                }
+            }
+
+            // 4. Read / pump / flush every connection that polled ready.
+            for &(slot, id) in &conn_slots {
+                let revents = fds[slot].revents;
+                if revents == 0 {
+                    continue;
+                }
+                let Some(conn) = self.conns.get_mut(&id) else {
+                    continue;
+                };
+                let mut dead = revents & POLLNVAL != 0;
+                if !dead && revents & (POLLIN | POLLHUP | POLLERR) != 0 {
+                    dead = !Self::read_into(conn, now);
+                }
+                if !dead {
+                    self.pump(id, queue);
+                    if let Some(conn) = self.conns.get_mut(&id) {
+                        dead = !conn.flush().unwrap_or(false);
+                    }
+                }
+                if dead {
+                    self.drop_conn(id);
+                }
+            }
+
+            // 5. Pump connections whose reads are paused but whose
+            //    queue slots just freed, then flush everyone with
+            //    pending output (completions arrive via the wake pipe,
+            //    not via socket readiness).
+            let ids: Vec<u64> = self.conns.keys().copied().collect();
+            for id in ids {
+                self.pump(id, queue);
+                let Some(conn) = self.conns.get_mut(&id) else {
+                    continue;
+                };
+                if conn.has_pending_out() && !conn.flush().unwrap_or(false) {
+                    self.drop_conn(id);
+                }
+            }
+
+            // 6. Reap: settled EOF/erroring connections, protocol
+            //    offenders once flushed, and idle timeouts.
+            self.reap(now);
+
+            // 7. Shutdown: stop accepting, let in-flight work drain,
+            //    give flushes a grace period, then leave.
+            if self.server.shutdown_requested() && !self.stopping {
+                self.stopping = true;
+                self.stop_deadline = Some(now + Duration::from_millis(500));
+            }
+            if self.stopping {
+                let drained = self.depth == 0 && self.conns.values().all(Conn::is_settled);
+                let expired = self.stop_deadline.is_some_and(|d| now >= d);
+                if drained || expired {
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn accept_tcp(&mut self, listener: &TcpListener, now: Instant) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    self.admit(ConnStream::Tcp(stream), true, now);
+                }
+                Err(e) if e.kind() == IoErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == IoErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn accept_unix(&mut self, listener: &UnixListener, now: Instant) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    self.admit(ConnStream::Unix(stream), false, now);
+                }
+                Err(e) if e.kind() == IoErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == IoErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn admit(&mut self, mut stream: ConnStream, needs_hello: bool, now: Instant) {
+        if self.conns.len() >= self.rcfg.max_conns {
+            // Over the connection cap: one structured line, then close.
+            // The socket buffer of a fresh connection always has room
+            // for it, so a best-effort nonblocking write suffices.
+            let mut line = overloaded_reply(None, self.rcfg.retry_ms).render();
+            line.push('\n');
+            let _ = stream.write(line.as_bytes());
+            self.count_shed(1);
+            return;
+        }
+        let id = self.next_conn_id;
+        self.next_conn_id += 1;
+        self.conns.insert(id, Conn::new(stream, needs_hello, now));
+        self.server.count("serve.conn.accepted", 1);
+        if let Some(m) = &self.metrics {
+            m.accepted.inc();
+            m.open.set(self.conns.len() as i64);
+        }
+    }
+
+    /// Reads everything the kernel has for `conn`.  Returns `false`
+    /// when the connection is dead (read error).
+    fn read_into(conn: &mut Conn, now: Instant) -> bool {
+        let mut buf = [0u8; 4096];
+        loop {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    conn.decoder.finish();
+                    return true;
+                }
+                Ok(n) => {
+                    conn.last_read = now;
+                    conn.decoder.push(&buf[..n]);
+                }
+                Err(e) if e.kind() == IoErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == IoErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Processes decoded frames for one connection until its in-flight
+    /// cap or an empty decoder stops it.
+    fn pump(&mut self, id: u64, queue: &JobQueue) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            if conn.close_after_flush || conn.inflight >= self.rcfg.max_inflight {
+                return;
+            }
+            let Some(frame) = conn.decoder.next_frame() else {
+                return;
+            };
+            let mut shed = 0;
+            let mut oversized = 0;
+            match self.route(id, frame, &mut shed, &mut oversized) {
+                Routed::Inline => {}
+                Routed::Queued(job) => {
+                    self.depth += 1;
+                    if let Some(m) = &self.metrics {
+                        m.queue_depth.set(self.depth as i64);
+                        m.queue_peak.set_max(self.depth as i64);
+                    }
+                    queue.push(job);
+                }
+                Routed::InlineShutdown => {
+                    self.stopping = true;
+                    self.stop_deadline = Some(Instant::now() + Duration::from_millis(500));
+                }
+            }
+            self.count_shed(shed);
+            if oversized > 0 {
+                self.server.count("serve.frame.oversized", oversized);
+                if let Some(m) = &self.metrics {
+                    m.oversized.add(oversized);
+                }
+            }
+        }
+    }
+
+    /// Decides one frame's fate: an inline reply (handshake, admin,
+    /// framing errors, shed) or a queued job.
+    fn route(&mut self, id: u64, frame: Frame, shed: &mut u64, oversized: &mut u64) -> Routed {
+        let rcfg = self.rcfg;
+        let at_capacity = self.depth >= rcfg.max_queue;
+        let conn = self.conns.get_mut(&id).expect("routed conn exists");
+        // Blank lines get no reply and no reply slot, matching the
+        // stdin loop.
+        if frame == Frame::Empty {
+            return Routed::Inline;
+        }
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        let line = match frame {
+            Frame::Empty => unreachable!("handled above"),
+            Frame::Oversized { len } => {
+                *oversized += 1;
+                let reply = protocol_error(
+                    None,
+                    ErrorKind::FrameTooLong,
+                    format!("line of {len} bytes exceeds the {MAX_LINE_BYTES}-byte frame limit"),
+                );
+                conn.complete(seq, reply);
+                return Routed::Inline;
+            }
+            Frame::InvalidUtf8 => {
+                let reply = protocol_error(
+                    None,
+                    ErrorKind::BadRequest,
+                    "line is not valid UTF-8".to_string(),
+                );
+                conn.complete(seq, reply);
+                return Routed::Inline;
+            }
+            Frame::Line(line) => line,
+        };
+
+        // The handshake gate: a TCP connection's first line must be a
+        // well-formed hello at the daemon's protocol version.
+        if conn.needs_hello && !conn.greeted {
+            match Incoming::parse(&line) {
+                Ok(Incoming::Admin(AdminRequest {
+                    cmd: AdminCmd::Hello { version },
+                    ..
+                })) => {
+                    let reply = self.server.handle_line(&line);
+                    let conn = self.conns.get_mut(&id).expect("routed conn exists");
+                    conn.complete(seq, reply);
+                    if version == Some(PROTOCOL_VERSION) {
+                        conn.greeted = true;
+                    } else {
+                        conn.close_after_flush = true;
+                    }
+                }
+                _ => {
+                    let reply = protocol_error(
+                        recover_id(&line).as_deref(),
+                        ErrorKind::HandshakeRequired,
+                        format!(
+                            "expected {{\"cmd\":\"hello\",\"version\":{PROTOCOL_VERSION}}} \
+                             as the first line"
+                        ),
+                    );
+                    conn.complete(seq, reply);
+                    conn.close_after_flush = true;
+                }
+            }
+            return Routed::Inline;
+        }
+
+        // Admin lines are answered on the reactor thread: they must
+        // work even when the queue is saturated (that is when you most
+        // need `stats`), and `shutdown` must flip the flag before more
+        // work is admitted.
+        if let Ok(Incoming::Admin(req)) = Incoming::parse(&line) {
+            let reply = self.server.handle_line(&line);
+            let is_shutdown = req.cmd == AdminCmd::Shutdown;
+            let conn = self.conns.get_mut(&id).expect("routed conn exists");
+            conn.complete(seq, reply);
+            return if is_shutdown {
+                Routed::InlineShutdown
+            } else {
+                Routed::Inline
+            };
+        }
+
+        // Optimization work: shed at the queue cap, otherwise enqueue.
+        if at_capacity {
+            *shed += 1;
+            let reply = overloaded_reply(recover_id(&line).as_deref(), rcfg.retry_ms).render();
+            conn.complete(seq, reply);
+            return Routed::Inline;
+        }
+        conn.inflight += 1;
+        Routed::Queued(Job {
+            conn: id,
+            seq,
+            line,
+        })
+    }
+
+    fn count_shed(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.server.count("serve.shed", n);
+        if let Some(m) = &self.metrics {
+            m.shed.add(n);
+        }
+    }
+
+    fn drop_conn(&mut self, id: u64) {
+        if self.conns.remove(&id).is_some() {
+            if let Some(m) = &self.metrics {
+                m.open.set(self.conns.len() as i64);
+            }
+        }
+    }
+
+    fn reap(&mut self, now: Instant) {
+        let timeout = self.rcfg.read_timeout;
+        let mut timed_out = 0u64;
+        let reapable: Vec<u64> = self
+            .conns
+            .iter()
+            .filter_map(|(&id, conn)| {
+                let finished = conn.read_closed && conn.decoder.is_drained() && conn.is_settled();
+                let offender = conn.close_after_flush && conn.is_settled();
+                let idle = !conn.read_closed
+                    && conn.is_settled()
+                    && conn.decoder.is_drained()
+                    && now.duration_since(conn.last_read) >= timeout;
+                // A half-written line counts as idle too: that is the
+                // slow-loris shape (bytes trickled in, never a frame).
+                let loris = !conn.read_closed
+                    && conn.is_settled()
+                    && conn.decoder.has_partial()
+                    && now.duration_since(conn.last_read) >= timeout;
+                if finished || offender || idle || loris {
+                    if idle || loris {
+                        timed_out += 1;
+                    }
+                    Some(id)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        // Count before closing: a reaped client observes EOF the moment
+        // its fd drops, and may read the stats counter immediately.
+        if timed_out > 0 {
+            self.server.count("serve.conn.timeout", timed_out);
+            if let Some(m) = &self.metrics {
+                m.timeouts.add(timed_out);
+            }
+        }
+        for id in reapable {
+            self.drop_conn(id);
+        }
+    }
+}
+
+impl<'s> Server<'s> {
+    /// Runs the event-loop daemon over the given transports until a
+    /// `{"cmd":"shutdown"}` admin line arrives (or a listener error).
+    ///
+    /// Worker threads (`ServeConfig::workers`) are scoped inside the
+    /// call; replies are produced by [`Server::handle_line`], so they
+    /// are bitwise identical to the stdin loop and `optimize_batch`.
+    pub fn run_reactor(&self, transports: Transports, rcfg: ReactorConfig) -> std::io::Result<()> {
+        Reactor::new(self, rcfg).run(transports)
+    }
+}

@@ -17,8 +17,9 @@
 
 use std::io::{BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ujam_core::{optimize_costed, parallel_map_indexed, CancelToken, OptimizeError, SearchConfig};
@@ -26,11 +27,12 @@ use ujam_ir::LoopNest;
 use ujam_metrics::{Counter, Gauge, Histogram, MetricsHandle, MetricsSnapshot};
 use ujam_trace::{null_sink, TraceRecord, TraceSink};
 
-use crate::cache::{decision_key, CacheStats, Decision, DecisionCache};
+use crate::cache::{decision_key, CacheStats, Decision};
 use crate::proto::{
-    stats_reply, AdminCmd, AdminRequest, ErrorKind, ErrorReply, Incoming, OkReply, Reply, Request,
-    Source,
+    hello_reply, shutdown_reply, stats_reply, AdminCmd, AdminRequest, ErrorKind, ErrorReply,
+    Incoming, OkReply, Reply, Request, Source, PROTOCOL_VERSION,
 };
+use crate::shard::ShardedDecisionCache;
 
 /// Tunables for a [`Server`].
 #[derive(Clone, Copy, Debug)]
@@ -41,6 +43,10 @@ pub struct ServeConfig {
     pub batch_max: usize,
     /// Decision-cache capacity in entries (0 disables storage).
     pub cache_capacity: usize,
+    /// Decision-cache shard count (clamped to at least 1).  One shard
+    /// is exactly the PR 4 single-lock cache; N shards split the key
+    /// space by content hash so concurrent lookups stop contending.
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -51,6 +57,7 @@ impl Default for ServeConfig {
                 .unwrap_or(1),
             batch_max: 32,
             cache_capacity: 256,
+            shards: 1,
         }
     }
 }
@@ -71,9 +78,11 @@ impl Default for ServeConfig {
 /// ```
 pub struct Server<'s> {
     cfg: ServeConfig,
-    cache: Mutex<DecisionCache>,
+    cache: ShardedDecisionCache,
     sink: &'s dyn TraceSink,
     metrics: Option<ServeMetrics>,
+    metrics_handle: MetricsHandle,
+    shutdown: AtomicBool,
 }
 
 /// The server's metric set, resolved once at construction so the hot
@@ -103,13 +112,20 @@ struct ServeMetrics {
     request_ns: Arc<Histogram>,
     batch_size: Arc<Histogram>,
     cache_lookup_ns: Arc<Histogram>,
+    /// Per-shard cache counters (`serve.cache.shard{i}.hits` / `.misses`
+    /// / `.evictions`), indexed by shard.  The aggregate `serve.cache.*`
+    /// counters above stay authoritative; these expose the shard map so
+    /// skew (one hot shard) is visible in a snapshot.
+    shard_hits: Vec<Arc<Counter>>,
+    shard_misses: Vec<Arc<Counter>>,
+    shard_evictions: Vec<Arc<Counter>>,
 }
 
 impl ServeMetrics {
     /// Resolves the serve metric set, or `None` for a disabled handle.
     /// Pass-duration histograms are touched eagerly too, so they appear
     /// (empty) in snapshots taken before the first uncached request.
-    fn resolve(handle: &MetricsHandle) -> Option<ServeMetrics> {
+    fn resolve(handle: &MetricsHandle, shards: usize) -> Option<ServeMetrics> {
         let reg = handle.registry()?;
         for pass in [
             "select-loops",
@@ -137,6 +153,15 @@ impl ServeMetrics {
             request_ns: reg.histogram("serve.request_ns"),
             batch_size: reg.histogram("serve.batch_size"),
             cache_lookup_ns: reg.histogram("serve.cache.lookup_ns"),
+            shard_hits: (0..shards.max(1))
+                .map(|i| reg.counter(&format!("serve.cache.shard{i}.hits")))
+                .collect(),
+            shard_misses: (0..shards.max(1))
+                .map(|i| reg.counter(&format!("serve.cache.shard{i}.misses")))
+                .collect(),
+            shard_evictions: (0..shards.max(1))
+                .map(|i| reg.counter(&format!("serve.cache.shard{i}.evictions")))
+                .collect(),
         })
     }
 }
@@ -162,10 +187,30 @@ impl<'s> Server<'s> {
     ) -> Server<'s> {
         Server {
             cfg,
-            cache: Mutex::new(DecisionCache::new(cfg.cache_capacity)),
+            cache: ShardedDecisionCache::new(cfg.cache_capacity, cfg.shards),
             sink,
-            metrics: ServeMetrics::resolve(&metrics),
+            metrics: ServeMetrics::resolve(&metrics, cfg.shards),
+            metrics_handle: metrics,
+            shutdown: AtomicBool::new(false),
         }
+    }
+
+    /// The server's tunables (the reactor reads the worker count).
+    pub(crate) fn config(&self) -> ServeConfig {
+        self.cfg
+    }
+
+    /// The handle the server records into (disabled when built without
+    /// metrics); the reactor resolves its connection/queue metrics from
+    /// the same registry.
+    pub(crate) fn metrics_handle(&self) -> MetricsHandle {
+        self.metrics_handle.clone()
+    }
+
+    /// Whether a `{"cmd":"shutdown"}` admin line has been answered.
+    /// The serve loops poll this and exit cleanly once set.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
     }
 
     /// A point-in-time snapshot of the server's metrics registry (empty
@@ -177,15 +222,20 @@ impl<'s> Server<'s> {
         }
     }
 
-    fn count(&self, name: &str, value: u64) {
+    pub(crate) fn count(&self, name: &str, value: u64) {
         if self.sink.enabled() && value > 0 {
             self.sink.record(TraceRecord::counter("serve", name, value));
         }
     }
 
-    /// Current decision-cache counters.
+    /// Current decision-cache counters, summed over every shard.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("cache lock").stats()
+        self.cache.stats()
+    }
+
+    /// One shard's decision-cache counters (`shard < cfg.shards`).
+    pub fn cache_shard_stats(&self, shard: usize) -> CacheStats {
+        self.cache.shard_stats(shard)
     }
 
     /// Answers one request line with one reply line (no newline).
@@ -209,6 +259,28 @@ impl<'s> Server<'s> {
         }
         match admin.cmd {
             AdminCmd::Stats => stats_reply(&admin.id, &self.metrics_snapshot().render_json()),
+            AdminCmd::Hello { version } => match version {
+                Some(v) if v == PROTOCOL_VERSION => hello_reply(&admin.id),
+                offered => Reply::Error(ErrorReply {
+                    id: Some(admin.id.clone()),
+                    kind: ErrorKind::BadVersion,
+                    message: match offered {
+                        Some(v) => {
+                            format!("unsupported protocol version {v} (server speaks {PROTOCOL_VERSION})")
+                        }
+                        None => format!(
+                            "hello requires \"version\" (server speaks {PROTOCOL_VERSION})"
+                        ),
+                    },
+                    line: None,
+                    retry_ms: None,
+                })
+                .render(),
+            },
+            AdminCmd::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                shutdown_reply(&admin.id)
+            }
         }
     }
 
@@ -285,6 +357,7 @@ impl<'s> Server<'s> {
                         kind: ErrorKind::UnknownKernel,
                         message: format!("unknown kernel {name:?} (try `ujam list`)"),
                         line: None,
+                        retry_ms: None,
                     })
                 }),
             Source::Inline(src) => ujam_fortran::parse(src).map_err(|e| {
@@ -293,6 +366,7 @@ impl<'s> Server<'s> {
                     kind: ErrorKind::Parse,
                     message: e.message.clone(),
                     line: Some(e.line),
+                    retry_ms: None,
                 })
             }),
         }
@@ -311,7 +385,7 @@ impl<'s> Server<'s> {
         };
         let key = decision_key(&nest, &req.machine, req.model, req.cost_model, config);
         let lookup_t0 = self.metrics.as_ref().map(|_| Instant::now());
-        let hit = self.cache.lock().expect("cache lock").get(&key);
+        let (shard, hit) = self.cache.get(&key);
         if let (Some(m), Some(t0)) = (&self.metrics, lookup_t0) {
             m.cache_lookup_ns.observe(t0.elapsed().as_nanos() as u64);
         }
@@ -319,12 +393,14 @@ impl<'s> Server<'s> {
             self.count("serve.cache.hit", 1);
             if let Some(m) = &self.metrics {
                 m.cache_hits.inc();
+                m.shard_hits[shard].inc();
             }
             return ok_reply(&req.id, hit, true);
         }
         self.count("serve.cache.miss", 1);
         if let Some(m) = &self.metrics {
             m.cache_misses.inc();
+            m.shard_misses[shard].inc();
         }
 
         let cancel = match req.deadline_ms {
@@ -364,6 +440,7 @@ impl<'s> Server<'s> {
                     kind,
                     message: e.to_string(),
                     line: None,
+                    retry_ms: None,
                 });
             }
             Err(_) => {
@@ -372,6 +449,7 @@ impl<'s> Server<'s> {
                     kind: ErrorKind::Internal,
                     message: "optimizer panicked; the request was dropped".into(),
                     line: None,
+                    retry_ms: None,
                 });
             }
         };
@@ -379,17 +457,13 @@ impl<'s> Server<'s> {
         // already returned, so a cancelled attempt can never poison the
         // cache for a caller with a looser deadline.
         {
-            let mut cache = self.cache.lock().expect("cache lock");
-            let before = cache.stats().evictions;
-            cache.insert(key, decision.clone());
-            let evicted = cache.stats().evictions - before;
-            let (entries, bytes) = (cache.len(), cache.approx_bytes());
-            drop(cache);
-            self.count("serve.cache.evict", evicted);
+            let outcome = self.cache.insert(key, decision.clone());
+            self.count("serve.cache.evict", outcome.evicted);
             if let Some(m) = &self.metrics {
-                m.cache_evictions.add(evicted);
-                m.cache_entries.set(entries as i64);
-                m.cache_bytes.set(bytes as i64);
+                m.cache_evictions.add(outcome.evicted);
+                m.shard_evictions[outcome.shard].add(outcome.evicted);
+                m.cache_entries.set(self.cache.len() as i64);
+                m.cache_bytes.set(self.cache.approx_bytes() as i64);
             }
         }
         ok_reply(&req.id, decision, false)
@@ -435,14 +509,21 @@ impl<'s> Server<'s> {
                     writeln!(output, "{reply}")?;
                 }
                 output.flush()?;
+                if self.shutdown_requested() {
+                    return Ok(());
+                }
             }
         })
     }
 
-    /// Serves connections on a Unix domain socket at `path`, one
-    /// [`Server::run`] loop per connection on its own scoped thread.
-    /// Pre-existing sockets at `path` are replaced.  Runs until the
-    /// listener fails (i.e. for the life of the daemon).
+    /// Serves connections on a Unix domain socket at `path` through the
+    /// event loop ([`crate::reactor`]) with default admission limits.
+    /// Pre-existing sockets at `path` are replaced.  Runs until a
+    /// `{"cmd":"shutdown"}` admin line arrives.
+    ///
+    /// Until PR 9 this spawned one blocking [`Server::run`] thread per
+    /// connection — which meant an idle client parked a thread forever.
+    /// The reactor reaps those with its read timeout instead.
     #[cfg(unix)]
     pub fn run_unix(&self, path: &std::path::Path) -> std::io::Result<()> {
         use std::os::unix::net::UnixListener;
@@ -450,19 +531,13 @@ impl<'s> Server<'s> {
             std::fs::remove_file(path)?;
         }
         let listener = UnixListener::bind(path)?;
-        std::thread::scope(|scope| {
-            for stream in listener.incoming() {
-                let stream = stream?;
-                scope.spawn(move || {
-                    if let Ok(clone) = stream.try_clone() {
-                        let mut writer = stream;
-                        // A failed connection only ends that connection.
-                        let _ = self.run(std::io::BufReader::new(clone), &mut writer);
-                    }
-                });
-            }
-            Ok(())
-        })
+        self.run_reactor(
+            crate::reactor::Transports {
+                tcp: None,
+                unix: Some(listener),
+            },
+            crate::reactor::ReactorConfig::default(),
+        )
     }
 }
 
@@ -489,6 +564,7 @@ mod tests {
                 workers: 2,
                 batch_max: 8,
                 cache_capacity: 16,
+                shards: 1,
             },
             sink,
         )
@@ -593,6 +669,7 @@ mod tests {
                 workers: 2,
                 batch_max: 8,
                 cache_capacity: 16,
+                shards: 1,
             },
             sink,
             MetricsHandle::new(std::sync::Arc::clone(&registry)),
@@ -711,6 +788,7 @@ mod tests {
                     workers: 1,
                     batch_max: 8,
                     cache_capacity: 16,
+                    shards: 1,
                 },
                 null_sink(),
                 MetricsHandle::new(std::sync::Arc::clone(&registry)),

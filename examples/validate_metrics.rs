@@ -115,7 +115,60 @@ fn check_serve(doc: &Value) -> Result<String, String> {
     if total != requests {
         return Err(format!("bucket counts sum to {total}, want {requests}"));
     }
-    Ok(format!("serve_latency: {requests} requests accounted"))
+
+    // The multi-connection TCP arm: concurrency floor (64 clients in
+    // full runs), accounting, and monotone client-side quantiles.
+    let quick = doc.get("quick") == Some(&Value::Bool(true));
+    let tcp = doc.get("tcp").ok_or("missing tcp object")?;
+    let clients = field(tcp, "clients")?;
+    let floor = if quick { 1.0 } else { 64.0 };
+    if clients < floor {
+        return Err(format!(
+            "tcp arm ran {clients} concurrent clients, need >= {floor}"
+        ));
+    }
+    let per_client = field(tcp, "per_client")?;
+    if field(tcp, "requests")? != clients * per_client {
+        return Err("tcp requests != clients * per_client".into());
+    }
+    let (p50, p90, p99) = (
+        field(tcp, "p50_ns")?,
+        field(tcp, "p90_ns")?,
+        field(tcp, "p99_ns")?,
+    );
+    if !(0.0 < p50 && p50 <= p90 && p90 <= p99) {
+        return Err(format!(
+            "non-monotone tcp quantiles p50={p50} p90={p90} p99={p99}"
+        ));
+    }
+    if field(tcp, "mean_ns")? <= 0.0 {
+        return Err("tcp mean latency must be positive".into());
+    }
+
+    // The admission-control arm: the burst was fully answered, some of
+    // it shed, some served, and the daemon stayed bitwise-correct.
+    let shed = doc.get("shed").ok_or("missing shed object")?;
+    let burst = field(shed, "burst")?;
+    let (shed_n, served) = (field(shed, "shed")?, field(shed, "served")?);
+    if shed_n + served != burst {
+        return Err("shed + served != burst: replies were dropped".into());
+    }
+    if shed_n < 1.0 || served < 1.0 {
+        return Err(format!(
+            "shed arm must both shed and serve (shed={shed_n}, served={served})"
+        ));
+    }
+    if field(shed, "max_queue")? >= burst {
+        return Err("shed arm queue is not smaller than the burst".into());
+    }
+    if shed.get("post_load_bitwise") != Some(&Value::Bool(true)) {
+        return Err("post-load probe diverged from optimize_batch".into());
+    }
+
+    Ok(format!(
+        "serve_latency: {requests} requests accounted, \
+         {clients} tcp clients p99<={p99}ns, {shed_n}/{burst} shed"
+    ))
 }
 
 fn check_search(doc: &Value) -> Result<String, String> {

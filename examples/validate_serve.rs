@@ -7,6 +7,10 @@
 //! strict-JSON reply per request, in order; the duplicate served from
 //! the decision cache with a bitwise-identical decision; the malformed
 //! line answered with a structured error, not a dropped connection.
+//!
+//! With `--hello` the stream came over TCP (`ujam request --tcp
+//! --show-hello`): the first line must then be the versioned handshake
+//! ack, followed by the same three replies.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -31,9 +35,14 @@ fn field<'a>(doc: &'a Value, name: &str) -> Result<&'a Value, String> {
 }
 
 fn run() -> Result<String, String> {
-    let text = match std::env::args().nth(1) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let hello = args.first().map(String::as_str) == Some("--hello");
+    if hello {
+        args.remove(0);
+    }
+    let text = match args.first() {
         Some(path) => {
-            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path:?}: {e}"))?
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?
         }
         None => {
             let mut buf = String::new();
@@ -43,9 +52,26 @@ fn run() -> Result<String, String> {
             buf
         }
     };
-    let lines: Vec<&str> = text.lines().collect();
-    if lines.len() != 3 {
-        return Err(format!("expected 3 replies, got {}", lines.len()));
+    let mut lines: Vec<&str> = text.lines().collect();
+    let expected = if hello { 4 } else { 3 };
+    if lines.len() != expected {
+        return Err(format!("expected {expected} replies, got {}", lines.len()));
+    }
+    if hello {
+        let ack = json::parse(lines.remove(0))
+            .map_err(|e| format!("handshake ack is not strict JSON: {e}"))?;
+        if field(&ack, "ok")? != &Value::Bool(true) {
+            return Err(format!(
+                "handshake rejected: {}",
+                text.lines().next().unwrap()
+            ));
+        }
+        let protocol = field(&ack, "protocol")?
+            .as_f64()
+            .ok_or("handshake ack: protocol is not a number")?;
+        if protocol < 1.0 {
+            return Err(format!("handshake ack: bad protocol version {protocol}"));
+        }
     }
     let docs: Vec<Value> = lines
         .iter()
@@ -107,7 +133,12 @@ fn run() -> Result<String, String> {
         return Err("error reply with an empty message".to_string());
     }
 
+    let prefix = if hello {
+        "handshake acked, 3 replies"
+    } else {
+        "3 replies"
+    };
     Ok(format!(
-        "3 replies, duplicate cache-served, malformed line answered with {kind:?}"
+        "{prefix}, duplicate cache-served, malformed line answered with {kind:?}"
     ))
 }

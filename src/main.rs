@@ -11,8 +11,10 @@
 //! ujam emit <loop>                   # render as Fortran source
 //! ujam schedule <loop> [options]     # list-schedule the optimized body
 //! ujam serve [options]               # NDJSON optimization daemon
-//! ujam request --socket PATH <json>  # send one request line to a daemon
+//! ujam request --socket PATH <json>  # send request lines to a daemon
+//! ujam request --tcp ADDR <json>...  # same over TCP (handshakes first)
 //! ujam stats --socket PATH [--json]  # query a daemon's metrics snapshot
+//! ujam stats --tcp ADDR [--json]     # same over TCP
 //! ```
 //!
 //! `<loop>` is a Table 2 kernel name (`ujam list`) or a path to a Fortran
@@ -83,10 +85,12 @@ const USAGE: &str = "usage:
                        [--cache-geometry CAPACITY:LINE:WAYS] [--profile-out PATH]
   ujam emit <loop>
   ujam schedule <loop> [--machine alpha|parisc|prefetch] [--model cache|allhits]
-  ujam serve [--workers N] [--batch N] [--cache N] [--socket PATH] [--trace[=json]]
-             [--metrics-interval SECS]
-  ujam request --socket PATH <json-line>
-  ujam stats --socket PATH [--json]
+  ujam serve [--workers N] [--batch N] [--cache N] [--shards N]
+             [--socket PATH] [--tcp ADDR] [--max-queue N] [--max-conns N]
+             [--max-inflight N] [--read-timeout-ms MS]
+             [--trace[=json]] [--metrics-interval SECS]
+  ujam request (--socket PATH | --tcp ADDR) [--show-hello] <json-line>...
+  ujam stats (--socket PATH | --tcp ADDR) [--json]
 
 <loop> is a kernel name from `ujam list`, a deep register-tiling kernel
 (stencil3d, contract3, tensor4, assemble4, bmm4, bcontract5), or a
@@ -105,16 +109,28 @@ array and aggregate, cold/capacity/conflict misses, miss rates) to
 stdout, or to PATH with --profile-out.  The cache geometry defaults to
 the machine's; override it with --cache-geometry, e.g. 8192:32:1.
 
-`serve` reads one JSON request per line from stdin (or the Unix socket at
-PATH) and writes one JSON reply per line to stdout; see the ujam-serve
-crate docs for the protocol.  With --trace, service counters are printed
+`serve` reads one JSON request per line from stdin and writes one JSON
+reply per line to stdout; see the ujam-serve crate docs for the
+protocol.  With --socket and/or --tcp it instead serves connections on
+those listeners through a poll(2) event loop: nonblocking sockets, a
+bounded worker queue (--max-queue; full = structured `overloaded`
+replies with retry_ms), per-connection in-flight caps (--max-inflight),
+a connection cap (--max-conns), idle/slow-loris read timeouts
+(--read-timeout-ms, default 30000), and an N-way content-hash-sharded
+decision cache (--shards).  TCP clients must open with the versioned
+handshake {\"cmd\":\"hello\",\"version\":1}.  `--tcp 127.0.0.1:0`
+picks a free port; the bound address is announced on stderr as
+`serve: tcp listening on ADDR`.  A {\"cmd\":\"shutdown\"} admin line
+stops the daemon cleanly.  With --trace, service counters are printed
 to stderr on shutdown.  Runtime metrics are always recorded;
 --metrics-interval prints one JSON snapshot per interval to stderr.
 
-`request` sends one raw NDJSON request line to a serving daemon's Unix
-socket and prints the reply line.  `stats` asks the daemon for its
-metrics snapshot ({\"cmd\":\"stats\"}) and renders it as a table, or as
-the raw versioned JSON snapshot with --json.";
+`request` sends raw NDJSON request lines to a serving daemon (Unix
+socket or TCP; over TCP the handshake is performed first and its ack
+printed only with --show-hello) and prints one reply line per request.
+`stats` asks the daemon for its metrics snapshot ({\"cmd\":\"stats\"})
+and renders it as a table, or as the raw versioned JSON snapshot with
+--json.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -364,12 +380,17 @@ fn run(args: &[String]) -> Result<(), String> {
                 },
                 MetricsHandle::new(Arc::clone(&registry)),
             );
-            let result = match &opts.socket {
-                Some(path) => server.run_unix(std::path::Path::new(path)),
-                None => {
-                    let input = std::io::BufReader::new(std::io::stdin());
-                    server.run(input, &mut std::io::stdout().lock())
-                }
+            let result = if opts.tcp.is_some() || opts.socket.is_some() {
+                bind_transports(&opts).and_then(|transports| {
+                    server
+                        .run_reactor(transports, opts.rcfg)
+                        .map_err(|e| format!("serve: {e}"))
+                })
+            } else {
+                let input = std::io::BufReader::new(std::io::stdin());
+                server
+                    .run(input, &mut std::io::stdout().lock())
+                    .map_err(|e| format!("serve: {e}"))
             };
             // Replies own stdout, so shutdown telemetry goes to stderr.
             if tracing {
@@ -382,27 +403,48 @@ fn run(args: &[String]) -> Result<(), String> {
             if opts.metrics_interval.is_some() {
                 eprintln!("{}", registry.snapshot().render_json());
             }
-            result.map_err(|e| format!("serve: {e}"))
+            result
         }
         "request" => {
-            let (socket, rest) = socket_options(it)?;
-            let line = match rest.as_slice() {
-                [line] => line.as_str(),
-                [] => return Err("request needs a JSON line to send".into()),
-                _ => return Err("request takes exactly one JSON line".into()),
-            };
-            let reply = roundtrip(&socket, line)?;
-            println!("{reply}");
+            let (endpoint, rest) = endpoint_options(it)?;
+            let mut show_hello = false;
+            let mut lines = Vec::new();
+            for arg in rest {
+                match arg.as_str() {
+                    "--show-hello" => show_hello = true,
+                    _ => lines.push(arg),
+                }
+            }
+            if lines.is_empty() {
+                return Err("request needs at least one JSON line to send".into());
+            }
+            let exchange = daemon_exchange(&endpoint, &lines)?;
+            if show_hello {
+                if let Some(hello) = &exchange.hello {
+                    println!("{hello}");
+                }
+            }
+            for reply in &exchange.replies {
+                println!("{reply}");
+            }
             Ok(())
         }
         "stats" => {
-            let (socket, rest) = socket_options(it)?;
+            let (endpoint, rest) = endpoint_options(it)?;
             let json_out = match rest.iter().map(String::as_str).collect::<Vec<_>>()[..] {
                 [] => false,
                 ["--json"] => true,
-                _ => return Err("stats takes only --socket PATH and --json".into()),
+                _ => return Err("stats takes only --socket/--tcp and --json".into()),
             };
-            let reply = roundtrip(&socket, "{\"id\":\"stats-cli\",\"cmd\":\"stats\"}")?;
+            let exchange = daemon_exchange(
+                &endpoint,
+                &["{\"id\":\"stats-cli\",\"cmd\":\"stats\"}".to_string()],
+            )?;
+            let reply = exchange
+                .replies
+                .first()
+                .ok_or("daemon closed the connection without replying")?
+                .clone();
             let parsed =
                 json::parse(&reply).map_err(|e| format!("daemon sent unparsable reply: {e}"))?;
             if parsed.get("ok") != Some(&Value::Bool(true)) {
@@ -428,14 +470,18 @@ fn run(args: &[String]) -> Result<(), String> {
 
 struct ServeOptions {
     cfg: ujam::serve::ServeConfig,
+    rcfg: ujam::serve::ReactorConfig,
     socket: Option<String>,
+    tcp: Option<String>,
     trace: TraceMode,
     metrics_interval: Option<u64>,
 }
 
 fn serve_options<'a>(it: impl Iterator<Item = &'a String>) -> Result<ServeOptions, String> {
     let mut cfg = ujam::serve::ServeConfig::default();
+    let mut rcfg = ujam::serve::ReactorConfig::default();
     let mut socket = None;
+    let mut tcp = None;
     let mut trace = TraceMode::Off;
     let mut metrics_interval = None;
     let mut it = it.peekable();
@@ -455,7 +501,16 @@ fn serve_options<'a>(it: impl Iterator<Item = &'a String>) -> Result<ServeOption
                     .and_then(|s| s.parse().ok())
                     .ok_or("--cache needs a number")?;
             }
+            "--shards" => cfg.shards = number("--shards", it.next())?,
             "--socket" => socket = Some(it.next().ok_or("--socket needs a path")?.clone()),
+            "--tcp" => tcp = Some(it.next().ok_or("--tcp needs an address")?.clone()),
+            "--max-queue" => rcfg.max_queue = number("--max-queue", it.next())?,
+            "--max-conns" => rcfg.max_conns = number("--max-conns", it.next())?,
+            "--max-inflight" => rcfg.max_inflight = number("--max-inflight", it.next())?,
+            "--read-timeout-ms" => {
+                rcfg.read_timeout =
+                    std::time::Duration::from_millis(number("--read-timeout-ms", it.next())? as u64)
+            }
             "--metrics-interval" => {
                 metrics_interval = Some(number("--metrics-interval", it.next()).map(|n| n as u64)?)
             }
@@ -473,52 +528,148 @@ fn serve_options<'a>(it: impl Iterator<Item = &'a String>) -> Result<ServeOption
     }
     Ok(ServeOptions {
         cfg,
+        rcfg,
         socket,
+        tcp,
         trace,
         metrics_interval,
     })
 }
 
-/// Parses a `--socket PATH` flag list for the daemon-client subcommands
-/// (`request`, `stats`), returning the path and the unconsumed
+/// Binds the serve listeners and announces each bound address on
+/// stderr — `serve: tcp listening on ADDR` is how scripts discover the
+/// port `--tcp 127.0.0.1:0` picked.
+fn bind_transports(opts: &ServeOptions) -> Result<ujam::serve::Transports, String> {
+    let mut transports = ujam::serve::Transports::default();
+    if let Some(addr) = &opts.tcp {
+        let listener = std::net::TcpListener::bind(addr)
+            .map_err(|e| format!("cannot bind tcp {addr:?}: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("tcp listener has no address: {e}"))?;
+        eprintln!("serve: tcp listening on {local}");
+        transports.tcp = Some(listener);
+    }
+    if let Some(path) = &opts.socket {
+        let path = std::path::Path::new(path);
+        if path.exists() {
+            std::fs::remove_file(path)
+                .map_err(|e| format!("cannot replace socket {path:?}: {e}"))?;
+        }
+        let listener = std::os::unix::net::UnixListener::bind(path)
+            .map_err(|e| format!("cannot bind socket {path:?}: {e}"))?;
+        eprintln!("serve: unix listening on {}", path.display());
+        transports.unix = Some(listener);
+    }
+    Ok(transports)
+}
+
+/// Where the daemon-client subcommands (`request`, `stats`) connect.
+enum Endpoint {
+    Unix(String),
+    Tcp(String),
+}
+
+/// Parses the `--socket PATH` / `--tcp ADDR` flags for the
+/// daemon-client subcommands, returning the endpoint and the unconsumed
 /// arguments.
-fn socket_options<'a>(
+fn endpoint_options<'a>(
     it: impl Iterator<Item = &'a String>,
-) -> Result<(String, Vec<String>), String> {
+) -> Result<(Endpoint, Vec<String>), String> {
     let mut socket = None;
+    let mut tcp = None;
     let mut rest = Vec::new();
     let mut it = it.peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--socket" => socket = Some(it.next().ok_or("--socket needs a path")?.clone()),
+            "--tcp" => tcp = Some(it.next().ok_or("--tcp needs an address")?.clone()),
             _ => rest.push(arg.clone()),
         }
     }
-    let socket = socket.ok_or("--socket PATH is required (the daemon's Unix socket)")?;
-    Ok((socket, rest))
+    match (socket, tcp) {
+        (Some(path), None) => Ok((Endpoint::Unix(path), rest)),
+        (None, Some(addr)) => Ok((Endpoint::Tcp(addr), rest)),
+        (Some(_), Some(_)) => Err("use --socket or --tcp, not both".into()),
+        (None, None) => {
+            Err("--socket PATH or --tcp ADDR is required (where is the daemon?)".into())
+        }
+    }
 }
 
-/// Sends one NDJSON line to the daemon at `socket` and reads one reply
-/// line back.
-fn roundtrip(socket: &str, line: &str) -> Result<String, String> {
-    let stream = std::os::unix::net::UnixStream::connect(socket)
-        .map_err(|e| format!("cannot connect to {socket:?}: {e} (is `ujam serve` running?)"))?;
-    let mut writer = stream
-        .try_clone()
-        .map_err(|e| format!("socket error: {e}"))?;
+/// One client conversation's worth of replies.
+struct Exchange {
+    /// The handshake acknowledgment (TCP only).
+    hello: Option<String>,
+    /// One reply line per request line, in order.
+    replies: Vec<String>,
+}
+
+/// Sends NDJSON lines to the daemon at `endpoint` and reads one reply
+/// line per request.  Over TCP the versioned hello handshake is sent
+/// first and its acknowledgment verified.
+fn daemon_exchange(endpoint: &Endpoint, lines: &[String]) -> Result<Exchange, String> {
+    let (reader, mut writer): (Box<dyn std::io::Read>, Box<dyn Write>) = match endpoint {
+        Endpoint::Unix(path) => {
+            let stream = std::os::unix::net::UnixStream::connect(path).map_err(|e| {
+                format!("cannot connect to {path:?}: {e} (is `ujam serve` running?)")
+            })?;
+            let w = stream
+                .try_clone()
+                .map_err(|e| format!("socket error: {e}"))?;
+            (Box::new(stream), Box::new(w))
+        }
+        Endpoint::Tcp(addr) => {
+            let stream = std::net::TcpStream::connect(addr).map_err(|e| {
+                format!("cannot connect to {addr:?}: {e} (is `ujam serve --tcp` running?)")
+            })?;
+            let w = stream
+                .try_clone()
+                .map_err(|e| format!("socket error: {e}"))?;
+            (Box::new(stream), Box::new(w))
+        }
+    };
+    let handshake = matches!(endpoint, Endpoint::Tcp(_));
+    let mut payload = String::new();
+    if handshake {
+        payload.push_str(&format!(
+            "{{\"id\":\"hello-cli\",\"cmd\":\"hello\",\"version\":{}}}\n",
+            ujam::serve::PROTOCOL_VERSION
+        ));
+    }
+    for line in lines {
+        payload.push_str(line);
+        payload.push('\n');
+    }
     writer
-        .write_all(line.as_bytes())
-        .and_then(|()| writer.write_all(b"\n"))
+        .write_all(payload.as_bytes())
         .and_then(|()| writer.flush())
         .map_err(|e| format!("cannot send request: {e}"))?;
-    let mut reply = String::new();
-    std::io::BufReader::new(stream)
-        .read_line(&mut reply)
-        .map_err(|e| format!("cannot read reply: {e}"))?;
-    if reply.is_empty() {
-        return Err("daemon closed the connection without replying".into());
+    let mut reader = std::io::BufReader::new(reader);
+    let mut read_line = || -> Result<String, String> {
+        let mut reply = String::new();
+        reader
+            .read_line(&mut reply)
+            .map_err(|e| format!("cannot read reply: {e}"))?;
+        if reply.is_empty() {
+            return Err("daemon closed the connection without replying".into());
+        }
+        Ok(reply.trim_end().to_string())
+    };
+    let hello = if handshake {
+        let ack = read_line()?;
+        if !ack.contains("\"ok\":true") {
+            return Err(format!("daemon refused the handshake: {ack}"));
+        }
+        Some(ack)
+    } else {
+        None
+    };
+    let mut replies = Vec::with_capacity(lines.len());
+    for _ in lines {
+        replies.push(read_line()?);
     }
-    Ok(reply.trim_end().to_string())
+    Ok(Exchange { hello, replies })
 }
 
 /// Renders a parsed metrics snapshot as the aligned tables a human

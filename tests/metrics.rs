@@ -19,6 +19,7 @@ fn replay(workload: &str) -> (Server<'static>, String) {
             workers: 1,
             batch_max: 1,
             cache_capacity: 64,
+            shards: 1,
         },
         ujam::trace::null_sink(),
         MetricsHandle::new(Arc::new(MetricsRegistry::new())),

@@ -15,6 +15,7 @@ fn test_config() -> ServeConfig {
         workers: 4,
         batch_max: 8,
         cache_capacity: 64,
+        shards: 1,
     }
 }
 
@@ -158,6 +159,7 @@ fn soak_eight_concurrent_clients_with_hostile_traffic() {
             workers: 4,
             batch_max: 1,
             cache_capacity: 64,
+            shards: 1,
         },
         &sink,
     );

@@ -1,0 +1,576 @@
+//! Integration tests of the TCP event-loop daemon: the versioned
+//! handshake, a 100-client hostile soak, admission control (structured
+//! `overloaded` sheds), read-timeout reaping, reply ordering under
+//! pipelining, and bitwise agreement with the sequential batch
+//! optimizer after all of it.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ujam::core::optimize_batch;
+use ujam::kernels::kernels;
+use ujam::machine::MachineModel;
+use ujam::metrics::{MetricsHandle, MetricsRegistry};
+use ujam::serve::{ReactorConfig, ServeConfig, Server, Transports, PROTOCOL_VERSION};
+use ujam::trace::json;
+
+const HELLO: &str = "{\"id\":\"h\",\"cmd\":\"hello\",\"version\":1}";
+
+/// Runs `body` against a daemon serving TCP on a fresh loopback port,
+/// then shuts the daemon down cleanly over its own protocol.
+///
+/// A panic in `body` must not strand the daemon: `thread::scope` joins
+/// every spawned thread before propagating a panic, so an unshut-down
+/// daemon turns an assertion failure into a silent deadlock with the
+/// message stuck in libtest's capture buffer.  The body therefore runs
+/// under `catch_unwind`, the daemon is always shut down, and the panic
+/// is re-raised afterwards.
+fn with_tcp_daemon(
+    cfg: ServeConfig,
+    rcfg: ReactorConfig,
+    registry: Option<Arc<MetricsRegistry>>,
+    body: impl FnOnce(SocketAddr),
+) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let handle = match &registry {
+        Some(reg) => MetricsHandle::new(Arc::clone(reg)),
+        None => MetricsHandle::disabled(),
+    };
+    let server = Server::with_metrics(cfg, ujam::trace::null_sink(), handle);
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| {
+            server
+                .run_reactor(
+                    Transports {
+                        tcp: Some(listener),
+                        unix: None,
+                    },
+                    rcfg,
+                )
+                .expect("reactor runs until shutdown");
+        });
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(addr)));
+        shutdown_daemon(addr);
+        daemon.join().expect("daemon thread exits cleanly");
+        if let Err(panic) = outcome {
+            std::panic::resume_unwind(panic);
+        }
+    });
+}
+
+/// Shuts the daemon down over the wire, like any client would.
+///
+/// The handshake and the shutdown command go out in a single write so
+/// a short `read_timeout` (the reap tests run at 150 ms) has no idle
+/// window to hit between them, and the whole exchange retries on a
+/// fresh connection if the reaper wins the race anyway — under
+/// parallel-test CPU load a client thread can stall longer than the
+/// reap deadline between any two syscalls.
+fn shutdown_daemon(addr: SocketAddr) {
+    for _ in 0..10 {
+        let Ok(stream) = TcpStream::connect(addr) else {
+            return; // daemon already gone
+        };
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut stream = stream;
+        if stream
+            .write_all(format!("{HELLO}\n{{\"id\":\"bye\",\"cmd\":\"shutdown\"}}\n").as_bytes())
+            .is_err()
+        {
+            continue;
+        }
+        // Read to EOF: the daemon closes every socket as it exits, so a
+        // successful shutdown yields the hello ack, the shutdown reply,
+        // then EOF.  Anything else (reaped first, daemon mid-stop) is a
+        // retry.
+        let mut text = String::new();
+        let _ = reader.read_to_string(&mut text);
+        if text.contains("\"shutdown\":true") {
+            return;
+        }
+    }
+    panic!("daemon never acknowledged shutdown");
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+fn connect(addr: SocketAddr) -> Client {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    Client { stream, reader }
+}
+
+/// Connects and completes the versioned handshake.
+fn greet(addr: SocketAddr) -> Client {
+    let mut c = connect(addr);
+    send(&mut c, HELLO);
+    let ack = read_line(&mut c);
+    assert!(
+        ack.contains("\"ok\":true") && ack.contains(&format!("\"protocol\":{PROTOCOL_VERSION}")),
+        "handshake ack: {ack}"
+    );
+    c
+}
+
+fn send(c: &mut Client, line: &str) {
+    c.stream
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("send line");
+}
+
+fn read_line(c: &mut Client) -> String {
+    let mut line = String::new();
+    let n = c.reader.read_line(&mut line).expect("read reply");
+    assert!(n > 0, "daemon closed the connection unexpectedly");
+    line.trim_end().to_string()
+}
+
+/// Reads until EOF, returning whatever lines arrived first.
+fn read_to_eof(c: &mut Client) -> Vec<String> {
+    let mut all = String::new();
+    c.reader.read_to_string(&mut all).expect("read to eof");
+    all.lines().map(str::to_string).collect()
+}
+
+/// The reference decisions: kernel name → (unroll, balance bits,
+/// original-balance bits, registers) from the sequential batch
+/// optimizer, the ground truth every ok reply must match bitwise.
+type Reference = std::collections::BTreeMap<String, (Vec<u32>, u64, u64, i64)>;
+
+fn reference() -> Reference {
+    let suite = kernels();
+    let nests: Vec<_> = suite.iter().map(|k| k.nest()).collect();
+    optimize_batch(&nests, &MachineModel::dec_alpha())
+        .iter()
+        .zip(&suite)
+        .map(|(plan, k)| {
+            let plan = plan.as_ref().expect("suite kernels optimize");
+            (
+                k.name.to_string(),
+                (
+                    plan.unroll.clone(),
+                    plan.predicted.balance.to_bits(),
+                    plan.original.balance.to_bits(),
+                    plan.predicted.registers,
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Asserts one ok reply is bitwise the reference decision for `kernel`.
+fn assert_bitwise(reply: &str, kernel: &str, reference: &Reference) {
+    let doc = json::parse(reply).expect("reply is valid JSON");
+    assert_eq!(
+        doc.get("ok"),
+        Some(&json::Value::Bool(true)),
+        "expected ok reply for {kernel}: {reply}"
+    );
+    let (unroll, balance, original, registers) = &reference[kernel];
+    let got_unroll: Vec<u32> = doc
+        .get("unroll")
+        .and_then(json::Value::as_array)
+        .expect("unroll array")
+        .iter()
+        .map(|v| v.as_f64().expect("unroll component") as u32)
+        .collect();
+    assert_eq!(&got_unroll, unroll, "{kernel}: unroll diverged: {reply}");
+    assert_eq!(
+        doc.get("balance")
+            .and_then(json::Value::as_f64)
+            .expect("balance")
+            .to_bits(),
+        *balance,
+        "{kernel}: balance not bitwise-identical: {reply}"
+    );
+    assert_eq!(
+        doc.get("original_balance")
+            .and_then(json::Value::as_f64)
+            .expect("original_balance")
+            .to_bits(),
+        *original,
+        "{kernel}: original balance not bitwise-identical: {reply}"
+    );
+    assert_eq!(
+        doc.get("registers")
+            .and_then(json::Value::as_f64)
+            .expect("registers") as i64,
+        *registers,
+        "{kernel}: registers diverged: {reply}"
+    );
+}
+
+/// ≥100 concurrent TCP clients in five behavior classes: valid
+/// pipelined requests, half-written lines with mid-request disconnects,
+/// oversized frames, wrong-version handshakes, and handshake-less
+/// requests.  The daemon must answer every well-formed line with valid
+/// JSON (ok or a structured shed), never panic, and still serve
+/// bitwise-correct decisions afterwards.
+#[test]
+fn hostile_soak_100_concurrent_tcp_clients() {
+    const CLIENTS: usize = 100;
+    let valid = ["dmxpy0", "dmxpy1", "jacobi", "sor"];
+    let reference = reference();
+
+    with_tcp_daemon(
+        ServeConfig {
+            workers: 4,
+            batch_max: 8,
+            cache_capacity: 64,
+            shards: 8,
+        },
+        ReactorConfig::default(),
+        None,
+        |addr| {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for c in 0..CLIENTS {
+                    let reference = &reference;
+                    handles.push(scope.spawn(move || match c % 5 {
+                        // Well-behaved: handshake, two pipelined
+                        // requests (a deliberate duplicate), ordered
+                        // replies, each ok-and-bitwise or a structured
+                        // shed.
+                        0 => {
+                            let kernel = valid[c % valid.len()];
+                            let mut conn = greet(addr);
+                            send(
+                                &mut conn,
+                                &format!("{{\"id\":\"{c}-a\",\"kernel\":\"{kernel}\"}}"),
+                            );
+                            send(
+                                &mut conn,
+                                &format!("{{\"id\":\"{c}-b\",\"kernel\":\"{kernel}\"}}"),
+                            );
+                            for tag in ["a", "b"] {
+                                let reply = read_line(&mut conn);
+                                assert!(
+                                    reply.contains(&format!("\"id\":\"{c}-{tag}\"")),
+                                    "client {c}: replies out of order: {reply}"
+                                );
+                                if reply.contains("\"ok\":true") {
+                                    assert_bitwise(&reply, kernel, reference);
+                                } else {
+                                    assert!(
+                                        reply.contains("\"overloaded\"")
+                                            && reply.contains("\"retry_ms\""),
+                                        "client {c}: non-ok replies must be structured \
+                                         sheds: {reply}"
+                                    );
+                                }
+                            }
+                        }
+                        // Half a line, then vanish mid-request.
+                        1 => {
+                            let mut conn = greet(addr);
+                            conn.stream
+                                .write_all(b"{\"id\":\"half-written\",\"kern")
+                                .expect("partial write");
+                            // Dropping both halves closes the socket.
+                        }
+                        // An oversized frame, then a valid request on
+                        // the same connection: the stream must recover.
+                        2 => {
+                            let mut conn = greet(addr);
+                            let huge = vec![b'x'; (1 << 20) + 4096];
+                            conn.stream.write_all(&huge).expect("oversized line");
+                            send(&mut conn, ""); // terminate the monster
+                            send(
+                                &mut conn,
+                                &format!("{{\"id\":\"{c}-ok\",\"kernel\":\"sor\"}}"),
+                            );
+                            let first = read_line(&mut conn);
+                            assert!(
+                                first.contains("frame_too_long"),
+                                "client {c}: oversized line must be a structured \
+                                 error: {first}"
+                            );
+                            let second = read_line(&mut conn);
+                            assert!(
+                                second.contains(&format!("\"id\":\"{c}-ok\"")),
+                                "client {c}: stream must recover after the bad frame: \
+                                 {second}"
+                            );
+                        }
+                        // Wrong protocol version: structured rejection,
+                        // then the daemon hangs up.
+                        3 => {
+                            let mut conn = connect(addr);
+                            send(&mut conn, "{\"id\":\"v9\",\"cmd\":\"hello\",\"version\":9}");
+                            let lines = read_to_eof(&mut conn);
+                            assert!(
+                                lines.first().is_some_and(|l| l.contains("bad_version")),
+                                "client {c}: wrong version must be rejected: {lines:?}"
+                            );
+                        }
+                        // No handshake at all: structured rejection,
+                        // then the daemon hangs up.
+                        _ => {
+                            let mut conn = connect(addr);
+                            send(&mut conn, &format!("{{\"id\":\"{c}\",\"kernel\":\"sor\"}}"));
+                            let lines = read_to_eof(&mut conn);
+                            assert!(
+                                lines
+                                    .first()
+                                    .is_some_and(|l| l.contains("handshake_required")),
+                                "client {c}: handshake-less requests must be rejected: \
+                                 {lines:?}"
+                            );
+                        }
+                    }));
+                }
+                for (c, h) in handles.into_iter().enumerate() {
+                    h.join().unwrap_or_else(|_| panic!("client {c} panicked"));
+                }
+            });
+
+            // After the storm: every kernel the soak touched still
+            // serves decisions bitwise-identical to optimize_batch.
+            let mut conn = greet(addr);
+            for kernel in valid {
+                send(
+                    &mut conn,
+                    &format!("{{\"id\":\"probe\",\"kernel\":\"{kernel}\"}}"),
+                );
+                assert_bitwise(&read_line(&mut conn), kernel, &reference);
+            }
+        },
+    );
+}
+
+/// A pipelined burst far past the queue cap: the daemon answers every
+/// line in order, sheds the overflow with structured `overloaded`
+/// replies carrying `retry_ms`, and serves bitwise-correct decisions
+/// once the load passes.
+#[test]
+fn overload_sheds_structured_errors_and_recovers() {
+    const BURST: usize = 40;
+    let reference = reference();
+    let registry = Arc::new(MetricsRegistry::new());
+
+    with_tcp_daemon(
+        ServeConfig {
+            workers: 1,
+            batch_max: 1,
+            cache_capacity: 0, // every request computes: the queue backs up
+            shards: 1,
+        },
+        ReactorConfig {
+            max_queue: 2,
+            ..ReactorConfig::default()
+        },
+        Some(Arc::clone(&registry)),
+        |addr| {
+            let mut conn = greet(addr);
+            let mut payload = String::new();
+            for i in 0..BURST {
+                payload.push_str(&format!("{{\"id\":\"r{i}\",\"kernel\":\"dmxpy1\"}}\n"));
+            }
+            conn.stream
+                .write_all(payload.as_bytes())
+                .expect("burst write");
+
+            let mut shed = 0;
+            let mut served = 0;
+            for i in 0..BURST {
+                let reply = read_line(&mut conn);
+                assert!(
+                    reply.contains(&format!("\"id\":\"r{i}\"")),
+                    "reply {i} out of order: {reply}"
+                );
+                if reply.contains("\"ok\":true") {
+                    assert_bitwise(&reply, "dmxpy1", &reference);
+                    served += 1;
+                } else {
+                    assert!(
+                        reply.contains("\"overloaded\"") && reply.contains("\"retry_ms\""),
+                        "shed replies must be structured with a backoff: {reply}"
+                    );
+                    shed += 1;
+                }
+            }
+            assert!(shed >= 1, "a 20x-overcommitted queue must shed");
+            assert!(served >= 1, "admitted work must still be answered");
+            assert_eq!(shed + served, BURST);
+            assert_eq!(
+                registry.snapshot().counter("serve.shed"),
+                shed as u64,
+                "every shed is counted"
+            );
+
+            // Post-load: the daemon answers fresh work, bitwise correct.
+            send(&mut conn, "{\"id\":\"after\",\"kernel\":\"sor\"}");
+            assert_bitwise(&read_line(&mut conn), "sor", &reference);
+        },
+    );
+}
+
+/// Idle and slow-loris connections are reaped by the read timeout and
+/// counted — the fix for the blocking reader that parked a thread
+/// forever on a silent client.
+#[test]
+fn idle_and_slow_loris_connections_are_reaped() {
+    let registry = Arc::new(MetricsRegistry::new());
+    with_tcp_daemon(
+        ServeConfig {
+            workers: 1,
+            batch_max: 1,
+            cache_capacity: 16,
+            shards: 1,
+        },
+        ReactorConfig {
+            read_timeout: Duration::from_millis(150),
+            ..ReactorConfig::default()
+        },
+        Some(Arc::clone(&registry)),
+        |addr| {
+            // One connection greets then goes silent; one trickles half
+            // a line and stalls (the slow-loris shape).
+            let mut idle = greet(addr);
+            let mut loris = greet(addr);
+            loris
+                .stream
+                .write_all(b"{\"id\":\"loris\"")
+                .expect("partial write");
+
+            // Both must be hung up on by the daemon, not kept forever.
+            let mut buf = String::new();
+            idle.reader.read_to_string(&mut buf).expect("idle reaped");
+            assert!(buf.is_empty(), "reap sends nothing: {buf:?}");
+            let mut buf = String::new();
+            loris.reader.read_to_string(&mut buf).expect("loris reaped");
+            assert!(buf.is_empty(), "reap sends nothing: {buf:?}");
+
+            assert_eq!(
+                registry.snapshot().counter("serve.conn.timeout"),
+                2,
+                "both reaps are counted"
+            );
+            // The daemon is still healthy for new clients.  Pipeline
+            // the handshake with the request: at a 150 ms read timeout,
+            // a greet-then-send roundtrip leaves an idle window the
+            // reaper can hit when the test host is saturated.
+            let mut conn = connect(addr);
+            send(
+                &mut conn,
+                &format!("{HELLO}\n{{\"id\":\"alive\",\"kernel\":\"sor\"}}"),
+            );
+            assert!(read_line(&mut conn).contains("\"ok\":true"), "hello ack");
+            assert!(read_line(&mut conn).contains("\"ok\":true"), "alive reply");
+        },
+    );
+}
+
+/// The whole Table 2 suite pipelined over one TCP connection: replies
+/// in request order, every decision bitwise-identical to the
+/// sequential batch optimizer.
+#[test]
+fn full_suite_over_tcp_is_bitwise_identical_to_optimize_batch() {
+    let reference = reference();
+    let suite = kernels();
+    with_tcp_daemon(
+        ServeConfig {
+            workers: 4,
+            batch_max: 8,
+            cache_capacity: 64,
+            shards: 4,
+        },
+        ReactorConfig::default(),
+        None,
+        |addr| {
+            let mut conn = greet(addr);
+            let mut payload = String::new();
+            for k in &suite {
+                payload.push_str(&format!(
+                    "{{\"id\":\"{}\",\"kernel\":\"{}\"}}\n",
+                    k.name, k.name
+                ));
+            }
+            conn.stream
+                .write_all(payload.as_bytes())
+                .expect("pipelined suite");
+            for k in &suite {
+                let reply = read_line(&mut conn);
+                assert!(
+                    reply.contains(&format!("\"id\":\"{}\"", k.name)),
+                    "suite replies must arrive in request order: {reply}"
+                );
+                assert_bitwise(&reply, k.name, &reference);
+            }
+        },
+    );
+}
+
+/// The Unix socket still speaks the PR 4 protocol — no handshake — now
+/// through the same event loop, and a client that connects and leaves
+/// without sending anything no longer wedges anything.
+#[test]
+fn unix_socket_keeps_the_legacy_protocol_through_the_reactor() {
+    use std::os::unix::net::{UnixListener, UnixStream};
+    let dir = std::env::temp_dir().join(format!("ujam-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("reactor.sock");
+    let _ = std::fs::remove_file(&path);
+    let listener = UnixListener::bind(&path).expect("bind unix socket");
+
+    let server = Server::new(
+        ServeConfig {
+            workers: 2,
+            batch_max: 4,
+            cache_capacity: 16,
+            shards: 2,
+        },
+        ujam::trace::null_sink(),
+    );
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| {
+            server
+                .run_reactor(
+                    Transports {
+                        tcp: None,
+                        unix: Some(listener),
+                    },
+                    ReactorConfig::default(),
+                )
+                .expect("reactor runs until shutdown");
+        });
+
+        // A ghost: connects, says nothing, leaves.  Pre-reactor this
+        // parked a daemon thread forever.
+        drop(UnixStream::connect(&path).expect("ghost connects"));
+
+        // A legacy client: no handshake, request answered directly.
+        let stream = UnixStream::connect(&path).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        writer
+            .write_all(b"{\"id\":\"legacy\",\"kernel\":\"dmxpy1\"}\n")
+            .expect("send");
+        let mut reader = BufReader::new(stream);
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("reply");
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        assert!(reply.contains("\"id\":\"legacy\""), "{reply}");
+
+        writer
+            .write_all(b"{\"id\":\"bye\",\"cmd\":\"shutdown\"}\n")
+            .expect("send shutdown");
+        let mut ack = String::new();
+        reader.read_line(&mut ack).expect("shutdown ack");
+        assert!(ack.contains("\"shutdown\":true"), "{ack}");
+        daemon.join().expect("daemon exits cleanly");
+    });
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}
