@@ -146,6 +146,42 @@ grep -q '"serve.cache.shard3.' /tmp/ujam_tcp_stats.json
   | grep -q '"shutdown":true'
 wait "$UJAM_TCP_PID"
 
+# Flight-recorder smoke: a mixed workload through a fresh TCP daemon —
+# two fresh kernels, a cache-hit duplicate, a trace-echoing request
+# (its reply must carry the opt-in trace_id field), and one forced
+# anomaly (deadline_ms=0 on an uncached kernel cannot finish). Capture
+# the flight dump and the time-series document and validate both: the
+# recent ring holds the workload, the anomaly ring retains the deadline
+# miss with a structured reason, the series windows carry derived rates
+# and request_ns exemplars whose trace ids resolve in the recorder.
+./target/release/ujam serve --tcp 127.0.0.1:0 --workers 1 --batch 1 --slow-ms 2000 \
+  2> /tmp/ujam_flight_serve.log &
+UJAM_FLIGHT_PID=$!
+UJAM_FLIGHT_ADDR=""
+for _ in $(seq 1 100); do
+  UJAM_FLIGHT_ADDR=$(sed -n 's/^serve: tcp listening on //p' /tmp/ujam_flight_serve.log)
+  [ -n "$UJAM_FLIGHT_ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$UJAM_FLIGHT_ADDR" ]
+./target/release/ujam request --tcp "$UJAM_FLIGHT_ADDR" \
+  '{"id":"f1","kernel":"dmxpy0"}' \
+  '{"id":"f2","kernel":"sor"}' \
+  '{"id":"f3","kernel":"dmxpy0"}' \
+  '{"id":"f4","kernel":"sor","trace":true}' \
+  '{"id":"f5","kernel":"jacobi","deadline_ms":0}' \
+  > /tmp/ujam_flight_replies.ndjson
+grep -q '"id":"f3".*"cached":true' /tmp/ujam_flight_replies.ndjson
+grep -q '"id":"f4".*"trace_id":[0-9]' /tmp/ujam_flight_replies.ndjson
+grep -q '"id":"f5".*"deadline_exceeded"' /tmp/ujam_flight_replies.ndjson
+./target/release/ujam flight --tcp "$UJAM_FLIGHT_ADDR" --json > /tmp/ujam_flight.json
+./target/release/ujam stats --tcp "$UJAM_FLIGHT_ADDR" --series --json > /tmp/ujam_series.json
+cargo run --release --offline --quiet --example validate_flight -- /tmp/ujam_flight.json /tmp/ujam_series.json
+./target/release/ujam flight --tcp "$UJAM_FLIGHT_ADDR" --slow-only --json | grep -q '"recent":\[\]'
+./target/release/ujam request --tcp "$UJAM_FLIGHT_ADDR" '{"id":"bye","cmd":"shutdown"}' \
+  | grep -q '"shutdown":true'
+wait "$UJAM_FLIGHT_PID"
+
 # TCP soak: the hostile-client suite — 100 concurrent handshaking
 # clients, pipelined duplicates, oversized and half-written frames,
 # bad-version and no-handshake rejections, admission-control sheds,

@@ -201,6 +201,7 @@ fn tcp_arm(quick: bool) -> String {
             batch_max: 8,
             cache_capacity: 64,
             shards: 8,
+            ..ServeConfig::default()
         },
         ujam_trace::null_sink(),
         MetricsHandle::disabled(),
@@ -284,6 +285,7 @@ fn shed_arm() -> String {
             batch_max: 1,
             cache_capacity: 0,
             shards: 1,
+            ..ServeConfig::default()
         },
         ujam_trace::null_sink(),
         MetricsHandle::disabled(),

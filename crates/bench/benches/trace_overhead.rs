@@ -19,6 +19,12 @@
 //! 5. `collect` — `optimize_traced` with a `CollectingSink`, to show
 //!    what full tracing costs (informational).
 //!
+//! A second pair of arms gates the serving layer's request-lifecycle
+//! tracing: `Server::handle_line` (untimed) against
+//! `Server::handle_line_timed` plus a flight-recorder begin/commit per
+//! request — the whole per-request timeline cost (`Instant` stamps at
+//! each edge, one ring push) must also stay within the 2% gate.
+//!
 //! Plain-`Instant` harness (`ujam_bench::timing`): the offline registry
 //! rules out criterion.  Run with `cargo bench --bench trace_overhead`.
 //! The 2% gate is checked on the fastest of several attempts so a noisy
@@ -34,6 +40,7 @@ use ujam_core::{
 use ujam_kernels::kernel;
 use ujam_machine::MachineModel;
 use ujam_metrics::{MetricsHandle, MetricsRegistry};
+use ujam_serve::{ServeConfig, Server};
 use ujam_trace::CollectingSink;
 
 /// The pipeline exactly as `optimize_with` runs it, but through the
@@ -109,11 +116,32 @@ fn main() {
         "registry saw the run"
     );
 
+    // The serving arms: an uncached server so every request runs the
+    // full search (the realistic hot path the 2% gate protects), one
+    // with plain handling, one with lifecycle timelines.
+    let serve_cfg = ServeConfig {
+        cache_capacity: 0,
+        ..ServeConfig::default()
+    };
+    let line = "{\"id\":\"t\",\"kernel\":\"dmxpy0\"}";
+    let untimed_server = Server::new(serve_cfg, ujam_trace::null_sink());
+    let timed_server = Server::new(serve_cfg, ujam_trace::null_sink());
+    let untimed_reply = untimed_server.handle_line(line);
+    let mut state = timed_server.flight().begin(std::time::Instant::now());
+    let timed_reply = timed_server.handle_line_timed(line, &mut state);
+    state.stamp_flushed();
+    timed_server.flight().commit(state.timeline);
+    assert_eq!(
+        untimed_reply, timed_reply,
+        "lifecycle tracing must not change replies"
+    );
+
     const MAX_OVERHEAD: f64 = 0.02;
     const ATTEMPTS: usize = 5;
     let mut best_null = f64::INFINITY;
     let mut best_metered = f64::INFINITY;
     let mut best_costed = f64::INFINITY;
+    let mut best_lifecycle = f64::INFINITY;
     for attempt in 1..=ATTEMPTS {
         let base = bench("optimize/bare/dmxpy0", || optimize_bare(&nest, &machine));
         let nulled = bench("optimize/null-sink/dmxpy0", || {
@@ -141,19 +169,30 @@ fn main() {
                 SearchConfig::default(),
             )
         });
+        let serve_base = bench("serve/untimed/dmxpy0", || untimed_server.handle_line(line));
+        let serve_timed = bench("serve/lifecycle/dmxpy0", || {
+            let mut state = timed_server.flight().begin(std::time::Instant::now());
+            let reply = timed_server.handle_line_timed(line, &mut state);
+            state.stamp_flushed();
+            timed_server.flight().commit(state.timeline);
+            reply
+        });
         best_null = best_null.min(nulled.min_ns / base.min_ns);
         best_metered = best_metered.min(metered.min_ns / base.min_ns);
         best_costed = best_costed.min(costed.min_ns / base.min_ns);
+        best_lifecycle = best_lifecycle.min(serve_timed.min_ns / serve_base.min_ns);
         println!(
-            "attempt {attempt}: null-sink / bare = {:.4}, metrics / bare = {:.4}, cost-analytic / bare = {:.4} (gate {:.2})",
+            "attempt {attempt}: null-sink / bare = {:.4}, metrics / bare = {:.4}, cost-analytic / bare = {:.4}, lifecycle / untimed = {:.4} (gate {:.2})",
             nulled.min_ns / base.min_ns,
             metered.min_ns / base.min_ns,
             costed.min_ns / base.min_ns,
+            serve_timed.min_ns / serve_base.min_ns,
             1.0 + MAX_OVERHEAD
         );
         if best_null <= 1.0 + MAX_OVERHEAD
             && best_metered <= 1.0 + MAX_OVERHEAD
             && best_costed <= 1.0 + MAX_OVERHEAD
+            && best_lifecycle <= 1.0 + MAX_OVERHEAD
         {
             break;
         }
@@ -182,11 +221,19 @@ fn main() {
         100.0 * (best_costed - 1.0),
         100.0 * MAX_OVERHEAD
     );
+    assert!(
+        best_lifecycle <= 1.0 + MAX_OVERHEAD,
+        "request-lifecycle tracing overhead {:.2}% exceeds the {:.0}% gate \
+         (timeline stamps must stay O(1) per edge)",
+        100.0 * (best_lifecycle - 1.0),
+        100.0 * MAX_OVERHEAD
+    );
     println!(
-        "PASS: disabled tracing costs {:+.2}%, live metrics {:+.2}%, analytic cost backend {:+.2}% on the tables path (gate {:.0}%)",
+        "PASS: disabled tracing costs {:+.2}%, live metrics {:+.2}%, analytic cost backend {:+.2}%, lifecycle tracing {:+.2}% (gate {:.0}%)",
         100.0 * (best_null - 1.0),
         100.0 * (best_metered - 1.0),
         100.0 * (best_costed - 1.0),
+        100.0 * (best_lifecycle - 1.0),
         100.0 * MAX_OVERHEAD
     );
 }

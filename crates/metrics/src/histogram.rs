@@ -14,6 +14,7 @@
 //! wrapping, so a snapshot can never under-report total time.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Number of buckets: one for zero plus one per power of two up to
 /// `2^63..=u64::MAX`.
@@ -97,6 +98,60 @@ impl Shard {
     }
 }
 
+/// The tagged maximum observation of the current collection window —
+/// the *exemplar* that links an aggregate latency histogram back to the
+/// concrete request (by trace id) that produced its worst value.
+///
+/// Offers are filtered by a relaxed atomic high-water mark, so the
+/// mutex below is only ever contended when an observation actually
+/// beats the running window maximum — O(1) and lock-free on the hot
+/// path for everything else.  Ties keep the first-seen observation, so
+/// a fixed multiset of (value, tag) offers always yields the same
+/// exemplar.
+#[derive(Debug, Default)]
+pub struct Exemplar {
+    /// Fast-path filter: the window's running maximum value.
+    max: AtomicU64,
+    /// The `(value, tag)` of the current window maximum.
+    slot: Mutex<Option<(u64, u64)>>,
+}
+
+impl Exemplar {
+    /// An empty exemplar.
+    pub fn new() -> Exemplar {
+        Exemplar::default()
+    }
+
+    /// Offers one tagged observation; it is kept only if it beats the
+    /// window's running maximum (ties lose to the incumbent).
+    pub fn offer(&self, value: u64, tag: u64) {
+        if value < self.max.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut slot = self.slot.lock().expect("exemplar lock");
+        match *slot {
+            Some((incumbent, _)) if value <= incumbent => {}
+            _ => {
+                *slot = Some((value, tag));
+                self.max.store(value, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The current `(value, tag)` maximum without ending the window.
+    pub fn peek(&self) -> Option<(u64, u64)> {
+        *self.slot.lock().expect("exemplar lock")
+    }
+
+    /// Returns the window's `(value, tag)` maximum and starts a fresh
+    /// window (`None` when nothing was offered since the last take).
+    pub fn take(&self) -> Option<(u64, u64)> {
+        let mut slot = self.slot.lock().expect("exemplar lock");
+        self.max.store(0, Ordering::Relaxed);
+        slot.take()
+    }
+}
+
 /// A sharded, lock-free, fixed-bucket log-scale histogram.
 ///
 /// # Example
@@ -114,6 +169,7 @@ impl Shard {
 /// ```
 pub struct Histogram {
     shards: Vec<Shard>,
+    exemplar: Exemplar,
 }
 
 impl Default for Histogram {
@@ -132,6 +188,7 @@ impl Histogram {
     pub fn with_shards(shards: usize) -> Histogram {
         Histogram {
             shards: (0..shards.max(1)).map(|_| Shard::new()).collect(),
+            exemplar: Exemplar::new(),
         }
     }
 
@@ -151,6 +208,28 @@ impl Histogram {
     /// observations across shards.
     pub fn observe_in_shard(&self, shard: usize, value: u64) {
         self.shards[shard % self.shards.len()].record(value);
+    }
+
+    /// [`Histogram::observe`] plus an exemplar offer: when `value`
+    /// beats the window maximum, `tag` (a request trace id) becomes the
+    /// window's exemplar — retrievable with
+    /// [`Histogram::take_exemplar`].
+    pub fn observe_tagged(&self, value: u64, tag: u64) {
+        self.observe(value);
+        self.exemplar.offer(value, tag);
+    }
+
+    /// The current window's `(value, tag)` maximum without resetting it.
+    pub fn peek_exemplar(&self) -> Option<(u64, u64)> {
+        self.exemplar.peek()
+    }
+
+    /// Ends the exemplar window: the `(value, tag)` of the maximum
+    /// tagged observation since the previous take, or `None` when no
+    /// tagged observation arrived.  Bucket counts and sums are
+    /// untouched — only the exemplar window resets.
+    pub fn take_exemplar(&self) -> Option<(u64, u64)> {
+        self.exemplar.take()
     }
 
     /// A merged snapshot over every shard.
@@ -310,6 +389,52 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count, 8000);
         assert_eq!(s.sum, 8 * (999 * 1000 / 2));
+    }
+
+    #[test]
+    fn exemplar_keeps_the_max_latency_tag_per_window() {
+        let h = Histogram::new();
+        h.observe_tagged(100, 1);
+        h.observe_tagged(900, 2);
+        h.observe_tagged(400, 3);
+        assert_eq!(h.peek_exemplar(), Some((900, 2)));
+        assert_eq!(h.take_exemplar(), Some((900, 2)));
+        // The window resets; observations are untouched.
+        assert_eq!(h.take_exemplar(), None);
+        assert_eq!(h.snapshot().count, 3);
+        // A fresh window tracks its own maximum, even a smaller one.
+        h.observe_tagged(50, 4);
+        assert_eq!(h.take_exemplar(), Some((50, 4)));
+    }
+
+    #[test]
+    fn exemplar_ties_keep_the_first_seen_tag() {
+        let e = Exemplar::new();
+        e.offer(700, 10);
+        e.offer(700, 11);
+        assert_eq!(e.take(), Some((700, 10)));
+        // Zero-valued observations still register in an empty window.
+        e.offer(0, 12);
+        assert_eq!(e.take(), Some((0, 12)));
+        assert_eq!(e.take(), None);
+    }
+
+    #[test]
+    fn concurrent_exemplar_offers_keep_the_true_maximum() {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let h = &h;
+                scope.spawn(move || {
+                    for v in 0..1000u64 {
+                        h.observe_tagged(v, t * 10_000 + v);
+                    }
+                });
+            }
+        });
+        let (value, tag) = h.take_exemplar().expect("offers arrived");
+        assert_eq!(value, 999);
+        assert_eq!(tag % 10_000, 999, "tag belongs to a max observation");
     }
 
     #[test]

@@ -24,9 +24,13 @@
 #![warn(missing_docs)]
 
 pub mod histogram;
+pub mod series;
 mod snapshot;
 
-pub use histogram::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKET_COUNT};
+pub use histogram::{
+    bucket_bounds, bucket_index, Exemplar, Histogram, HistogramSnapshot, BUCKET_COUNT,
+};
+pub use series::{SeriesCollector, SeriesWindow, SERIES_VERSION};
 pub use snapshot::{MetricsSnapshot, SNAPSHOT_VERSION};
 
 use std::collections::BTreeMap;
@@ -61,35 +65,58 @@ impl Counter {
 
 /// An instantaneous level (in-flight requests, cache bytes, …) that can
 /// move both ways.
+///
+/// High-water marks written through [`Gauge::set_max`] are tracked
+/// twice: the lifetime peak (what [`Gauge::get`] and snapshots report)
+/// and a *window* peak that a periodic collector can read-and-reset
+/// with [`Gauge::swap_reset`] without disturbing the lifetime value —
+/// that is what lets the series layer report per-window queue-depth
+/// high water while `serve.queue_depth.peak` keeps its
+/// since-startup meaning.
 #[derive(Debug, Default)]
-pub struct Gauge(AtomicI64);
+pub struct Gauge {
+    level: AtomicI64,
+    window: AtomicI64,
+}
 
 impl Gauge {
     /// A gauge at zero.
     pub fn new() -> Gauge {
-        Gauge(AtomicI64::new(0))
+        Gauge {
+            level: AtomicI64::new(0),
+            window: AtomicI64::new(0),
+        }
     }
 
     /// Sets the level outright.
     pub fn set(&self, v: i64) {
-        self.0.store(v, Ordering::Relaxed);
+        self.level.store(v, Ordering::Relaxed);
     }
 
     /// Moves the level by `delta` (negative to decrease).
     pub fn add(&self, delta: i64) {
-        self.0.fetch_add(delta, Ordering::Relaxed);
+        self.level.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Raises the level to `v` if `v` is higher, leaving it alone
     /// otherwise — a lock-free high-water mark (peak queue depth,
-    /// peak open connections).
+    /// peak open connections).  Both the lifetime peak and the current
+    /// window's peak advance.
     pub fn set_max(&self, v: i64) {
-        self.0.fetch_max(v, Ordering::Relaxed);
+        self.level.fetch_max(v, Ordering::Relaxed);
+        self.window.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Current level.
     pub fn get(&self) -> i64 {
-        self.0.load(Ordering::Relaxed)
+        self.level.load(Ordering::Relaxed)
+    }
+
+    /// Returns the window peak accumulated since the previous call and
+    /// starts a fresh window.  The lifetime value is untouched, so
+    /// snapshots still report the since-startup peak.
+    pub fn swap_reset(&self) -> i64 {
+        self.window.swap(0, Ordering::Relaxed)
     }
 }
 
@@ -292,6 +319,19 @@ mod tests {
         assert_eq!(g.get(), 4, "lower values never move the mark");
         g.set_max(9);
         assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn swap_reset_yields_window_peaks_and_keeps_the_lifetime_peak() {
+        let g = Gauge::new();
+        g.set_max(7);
+        g.set_max(3);
+        assert_eq!(g.swap_reset(), 7, "first window peaked at 7");
+        assert_eq!(g.get(), 7, "lifetime peak survives the window read");
+        g.set_max(5);
+        assert_eq!(g.swap_reset(), 5, "second window peaked lower");
+        assert_eq!(g.get(), 7, "lifetime peak still the since-startup max");
+        assert_eq!(g.swap_reset(), 0, "an idle window reports zero");
     }
 
     #[test]

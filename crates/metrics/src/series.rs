@@ -1,0 +1,360 @@
+//! The time-series layer: a ring of periodic collection windows with
+//! counter deltas, derived rates, per-window gauge peaks, and histogram
+//! exemplars.
+//!
+//! A [`MetricsSnapshot`](crate::MetricsSnapshot) is point-in-time — it
+//! tells you p99 is up, not when it went up or how fast requests were
+//! arriving while it did.  A [`SeriesCollector`] closes that gap: each
+//! call to [`SeriesCollector::collect`] ends one *window*, recording
+//!
+//! * the delta of every counter that advanced since the previous
+//!   window (from which rates such as `reqs/s` derive),
+//! * the per-window high water of every `*.peak` gauge (read
+//!   destructively via [`Gauge::swap_reset`](crate::Gauge::swap_reset),
+//!   which leaves the lifetime peak untouched),
+//! * the exemplar of every histogram — the `(max value, trace id)` of
+//!   the window's worst tagged observation, linking the aggregate back
+//!   to a concrete request in the flight recorder.
+//!
+//! Collection is *destructive* for window state (gauge windows and
+//! exemplars reset), so exactly one collector should own a registry's
+//! series.  Timestamps are injected by the caller in milliseconds, so
+//! tests drive the clock explicitly and renderings are byte-stable:
+//! the same sequence of observations and collect calls always yields
+//! the same JSON.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+
+use crate::MetricsRegistry;
+use ujam_trace::json::write_escaped;
+
+/// The series wire-format version — bump when a field is renamed,
+/// removed, or changes meaning (additions are fine).
+pub const SERIES_VERSION: u32 = 1;
+
+/// Default ring capacity: enough history for a dashboard's sparkline
+/// without unbounded growth.
+pub const DEFAULT_WINDOWS: usize = 64;
+
+/// One closed collection window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesWindow {
+    /// Monotonic window number (0 = first window since startup).
+    pub seq: u64,
+    /// End of the window, in caller-defined milliseconds.
+    pub at_ms: u64,
+    /// Window length in milliseconds (`at_ms` minus the previous
+    /// window's, or `at_ms` itself for the first window).
+    pub dur_ms: u64,
+    /// Counters that advanced this window, by name, with their deltas.
+    pub deltas: BTreeMap<String, u64>,
+    /// Per-window high water of `*.peak` gauges that registered one.
+    pub peaks: BTreeMap<String, i64>,
+    /// Per-histogram exemplars: `(max observed value, trace id)`.
+    pub exemplars: BTreeMap<String, (u64, u64)>,
+}
+
+impl SeriesWindow {
+    /// A counter's delta this window, 0 when it did not advance.
+    pub fn delta(&self, name: &str) -> u64 {
+        self.deltas.get(name).copied().unwrap_or(0)
+    }
+
+    /// A counter's delta as a per-second rate over this window.
+    pub fn rate_per_s(&self, name: &str) -> f64 {
+        if self.dur_ms == 0 {
+            return 0.0;
+        }
+        self.delta(name) as f64 * 1000.0 / self.dur_ms as f64
+    }
+
+    /// Cache hit rate this window: `hits / (hits + misses)`, 0.0 when
+    /// the window saw no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.delta("serve.cache.hits");
+        let total = hits + self.delta("serve.cache.misses");
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Renders this window as one strict-JSON object with fixed field
+    /// order and sorted map keys, so equal windows render
+    /// byte-identically.  The `derived` object carries the serving
+    /// rates a dashboard wants precomputed: `reqs_per_s`, `hit_rate`,
+    /// `shed_per_s`, and the window's `queue_depth_peak`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"at_ms\":{},\"dur_ms\":{}",
+            self.seq, self.at_ms, self.dur_ms
+        );
+        out.push_str(",\"deltas\":{");
+        for (i, (name, v)) in self.deltas.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(&mut out, name);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"peaks\":{");
+        for (i, (name, v)) in self.peaks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(&mut out, name);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"exemplars\":{");
+        for (i, (name, (max, tag))) in self.exemplars.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(&mut out, name);
+            let _ = write!(out, ":{{\"max\":{max},\"trace_id\":{tag}}}");
+        }
+        let _ = write!(
+            out,
+            "}},\"derived\":{{\"hit_rate\":{:.3},\"queue_depth_peak\":{},\"reqs_per_s\":{:.3},\"shed_per_s\":{:.3}}}}}",
+            self.hit_rate(),
+            self.peaks.get("serve.queue_depth.peak").copied().unwrap_or(0),
+            self.rate_per_s("serve.requests"),
+            self.rate_per_s("serve.shed"),
+        );
+        out
+    }
+}
+
+/// A bounded ring of [`SeriesWindow`]s over one registry.
+pub struct SeriesCollector {
+    capacity: usize,
+    next_seq: u64,
+    last_at_ms: u64,
+    prev_counters: BTreeMap<String, u64>,
+    windows: VecDeque<SeriesWindow>,
+}
+
+impl SeriesCollector {
+    /// A collector retaining the last `capacity` windows (clamped ≥ 1).
+    pub fn new(capacity: usize) -> SeriesCollector {
+        SeriesCollector {
+            capacity: capacity.max(1),
+            next_seq: 0,
+            last_at_ms: 0,
+            prev_counters: BTreeMap::new(),
+            windows: VecDeque::new(),
+        }
+    }
+
+    /// A collector with [`DEFAULT_WINDOWS`] capacity.
+    pub fn with_default_capacity() -> SeriesCollector {
+        SeriesCollector::new(DEFAULT_WINDOWS)
+    }
+
+    /// Ends the current window at `at_ms` (caller-defined milliseconds,
+    /// expected non-decreasing): counter deltas against the previous
+    /// window, `*.peak` gauge windows swap-reset, histogram exemplars
+    /// taken.  The oldest window falls off the ring at capacity.
+    pub fn collect(&mut self, registry: &MetricsRegistry, at_ms: u64) -> &SeriesWindow {
+        let snap = registry.snapshot();
+        let mut deltas = BTreeMap::new();
+        for (name, &total) in &snap.counters {
+            let prev = self.prev_counters.get(name).copied().unwrap_or(0);
+            let delta = total.saturating_sub(prev);
+            if delta > 0 {
+                deltas.insert(name.clone(), delta);
+            }
+        }
+        self.prev_counters = snap.counters;
+        let mut peaks = BTreeMap::new();
+        for name in snap.gauges.keys() {
+            if !name.ends_with(".peak") {
+                continue;
+            }
+            // swap_reset is the destructive per-window read; the
+            // lifetime peak (what snapshots report) is untouched.
+            let peak = registry.gauge(name).swap_reset();
+            if peak != 0 {
+                peaks.insert(name.clone(), peak);
+            }
+        }
+        let mut exemplars = BTreeMap::new();
+        for name in snap.histograms.keys() {
+            if let Some(ex) = registry.histogram(name).take_exemplar() {
+                exemplars.insert(name.clone(), ex);
+            }
+        }
+        let window = SeriesWindow {
+            seq: self.next_seq,
+            at_ms,
+            dur_ms: at_ms.saturating_sub(self.last_at_ms),
+            deltas,
+            peaks,
+            exemplars,
+        };
+        self.next_seq += 1;
+        self.last_at_ms = at_ms;
+        if self.windows.len() == self.capacity {
+            self.windows.pop_front();
+        }
+        self.windows.push_back(window);
+        self.windows.back().expect("just pushed")
+    }
+
+    /// The retained windows, oldest first.
+    pub fn windows(&self) -> impl Iterator<Item = &SeriesWindow> {
+        self.windows.iter()
+    }
+
+    /// Number of retained windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether no window has been collected yet.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Renders the whole ring as one strict-JSON object:
+    ///
+    /// ```json
+    /// {"version":1,"windows":[{"seq":0,"at_ms":1000,...},...]}
+    /// ```
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"version\":{SERIES_VERSION},\"windows\":[");
+        for (i, w) in self.windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&w.render_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl Default for SeriesCollector {
+    fn default() -> SeriesCollector {
+        SeriesCollector::with_default_capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ujam_trace::json::{self, Value};
+
+    #[test]
+    fn deltas_are_per_window_not_cumulative() {
+        let reg = MetricsRegistry::new();
+        let mut col = SeriesCollector::new(8);
+        reg.counter("serve.requests").add(5);
+        let w0 = col.collect(&reg, 1000).clone();
+        assert_eq!(w0.delta("serve.requests"), 5);
+        assert_eq!(w0.dur_ms, 1000);
+        reg.counter("serve.requests").add(3);
+        let w1 = col.collect(&reg, 3000).clone();
+        assert_eq!(w1.delta("serve.requests"), 3, "delta, not total");
+        assert_eq!(w1.dur_ms, 2000);
+        assert_eq!(w1.rate_per_s("serve.requests"), 1.5);
+        // An idle window records no deltas at all.
+        let w2 = col.collect(&reg, 4000).clone();
+        assert!(w2.deltas.is_empty());
+    }
+
+    #[test]
+    fn peak_gauges_report_per_window_high_water() {
+        let reg = MetricsRegistry::new();
+        let mut col = SeriesCollector::new(8);
+        reg.gauge("serve.queue_depth.peak").set_max(9);
+        reg.gauge("serve.conn.open").set(3); // not a .peak gauge
+        let w0 = col.collect(&reg, 1000).clone();
+        assert_eq!(w0.peaks.get("serve.queue_depth.peak"), Some(&9));
+        assert!(!w0.peaks.contains_key("serve.conn.open"));
+        reg.gauge("serve.queue_depth.peak").set_max(2);
+        let w1 = col.collect(&reg, 2000).clone();
+        assert_eq!(
+            w1.peaks.get("serve.queue_depth.peak"),
+            Some(&2),
+            "the window peak resets even though the lifetime peak is 9"
+        );
+        assert_eq!(reg.gauge("serve.queue_depth.peak").get(), 9);
+    }
+
+    #[test]
+    fn exemplars_surface_the_max_latency_trace_id_per_window() {
+        let reg = MetricsRegistry::new();
+        let mut col = SeriesCollector::new(8);
+        let h = reg.histogram("serve.request_ns");
+        h.observe_tagged(100, 1);
+        h.observe_tagged(5000, 2);
+        h.observe_tagged(700, 3);
+        let w0 = col.collect(&reg, 1000).clone();
+        assert_eq!(w0.exemplars.get("serve.request_ns"), Some(&(5000, 2)));
+        // Next window starts fresh.
+        h.observe_tagged(300, 4);
+        let w1 = col.collect(&reg, 2000).clone();
+        assert_eq!(w1.exemplars.get("serve.request_ns"), Some(&(300, 4)));
+        let w2 = col.collect(&reg, 3000).clone();
+        assert!(w2.exemplars.is_empty(), "no tagged observations arrived");
+    }
+
+    #[test]
+    fn ring_evicts_oldest_windows_at_capacity() {
+        let reg = MetricsRegistry::new();
+        let mut col = SeriesCollector::new(3);
+        for i in 0..5u64 {
+            reg.counter("c").inc();
+            col.collect(&reg, (i + 1) * 1000);
+        }
+        let seqs: Vec<u64> = col.windows().map(|w| w.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "oldest first, oldest evicted");
+        assert_eq!(col.len(), 3);
+    }
+
+    #[test]
+    fn rendering_is_byte_stable_and_strict_json() {
+        let build = || {
+            let reg = MetricsRegistry::new();
+            let mut col = SeriesCollector::new(4);
+            reg.counter("serve.requests").add(4);
+            reg.counter("serve.cache.hits").add(1);
+            reg.counter("serve.cache.misses").add(3);
+            reg.gauge("serve.queue_depth.peak").set_max(7);
+            reg.histogram("serve.request_ns").observe_tagged(1234, 42);
+            col.collect(&reg, 2000);
+            reg.counter("serve.requests").add(2);
+            reg.counter("serve.shed").add(1);
+            col.collect(&reg, 3000);
+            col.render_json()
+        };
+        let doc = build();
+        assert_eq!(doc, build(), "same observations render identically");
+        let expected = concat!(
+            "{\"version\":1,\"windows\":[",
+            "{\"seq\":0,\"at_ms\":2000,\"dur_ms\":2000,",
+            "\"deltas\":{\"serve.cache.hits\":1,\"serve.cache.misses\":3,\"serve.requests\":4},",
+            "\"peaks\":{\"serve.queue_depth.peak\":7},",
+            "\"exemplars\":{\"serve.request_ns\":{\"max\":1234,\"trace_id\":42}},",
+            "\"derived\":{\"hit_rate\":0.250,\"queue_depth_peak\":7,\"reqs_per_s\":2.000,\"shed_per_s\":0.000}},",
+            "{\"seq\":1,\"at_ms\":3000,\"dur_ms\":1000,",
+            "\"deltas\":{\"serve.requests\":2,\"serve.shed\":1},",
+            "\"peaks\":{},\"exemplars\":{},",
+            "\"derived\":{\"hit_rate\":0.000,\"queue_depth_peak\":0,\"reqs_per_s\":2.000,\"shed_per_s\":1.000}}",
+            "]}"
+        );
+        assert_eq!(doc, expected, "pinned wire bytes");
+        let v = json::parse(&doc).expect("strict JSON");
+        assert_eq!(v.get("version").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(
+            v.get("windows").and_then(Value::as_array).map(<[_]>::len),
+            Some(2)
+        );
+    }
+}

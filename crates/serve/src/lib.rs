@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod flight;
 pub mod frame;
 pub mod proto;
 #[cfg(unix)]
@@ -68,6 +69,9 @@ pub mod shard;
 mod sys;
 
 pub use cache::{decision_key, CacheStats, Decision, DecisionCache};
+pub use flight::{
+    FlightRecorder, TimelineState, DEFAULT_FLIGHT_CAPACITY, DEFAULT_SLOW_MS, FLIGHT_VERSION,
+};
 pub use frame::{Frame, LineDecoder, MAX_LINE_BYTES};
 pub use proto::{
     stats_reply, AdminCmd, AdminRequest, ErrorKind, ErrorReply, Incoming, OkReply, Reply, Request,

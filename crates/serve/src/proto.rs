@@ -74,6 +74,10 @@ pub struct Request {
     pub max_unroll_loops: Option<usize>,
     /// Code-size budget: most statements the unrolled body may hold.
     pub code_budget: Option<usize>,
+    /// Whether to echo the daemon-assigned flight-recorder trace id in
+    /// the reply (`"trace":true`).  Off by default so replies stay
+    /// byte-identical with non-daemon `optimize_batch` output.
+    pub trace: bool,
 }
 
 /// Machine-readable failure categories for error replies.
@@ -134,6 +138,9 @@ pub struct ErrorReply {
     pub line: Option<usize>,
     /// Suggested client backoff for [`ErrorKind::Overloaded`] replies.
     pub retry_ms: Option<u64>,
+    /// Flight-recorder trace id, echoed only when the request opted in
+    /// with `"trace":true`.
+    pub trace_id: Option<u64>,
 }
 
 /// A successful reply: the decision, not the transformed body — clients
@@ -155,6 +162,9 @@ pub struct OkReply {
     pub registers: i64,
     /// Whether the decision was served from the cache.
     pub cached: bool,
+    /// Flight-recorder trace id, echoed only when the request opted in
+    /// with `"trace":true`.
+    pub trace_id: Option<u64>,
 }
 
 /// One reply line, success or failure.
@@ -191,6 +201,10 @@ impl Reply {
                 out.push_str(&r.registers.to_string());
                 out.push_str(",\"cached\":");
                 out.push_str(if r.cached { "true" } else { "false" });
+                if let Some(t) = r.trace_id {
+                    out.push_str(",\"trace_id\":");
+                    out.push_str(&t.to_string());
+                }
                 out.push('}');
             }
             Reply::Error(e) => {
@@ -211,10 +225,24 @@ impl Reply {
                     out.push_str(",\"retry_ms\":");
                     out.push_str(&ms.to_string());
                 }
-                out.push_str("}}");
+                out.push('}');
+                if let Some(t) = e.trace_id {
+                    out.push_str(",\"trace_id\":");
+                    out.push_str(&t.to_string());
+                }
+                out.push('}');
             }
         }
         out
+    }
+
+    /// The reply with its `trace_id` echo set (a no-op for `None`).
+    pub fn with_trace_id(mut self, trace_id: Option<u64>) -> Reply {
+        match &mut self {
+            Reply::Ok(r) => r.trace_id = trace_id,
+            Reply::Error(e) => e.trace_id = trace_id,
+        }
+        self
     }
 }
 
@@ -226,8 +254,18 @@ impl Reply {
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AdminCmd {
-    /// Return a versioned metrics snapshot (`ujam stats`).
-    Stats,
+    /// Return a versioned metrics snapshot (`ujam stats`), optionally
+    /// with the time-series window ring (`"series":true`).
+    Stats {
+        /// Whether to include the series ring in the reply.
+        series: bool,
+    },
+    /// Return the flight-recorder snapshot (`ujam flight`): recent
+    /// request timelines plus the anomaly ring.
+    Flight {
+        /// Whether to drop the recent ring and carry only anomalies.
+        slow_only: bool,
+    },
     /// The versioned transport handshake; `version` is the client's
     /// claimed [`PROTOCOL_VERSION`] (`None` when the field was absent).
     Hello {
@@ -293,8 +331,13 @@ impl AdminRequest {
             }
         };
         let is_hello = obj.get("cmd") == Some(&Value::String("hello".into()));
+        let is_stats = obj.get("cmd") == Some(&Value::String("stats".into()));
+        let is_flight = obj.get("cmd") == Some(&Value::String("flight".into()));
         for key in obj.keys() {
-            let known = matches!(key.as_str(), "id" | "cmd") || (is_hello && key == "version");
+            let known = matches!(key.as_str(), "id" | "cmd")
+                || (is_hello && key == "version")
+                || (is_stats && key == "series")
+                || (is_flight && key == "slow_only");
             if !known {
                 return Err(error_reply(
                     Some(&id),
@@ -303,8 +346,24 @@ impl AdminRequest {
                 ));
             }
         }
+        let flag = |name: &str| -> Result<bool, Reply> {
+            match obj.get(name) {
+                None => Ok(false),
+                Some(Value::Bool(b)) => Ok(*b),
+                Some(_) => Err(error_reply(
+                    Some(&id),
+                    ErrorKind::BadRequest,
+                    format!("{name:?} must be a boolean"),
+                )),
+            }
+        };
         let cmd = match obj.get("cmd") {
-            Some(Value::String(s)) if s == "stats" => AdminCmd::Stats,
+            Some(Value::String(s)) if s == "stats" => AdminCmd::Stats {
+                series: flag("series")?,
+            },
+            Some(Value::String(s)) if s == "flight" => AdminCmd::Flight {
+                slow_only: flag("slow_only")?,
+            },
             Some(Value::String(s)) if s == "shutdown" => AdminCmd::Shutdown,
             Some(Value::String(s)) if s == "hello" => {
                 let version = match obj.get("version") {
@@ -328,7 +387,9 @@ impl AdminRequest {
                 return Err(error_reply(
                     Some(&id),
                     ErrorKind::BadRequest,
-                    format!("unknown cmd {other:?} (try \"stats\", \"hello\", or \"shutdown\")"),
+                    format!(
+                    "unknown cmd {other:?} (try \"stats\", \"flight\", \"hello\", or \"shutdown\")"
+                ),
                 ))
             }
             _ => {
@@ -351,6 +412,32 @@ pub fn stats_reply(id: &str, snapshot_json: &str) -> String {
     json::write_escaped(&mut out, id);
     out.push_str(",\"ok\":true,\"stats\":");
     out.push_str(snapshot_json);
+    out.push('}');
+    out
+}
+
+/// Renders a `stats` reply that also carries the time-series ring:
+/// `series` is embedded *before* `stats` so clients extracting the
+/// trailing snapshot object keep working unchanged.
+pub fn stats_series_reply(id: &str, series_json: &str, snapshot_json: &str) -> String {
+    let mut out = String::from("{\"id\":");
+    json::write_escaped(&mut out, id);
+    out.push_str(",\"ok\":true,\"series\":");
+    out.push_str(series_json);
+    out.push_str(",\"stats\":");
+    out.push_str(snapshot_json);
+    out.push('}');
+    out
+}
+
+/// Renders a `flight` admin reply: the echoed id plus the recorder
+/// snapshot produced by `FlightRecorder::snapshot_json` embedded
+/// verbatim under `"flight"`.
+pub fn flight_reply(id: &str, flight_json: &str) -> String {
+    let mut out = String::from("{\"id\":");
+    json::write_escaped(&mut out, id);
+    out.push_str(",\"ok\":true,\"flight\":");
+    out.push_str(flight_json);
     out.push('}');
     out
 }
@@ -382,6 +469,7 @@ pub(crate) fn error_reply(id: Option<&str>, kind: ErrorKind, message: impl Into<
         message: message.into(),
         line: None,
         retry_ms: None,
+        trace_id: None,
     })
 }
 
@@ -394,6 +482,7 @@ pub fn overloaded_reply(id: Option<&str>, retry_ms: u64) -> Reply {
         message: format!("daemon overloaded; retry in {retry_ms} ms"),
         line: None,
         retry_ms: Some(retry_ms),
+        trace_id: None,
     })
 }
 
@@ -457,6 +546,7 @@ impl Request {
                     | "deadline_ms"
                     | "max_unroll_loops"
                     | "code_budget"
+                    | "trace"
             ) {
                 return Err(fail(format!("unknown field {key:?}")));
             }
@@ -528,6 +618,11 @@ impl Request {
             }
             Some(_) => return Err(fail("\"code_budget\" must be a positive integer".into())),
         };
+        let trace = match obj.get("trace") {
+            None => false,
+            Some(Value::Bool(b)) => *b,
+            Some(_) => return Err(fail("\"trace\" must be a boolean".into())),
+        };
         Ok(Request {
             id,
             source,
@@ -537,6 +632,7 @@ impl Request {
             deadline_ms,
             max_unroll_loops,
             code_budget,
+            trace,
         })
     }
 }
@@ -556,12 +652,13 @@ mod tests {
         assert_eq!(r.deadline_ms, None);
         assert_eq!(r.max_unroll_loops, None);
         assert_eq!(r.code_budget, None);
+        assert!(!r.trace, "trace echo is opt-in");
     }
 
     #[test]
     fn parses_every_optional_field() {
         let r = Request::parse(
-            r#"{"id":"b","source":"x","machine":"parisc","model":"allhits","cost_model":"profiled","deadline_ms":250,"max_unroll_loops":3,"code_budget":128}"#,
+            r#"{"id":"b","source":"x","machine":"parisc","model":"allhits","cost_model":"profiled","deadline_ms":250,"max_unroll_loops":3,"code_budget":128,"trace":true}"#,
         )
         .expect("parses");
         assert_eq!(r.source, Source::Inline("x".into()));
@@ -571,6 +668,7 @@ mod tests {
         assert_eq!(r.deadline_ms, Some(250));
         assert_eq!(r.max_unroll_loops, Some(3));
         assert_eq!(r.code_budget, Some(128));
+        assert!(r.trace);
     }
 
     #[test]
@@ -655,8 +753,20 @@ mod tests {
         match Incoming::parse(r#"{"id":"s1","cmd":"stats"}"#) {
             Ok(Incoming::Admin(a)) => {
                 assert_eq!(a.id, "s1");
-                assert_eq!(a.cmd, AdminCmd::Stats);
+                assert_eq!(a.cmd, AdminCmd::Stats { series: false });
             }
+            other => panic!("expected admin request, got {other:?}"),
+        }
+        match Incoming::parse(r#"{"id":"s2","cmd":"stats","series":true}"#) {
+            Ok(Incoming::Admin(a)) => assert_eq!(a.cmd, AdminCmd::Stats { series: true }),
+            other => panic!("expected admin request, got {other:?}"),
+        }
+        match Incoming::parse(r#"{"id":"f1","cmd":"flight"}"#) {
+            Ok(Incoming::Admin(a)) => assert_eq!(a.cmd, AdminCmd::Flight { slow_only: false }),
+            other => panic!("expected admin request, got {other:?}"),
+        }
+        match Incoming::parse(r#"{"id":"f2","cmd":"flight","slow_only":true}"#) {
+            Ok(Incoming::Admin(a)) => assert_eq!(a.cmd, AdminCmd::Flight { slow_only: true }),
             other => panic!("expected admin request, got {other:?}"),
         }
         // No `cmd` → the ordinary optimization path.
@@ -670,6 +780,10 @@ mod tests {
             (r#"{"id":"x","cmd":"reboot"}"#, Some("x")),
             (r#"{"id":"x","cmd":7}"#, Some("x")),
             (r#"{"id":"x","cmd":"stats","kernel":"k"}"#, Some("x")),
+            (r#"{"id":"x","cmd":"stats","slow_only":true}"#, Some("x")),
+            (r#"{"id":"x","cmd":"flight","series":true}"#, Some("x")),
+            (r#"{"id":"x","cmd":"flight","slow_only":1}"#, Some("x")),
+            (r#"{"id":"x","cmd":"stats","series":"yes"}"#, Some("x")),
         ] {
             match Incoming::parse(line) {
                 Err(Reply::Error(e)) => {
@@ -708,6 +822,7 @@ mod tests {
             original_balance: 1.0,
             registers: 16,
             cached: true,
+            trace_id: None,
         });
         let doc = json::parse(&ok.render()).expect("ok reply is valid JSON");
         assert_eq!(doc.get("id").and_then(Value::as_str), Some("q\"uote"));
@@ -716,6 +831,26 @@ mod tests {
             doc.get("unroll").and_then(Value::as_array).map(<[_]>::len),
             Some(2)
         );
+        assert!(doc.get("trace_id").is_none(), "absent unless opted in");
+
+        // Opting in appends trace_id as the final field on both reply
+        // shapes; everything before it is byte-identical.
+        let bare = ok.render();
+        let traced = ok.clone().with_trace_id(Some(42)).render();
+        assert_eq!(
+            traced,
+            format!("{},\"trace_id\":42}}", &bare[..bare.len() - 1])
+        );
+        let err_bare = error_reply(Some("x"), ErrorKind::DeadlineExceeded, "late").render();
+        let err_traced = error_reply(Some("x"), ErrorKind::DeadlineExceeded, "late")
+            .with_trace_id(Some(7))
+            .render();
+        assert_eq!(
+            err_traced,
+            format!("{},\"trace_id\":7}}", &err_bare[..err_bare.len() - 1])
+        );
+        let doc = json::parse(&err_traced).expect("traced error reply is valid JSON");
+        assert_eq!(doc.get("trace_id").and_then(Value::as_f64), Some(7.0));
 
         let err = error_reply(None, ErrorKind::BadRequest, "line\nbreak");
         let doc = json::parse(&err.render()).expect("error reply is valid JSON");

@@ -49,7 +49,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use ujam_metrics::{Counter, Gauge};
+use ujam_trace::{Anomaly, AnomalyReason};
 
+use crate::flight::TimelineState;
 use crate::frame::{Frame, LineDecoder, MAX_LINE_BYTES};
 use crate::proto::{
     overloaded_reply, recover_id, AdminCmd, AdminRequest, ErrorKind, ErrorReply, Incoming, Reply,
@@ -99,11 +101,14 @@ pub struct Transports {
 }
 
 /// One queued request: which connection, which slot in its reply
-/// order, and the raw line.
+/// order, the raw line, and its lifecycle timeline (opened at accept,
+/// carried along so the worker can stamp its edges without any shared
+/// state).
 struct Job {
     conn: u64,
     seq: u64,
     line: String,
+    timeline: TimelineState,
 }
 
 /// The bounded worker queue.  `push` never blocks (admission control
@@ -155,11 +160,14 @@ impl JobQueue {
     }
 }
 
-/// A finished reply on its way back to the reactor thread.
+/// A finished reply on its way back to the reactor thread, with its
+/// timeline (when the request is lifecycle-traced) still awaiting the
+/// reply-flushed stamp.
 struct Done {
     conn: u64,
     seq: u64,
     reply: String,
+    timeline: Option<TimelineState>,
 }
 
 /// Either kind of accepted socket, unified behind `Read`/`Write`/fd.
@@ -203,8 +211,12 @@ struct Conn {
     next_seq: u64,
     /// Next sequence number the client is owed.
     next_emit: u64,
-    /// Replies that finished out of order, waiting for their turn.
-    done: BTreeMap<u64, String>,
+    /// Replies that finished out of order, waiting for their turn,
+    /// each with its timeline (if the request was lifecycle-traced).
+    done: BTreeMap<u64, (String, Option<TimelineState>)>,
+    /// Timelines whose reply bytes sit in `out`: they get their
+    /// reply-flushed stamp when the buffer fully drains.
+    awaiting_flush: Vec<TimelineState>,
     /// Frames handed to the worker queue and not yet answered.
     inflight: usize,
     /// TCP connections must greet before anything else.
@@ -226,6 +238,7 @@ impl Conn {
             next_seq: 0,
             next_emit: 0,
             done: BTreeMap::new(),
+            awaiting_flush: Vec::new(),
             inflight: 0,
             needs_hello,
             greeted: false,
@@ -236,12 +249,16 @@ impl Conn {
     }
 
     /// Records `reply` for slot `seq` and moves every now-contiguous
-    /// reply into the output buffer.
-    fn complete(&mut self, seq: u64, reply: String) {
-        self.done.insert(seq, reply);
-        while let Some(reply) = self.done.remove(&self.next_emit) {
+    /// reply into the output buffer (parking its timeline until the
+    /// buffer drains).
+    fn complete(&mut self, seq: u64, reply: String, timeline: Option<TimelineState>) {
+        self.done.insert(seq, (reply, timeline));
+        while let Some((reply, timeline)) = self.done.remove(&self.next_emit) {
             self.out.extend_from_slice(reply.as_bytes());
             self.out.push(b'\n');
+            if let Some(t) = timeline {
+                self.awaiting_flush.push(t);
+            }
             self.next_emit += 1;
         }
     }
@@ -303,6 +320,19 @@ impl ReactorMetrics {
     }
 }
 
+/// Stamps and commits every timeline whose reply bytes have fully
+/// reached the socket.  A no-op while output is still pending — the
+/// flushed edge means the kernel accepted the last byte of the reply.
+fn commit_flushed(conn: &mut Conn, server: &Server<'_>) {
+    if conn.has_pending_out() {
+        return;
+    }
+    for mut t in conn.awaiting_flush.drain(..) {
+        t.stamp_flushed();
+        server.flight().commit(t.timeline);
+    }
+}
+
 fn protocol_error(id: Option<&str>, kind: ErrorKind, message: String) -> String {
     Reply::Error(ErrorReply {
         id: id.map(str::to_owned),
@@ -310,6 +340,7 @@ fn protocol_error(id: Option<&str>, kind: ErrorKind, message: String) -> String 
         message,
         line: None,
         retry_ms: None,
+        trace_id: None,
     })
     .render()
 }
@@ -318,8 +349,9 @@ fn protocol_error(id: Option<&str>, kind: ErrorKind, message: String) -> String 
 enum Routed {
     /// Answered inline; reply already completed on the connection.
     Inline,
-    /// Queued to the worker pool.
-    Queued(Job),
+    /// Queued to the worker pool.  Boxed: a [`Job`] carries a full
+    /// [`TimelineState`], hundreds of bytes wider than the other arms.
+    Queued(Box<Job>),
     /// Answered inline *and* the daemon should begin shutting down.
     InlineShutdown,
 }
@@ -375,12 +407,14 @@ impl<'a, 's> Reactor<'a, 's> {
                 let server = self.server;
                 let wake = &wake_tx;
                 scope.spawn(move || {
-                    while let Some(job) = queue.pop() {
-                        let reply = server.handle_line(&job.line);
+                    while let Some(mut job) = queue.pop() {
+                        job.timeline.stamp_dequeued();
+                        let reply = server.handle_line_timed(&job.line, &mut job.timeline);
                         results.lock().expect("results lock").push(Done {
                             conn: job.conn,
                             seq: job.seq,
                             reply,
+                            timeline: Some(job.timeline),
                         });
                         // A full pipe already guarantees a wake-up.
                         let mut w: &UnixStream = wake;
@@ -408,6 +442,8 @@ impl<'a, 's> Reactor<'a, 's> {
             .clamp(10, 100)
             .try_into()
             .unwrap_or(100i32);
+        let series_period = Duration::from_secs(1);
+        let mut next_series = Instant::now() + series_period;
 
         loop {
             // 1. Build this iteration's poll set.  Slot 0 is the wake
@@ -445,6 +481,14 @@ impl<'a, 's> Reactor<'a, 's> {
             poll_fds(&mut fds, tick_ms)?;
             let now = Instant::now();
 
+            // Close one time-series window roughly every second (the
+            // poll tick is ≤ 100 ms, so the cadence holds even when the
+            // daemon is idle).  No-op without a metrics registry.
+            if now >= next_series {
+                self.server.collect_series_window();
+                next_series = now + series_period;
+            }
+
             // 2. Drain the wake pipe and the results list; completed
             //    replies free queue slots and may unblock reads.
             if fds[0].revents != 0 {
@@ -454,12 +498,21 @@ impl<'a, 's> Reactor<'a, 's> {
             let done: Vec<Done> = std::mem::take(&mut *results.lock().expect("results lock"));
             for d in done {
                 self.depth = self.depth.saturating_sub(1);
-                if let Some(conn) = self.conns.get_mut(&d.conn) {
-                    conn.inflight = conn.inflight.saturating_sub(1);
-                    conn.complete(d.seq, d.reply);
+                match self.conns.get_mut(&d.conn) {
+                    Some(conn) => {
+                        conn.inflight = conn.inflight.saturating_sub(1);
+                        conn.complete(d.seq, d.reply, d.timeline);
+                    }
+                    // A reply for a connection that died mid-request is
+                    // dropped (the slot it held is already freed), but
+                    // its timeline is still flight history — committed
+                    // without a flushed stamp.
+                    None => {
+                        if let Some(t) = d.timeline {
+                            self.server.flight().commit(t.timeline);
+                        }
+                    }
                 }
-                // A reply for a connection that died mid-request is
-                // simply dropped; the slot it held is already freed.
             }
             if let Some(m) = &self.metrics {
                 m.queue_depth.set(self.depth as i64);
@@ -494,6 +547,9 @@ impl<'a, 's> Reactor<'a, 's> {
                     self.pump(id, queue);
                     if let Some(conn) = self.conns.get_mut(&id) {
                         dead = !conn.flush().unwrap_or(false);
+                        if !dead {
+                            commit_flushed(conn, self.server);
+                        }
                     }
                 }
                 if dead {
@@ -513,6 +569,8 @@ impl<'a, 's> Reactor<'a, 's> {
                 };
                 if conn.has_pending_out() && !conn.flush().unwrap_or(false) {
                     self.drop_conn(id);
+                } else if let Some(conn) = self.conns.get_mut(&id) {
+                    commit_flushed(conn, self.server);
                 }
             }
 
@@ -634,7 +692,7 @@ impl<'a, 's> Reactor<'a, 's> {
                         m.queue_depth.set(self.depth as i64);
                         m.queue_peak.set_max(self.depth as i64);
                     }
-                    queue.push(job);
+                    queue.push(*job);
                 }
                 Routed::InlineShutdown => {
                     self.stopping = true;
@@ -668,21 +726,26 @@ impl<'a, 's> Reactor<'a, 's> {
             Frame::Empty => unreachable!("handled above"),
             Frame::Oversized { len } => {
                 *oversized += 1;
-                let reply = protocol_error(
-                    None,
-                    ErrorKind::FrameTooLong,
-                    format!("line of {len} bytes exceeds the {MAX_LINE_BYTES}-byte frame limit"),
-                );
-                conn.complete(seq, reply);
+                let message =
+                    format!("line of {len} bytes exceeds the {MAX_LINE_BYTES}-byte frame limit");
+                let mut state = self.server.flight().begin(conn.last_read);
+                state.stamp_framed();
+                state.timeline.outcome = "error:frame_too_long".to_string();
+                state.timeline.anomaly =
+                    Some(Anomaly::new(AnomalyReason::FrameError, message.clone()));
+                let reply = protocol_error(None, ErrorKind::FrameTooLong, message);
+                conn.complete(seq, reply, Some(state));
                 return Routed::Inline;
             }
             Frame::InvalidUtf8 => {
-                let reply = protocol_error(
-                    None,
-                    ErrorKind::BadRequest,
-                    "line is not valid UTF-8".to_string(),
-                );
-                conn.complete(seq, reply);
+                let message = "line is not valid UTF-8".to_string();
+                let mut state = self.server.flight().begin(conn.last_read);
+                state.stamp_framed();
+                state.timeline.outcome = "error:bad_request".to_string();
+                state.timeline.anomaly =
+                    Some(Anomaly::new(AnomalyReason::FrameError, message.clone()));
+                let reply = protocol_error(None, ErrorKind::BadRequest, message);
+                conn.complete(seq, reply, Some(state));
                 return Routed::Inline;
             }
             Frame::Line(line) => line,
@@ -698,7 +761,7 @@ impl<'a, 's> Reactor<'a, 's> {
                 })) => {
                     let reply = self.server.handle_line(&line);
                     let conn = self.conns.get_mut(&id).expect("routed conn exists");
-                    conn.complete(seq, reply);
+                    conn.complete(seq, reply, None);
                     if version == Some(PROTOCOL_VERSION) {
                         conn.greeted = true;
                     } else {
@@ -714,7 +777,7 @@ impl<'a, 's> Reactor<'a, 's> {
                              as the first line"
                         ),
                     );
-                    conn.complete(seq, reply);
+                    conn.complete(seq, reply, None);
                     conn.close_after_flush = true;
                 }
             }
@@ -729,7 +792,7 @@ impl<'a, 's> Reactor<'a, 's> {
             let reply = self.server.handle_line(&line);
             let is_shutdown = req.cmd == AdminCmd::Shutdown;
             let conn = self.conns.get_mut(&id).expect("routed conn exists");
-            conn.complete(seq, reply);
+            conn.complete(seq, reply, None);
             return if is_shutdown {
                 Routed::InlineShutdown
             } else {
@@ -740,16 +803,33 @@ impl<'a, 's> Reactor<'a, 's> {
         // Optimization work: shed at the queue cap, otherwise enqueue.
         if at_capacity {
             *shed += 1;
+            let mut state = self.server.flight().begin(conn.last_read);
+            state.stamp_framed();
+            if let Some(req_id) = recover_id(&line) {
+                state.timeline.id = req_id;
+            }
+            state.timeline.outcome = "error:overloaded".to_string();
+            state.timeline.anomaly = Some(Anomaly::new(
+                AnomalyReason::Shed,
+                format!(
+                    "queue full ({} jobs), retry_ms={}",
+                    rcfg.max_queue, rcfg.retry_ms
+                ),
+            ));
             let reply = overloaded_reply(recover_id(&line).as_deref(), rcfg.retry_ms).render();
-            conn.complete(seq, reply);
+            conn.complete(seq, reply, Some(state));
             return Routed::Inline;
         }
         conn.inflight += 1;
-        Routed::Queued(Job {
+        let mut timeline = self.server.flight().begin(conn.last_read);
+        timeline.stamp_framed();
+        timeline.stamp_enqueued();
+        Routed::Queued(Box::new(Job {
             conn: id,
             seq,
             line,
-        })
+            timeline,
+        }))
     }
 
     fn count_shed(&self, n: u64) {
@@ -763,7 +843,17 @@ impl<'a, 's> Reactor<'a, 's> {
     }
 
     fn drop_conn(&mut self, id: u64) {
-        if self.conns.remove(&id).is_some() {
+        if let Some(mut conn) = self.conns.remove(&id) {
+            // Peer gone before its replies drained: the timelines are
+            // still flight history, committed without a flushed stamp.
+            for t in conn.awaiting_flush.drain(..) {
+                self.server.flight().commit(t.timeline);
+            }
+            for (_, (_, timeline)) in std::mem::take(&mut conn.done) {
+                if let Some(t) = timeline {
+                    self.server.flight().commit(t.timeline);
+                }
+            }
             if let Some(m) = &self.metrics {
                 m.open.set(self.conns.len() as i64);
             }

@@ -18,19 +18,21 @@
 use std::io::{BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
 use std::sync::Arc;
+use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
 use ujam_core::{optimize_costed, parallel_map_indexed, CancelToken, OptimizeError, SearchConfig};
 use ujam_ir::LoopNest;
-use ujam_metrics::{Counter, Gauge, Histogram, MetricsHandle, MetricsSnapshot};
-use ujam_trace::{null_sink, TraceRecord, TraceSink};
+use ujam_metrics::{Counter, Gauge, Histogram, MetricsHandle, MetricsSnapshot, SeriesCollector};
+use ujam_trace::{null_sink, Anomaly, AnomalyReason, TraceRecord, TraceSink};
 
 use crate::cache::{decision_key, CacheStats, Decision};
+use crate::flight::{FlightRecorder, TimelineState, DEFAULT_FLIGHT_CAPACITY, DEFAULT_SLOW_MS};
 use crate::proto::{
-    hello_reply, shutdown_reply, stats_reply, AdminCmd, AdminRequest, ErrorKind, ErrorReply,
-    Incoming, OkReply, Reply, Request, Source, PROTOCOL_VERSION,
+    flight_reply, hello_reply, shutdown_reply, stats_reply, stats_series_reply, AdminCmd,
+    AdminRequest, ErrorKind, ErrorReply, Incoming, OkReply, Reply, Request, Source,
+    PROTOCOL_VERSION,
 };
 use crate::shard::ShardedDecisionCache;
 
@@ -47,6 +49,12 @@ pub struct ServeConfig {
     /// is exactly the PR 4 single-lock cache; N shards split the key
     /// space by content hash so concurrent lookups stop contending.
     pub shards: usize,
+    /// Flight-recorder ring capacity in timelines per ring
+    /// (`--flight-capacity`).
+    pub flight_capacity: usize,
+    /// Total latency in milliseconds above which a request is
+    /// classified slow and retained in the anomaly ring (`--slow-ms`).
+    pub slow_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +66,8 @@ impl Default for ServeConfig {
             batch_max: 32,
             cache_capacity: 256,
             shards: 1,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            slow_ms: DEFAULT_SLOW_MS,
         }
     }
 }
@@ -83,6 +93,9 @@ pub struct Server<'s> {
     metrics: Option<ServeMetrics>,
     metrics_handle: MetricsHandle,
     shutdown: AtomicBool,
+    flight: FlightRecorder,
+    series: Mutex<SeriesCollector>,
+    started: Instant,
 }
 
 /// The server's metric set, resolved once at construction so the hot
@@ -192,6 +205,9 @@ impl<'s> Server<'s> {
             metrics: ServeMetrics::resolve(&metrics, cfg.shards),
             metrics_handle: metrics,
             shutdown: AtomicBool::new(false),
+            flight: FlightRecorder::new(cfg.flight_capacity, cfg.slow_ms),
+            series: Mutex::new(SeriesCollector::with_default_capacity()),
+            started: Instant::now(),
         }
     }
 
@@ -211,6 +227,36 @@ impl<'s> Server<'s> {
     /// The serve loops poll this and exit cleanly once set.
     pub fn shutdown_requested(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The flight recorder: the reactor opens timelines against it and
+    /// commits them as requests retire; `--trace-chrome` exports it on
+    /// shutdown.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Closes one time-series window now (the reactor's ~1 s tick calls
+    /// this, and a `{"cmd":"stats","series":true}` line calls it
+    /// on-demand so the reply always carries at least one window).
+    /// A no-op when the server has no metrics registry.
+    pub fn collect_series_window(&self) {
+        let Some(reg) = self.metrics_handle.registry() else {
+            return;
+        };
+        let at_ms = self.started.elapsed().as_millis() as u64;
+        self.series_lock().collect(reg, at_ms);
+    }
+
+    /// The series ring rendered as versioned JSON.
+    pub fn series_json(&self) -> String {
+        self.series_lock().render_json()
+    }
+
+    fn series_lock(&self) -> std::sync::MutexGuard<'_, SeriesCollector> {
+        self.series
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// A point-in-time snapshot of the server's metrics registry (empty
@@ -244,10 +290,24 @@ impl<'s> Server<'s> {
     /// registry and counted under `serve.admin_requests`; everything
     /// else — including malformed lines — counts as a request.
     pub fn handle_line(&self, line: &str) -> String {
+        self.handle_line_inner(line, None)
+    }
+
+    /// [`Server::handle_line`] with lifecycle tracing: stamps the
+    /// cache-probe and analysis edges into `state` and captures the
+    /// request's identity and outcome as it resolves.  The reply is
+    /// byte-identical to the untimed path unless the request opted in
+    /// with `"trace":true`, in which case the daemon-assigned trace id
+    /// is appended as a final `trace_id` field.
+    pub fn handle_line_timed(&self, line: &str, state: &mut TimelineState) -> String {
+        self.handle_line_inner(line, Some(state))
+    }
+
+    fn handle_line_inner(&self, line: &str, state: Option<&mut TimelineState>) -> String {
         match Incoming::parse(line) {
             Ok(Incoming::Admin(admin)) => self.handle_admin(&admin),
-            Ok(Incoming::Optimize(req)) => self.answer(Ok(req)),
-            Err(reply) => self.answer(Err(reply)),
+            Ok(Incoming::Optimize(req)) => self.answer(Ok(req), state),
+            Err(reply) => self.answer(Err(reply), state),
         }
     }
 
@@ -258,7 +318,18 @@ impl<'s> Server<'s> {
             m.admin_requests.inc();
         }
         match admin.cmd {
-            AdminCmd::Stats => stats_reply(&admin.id, &self.metrics_snapshot().render_json()),
+            AdminCmd::Stats { series } => {
+                let snapshot = self.metrics_snapshot().render_json();
+                if series {
+                    self.collect_series_window();
+                    stats_series_reply(&admin.id, &self.series_json(), &snapshot)
+                } else {
+                    stats_reply(&admin.id, &snapshot)
+                }
+            }
+            AdminCmd::Flight { slow_only } => {
+                flight_reply(&admin.id, &self.flight.snapshot_json(slow_only))
+            }
             AdminCmd::Hello { version } => match version {
                 Some(v) if v == PROTOCOL_VERSION => hello_reply(&admin.id),
                 offered => Reply::Error(ErrorReply {
@@ -274,6 +345,7 @@ impl<'s> Server<'s> {
                     },
                     line: None,
                     retry_ms: None,
+                    trace_id: None,
                 })
                 .render(),
             },
@@ -287,17 +359,48 @@ impl<'s> Server<'s> {
     /// Answers one parsed (or unparsable) optimize line, with request
     /// accounting: end-to-end latency, in-flight gauge, and ok/error/
     /// deadline counters on both the trace and metrics channels.
-    fn answer(&self, parsed: Result<Request, Reply>) -> String {
+    fn answer(
+        &self,
+        parsed: Result<Request, Reply>,
+        mut state: Option<&mut TimelineState>,
+    ) -> String {
         self.count("serve.request", 1);
         let t0 = self.metrics.as_ref().map(|m| {
             m.requests.inc();
             m.inflight.add(1);
             Instant::now()
         });
+        let trace_echo = matches!(&parsed, Ok(req) if req.trace);
+        let deadline_ms = parsed.as_ref().ok().and_then(|r| r.deadline_ms);
         let reply = match parsed {
-            Ok(req) => self.process(req),
+            Ok(req) => self.process(req, state.as_deref_mut()),
             Err(reply) => reply,
         };
+        if let Some(st) = state.as_deref_mut() {
+            let t = &mut st.timeline;
+            match &reply {
+                Reply::Ok(r) => {
+                    t.id.clone_from(&r.id);
+                    t.nest.clone_from(&r.nest);
+                    t.outcome = "ok".to_string();
+                    t.cached = r.cached;
+                    t.unroll = Some(r.unroll.clone());
+                }
+                Reply::Error(e) => {
+                    if let Some(id) = &e.id {
+                        t.id.clone_from(id);
+                    }
+                    t.outcome = format!("error:{}", e.kind.as_str());
+                    if e.kind == ErrorKind::DeadlineExceeded {
+                        let detail = match deadline_ms {
+                            Some(ms) => format!("deadline_ms={ms}"),
+                            None => "deadline elapsed".to_string(),
+                        };
+                        t.anomaly = Some(Anomaly::new(AnomalyReason::Deadline, detail));
+                    }
+                }
+            }
+        }
         match &reply {
             Reply::Ok(_) => self.count("serve.ok", 1),
             Reply::Error(e) => {
@@ -318,8 +421,19 @@ impl<'s> Server<'s> {
                 }
             }
             m.inflight.add(-1);
-            m.request_ns
-                .observe(t0.expect("set with metrics").elapsed().as_nanos() as u64);
+            let elapsed = t0.expect("set with metrics").elapsed().as_nanos() as u64;
+            // Tag the latency observation with the trace id so series
+            // windows can carry an exemplar pointing back into the
+            // flight recorder.
+            match state.as_deref() {
+                Some(st) => m.request_ns.observe_tagged(elapsed, st.trace_id()),
+                None => m.request_ns.observe(elapsed),
+            }
+        }
+        if trace_echo {
+            if let Some(st) = state.as_deref() {
+                return reply.with_trace_id(Some(st.trace_id())).render();
+            }
         }
         reply.render()
     }
@@ -358,6 +472,7 @@ impl<'s> Server<'s> {
                         message: format!("unknown kernel {name:?} (try `ujam list`)"),
                         line: None,
                         retry_ms: None,
+                        trace_id: None,
                     })
                 }),
             Source::Inline(src) => ujam_fortran::parse(src).map_err(|e| {
@@ -367,12 +482,13 @@ impl<'s> Server<'s> {
                     message: e.message.clone(),
                     line: Some(e.line),
                     retry_ms: None,
+                    trace_id: None,
                 })
             }),
         }
     }
 
-    fn process(&self, req: Request) -> Reply {
+    fn process(&self, req: Request, mut state: Option<&mut TimelineState>) -> Reply {
         let nest = match self.resolve(&req) {
             Ok(nest) => nest,
             Err(reply) => return reply,
@@ -385,7 +501,13 @@ impl<'s> Server<'s> {
         };
         let key = decision_key(&nest, &req.machine, req.model, req.cost_model, config);
         let lookup_t0 = self.metrics.as_ref().map(|_| Instant::now());
+        if let Some(st) = state.as_deref_mut() {
+            st.stamp_cache_probe();
+        }
         let (shard, hit) = self.cache.get(&key);
+        if let Some(st) = state.as_deref_mut() {
+            st.stamp_cache_done();
+        }
         if let (Some(m), Some(t0)) = (&self.metrics, lookup_t0) {
             m.cache_lookup_ns.observe(t0.elapsed().as_nanos() as u64);
         }
@@ -416,6 +538,9 @@ impl<'s> Server<'s> {
             .as_ref()
             .map(|m| m.handle.clone())
             .unwrap_or_default();
+        if let Some(st) = state.as_deref_mut() {
+            st.stamp_analysis_start();
+        }
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             optimize_costed(
                 &nest,
@@ -428,6 +553,9 @@ impl<'s> Server<'s> {
                 config,
             )
         }));
+        if let Some(st) = state {
+            st.stamp_analysis_end();
+        }
         let decision = match outcome {
             Ok(Ok(plan)) => Decision::from_plan(&plan),
             Ok(Err(e)) => {
@@ -441,6 +569,7 @@ impl<'s> Server<'s> {
                     message: e.to_string(),
                     line: None,
                     retry_ms: None,
+                    trace_id: None,
                 });
             }
             Err(_) => {
@@ -450,6 +579,7 @@ impl<'s> Server<'s> {
                     message: "optimizer panicked; the request was dropped".into(),
                     line: None,
                     retry_ms: None,
+                    trace_id: None,
                 });
             }
         };
@@ -550,6 +680,7 @@ fn ok_reply(id: &str, d: Decision, cached: bool) -> Reply {
         original_balance: d.original_balance,
         registers: d.registers,
         cached,
+        trace_id: None,
     })
 }
 
@@ -565,6 +696,7 @@ mod tests {
                 batch_max: 8,
                 cache_capacity: 16,
                 shards: 1,
+                ..ServeConfig::default()
             },
             sink,
         )
@@ -670,6 +802,7 @@ mod tests {
                 batch_max: 8,
                 cache_capacity: 16,
                 shards: 1,
+                ..ServeConfig::default()
             },
             sink,
             MetricsHandle::new(std::sync::Arc::clone(&registry)),
@@ -789,6 +922,7 @@ mod tests {
                     batch_max: 8,
                     cache_capacity: 16,
                     shards: 1,
+                    ..ServeConfig::default()
                 },
                 null_sink(),
                 MetricsHandle::new(std::sync::Arc::clone(&registry)),
@@ -815,6 +949,134 @@ mod tests {
         for (name, h) in &a.histograms {
             assert_eq!(h.count, b.histograms[name].count, "{name}");
         }
+    }
+
+    #[test]
+    fn timed_handling_stamps_edges_and_replies_identically() {
+        let (_, s) = metric_server(null_sink());
+        let line = r#"{"id":"a","kernel":"dmxpy1"}"#;
+        let mut state = s.flight().begin(Instant::now());
+        let timed = s.handle_line_timed(line, &mut state);
+        // A fresh identical server answers the untimed way: bitwise
+        // equal output, tracing on or off.
+        let (_, bare) = metric_server(null_sink());
+        assert_eq!(
+            timed,
+            bare.handle_line(line),
+            "tracing never changes replies"
+        );
+        let t = &state.timeline;
+        assert_eq!(t.id, "a");
+        assert_eq!(t.outcome, "ok");
+        assert!(!t.cached);
+        assert!(t.unroll.is_some());
+        assert!(t.cache_probe.is_some() && t.cache_done.is_some());
+        assert!(
+            t.analysis_start.is_some() && t.analysis_end.is_some(),
+            "a miss runs analysis"
+        );
+        // A cache hit stamps the probe but never the analysis.
+        let mut hit = s.flight().begin(Instant::now());
+        s.handle_line_timed(r#"{"id":"b","kernel":"dmxpy1"}"#, &mut hit);
+        assert!(hit.timeline.cached);
+        assert!(hit.timeline.cache_done.is_some());
+        assert!(hit.timeline.analysis_start.is_none());
+    }
+
+    #[test]
+    fn trace_opt_in_echoes_the_assigned_trace_id() {
+        let (_, s) = metric_server(null_sink());
+        let mut state = s.flight().begin(Instant::now());
+        let reply = s.handle_line_timed(r#"{"id":"a","kernel":"dmxpy1","trace":true}"#, &mut state);
+        assert!(reply.ends_with(",\"trace_id\":1}"), "{reply}");
+        // Without the opt-in the id is assigned but never echoed.
+        let mut state = s.flight().begin(Instant::now());
+        let reply = s.handle_line_timed(r#"{"id":"b","kernel":"dmxpy1"}"#, &mut state);
+        assert!(!reply.contains("trace_id"), "{reply}");
+        assert_eq!(state.trace_id(), 2);
+    }
+
+    #[test]
+    fn deadline_errors_carry_a_structured_anomaly() {
+        let (_, s) = metric_server(null_sink());
+        let mut state = s.flight().begin(Instant::now());
+        s.handle_line_timed(
+            r#"{"id":"a","kernel":"dmxpy1","deadline_ms":0}"#,
+            &mut state,
+        );
+        let anomaly = state.timeline.anomaly.as_ref().expect("classified");
+        assert_eq!(anomaly.reason, ujam_trace::AnomalyReason::Deadline);
+        assert_eq!(anomaly.detail, "deadline_ms=0");
+        assert_eq!(state.timeline.outcome, "error:deadline_exceeded");
+    }
+
+    #[test]
+    fn flight_admin_lines_answer_from_the_recorder_as_admin_traffic() {
+        let (_, s) = metric_server(null_sink());
+        let mut state = s.flight().begin(Instant::now());
+        s.handle_line_timed(r#"{"id":"a","kernel":"dmxpy1"}"#, &mut state);
+        s.flight().commit(state.timeline);
+        let reply = s.handle_line(r#"{"id":"f1","cmd":"flight"}"#);
+        let doc = json::parse(&reply).expect("valid JSON");
+        assert_eq!(doc.get("ok"), Some(&json::Value::Bool(true)));
+        let flight = doc.get("flight").expect("flight object");
+        assert_eq!(
+            flight.get("version").and_then(json::Value::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            flight
+                .get("recent")
+                .and_then(json::Value::as_array)
+                .map(<[_]>::len),
+            Some(1)
+        );
+        let snap = s.metrics_snapshot();
+        assert_eq!(
+            snap.counter("serve.requests"),
+            1,
+            "flight is admin, not a request"
+        );
+        assert_eq!(snap.counter("serve.admin_requests"), 1);
+    }
+
+    #[test]
+    fn stats_series_replies_carry_windows_with_exemplars() {
+        let (_, s) = metric_server(null_sink());
+        let mut state = s.flight().begin(Instant::now());
+        s.handle_line_timed(r#"{"id":"a","kernel":"dmxpy1"}"#, &mut state);
+        let reply = s.handle_line(r#"{"id":"s1","cmd":"stats","series":true}"#);
+        let doc = json::parse(&reply).expect("valid JSON");
+        let series = doc.get("series").expect("series object");
+        assert_eq!(
+            series.get("version").and_then(json::Value::as_f64),
+            Some(1.0)
+        );
+        let windows = series
+            .get("windows")
+            .and_then(json::Value::as_array)
+            .expect("windows array");
+        assert!(!windows.is_empty(), "on-demand collection yields a window");
+        let w = &windows[0];
+        assert_eq!(
+            w.get("deltas")
+                .and_then(|d| d.get("serve.requests"))
+                .and_then(json::Value::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            w.get("exemplars")
+                .and_then(|e| e.get("serve.request_ns"))
+                .and_then(|e| e.get("trace_id"))
+                .and_then(json::Value::as_f64),
+            Some(1.0),
+            "the window's max-latency exemplar names the traced request"
+        );
+        // The trailing stats object still parses and is final, so
+        // clients extracting it textually keep working.
+        assert!(doc.get("stats").is_some());
+        let at = reply.find("\"stats\":").expect("stats field");
+        json::parse(&reply[at + "\"stats\":".len()..reply.len() - 1]).expect("stats extractable");
     }
 
     #[test]

@@ -45,8 +45,10 @@
 mod chrome;
 pub mod json;
 mod render;
+pub mod timeline;
 
 pub use chrome::ChromeTraceRenderer;
+pub use timeline::{Anomaly, AnomalyReason, RequestTimeline, TIMELINE_VERSION};
 
 use std::fmt;
 use std::sync::Mutex;

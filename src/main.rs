@@ -15,6 +15,8 @@
 //! ujam request --tcp ADDR <json>...  # same over TCP (handshakes first)
 //! ujam stats --socket PATH [--json]  # query a daemon's metrics snapshot
 //! ujam stats --tcp ADDR [--json]     # same over TCP
+//! ujam flight --socket PATH          # dump the daemon's flight recorder
+//! ujam flight --tcp ADDR [--slow-only] [--json]
 //! ```
 //!
 //! `<loop>` is a Table 2 kernel name (`ujam list`) or a path to a Fortran
@@ -88,9 +90,11 @@ const USAGE: &str = "usage:
   ujam serve [--workers N] [--batch N] [--cache N] [--shards N]
              [--socket PATH] [--tcp ADDR] [--max-queue N] [--max-conns N]
              [--max-inflight N] [--read-timeout-ms MS]
+             [--flight-capacity N] [--slow-ms MS] [--trace-chrome PATH]
              [--trace[=json]] [--metrics-interval SECS]
   ujam request (--socket PATH | --tcp ADDR) [--show-hello] <json-line>...
-  ujam stats (--socket PATH | --tcp ADDR) [--json]
+  ujam stats (--socket PATH | --tcp ADDR) [--json] [--series] [--verbose]
+  ujam flight (--socket PATH | --tcp ADDR) [--slow-only] [--json]
 
 <loop> is a kernel name from `ujam list`, a deep register-tiling kernel
 (stencil3d, contract3, tensor4, assemble4, bmm4, bcontract5), or a
@@ -125,12 +129,30 @@ stops the daemon cleanly.  With --trace, service counters are printed
 to stderr on shutdown.  Runtime metrics are always recorded;
 --metrics-interval prints one JSON snapshot per interval to stderr.
 
+Every reactor request gets a lifecycle timeline (trace id, per-edge
+monotonic stamps: framed, enqueued, dequeued, cache probe, analysis,
+reply flushed) kept in an in-daemon flight recorder: a ring of the last
+N timelines (--flight-capacity, default 1024) plus a separate ring of
+anomalous requests (latency over --slow-ms, default 100; deadline hits;
+sheds; frame errors) with structured reasons.  Requests carrying
+\"trace\":true get their trace id echoed back as a trailing trace_id
+reply field.  --trace-chrome writes every retained timeline as a Chrome
+trace-event file on shutdown (loadable in Perfetto).
+
 `request` sends raw NDJSON request lines to a serving daemon (Unix
 socket or TCP; over TCP the handshake is performed first and its ack
 printed only with --show-hello) and prints one reply line per request.
 `stats` asks the daemon for its metrics snapshot ({\"cmd\":\"stats\"})
 and renders it as a table, or as the raw versioned JSON snapshot with
---json.";
+--json.  Sharded-cache counters are rolled up into one
+serve.cache.total line (per-shard lines return with --verbose).  With
+--series the daemon also returns its time-series ring — windowed
+counter deltas, derived rates (reqs/s, hit-rate, shed/s), queue-depth
+peaks, and per-histogram max-latency exemplars tagged with trace ids —
+rendered as a table, or as the raw series document with --json.
+`flight` asks for the flight recorder ({\"cmd\":\"flight\"}) and renders
+each retained timeline with per-edge durations; --slow-only limits the
+dump to the anomaly ring, --json prints the versioned document.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -403,6 +425,26 @@ fn run(args: &[String]) -> Result<(), String> {
             if opts.metrics_interval.is_some() {
                 eprintln!("{}", registry.snapshot().render_json());
             }
+            if let Some(path) = &opts.trace_chrome {
+                // Every retained timeline becomes a span group under
+                // nest `req-<trace_id>` — the same renderer the
+                // optimizer's `--trace=chrome` uses.
+                let timelines = server.flight().all_timelines();
+                let mut flight_trace = ujam::trace::Trace::new(Vec::new());
+                for t in &timelines {
+                    flight_trace.extend(t.to_trace());
+                }
+                let doc = ChromeTraceRenderer::render(&flight_trace);
+                match std::fs::write(path, format!("{doc}\n")) {
+                    Ok(()) => {
+                        eprintln!(
+                            "serve: wrote {} flight timelines to {path}",
+                            timelines.len()
+                        )
+                    }
+                    Err(e) => eprintln!("serve: cannot write {path:?}: {e}"),
+                }
+            }
             result
         }
         "request" => {
@@ -431,15 +473,28 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "stats" => {
             let (endpoint, rest) = endpoint_options(it)?;
-            let json_out = match rest.iter().map(String::as_str).collect::<Vec<_>>()[..] {
-                [] => false,
-                ["--json"] => true,
-                _ => return Err("stats takes only --socket/--tcp and --json".into()),
+            let mut json_out = false;
+            let mut series = false;
+            let mut verbose = false;
+            for arg in &rest {
+                match arg.as_str() {
+                    "--json" => json_out = true,
+                    "--series" => series = true,
+                    "--verbose" => verbose = true,
+                    _ => {
+                        return Err(
+                            "stats takes only --socket/--tcp, --json, --series, and --verbose"
+                                .into(),
+                        )
+                    }
+                }
+            }
+            let line = if series {
+                "{\"id\":\"stats-cli\",\"cmd\":\"stats\",\"series\":true}"
+            } else {
+                "{\"id\":\"stats-cli\",\"cmd\":\"stats\"}"
             };
-            let exchange = daemon_exchange(
-                &endpoint,
-                &["{\"id\":\"stats-cli\",\"cmd\":\"stats\"}".to_string()],
-            )?;
+            let exchange = daemon_exchange(&endpoint, &[line.to_string()])?;
             let reply = exchange
                 .replies
                 .first()
@@ -453,14 +508,71 @@ fn run(args: &[String]) -> Result<(), String> {
             let stats = parsed
                 .get("stats")
                 .ok_or_else(|| format!("reply has no stats field: {reply}"))?;
-            if json_out {
+            if json_out && series {
+                // The series document, byte-for-byte as the daemon
+                // rendered it (it precedes the stats field, so a
+                // balanced scan rather than a suffix slice).
+                let doc = extract_field_object(&reply, "series")
+                    .ok_or_else(|| format!("reply has no series field: {reply}"))?;
+                println!("{doc}");
+            } else if json_out {
                 // The reply embeds the snapshot verbatim as its last
                 // field, so the raw document is everything from
                 // `"stats":` to the closing brace.
                 let at = reply.find("\"stats\":").expect("field located above");
                 println!("{}", &reply[at + "\"stats\":".len()..reply.len() - 1]);
             } else {
-                print!("{}", render_stats_human(stats));
+                if series {
+                    let doc = parsed
+                        .get("series")
+                        .ok_or_else(|| format!("reply has no series field: {reply}"))?;
+                    print!("{}", render_series_human(doc));
+                }
+                print!("{}", render_stats_human(stats, verbose));
+            }
+            Ok(())
+        }
+        "flight" => {
+            let (endpoint, rest) = endpoint_options(it)?;
+            let mut json_out = false;
+            let mut slow_only = false;
+            for arg in &rest {
+                match arg.as_str() {
+                    "--json" => json_out = true,
+                    "--slow-only" => slow_only = true,
+                    _ => {
+                        return Err(
+                            "flight takes only --socket/--tcp, --slow-only, and --json".into()
+                        )
+                    }
+                }
+            }
+            let line = if slow_only {
+                "{\"id\":\"flight-cli\",\"cmd\":\"flight\",\"slow_only\":true}"
+            } else {
+                "{\"id\":\"flight-cli\",\"cmd\":\"flight\"}"
+            };
+            let exchange = daemon_exchange(&endpoint, &[line.to_string()])?;
+            let reply = exchange
+                .replies
+                .first()
+                .ok_or("daemon closed the connection without replying")?
+                .clone();
+            let parsed =
+                json::parse(&reply).map_err(|e| format!("daemon sent unparsable reply: {e}"))?;
+            if parsed.get("ok") != Some(&Value::Bool(true)) {
+                return Err(format!("daemon refused the flight query: {reply}"));
+            }
+            let flight = parsed
+                .get("flight")
+                .ok_or_else(|| format!("reply has no flight field: {reply}"))?;
+            if json_out {
+                // The flight document is the reply's last field,
+                // embedded verbatim.
+                let at = reply.find("\"flight\":").expect("field located above");
+                println!("{}", &reply[at + "\"flight\":".len()..reply.len() - 1]);
+            } else {
+                print!("{}", render_flight_human(flight, slow_only));
             }
             Ok(())
         }
@@ -475,6 +587,8 @@ struct ServeOptions {
     tcp: Option<String>,
     trace: TraceMode,
     metrics_interval: Option<u64>,
+    /// Dump the flight recorder as a Chrome trace file on shutdown.
+    trace_chrome: Option<String>,
 }
 
 fn serve_options<'a>(it: impl Iterator<Item = &'a String>) -> Result<ServeOptions, String> {
@@ -484,6 +598,7 @@ fn serve_options<'a>(it: impl Iterator<Item = &'a String>) -> Result<ServeOption
     let mut tcp = None;
     let mut trace = TraceMode::Off;
     let mut metrics_interval = None;
+    let mut trace_chrome = None;
     let mut it = it.peekable();
     let number = |flag: &str, v: Option<&String>| -> Result<usize, String> {
         v.and_then(|s| s.parse().ok())
@@ -514,6 +629,18 @@ fn serve_options<'a>(it: impl Iterator<Item = &'a String>) -> Result<ServeOption
             "--metrics-interval" => {
                 metrics_interval = Some(number("--metrics-interval", it.next()).map(|n| n as u64)?)
             }
+            "--flight-capacity" => cfg.flight_capacity = number("--flight-capacity", it.next())?,
+            "--slow-ms" => cfg.slow_ms = number("--slow-ms", it.next())? as u64,
+            "--trace-chrome" => {
+                trace_chrome = Some(it.next().ok_or("--trace-chrome needs a path")?.clone())
+            }
+            other if other.starts_with("--trace-chrome=") => {
+                let path = &other["--trace-chrome=".len()..];
+                if path.is_empty() {
+                    return Err("--trace-chrome needs a path".into());
+                }
+                trace_chrome = Some(path.to_string());
+            }
             "--trace" => trace = TraceMode::Human,
             "--trace=json" => trace = TraceMode::Json,
             "--trace=human" => trace = TraceMode::Human,
@@ -533,6 +660,7 @@ fn serve_options<'a>(it: impl Iterator<Item = &'a String>) -> Result<ServeOption
         tcp,
         trace,
         metrics_interval,
+        trace_chrome,
     })
 }
 
@@ -672,9 +800,185 @@ fn daemon_exchange(endpoint: &Endpoint, lines: &[String]) -> Result<Exchange, St
     Ok(Exchange { hello, replies })
 }
 
+/// Slices the embedded object value of `"field":` out of a rendered
+/// reply, byte-for-byte, by balanced-brace scan (string- and
+/// escape-aware).  Used when the field is not the reply's last — a
+/// suffix slice only works for trailing fields.
+fn extract_field_object<'r>(reply: &'r str, field: &str) -> Option<&'r str> {
+    let key = format!("\"{field}\":");
+    let start = reply.find(&key)? + key.len();
+    let bytes = reply.as_bytes();
+    if *bytes.get(start)? != b'{' {
+        return None;
+    }
+    let (mut depth, mut in_str, mut escape) = (0usize, false, false);
+    for (i, &b) in bytes[start..].iter().enumerate() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_str => escape = true,
+            b'"' => in_str = !in_str,
+            b'{' if !in_str => depth += 1,
+            b'}' if !in_str => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&reply[start..=start + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Renders a parsed time-series document (the `--series` reply field)
+/// as one line per window plus the latest window's exemplars.
+fn render_series_human(series: &Value) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let Some(Value::Array(windows)) = series.get("windows") else {
+        return "series: no windows\n".to_string();
+    };
+    let version = series.get("version").and_then(Value::as_f64).unwrap_or(0.0);
+    let _ = writeln!(
+        out,
+        "series version {version}, {} window{}:",
+        windows.len(),
+        if windows.len() == 1 { "" } else { "s" }
+    );
+    let _ = writeln!(
+        out,
+        "  {:>4} {:>9} {:>7} {:>8} {:>8} {:>7} {:>10}",
+        "seq", "at_ms", "dur_ms", "reqs/s", "hit-rate", "shed/s", "queue-peak"
+    );
+    for w in windows {
+        let n = |k: &str| w.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+        let d = |k: &str| {
+            w.get("derived")
+                .and_then(|d| d.get(k))
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0)
+        };
+        let _ = writeln!(
+            out,
+            "  {:>4} {:>9} {:>7} {:>8.3} {:>8.3} {:>7.3} {:>10}",
+            n("seq"),
+            n("at_ms"),
+            n("dur_ms"),
+            d("reqs_per_s"),
+            d("hit_rate"),
+            d("shed_per_s"),
+            d("queue_depth_peak")
+        );
+    }
+    if let Some(Value::Object(ex)) = windows.last().and_then(|w| w.get("exemplars")) {
+        if !ex.is_empty() {
+            let _ = writeln!(out, "exemplars (latest window):");
+            for (name, v) in ex {
+                let f = |k: &str| v.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+                let _ = writeln!(out, "  {name}  max={}ns trace=#{}", f("max"), f("trace_id"));
+            }
+        }
+    }
+    out
+}
+
+/// Renders one parsed flight-recorder timeline the way
+/// `RequestTimeline::render_human` does on the daemon side: a summary
+/// line plus an edge-duration breakdown.
+fn render_timeline_human(t: &Value) -> String {
+    use std::fmt::Write as _;
+    let ms = |v: Option<&Value>| match v.and_then(Value::as_f64) {
+        Some(v) => format!("{:.2}ms", v / 1e6),
+        None => "--".to_string(),
+    };
+    let s = |k: &str| match t.get(k) {
+        Some(Value::String(s)) if !s.is_empty() => s.as_str(),
+        _ => "?",
+    };
+    let trace_id = t.get("trace_id").and_then(Value::as_f64).unwrap_or(0.0);
+    let mut out = format!(
+        "#{} id={} nest={} {}",
+        trace_id,
+        s("id"),
+        s("nest"),
+        s("outcome")
+    );
+    if t.get("cached") == Some(&Value::Bool(true)) {
+        out.push_str(" (cached)");
+    }
+    if let Some(Value::Array(u)) = t.get("unroll") {
+        let parts: Vec<String> = u
+            .iter()
+            .map(|v| format!("{}", v.as_f64().unwrap_or(0.0)))
+            .collect();
+        let _ = write!(out, " u=[{}]", parts.join(","));
+    }
+    let dur = |k: &str| t.get("durations").and_then(|d| d.get(k));
+    let _ = write!(out, " total={}", ms(dur("total_ns")));
+    if let Some(Value::Object(a)) = t.get("anomaly") {
+        if let Some(Value::String(reason)) = a.get("reason") {
+            let _ = write!(out, " !{reason}");
+        }
+        if let Some(Value::String(detail)) = a.get("detail") {
+            if !detail.is_empty() {
+                let _ = write!(out, " ({detail})");
+            }
+        }
+    }
+    let _ = write!(
+        out,
+        "\n   queue={} cache={} analysis={} flush={}",
+        ms(dur("queue_ns")),
+        ms(dur("cache_ns")),
+        ms(dur("analysis_ns")),
+        ms(dur("flush_ns")),
+    );
+    out
+}
+
+/// Renders a parsed flight-recorder document: a header, the recent
+/// ring, and the anomaly ring.
+fn render_flight_human(flight: &Value, slow_only: bool) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let f = |k: &str| flight.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+    let _ = writeln!(
+        out,
+        "flight recorder: version {}, capacity {}, slow_ms {}, next trace id {}",
+        f("version"),
+        f("capacity"),
+        f("slow_ms"),
+        f("next_trace_id")
+    );
+    for (title, key) in [("recent", "recent"), ("anomalies", "anomalies")] {
+        if slow_only && key == "recent" {
+            continue;
+        }
+        let Some(Value::Array(timelines)) = flight.get(key) else {
+            continue;
+        };
+        let _ = writeln!(
+            out,
+            "{title} ({} timeline{}):",
+            timelines.len(),
+            if timelines.len() == 1 { "" } else { "s" }
+        );
+        for t in timelines {
+            let _ = writeln!(out, "{}", render_timeline_human(t));
+        }
+    }
+    out
+}
+
 /// Renders a parsed metrics snapshot as the aligned tables a human
 /// wants at a terminal (the daemon ships JSON; see `--json` for that).
-fn render_stats_human(stats: &Value) -> String {
+/// Per-shard cache counters are rolled up into one
+/// `serve.cache.total.*` section; `verbose` keeps the per-shard lines
+/// too.
+fn render_stats_human(stats: &Value, verbose: bool) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     if let Some(v) = stats.get("version").and_then(Value::as_f64) {
@@ -702,7 +1006,45 @@ fn render_stats_human(stats: &Value) -> String {
     let plain: &dyn Fn(&mut String, &Value) = &|line, v| {
         let _ = write!(line, "{}", v.as_f64().unwrap_or(0.0));
     };
-    section(&mut out, "counters", stats.get("counters"), plain);
+    // Roll per-shard cache counters (`serve.cache.shardK.*`) up into
+    // one aggregate section; the K per-shard lines only matter when
+    // chasing shard imbalance, so they hide behind `verbose`.
+    let mut counters = stats.get("counters").cloned();
+    if let Some(Value::Object(m)) = &mut counters {
+        let is_shard = |k: &str| k.starts_with("serve.cache.shard");
+        if m.keys().any(|k| is_shard(k)) {
+            let sum = |suffix: &str| -> f64 {
+                m.iter()
+                    .filter(|(k, _)| is_shard(k) && k.ends_with(suffix))
+                    .map(|(_, v)| v.as_f64().unwrap_or(0.0))
+                    .sum()
+            };
+            let (hit, miss, evict) = (sum(".hits"), sum(".misses"), sum(".evictions"));
+            let shards = m
+                .keys()
+                .filter(|k| is_shard(k) && k.ends_with(".hits"))
+                .count();
+            let _ = writeln!(
+                out,
+                "cache totals ({shards} shard{}):",
+                if shards == 1 { "" } else { "s" }
+            );
+            let _ = writeln!(out, "  serve.cache.total.hit    {hit}");
+            let _ = writeln!(out, "  serve.cache.total.miss   {miss}");
+            let _ = writeln!(out, "  serve.cache.total.evict  {evict}");
+            if hit + miss > 0.0 {
+                let _ = writeln!(
+                    out,
+                    "  hit-rate                 {:.1}%",
+                    100.0 * hit / (hit + miss)
+                );
+            }
+            if !verbose {
+                m.retain(|k, _| !is_shard(k));
+            }
+        }
+    }
+    section(&mut out, "counters", counters.as_ref(), plain);
     section(&mut out, "gauges", stats.get("gauges"), plain);
     section(
         &mut out,

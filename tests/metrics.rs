@@ -20,6 +20,7 @@ fn replay(workload: &str) -> (Server<'static>, String) {
             batch_max: 1,
             cache_capacity: 64,
             shards: 1,
+            ..ServeConfig::default()
         },
         ujam::trace::null_sink(),
         MetricsHandle::new(Arc::new(MetricsRegistry::new())),

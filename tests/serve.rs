@@ -16,6 +16,7 @@ fn test_config() -> ServeConfig {
         batch_max: 8,
         cache_capacity: 64,
         shards: 1,
+        ..ServeConfig::default()
     }
 }
 
@@ -160,6 +161,7 @@ fn soak_eight_concurrent_clients_with_hostile_traffic() {
             batch_max: 1,
             cache_capacity: 64,
             shards: 1,
+            ..ServeConfig::default()
         },
         &sink,
     );

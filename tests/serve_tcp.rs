@@ -230,6 +230,7 @@ fn hostile_soak_100_concurrent_tcp_clients() {
             batch_max: 8,
             cache_capacity: 64,
             shards: 8,
+            ..ServeConfig::default()
         },
         ReactorConfig::default(),
         None,
@@ -366,6 +367,7 @@ fn overload_sheds_structured_errors_and_recovers() {
             batch_max: 1,
             cache_capacity: 0, // every request computes: the queue backs up
             shards: 1,
+            ..ServeConfig::default()
         },
         ReactorConfig {
             max_queue: 2,
@@ -429,6 +431,7 @@ fn idle_and_slow_loris_connections_are_reaped() {
             batch_max: 1,
             cache_capacity: 16,
             shards: 1,
+            ..ServeConfig::default()
         },
         ReactorConfig {
             read_timeout: Duration::from_millis(150),
@@ -486,6 +489,7 @@ fn full_suite_over_tcp_is_bitwise_identical_to_optimize_batch() {
             batch_max: 8,
             cache_capacity: 64,
             shards: 4,
+            ..ServeConfig::default()
         },
         ReactorConfig::default(),
         None,
@@ -513,6 +517,127 @@ fn full_suite_over_tcp_is_bitwise_identical_to_optimize_batch() {
     );
 }
 
+/// `stats` and `flight` admin probes interleaved with optimization
+/// requests over one pipelined TCP connection: every reply arrives in
+/// request order, kernel replies stay bitwise-identical to
+/// `optimize_batch`, the probes never land in the request counters or
+/// the flight recorder, and the recorder ends up holding exactly the
+/// optimization requests.
+#[test]
+fn admin_probes_interleaved_with_requests_do_not_perturb_replies() {
+    let reference = reference();
+    let registry = Arc::new(MetricsRegistry::new());
+    let work = ["dmxpy1", "sor", "jacobi", "dmxpy0", "dmxpy1", "sor"];
+
+    with_tcp_daemon(
+        ServeConfig {
+            workers: 2,
+            batch_max: 4,
+            cache_capacity: 16,
+            shards: 2,
+            ..ServeConfig::default()
+        },
+        ReactorConfig::default(),
+        Some(Arc::clone(&registry)),
+        |addr| {
+            let mut conn = greet(addr);
+            for (i, kernel) in work.iter().enumerate() {
+                // Pipeline a request and a probe together, so the probe
+                // (answered inline on the reactor thread) races the
+                // request (answered by a worker) for the reply slot.
+                send(
+                    &mut conn,
+                    &format!("{{\"id\":\"r{i}\",\"kernel\":\"{kernel}\"}}"),
+                );
+                let probe = if i % 2 == 0 {
+                    format!("{{\"id\":\"p{i}\",\"cmd\":\"stats\"}}")
+                } else {
+                    format!("{{\"id\":\"p{i}\",\"cmd\":\"flight\"}}")
+                };
+                send(&mut conn, &probe);
+                let reply = read_line(&mut conn);
+                assert!(
+                    reply.contains(&format!("\"id\":\"r{i}\"")),
+                    "request reply {i} out of order: {reply}"
+                );
+                assert_bitwise(&reply, kernel, &reference);
+                let probe_reply = read_line(&mut conn);
+                assert!(
+                    probe_reply.contains(&format!("\"id\":\"p{i}\""))
+                        && probe_reply.contains("\"ok\":true"),
+                    "probe reply {i} out of order or refused: {probe_reply}"
+                );
+            }
+
+            // The richer probe shapes answer on the same connection too.
+            send(
+                &mut conn,
+                "{\"id\":\"ps\",\"cmd\":\"stats\",\"series\":true}",
+            );
+            let series = read_line(&mut conn);
+            assert!(
+                series.contains("\"series\":{") && series.contains("\"stats\":{"),
+                "series stats reply carries both documents: {series}"
+            );
+            send(
+                &mut conn,
+                "{\"id\":\"pf\",\"cmd\":\"flight\",\"slow_only\":true}",
+            );
+            let slow = read_line(&mut conn);
+            assert!(
+                slow.contains("\"recent\":[]"),
+                "slow-only flight replies omit the recent ring: {slow}"
+            );
+
+            // Ground truth: only optimization requests count as
+            // requests and reach the flight recorder; probes are admin
+            // traffic.
+            let snap = registry.snapshot();
+            assert_eq!(
+                snap.counter("serve.requests"),
+                work.len() as u64,
+                "admin probes must not count as requests"
+            );
+            assert!(
+                snap.counter("serve.admin_requests") >= work.len() as u64 + 2,
+                "every probe counts as admin traffic"
+            );
+
+            send(&mut conn, "{\"id\":\"pd\",\"cmd\":\"flight\"}");
+            let dump = read_line(&mut conn);
+            let doc = json::parse(&dump).expect("flight reply parses");
+            let recent = doc
+                .get("flight")
+                .and_then(|f| f.get("recent"))
+                .and_then(json::Value::as_array)
+                .expect("flight reply has a recent ring");
+            assert_eq!(
+                recent.len(),
+                work.len(),
+                "the recorder holds exactly the optimization requests: {dump}"
+            );
+            // Every retained timeline has its full edge breakdown: the
+            // replies above were read off the socket, so each request
+            // was framed, queued, answered, and flushed.
+            for t in recent {
+                let durations = t.get("durations").expect("timeline durations");
+                for key in ["queue_ns", "flush_ns", "total_ns"] {
+                    assert!(
+                        durations.get(key).and_then(json::Value::as_f64).is_some(),
+                        "timeline missing {key}: {dump}"
+                    );
+                }
+                let outcome = t.get("outcome").cloned();
+                assert_eq!(
+                    outcome,
+                    Some(json::Value::String("ok".to_string())),
+                    "soaked requests all succeeded: {dump}"
+                );
+            }
+        },
+    );
+}
+
 /// The Unix socket still speaks the PR 4 protocol — no handshake — now
 /// through the same event loop, and a client that connects and leaves
 /// without sending anything no longer wedges anything.
@@ -531,6 +656,7 @@ fn unix_socket_keeps_the_legacy_protocol_through_the_reactor() {
             batch_max: 4,
             cache_capacity: 16,
             shards: 2,
+            ..ServeConfig::default()
         },
         ujam::trace::null_sink(),
     );
